@@ -1,0 +1,89 @@
+//! Communicator benchmarks: allreduce cost versus rank count and message
+//! size — the operation whose efficiency the paper says the de-centralized
+//! scheme's performance "solely depends on" (§III-B) — plus the
+//! reduce+broadcast pair it replaces under fork-join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_comm::{CommCategory, World};
+
+fn bench_allreduce_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_by_ranks");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::run(ranks, |rank| {
+                    let mut data = vec![rank.id() as f64; 8];
+                    for _ in 0..100 {
+                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+                    }
+                    data[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_allreduce_message_size(c: &mut Criterion) {
+    // Latency- vs bandwidth-bound regions: the paper's partitioned-analysis
+    // problem is precisely that fork-join regions become bandwidth-bound as
+    // per-region payloads grow with the partition count.
+    let mut group = c.benchmark_group("allreduce_by_message_doubles");
+    group.sample_size(10);
+    for len in [2usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                World::run(4, |rank| {
+                    let mut data = vec![rank.id() as f64; len];
+                    for _ in 0..50 {
+                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+                    }
+                    data[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_allreduce_vs_reduce_broadcast(c: &mut Criterion) {
+    // The de-centralized scheme needs ONE allreduce where fork-join needs a
+    // descriptor broadcast + a reduce.
+    let mut group = c.benchmark_group("collective_pattern");
+    group.sample_size(10);
+    group.bench_function("decentralized_one_allreduce", |b| {
+        b.iter(|| {
+            World::run(4, |rank| {
+                let mut lnls = vec![1.0; 10];
+                for _ in 0..50 {
+                    rank.allreduce_sum(&mut lnls, CommCategory::SiteLikelihoods).unwrap();
+                }
+            })
+        });
+    });
+    group.bench_function("forkjoin_broadcast_plus_reduce", |b| {
+        b.iter(|| {
+            World::run(4, |rank| {
+                for _ in 0..50 {
+                    // Traversal descriptor out (here: a 200-byte stand-in)…
+                    let mut desc = if rank.id() == 0 { vec![0u8; 200] } else { Vec::new() };
+                    rank.broadcast_bytes(0, &mut desc, CommCategory::TraversalDescriptor)
+                        .unwrap();
+                    // …likelihoods back.
+                    let mut lnls = vec![1.0; 10];
+                    rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods).unwrap();
+                }
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allreduce_ranks,
+    bench_allreduce_message_size,
+    bench_allreduce_vs_reduce_broadcast
+);
+criterion_main!(benches);

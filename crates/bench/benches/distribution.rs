@@ -1,0 +1,50 @@
+//! Data-distribution ablation (DESIGN.md §5.2, paper §II + [24]): the MPS
+//! monolithic assignment versus cyclic distribution — assignment cost and
+//! the balance quality that determines parallel runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exa_sched::{balance::balance_stats, distribute, Strategy};
+use exa_simgen::workloads;
+
+fn bench_assignment_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribution_assignment");
+    group.sample_size(10);
+    for partitions in [100usize, 500, 1000] {
+        let w = workloads::partitioned(8, partitions, 20, 3);
+        for strategy in [Strategy::Cyclic, Strategy::MonolithicLpt] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), partitions),
+                &partitions,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(distribute(&w.compressed, 192, strategy)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_balance_quality(c: &mut Criterion) {
+    // Not a timing bench per se: runs once per strategy and asserts the
+    // published claims hold (monolithic keeps shares = partitions; cyclic
+    // multiplies bookkeeping by the rank count but balances perfectly).
+    let w = workloads::partitioned(8, 500, 20, 3);
+    let ranks = 192;
+    let cyc = balance_stats(&w.compressed, &distribute(&w.compressed, ranks, Strategy::Cyclic));
+    let mps =
+        balance_stats(&w.compressed, &distribute(&w.compressed, ranks, Strategy::MonolithicLpt));
+    assert!(cyc.imbalance < 1.05);
+    assert_eq!(mps.total_shares, 500);
+    assert!(cyc.total_shares > 10 * mps.total_shares);
+
+    let mut group = c.benchmark_group("balance_stats");
+    group.sample_size(10);
+    group.bench_function("compute_metrics", |b| {
+        let a = distribute(&w.compressed, ranks, Strategy::MonolithicLpt);
+        b.iter(|| std::hint::black_box(balance_stats(&w.compressed, &a)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment_cost, bench_balance_quality);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Kernel micro-benchmarks: `newview`, `evaluate` and derivative
+//! throughput under Γ (4 rate categories) vs PSR (1 category, ¼ the CLV
+//! memory) — the trade-off behind §IV-C's model comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_phylo::engine::{Engine, PartitionSlice};
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::tree::Tree;
+use exa_simgen::workloads;
+
+fn setup(kind: RateModelKind, sites: usize) -> (Engine, Tree) {
+    let w = workloads::large_unpartitioned(24, sites, 5);
+    let scheme = PartitionScheme::unpartitioned(sites);
+    let comp = CompressedAlignment::build(&w.alignment, &scheme);
+    let slices = vec![PartitionSlice::from_compressed(0, &comp.partitions[0])];
+    let engine = Engine::new(24, slices, kind, 0.8);
+    let tree = Tree::random(24, 1, 5);
+    (engine, tree)
+}
+
+fn bench_newview(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newview_full_traversal");
+    group.sample_size(10);
+    for kind in [RateModelKind::Gamma, RateModelKind::Psr] {
+        let (mut engine, mut tree) = setup(kind, 4000);
+        let patterns = engine.total_patterns() as u64;
+        let cats = match kind {
+            RateModelKind::Gamma => 4,
+            RateModelKind::Psr => 1,
+        };
+        group.throughput(Throughput::Elements(patterns * cats * (tree.n_inner() as u64)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    let d = tree.full_traversal_descriptor(0);
+                    engine.execute(&d);
+                    std::hint::black_box(());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_at_root");
+    group.sample_size(10);
+    for kind in [RateModelKind::Gamma, RateModelKind::Psr] {
+        let (mut engine, mut tree) = setup(kind, 4000);
+        let d = tree.full_traversal_descriptor(0);
+        engine.execute(&d);
+        group.throughput(Throughput::Elements(engine.total_patterns() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| {
+                b.iter(|| std::hint::black_box(engine.evaluate(&d)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_derivatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_raphson_derivatives");
+    group.sample_size(10);
+    for kind in [RateModelKind::Gamma, RateModelKind::Psr] {
+        let (mut engine, mut tree) = setup(kind, 4000);
+        let d = tree.full_traversal_descriptor(0);
+        engine.execute(&d);
+        engine.prepare_derivatives(&d);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| {
+                b.iter(|| std::hint::black_box(engine.derivatives(&[0.13])));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partial_vs_full_traversal(c: &mut Criterion) {
+    // DESIGN.md §5 ablation 4: the incremental-orientation machinery keeps
+    // descriptors short; compare re-rooting at an adjacent edge (partial)
+    // against a full re-traversal.
+    let mut group = c.benchmark_group("traversal_granularity");
+    group.sample_size(10);
+    let (mut engine, mut tree) = setup(RateModelKind::Gamma, 4000);
+    let d = tree.full_traversal_descriptor(0);
+    engine.execute(&d);
+    let adjacent = tree.edges_within_radius(0, 1)[0];
+
+    group.bench_function("partial_reroot_adjacent", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            let e = if flip { 0 } else { adjacent };
+            flip = !flip;
+            let d = tree.traversal_descriptor(e);
+            engine.execute(&d);
+            std::hint::black_box(engine.evaluate(&d));
+        });
+    });
+    group.bench_function("full_retraversal", |b| {
+        b.iter(|| {
+            let d = tree.full_traversal_descriptor(0);
+            engine.execute(&d);
+            std::hint::black_box(engine.evaluate(&d));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_newview,
+    bench_evaluate,
+    bench_derivatives,
+    bench_partial_vs_full_traversal
+);
+criterion_main!(benches);

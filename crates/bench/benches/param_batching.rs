@@ -1,0 +1,100 @@
+//! Ablation for DESIGN.md §5.3 / paper [23]: model-parameter proposals must
+//! be made for ALL partitions simultaneously. Compares the number of
+//! parallel regions (the quantity that dominates distributed cost) consumed
+//! by batched α optimization versus a naive one-partition-at-a-time loop,
+//! and their wall time sequentially.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exa_bio::patterns::CompressedAlignment;
+use exa_phylo::engine::{Engine, PartitionSlice};
+use exa_phylo::model::rates::{RateModelKind, ALPHA_MAX, ALPHA_MIN};
+use exa_phylo::numerics::brent::BrentState;
+use exa_phylo::tree::Tree;
+use exa_search::evaluator::{BranchMode, Evaluator, SequentialEvaluator};
+use exa_search::model::optimize_alphas;
+use exa_simgen::workloads;
+
+fn make_eval(partitions: usize) -> SequentialEvaluator {
+    let w = workloads::partitioned(8, partitions, 60, 3);
+    let comp: &CompressedAlignment = &w.compressed;
+    let slices: Vec<PartitionSlice> = comp
+        .partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PartitionSlice::from_compressed(i, p))
+        .collect();
+    let engine = Engine::new(8, slices, RateModelKind::Gamma, 1.0);
+    let tree = Tree::random(8, 1, 3);
+    SequentialEvaluator::new(tree, engine, partitions, BranchMode::Joint)
+}
+
+/// Naive per-partition α optimization: each partition runs its own Brent
+/// loop, each proposal costing one full parallel region (this is the
+/// pre-[23] behaviour the paper's related work criticizes). Returns the
+/// number of evaluate calls (= parallel regions).
+fn optimize_alphas_sequentially(eval: &mut SequentialEvaluator, tol: f64) -> usize {
+    let p = eval.n_partitions();
+    let mut regions = 0;
+    for target in 0..p {
+        let mut brent = BrentState::new(ALPHA_MIN.ln(), ALPHA_MAX.ln());
+        while let Some(x) = brent.proposal(tol) {
+            let mut alphas = eval.alphas();
+            alphas[target] = x.exp();
+            eval.set_alphas(&alphas);
+            let _ = eval.evaluate_partitioned(0);
+            regions += 1;
+            brent.update(x, -eval.last_per_partition()[target]);
+        }
+        let mut alphas = eval.alphas();
+        alphas[target] = brent.best_x().exp();
+        eval.set_alphas(&alphas);
+    }
+    let _ = eval.evaluate(0);
+    regions + 1
+}
+
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    // Region-count comparison (printed once; the core claim of [23]).
+    {
+        let mut batched = make_eval(8);
+        let s = optimize_alphas(&mut batched, 1e-3);
+        let mut seq = make_eval(8);
+        let seq_regions = optimize_alphas_sequentially(&mut seq, 1e-3);
+        eprintln!(
+            "alpha optimization over 8 partitions: batched = {} parallel regions, \
+             sequential = {} parallel regions ({}x more)",
+            s.evaluations,
+            seq_regions,
+            seq_regions as f64 / s.evaluations as f64
+        );
+        assert!(
+            seq_regions as f64 > 2.0 * s.evaluations as f64,
+            "batching must save parallel regions: {} vs {}",
+            s.evaluations,
+            seq_regions
+        );
+        // Both must reach comparable optima.
+        let lb = s.lnl;
+        let ls = seq.evaluate(0);
+        assert!((lb - ls).abs() < 1.0, "batched {lb} vs sequential {ls}");
+    }
+
+    let mut group = c.benchmark_group("alpha_optimization");
+    group.sample_size(10);
+    group.bench_function("batched_all_partitions", |b| {
+        b.iter_with_setup(
+            || make_eval(4),
+            |mut eval| std::hint::black_box(optimize_alphas(&mut eval, 1e-2)),
+        );
+    });
+    group.bench_function("sequential_per_partition", |b| {
+        b.iter_with_setup(
+            || make_eval(4),
+            |mut eval| std::hint::black_box(optimize_alphas_sequentially(&mut eval, 1e-2)),
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_sequential);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Error type shared by the parsing and validation routines.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating sequence data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BioError {
+    /// A character that is not a valid IUPAC nucleotide code was encountered.
+    InvalidCharacter { taxon: String, position: usize, ch: char },
+    /// Two sequences in one alignment have different lengths.
+    LengthMismatch { taxon: String, expected: usize, found: usize },
+    /// The same taxon name appears twice.
+    DuplicateTaxon(String),
+    /// A parse error with a human-readable description.
+    Parse(String),
+    /// A partition scheme does not tile the alignment correctly.
+    BadPartition(String),
+    /// The binary format was malformed.
+    BadBinary(String),
+    /// An underlying I/O error (stringified so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for BioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BioError::InvalidCharacter { taxon, position, ch } => {
+                write!(f, "invalid character {ch:?} in taxon {taxon:?} at site {position}")
+            }
+            BioError::LengthMismatch { taxon, expected, found } => {
+                write!(f, "taxon {taxon:?} has length {found}, expected {expected}")
+            }
+            BioError::DuplicateTaxon(t) => write!(f, "duplicate taxon name {t:?}"),
+            BioError::Parse(msg) => write!(f, "parse error: {msg}"),
+            BioError::BadPartition(msg) => write!(f, "bad partition scheme: {msg}"),
+            BioError::BadBinary(msg) => write!(f, "bad binary alignment: {msg}"),
+            BioError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BioError {}
+
+impl From<std::io::Error> for BioError {
+    fn from(e: std::io::Error) -> Self {
+        BioError::Io(e.to_string())
+    }
+}

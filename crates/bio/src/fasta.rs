@@ -1,0 +1,96 @@
+//! FASTA parsing and writing (aligned FASTA: all records equal length).
+
+use crate::alignment::Alignment;
+use crate::dna::decode_sequence;
+use crate::error::BioError;
+
+/// Parse an aligned FASTA file into an [`Alignment`].
+pub fn parse_fasta(text: &str) -> Result<Alignment, BioError> {
+    let mut taxa: Vec<String> = Vec::new();
+    let mut seqs: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let name = header.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(BioError::Parse(format!("empty FASTA header at line {}", lineno + 1)));
+            }
+            taxa.push(name);
+            seqs.push(String::new());
+        } else {
+            let cur = seqs
+                .last_mut()
+                .ok_or_else(|| BioError::Parse("sequence data before first '>' header".into()))?;
+            cur.push_str(line.trim());
+        }
+    }
+    if taxa.is_empty() {
+        return Err(BioError::Parse("no FASTA records".into()));
+    }
+    let mut rows = Vec::with_capacity(taxa.len());
+    for (name, seq) in taxa.iter().zip(&seqs) {
+        let decoded = decode_sequence(seq).map_err(|(pos, ch)| BioError::InvalidCharacter {
+            taxon: name.clone(),
+            position: pos,
+            ch,
+        })?;
+        rows.push(decoded);
+    }
+    Alignment::new(taxa, rows)
+}
+
+/// Render an alignment as FASTA, wrapping sequence lines at `width` columns.
+pub fn write_fasta(aln: &Alignment, width: usize) -> String {
+    let width = width.max(1);
+    let mut out = String::new();
+    for (i, name) in aln.taxa().iter().enumerate() {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        let seq = aln.row_ascii(i);
+        for chunk in seq.as_bytes().chunks(width) {
+            out.push_str(std::str::from_utf8(chunk).expect("ascii"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let a = Alignment::from_ascii(&[("s1", "ACGTACGTAC"), ("s2", "TTTTTTTTTT")]).unwrap();
+        let text = write_fasta(&a, 4);
+        assert!(text.contains(">s1\nACGT\nACGT\nAC\n"));
+        let b = parse_fasta(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_description_is_dropped() {
+        let a = parse_fasta(">tax1 some description here\nACGT\n>tax2\nAAAA\n").unwrap();
+        assert_eq!(a.taxa(), &["tax1", "tax2"]);
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        assert!(parse_fasta("ACGT\n>t\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unaligned_records() {
+        assert!(parse_fasta(">a\nACGT\n>b\nAC\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_fasta("").is_err());
+        assert!(parse_fasta("\n\n").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Biological sequence handling for `examl-rs`.
+//!
+//! This crate provides the data substrate the likelihood engine operates on:
+//!
+//! * [`dna`] — 4-bit nucleotide encoding with full IUPAC ambiguity support,
+//! * [`alignment`] — the multiple-sequence alignment container,
+//! * [`partition`] — partition schemes (per-gene / per-codon-position blocks),
+//! * [`patterns`] — site-pattern compression (identical alignment columns are
+//!   collapsed into weighted patterns; the compressed pattern count is what
+//!   determines conditional-likelihood-vector length and therefore memory and
+//!   compute cost, exactly as discussed in §IV-B of the paper),
+//! * [`phylip`] / [`fasta`] — text parsers and writers,
+//! * [`binary`] — the binary alignment format the paper's §V announces for
+//!   fast (re-)distribution of data after checkpoint/restart or rank failure,
+//! * [`stats`] — basic alignment statistics (empirical base frequencies etc.).
+
+pub mod alignment;
+pub mod binary;
+pub mod dna;
+pub mod error;
+pub mod fasta;
+pub mod partition;
+pub mod patterns;
+pub mod phylip;
+pub mod stats;
+
+pub use alignment::Alignment;
+pub use dna::Nucleotide;
+pub use error::BioError;
+pub use partition::{Partition, PartitionScheme};
+pub use patterns::{CompressedAlignment, CompressedPartition};

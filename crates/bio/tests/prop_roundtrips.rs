@@ -1,0 +1,114 @@
+//! Property-based tests: format round-trips and pattern-compression
+//! invariants over arbitrary inputs.
+
+use exa_bio::alignment::Alignment;
+use exa_bio::binary;
+use exa_bio::dna::Nucleotide;
+use exa_bio::fasta::{parse_fasta, write_fasta};
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_bio::phylip::{parse_phylip, write_phylip};
+use proptest::prelude::*;
+
+const ALPHABET: &[u8] = b"ACGTRYSWKMBDHVN-";
+
+prop_compose! {
+    /// A well-formed alignment: 2..8 taxa, 1..60 sites, IUPAC characters.
+    fn arb_alignment()(n_taxa in 2usize..8, n_sites in 1usize..60)
+        (rows in prop::collection::vec(
+            prop::collection::vec(0usize..ALPHABET.len(), n_sites..=n_sites),
+            n_taxa..=n_taxa,
+        )) -> Alignment {
+        let named: Vec<(String, String)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let seq: String = r.iter().map(|&k| ALPHABET[k] as char).collect();
+                (format!("taxon{i}"), seq)
+            })
+            .collect();
+        let refs: Vec<(&str, &str)> =
+            named.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        Alignment::from_ascii(&refs).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phylip_roundtrip(aln in arb_alignment()) {
+        let text = write_phylip(&aln);
+        let back = parse_phylip(&text).unwrap();
+        prop_assert_eq!(aln, back);
+    }
+
+    #[test]
+    fn fasta_roundtrip(aln in arb_alignment(), width in 1usize..80) {
+        let text = write_fasta(&aln, width);
+        let back = parse_fasta(&text).unwrap();
+        prop_assert_eq!(aln, back);
+    }
+
+    #[test]
+    fn binary_roundtrip(aln in arb_alignment()) {
+        let scheme = PartitionScheme::unpartitioned(aln.n_sites());
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        let bytes = binary::to_bytes(&comp);
+        let back = binary::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(comp, back);
+    }
+
+    #[test]
+    fn binary_detects_single_byte_corruption(aln in arb_alignment(), idx in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let scheme = PartitionScheme::unpartitioned(aln.n_sites());
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        let mut bytes = binary::to_bytes(&comp);
+        let pos = idx.index(bytes.len());
+        bytes[pos] ^= flip;
+        // Any single-byte change must be rejected (FNV checksum) or, at
+        // minimum, never silently produce a different alignment.
+        match binary::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(back) => prop_assert_eq!(comp, back),
+        }
+    }
+
+    #[test]
+    fn compression_preserves_site_count(aln in arb_alignment(), parts in 1usize..4) {
+        // Build a scheme of `parts` blocks (last takes the remainder).
+        let n = aln.n_sites();
+        prop_assume!(n >= parts);
+        let base = n / parts;
+        let mut lengths = vec![base; parts];
+        *lengths.last_mut().unwrap() += n - base * parts;
+        let scheme = PartitionScheme::from_lengths(lengths);
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        prop_assert_eq!(comp.total_sites(), n);
+        let wsum: u32 = comp.partitions.iter().flat_map(|p| p.weights.iter()).sum();
+        prop_assert_eq!(wsum as usize, n);
+    }
+
+    #[test]
+    fn compression_is_reversible(aln in arb_alignment()) {
+        // Every original column must be recoverable from its pattern.
+        let scheme = PartitionScheme::unpartitioned(aln.n_sites());
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        let p = &comp.partitions[0];
+        for site in 0..aln.n_sites() {
+            let pat = p.site_to_pattern[site] as usize;
+            for taxon in 0..aln.n_taxa() {
+                let original: Nucleotide = aln.row(taxon)[site];
+                prop_assert_eq!(p.tip(taxon, pat), original, "taxon {} site {}", taxon, site);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_count_never_exceeds_sites(aln in arb_alignment()) {
+        let scheme = PartitionScheme::unpartitioned(aln.n_sites());
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        prop_assert!(comp.total_patterns() <= aln.n_sites());
+        prop_assert!(comp.total_patterns() >= 1);
+    }
+}

@@ -1,0 +1,781 @@
+//! `exa-comm` — the message-passing substrate `examl-rs` runs on.
+//!
+//! The paper's two parallelization schemes are defined by *what they
+//! communicate*: the fork-join baseline broadcasts traversal descriptors and
+//! model-parameter arrays and reduces likelihoods back to a master; the
+//! de-centralized scheme needs nothing but `MPI_Allreduce`. This crate
+//! provides those primitives for in-process "ranks" (OS threads):
+//!
+//! * [`World::run`] spawns `n` rank threads and hands each a [`Rank`] handle,
+//! * collectives ([`Rank::allreduce_sum`], [`Rank::reduce_sum`],
+//!   [`Rank::broadcast_bytes`], [`Rank::barrier`]) follow MPI semantics:
+//!   every active rank must call the same operation in the same order,
+//! * reductions are **deterministic**: contributions are summed in fixed
+//!   rank order by one thread and the identical bit pattern is returned to
+//!   every rank — the paper's §III-B correctness requirement ("MPI_Allreduce
+//!   needs to yield exactly identical numerical values at all processors"),
+//! * every collective is accounted in [`CommStats`] under a
+//!   [`CommCategory`] using the paper's hardware-independent byte-counting
+//!   convention (an allreduce of 3 doubles = 24 bytes, Table I),
+//! * ranks can **fail** at quiescent points ([`Rank::fail`]); survivors see
+//!   [`CommError::RanksFailed`] from their next collective, acknowledge via
+//!   [`Rank::recover`], and continue with the shrunken rank set — the
+//!   substrate for the paper's §V fault-tolerance design.
+//!
+//! The [`cluster`] module contains the analytic performance model that maps
+//! measured kernel-work and communication profiles onto the paper's
+//! 48-core-node cluster (DESIGN.md §2 documents this substitution).
+
+pub mod cluster;
+pub mod stats;
+
+pub use stats::{CommCategory, CommStats, OpKind};
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Errors surfaced by collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// One or more ranks have failed; the collective was aborted. Survivors
+    /// must call [`Rank::recover`] before communicating again.
+    RanksFailed(BTreeSet<usize>),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RanksFailed(set) => write!(f, "ranks failed: {set:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Payload {
+    F64(Vec<f64>),
+    Bytes(Vec<u8>),
+    /// One byte blob per rank (gather result / scatter input).
+    PerRank(Vec<Vec<u8>>),
+    Unit,
+}
+
+/// Collective signature checked for consistency across ranks. The stats
+/// `category` is deliberately NOT part of the signature: for broadcasts the
+/// receivers cannot know the category before decoding the payload, so the
+/// root's category is authoritative (falling back to the first depositor's
+/// when the root rank is dead, which can only happen for root-less ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpSig {
+    kind: OpKind,
+    root: usize,
+}
+
+struct State {
+    /// Set when a rank panicked mid-collective; all other ranks panic too
+    /// instead of deadlocking.
+    poisoned: bool,
+    // Failure handling.
+    pending_failure: bool,
+    failed: BTreeSet<usize>,
+    active: Vec<bool>,
+    n_active: usize,
+    // Current collective.
+    gen: u64,
+    arrived: usize,
+    contributions: Vec<Option<Payload>>,
+    op: Option<OpSig>,
+    /// `(came_from_root, category)` — root's entry wins.
+    category: Option<(bool, CommCategory)>,
+    result: Option<Payload>,
+    result_gen: u64,
+    remaining_readers: usize,
+    aborted: BTreeSet<u64>,
+    // Recovery barrier.
+    rec_gen: u64,
+    rec_arrived: usize,
+}
+
+struct Ctx {
+    size: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    stats: Mutex<CommStats>,
+}
+
+/// Handle a rank thread uses to communicate.
+#[derive(Clone)]
+pub struct Rank {
+    id: usize,
+    ctx: Arc<Ctx>,
+}
+
+/// Factory for rank worlds.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` rank threads; returns each rank's result in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<F, T>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Rank) -> T + Sync,
+        T: Send,
+    {
+        assert!(n >= 1, "need at least one rank");
+        let ctx = Arc::new(Ctx {
+            size: n,
+            state: Mutex::new(State {
+                poisoned: false,
+                pending_failure: false,
+                failed: BTreeSet::new(),
+                active: vec![true; n],
+                n_active: n,
+                gen: 0,
+                arrived: 0,
+                contributions: vec![None; n],
+                op: None,
+                category: None,
+                result: None,
+                result_gen: 0,
+                remaining_readers: 0,
+                aborted: BTreeSet::new(),
+                rec_gen: 0,
+                rec_arrived: 0,
+            }),
+            cv: Condvar::new(),
+            stats: Mutex::new(CommStats::default()),
+        });
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let rank = Rank { id, ctx: Arc::clone(&ctx) };
+                    scope.spawn(move || f(rank))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+}
+
+impl Rank {
+    /// This rank's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The initial world size.
+    pub fn world_size(&self) -> usize {
+        self.ctx.size
+    }
+
+    /// The currently active (non-failed) ranks, ascending.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        let st = self.ctx.state.lock();
+        st.active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    /// Number of currently active ranks.
+    pub fn active_count(&self) -> usize {
+        self.ctx.state.lock().n_active
+    }
+
+    /// Snapshot of the accumulated communication statistics.
+    pub fn stats(&self) -> CommStats {
+        self.ctx.stats.lock().clone()
+    }
+
+    /// Reset the accumulated statistics (benchmark harness use).
+    pub fn reset_stats(&self) {
+        *self.ctx.stats.lock() = CommStats::default();
+    }
+
+    /// Account traffic that is modeled but not physically moved through the
+    /// in-process communicator (e.g. the initial data distribution, which
+    /// real ExaML performs via MPI I/O but a shared-memory world reads
+    /// directly). Recorded once, exactly like a completed collective.
+    pub fn account(&self, category: CommCategory, kind: OpKind, bytes: u64) {
+        self.ctx.stats.lock().record(category, kind, bytes);
+    }
+
+    fn collective(
+        &self,
+        op: OpSig,
+        category: CommCategory,
+        payload: Payload,
+    ) -> Result<Payload, CommError> {
+        let ctx = &*self.ctx;
+        let mut st = ctx.state.lock();
+        debug_assert!(st.active[self.id], "failed rank {} called a collective", self.id);
+        // Entry: refuse on pending failure, drain any previous result.
+        loop {
+            if st.poisoned {
+                panic!("communicator poisoned by another rank's panic");
+            }
+            if st.pending_failure {
+                return Err(CommError::RanksFailed(st.failed.clone()));
+            }
+            if st.result.is_none() {
+                break;
+            }
+            ctx.cv.wait(&mut st);
+        }
+        let my_gen = st.gen;
+        match &st.op {
+            None => st.op = Some(op),
+            Some(existing) => {
+                if *existing != op {
+                    let existing = *existing;
+                    st.poisoned = true;
+                    ctx.cv.notify_all();
+                    drop(st);
+                    panic!(
+                        "collective mismatch: rank {} called {:?} while {:?} is in flight",
+                        self.id, op, existing
+                    );
+                }
+            }
+        }
+        let from_root = self.id == op.root;
+        match st.category {
+            None => st.category = Some((from_root, category)),
+            Some((true, _)) => {}
+            Some((false, _)) if from_root => st.category = Some((true, category)),
+            Some((false, _)) => {}
+        }
+        st.contributions[self.id] = Some(payload);
+        st.arrived += 1;
+
+        if st.arrived == st.n_active {
+            // Last arrival: combine deterministically in rank order and
+            // record the operation once. A combine panic (malformed
+            // payloads) poisons the world so waiters unwind too.
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                combine(&st, op)
+            })) {
+                Ok(r) => r,
+                Err(e) => {
+                    st.poisoned = true;
+                    ctx.cv.notify_all();
+                    drop(st);
+                    std::panic::resume_unwind(e);
+                }
+            };
+            let (_, cat) = st.category.expect("category recorded by a depositor");
+            ctx.stats.lock().record(cat, op.kind, wire_bytes(&result));
+            st.result = Some(result);
+            st.result_gen = my_gen;
+            st.remaining_readers = st.n_active;
+            ctx.cv.notify_all();
+        } else {
+            loop {
+                if st.poisoned {
+                    panic!("communicator poisoned by another rank's panic");
+                }
+                if st.aborted.contains(&my_gen) {
+                    return Err(CommError::RanksFailed(st.failed.clone()));
+                }
+                if st.result.is_some() && st.result_gen == my_gen {
+                    break;
+                }
+                ctx.cv.wait(&mut st);
+            }
+        }
+
+        let out = st.result.clone().expect("result present");
+        st.remaining_readers -= 1;
+        if st.remaining_readers == 0 {
+            st.result = None;
+            st.gen += 1;
+            st.arrived = 0;
+            st.op = None;
+            st.category = None;
+            for c in st.contributions.iter_mut() {
+                *c = None;
+            }
+            ctx.cv.notify_all();
+        }
+        Ok(out)
+    }
+
+    /// Deterministic sum-allreduce over `data` (in place). All active ranks
+    /// receive the bit-identical result.
+    pub fn allreduce_sum(&self, data: &mut [f64], category: CommCategory) -> Result<(), CommError> {
+        let op = OpSig { kind: OpKind::Allreduce, root: 0 };
+        let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
+        let Payload::F64(v) = out else { unreachable!("allreduce returns f64") };
+        data.copy_from_slice(&v);
+        Ok(())
+    }
+
+    /// Sum-reduce toward `root`; non-root buffers are left untouched.
+    pub fn reduce_sum(
+        &self,
+        root: usize,
+        data: &mut [f64],
+        category: CommCategory,
+    ) -> Result<(), CommError> {
+        let op = OpSig { kind: OpKind::Reduce, root };
+        let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
+        if self.id == root {
+            let Payload::F64(v) = out else { unreachable!("reduce returns f64") };
+            data.copy_from_slice(&v);
+        }
+        Ok(())
+    }
+
+    /// Broadcast a byte blob from `root`. On non-root ranks the buffer is
+    /// replaced with the root's bytes.
+    pub fn broadcast_bytes(
+        &self,
+        root: usize,
+        data: &mut Vec<u8>,
+        category: CommCategory,
+    ) -> Result<(), CommError> {
+        let op = OpSig { kind: OpKind::Broadcast, root };
+        let payload =
+            if self.id == root { Payload::Bytes(std::mem::take(data)) } else { Payload::Unit };
+        let out = self.collective(op, category, payload)?;
+        let Payload::Bytes(v) = out else { unreachable!("broadcast returns bytes") };
+        *data = v;
+        Ok(())
+    }
+
+    /// Broadcast an f64 array from `root` (model-parameter arrays).
+    pub fn broadcast_f64(
+        &self,
+        root: usize,
+        data: &mut Vec<f64>,
+        category: CommCategory,
+    ) -> Result<(), CommError> {
+        let op = OpSig { kind: OpKind::Broadcast, root };
+        let payload =
+            if self.id == root { Payload::F64(std::mem::take(data)) } else { Payload::Unit };
+        let out = self.collective(op, category, payload)?;
+        let Payload::F64(v) = out else { unreachable!("broadcast_f64 returns f64") };
+        *data = v;
+        Ok(())
+    }
+
+    /// Gather every rank's byte blob to `root` (rank-indexed; failed ranks
+    /// yield empty slots). Non-root ranks receive an empty vector.
+    pub fn gather_bytes(
+        &self,
+        root: usize,
+        data: Vec<u8>,
+        category: CommCategory,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        let op = OpSig { kind: OpKind::Gather, root };
+        let out = self.collective(op, category, Payload::Bytes(data))?;
+        let Payload::PerRank(blobs) = out else { unreachable!("gather returns per-rank blobs") };
+        Ok(if self.id == root { blobs } else { Vec::new() })
+    }
+
+    /// Scatter rank-indexed byte blobs from `root`; each rank receives its
+    /// own slot (the in-process analogue of the initial data distribution
+    /// ExaML performs with MPI I/O).
+    pub fn scatter_bytes(
+        &self,
+        root: usize,
+        data: Vec<Vec<u8>>,
+        category: CommCategory,
+    ) -> Result<Vec<u8>, CommError> {
+        let op = OpSig { kind: OpKind::Scatter, root };
+        let payload = if self.id == root {
+            assert_eq!(data.len(), self.ctx.size, "scatter needs one blob per world slot");
+            Payload::PerRank(data)
+        } else {
+            Payload::Unit
+        };
+        let out = self.collective(op, category, payload)?;
+        let Payload::PerRank(blobs) = out else { unreachable!("scatter returns per-rank blobs") };
+        Ok(blobs[self.id].clone())
+    }
+
+    /// Synchronization barrier (a zero-byte parallel region).
+    pub fn barrier(&self, category: CommCategory) -> Result<(), CommError> {
+        let op = OpSig { kind: OpKind::Barrier, root: 0 };
+        self.collective(op, category, Payload::Unit)?;
+        Ok(())
+    }
+
+    /// Declare this rank failed. May only be called at a quiescent point
+    /// (not between depositing into a collective and reading its result).
+    /// The rank must not communicate afterwards.
+    pub fn fail(&self) {
+        let ctx = &*self.ctx;
+        let mut st = ctx.state.lock();
+        assert!(st.active[self.id], "rank {} failed twice", self.id);
+        st.failed.insert(self.id);
+        st.active[self.id] = false;
+        st.n_active -= 1;
+        st.pending_failure = true;
+        if st.result.is_none() && st.arrived > 0 {
+            // Abort the in-flight collecting phase: depositors will observe
+            // the aborted generation and unwind.
+            let gen = st.gen;
+            st.aborted.insert(gen);
+            st.gen += 1;
+            st.arrived = 0;
+            st.op = None;
+            st.category = None;
+            for c in st.contributions.iter_mut() {
+                *c = None;
+            }
+        }
+        ctx.cv.notify_all();
+    }
+
+    /// Acknowledge a failure: blocks until every surviving rank has done the
+    /// same, then clears the failure flag. Returns the set of failed ranks
+    /// (cumulative) and the surviving rank list.
+    pub fn recover(&self) -> (BTreeSet<usize>, Vec<usize>) {
+        let ctx = &*self.ctx;
+        let mut st = ctx.state.lock();
+        let my_rec = st.rec_gen;
+        st.rec_arrived += 1;
+        if st.rec_arrived == st.n_active {
+            st.pending_failure = false;
+            st.aborted.clear();
+            st.rec_gen += 1;
+            st.rec_arrived = 0;
+            ctx.cv.notify_all();
+        } else {
+            while st.rec_gen == my_rec {
+                if st.poisoned {
+                    panic!("communicator poisoned by another rank's panic");
+                }
+                ctx.cv.wait(&mut st);
+            }
+        }
+        let failed = st.failed.clone();
+        let survivors = st
+            .active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
+        (failed, survivors)
+    }
+}
+
+/// Deterministic combination of the deposited payloads.
+fn combine(st: &State, op: OpSig) -> Payload {
+    match op.kind {
+        OpKind::Allreduce | OpKind::Reduce => {
+            let mut acc: Option<Vec<f64>> = None;
+            for (r, c) in st.contributions.iter().enumerate() {
+                if !st.active[r] {
+                    continue;
+                }
+                let Some(Payload::F64(v)) = c else {
+                    panic!("rank {r} contributed a non-f64 payload to a reduction")
+                };
+                match &mut acc {
+                    None => acc = Some(v.clone()),
+                    Some(a) => {
+                        assert_eq!(a.len(), v.len(), "reduction length mismatch at rank {r}");
+                        for (x, y) in a.iter_mut().zip(v) {
+                            *x += y;
+                        }
+                    }
+                }
+            }
+            Payload::F64(acc.expect("no contributions"))
+        }
+        OpKind::Broadcast => {
+            let c = st.contributions[op.root].clone().expect("root did not contribute");
+            assert!(
+                !matches!(c, Payload::Unit),
+                "broadcast root {} contributed no data",
+                op.root
+            );
+            c
+        }
+        OpKind::Gather => {
+            // Collect every active rank's blob in rank order; inactive
+            // ranks contribute empty slots so indices stay stable.
+            let blobs: Vec<Vec<u8>> = st
+                .contributions
+                .iter()
+                .map(|c| match c {
+                    Some(Payload::Bytes(b)) => b.clone(),
+                    _ => Vec::new(),
+                })
+                .collect();
+            Payload::PerRank(blobs)
+        }
+        OpKind::Scatter => {
+            let c = st.contributions[op.root].clone().expect("root did not contribute");
+            let Payload::PerRank(blobs) = c else {
+                panic!("scatter root {} must contribute per-rank blobs", op.root)
+            };
+            Payload::PerRank(blobs)
+        }
+        OpKind::Barrier => Payload::Unit,
+    }
+}
+
+/// The paper's byte-counting convention: payload size, independent of the
+/// number of ranks.
+fn wire_bytes(result: &Payload) -> u64 {
+    match result {
+        Payload::F64(v) => 8 * v.len() as u64,
+        Payload::Bytes(b) => b.len() as u64,
+        Payload::PerRank(blobs) => blobs.iter().map(|b| b.len() as u64).sum(),
+        Payload::Unit => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let results = World::run(4, |rank| {
+            let mut data = vec![rank.id() as f64, 1.0];
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            data
+        });
+        for r in &results {
+            assert_eq!(r, &vec![6.0, 4.0]); // 0+1+2+3, 1×4
+        }
+    }
+
+    #[test]
+    fn allreduce_bitwise_identical_across_ranks() {
+        // Sum of values that do NOT commute bit-identically under arbitrary
+        // order; fixed-order combination must give every rank the same bits.
+        let results = World::run(8, |rank| {
+            let mut data = vec![0.1 * (rank.id() as f64 + 1.0).powi(3), 1e-17 * rank.id() as f64];
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            (data[0].to_bits(), data[1].to_bits())
+        });
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn reduce_only_updates_root() {
+        let results = World::run(3, |rank| {
+            let mut data = vec![1.0 + rank.id() as f64];
+            rank.reduce_sum(1, &mut data, CommCategory::BranchLength).unwrap();
+            data[0]
+        });
+        assert_eq!(results[0], 1.0);
+        assert_eq!(results[1], 6.0);
+        assert_eq!(results[2], 3.0);
+    }
+
+    #[test]
+    fn broadcast_bytes_from_root() {
+        let results = World::run(5, |rank| {
+            let mut data = if rank.id() == 2 { vec![7u8, 8, 9] } else { Vec::new() };
+            rank.broadcast_bytes(2, &mut data, CommCategory::TraversalDescriptor).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![7, 8, 9]);
+        }
+    }
+
+    #[test]
+    fn broadcast_f64_from_root() {
+        let results = World::run(3, |rank| {
+            let mut data = if rank.id() == 0 { vec![1.5, 2.5] } else { Vec::new() };
+            rank.broadcast_f64(0, &mut data, CommCategory::ModelParams).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![1.5, 2.5]);
+        }
+    }
+
+    #[test]
+    fn sequence_of_collectives() {
+        let results = World::run(4, |rank| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let mut d = vec![(rank.id() * round) as f64];
+                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+                acc += d[0];
+                rank.barrier(CommCategory::Control).unwrap();
+            }
+            acc
+        });
+        let expect: f64 = (0..50).map(|r| (6 * r) as f64).sum();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn stats_record_regions_and_bytes() {
+        let results = World::run(2, |rank| {
+            let mut d = vec![0.0; 3];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            let mut b = if rank.id() == 0 { vec![0u8; 100] } else { Vec::new() };
+            rank.broadcast_bytes(0, &mut b, CommCategory::TraversalDescriptor).unwrap();
+            rank.barrier(CommCategory::Control).unwrap();
+            rank.stats()
+        });
+        let s = &results[0];
+        // An allreduce of 3 doubles is the paper's canonical 24-byte example.
+        assert_eq!(s.get(CommCategory::SiteLikelihoods).bytes, 24);
+        assert_eq!(s.get(CommCategory::SiteLikelihoods).regions, 1);
+        assert_eq!(s.get(CommCategory::TraversalDescriptor).bytes, 100);
+        assert_eq!(s.total_regions(), 3);
+        assert_eq!(s.total_bytes(), 124);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = World::run(1, |rank| {
+            let mut d = vec![5.0];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            d[0]
+        });
+        assert_eq!(results, vec![5.0]);
+    }
+
+    #[test]
+    fn failure_surfaces_to_survivors_and_recovery_shrinks_world() {
+        let results = World::run(4, |rank| {
+            // Round 1: everyone participates.
+            let mut d = vec![1.0];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            assert_eq!(d[0], 4.0);
+
+            if rank.id() == 2 {
+                rank.fail();
+                return -1.0;
+            }
+            // Round 2: rank 2 never joins; survivors see the failure,
+            // possibly immediately or after depositing.
+            let mut d = vec![1.0];
+            match rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods) {
+                Err(CommError::RanksFailed(set)) => assert!(set.contains(&2)),
+                Ok(()) => panic!("collective must abort after failure"),
+            }
+            let (failed, survivors) = rank.recover();
+            assert_eq!(failed, BTreeSet::from([2]));
+            assert_eq!(survivors, vec![0, 1, 3]);
+
+            // Round 3: the shrunken world functions.
+            let mut d = vec![1.0];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            d[0]
+        });
+        assert_eq!(results[0], 3.0);
+        assert_eq!(results[1], 3.0);
+        assert_eq!(results[2], -1.0);
+        assert_eq!(results[3], 3.0);
+    }
+
+    #[test]
+    fn two_sequential_failures() {
+        let results = World::run(4, |rank| {
+            for round in 0..2u32 {
+                let failer = round as usize; // rank 0 fails first, then 1
+                if rank.id() == failer {
+                    rank.fail();
+                    return rank.id() as f64 - 100.0;
+                }
+                let mut d = vec![1.0];
+                match rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods) {
+                    Err(_) => {
+                        rank.recover();
+                    }
+                    Ok(()) => panic!("expected abort in round {round}"),
+                }
+            }
+            let mut d = vec![1.0];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            d[0]
+        });
+        assert_eq!(results[2], 2.0);
+        assert_eq!(results[3], 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_collectives_panic() {
+        World::run(2, |rank| {
+            if rank.id() == 0 {
+                let mut d = vec![0.0];
+                let _ = rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods);
+            } else {
+                let _ = rank.barrier(CommCategory::Control);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::run(4, |rank| {
+            let blob = vec![rank.id() as u8; rank.id() + 1];
+            rank.gather_bytes(1, blob, CommCategory::Control).unwrap()
+        });
+        assert!(results[0].is_empty() && results[2].is_empty() && results[3].is_empty());
+        let gathered = &results[1];
+        assert_eq!(gathered.len(), 4);
+        for (r, blob) in gathered.iter().enumerate() {
+            assert_eq!(blob, &vec![r as u8; r + 1]);
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_slots() {
+        let results = World::run(3, |rank| {
+            let data = if rank.id() == 0 {
+                vec![vec![10u8], vec![20, 20], vec![30, 30, 30]]
+            } else {
+                Vec::new()
+            };
+            rank.scatter_bytes(0, data, CommCategory::Control).unwrap()
+        });
+        assert_eq!(results[0], vec![10]);
+        assert_eq!(results[1], vec![20, 20]);
+        assert_eq!(results[2], vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let results = World::run(3, |rank| {
+            let mine = vec![rank.id() as u8 + 100];
+            let gathered = rank.gather_bytes(0, mine.clone(), CommCategory::Control).unwrap();
+            let data = if rank.id() == 0 { gathered } else { Vec::new() };
+            let back = rank.scatter_bytes(0, data, CommCategory::Control).unwrap();
+            (mine, back)
+        });
+        for (mine, back) in results {
+            assert_eq!(mine, back);
+        }
+    }
+
+    #[test]
+    fn heavy_concurrency_smoke() {
+        // Many ranks, many rounds — exercises the generation machinery.
+        let n = 16;
+        let results = World::run(n, |rank| {
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let mut d = vec![1.0];
+                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+                total += d[0];
+            }
+            total
+        });
+        for r in results {
+            assert_eq!(r, 200.0 * n as f64);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based determinism tests for the communicator: the §III-B
+//! requirement is that reductions yield *exactly identical* values on all
+//! ranks, for any payload and any rank count — otherwise the replicated
+//! search states diverge.
+
+use exa_comm::{CommCategory, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_bitwise_identical_for_arbitrary_payloads(
+        ranks in 2usize..7,
+        base in prop::collection::vec(-1e12f64..1e12, 1..20),
+    ) {
+        let results = World::run(ranks, |rank| {
+            // Each rank perturbs the payload differently; summation order
+            // sensitivity is exactly what we are probing.
+            let mut data: Vec<f64> = base
+                .iter()
+                .map(|&x| x * (1.0 + rank.id() as f64 * 1e-3) + rank.id() as f64 * 1e-9)
+                .collect();
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            data.into_iter().map(f64::to_bits).collect::<Vec<u64>>()
+        });
+        for pair in results.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_sequential_fixed_order_sum(
+        ranks in 2usize..6,
+        value in -1e6f64..1e6,
+    ) {
+        // The deterministic reduction must equal the rank-ordered sum
+        // computed sequentially — bit for bit.
+        let contributions: Vec<f64> =
+            (0..ranks).map(|r| value * (r as f64 + 0.5)).collect();
+        let mut expect = contributions[0];
+        for &c in &contributions[1..] {
+            expect += c;
+        }
+        let results = World::run(ranks, |rank| {
+            let mut data = vec![contributions[rank.id()]];
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            data[0].to_bits()
+        });
+        for r in results {
+            prop_assert_eq!(r, expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_stay_consistent(
+        ranks in 2usize..5,
+        rounds in 1usize..30,
+    ) {
+        let results = World::run(ranks, |rank| {
+            let mut acc: u64 = 0;
+            for round in 0..rounds {
+                let mut d = vec![(rank.id() + round) as f64; 3];
+                rank.allreduce_sum(&mut d, CommCategory::BranchLength).unwrap();
+                acc = acc.wrapping_mul(31).wrapping_add(d[0].to_bits());
+            }
+            acc
+        });
+        for pair in results.windows(2) {
+            prop_assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_bytes_verbatim(
+        ranks in 2usize..6,
+        root_choice in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let root = root_choice as usize % ranks;
+        let results = World::run(ranks, |rank| {
+            let mut data = if rank.id() == root { payload.clone() } else { Vec::new() };
+            rank.broadcast_bytes(root, &mut data, CommCategory::TraversalDescriptor).unwrap();
+            data
+        });
+        for r in results {
+            prop_assert_eq!(&r, &payload);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! `examl` — command-line front end for de-centralized maximum-likelihood
+//! inference, mirroring the original ExaML tool's interface: alignment +
+//! optional partition file in, ML tree out, with `-Q` (monolithic data
+//! distribution), `-M` (per-partition branch lengths), Γ/PSR model choice,
+//! checkpoint/restart and configurable rank counts.
+//!
+//! ```text
+//! examl --phylip data.phy [--partitions parts.txt] [--ranks 4]
+//!       [--model GAMMA|PSR] [-Q] [-M] [--seed 42]
+//!       [--starting-tree random|parsimony|<file.nwk>]
+//!       [--iterations 10] [--radius 5] [--epsilon 0.1]
+//!       [--checkpoint ck.json [--checkpoint-every 1]] [--resume ck.json]
+//!       [--binary-out data.exml | --binary-in data.exml]
+//!       [--out-tree result.nwk] [--quiet]
+//! ```
+
+use exa_bio::partition::{parse_partition_file, PartitionScheme};
+use exa_bio::patterns::CompressedAlignment;
+use exa_comm::CommCategory;
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::{BranchMode, SearchConfig, StartingTree};
+use examl_core::{run_decentralized, InferenceConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    phylip: Option<PathBuf>,
+    fasta: Option<PathBuf>,
+    binary_in: Option<PathBuf>,
+    binary_out: Option<PathBuf>,
+    partitions: Option<PathBuf>,
+    ranks: usize,
+    model: RateModelKind,
+    mps: bool,
+    per_partition_branches: bool,
+    seed: u64,
+    starting_tree: String,
+    iterations: usize,
+    radius: usize,
+    epsilon: f64,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<PathBuf>,
+    out_tree: Option<PathBuf>,
+    quiet: bool,
+    bootstrap: usize,
+    ascii: bool,
+    stats_only: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: examl (--phylip FILE | --fasta FILE | --binary-in FILE) [options]\n\
+         options:\n\
+           --partitions FILE      RAxML-style partition file (DNA, name = a-b)\n\
+           --ranks N              number of ranks (default 4)\n\
+           --model GAMMA|PSR      rate heterogeneity model (default GAMMA)\n\
+           -Q                     monolithic per-partition data distribution (MPS)\n\
+           -M                     per-partition branch lengths\n\
+           --seed N               starting-tree seed (default 42)\n\
+           --starting-tree S      random | parsimony | <newick file> (default parsimony)\n\
+           --iterations N         max search iterations (default 10)\n\
+           --radius N             SPR rearrangement radius (default 5)\n\
+           --epsilon X            convergence threshold (default 0.1)\n\
+           --checkpoint FILE      write checkpoints to FILE\n\
+           --checkpoint-every N   checkpoint interval in iterations (default 1)\n\
+           --resume FILE          resume from a checkpoint\n\
+           --binary-out FILE      write the compressed alignment in binary form and exit\n\
+           --out-tree FILE        write the final Newick tree to FILE\n\
+           --bootstrap N          run N bootstrap replicates and annotate support\n\
+           --ascii                also print an ASCII cladogram\n\
+           --stats                print alignment statistics and memory estimates, then exit\n\
+           --quiet                suppress progress output"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        phylip: None,
+        fasta: None,
+        binary_in: None,
+        binary_out: None,
+        partitions: None,
+        ranks: 4,
+        model: RateModelKind::Gamma,
+        mps: false,
+        per_partition_branches: false,
+        seed: 42,
+        starting_tree: "parsimony".into(),
+        iterations: 10,
+        radius: 5,
+        epsilon: 0.1,
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        out_tree: None,
+        quiet: false,
+        bootstrap: 0,
+        ascii: false,
+        stats_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--phylip" => args.phylip = Some(value("--phylip").into()),
+            "--fasta" => args.fasta = Some(value("--fasta").into()),
+            "--binary-in" => args.binary_in = Some(value("--binary-in").into()),
+            "--binary-out" => args.binary_out = Some(value("--binary-out").into()),
+            "--partitions" => args.partitions = Some(value("--partitions").into()),
+            "--ranks" => args.ranks = value("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--model" => {
+                args.model = match value("--model").to_uppercase().as_str() {
+                    "GAMMA" => RateModelKind::Gamma,
+                    "PSR" | "CAT" => RateModelKind::Psr,
+                    other => {
+                        eprintln!("unknown model {other:?} (use GAMMA or PSR)");
+                        usage()
+                    }
+                }
+            }
+            "-Q" => args.mps = true,
+            "-M" => args.per_partition_branches = true,
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--starting-tree" => args.starting_tree = value("--starting-tree"),
+            "--iterations" => {
+                args.iterations = value("--iterations").parse().unwrap_or_else(|_| usage())
+            }
+            "--radius" => args.radius = value("--radius").parse().unwrap_or_else(|_| usage()),
+            "--epsilon" => args.epsilon = value("--epsilon").parse().unwrap_or_else(|_| usage()),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint").into()),
+            "--checkpoint-every" => {
+                args.checkpoint_every =
+                    value("--checkpoint-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--resume" => args.resume = Some(value("--resume").into()),
+            "--out-tree" => args.out_tree = Some(value("--out-tree").into()),
+            "--bootstrap" => {
+                args.bootstrap = value("--bootstrap").parse().unwrap_or_else(|_| usage())
+            }
+            "--ascii" => args.ascii = true,
+            "--stats" => args.stats_only = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn load_alignment(args: &Args) -> Result<CompressedAlignment, String> {
+    if let Some(path) = &args.binary_in {
+        return exa_bio::binary::read_file(path).map_err(|e| e.to_string());
+    }
+    let alignment = if let Some(path) = &args.phylip {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        exa_bio::phylip::parse_phylip_auto(&text).map_err(|e| e.to_string())?
+    } else if let Some(path) = &args.fasta {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        exa_bio::fasta::parse_fasta(&text).map_err(|e| e.to_string())?
+    } else {
+        return Err("no input alignment (use --phylip, --fasta or --binary-in)".into());
+    };
+    let scheme = match &args.partitions {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            parse_partition_file(&text, alignment.n_sites()).map_err(|e| e.to_string())?
+        }
+        None => PartitionScheme::unpartitioned(alignment.n_sites()),
+    };
+    Ok(CompressedAlignment::build(&alignment, &scheme))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let compressed = match load_alignment(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        eprintln!(
+            "alignment: {} taxa, {} partitions, {} unique patterns",
+            compressed.n_taxa(),
+            compressed.n_partitions(),
+            compressed.total_patterns()
+        );
+    }
+
+    if args.stats_only {
+        // The ExaML-style pre-run advisory: pattern counts and the CLV
+        // memory requirement under each rate model (PSR = 1/4 of Γ, §IV-C).
+        println!("taxa                 : {}", compressed.n_taxa());
+        println!("partitions           : {}", compressed.n_partitions());
+        println!("sites                : {}", compressed.total_sites());
+        println!("unique patterns      : {}", compressed.total_patterns());
+        let gamma = exa_bio::stats::clv_memory_bytes(&compressed, 4);
+        let psr = exa_bio::stats::clv_memory_bytes(&compressed, 1);
+        println!("CLV memory (GAMMA)   : {:.1} MiB", gamma as f64 / (1 << 20) as f64);
+        println!("CLV memory (PSR)     : {:.1} MiB", psr as f64 / (1 << 20) as f64);
+        for (i, p) in compressed.partitions.iter().enumerate() {
+            let gaps = exa_bio::stats::gap_fraction(p);
+            let freqs = exa_bio::stats::empirical_frequencies(p);
+            println!(
+                "  partition {i:>4} {:<12} {:>6} patterns, {:>5.1}% gaps, pi = [{:.3} {:.3} {:.3} {:.3}]",
+                p.name,
+                p.n_patterns(),
+                100.0 * gaps,
+                freqs[0],
+                freqs[1],
+                freqs[2],
+                freqs[3]
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.binary_out {
+        if let Err(e) = exa_bio::binary::write_file(path, &compressed) {
+            eprintln!("error writing binary alignment: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("wrote binary alignment to {}", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let starting_tree = match args.starting_tree.as_str() {
+        "random" => StartingTree::Random,
+        "parsimony" => StartingTree::Parsimony,
+        path => match std::fs::read_to_string(path) {
+            Ok(text) => StartingTree::Newick(text),
+            Err(e) => {
+                eprintln!("cannot read starting tree {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut cfg = InferenceConfig::new(args.ranks);
+    cfg.rate_model = args.model;
+    cfg.branch_mode = if args.per_partition_branches {
+        BranchMode::PerPartition
+    } else {
+        BranchMode::Joint
+    };
+    cfg.strategy = if args.mps {
+        exa_sched::Strategy::MonolithicLpt
+    } else {
+        exa_sched::Strategy::Cyclic
+    };
+    cfg.search = SearchConfig {
+        max_iterations: args.iterations,
+        spr_radius: args.radius,
+        epsilon: args.epsilon,
+        ..SearchConfig::default()
+    };
+    cfg.seed = args.seed;
+    cfg.starting_tree = starting_tree;
+    cfg.checkpoint_path = args.checkpoint.clone();
+    cfg.checkpoint_every = args.checkpoint_every;
+    cfg.resume_from = args.resume.clone();
+
+    let start = std::time::Instant::now();
+    let (out, annotated) = if args.bootstrap > 0 {
+        let bs_cfg = examl_core::bootstrap::BootstrapConfig {
+            replicates: args.bootstrap,
+            seed: args.seed.wrapping_add(0xB00),
+            base: cfg.clone(),
+        };
+        let bs = examl_core::bootstrap::run_bootstrap(&compressed, &bs_cfg);
+        if !args.quiet {
+            let mean: f64 =
+                bs.support.values().sum::<f64>() / bs.support.len().max(1) as f64;
+            eprintln!(
+                "bootstrap    : {} replicates, mean split support {:.1}%",
+                args.bootstrap, mean
+            );
+        }
+        (bs.best, Some(bs.annotated_newick))
+    } else {
+        (run_decentralized(&compressed, &cfg), None)
+    };
+    let elapsed = start.elapsed();
+
+    if !args.quiet {
+        eprintln!("final lnL    : {:.6}", out.result.lnl);
+        eprintln!("iterations   : {} (converged: {})", out.result.iterations, out.result.converged);
+        eprintln!("SPR moves    : {}", out.result.spr_moves);
+        eprintln!("wall time    : {elapsed:.2?}");
+        eprintln!(
+            "comm         : {} regions, {} bytes ({} B likelihood allreduces, {} B derivative allreduces)",
+            out.comm_stats.total_regions(),
+            out.comm_stats.total_bytes(),
+            out.comm_stats.get(CommCategory::SiteLikelihoods).bytes,
+            out.comm_stats.get(CommCategory::BranchLength).bytes,
+        );
+    }
+    if args.ascii {
+        let names: Vec<String> = compressed.taxa.clone();
+        eprintln!("{}", out.state.tree.to_ascii(&names));
+    }
+    let final_tree = annotated.unwrap_or_else(|| out.tree_newick.clone());
+    match &args.out_tree {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{final_tree}\n")) {
+                eprintln!("error writing tree: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !args.quiet {
+                eprintln!("wrote tree to {}", path.display());
+            }
+        }
+        None => println!("{final_tree}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,189 @@
+//! Non-parametric bootstrap analysis.
+//!
+//! The production pipelines ExaML was built for (1KITE, the bird
+//! phylogenomics project, §I) pair every ML tree with bootstrap support:
+//! alignment columns are resampled with replacement, a tree is inferred per
+//! replicate, and each bipartition of the best tree is annotated with the
+//! fraction of replicates containing it.
+//!
+//! Under pattern compression, resampling columns is a multinomial redraw of
+//! the per-pattern *weights* within each partition (total sites per
+//! partition preserved) — no sequence data moves, which is why bootstrapping
+//! composes cheaply with the binary alignment format and the de-centralized
+//! driver.
+
+use crate::{run_decentralized, InferenceConfig, RunOutput};
+use exa_bio::patterns::{CompressedAlignment, CompressedPartition};
+use exa_phylo::tree::bipartitions::bipartitions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Bootstrap configuration.
+#[derive(Debug, Clone)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Master seed; replicate `i` uses `seed + i` for both resampling and
+    /// its starting tree.
+    pub seed: u64,
+    /// Inference settings shared by the best-tree run and every replicate.
+    pub base: InferenceConfig,
+}
+
+/// Result of a full bootstrap analysis.
+#[derive(Debug)]
+pub struct BootstrapOutput {
+    /// The ML run on the original alignment.
+    pub best: RunOutput,
+    /// Per-replicate final log-likelihoods.
+    pub replicate_lnls: Vec<f64>,
+    /// Support (% of replicates) per canonical bipartition of the best
+    /// tree.
+    pub support: HashMap<Vec<usize>, f64>,
+    /// Best tree with support labels, Newick.
+    pub annotated_newick: String,
+}
+
+/// Multinomially resample the pattern weights of one partition (total site
+/// count preserved). Patterns drawn zero times are dropped.
+fn resample_partition(part: &CompressedPartition, rng: &mut StdRng) -> CompressedPartition {
+    let n_patterns = part.n_patterns();
+    let total_sites: u32 = part.weights.iter().sum();
+    // Draw `total_sites` columns according to the original weights.
+    let cumulative: Vec<u64> = part
+        .weights
+        .iter()
+        .scan(0u64, |acc, &w| {
+            *acc += w as u64;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty partition") as f64;
+    let mut counts = vec![0u32; n_patterns];
+    for _ in 0..total_sites {
+        let x = rng.gen_range(0.0..total) as u64;
+        let idx = cumulative.partition_point(|&c| c <= x);
+        counts[idx.min(n_patterns - 1)] += 1;
+    }
+    // Keep only drawn patterns.
+    let kept: Vec<usize> = (0..n_patterns).filter(|&i| counts[i] > 0).collect();
+    let mut sub = part.select_patterns(&kept);
+    for (slot, &i) in sub.weights.iter_mut().zip(&kept) {
+        *slot = counts[*&i];
+    }
+    sub
+}
+
+/// Resample a whole alignment (per-partition, preserving each partition's
+/// site total).
+pub fn resample_alignment(aln: &CompressedAlignment, seed: u64) -> CompressedAlignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CompressedAlignment {
+        taxa: aln.taxa.clone(),
+        partitions: aln.partitions.iter().map(|p| resample_partition(p, &mut rng)).collect(),
+    }
+}
+
+/// Run the best-tree search plus `replicates` bootstrap searches and
+/// compute bipartition support.
+pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> BootstrapOutput {
+    let best = run_decentralized(aln, &cfg.base);
+    let best_splits = bipartitions(&best.state.tree);
+
+    let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut replicate_lnls = Vec::with_capacity(cfg.replicates);
+    for r in 0..cfg.replicates {
+        let replicate_seed = cfg.seed.wrapping_add(r as u64);
+        let resampled = resample_alignment(aln, replicate_seed);
+        let mut rcfg = cfg.base.clone();
+        rcfg.seed = replicate_seed;
+        // Replicates never checkpoint or fault-inject.
+        rcfg.checkpoint_path = None;
+        rcfg.resume_from = None;
+        rcfg.fault_plan = crate::fault::FaultPlan::none();
+        let out = run_decentralized(&resampled, &rcfg);
+        replicate_lnls.push(out.result.lnl);
+        for split in bipartitions(&out.state.tree) {
+            *counts.entry(split).or_insert(0) += 1;
+        }
+    }
+
+    let denom = cfg.replicates.max(1) as f64;
+    let support: HashMap<Vec<usize>, f64> = best_splits
+        .iter()
+        .map(|s| (s.clone(), 100.0 * counts.get(s).copied().unwrap_or(0) as f64 / denom))
+        .collect();
+    let annotated_newick = best.state.tree.to_newick_with_support(&aln.taxa, &support);
+
+    BootstrapOutput { best, replicate_lnls, support, annotated_newick }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_search::SearchConfig;
+    use exa_simgen::workloads;
+
+    #[test]
+    fn resampling_preserves_site_totals() {
+        let w = workloads::partitioned(6, 3, 50, 3);
+        let r = resample_alignment(&w.compressed, 7);
+        assert_eq!(r.n_partitions(), 3);
+        for (orig, res) in w.compressed.partitions.iter().zip(&r.partitions) {
+            let so: u32 = orig.weights.iter().sum();
+            let sr: u32 = res.weights.iter().sum();
+            assert_eq!(so, sr, "site total must be preserved");
+            assert!(res.n_patterns() <= orig.n_patterns());
+            assert!(res.n_patterns() > 0);
+        }
+    }
+
+    #[test]
+    fn resampling_is_deterministic_and_seed_sensitive() {
+        let w = workloads::partitioned(6, 2, 60, 5);
+        let a = resample_alignment(&w.compressed, 1);
+        let b = resample_alignment(&w.compressed, 1);
+        let c = resample_alignment(&w.compressed, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn resampled_weights_differ_from_original() {
+        let w = workloads::partitioned(6, 1, 200, 9);
+        let r = resample_alignment(&w.compressed, 11);
+        assert_ne!(
+            w.compressed.partitions[0].weights, r.partitions[0].weights,
+            "a 200-site multinomial redraw virtually never reproduces the input"
+        );
+    }
+
+    #[test]
+    fn bootstrap_end_to_end_supports_strong_signal() {
+        // Clean simulated data: every split of the generating tree should
+        // receive high support across replicates.
+        let w = workloads::partitioned(6, 1, 400, 13);
+        let mut base = InferenceConfig::new(2);
+        base.search = SearchConfig { max_iterations: 2, ..SearchConfig::fast() };
+        let cfg = BootstrapConfig { replicates: 5, seed: 99, base };
+        let out = run_bootstrap(&w.compressed, &cfg);
+        assert_eq!(out.replicate_lnls.len(), 5);
+        assert!(out.annotated_newick.ends_with(");"));
+        // 6 taxa → 3 internal splits on the best tree.
+        assert_eq!(out.support.len(), 3);
+        let mean_support: f64 =
+            out.support.values().sum::<f64>() / out.support.len() as f64;
+        assert!(
+            mean_support >= 60.0,
+            "strong simulated signal should give high support: {:?}",
+            out.support
+        );
+        // Labels present in the annotated tree.
+        assert!(
+            out.annotated_newick.contains(')'),
+            "{}",
+            out.annotated_newick
+        );
+    }
+}

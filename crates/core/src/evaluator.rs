@@ -1,0 +1,249 @@
+//! The de-centralized evaluator: the search runs *replicated* on every
+//! rank; the only communication is the two `MPI_Allreduce`-equivalents the
+//! paper inserts into the likelihood-evaluation and derivative routines
+//! (§III-B), plus a 2-double reduction for PSR rate normalization.
+
+use exa_comm::{CommCategory, CommError, Rank};
+use exa_phylo::engine::Engine;
+use exa_phylo::model::gtr::NUM_FREE_RATES;
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::tree::{EdgeId, Tree};
+use exa_search::evaluator::{apply_global_params, BranchMode, CommFailurePanic, Evaluator, GlobalState};
+
+/// Evaluator back-end for one de-centralized rank.
+pub struct DecentralizedEvaluator {
+    rank: Rank,
+    tree: Tree,
+    engine: Engine,
+    n_partitions: usize,
+    branch_mode: BranchMode,
+    /// Replicated model parameters for **all** partitions — every rank
+    /// tracks all of them even for partitions it holds no data of, which is
+    /// what makes post-failure redistribution trivial.
+    alphas: Vec<f64>,
+    gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
+    last_lnl: Vec<f64>,
+}
+
+impl DecentralizedEvaluator {
+    /// Wrap a rank's local engine and the replicated tree.
+    pub fn new(
+        rank: Rank,
+        tree: Tree,
+        engine: Engine,
+        n_partitions: usize,
+        branch_mode: BranchMode,
+    ) -> DecentralizedEvaluator {
+        let expected = match branch_mode {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => n_partitions,
+        };
+        assert_eq!(tree.blen_count(), expected, "tree branch-length arity mismatch");
+        let alphas = match engine.rate_kind() {
+            RateModelKind::Gamma => vec![1.0; n_partitions],
+            RateModelKind::Psr => Vec::new(),
+        };
+        let gtr_rates = vec![[1.0; NUM_FREE_RATES]; n_partitions];
+        DecentralizedEvaluator {
+            rank,
+            tree,
+            engine,
+            n_partitions,
+            branch_mode,
+            alphas,
+            gtr_rates,
+            last_lnl: vec![0.0; n_partitions],
+        }
+    }
+
+    /// The communicator handle.
+    pub fn rank(&self) -> &Rank {
+        &self.rank
+    }
+
+    /// The local engine (work counters, memory accounting).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Replace the local engine after post-failure redistribution, pushing
+    /// the replicated model parameters into the fresh local slices. PSR
+    /// per-site rates are data-local and reset to 1; the next model-
+    /// optimization round re-fits them (documented recovery semantics).
+    pub fn replace_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+        let state = self.snapshot();
+        apply_global_params(&mut self.engine, &state);
+        self.tree.invalidate_all();
+    }
+
+    fn comm_ok<T>(&self, r: Result<T, CommError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(CommError::RanksFailed(set)) => std::panic::panic_any(CommFailurePanic {
+                failed_ranks: set.into_iter().collect(),
+            }),
+        }
+    }
+}
+
+impl Evaluator for DecentralizedEvaluator {
+    fn n_taxa(&self) -> usize {
+        self.tree.n_taxa()
+    }
+
+    fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    fn branch_mode(&self) -> BranchMode {
+        self.branch_mode
+    }
+
+    fn rate_kind(&self) -> RateModelKind {
+        self.engine.rate_kind()
+    }
+
+    fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    fn evaluate(&mut self, edge: EdgeId) -> f64 {
+        // Local descriptor — never broadcast (the whole point of the
+        // de-centralized scheme) — and ONE allreduce of a single double:
+        // the overall log-likelihood is all the replicas need to stay in
+        // lock-step (§III-B).
+        let d = self.tree.traversal_descriptor(edge);
+        self.engine.execute(&d);
+        let per_local = self.engine.evaluate(&d);
+        let mut buf = vec![per_local.iter().sum::<f64>()];
+        let r = self.rank.allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+        self.comm_ok(r);
+        buf[0]
+    }
+
+    fn evaluate_partitioned(&mut self, edge: EdgeId) -> f64 {
+        // Model optimization needs the per-partition vector: allreduce of
+        // p doubles.
+        let d = self.tree.traversal_descriptor(edge);
+        self.engine.execute(&d);
+        let per_local = self.engine.evaluate(&d);
+        let mut buf = vec![0.0; self.n_partitions];
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            buf[global] += per_local[local];
+        }
+        let r = self.rank.allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+        self.comm_ok(r);
+        self.last_lnl = buf;
+        // Fixed-order local sum of identical inputs → identical totals.
+        self.last_lnl.iter().sum()
+    }
+
+    fn last_per_partition(&self) -> &[f64] {
+        &self.last_lnl
+    }
+
+    fn prepare_derivatives(&mut self, edge: EdgeId) {
+        let d = self.tree.traversal_descriptor(edge);
+        self.engine.execute(&d);
+        self.engine.prepare_derivatives(&d);
+    }
+
+    fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let (d1, d2) = self.engine.derivatives(lengths);
+        match self.branch_mode {
+            BranchMode::Joint => {
+                // The paper's second allreduce: 2 doubles.
+                let mut buf = vec![d1.iter().sum::<f64>(), d2.iter().sum::<f64>()];
+                let r = self.rank.allreduce_sum(&mut buf, CommCategory::BranchLength);
+                self.comm_ok(r);
+                (vec![buf[0]], vec![buf[1]])
+            }
+            BranchMode::PerPartition => {
+                // Under -M the message grows to 2p doubles (§IV-D).
+                let p = self.n_partitions;
+                let mut buf = vec![0.0; 2 * p];
+                for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+                    buf[global] += d1[local];
+                    buf[p + global] += d2[local];
+                }
+                let r = self.rank.allreduce_sum(&mut buf, CommCategory::BranchLength);
+                self.comm_ok(r);
+                (buf[..p].to_vec(), buf[p..].to_vec())
+            }
+        }
+    }
+
+    fn alphas(&self) -> Vec<f64> {
+        self.alphas.clone()
+    }
+
+    fn set_alphas(&mut self, alphas: &[f64]) {
+        // NO communication: every rank executes this call with identical
+        // arguments (derived from identical reduced likelihoods).
+        assert_eq!(alphas.len(), self.n_partitions);
+        self.alphas = alphas.to_vec();
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            self.engine.set_alpha(local, alphas[global]);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn gtr_rate(&self, rate_index: usize) -> Vec<f64> {
+        self.gtr_rates.iter().map(|r| r[rate_index]).collect()
+    }
+
+    fn set_gtr_rate(&mut self, rate_index: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.n_partitions);
+        for (g, &v) in values.iter().enumerate() {
+            self.gtr_rates[g][rate_index] = v;
+        }
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            self.engine.set_gtr_rate(local, rate_index, values[global]);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn optimize_site_rates(&mut self) {
+        if self.engine.rate_kind() != RateModelKind::Psr {
+            return;
+        }
+        let d = self.tree.full_traversal_descriptor(0);
+        self.engine.execute(&d);
+        // Per-site rates are optimized on local data only; the global
+        // normalization needs a single 2-double reduction (the paper's
+        // "additional MPI calls to handle the CAT model").
+        let (num, den) = self.engine.optimize_site_rates(&d);
+        let mut buf = vec![num, den];
+        let r = self.rank.allreduce_sum(&mut buf, CommCategory::ModelParams);
+        self.comm_ok(r);
+        if buf[0] > 0.0 {
+            self.engine.finalize_site_rates(buf[1] / buf[0]);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn snapshot(&self) -> GlobalState {
+        GlobalState {
+            tree: self.tree.clone(),
+            alphas: self.alphas.clone(),
+            gtr_rates: self.gtr_rates.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &GlobalState) {
+        self.tree = state.tree.clone();
+        self.alphas = state.alphas.clone();
+        self.gtr_rates = state.gtr_rates.clone();
+        apply_global_params(&mut self.engine, state);
+        self.tree.invalidate_all();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

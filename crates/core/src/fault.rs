@@ -1,0 +1,154 @@
+//! Fault tolerance (§V of the paper).
+//!
+//! "Unlike for the fork-join approach where a failure of the master process
+//! would be catastrophic, ExaML offers maximum state redundancy. When one
+//! or more cores fail, the data will merely have to be re-distributed to
+//! the remaining processes/cores such that computations can continue."
+//!
+//! That is exactly what happens here. Failures are only observable at
+//! collective operations; the aborted collective unwinds (as a
+//! [`CommFailurePanic`]) to the search driver's iteration boundary, where
+//! these hooks:
+//!
+//! 1. acknowledge the failure ([`exa_comm::Rank::recover`]),
+//! 2. recompute the data distribution over the survivors and rebuild the
+//!    local engine from the (shared) alignment — the analogue of re-reading
+//!    the binary alignment file,
+//! 3. restore the replicated [`GlobalState`] snapshot taken at the last
+//!    boundary, and retry the iteration.
+//!
+//! Because every rank already holds the complete search state, no state is
+//! lost — only the current iteration's partial work is redone.
+
+use crate::checkpoint::{self, Checkpoint, CHECKPOINT_VERSION};
+use crate::{build_engine, die_now, DecentralizedEvaluator, InferenceConfig};
+use exa_bio::patterns::CompressedAlignment;
+use exa_comm::Rank;
+use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState};
+use exa_search::SearchHooks;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A scripted set of rank failures, for tests, examples and the fault
+/// benches: rank `r` dies at the boundary of iteration `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub failures: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` at iteration `iteration`.
+    pub fn kill(rank: usize, iteration: usize) -> FaultPlan {
+        FaultPlan { failures: vec![(rank, iteration)] }
+    }
+
+    /// Add another scripted failure.
+    pub fn and_kill(mut self, rank: usize, iteration: usize) -> FaultPlan {
+        self.failures.push((rank, iteration));
+        self
+    }
+
+    /// Does the plan ever kill `rank`?
+    pub fn kills(&self, rank: usize) -> bool {
+        self.failures.iter().any(|&(r, _)| r == rank)
+    }
+
+    fn fires(&self, rank: usize, iteration: usize) -> bool {
+        self.failures.contains(&(rank, iteration))
+    }
+}
+
+/// Iteration hooks for a de-centralized rank: checkpointing, scripted
+/// faults, recovery.
+pub struct DecentralizedHooks {
+    rank: Rank,
+    aln: Arc<CompressedAlignment>,
+    freqs: Arc<Vec<[f64; 4]>>,
+    cfg: Arc<InferenceConfig>,
+    /// Snapshot at the last iteration boundary (the recovery point).
+    snapshot: GlobalState,
+    snapshot_iteration: usize,
+    snapshot_lnl: f64,
+    /// Recoveries performed (observability for tests).
+    pub recoveries: usize,
+}
+
+impl DecentralizedHooks {
+    /// Build hooks, snapshotting the evaluator's initial state.
+    pub fn new(
+        rank: Rank,
+        aln: Arc<CompressedAlignment>,
+        freqs: Arc<Vec<[f64; 4]>>,
+        cfg: Arc<InferenceConfig>,
+        eval: &DecentralizedEvaluator,
+    ) -> DecentralizedHooks {
+        DecentralizedHooks {
+            rank,
+            aln,
+            freqs,
+            cfg,
+            snapshot: eval.snapshot(),
+            snapshot_iteration: 0,
+            snapshot_lnl: f64::NEG_INFINITY,
+            recoveries: 0,
+        }
+    }
+}
+
+impl SearchHooks for DecentralizedHooks {
+    fn at_boundary(&mut self, eval: &mut dyn Evaluator, iteration: usize, lnl: f64) {
+        self.snapshot = eval.snapshot();
+        self.snapshot_iteration = iteration;
+        self.snapshot_lnl = lnl;
+
+        // Checkpoint: with no master, the lowest-id active rank writes.
+        if let Some(path) = &self.cfg.checkpoint_path {
+            let every = self.cfg.checkpoint_every.max(1);
+            let is_writer = self.rank.active_ranks().first() == Some(&self.rank.id());
+            if is_writer && iteration % every == 0 {
+                let ckpt = Checkpoint {
+                    version: CHECKPOINT_VERSION,
+                    iteration,
+                    lnl,
+                    state: self.snapshot.clone(),
+                };
+                checkpoint::save(path, &ckpt).expect("checkpoint write failed");
+            }
+        }
+
+        // Scripted death (fault-injection testing of §V).
+        if self.cfg.fault_plan.fires(self.rank.id(), iteration) {
+            die_now(&self.rank);
+        }
+    }
+
+    fn on_failure(&mut self, eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {
+        // 1. Acknowledge and learn the surviving rank set.
+        let (_failed, survivors) = self.rank.recover();
+        let my_index = survivors
+            .iter()
+            .position(|&r| r == self.rank.id())
+            .expect("a failed rank cannot recover");
+
+        // 2. Redistribute: recompute the assignment over the survivors and
+        //    rebuild the local engine from the shared alignment.
+        let assignments = exa_sched::distribute(&self.aln, survivors.len(), self.cfg.strategy);
+        let engine =
+            build_engine(&self.aln, &assignments[my_index], &self.freqs, self.cfg.rate_model);
+        let de = eval
+            .as_any_mut()
+            .downcast_mut::<DecentralizedEvaluator>()
+            .expect("de-centralized hooks require the de-centralized evaluator");
+        de.replace_engine(engine);
+
+        // 3. Rewind to the last consistent boundary and retry.
+        de.restore(&self.snapshot);
+        self.recoveries += 1;
+        true
+    }
+}

@@ -1,0 +1,290 @@
+//! `examl-core` — the paper's contribution: **de-centralized** parallel
+//! maximum-likelihood phylogenetic inference (ExaML, §III-B).
+//!
+//! Every rank executes a local, *consistent* copy of the tree-search
+//! algorithm on its slice of the alignment. There is no master process, no
+//! traversal-descriptor broadcasts and no model-parameter broadcasts: ranks
+//! only communicate where global values are mathematically required —
+//!
+//! 1. one `allreduce` inside the likelihood evaluation (per-partition
+//!    log-likelihoods),
+//! 2. one `allreduce` inside the branch-length derivative computation,
+//!
+//! plus a small reduction for PSR rate normalization. Because the
+//! allreduce results are bit-identical on every rank (guaranteed by
+//! `exa-comm`), all replicas take identical search decisions and stay in
+//! lock-step without any coordination messages.
+//!
+//! The replicated state also yields the paper's §V fault-tolerance design
+//! for free: when a rank dies, survivors redistribute its data (from the
+//! binary alignment) and resume from the last iteration boundary — see
+//! [`fault`].
+
+pub mod bootstrap;
+pub mod checkpoint;
+pub mod evaluator;
+pub mod fault;
+
+pub use evaluator::DecentralizedEvaluator;
+
+use exa_bio::patterns::CompressedAlignment;
+use exa_bio::stats::empirical_frequencies;
+use exa_comm::{CommCategory, CommStats, Rank, World};
+use exa_phylo::engine::{Engine, PartitionSlice, WorkCounters};
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::evaluator::GlobalState;
+use exa_search::{build_starting_tree, run_search, BranchMode, SearchConfig, SearchResult, StartingTree};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Full configuration of a de-centralized inference run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Number of ranks (threads standing in for MPI processes).
+    pub n_ranks: usize,
+    /// Γ or PSR rate heterogeneity.
+    pub rate_model: RateModelKind,
+    /// Joint or per-partition (`-M`) branch lengths.
+    pub branch_mode: BranchMode,
+    /// Data distribution (`-Q` = `MonolithicLpt`).
+    pub strategy: exa_sched::Strategy,
+    /// Tree-search parameters.
+    pub search: SearchConfig,
+    /// Seed for the starting topology.
+    pub seed: u64,
+    /// Starting-tree policy (random, parsimony, or a given Newick tree).
+    pub starting_tree: StartingTree,
+    /// Write a checkpoint every `checkpoint_every` iterations to
+    /// `checkpoint_path` (if set).
+    pub checkpoint_path: Option<PathBuf>,
+    pub checkpoint_every: usize,
+    /// Resume from this checkpoint file before searching.
+    pub resume_from: Option<PathBuf>,
+    /// Scripted rank failures (testing / demonstration of §V).
+    pub fault_plan: fault::FaultPlan,
+}
+
+impl InferenceConfig {
+    /// Sensible defaults for `n_ranks` ranks under Γ.
+    pub fn new(n_ranks: usize) -> InferenceConfig {
+        InferenceConfig {
+            n_ranks,
+            rate_model: RateModelKind::Gamma,
+            branch_mode: BranchMode::Joint,
+            strategy: exa_sched::Strategy::Cyclic,
+            search: SearchConfig::default(),
+            seed: 42,
+            starting_tree: StartingTree::Random,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
+            fault_plan: fault::FaultPlan::none(),
+        }
+    }
+}
+
+/// Result of a de-centralized run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub result: SearchResult,
+    /// Final replicated state (tree + model parameters).
+    pub state: GlobalState,
+    /// Final tree in Newick form.
+    pub tree_newick: String,
+    /// Communication statistics of the whole world.
+    pub comm_stats: CommStats,
+    /// Kernel work summed over all ranks.
+    pub work: WorkCounters,
+    /// Total CLV memory across ranks, bytes.
+    pub mem_bytes: u64,
+    /// Ranks alive at the end.
+    pub survivors: Vec<usize>,
+}
+
+/// What each rank thread reports back.
+enum RankReport {
+    Survived {
+        result: SearchResult,
+        state: Box<GlobalState>,
+        work: WorkCounters,
+        mem_bytes: u64,
+        stats: CommStats,
+    },
+    Died {
+        work: WorkCounters,
+        mem_bytes: u64,
+    },
+}
+
+/// Per-rank panic payload for a scripted death (unwinds out of the search).
+struct RankDiedPanic;
+
+/// Compute the global per-partition empirical frequencies once — every rank
+/// derives identical models from them regardless of which patterns it holds.
+pub fn global_frequencies(aln: &CompressedAlignment) -> Vec<[f64; 4]> {
+    aln.partitions.iter().map(empirical_frequencies).collect()
+}
+
+/// Build a rank's engine from a distribution assignment.
+pub fn build_engine(
+    aln: &CompressedAlignment,
+    assignment: &exa_sched::RankAssignment,
+    freqs: &[[f64; 4]],
+    rate_model: RateModelKind,
+) -> Engine {
+    let slices: Vec<PartitionSlice> = exa_sched::materialize(aln, assignment)
+        .into_iter()
+        .map(|(gi, part)| PartitionSlice::from_subset(gi, &part, freqs[gi]))
+        .collect();
+    Engine::new(aln.n_taxa(), slices, rate_model, 1.0)
+}
+
+/// Run a de-centralized inference over `cfg.n_ranks` rank threads.
+pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> RunOutput {
+    assert!(aln.n_taxa() >= 4, "need at least 4 taxa for a meaningful search");
+    let aln = Arc::new(aln.clone());
+    let freqs = Arc::new(global_frequencies(&aln));
+    let cfg = Arc::new(cfg.clone());
+
+    let reports: Vec<RankReport> = World::run(cfg.n_ranks, |rank| {
+        rank_main(rank, Arc::clone(&aln), Arc::clone(&freqs), Arc::clone(&cfg))
+    });
+
+    // Aggregate: all survivors must agree bit-for-bit; pick the first.
+    let mut work = WorkCounters::default();
+    let mut mem = 0u64;
+    let mut chosen: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
+    let mut lnls: Vec<u64> = Vec::new();
+    for r in reports {
+        match r {
+            RankReport::Survived { result, state, work: w, mem_bytes, stats } => {
+                work = work.merge(&w);
+                mem += mem_bytes;
+                lnls.push(result.lnl.to_bits());
+                if chosen.is_none() {
+                    chosen = Some((result, state, stats));
+                }
+            }
+            RankReport::Died { work: w, mem_bytes } => {
+                work = work.merge(&w);
+                mem += mem_bytes;
+            }
+        }
+    }
+    assert!(
+        lnls.windows(2).all(|w| w[0] == w[1]),
+        "de-centralized replicas diverged: {lnls:?}"
+    );
+    let (result, state, stats) = chosen.expect("at least one rank must survive");
+    let names: Vec<String> = aln.taxa.clone();
+    let survivors = (0..cfg.n_ranks)
+        .filter(|r| !cfg.fault_plan.kills(*r))
+        .collect();
+    RunOutput {
+        tree_newick: state.tree.to_newick(&names),
+        result,
+        state: *state,
+        comm_stats: stats,
+        work,
+        mem_bytes: mem,
+        survivors,
+    }
+}
+
+fn rank_main(
+    rank: Rank,
+    aln: Arc<CompressedAlignment>,
+    freqs: Arc<Vec<[f64; 4]>>,
+    cfg: Arc<InferenceConfig>,
+) -> RankReport {
+    // 1. Deterministic data distribution — every rank computes the same
+    //    assignment table locally (no coordination needed).
+    let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
+    let engine = build_engine(&aln, &assignments[rank.id()], &freqs, cfg.rate_model);
+    // Account the initial data distribution (real ExaML reads the binary
+    // alignment via MPI I/O; the in-process world shares memory, so this
+    // traffic is modeled, not moved): one scatter of each rank's slice.
+    if rank.id() == 0 {
+        let bytes: u64 = assignments
+            .iter()
+            .flat_map(|a| exa_sched::materialize(&aln, a))
+            .map(|(_, p)| (p.tips.iter().map(Vec::len).sum::<usize>() + 4 * p.weights.len()) as u64)
+            .sum();
+        rank.account(CommCategory::Control, exa_comm::OpKind::Scatter, bytes);
+    }
+
+    // 2. Identical starting tree on every rank (deterministic policy).
+    let blens = match cfg.branch_mode {
+        BranchMode::Joint => 1,
+        BranchMode::PerPartition => aln.n_partitions(),
+    };
+    let tree = build_starting_tree(&aln, &cfg.starting_tree, blens, cfg.seed);
+
+    let mut eval = DecentralizedEvaluator::new(
+        rank.clone(),
+        tree,
+        engine,
+        aln.n_partitions(),
+        cfg.branch_mode,
+    );
+
+    // 3. Optional checkpoint resume (every rank reads the file, the
+    //    in-process analogue of ExaML's parallel binary-file read).
+    if let Some(path) = &cfg.resume_from {
+        let ckpt = checkpoint::load(path).expect("failed to load checkpoint");
+        use exa_search::Evaluator as _;
+        eval.restore(&ckpt.state);
+    }
+
+    let mut hooks = fault::DecentralizedHooks::new(
+        rank.clone(),
+        Arc::clone(&aln),
+        Arc::clone(&freqs),
+        Arc::clone(&cfg),
+        &eval,
+    );
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_search(&mut eval, &cfg.search, &mut hooks)
+    }));
+
+    match outcome {
+        Ok(result) => {
+            use exa_search::Evaluator as _;
+            RankReport::Survived {
+                result,
+                state: Box::new(eval.snapshot()),
+                work: eval.engine().work(),
+                mem_bytes: eval.engine().clv_bytes(),
+                stats: rank.stats(),
+            }
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<RankDiedPanic>().is_some() {
+                RankReport::Died {
+                    work: eval.engine().work(),
+                    mem_bytes: eval.engine().clv_bytes(),
+                }
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Internal: scripted-death trigger used by the fault hooks.
+pub(crate) fn die_now(rank: &Rank) -> ! {
+    rank.fail();
+    std::panic::panic_any(RankDiedPanic);
+}
+
+/// Convenience for tests and examples: single collective sanity check that
+/// the world agrees on a value.
+pub(crate) fn _assert_world_agrees(rank: &Rank, value: f64) {
+    let mut buf = vec![value, -value];
+    rank.allreduce_sum(&mut buf, CommCategory::Control)
+        .expect("agreement check failed");
+    let n = rank.active_count() as f64;
+    assert!((buf[0] - value * n).abs() < 1e-9);
+}

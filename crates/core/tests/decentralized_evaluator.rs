@@ -1,0 +1,158 @@
+//! Unit-level tests of the de-centralized evaluator against the sequential
+//! reference, inside small rank worlds.
+
+use exa_comm::{CommCategory, World};
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::tree::Tree;
+use exa_search::evaluator::{BranchMode, Evaluator, SequentialEvaluator};
+use exa_simgen::workloads;
+use examl_core::{build_engine, global_frequencies, DecentralizedEvaluator};
+use std::sync::Arc;
+
+fn sequential(w: &workloads::Workload, seed: u64) -> SequentialEvaluator {
+    let freqs = global_frequencies(&w.compressed);
+    let assignment = exa_sched::distribute(&w.compressed, 1, exa_sched::Strategy::Cyclic);
+    let engine = build_engine(&w.compressed, &assignment[0], &freqs, RateModelKind::Gamma);
+    let tree = Tree::random(w.compressed.n_taxa(), 1, seed);
+    SequentialEvaluator::new(tree, engine, w.compressed.n_partitions(), BranchMode::Joint)
+}
+
+#[test]
+fn distributed_evaluate_matches_sequential_bitwise_per_rank() {
+    let w = Arc::new(workloads::partitioned(7, 2, 80, 3));
+    let seed = 5;
+    let mut seq = sequential(&w, seed);
+    let expect = seq.evaluate(0);
+
+    for ranks in [2usize, 3] {
+        let w2 = Arc::clone(&w);
+        let results = World::run(ranks, move |rank| {
+            let freqs = global_frequencies(&w2.compressed);
+            let assignments =
+                exa_sched::distribute(&w2.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
+            let engine = build_engine(
+                &w2.compressed,
+                &assignments[rank.id()],
+                &freqs,
+                RateModelKind::Gamma,
+            );
+            let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
+            let mut eval = DecentralizedEvaluator::new(
+                rank.clone(),
+                tree,
+                engine,
+                w2.compressed.n_partitions(),
+                BranchMode::Joint,
+            );
+            eval.evaluate(0)
+        });
+        // All ranks bit-identical with each other.
+        for pair in results.windows(2) {
+            assert_eq!(pair[0].to_bits(), pair[1].to_bits());
+        }
+        // And numerically equal to the sequential value (summation order
+        // differs across rank counts, so allow float-level tolerance).
+        assert!(
+            (results[0] - expect).abs() < 1e-8,
+            "ranks={ranks}: {} vs {expect}",
+            results[0]
+        );
+    }
+}
+
+#[test]
+fn distributed_derivatives_match_sequential() {
+    let w = Arc::new(workloads::partitioned(7, 2, 80, 9));
+    let seed = 7;
+    let mut seq = sequential(&w, seed);
+    seq.prepare_derivatives(2);
+    let (ed1, ed2) = seq.derivatives(&[0.15]);
+
+    let w2 = Arc::clone(&w);
+    let results = World::run(3, move |rank| {
+        let freqs = global_frequencies(&w2.compressed);
+        let assignments =
+            exa_sched::distribute(&w2.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
+        let engine =
+            build_engine(&w2.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
+        let mut eval = DecentralizedEvaluator::new(
+            rank.clone(),
+            tree,
+            engine,
+            w2.compressed.n_partitions(),
+            BranchMode::Joint,
+        );
+        eval.prepare_derivatives(2);
+        let (d1, d2) = eval.derivatives(&[0.15]);
+        (d1[0], d2[0])
+    });
+    for &(d1, d2) in &results {
+        assert!((d1 - ed1[0]).abs() < 1e-7, "{d1} vs {}", ed1[0]);
+        assert!((d2 - ed2[0]).abs() < 1e-6, "{d2} vs {}", ed2[0]);
+    }
+}
+
+#[test]
+fn evaluate_uses_one_double_partitioned_uses_p() {
+    // The §III-B wire contract: plain evaluation allreduces a single
+    // double; only the model-optimization form carries the p-vector.
+    let w = Arc::new(workloads::partitioned(6, 4, 40, 11));
+    let results = World::run(2, move |rank| {
+        let freqs = global_frequencies(&w.compressed);
+        let assignments =
+            exa_sched::distribute(&w.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
+        let engine =
+            build_engine(&w.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
+        let mut eval = DecentralizedEvaluator::new(
+            rank.clone(),
+            tree,
+            engine,
+            w.compressed.n_partitions(),
+            BranchMode::Joint,
+        );
+        rank.reset_stats();
+        let _ = eval.evaluate(0);
+        let after_plain = rank.stats().get(CommCategory::SiteLikelihoods).bytes;
+        let _ = eval.evaluate_partitioned(0);
+        let after_part = rank.stats().get(CommCategory::SiteLikelihoods).bytes;
+        (after_plain, after_part - after_plain)
+    });
+    let (plain, partitioned) = results[0];
+    assert_eq!(plain, 8, "plain evaluate must allreduce exactly one double");
+    assert_eq!(partitioned, 8 * 4, "partitioned evaluate carries p doubles");
+}
+
+#[test]
+fn snapshot_restore_in_rank_world() {
+    let w = Arc::new(workloads::partitioned(6, 2, 60, 17));
+    let results = World::run(2, move |rank| {
+        let freqs = global_frequencies(&w.compressed);
+        let assignments =
+            exa_sched::distribute(&w.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
+        let engine =
+            build_engine(&w.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
+        let mut eval = DecentralizedEvaluator::new(
+            rank.clone(),
+            tree,
+            engine,
+            w.compressed.n_partitions(),
+            BranchMode::Joint,
+        );
+        eval.set_alphas(&[0.4, 2.0]);
+        let before = eval.evaluate(0);
+        let snap = eval.snapshot();
+        eval.set_alphas(&[1.0, 1.0]);
+        eval.tree_mut().set_length(0, 0, 1.3);
+        let perturbed = eval.evaluate(0);
+        eval.restore(&snap);
+        let restored = eval.evaluate(0);
+        (before, perturbed, restored)
+    });
+    for &(before, perturbed, restored) in &results {
+        assert_ne!(before.to_bits(), perturbed.to_bits());
+        assert!((before - restored).abs() < 1e-9, "{before} vs {restored}");
+    }
+}

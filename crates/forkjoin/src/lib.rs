@@ -1,0 +1,160 @@
+//! `exa-forkjoin` — the **fork-join** parallelization baseline
+//! (RAxML-Light's scheme, §III-A of the paper).
+//!
+//! A dedicated *master* rank owns the tree and steers the search; worker
+//! ranks are agnostic of tree semantics and only execute likelihood kernels
+//! on their data slice, driven by broadcast commands:
+//!
+//! * every likelihood operation broadcasts a **traversal descriptor**,
+//! * every model-parameter change broadcasts the new parameter arrays,
+//! * every Newton–Raphson step broadcasts candidate branch lengths and
+//!   reduces derivative sums back to the master,
+//! * likelihood evaluation reduces per-partition log-likelihoods to the
+//!   master.
+//!
+//! All of this traffic is recorded by `exa-comm` under the Table I
+//! categories, which is how the `table1` harness regenerates the paper's
+//! communication-cost breakdown. The search algorithm itself is byte-for-
+//! byte the one ExaML runs (`exa-search`), per §III-B's "exactly the same
+//! tree search algorithm".
+
+pub mod master;
+pub mod protocol;
+pub mod worker;
+
+pub use master::ForkJoinEvaluator;
+
+use exa_bio::patterns::CompressedAlignment;
+use exa_comm::{CommStats, World};
+use exa_phylo::engine::WorkCounters;
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::evaluator::GlobalState;
+use exa_search::{build_starting_tree, run_search, BranchMode, NoHooks, SearchConfig, SearchResult, StartingTree};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of a fork-join run (mirror of the de-centralized one,
+/// minus fault tolerance — a master failure is catastrophic by design,
+/// which is one of the paper's arguments *against* fork-join).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForkJoinConfig {
+    pub n_ranks: usize,
+    pub rate_model: RateModelKind,
+    pub branch_mode: BranchMode,
+    pub strategy: exa_sched::Strategy,
+    pub search: SearchConfig,
+    pub seed: u64,
+    /// Starting-tree policy (must match across comparison runs).
+    pub starting_tree: StartingTree,
+}
+
+impl ForkJoinConfig {
+    /// Defaults for `n_ranks` ranks under Γ.
+    pub fn new(n_ranks: usize) -> ForkJoinConfig {
+        ForkJoinConfig {
+            n_ranks,
+            rate_model: RateModelKind::Gamma,
+            branch_mode: BranchMode::Joint,
+            strategy: exa_sched::Strategy::Cyclic,
+            search: SearchConfig::default(),
+            seed: 42,
+            starting_tree: StartingTree::Random,
+        }
+    }
+}
+
+/// Result of a fork-join run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub result: SearchResult,
+    pub state: GlobalState,
+    pub tree_newick: String,
+    pub comm_stats: CommStats,
+    pub work: WorkCounters,
+    pub mem_bytes: u64,
+}
+
+enum RankReport {
+    Master { result: SearchResult, state: Box<GlobalState>, work: WorkCounters, mem: u64, stats: CommStats },
+    Worker { work: WorkCounters, mem: u64 },
+}
+
+/// Run a fork-join inference: rank 0 is the master, the rest are workers.
+pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutput {
+    assert!(aln.n_taxa() >= 4, "need at least 4 taxa for a meaningful search");
+    let aln = Arc::new(aln.clone());
+    let freqs = Arc::new(examl_core::global_frequencies(&aln));
+    let cfg = Arc::new(cfg.clone());
+
+    let reports: Vec<RankReport> = World::run(cfg.n_ranks, |rank| {
+        let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
+        let engine =
+            examl_core::build_engine(&aln, &assignments[rank.id()], &freqs, cfg.rate_model);
+        if rank.id() == 0 {
+            // Account the initial data distribution (modeled; see the
+            // de-centralized driver for the rationale).
+            let bytes: u64 = assignments
+                .iter()
+                .flat_map(|a| exa_sched::materialize(&aln, a))
+                .map(|(_, p)| {
+                    (p.tips.iter().map(Vec::len).sum::<usize>() + 4 * p.weights.len()) as u64
+                })
+                .sum();
+            rank.account(exa_comm::CommCategory::Control, exa_comm::OpKind::Scatter, bytes);
+            // Master: owns the tree and runs the search; the evaluator
+            // broadcasts work to the workers.
+            let blens = match cfg.branch_mode {
+                BranchMode::Joint => 1,
+                BranchMode::PerPartition => aln.n_partitions(),
+            };
+            let tree = build_starting_tree(&aln, &cfg.starting_tree, blens, cfg.seed);
+            let mut eval = ForkJoinEvaluator::new(
+                rank.clone(),
+                tree,
+                engine,
+                aln.n_partitions(),
+                cfg.branch_mode,
+            );
+            let result = run_search(&mut eval, &cfg.search, &mut NoHooks);
+            eval.shutdown_workers();
+            use exa_search::Evaluator as _;
+            RankReport::Master {
+                result,
+                state: Box::new(eval.snapshot()),
+                work: eval.engine().work(),
+                mem: eval.engine().clv_bytes(),
+                stats: rank.stats(),
+            }
+        } else {
+            // Worker: tree-agnostic kernel executor.
+            let (work, mem) = worker::worker_loop(rank, engine, cfg.branch_mode, aln.n_partitions());
+            RankReport::Worker { work, mem }
+        }
+    });
+
+    let mut total_work = WorkCounters::default();
+    let mut total_mem = 0u64;
+    let mut master: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
+    for r in reports {
+        match r {
+            RankReport::Master { result, state, work, mem, stats } => {
+                total_work = total_work.merge(&work);
+                total_mem += mem;
+                master = Some((result, state, stats));
+            }
+            RankReport::Worker { work, mem } => {
+                total_work = total_work.merge(&work);
+                total_mem += mem;
+            }
+        }
+    }
+    let (result, state, stats) = master.expect("master rank must report");
+    RunOutput {
+        tree_newick: state.tree.to_newick(&aln.taxa),
+        result,
+        state: *state,
+        comm_stats: stats,
+        work: total_work,
+        mem_bytes: total_mem,
+    }
+}

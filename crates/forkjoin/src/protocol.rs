@@ -1,0 +1,261 @@
+//! The master→worker command protocol and its compact binary wire format.
+//!
+//! Sizes follow the paper's byte-counting conventions (Table I): node ids
+//! are 4 bytes, branch lengths and parameters 8 bytes. The one-byte command
+//! tag and small fixed headers are included — they are what a real
+//! implementation would send too.
+
+use exa_phylo::tree::traversal::{TraversalDescriptor, TraversalEntry};
+
+/// Commands the master broadcasts to the workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerCmd {
+    /// Execute a traversal descriptor, then evaluate at its virtual root
+    /// and reduce the overall log-likelihood (one double) to the master.
+    Evaluate(TraversalDescriptor),
+    /// As `Evaluate`, but reduce the full per-partition log-likelihood
+    /// vector (model optimization).
+    EvaluatePartitioned(TraversalDescriptor),
+    /// Execute a descriptor and build derivative sumtables for its root.
+    PrepareDerivatives(TraversalDescriptor),
+    /// Compute derivatives at the candidate branch length(s) and reduce.
+    Derivatives(Vec<f64>),
+    /// Install new Γ shapes for all partitions.
+    SetAlphas(Vec<f64>),
+    /// Install new values of free GTR rate `index` for all partitions.
+    SetGtrRate { index: u8, values: Vec<f64> },
+    /// Optimize PSR per-site rates locally (full descriptor supplied) and
+    /// reduce the normalization sums.
+    OptimizeSiteRates(TraversalDescriptor),
+    /// Apply the PSR normalization scale.
+    SetPsrScale(f64),
+    /// End of run.
+    Shutdown,
+}
+
+const TAG_EVALUATE: u8 = 1;
+const TAG_PREPARE: u8 = 2;
+const TAG_DERIVATIVES: u8 = 3;
+const TAG_SET_ALPHAS: u8 = 4;
+const TAG_SET_GTR: u8 = 5;
+const TAG_OPT_SITE_RATES: u8 = 6;
+const TAG_SET_PSR_SCALE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+const TAG_EVALUATE_PARTITIONED: u8 = 9;
+
+struct W(Vec<u8>);
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+    fn descriptor(&mut self, d: &TraversalDescriptor) {
+        self.u32(d.entries.len() as u32);
+        for e in &d.entries {
+            self.u32(e.parent as u32);
+            self.u32(e.left as u32);
+            self.u32(e.right as u32);
+            self.f64s(&e.left_lengths);
+            self.f64s(&e.right_lengths);
+        }
+        self.u32(d.root_a as u32);
+        self.u32(d.root_b as u32);
+        self.f64s(&d.root_lengths);
+    }
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.b.len() {
+            return Err(DecodeError(format!("truncated command at byte {}", self.pos)));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() {
+            return Err(DecodeError(format!("implausible f64 array length {n}")));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn descriptor(&mut self) -> Result<TraversalDescriptor, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() {
+            return Err(DecodeError(format!("implausible entry count {n}")));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let parent = self.u32()? as usize;
+            let left = self.u32()? as usize;
+            let right = self.u32()? as usize;
+            let left_lengths = self.f64s()?;
+            let right_lengths = self.f64s()?;
+            entries.push(TraversalEntry { parent, left, right, left_lengths, right_lengths });
+        }
+        let root_a = self.u32()? as usize;
+        let root_b = self.u32()? as usize;
+        let root_lengths = self.f64s()?;
+        Ok(TraversalDescriptor { entries, root_a, root_b, root_lengths })
+    }
+}
+
+/// Encode a command for broadcast.
+pub fn encode(cmd: &WorkerCmd) -> Vec<u8> {
+    let mut w = W(Vec::new());
+    match cmd {
+        WorkerCmd::Evaluate(d) => {
+            w.u8(TAG_EVALUATE);
+            w.descriptor(d);
+        }
+        WorkerCmd::EvaluatePartitioned(d) => {
+            w.u8(TAG_EVALUATE_PARTITIONED);
+            w.descriptor(d);
+        }
+        WorkerCmd::PrepareDerivatives(d) => {
+            w.u8(TAG_PREPARE);
+            w.descriptor(d);
+        }
+        WorkerCmd::Derivatives(ts) => {
+            w.u8(TAG_DERIVATIVES);
+            w.f64s(ts);
+        }
+        WorkerCmd::SetAlphas(a) => {
+            w.u8(TAG_SET_ALPHAS);
+            w.f64s(a);
+        }
+        WorkerCmd::SetGtrRate { index, values } => {
+            w.u8(TAG_SET_GTR);
+            w.u8(*index);
+            w.f64s(values);
+        }
+        WorkerCmd::OptimizeSiteRates(d) => {
+            w.u8(TAG_OPT_SITE_RATES);
+            w.descriptor(d);
+        }
+        WorkerCmd::SetPsrScale(s) => {
+            w.u8(TAG_SET_PSR_SCALE);
+            w.f64(*s);
+        }
+        WorkerCmd::Shutdown => w.u8(TAG_SHUTDOWN),
+    }
+    w.0
+}
+
+/// Decode a broadcast command.
+pub fn decode(bytes: &[u8]) -> Result<WorkerCmd, DecodeError> {
+    let mut r = R { b: bytes, pos: 0 };
+    let cmd = match r.u8()? {
+        TAG_EVALUATE => WorkerCmd::Evaluate(r.descriptor()?),
+        TAG_EVALUATE_PARTITIONED => WorkerCmd::EvaluatePartitioned(r.descriptor()?),
+        TAG_PREPARE => WorkerCmd::PrepareDerivatives(r.descriptor()?),
+        TAG_DERIVATIVES => WorkerCmd::Derivatives(r.f64s()?),
+        TAG_SET_ALPHAS => WorkerCmd::SetAlphas(r.f64s()?),
+        TAG_SET_GTR => {
+            let index = r.u8()?;
+            WorkerCmd::SetGtrRate { index, values: r.f64s()? }
+        }
+        TAG_OPT_SITE_RATES => WorkerCmd::OptimizeSiteRates(r.descriptor()?),
+        TAG_SET_PSR_SCALE => WorkerCmd::SetPsrScale(r.f64()?),
+        TAG_SHUTDOWN => WorkerCmd::Shutdown,
+        t => return Err(DecodeError(format!("unknown command tag {t}"))),
+    };
+    if r.pos != bytes.len() {
+        return Err(DecodeError(format!("{} trailing bytes", bytes.len() - r.pos)));
+    }
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_phylo::tree::Tree;
+
+    fn sample_descriptor(blens: usize) -> TraversalDescriptor {
+        let mut t = Tree::random(8, blens, 3);
+        t.full_traversal_descriptor(2)
+    }
+
+    #[test]
+    fn roundtrip_all_commands() {
+        let cmds = vec![
+            WorkerCmd::Evaluate(sample_descriptor(1)),
+            WorkerCmd::EvaluatePartitioned(sample_descriptor(2)),
+            WorkerCmd::PrepareDerivatives(sample_descriptor(3)),
+            WorkerCmd::Derivatives(vec![0.1, 0.2, 0.3]),
+            WorkerCmd::SetAlphas(vec![0.5; 10]),
+            WorkerCmd::SetGtrRate { index: 3, values: vec![1.0, 2.0] },
+            WorkerCmd::OptimizeSiteRates(sample_descriptor(1)),
+            WorkerCmd::SetPsrScale(1.25),
+            WorkerCmd::Shutdown,
+        ];
+        for cmd in cmds {
+            let bytes = encode(&cmd);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(cmd, back);
+        }
+    }
+
+    #[test]
+    fn descriptor_wire_size_tracks_paper_convention() {
+        // Encoded size should be within a small constant of the paper's
+        // theoretical wire_bytes (tag + per-entry/array length prefixes).
+        let d = sample_descriptor(1);
+        let bytes = encode(&WorkerCmd::Evaluate(d.clone()));
+        let theoretical = d.wire_bytes();
+        let overhead = bytes.len() as u64 - theoretical;
+        // 1 tag + 3 u32 array-length prefixes per entry + 1 for root.
+        assert!(
+            overhead <= 1 + 8 * (d.entries.len() as u64 + 1),
+            "overhead {overhead} too large for {} entries",
+            d.entries.len()
+        );
+    }
+
+    #[test]
+    fn per_partition_lengths_inflate_descriptor() {
+        let d1 = encode(&WorkerCmd::Evaluate(sample_descriptor(1)));
+        let d10 = encode(&WorkerCmd::Evaluate(sample_descriptor(10)));
+        assert!(d10.len() > 4 * d1.len(), "{} vs {}", d10.len(), d1.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        let good = encode(&WorkerCmd::SetAlphas(vec![1.0, 2.0]));
+        assert!(decode(&good[..good.len() - 3]).is_err());
+        assert!(decode(&[99]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! The worker loop: §III-A's tree-agnostic kernel executor.
+//!
+//! "The worker processes are agnostic regarding the semantics of the tree
+//! search and only execute one of the three likelihood functions […] on the
+//! fraction of the data that has been assigned to them."
+
+use crate::protocol::{decode, WorkerCmd};
+use exa_comm::{CommCategory, Rank};
+use exa_phylo::engine::{Engine, WorkCounters};
+use exa_search::BranchMode;
+
+/// Run the worker until the master broadcasts `Shutdown`. Returns the
+/// worker's kernel-work counters and CLV memory footprint.
+pub fn worker_loop(
+    rank: Rank,
+    mut engine: Engine,
+    branch_mode: BranchMode,
+    n_partitions: usize,
+) -> (WorkCounters, u64) {
+    loop {
+        let mut buf = Vec::new();
+        rank.broadcast_bytes(0, &mut buf, CommCategory::TraversalDescriptor)
+            .expect("fork-join has no failure recovery (master is a single point of failure)");
+        let cmd = decode(&buf).expect("malformed master command");
+        match cmd {
+            WorkerCmd::Evaluate(d) => {
+                engine.execute(&d);
+                let per_local = engine.evaluate(&d);
+                let mut total = vec![per_local.iter().sum::<f64>()];
+                rank.reduce_sum(0, &mut total, CommCategory::SiteLikelihoods)
+                    .expect("reduce failed");
+            }
+            WorkerCmd::EvaluatePartitioned(d) => {
+                engine.execute(&d);
+                let per_local = engine.evaluate(&d);
+                let mut lnls = vec![0.0; n_partitions];
+                for (local, global) in engine.global_indices().into_iter().enumerate() {
+                    lnls[global] += per_local[local];
+                }
+                rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
+                    .expect("reduce failed");
+            }
+            WorkerCmd::PrepareDerivatives(d) => {
+                engine.execute(&d);
+                engine.prepare_derivatives(&d);
+            }
+            WorkerCmd::Derivatives(lengths) => {
+                let (d1, d2) = engine.derivatives(&lengths);
+                let mut buf = derivative_buffer(&engine, branch_mode, n_partitions, &d1, &d2);
+                rank.reduce_sum(0, &mut buf, CommCategory::BranchLength)
+                    .expect("reduce failed");
+            }
+            WorkerCmd::SetAlphas(alphas) => {
+                for (local, global) in engine.global_indices().into_iter().enumerate() {
+                    engine.set_alpha(local, alphas[global]);
+                }
+            }
+            WorkerCmd::SetGtrRate { index, values } => {
+                for (local, global) in engine.global_indices().into_iter().enumerate() {
+                    engine.set_gtr_rate(local, index as usize, values[global]);
+                }
+            }
+            WorkerCmd::OptimizeSiteRates(d) => {
+                engine.execute(&d);
+                let (num, den) = engine.optimize_site_rates(&d);
+                let mut buf = vec![num, den];
+                rank.reduce_sum(0, &mut buf, CommCategory::ModelParams).expect("reduce failed");
+            }
+            WorkerCmd::SetPsrScale(scale) => {
+                engine.finalize_site_rates(scale);
+            }
+            WorkerCmd::Shutdown => break,
+        }
+    }
+    let work = engine.work();
+    let mem = engine.clv_bytes();
+    (work, mem)
+}
+
+/// Assemble the derivative reduction buffer (shared with the master so the
+/// wire layout matches exactly).
+pub(crate) fn derivative_buffer(
+    engine: &Engine,
+    branch_mode: BranchMode,
+    n_partitions: usize,
+    d1: &[f64],
+    d2: &[f64],
+) -> Vec<f64> {
+    match branch_mode {
+        BranchMode::Joint => vec![d1.iter().sum::<f64>(), d2.iter().sum::<f64>()],
+        BranchMode::PerPartition => {
+            let mut buf = vec![0.0; 2 * n_partitions];
+            for (local, global) in engine.global_indices().into_iter().enumerate() {
+                buf[global] += d1[local];
+                buf[n_partitions + global] += d2[local];
+            }
+            buf
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The three likelihood kernels: `newview`, `evaluate`, and the
+//! sumtable-based branch-length derivatives.
+//!
+//! All kernels run per local partition and are generic over the two rate
+//! models through a small category-indirection: under Γ every pattern
+//! integrates over all category P-matrices (weight 1/k each); under PSR each
+//! pattern uses the single P-matrix of its quantized rate category.
+
+use super::{Engine, PartitionState, LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
+use crate::model::pmatrix::{prob_matrix, ProbMatrix};
+use crate::model::rates::RateHeterogeneity;
+use crate::tree::traversal::{TraversalDescriptor, TraversalEntry};
+use exa_bio::dna::NUM_STATES;
+
+/// Precomputed tip contribution: `lookup[k][code][s] = Σ_t P_k[s][t] · tip(code)[t]`
+/// for each of the 16 possible 4-bit codes.
+fn build_tip_lookup(ps: &[ProbMatrix]) -> Vec<[[f64; NUM_STATES]; 16]> {
+    ps.iter()
+        .map(|p| {
+            let mut table = [[0.0; NUM_STATES]; 16];
+            for (code, entry) in table.iter_mut().enumerate() {
+                for s in 0..NUM_STATES {
+                    let mut acc = 0.0;
+                    for t in 0..NUM_STATES {
+                        if code & (1 << t) != 0 {
+                            acc += p[s][t];
+                        }
+                    }
+                    entry[s] = acc;
+                }
+            }
+            table
+        })
+        .collect()
+}
+
+/// The distinct rate multipliers that need P-matrices, shared by all
+/// kernels.
+fn p_matrices(part: &PartitionState, t: f64) -> Vec<ProbMatrix> {
+    part.rates
+        .distinct_rates()
+        .iter()
+        .map(|&r| prob_matrix(&part.model, t, r))
+        .collect()
+}
+
+/// Which P-matrix index pattern `i`, category `c` uses.
+#[inline]
+fn cat_index(rates: &RateHeterogeneity, i: usize, c: usize) -> usize {
+    match rates {
+        RateHeterogeneity::Gamma { .. } => c,
+        RateHeterogeneity::Psr { pattern_cat, .. } => pattern_cat[i] as usize,
+    }
+}
+
+/// One child's contribution to a parent CLV state: either through the tip
+/// lookup or by a matrix–vector product against the child's CLV block.
+enum Child<'a> {
+    Tip { codes: &'a [u8], lookup: Vec<[[f64; NUM_STATES]; 16]> },
+    Inner { clv: &'a [f64], scale: &'a [u32], ps: Vec<ProbMatrix> },
+}
+
+impl<'a> Child<'a> {
+    #[inline]
+    fn contribution(&self, i: usize, c: usize, cats: usize, k: usize, out: &mut [f64; NUM_STATES]) {
+        match self {
+            Child::Tip { codes, lookup } => {
+                *out = lookup[k][codes[i] as usize & 0xf];
+            }
+            Child::Inner { clv, ps, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                let block = &clv[base..base + NUM_STATES];
+                let p = &ps[k];
+                for (s, o) in out.iter_mut().enumerate() {
+                    let row = &p[s];
+                    *o = row[0] * block[0] + row[1] * block[1] + row[2] * block[2] + row[3] * block[3];
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn scale_of(&self, i: usize) -> u32 {
+        match self {
+            Child::Tip { .. } => 0,
+            Child::Inner { scale, .. } => scale[i],
+        }
+    }
+}
+
+/// Recompute the parent CLV of one traversal entry. Returns the work done in
+/// pattern-categories.
+pub(crate) fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntry) -> u64 {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let gi = part.data.global_index;
+    let t_left = Engine::branch_length(&entry.left_lengths, gi);
+    let t_right = Engine::branch_length(&entry.right_lengths, gi);
+
+    let ps_left = p_matrices(part, t_left);
+    let ps_right = p_matrices(part, t_right);
+
+    let parent_idx = entry.parent - n_taxa;
+    let mut parent_clv = std::mem::take(&mut part.clv[parent_idx]);
+    let mut parent_scale = std::mem::take(&mut part.scale[parent_idx]);
+
+    {
+        fn make_child<'a>(
+            part: &'a PartitionState,
+            n_taxa: usize,
+            node: usize,
+            ps: Vec<ProbMatrix>,
+        ) -> Child<'a> {
+            if node < n_taxa {
+                Child::Tip { codes: &part.data.tips[node], lookup: build_tip_lookup(&ps) }
+            } else {
+                let idx = node - n_taxa;
+                Child::Inner { clv: &part.clv[idx], scale: &part.scale[idx], ps }
+            }
+        }
+        let left = make_child(part, n_taxa, entry.left, ps_left);
+        let right = make_child(part, n_taxa, entry.right, ps_right);
+
+        let mut lv = [0.0; NUM_STATES];
+        let mut rv = [0.0; NUM_STATES];
+        for i in 0..n_patterns {
+            let mut maxv = 0.0f64;
+            let base_i = i * cats * NUM_STATES;
+            for c in 0..cats {
+                let k = cat_index(&part.rates, i, c);
+                left.contribution(i, c, cats, k, &mut lv);
+                right.contribution(i, c, cats, k, &mut rv);
+                let out = &mut parent_clv[base_i + c * NUM_STATES..base_i + (c + 1) * NUM_STATES];
+                for s in 0..NUM_STATES {
+                    let v = lv[s] * rv[s];
+                    out[s] = v;
+                    maxv = maxv.max(v.abs());
+                }
+            }
+            let mut count = left.scale_of(i) + right.scale_of(i);
+            if maxv < MIN_LIKELIHOOD {
+                for v in parent_clv[base_i..base_i + cats * NUM_STATES].iter_mut() {
+                    *v *= TWO_TO_256;
+                }
+                count += 1;
+            }
+            parent_scale[i] = count;
+        }
+    }
+
+    part.clv[parent_idx] = parent_clv;
+    part.scale[parent_idx] = parent_scale;
+    (n_patterns * cats) as u64
+}
+
+/// Per-pattern state vector access at the virtual root: tip codes or CLV.
+enum RootSide<'a> {
+    Tip(&'a [u8]),
+    Inner { clv: &'a [f64], scale: &'a [u32] },
+}
+
+impl<'a> RootSide<'a> {
+    #[inline]
+    fn state(&self, i: usize, c: usize, cats: usize, out: &mut [f64; NUM_STATES]) {
+        match self {
+            RootSide::Tip(codes) => {
+                let code = codes[i] as usize & 0xf;
+                for (s, o) in out.iter_mut().enumerate() {
+                    *o = if code & (1 << s) != 0 { 1.0 } else { 0.0 };
+                }
+            }
+            RootSide::Inner { clv, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                out.copy_from_slice(&clv[base..base + NUM_STATES]);
+            }
+        }
+    }
+
+    #[inline]
+    fn scale_of(&self, i: usize) -> u32 {
+        match self {
+            RootSide::Tip(_) => 0,
+            RootSide::Inner { scale, .. } => scale[i],
+        }
+    }
+}
+
+fn root_side<'a>(part: &'a PartitionState, n_taxa: usize, node: usize) -> RootSide<'a> {
+    if node < n_taxa {
+        RootSide::Tip(&part.data.tips[node])
+    } else {
+        let idx = node - n_taxa;
+        RootSide::Inner { clv: &part.clv[idx], scale: &part.scale[idx] }
+    }
+}
+
+/// Log-likelihood of one partition at the descriptor's virtual root.
+pub(crate) fn evaluate_root(
+    part: &PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+) -> (f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let gi = part.data.global_index;
+    let t = Engine::branch_length(&d.root_lengths, gi);
+    let ps = p_matrices(part, t);
+    let freqs = *part.model.freqs();
+    let cat_weight = match &part.rates {
+        RateHeterogeneity::Gamma { rates, .. } => 1.0 / rates.len() as f64,
+        RateHeterogeneity::Psr { .. } => 1.0,
+    };
+
+    let a = root_side(part, n_taxa, d.root_a);
+    let b = root_side(part, n_taxa, d.root_b);
+
+    let mut lnl = 0.0f64;
+    let mut xa = [0.0; NUM_STATES];
+    let mut xb = [0.0; NUM_STATES];
+    for i in 0..n_patterns {
+        let mut site = 0.0f64;
+        for c in 0..cats {
+            let k = cat_index(&part.rates, i, c);
+            a.state(i, c, cats, &mut xa);
+            b.state(i, c, cats, &mut xb);
+            let p = &ps[k];
+            let mut acc = 0.0;
+            for s in 0..NUM_STATES {
+                let row = &p[s];
+                let pb = row[0] * xb[0] + row[1] * xb[1] + row[2] * xb[2] + row[3] * xb[3];
+                acc += freqs[s] * xa[s] * pb;
+            }
+            site += cat_weight * acc;
+        }
+        let count = a.scale_of(i) + b.scale_of(i);
+        let site = site.max(f64::MIN_POSITIVE);
+        lnl += part.data.weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+    }
+    (lnl, (n_patterns * cats) as u64)
+}
+
+/// Build the derivative sumtable for the descriptor's root edge:
+/// `ST[(i·cats+c)·4+e] = (Σ_s π_s x_a[s] V[s,e]) · (Σ_t V⁻¹[e,t] x_b[t])`.
+/// The branch length itself enters only in [`derivatives_from_sumtable`],
+/// so Newton–Raphson iterations reuse one sumtable (RAxML's scheme).
+pub(crate) fn make_sumtable(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let freqs = *part.model.freqs();
+    let v = *part.model.v();
+    let vi = *part.model.v_inv();
+
+    let mut sumtable = std::mem::take(&mut part.sumtable);
+    sumtable.resize(n_patterns * cats * NUM_STATES, 0.0);
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        let mut xa = [0.0; NUM_STATES];
+        let mut xb = [0.0; NUM_STATES];
+        for i in 0..n_patterns {
+            for c in 0..cats {
+                a.state(i, c, cats, &mut xa);
+                b.state(i, c, cats, &mut xb);
+                let base = (i * cats + c) * NUM_STATES;
+                for e in 0..NUM_STATES {
+                    let mut ae = 0.0;
+                    let mut be = 0.0;
+                    for s in 0..NUM_STATES {
+                        ae += freqs[s] * xa[s] * v[s][e];
+                        be += vi[e][s] * xb[s];
+                    }
+                    sumtable[base + e] = ae * be;
+                }
+            }
+        }
+    }
+    part.sumtable = sumtable;
+}
+
+/// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from the
+/// prepared sumtable. Scaling constants cancel in the `L'/L` ratios.
+pub(crate) fn derivatives_from_sumtable(part: &PartitionState, t: f64) -> (f64, f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let lam = *part.model.eigenvalues();
+    let distinct = part.rates.distinct_rates();
+    let cat_weight = match &part.rates {
+        RateHeterogeneity::Gamma { rates, .. } => 1.0 / rates.len() as f64,
+        RateHeterogeneity::Psr { .. } => 1.0,
+    };
+
+    // Precompute exp(λ_e · r_k · t) and its derivative factors per distinct
+    // rate k.
+    let mut ex: Vec<[f64; NUM_STATES]> = Vec::with_capacity(distinct.len());
+    let mut lr1: Vec<[f64; NUM_STATES]> = Vec::with_capacity(distinct.len());
+    for &r in distinct {
+        let mut e = [0.0; NUM_STATES];
+        let mut l1 = [0.0; NUM_STATES];
+        for k in 0..NUM_STATES {
+            let lk = lam[k] * r;
+            e[k] = (lk * t).exp();
+            l1[k] = lk;
+        }
+        ex.push(e);
+        lr1.push(l1);
+    }
+
+    let mut d1_sum = 0.0f64;
+    let mut d2_sum = 0.0f64;
+    for i in 0..n_patterns {
+        let mut l = 0.0f64;
+        let mut l1 = 0.0f64;
+        let mut l2 = 0.0f64;
+        for c in 0..cats {
+            let k = cat_index(&part.rates, i, c);
+            let base = (i * cats + c) * NUM_STATES;
+            let e = &ex[k];
+            let lk = &lr1[k];
+            for s in 0..NUM_STATES {
+                let w = part.sumtable[base + s] * e[s];
+                l += w;
+                l1 += w * lk[s];
+                l2 += w * lk[s] * lk[s];
+            }
+        }
+        l *= cat_weight;
+        l1 *= cat_weight;
+        l2 *= cat_weight;
+        let l = l.max(f64::MIN_POSITIVE);
+        let ratio1 = l1 / l;
+        let ratio2 = l2 / l;
+        let wgt = part.data.weights[i];
+        d1_sum += wgt * ratio1;
+        d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+    }
+    (d1_sum, d2_sum, (n_patterns * cats) as u64)
+}

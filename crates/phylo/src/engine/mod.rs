@@ -1,0 +1,376 @@
+//! The partitioned likelihood engine.
+//!
+//! An [`Engine`] owns the **local slice** of the alignment a rank was
+//! assigned (all partitions, or pattern subsets of them), the per-partition
+//! models, and the conditional likelihood vectors (CLVs). It executes the
+//! three kernels every likelihood-based phylogenetics code spends >90% of
+//! its time in (§II):
+//!
+//! 1. [`Engine::execute`] — `newview`: recompute CLVs per a traversal
+//!    descriptor (Felsenstein pruning),
+//! 2. [`Engine::evaluate`] — per-partition log-likelihood at the virtual
+//!    root (the caller reduces across ranks),
+//! 3. [`Engine::prepare_derivatives`] + [`Engine::derivatives`] — first and
+//!    second branch-length derivatives via RAxML's eigenbasis sumtable.
+//!
+//! The engine is deliberately **tree-agnostic**: it only sees node ids and
+//! branch lengths inside descriptor entries. This is exactly the property
+//! the fork-join scheme exploits (workers never hold a tree, §III-A) and it
+//! guarantees the de-centralized and fork-join drivers execute bit-identical
+//! arithmetic.
+
+mod kernels;
+mod site_rates;
+
+use crate::model::gtr::GtrModel;
+use crate::model::rates::{RateHeterogeneity, RateModelKind};
+use crate::tree::traversal::TraversalDescriptor;
+use exa_bio::dna::NUM_STATES;
+use exa_bio::patterns::CompressedPartition;
+use exa_bio::stats::empirical_frequencies;
+
+/// CLV underflow threshold: entries below 2⁻²⁵⁶ trigger rescaling by 2²⁵⁶
+/// (RAxML's constants).
+pub const MIN_LIKELIHOOD: f64 = 8.636_168_555_094_445e-78; // 2^-256
+pub const TWO_TO_256: f64 = 1.157_920_892_373_162e77; // 2^256
+/// ln(2⁻²⁵⁶), added per scaling event when assembling log-likelihoods.
+pub const LN_MIN_LIKELIHOOD: f64 = -177.445_678_223_345_99;
+
+/// The immutable data of one local partition slice.
+#[derive(Debug, Clone)]
+pub struct PartitionSlice {
+    /// Name (diagnostics only).
+    pub name: String,
+    /// Index of this partition in the global scheme (model-parameter
+    /// batching is keyed on this).
+    pub global_index: usize,
+    /// Tip codes: `tips[taxon][pattern]`.
+    pub tips: Vec<Vec<u8>>,
+    /// Pattern weights.
+    pub weights: Vec<f64>,
+    /// Empirical base frequencies of the **full** partition. When a slice
+    /// holds only a pattern subset (cyclic distribution), frequencies must
+    /// still be the global ones or ranks would build different GTR models
+    /// for the same partition and diverge.
+    pub freqs: [f64; 4],
+}
+
+impl PartitionSlice {
+    /// Build from a compressed partition, deriving frequencies from the
+    /// partition itself. Only correct when `p` is the *full* partition —
+    /// for subsets use [`PartitionSlice::from_subset`].
+    pub fn from_compressed(global_index: usize, p: &CompressedPartition) -> PartitionSlice {
+        let freqs = empirical_frequencies(p);
+        PartitionSlice::from_subset(global_index, p, freqs)
+    }
+
+    /// Build from a (possibly subset) compressed partition with externally
+    /// supplied global frequencies.
+    pub fn from_subset(
+        global_index: usize,
+        p: &CompressedPartition,
+        freqs: [f64; 4],
+    ) -> PartitionSlice {
+        PartitionSlice {
+            name: p.name.clone(),
+            global_index,
+            tips: p.tips.clone(),
+            weights: p.weights.iter().map(|&w| w as f64).collect(),
+            freqs,
+        }
+    }
+
+    /// Number of patterns in this slice.
+    pub fn n_patterns(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Kernel work counters, used by the analytic cluster model and by the
+/// ablation benches. All counts are in units of `pattern × rate-category`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// CLV entries recomputed by `newview`.
+    pub clv_updates: u64,
+    /// Pattern-categories combined in `evaluate`.
+    pub eval_patterns: u64,
+    /// Pattern-categories processed by `derivatives` calls.
+    pub deriv_patterns: u64,
+    /// Pattern-categories processed during per-site rate optimization.
+    pub site_rate_patterns: u64,
+}
+
+impl WorkCounters {
+    /// Field-wise sum.
+    pub fn merge(&self, other: &WorkCounters) -> WorkCounters {
+        WorkCounters {
+            clv_updates: self.clv_updates + other.clv_updates,
+            eval_patterns: self.eval_patterns + other.eval_patterns,
+            deriv_patterns: self.deriv_patterns + other.deriv_patterns,
+            site_rate_patterns: self.site_rate_patterns + other.site_rate_patterns,
+        }
+    }
+
+    /// Total kernel work (pattern-categories).
+    pub fn total(&self) -> u64 {
+        self.clv_updates + self.eval_patterns + self.deriv_patterns + self.site_rate_patterns
+    }
+}
+
+/// Per-partition mutable engine state.
+pub(crate) struct PartitionState {
+    pub data: PartitionSlice,
+    pub model: GtrModel,
+    pub rates: RateHeterogeneity,
+    /// `clv[inner][pattern * cats * 4 + c*4 + s]`.
+    pub clv: Vec<Vec<f64>>,
+    /// Accumulated scaling counts: `scale[inner][pattern]`.
+    pub scale: Vec<Vec<u32>>,
+    /// Derivative sumtable: `[pattern * cats * 4]` in the eigenbasis.
+    pub sumtable: Vec<f64>,
+    /// Scratch: per-pattern rates during PSR optimization.
+    pub psr_scratch: Vec<f64>,
+}
+
+impl PartitionState {
+    fn new(data: PartitionSlice, n_inner: usize, kind: RateModelKind, alpha0: f64) -> PartitionState {
+        let n_patterns = data.n_patterns();
+        let model = GtrModel::new([1.0; 6], data.freqs);
+        let rates = match kind {
+            RateModelKind::Gamma => RateHeterogeneity::gamma(alpha0),
+            RateModelKind::Psr => RateHeterogeneity::psr(n_patterns),
+        };
+        let cats = rates.clv_categories();
+        PartitionState {
+            data,
+            model,
+            rates,
+            clv: vec![vec![0.0; n_patterns * cats * NUM_STATES]; n_inner],
+            scale: vec![vec![0; n_patterns]; n_inner],
+            sumtable: vec![0.0; n_patterns * cats * NUM_STATES],
+            psr_scratch: vec![1.0; n_patterns],
+        }
+    }
+
+    /// Resize CLV buffers when the category count changes (never happens for
+    /// Γ vs PSR at runtime, but kept for safety).
+    fn clv_len(&self) -> usize {
+        self.data.n_patterns() * self.rates.clv_categories() * NUM_STATES
+    }
+}
+
+/// The likelihood engine over a rank's local data.
+pub struct Engine {
+    n_taxa: usize,
+    /// Configured rate model — kept even when the rank holds zero
+    /// partitions (MPS with more ranks than partitions), so collective
+    /// call sequences stay identical across ranks.
+    kind: RateModelKind,
+    pub(crate) parts: Vec<PartitionState>,
+    work: WorkCounters,
+}
+
+impl Engine {
+    /// Build an engine for `n_taxa` taxa over the given partition slices,
+    /// all running the same rate-heterogeneity `kind` with initial Γ shape
+    /// `alpha0` (ignored under PSR). GTR starts at equal exchangeabilities
+    /// with empirical base frequencies, RAxML's defaults.
+    pub fn new(n_taxa: usize, slices: Vec<PartitionSlice>, kind: RateModelKind, alpha0: f64) -> Engine {
+        assert!(n_taxa >= 3, "need at least 3 taxa");
+        let n_inner = n_taxa - 2;
+        let parts = slices
+            .into_iter()
+            .map(|s| PartitionState::new(s, n_inner, kind, alpha0))
+            .collect();
+        Engine { n_taxa, kind, parts, work: WorkCounters::default() }
+    }
+
+    /// Number of taxa.
+    pub fn n_taxa(&self) -> usize {
+        self.n_taxa
+    }
+
+    /// Number of local partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Global partition indices of the local slices, in local order.
+    pub fn global_indices(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.data.global_index).collect()
+    }
+
+    /// Total local patterns.
+    pub fn total_patterns(&self) -> usize {
+        self.parts.iter().map(|p| p.data.n_patterns()).sum()
+    }
+
+    /// Rate-model kind (uniform across partitions; retained even with zero
+    /// local partitions).
+    pub fn rate_kind(&self) -> RateModelKind {
+        self.kind
+    }
+
+    /// CLV memory held by this engine, in bytes.
+    pub fn clv_bytes(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| {
+                let clv: usize = p.clv.iter().map(|v| v.len() * 8).sum();
+                let sc: usize = p.scale.iter().map(|v| v.len() * 4).sum();
+                (clv + sc + p.sumtable.len() * 8) as u64
+            })
+            .sum()
+    }
+
+    /// Read-and-keep the work counters.
+    pub fn work(&self) -> WorkCounters {
+        self.work
+    }
+
+    /// Reset the work counters to zero.
+    pub fn reset_work(&mut self) {
+        self.work = WorkCounters::default();
+    }
+
+    /// The Γ shape of local partition `local` (None under PSR).
+    pub fn alpha(&self, local: usize) -> Option<f64> {
+        self.parts[local].rates.alpha()
+    }
+
+    /// Set the Γ shape of local partition `local`. The caller must
+    /// invalidate all CLVs on its tree afterwards.
+    pub fn set_alpha(&mut self, local: usize, alpha: f64) {
+        self.parts[local].rates.set_alpha(alpha);
+        debug_assert_eq!(self.parts[local].clv_len(), self.parts[local].clv[0].len());
+    }
+
+    /// Current GTR exchangeabilities of local partition `local`.
+    pub fn gtr_rates(&self, local: usize) -> [f64; 6] {
+        *self.parts[local].model.rates()
+    }
+
+    /// Base frequencies of local partition `local`.
+    pub fn freqs(&self, local: usize) -> [f64; 4] {
+        *self.parts[local].model.freqs()
+    }
+
+    /// Set one free GTR exchangeability (0..=4) of partition `local`.
+    /// Caller must invalidate CLVs.
+    pub fn set_gtr_rate(&mut self, local: usize, index: usize, value: f64) {
+        self.parts[local].model.set_rate(index, value);
+    }
+
+    /// Replace the full model state of a partition (checkpoint restore).
+    pub fn set_model_state(&mut self, local: usize, model: GtrModel, rates: RateHeterogeneity) {
+        let p = &mut self.parts[local];
+        assert_eq!(
+            rates.clv_categories(),
+            p.rates.clv_categories(),
+            "cannot switch rate-category count at runtime"
+        );
+        if let RateHeterogeneity::Psr { pattern_cat, .. } = &rates {
+            assert_eq!(pattern_cat.len(), p.data.n_patterns(), "PSR state has wrong pattern count");
+        }
+        p.model = model;
+        p.rates = rates;
+    }
+
+    /// Clone of the model state (checkpointing).
+    pub fn model_state(&self, local: usize) -> (GtrModel, RateHeterogeneity) {
+        (self.parts[local].model.clone(), self.parts[local].rates.clone())
+    }
+
+    /// The branch length used by local partition `local` given a descriptor
+    /// length vector (1 = joint, else indexed by *global* partition).
+    pub(crate) fn branch_length(lengths: &[f64], global_index: usize) -> f64 {
+        if lengths.len() == 1 {
+            lengths[0]
+        } else {
+            lengths[global_index]
+        }
+    }
+
+    /// Execute a traversal descriptor: recompute the listed CLVs for every
+    /// local partition.
+    pub fn execute(&mut self, d: &TraversalDescriptor) {
+        let n_taxa = self.n_taxa;
+        let mut work = 0u64;
+        for part in self.parts.iter_mut() {
+            for entry in &d.entries {
+                work += kernels::newview_entry(part, n_taxa, entry);
+            }
+        }
+        self.work.clv_updates += work;
+    }
+
+    /// Per-partition log-likelihoods at the descriptor's virtual root.
+    /// CLVs must be up to date (call [`Engine::execute`] first or use the
+    /// combined form in the drivers).
+    pub fn evaluate(&mut self, d: &TraversalDescriptor) -> Vec<f64> {
+        let n_taxa = self.n_taxa;
+        let mut out = Vec::with_capacity(self.parts.len());
+        let mut work = 0u64;
+        for part in self.parts.iter_mut() {
+            let (lnl, w) = kernels::evaluate_root(part, n_taxa, d);
+            out.push(lnl);
+            work += w;
+        }
+        self.work.eval_patterns += work;
+        out
+    }
+
+    /// Build the derivative sumtables for the descriptor's root edge.
+    /// CLVs must be up to date.
+    pub fn prepare_derivatives(&mut self, d: &TraversalDescriptor) {
+        let n_taxa = self.n_taxa;
+        for part in self.parts.iter_mut() {
+            kernels::make_sumtable(part, n_taxa, d);
+        }
+    }
+
+    /// First and second log-likelihood derivatives w.r.t. the root-edge
+    /// branch length, per local partition. `lengths` holds the candidate
+    /// branch length(s): one entry (joint) or one per *global* partition.
+    /// Requires [`Engine::prepare_derivatives`] to have run for this edge.
+    pub fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut d1 = Vec::with_capacity(self.parts.len());
+        let mut d2 = Vec::with_capacity(self.parts.len());
+        let mut work = 0u64;
+        for part in self.parts.iter_mut() {
+            let t = Engine::branch_length(lengths, part.data.global_index);
+            let (a, b, w) = kernels::derivatives_from_sumtable(part, t);
+            d1.push(a);
+            d2.push(b);
+            work += w;
+        }
+        self.work.deriv_patterns += work;
+        (d1, d2)
+    }
+
+    /// Locally optimize per-pattern PSR rates (see the `site_rates` module) —
+    /// returns `(Σ w·r, Σ w)` over local patterns so the caller can compute
+    /// the global normalization with one small allreduce.
+    pub fn optimize_site_rates(&mut self, d: &TraversalDescriptor) -> (f64, f64) {
+        let n_taxa = self.n_taxa;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut work = 0u64;
+        for part in self.parts.iter_mut() {
+            let (n, dn, w) = site_rates::optimize_partition(part, n_taxa, d);
+            num += n;
+            den += dn;
+            work += w;
+        }
+        self.work.site_rate_patterns += work;
+        (num, den)
+    }
+
+    /// Apply the global PSR normalization `scale` (= global Σw / Σw·r) and
+    /// quantize rates into categories. Caller must invalidate CLVs.
+    pub fn finalize_site_rates(&mut self, scale: f64) {
+        for part in self.parts.iter_mut() {
+            site_rates::finalize_partition(part, scale);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! PSR (per-site rate) optimization.
+//!
+//! Under PSR every pattern owns an evolutionary rate. Optimizing it requires
+//! the likelihood of *that single pattern* as a function of a rate that
+//! scales **every** branch of the tree, so each candidate rate needs a full
+//! single-pattern tree traversal (RAxML's `evaluatePartialGeneric`). Rates
+//! are searched on a multiplicative grid around the current value, then
+//! globally normalized to weighted mean 1 and quantized into at most
+//! [`crate::model::rates::PSR_MAX_CATEGORIES`] categories.
+//!
+//! Crucially for the paper: each pattern's optimization touches only data
+//! local to the rank owning that pattern; the only communication is the
+//! 2-double allreduce for the normalization constant (§III-B's "additional
+//! MPI calls to handle the CAT model").
+
+use super::{Engine, PartitionState, LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
+use crate::model::pmatrix::prob_matrix;
+use crate::model::rates::{RateHeterogeneity, PSR_MAX_CATEGORIES, PSR_RATE_MAX, PSR_RATE_MIN};
+use crate::tree::traversal::TraversalDescriptor;
+use exa_bio::dna::NUM_STATES;
+
+/// Multiplicative search grid around the current rate.
+const GRID: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 4.0 / 3.0, 2.0, 4.0];
+
+/// Optimize all pattern rates of one partition. Returns
+/// `(Σ wᵢ·rᵢ, Σ wᵢ, work)`; rates are stored in `psr_scratch` pending
+/// global normalization. No-op (zeros) for Γ partitions.
+pub(crate) fn optimize_partition(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+) -> (f64, f64, u64) {
+    if !matches!(part.rates, RateHeterogeneity::Psr { .. }) {
+        return (0.0, 0.0, 0);
+    }
+    let n_patterns = part.data.n_patterns();
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    let mut work = 0u64;
+    let mut scratch = std::mem::take(&mut part.psr_scratch);
+    for i in 0..n_patterns {
+        let r0 = part
+            .rates
+            .pattern_rate(i)
+            .expect("PSR partition has per-pattern rates");
+        let mut best_r = r0;
+        let mut best_lnl = f64::NEG_INFINITY;
+        for g in GRID {
+            let r = (r0 * g).clamp(PSR_RATE_MIN, PSR_RATE_MAX);
+            let lnl = single_pattern_lnl(part, n_taxa, d, i, r);
+            work += d.entries.len() as u64 + 1;
+            if lnl > best_lnl {
+                best_lnl = lnl;
+                best_r = r;
+            }
+        }
+        scratch[i] = best_r;
+        num += part.data.weights[i] * best_r;
+        den += part.data.weights[i];
+    }
+    part.psr_scratch = scratch;
+    (num, den, work)
+}
+
+/// Apply the global normalization and quantize.
+pub(crate) fn finalize_partition(part: &mut PartitionState, scale: f64) {
+    if !matches!(part.rates, RateHeterogeneity::Psr { .. }) {
+        return;
+    }
+    let scaled: Vec<f64> = part.psr_scratch.iter().map(|r| r * scale).collect();
+    part.rates.set_pattern_rates(&scaled, &part.data.weights, PSR_MAX_CATEGORIES);
+}
+
+/// Log-likelihood of the single pattern `i` with every branch scaled by
+/// rate `r`, via a full traversal over the descriptor entries.
+fn single_pattern_lnl(
+    part: &PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+    i: usize,
+    r: f64,
+) -> f64 {
+    let gi = part.data.global_index;
+    let n_inner = n_taxa - 2;
+    let mut clv = vec![[0.0f64; NUM_STATES]; n_inner];
+    let mut scale = vec![0u32; n_inner];
+
+    let state_of = |node: usize, clv: &[[f64; NUM_STATES]], out: &mut [f64; NUM_STATES]| {
+        if node < n_taxa {
+            let code = part.data.tips[node][i] as usize & 0xf;
+            for (s, o) in out.iter_mut().enumerate() {
+                *o = if code & (1 << s) != 0 { 1.0 } else { 0.0 };
+            }
+        } else {
+            *out = clv[node - n_taxa];
+        }
+    };
+
+    let mut xl = [0.0; NUM_STATES];
+    let mut xr = [0.0; NUM_STATES];
+    for entry in &d.entries {
+        let tl = Engine::branch_length(&entry.left_lengths, gi);
+        let tr = Engine::branch_length(&entry.right_lengths, gi);
+        let pl = prob_matrix(&part.model, tl, r);
+        let pr = prob_matrix(&part.model, tr, r);
+        state_of(entry.left, &clv, &mut xl);
+        state_of(entry.right, &clv, &mut xr);
+        let mut out = [0.0; NUM_STATES];
+        let mut maxv = 0.0f64;
+        for s in 0..NUM_STATES {
+            let l =
+                pl[s][0] * xl[0] + pl[s][1] * xl[1] + pl[s][2] * xl[2] + pl[s][3] * xl[3];
+            let rr =
+                pr[s][0] * xr[0] + pr[s][1] * xr[1] + pr[s][2] * xr[2] + pr[s][3] * xr[3];
+            out[s] = l * rr;
+            maxv = maxv.max(out[s].abs());
+        }
+        let pi = entry.parent - n_taxa;
+        let mut count = 0u32;
+        for node in [entry.left, entry.right] {
+            if node >= n_taxa {
+                count += scale[node - n_taxa];
+            }
+        }
+        if maxv < MIN_LIKELIHOOD {
+            for o in out.iter_mut() {
+                *o *= TWO_TO_256;
+            }
+            count += 1;
+        }
+        clv[pi] = out;
+        scale[pi] = count;
+    }
+
+    // Root evaluation.
+    let t_root = Engine::branch_length(&d.root_lengths, gi);
+    let p = prob_matrix(&part.model, t_root, r);
+    let freqs = part.model.freqs();
+    let mut xa = [0.0; NUM_STATES];
+    let mut xb = [0.0; NUM_STATES];
+    state_of(d.root_a, &clv, &mut xa);
+    state_of(d.root_b, &clv, &mut xb);
+    let mut acc = 0.0f64;
+    for s in 0..NUM_STATES {
+        let pb = p[s][0] * xb[0] + p[s][1] * xb[1] + p[s][2] * xb[2] + p[s][3] * xb[3];
+        acc += freqs[s] * xa[s] * pb;
+    }
+    let mut count = 0u32;
+    for node in [d.root_a, d.root_b] {
+        if node >= n_taxa {
+            count += scale[node - n_taxa];
+        }
+    }
+    acc.max(f64::MIN_POSITIVE).ln() + count as f64 * LN_MIN_LIKELIHOOD
+}

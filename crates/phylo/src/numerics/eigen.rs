@@ -1,0 +1,201 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The GTR rate matrix is similar to a symmetric matrix (see
+//! [`crate::model::gtr`]), so a symmetric eigensolver is all the engine
+//! needs. The Jacobi method is exact enough (~1e-14) and has no
+//! degenerate-case trouble at 4×4 size.
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(values) · Vᵀ`,
+/// eigen-`values` ascending, `vectors` column-major (column k is the k-th
+/// eigenvector, stored as `vectors[row][k]`).
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    pub values: Vec<f64>,
+    /// `vectors[i][k]`: component `i` of eigenvector `k` (orthonormal).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Decompose the symmetric `n×n` matrix `a` (row-major, `a[i][j]`).
+///
+/// # Panics
+/// Panics if `a` is not square or not symmetric to 1e-9.
+pub fn sym_eigen(a: &[Vec<f64>]) -> SymEigen {
+    let n = a.len();
+    for row in a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for i in 0..n {
+        for j in 0..i {
+            assert!(
+                (a[i][j] - a[j][i]).abs() <= 1e-9 * (1.0 + a[i][j].abs()),
+                "matrix not symmetric at ({i},{j}): {} vs {}",
+                a[i][j],
+                a[j][i]
+            );
+        }
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i][j] * m[i][j];
+            }
+        }
+        if off < 1e-30 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[p][q].
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[k][p];
+                    let mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p][k];
+                    let mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[i][i].partial_cmp(&m[j][j]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[i][i]).collect();
+    let vectors: Vec<Vec<f64>> = (0..n)
+        .map(|row| order.iter().map(|&k| v[row][k]).collect())
+        .collect();
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEigen) -> Vec<Vec<f64>> {
+        let n = e.values.len();
+        let mut out = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    out[i][j] += e.vectors[i][k] * e.values[k] * e.vectors[j][k];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let e = sym_eigen(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_4x4() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5, 0.2],
+            vec![1.0, 3.0, 0.7, 0.1],
+            vec![0.5, 0.7, 2.0, 0.3],
+            vec![0.2, 0.1, 0.3, 1.0],
+        ];
+        let e = sym_eigen(&a);
+        let r = reconstruct(&e);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((r[i][j] - a[i][j]).abs() < 1e-10, "({i},{j}): {} vs {}", r[i][j], a[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 5.0, -1.0],
+            vec![3.0, -1.0, 0.5],
+        ];
+        let e = sym_eigen(&a);
+        for p in 0..3 {
+            for q in 0..3 {
+                let dot: f64 = (0..3).map(|i| e.vectors[i][p] * e.vectors[i][q]).sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({p},{q}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // Identity: all eigenvalues 1, any orthonormal basis valid.
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        let r = reconstruct(&e);
+        assert!((r[0][0] - 1.0).abs() < 1e-12 && r[0][1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = vec![vec![1.0, 2.0], vec![0.0, 1.0]];
+        assert!(std::panic::catch_unwind(|| sym_eigen(&a)).is_err());
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = vec![
+            vec![2.5, -0.8, 0.0, 1.1],
+            vec![-0.8, 0.9, 0.4, 0.0],
+            vec![0.0, 0.4, -1.7, 0.6],
+            vec![1.1, 0.0, 0.6, 3.3],
+        ];
+        let e = sym_eigen(&a);
+        let trace: f64 = (0..4).map(|i| a[i][i]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,10 @@
+//! Self-contained numerical routines.
+//!
+//! Nothing here is phylogenetics-specific; these are the classical special
+//! functions and optimizers the likelihood engine needs, implemented locally
+//! so the workspace has no linear-algebra or special-function dependencies
+//! (see DESIGN.md §6).
+
+pub mod brent;
+pub mod eigen;
+pub mod gamma;

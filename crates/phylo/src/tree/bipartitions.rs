@@ -1,0 +1,152 @@
+//! Tree-topology comparison via bipartitions (splits) and the
+//! Robinson–Foulds distance. Used by tests to assert that different
+//! parallelization schemes produce identical topologies.
+
+use super::{NodeId, Tree};
+use std::collections::HashSet;
+
+/// The non-trivial bipartitions of the tree: for each internal edge, the set
+/// of taxa on one side, canonicalized (side not containing taxon 0) as a
+/// sorted taxon list.
+pub fn bipartitions(tree: &Tree) -> HashSet<Vec<usize>> {
+    let mut out = HashSet::new();
+    for e in tree.edge_ids() {
+        let edge = tree.edge(e);
+        if tree.is_tip(edge.a) || tree.is_tip(edge.b) {
+            continue; // trivial split
+        }
+        // Collect taxa on edge.a's side (cutting the edge).
+        let side = taxa_on_side(tree, edge.a, edge.b);
+        let canonical = if side.contains(&0) {
+            // Complement.
+            (0..tree.n_taxa()).filter(|t| !side.contains(t)).collect::<Vec<_>>()
+        } else {
+            let mut v: Vec<usize> = side.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        out.insert(canonical);
+    }
+    out
+}
+
+fn taxa_on_side(tree: &Tree, start: NodeId, blocked: NodeId) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    let mut taxa = HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    seen.insert(blocked);
+    while let Some(v) = stack.pop() {
+        if tree.is_tip(v) {
+            taxa.insert(v);
+        }
+        for &(w, _) in tree.neighbors(v) {
+            if seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    taxa
+}
+
+/// Canonical bipartitions keyed by the *directed* subtree that induces
+/// them: for every inner node `v` and neighbor `parent`, the canonical
+/// split of cutting edge `(v, parent)` — same canonical form as
+/// [`bipartitions`] (the side without taxon 0, sorted). Only non-trivial
+/// splits (internal edges) are included. Used to attach support values to
+/// the right internal nodes when writing annotated Newick.
+pub fn bipartitions_of_subtrees(
+    tree: &Tree,
+) -> std::collections::HashMap<(NodeId, NodeId), Vec<usize>> {
+    let mut out = std::collections::HashMap::new();
+    for e in tree.edge_ids() {
+        let edge = tree.edge(e);
+        if tree.is_tip(edge.a) || tree.is_tip(edge.b) {
+            continue;
+        }
+        for (v, parent) in [(edge.a, edge.b), (edge.b, edge.a)] {
+            let side = taxa_on_side(tree, v, parent);
+            let canonical: Vec<usize> = if side.contains(&0) {
+                (0..tree.n_taxa()).filter(|t| !side.contains(t)).collect()
+            } else {
+                let mut s: Vec<usize> = side.into_iter().collect();
+                s.sort_unstable();
+                s
+            };
+            out.insert((v, parent), canonical);
+        }
+    }
+    out
+}
+
+/// Robinson–Foulds distance: the number of bipartitions present in exactly
+/// one of the two trees. 0 iff the (unrooted) topologies are identical.
+pub fn rf_distance(a: &Tree, b: &Tree) -> usize {
+    assert_eq!(a.n_taxa(), b.n_taxa(), "trees over different taxon sets");
+    let ba = bipartitions(a);
+    let bb = bipartitions(b);
+    ba.symmetric_difference(&bb).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    #[test]
+    fn identical_trees_have_distance_zero() {
+        let t = Tree::random(10, 1, 5);
+        assert_eq!(rf_distance(&t, &t.clone()), 0);
+    }
+
+    #[test]
+    fn bipartition_count_matches_internal_edges() {
+        for n in [4usize, 6, 10, 20] {
+            let t = Tree::random(n, 1, 1);
+            // A binary unrooted tree has n-3 internal edges.
+            assert_eq!(bipartitions(&t).len(), n - 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn different_random_trees_usually_differ() {
+        let a = Tree::random(20, 1, 1);
+        let b = Tree::random(20, 1, 2);
+        assert!(rf_distance(&a, &b) > 0);
+    }
+
+    #[test]
+    fn spr_changes_limited_number_of_splits() {
+        let mut t = Tree::random(15, 1, 3);
+        let orig = t.clone();
+        let x = t.n_taxa();
+        let sub = t.neighbors(x)[0].0;
+        let info = t.prune(x, sub);
+        let cands = t.edges_within_radius(info.merged_edge, 2);
+        let target = *cands
+            .iter()
+            .find(|&&e| {
+                let ed = t.edge(e);
+                ed.a != x && ed.b != x && e != info.free_edge
+            })
+            .unwrap();
+        t.graft(&info, target);
+        let d = rf_distance(&orig, &t);
+        // A radius-2 SPR can change at most a handful of splits.
+        assert!(d > 0 && d <= 8, "distance {d}");
+    }
+
+    #[test]
+    fn three_taxon_tree_has_no_splits() {
+        let t = Tree::random(3, 1, 1);
+        assert!(bipartitions(&t).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different taxon sets")]
+    fn mismatched_taxa_panics() {
+        let a = Tree::random(5, 1, 1);
+        let b = Tree::random(6, 1, 1);
+        rf_distance(&a, &b);
+    }
+}

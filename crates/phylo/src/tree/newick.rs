@@ -1,0 +1,378 @@
+//! Newick serialization of unrooted trees.
+//!
+//! The writer emits the standard unrooted convention: a trifurcation at an
+//! arbitrary inner node, e.g. `(A:0.1,B:0.2,(C:0.1,D:0.1):0.05);`. The
+//! parser accepts both trifurcating and (binary-)rooted files; a binary root
+//! is collapsed into an edge, as RAxML does on input.
+//!
+//! For trees with per-partition branch lengths, the writer emits partition
+//! 0's lengths (checkpoints store the full length vectors separately).
+
+use super::{Edge, EdgeId, NodeId, Tree, BL_MAX, BL_MIN};
+
+/// Errors from Newick parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewickError(pub String);
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "newick error: {}", self.0)
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+impl Tree {
+    /// Build a tree from an explicit edge list `(a, b, length)` over node
+    /// ids (`0..n_taxa` tips, `n_taxa..2n_taxa-2` inner). Lengths are
+    /// replicated across all `blen_count` slots.
+    pub fn from_edges(
+        n_taxa: usize,
+        blen_count: usize,
+        edge_list: &[(NodeId, NodeId, f64)],
+    ) -> Result<Tree, NewickError> {
+        if n_taxa < 3 {
+            return Err(NewickError(format!("need >= 3 taxa, got {n_taxa}")));
+        }
+        let n_nodes = 2 * n_taxa - 2;
+        if edge_list.len() != 2 * n_taxa - 3 {
+            return Err(NewickError(format!(
+                "expected {} edges, got {}",
+                2 * n_taxa - 3,
+                edge_list.len()
+            )));
+        }
+        let mut t = Tree {
+            n_taxa,
+            blen_count,
+            adj: vec![Vec::new(); n_nodes],
+            edges: Vec::with_capacity(edge_list.len()),
+            orientation: vec![None; n_taxa - 2],
+        };
+        for &(a, b, len) in edge_list {
+            if a >= n_nodes || b >= n_nodes || a == b {
+                return Err(NewickError(format!("bad edge ({a},{b})")));
+            }
+            let e: EdgeId = t.edges.len();
+            t.edges.push(Edge { a, b, lengths: vec![len.clamp(BL_MIN, BL_MAX); blen_count] });
+            t.adj[a].push((b, e));
+            t.adj[b].push((a, e));
+        }
+        t.check_invariants().map_err(NewickError)?;
+        Ok(t)
+    }
+
+    /// Render as Newick using `names` for tips, rooted at an arbitrary
+    /// trifurcating inner node.
+    pub fn to_newick(&self, names: &[String]) -> String {
+        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        let root = self.n_taxa(); // first inner node
+        let mut out = String::from("(");
+        let nbrs: Vec<(NodeId, EdgeId)> = {
+            let mut v = self.neighbors(root).to_vec();
+            v.sort_by_key(|&(n, _)| n);
+            v
+        };
+        for (i, &(child, e)) in nbrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.write_subtree(child, root, e, names, &mut out);
+        }
+        out.push_str(");");
+        out
+    }
+
+    fn write_subtree(
+        &self,
+        v: NodeId,
+        parent: NodeId,
+        edge: EdgeId,
+        names: &[String],
+        out: &mut String,
+    ) {
+        if self.is_tip(v) {
+            out.push_str(&names[v]);
+        } else {
+            out.push('(');
+            let mut children: Vec<(NodeId, EdgeId)> = self
+                .neighbors(v)
+                .iter()
+                .filter(|&&(n, _)| n != parent)
+                .copied()
+                .collect();
+            children.sort_by_key(|&(n, _)| n);
+            for (i, &(c, e)) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.write_subtree(c, v, e, names, out);
+            }
+            out.push(')');
+        }
+        out.push_str(&format!(":{:.10}", self.edge(edge).length(0)));
+    }
+
+    /// Parse a Newick string; `names` maps taxon labels to tip ids.
+    pub fn from_newick(
+        text: &str,
+        names: &[String],
+        blen_count: usize,
+    ) -> Result<Tree, NewickError> {
+        let n_taxa = names.len();
+        let mut parser = Parser { bytes: text.trim().as_bytes(), pos: 0 };
+        let root_node = parser.parse_clade()?;
+        parser.skip_ws();
+        if parser.peek() == Some(b';') {
+            parser.pos += 1;
+        }
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(NewickError(format!("trailing input at byte {}", parser.pos)));
+        }
+
+        // Flatten into edges, assigning inner ids on the fly.
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let mut next_inner = n_taxa;
+        let name_index = |label: &str| -> Result<NodeId, NewickError> {
+            names
+                .iter()
+                .position(|n| n == label)
+                .ok_or_else(|| NewickError(format!("unknown taxon {label:?}")))
+        };
+
+        // Resolve a clade into a node id, appending edges to children.
+        fn resolve(
+            clade: Clade,
+            edges: &mut Vec<(NodeId, NodeId, f64)>,
+            next_inner: &mut usize,
+            name_index: &dyn Fn(&str) -> Result<NodeId, NewickError>,
+        ) -> Result<NodeId, NewickError> {
+            match clade {
+                Clade::Leaf { label } => name_index(&label),
+                Clade::Internal { children } => {
+                    let id = *next_inner;
+                    *next_inner += 1;
+                    for (child, len) in children {
+                        let cid = resolve(child, edges, next_inner, name_index)?;
+                        edges.push((id, cid, len));
+                    }
+                    Ok(id)
+                }
+            }
+        }
+
+        // The root clade must be internal.
+        let Clade::Internal { children } = root_node else {
+            return Err(NewickError("tree is a single leaf".into()));
+        };
+        match children.len() {
+            3 => {
+                let id = next_inner;
+                next_inner += 1;
+                for (child, len) in children {
+                    let cid = resolve(child, &mut edges, &mut next_inner, &|l| name_index(l))?;
+                    edges.push((id, cid, len));
+                }
+            }
+            2 => {
+                // Rooted file: collapse the root into one edge between its
+                // two children, lengths summed.
+                let mut it = children.into_iter();
+                let (c1, l1) = it.next().unwrap();
+                let (c2, l2) = it.next().unwrap();
+                let id1 = resolve(c1, &mut edges, &mut next_inner, &|l| name_index(l))?;
+                let id2 = resolve(c2, &mut edges, &mut next_inner, &|l| name_index(l))?;
+                edges.push((id1, id2, l1 + l2));
+            }
+            n => return Err(NewickError(format!("root has degree {n}, expected 2 or 3"))),
+        }
+
+        if next_inner != 2 * n_taxa - 2 {
+            return Err(NewickError(format!(
+                "tree is not strictly binary: {} inner nodes, expected {}",
+                next_inner - n_taxa,
+                n_taxa - 2
+            )));
+        }
+        Tree::from_edges(n_taxa, blen_count, &edges)
+    }
+}
+
+enum Clade {
+    Leaf { label: String },
+    Internal { children: Vec<(Clade, f64)> },
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_clade(&mut self) -> Result<Clade, NewickError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut children = Vec::new();
+            loop {
+                let clade = self.parse_clade()?;
+                let len = self.parse_length()?;
+                children.push((clade, len));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(NewickError(format!(
+                            "expected ',' or ')' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|b| b as char)
+                        )))
+                    }
+                }
+            }
+            Ok(Clade::Internal { children })
+        } else {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if !b":,();".contains(&b) && !b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return Err(NewickError(format!("expected label at byte {start}")));
+            }
+            let label = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| NewickError("non-utf8 label".into()))?
+                .to_string();
+            Ok(Clade::Leaf { label })
+        }
+    }
+
+    fn parse_length(&mut self) -> Result<f64, NewickError> {
+        self.skip_ws();
+        if self.peek() != Some(b':') {
+            return Ok(super::DEFAULT_BRANCH_LENGTH);
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'-' || b == b'+' || b == b'e' || b == b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| NewickError(format!("bad branch length at byte {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::bipartitions::rf_distance;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn roundtrip_random_trees() {
+        for seed in 0..5u64 {
+            let t = Tree::random(12, 1, seed);
+            let nm = names(12);
+            let text = t.to_newick(&nm);
+            let back = Tree::from_newick(&text, &nm, 1).unwrap();
+            assert_eq!(rf_distance(&t, &back), 0, "seed {seed}: {text}");
+            // Branch lengths survive (sum preserved; identity per split is
+            // what RF + total length checks approximate).
+            let sum_a: f64 = t.edge_ids().map(|e| t.edge(e).length(0)).sum();
+            let sum_b: f64 = back.edge_ids().map(|e| back.edge(e).length(0)).sum();
+            assert!((sum_a - sum_b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parses_rooted_newick_by_collapsing_root() {
+        let nm = names(4);
+        let t = Tree::from_newick("((t0:0.1,t1:0.2):0.05,(t2:0.1,t3:0.1):0.05);", &nm, 1).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.n_taxa(), 4);
+        // The collapsed central edge has summed length 0.1.
+        let internal = t
+            .edge_ids()
+            .find(|&e| !t.is_tip(t.edge(e).a) && !t.is_tip(t.edge(e).b))
+            .unwrap();
+        assert!((t.edge(internal).length(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_trifurcating_newick() {
+        let nm = names(5);
+        let t =
+            Tree::from_newick("(t0:0.1,(t1:0.1,t2:0.1):0.2,(t3:0.1,t4:0.1):0.3);", &nm, 1).unwrap();
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn missing_lengths_get_default() {
+        let nm = names(4);
+        let t = Tree::from_newick("(t0,t1,(t2,t3));", &nm, 1).unwrap();
+        assert!((t.edge(0).length(0) - super::super::DEFAULT_BRANCH_LENGTH).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scientific_notation_lengths() {
+        let nm = names(4);
+        let t = Tree::from_newick("(t0:1e-3,t1:2E-2,(t2:0.1,t3:0.1):1.5e-1);", &nm, 1).unwrap();
+        let pend0 = t.edge_between(0, t.neighbors(0)[0].0).unwrap();
+        assert!((t.edge(pend0).length(0) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_unknown_taxon() {
+        let nm = names(4);
+        let err = Tree::from_newick("(t0,t1,(t2,WRONG));", &nm, 1).unwrap_err();
+        assert!(err.0.contains("unknown taxon"));
+    }
+
+    #[test]
+    fn rejects_multifurcations() {
+        let nm = names(5);
+        assert!(Tree::from_newick("(t0,t1,t2,t3,t4);", &nm, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let nm = names(3);
+        assert!(Tree::from_newick("((t0,t1", &nm, 1).is_err());
+        assert!(Tree::from_newick("(t0:x,t1,t2);", &nm, 1).is_err());
+        assert!(Tree::from_newick("(t0,t1,t2); extra", &nm, 1).is_err());
+    }
+
+    #[test]
+    fn per_partition_parse_replicates_lengths() {
+        let nm = names(4);
+        let t = Tree::from_newick("(t0:0.1,t1:0.2,(t2:0.1,t3:0.1):0.4);", &nm, 3).unwrap();
+        assert_eq!(t.blen_count(), 3);
+        for e in t.edge_ids() {
+            assert_eq!(t.edge(e).lengths.len(), 3);
+            assert_eq!(t.edge(e).lengths[0], t.edge(e).lengths[2]);
+        }
+    }
+}

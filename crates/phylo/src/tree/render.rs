@@ -1,0 +1,185 @@
+//! Tree rendering: Newick with bipartition support labels, and an ASCII-art
+//! cladogram for terminal output.
+
+use super::bipartitions::bipartitions_of_subtrees;
+use super::{EdgeId, NodeId, Tree};
+use std::collections::HashMap;
+
+impl Tree {
+    /// Render as Newick with internal-node support labels (e.g. bootstrap
+    /// percentages): `support` maps canonical bipartitions (as produced by
+    /// [`super::bipartitions::bipartitions`]) to a value printed after the
+    /// closing parenthesis, the convention RAxML/ExaML output files use.
+    pub fn to_newick_with_support(
+        &self,
+        names: &[String],
+        support: &HashMap<Vec<usize>, f64>,
+    ) -> String {
+        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        let splits = bipartitions_of_subtrees(self);
+        let root = self.n_taxa();
+        let mut out = String::from("(");
+        let mut nbrs: Vec<(NodeId, EdgeId)> = self.neighbors(root).to_vec();
+        nbrs.sort_by_key(|&(n, _)| n);
+        for (i, &(child, e)) in nbrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.write_support_subtree(child, root, e, names, support, &splits, &mut out);
+        }
+        out.push_str(");");
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_support_subtree(
+        &self,
+        v: NodeId,
+        parent: NodeId,
+        edge: EdgeId,
+        names: &[String],
+        support: &HashMap<Vec<usize>, f64>,
+        splits: &HashMap<(NodeId, NodeId), Vec<usize>>,
+        out: &mut String,
+    ) {
+        if self.is_tip(v) {
+            out.push_str(&names[v]);
+        } else {
+            out.push('(');
+            let mut children: Vec<(NodeId, EdgeId)> = self
+                .neighbors(v)
+                .iter()
+                .filter(|&&(n, _)| n != parent)
+                .copied()
+                .collect();
+            children.sort_by_key(|&(n, _)| n);
+            for (i, &(c, e)) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.write_support_subtree(c, v, e, names, support, splits, out);
+            }
+            out.push(')');
+            if let Some(split) = splits.get(&(v, parent)) {
+                if let Some(&s) = support.get(split) {
+                    out.push_str(&format!("{}", s.round() as i64));
+                }
+            }
+        }
+        out.push_str(&format!(":{:.10}", self.edge(edge).length(0)));
+    }
+
+    /// Render an ASCII cladogram (topology only), one tip per line. Rooted
+    /// for display at the first inner node.
+    pub fn to_ascii(&self, names: &[String]) -> String {
+        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        let root = self.n_taxa();
+        let mut lines: Vec<String> = Vec::new();
+        let mut nbrs: Vec<NodeId> = self.neighbors(root).iter().map(|&(n, _)| n).collect();
+        nbrs.sort_unstable();
+        let last = nbrs.len() - 1;
+        for (i, &child) in nbrs.iter().enumerate() {
+            self.ascii_subtree(child, root, "", i == last, i == 0, names, &mut lines);
+        }
+        lines.join("\n") + "\n"
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ascii_subtree(
+        &self,
+        v: NodeId,
+        parent: NodeId,
+        prefix: &str,
+        is_last: bool,
+        _is_first: bool,
+        names: &[String],
+        out: &mut Vec<String>,
+    ) {
+        let connector = if is_last { "└─" } else { "├─" };
+        if self.is_tip(v) {
+            out.push(format!("{prefix}{connector} {}", names[v]));
+            return;
+        }
+        out.push(format!("{prefix}{connector}┐"));
+        let child_prefix = format!("{prefix}{}", if is_last { "   " } else { "│  " });
+        let mut children: Vec<NodeId> = self
+            .neighbors(v)
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n != parent)
+            .collect();
+        children.sort_unstable();
+        let last = children.len() - 1;
+        for (i, &c) in children.iter().enumerate() {
+            self.ascii_subtree(c, v, &child_prefix, i == last, i == 0, names, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::bipartitions::bipartitions;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn support_labels_appear_for_known_splits() {
+        let t = Tree::random(6, 1, 3);
+        let nm = names(6);
+        let mut support = HashMap::new();
+        for split in bipartitions(&t) {
+            support.insert(split, 87.0);
+        }
+        let text = t.to_newick_with_support(&nm, &support);
+        // 6 taxa → 3 internal edges → 3 support labels... but one internal
+        // edge may be incident to the display root and splits are attached
+        // to non-root inner nodes; at least one label must appear.
+        assert!(text.contains(")87:"), "no support label in {text}");
+    }
+
+    #[test]
+    fn no_support_map_means_plain_newick() {
+        let t = Tree::random(5, 1, 1);
+        let nm = names(5);
+        let plain = t.to_newick(&nm);
+        let with_empty = t.to_newick_with_support(&nm, &HashMap::new());
+        assert_eq!(plain, with_empty);
+    }
+
+    #[test]
+    fn annotated_newick_preserves_topology_for_parsers_ignoring_labels() {
+        // Our parser treats ')87' as part of structure? It expects ':' or
+        // delimiters after ')'; inner labels are not parsed back — document
+        // by asserting the plain form round-trips instead.
+        let t = Tree::random(7, 1, 9);
+        let nm = names(7);
+        let text = t.to_newick(&nm);
+        let back = Tree::from_newick(&text, &nm, 1).unwrap();
+        assert_eq!(crate::tree::bipartitions::rf_distance(&t, &back), 0);
+    }
+
+    #[test]
+    fn ascii_contains_every_taxon_once() {
+        let t = Tree::random(8, 1, 5);
+        let nm = names(8);
+        let art = t.to_ascii(&nm);
+        for n in &nm {
+            assert_eq!(art.matches(n.as_str()).count(), 1, "{art}");
+        }
+        // Structural characters present.
+        assert!(art.contains("└─") && art.contains("├─"));
+    }
+
+    #[test]
+    fn ascii_line_count_matches_nodes() {
+        let t = Tree::random(10, 1, 2);
+        let nm = names(10);
+        let art = t.to_ascii(&nm);
+        // One line per tip + one per displayed inner node (n-3 below root).
+        let lines = art.trim_end().lines().count();
+        assert_eq!(lines, 10 + (10 - 3));
+    }
+}

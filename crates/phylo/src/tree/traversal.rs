@@ -1,0 +1,224 @@
+//! Traversal descriptors.
+//!
+//! A traversal descriptor lists, in post-order, the inner nodes whose
+//! conditional likelihood vectors must be (re)computed so that the
+//! likelihood can be evaluated at a chosen *virtual root* edge. Under the
+//! fork-join scheme the master broadcasts this structure to every worker for
+//! essentially every parallel region — the paper's Table I shows those
+//! broadcasts account for 30–97% of all MPI traffic. Under the de-centralized
+//! scheme each rank computes the descriptor locally from its replicated tree
+//! and nothing is broadcast.
+
+use super::{EdgeId, NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// One CLV recomputation: `parent`'s CLV (oriented toward the virtual root)
+/// is combined from children `left` and `right` through the transition
+/// matrices of the connecting branches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraversalEntry {
+    pub parent: NodeId,
+    pub left: NodeId,
+    pub right: NodeId,
+    /// Branch lengths parent–left: 1 entry (joint) or one per partition.
+    pub left_lengths: Vec<f64>,
+    /// Branch lengths parent–right.
+    pub right_lengths: Vec<f64>,
+}
+
+/// A full descriptor: the recomputation list plus the virtual-root edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraversalDescriptor {
+    pub entries: Vec<TraversalEntry>,
+    /// Virtual root endpoints.
+    pub root_a: NodeId,
+    pub root_b: NodeId,
+    /// Branch lengths of the virtual-root edge.
+    pub root_lengths: Vec<f64>,
+}
+
+impl TraversalEntry {
+    /// Theoretical wire size in bytes when the descriptor is broadcast under
+    /// fork-join: three 4-byte node ids plus the 8-byte branch lengths.
+    /// (This is the hardware-independent byte-counting convention of the
+    /// paper's Table I.)
+    pub fn wire_bytes(&self) -> u64 {
+        3 * 4 + 8 * (self.left_lengths.len() + self.right_lengths.len()) as u64
+    }
+}
+
+impl TraversalDescriptor {
+    /// Total theoretical broadcast size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        let entries: u64 = self.entries.iter().map(TraversalEntry::wire_bytes).sum();
+        // Root record: two ids + lengths + the entry count.
+        entries + 2 * 4 + 8 * self.root_lengths.len() as u64 + 4
+    }
+
+    /// Number of CLV recomputations this descriptor requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when every required CLV is already valid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Tree {
+    /// Compute the descriptor that makes the likelihood evaluable at edge
+    /// `root`. Marks the affected CLVs as valid (the engine is expected to
+    /// execute the descriptor before the next one is computed — both the
+    /// fork-join master and each de-centralized rank do exactly that).
+    pub fn traversal_descriptor(&mut self, root: EdgeId) -> TraversalDescriptor {
+        let (a, b) = {
+            let e = self.edge(root);
+            (e.a, e.b)
+        };
+        let mut entries = Vec::new();
+        self.collect_entries(a, b, &mut entries);
+        self.collect_entries(b, a, &mut entries);
+        TraversalDescriptor {
+            entries,
+            root_a: a,
+            root_b: b,
+            root_lengths: self.edge(root).lengths.clone(),
+        }
+    }
+
+    /// Ensure CLV(`v` → `toward`) will be valid, appending recomputations in
+    /// post-order.
+    fn collect_entries(&mut self, v: NodeId, toward: NodeId, out: &mut Vec<TraversalEntry>) {
+        if self.is_tip(v) {
+            return;
+        }
+        if self.orientation_of(v) == Some(toward) {
+            return;
+        }
+        let mut children = self
+            .neighbors(v)
+            .iter()
+            .filter(|&&(n, _)| n != toward)
+            .copied()
+            .collect::<Vec<_>>();
+        debug_assert_eq!(children.len(), 2, "inner node must have exactly 2 children");
+        // Deterministic child order (smaller node id first) so every rank
+        // builds the identical descriptor.
+        children.sort_by_key(|&(n, _)| n);
+        let (left, le) = children[0];
+        let (right, re) = children[1];
+        self.collect_entries(left, v, out);
+        self.collect_entries(right, v, out);
+        out.push(TraversalEntry {
+            parent: v,
+            left,
+            right,
+            left_lengths: self.edge(le).lengths.clone(),
+            right_lengths: self.edge(re).lengths.clone(),
+        });
+        self.set_orientation(v, toward);
+    }
+
+    /// Descriptor for a **full** re-traversal (all CLVs recomputed), used
+    /// after model-parameter changes.
+    pub fn full_traversal_descriptor(&mut self, root: EdgeId) -> TraversalDescriptor {
+        self.invalidate_all();
+        self.traversal_descriptor(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::Tree;
+
+    #[test]
+    fn full_traversal_covers_all_inner_nodes() {
+        let mut t = Tree::random(10, 1, 1);
+        let d = t.full_traversal_descriptor(0);
+        assert_eq!(d.entries.len(), t.n_inner());
+        // Every inner node appears exactly once as parent.
+        let mut seen = std::collections::HashSet::new();
+        for e in &d.entries {
+            assert!(seen.insert(e.parent), "duplicate parent {}", e.parent);
+            assert!(!t.is_tip(e.parent));
+        }
+    }
+
+    #[test]
+    fn descriptor_is_post_order() {
+        let mut t = Tree::random(12, 1, 2);
+        let d = t.full_traversal_descriptor(3);
+        // A child inner node must be computed before its parent.
+        let mut pos = std::collections::HashMap::new();
+        for (i, e) in d.entries.iter().enumerate() {
+            pos.insert(e.parent, i);
+        }
+        for (i, e) in d.entries.iter().enumerate() {
+            for c in [e.left, e.right] {
+                if let Some(&ci) = pos.get(&c) {
+                    assert!(ci < i, "child {c} computed after parent {}", e.parent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_traversal_at_same_root_is_empty() {
+        let mut t = Tree::random(10, 1, 1);
+        let _ = t.full_traversal_descriptor(0);
+        let d2 = t.traversal_descriptor(0);
+        assert!(d2.is_empty(), "CLVs were valid, descriptor should be empty: {d2:?}");
+    }
+
+    #[test]
+    fn moving_root_to_adjacent_edge_is_cheap() {
+        let mut t = Tree::random(30, 1, 5);
+        let _ = t.full_traversal_descriptor(0);
+        // Re-rooting at a neighboring edge should recompute only the few
+        // nodes whose orientation flips — the paper's 4–5 node average.
+        let adjacent = t.edges_within_radius(0, 1)[0];
+        let d = t.traversal_descriptor(adjacent);
+        assert!(
+            d.len() <= 3,
+            "adjacent re-root should touch at most a few nodes, got {}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn branch_change_triggers_partial_traversal() {
+        let mut t = Tree::random(20, 1, 7);
+        let root = 0;
+        let _ = t.full_traversal_descriptor(root);
+        // Change a branch far from the root edge: only nodes on the path
+        // from that branch to the root need recomputation.
+        let far = t.n_edges() - 1;
+        t.set_length(far, 0, 0.5);
+        let d = t.traversal_descriptor(root);
+        assert!(!d.is_empty());
+        assert!(d.len() < t.n_inner(), "partial traversal expected, got full ({})", d.len());
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_partitions() {
+        let mut t1 = Tree::random(10, 1, 1);
+        let mut tp = Tree::random(10, 10, 1);
+        let d1 = t1.full_traversal_descriptor(0);
+        let dp = tp.full_traversal_descriptor(0);
+        assert_eq!(d1.len(), dp.len());
+        // Per-partition branch lengths inflate the descriptor ~10x in its
+        // branch-length payload — the -M effect from §IV-D.
+        assert!(dp.wire_bytes() > 5 * d1.wire_bytes(), "{} vs {}", dp.wire_bytes(), d1.wire_bytes());
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let t0 = Tree::random(15, 1, 3);
+        let mut a = t0.clone();
+        let mut b = t0;
+        let da = a.full_traversal_descriptor(2);
+        let db = b.full_traversal_descriptor(2);
+        assert_eq!(da, db);
+    }
+}

@@ -1,0 +1,348 @@
+//! `exa-sched` — data distribution across ranks.
+//!
+//! Two strategies, mirroring RAxML-Light/ExaML (§II, §IV-D of the paper and
+//! reference 24, "The multi-processor scheduling problem in
+//! phylogenetics"):
+//!
+//! * **Cyclic** (the default): site patterns are dealt round-robin across
+//!   ranks over the whole alignment. Perfectly balanced in pattern count,
+//!   but with many partitions every rank touches every partition, so every
+//!   rank pays every partition's per-partition overhead (P-matrices,
+//!   model updates).
+//! * **Monolithic / MPS** (the `-Q` option): whole partitions are assigned
+//!   to ranks. Optimal balance is NP-hard (multiprocessor scheduling), so
+//!   the LPT (Longest Processing Time) heuristic is used, followed by a
+//!   pairwise-move refinement. The paper activates this for ≥ 500
+//!   partitions; ref. 24 reports up to an order of magnitude speedup from it.
+
+pub mod balance;
+
+use exa_bio::patterns::CompressedAlignment;
+use serde::{Deserialize, Serialize};
+
+/// Which patterns of one partition a rank holds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternSubset {
+    /// The entire partition (monolithic assignment).
+    All,
+    /// An explicit pattern-index subset (cyclic assignment).
+    Indices(Vec<usize>),
+}
+
+/// One partition's share on one rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartShare {
+    /// Global partition index.
+    pub global_index: usize,
+    pub patterns: PatternSubset,
+}
+
+/// Everything one rank holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RankAssignment {
+    pub shares: Vec<PartShare>,
+}
+
+impl RankAssignment {
+    /// Number of patterns this rank holds, given the alignment.
+    pub fn pattern_count(&self, aln: &CompressedAlignment) -> usize {
+        self.shares
+            .iter()
+            .map(|s| match &s.patterns {
+                PatternSubset::All => aln.partitions[s.global_index].n_patterns(),
+                PatternSubset::Indices(v) => v.len(),
+            })
+            .sum()
+    }
+}
+
+/// Distribution strategy (the paper's `-Q` flag selects `MonolithicLpt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    Cyclic,
+    MonolithicLpt,
+}
+
+/// Distribute the alignment's patterns over `n_ranks`.
+pub fn distribute(aln: &CompressedAlignment, n_ranks: usize, strategy: Strategy) -> Vec<RankAssignment> {
+    assert!(n_ranks >= 1, "need at least one rank");
+    match strategy {
+        Strategy::Cyclic => cyclic(aln, n_ranks),
+        Strategy::MonolithicLpt => monolithic_lpt(aln, n_ranks),
+    }
+}
+
+/// Round-robin over the global pattern sequence: pattern `j` of partition
+/// `p` goes to rank `(offset_p + j) mod n_ranks`.
+fn cyclic(aln: &CompressedAlignment, n_ranks: usize) -> Vec<RankAssignment> {
+    let mut out = vec![RankAssignment::default(); n_ranks];
+    let mut offset = 0usize;
+    for (pi, part) in aln.partitions.iter().enumerate() {
+        let mut per_rank: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+        for j in 0..part.n_patterns() {
+            per_rank[(offset + j) % n_ranks].push(j);
+        }
+        offset += part.n_patterns();
+        for (r, indices) in per_rank.into_iter().enumerate() {
+            if !indices.is_empty() {
+                out[r].shares.push(PartShare {
+                    global_index: pi,
+                    patterns: PatternSubset::Indices(indices),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// LPT: sort partitions by pattern count (descending, ties by index for
+/// determinism), greedily give each to the least-loaded rank; then refine
+/// with single-partition moves while they reduce the makespan.
+fn monolithic_lpt(aln: &CompressedAlignment, n_ranks: usize) -> Vec<RankAssignment> {
+    let mut order: Vec<usize> = (0..aln.partitions.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(aln.partitions[i].n_patterns()), i));
+
+    let mut loads = vec![0usize; n_ranks];
+    let mut owner = vec![0usize; aln.partitions.len()];
+    for &pi in &order {
+        let r = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .map(|(i, _)| i)
+            .expect("at least one rank");
+        owner[pi] = r;
+        loads[r] += aln.partitions[pi].n_patterns();
+    }
+
+    // Refinement: move any partition from the most-loaded rank to the
+    // least-loaded one while that strictly reduces the makespan.
+    loop {
+        let (max_r, &max_l) =
+            loads.iter().enumerate().max_by_key(|&(i, &l)| (l, usize::MAX - i)).unwrap();
+        let (min_r, &min_l) = loads.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).unwrap();
+        if max_r == min_r {
+            break;
+        }
+        // Best single move: the largest partition on max_r that still
+        // reduces the makespan when moved to min_r.
+        let mut best: Option<(usize, usize)> = None; // (patterns, partition)
+        for (pi, &o) in owner.iter().enumerate() {
+            if o != max_r {
+                continue;
+            }
+            let w = aln.partitions[pi].n_patterns();
+            let new_max = (max_l - w).max(min_l + w);
+            if new_max < max_l && best.map_or(true, |(bw, _)| w > bw) {
+                best = Some((w, pi));
+            }
+        }
+        match best {
+            Some((w, pi)) => {
+                owner[pi] = min_r;
+                loads[max_r] -= w;
+                loads[min_r] += w;
+            }
+            None => break,
+        }
+    }
+
+    let mut out = vec![RankAssignment::default(); n_ranks];
+    for (pi, &r) in owner.iter().enumerate() {
+        out[r].shares.push(PartShare { global_index: pi, patterns: PatternSubset::All });
+    }
+    out
+}
+
+/// Materialize a rank's data: the `(global_index, CompressedPartition)`
+/// pairs it will build its engine from.
+pub fn materialize(
+    aln: &CompressedAlignment,
+    assignment: &RankAssignment,
+) -> Vec<(usize, exa_bio::patterns::CompressedPartition)> {
+    assignment
+        .shares
+        .iter()
+        .map(|s| {
+            let part = &aln.partitions[s.global_index];
+            let data = match &s.patterns {
+                PatternSubset::All => part.clone(),
+                PatternSubset::Indices(idx) => part.select_patterns(idx),
+            };
+            (s.global_index, data)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_bio::alignment::Alignment;
+    use exa_bio::partition::PartitionScheme;
+
+    /// Alignment with heterogeneous partition sizes (in unique patterns).
+    fn test_alignment(part_lens: &[usize]) -> CompressedAlignment {
+        let total: usize = part_lens.iter().sum();
+        // Build rows whose columns are all distinct so patterns == sites.
+        let n_taxa = 4;
+        let mut rows = vec![String::new(); n_taxa];
+        for site in 0..total {
+            // Encode the site index in base 4 over the 4 taxa.
+            let mut v = site;
+            for row in rows.iter_mut() {
+                row.push(['A', 'C', 'G', 'T'][v % 4]);
+                v /= 4;
+            }
+        }
+        let named: Vec<(String, String)> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("t{i}"), r))
+            .collect();
+        let refs: Vec<(&str, &str)> =
+            named.iter().map(|(n, r)| (n.as_str(), r.as_str())).collect();
+        let aln = Alignment::from_ascii(&refs).unwrap();
+        let scheme = PartitionScheme::from_lengths(part_lens.iter().copied());
+        CompressedAlignment::build(&aln, &scheme)
+    }
+
+    fn coverage_is_exact(aln: &CompressedAlignment, assignments: &[RankAssignment]) {
+        for (pi, part) in aln.partitions.iter().enumerate() {
+            let mut seen = vec![0u32; part.n_patterns()];
+            for a in assignments {
+                for s in &a.shares {
+                    if s.global_index != pi {
+                        continue;
+                    }
+                    match &s.patterns {
+                        PatternSubset::All => {
+                            for c in seen.iter_mut() {
+                                *c += 1;
+                            }
+                        }
+                        PatternSubset::Indices(v) => {
+                            for &i in v {
+                                seen[i] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "partition {pi} coverage: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_covers_everything_exactly_once() {
+        let aln = test_alignment(&[7, 13, 5]);
+        let a = distribute(&aln, 4, Strategy::Cyclic);
+        coverage_is_exact(&aln, &a);
+    }
+
+    #[test]
+    fn cyclic_is_balanced_within_one() {
+        let aln = test_alignment(&[50, 30, 21]);
+        let a = distribute(&aln, 8, Strategy::Cyclic);
+        let counts: Vec<usize> = a.iter().map(|x| x.pattern_count(&aln)).collect();
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(mx - mn <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn monolithic_covers_everything_exactly_once() {
+        let aln = test_alignment(&[9, 4, 17, 3, 8, 8]);
+        let a = distribute(&aln, 3, Strategy::MonolithicLpt);
+        coverage_is_exact(&aln, &a);
+    }
+
+    #[test]
+    fn monolithic_never_splits_partitions() {
+        let aln = test_alignment(&[9, 4, 17, 3, 8, 8]);
+        let a = distribute(&aln, 3, Strategy::MonolithicLpt);
+        for rank in &a {
+            for s in &rank.shares {
+                assert_eq!(s.patterns, PatternSubset::All);
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_respects_list_scheduling_bound() {
+        // Provable Graham bound: makespan <= total/m + max_item * (m-1)/m.
+        let sizes = [37usize, 12, 9, 55, 23, 8, 41, 14, 6, 30, 18, 27];
+        let aln = test_alignment(&sizes);
+        for m in [2usize, 3, 4, 5] {
+            let a = distribute(&aln, m, Strategy::MonolithicLpt);
+            let makespan = a.iter().map(|x| x.pattern_count(&aln)).max().unwrap();
+            let total: usize = sizes.iter().sum();
+            let max_item = *sizes.iter().max().unwrap() as f64;
+            let bound = total as f64 / m as f64 + max_item * (m as f64 - 1.0) / m as f64;
+            assert!(
+                makespan as f64 <= bound + 1e-9,
+                "m={m}: makespan {makespan} > bound {bound}"
+            );
+            // For this instance LPT actually achieves near-perfect balance.
+            let opt_lb = (total as f64 / m as f64).max(max_item);
+            assert!((makespan as f64) < 1.15 * opt_lb, "m={m}: makespan {makespan}");
+        }
+    }
+
+    #[test]
+    fn lpt_separates_the_large_partitions() {
+        let sizes = [100usize, 1, 1, 1, 100, 1, 1, 1];
+        let aln = test_alignment(&sizes);
+        let a = distribute(&aln, 2, Strategy::MonolithicLpt);
+        let makespan = a.iter().map(|x| x.pattern_count(&aln)).max().unwrap();
+        assert_eq!(makespan, 103);
+        let big_owners: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| {
+                x.shares.iter().any(|s| aln.partitions[s.global_index].n_patterns() == 100)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(big_owners.len(), 2, "each big partition on its own rank");
+    }
+
+    #[test]
+    fn more_ranks_than_partitions_leaves_some_empty() {
+        let aln = test_alignment(&[5, 5]);
+        let a = distribute(&aln, 4, Strategy::MonolithicLpt);
+        let nonempty = a.iter().filter(|x| !x.shares.is_empty()).count();
+        assert_eq!(nonempty, 2);
+        coverage_is_exact(&aln, &a);
+    }
+
+    #[test]
+    fn single_rank_gets_everything() {
+        let aln = test_alignment(&[3, 4, 5]);
+        for strat in [Strategy::Cyclic, Strategy::MonolithicLpt] {
+            let a = distribute(&aln, 1, strat);
+            assert_eq!(a.len(), 1);
+            assert_eq!(a[0].pattern_count(&aln), aln.total_patterns());
+        }
+    }
+
+    #[test]
+    fn materialize_builds_correct_subsets() {
+        let aln = test_alignment(&[6, 4]);
+        let a = distribute(&aln, 2, Strategy::Cyclic);
+        let data0 = materialize(&aln, &a[0]);
+        let data1 = materialize(&aln, &a[1]);
+        let total: usize = data0.iter().chain(&data1).map(|(_, p)| p.n_patterns()).sum();
+        assert_eq!(total, aln.total_patterns());
+        // Weighted site counts preserved.
+        let wsum: u32 =
+            data0.iter().chain(&data1).flat_map(|(_, p)| p.weights.iter()).sum();
+        assert_eq!(wsum as usize, aln.total_sites());
+    }
+
+    #[test]
+    fn deterministic_assignments() {
+        let aln = test_alignment(&[9, 4, 17, 3, 8, 8]);
+        let a = distribute(&aln, 3, Strategy::MonolithicLpt);
+        let b = distribute(&aln, 3, Strategy::MonolithicLpt);
+        assert_eq!(a, b);
+    }
+}

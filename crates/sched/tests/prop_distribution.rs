@@ -1,0 +1,109 @@
+//! Property-based tests of the data-distribution strategies: exact
+//! coverage, balance bounds, and the LPT approximation guarantee for
+//! arbitrary partition-size profiles.
+
+use exa_bio::alignment::Alignment;
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_sched::{distribute, PatternSubset, Strategy};
+use proptest::prelude::*;
+
+/// Alignment whose columns are all distinct so pattern counts equal the
+/// requested per-partition lengths exactly.
+fn alignment_with_sizes(sizes: &[usize]) -> CompressedAlignment {
+    let total: usize = sizes.iter().sum();
+    let mut rows = vec![String::new(); 6];
+    for site in 0..total {
+        let mut v = site;
+        for row in rows.iter_mut() {
+            row.push(['A', 'C', 'G', 'T'][v % 4]);
+            v /= 4;
+        }
+    }
+    let named: Vec<(String, String)> =
+        rows.into_iter().enumerate().map(|(i, r)| (format!("t{i}"), r)).collect();
+    let refs: Vec<(&str, &str)> = named.iter().map(|(n, r)| (n.as_str(), r.as_str())).collect();
+    let aln = Alignment::from_ascii(&refs).unwrap();
+    CompressedAlignment::build(&aln, &PartitionScheme::from_lengths(sizes.iter().copied()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_pattern_assigned_exactly_once(
+        sizes in prop::collection::vec(1usize..30, 1..12),
+        ranks in 1usize..9,
+        strategy in prop::sample::select(vec![Strategy::Cyclic, Strategy::MonolithicLpt]),
+    ) {
+        let aln = alignment_with_sizes(&sizes);
+        let assignments = distribute(&aln, ranks, strategy);
+        prop_assert_eq!(assignments.len(), ranks);
+        for (pi, part) in aln.partitions.iter().enumerate() {
+            let mut seen = vec![0u32; part.n_patterns()];
+            for a in &assignments {
+                for s in &a.shares {
+                    if s.global_index != pi { continue; }
+                    match &s.patterns {
+                        PatternSubset::All => seen.iter_mut().for_each(|c| *c += 1),
+                        PatternSubset::Indices(v) => {
+                            for &i in v { seen[i] += 1; }
+                        }
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "partition {}: {:?}", pi, seen);
+        }
+    }
+
+    #[test]
+    fn cyclic_balances_within_one(
+        sizes in prop::collection::vec(1usize..30, 1..12),
+        ranks in 1usize..9,
+    ) {
+        let aln = alignment_with_sizes(&sizes);
+        let assignments = distribute(&aln, ranks, Strategy::Cyclic);
+        let loads: Vec<usize> = assignments.iter().map(|a| a.pattern_count(&aln)).collect();
+        let mn = loads.iter().min().unwrap();
+        let mx = loads.iter().max().unwrap();
+        prop_assert!(mx - mn <= 1, "{:?}", loads);
+    }
+
+    #[test]
+    fn lpt_meets_list_scheduling_bound(
+        sizes in prop::collection::vec(1usize..50, 1..16),
+        ranks in 1usize..7,
+    ) {
+        // Provable bound (Graham list scheduling, which LPT refines):
+        //   makespan <= total/m + max_item * (m-1)/m.
+        // (Graham's tighter 4/3 factor is relative to the true OPT, which
+        // is NP-hard to compute, so it cannot be asserted directly.)
+        let aln = alignment_with_sizes(&sizes);
+        let assignments = distribute(&aln, ranks, Strategy::MonolithicLpt);
+        let makespan = assignments.iter().map(|a| a.pattern_count(&aln)).max().unwrap();
+        let total: usize = sizes.iter().sum();
+        let m = ranks as f64;
+        let max_item = *sizes.iter().max().unwrap() as f64;
+        let bound = total as f64 / m + max_item * (m - 1.0) / m;
+        prop_assert!(makespan as f64 <= bound + 1e-9,
+            "makespan {} exceeds list-scheduling bound {} (sizes {:?}, ranks {})",
+            makespan, bound, sizes, ranks);
+        // And never below the trivial lower bounds.
+        let opt_lb = (total as f64 / m).max(max_item);
+        prop_assert!(makespan as f64 >= opt_lb - 1e-9);
+    }
+
+    #[test]
+    fn monolithic_keeps_partitions_whole(
+        sizes in prop::collection::vec(1usize..30, 1..12),
+        ranks in 1usize..9,
+    ) {
+        let aln = alignment_with_sizes(&sizes);
+        let assignments = distribute(&aln, ranks, Strategy::MonolithicLpt);
+        for a in &assignments {
+            for s in &a.shares {
+                prop_assert_eq!(&s.patterns, &PatternSubset::All);
+            }
+        }
+    }
+}

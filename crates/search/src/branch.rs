@@ -1,0 +1,221 @@
+//! Newton–Raphson branch-length optimization.
+//!
+//! Each iteration evaluates `(dlnL/dt, d²lnL/dt²)` at the candidate length
+//! from the prepared sumtable and takes a clamped Newton step; when the
+//! curvature has the wrong sign the step falls back to a doubling/halving
+//! move in the uphill direction (RAxML's safeguard). Under per-partition
+//! mode (`-M`) every partition's length on the edge is iterated in lockstep
+//! with a converged mask — each iteration is **one** parallel region
+//! carrying `2p` doubles, which is exactly the message growth the paper
+//! measures in Table I / Fig. 4(b).
+
+use crate::evaluator::{BranchMode, Evaluator};
+use exa_phylo::tree::{EdgeId, BL_MAX, BL_MIN};
+
+/// Tolerance on branch-length convergence (RAxML's `zmin`-style epsilon).
+const BL_TOL: f64 = 1e-7;
+/// Maximum Newton iterations per edge.
+const MAX_NEWTON: usize = 32;
+
+/// Optimize the branch length(s) of `edge` in place. Returns the number of
+/// Newton iterations spent (= derivative parallel regions triggered).
+pub fn optimize_branch(eval: &mut dyn Evaluator, edge: EdgeId) -> usize {
+    eval.prepare_derivatives(edge);
+    let arity = match eval.branch_mode() {
+        BranchMode::Joint => 1,
+        BranchMode::PerPartition => eval.n_partitions(),
+    };
+    let mut t: Vec<f64> = (0..arity).map(|p| eval.tree().edge(edge).length(p)).collect();
+    let mut converged = vec![false; arity];
+    let mut iterations = 0;
+
+    for _ in 0..MAX_NEWTON {
+        if converged.iter().all(|&c| c) {
+            break;
+        }
+        let (d1, d2) = eval.derivatives(&t);
+        iterations += 1;
+        let mut any_moved = false;
+        for p in 0..arity {
+            if converged[p] {
+                continue;
+            }
+            let old = t[p];
+            let new = if d2[p] < 0.0 {
+                (old - d1[p] / d2[p]).clamp(BL_MIN, BL_MAX)
+            } else if d1[p] > 0.0 {
+                (old * 2.0).clamp(BL_MIN, BL_MAX)
+            } else {
+                (old / 2.0).clamp(BL_MIN, BL_MAX)
+            };
+            if (new - old).abs() < BL_TOL * (1.0 + old.abs()) {
+                converged[p] = true;
+            } else {
+                any_moved = true;
+            }
+            t[p] = new;
+        }
+        if !any_moved {
+            break;
+        }
+    }
+
+    eval.tree_mut().set_lengths(edge, &t);
+    iterations
+}
+
+/// Edges in depth-first order from the first inner node: consecutive edges
+/// are topologically adjacent, keeping the partial traversals between
+/// successive branch optimizations short (the 4–5 node descriptors of
+/// §III-B).
+pub fn dfs_edge_order(eval: &dyn Evaluator) -> Vec<EdgeId> {
+    let tree = eval.tree();
+    let mut order = Vec::with_capacity(tree.n_edges());
+    let mut seen_edge = vec![false; tree.n_edges()];
+    let mut seen_node = vec![false; tree.n_nodes()];
+    let start = tree.n_taxa();
+    let mut stack = vec![start];
+    seen_node[start] = true;
+    while let Some(v) = stack.pop() {
+        for &(w, e) in tree.neighbors(v) {
+            if !seen_edge[e] {
+                seen_edge[e] = true;
+                order.push(e);
+            }
+            if !seen_node[w] {
+                seen_node[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), tree.n_edges());
+    order
+}
+
+/// One or more full smoothing passes over all edges. Returns total Newton
+/// iterations.
+pub fn smooth_all(eval: &mut dyn Evaluator, passes: usize) -> usize {
+    let mut total = 0;
+    for _ in 0..passes {
+        let order = dfs_edge_order(eval);
+        for e in order {
+            total += optimize_branch(eval, e);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SequentialEvaluator;
+    use exa_bio::alignment::Alignment;
+    use exa_bio::partition::PartitionScheme;
+    use exa_bio::patterns::CompressedAlignment;
+    use exa_phylo::engine::{Engine, PartitionSlice};
+    use exa_phylo::model::rates::RateModelKind;
+    use exa_phylo::tree::Tree;
+
+    fn make_eval(mode: BranchMode) -> SequentialEvaluator {
+        let rows = [
+            ("t0", "ACGTACGTACGTACGTAAAATTTT"),
+            ("t1", "ACGTACGAACGTACGTAAACTTTA"),
+            ("t2", "TCGAACGTACGAACGTAAAGTTAA"),
+            ("t3", "TCGAACGAACGTACGAAAATTAAT"),
+            ("t4", "TCGATCGAACGTACGAATATTCAT"),
+            ("t5", "GCGATCGAACGAACGAATATGCAT"),
+        ];
+        let aln = Alignment::from_ascii(&rows).unwrap();
+        let scheme = PartitionScheme::uniform_chunks(2, 12);
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        let slices: Vec<PartitionSlice> = comp
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionSlice::from_compressed(i, p))
+            .collect();
+        let engine = Engine::new(6, slices, RateModelKind::Gamma, 1.0);
+        let blens = match mode {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => 2,
+        };
+        let tree = Tree::random(6, blens, 5);
+        SequentialEvaluator::new(tree, engine, 2, mode)
+    }
+
+    #[test]
+    fn single_branch_optimization_improves_likelihood() {
+        let mut e = make_eval(BranchMode::Joint);
+        // Deliberately bad starting length.
+        e.tree_mut().set_length(0, 0, 3.0);
+        let before = e.evaluate(0);
+        let iters = optimize_branch(&mut e, 0);
+        let after = e.evaluate(0);
+        assert!(iters > 0);
+        assert!(after > before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn optimized_branch_has_zero_derivative() {
+        let mut e = make_eval(BranchMode::Joint);
+        optimize_branch(&mut e, 2);
+        e.prepare_derivatives(2);
+        let t = e.tree().edge(2).length(0);
+        let (d1, _) = e.derivatives(&[t]);
+        // Either an interior optimum (derivative ~ 0) or pinned at a bound.
+        let at_bound = t <= BL_MIN * 1.01 || t >= BL_MAX * 0.99;
+        assert!(d1[0].abs() < 1e-3 || at_bound, "d1 = {} at t = {t}", d1[0]);
+    }
+
+    #[test]
+    fn smoothing_improves_monotonically() {
+        let mut e = make_eval(BranchMode::Joint);
+        let l0 = e.evaluate(0);
+        smooth_all(&mut e, 1);
+        let l1 = e.evaluate(0);
+        smooth_all(&mut e, 1);
+        let l2 = e.evaluate(0);
+        assert!(l1 >= l0 - 1e-9, "{l0} -> {l1}");
+        assert!(l2 >= l1 - 1e-9, "{l1} -> {l2}");
+        // Second pass changes little (near convergence).
+        assert!(l2 - l1 <= (l1 - l0).abs() + 1.0);
+    }
+
+    #[test]
+    fn per_partition_mode_optimizes_independent_lengths() {
+        let mut e = make_eval(BranchMode::PerPartition);
+        smooth_all(&mut e, 2);
+        // At least one edge should end with clearly different lengths for
+        // the two partitions (they evolve under different data).
+        let tree = e.tree();
+        let distinct = tree
+            .edge_ids()
+            .any(|ed| (tree.edge(ed).lengths[0] - tree.edge(ed).lengths[1]).abs() > 1e-4);
+        assert!(distinct, "per-partition lengths should diverge");
+    }
+
+    #[test]
+    fn per_partition_beats_joint_in_likelihood() {
+        // More parameters must fit at least as well (same data, nested
+        // models).
+        let mut joint = make_eval(BranchMode::Joint);
+        smooth_all(&mut joint, 3);
+        let lj = joint.evaluate(0);
+
+        let mut per = make_eval(BranchMode::PerPartition);
+        smooth_all(&mut per, 3);
+        let lp = per.evaluate(0);
+        assert!(lp >= lj - 0.5, "per-partition {lp} vs joint {lj}");
+    }
+
+    #[test]
+    fn dfs_order_visits_every_edge_once() {
+        let e = make_eval(BranchMode::Joint);
+        let order = dfs_edge_order(&e);
+        let mut seen = std::collections::HashSet::new();
+        for ed in &order {
+            assert!(seen.insert(*ed));
+        }
+        assert_eq!(order.len(), e.tree().n_edges());
+    }
+}

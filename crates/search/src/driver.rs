@@ -1,0 +1,250 @@
+//! The hill-climbing search driver.
+//!
+//! The loop structure follows RAxML-Light/ExaML: initial branch smoothing
+//! and model optimization, then repeated (SPR round → branch smoothing →
+//! model optimization) iterations until the log-likelihood improvement
+//! drops below ε. The same driver runs sequentially, on the fork-join
+//! master, and replicated on every de-centralized rank.
+//!
+//! Iteration boundaries are the **quiescent points** of the whole system:
+//! hooks fire there for checkpointing, and a rank failure signalled from
+//! inside an iteration (via a [`CommFailurePanic`] panic out of a
+//! distributed evaluator) unwinds to the boundary, where the hook decides
+//! whether to recover-and-retry the iteration from the last consistent
+//! snapshot — the paper's §V fault-tolerance design built on full state
+//! redundancy.
+
+use crate::evaluator::{CommFailurePanic, Evaluator};
+use crate::{branch, model, spr, SearchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Result of a completed search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Final total log-likelihood.
+    pub lnl: f64,
+    /// Search iterations executed (the paper reports 17–23 on the
+    /// partitioned datasets, §IV-D).
+    pub iterations: usize,
+    /// Total accepted SPR moves.
+    pub spr_moves: usize,
+    /// Whether the ε-convergence criterion was reached (vs the iteration
+    /// cap).
+    pub converged: bool,
+}
+
+/// Hook points at iteration boundaries.
+pub trait SearchHooks {
+    /// Called before each iteration (and once before the first) with the
+    /// current likelihood. Checkpointing and fault injection live here.
+    fn at_boundary(&mut self, eval: &mut dyn Evaluator, iteration: usize, lnl: f64);
+
+    /// A recoverable failure unwound the current iteration. Return `true`
+    /// after restoring consistent state (the driver retries the iteration),
+    /// `false` to abort the search (the panic is re-raised).
+    fn on_failure(&mut self, eval: &mut dyn Evaluator, failure: &CommFailurePanic) -> bool;
+}
+
+/// No-op hooks (sequential runs, tests).
+pub struct NoHooks;
+
+impl SearchHooks for NoHooks {
+    fn at_boundary(&mut self, _eval: &mut dyn Evaluator, _iteration: usize, _lnl: f64) {}
+    fn on_failure(&mut self, _eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {
+        false
+    }
+}
+
+/// Run the search to convergence.
+pub fn run_search(
+    eval: &mut dyn Evaluator,
+    cfg: &SearchConfig,
+    hooks: &mut dyn SearchHooks,
+) -> SearchResult {
+    // Initial conditioning: branch lengths, then model.
+    let mut lnl = run_recoverable(eval, hooks, &mut |e| {
+        branch::smooth_all(e, cfg.smoothing_passes.max(2));
+        if cfg.optimize_model {
+            model::optimize_model(e, cfg.model_tol).lnl
+        } else {
+            e.evaluate(0)
+        }
+    });
+
+    let mut iterations = 0;
+    let mut spr_moves = 0;
+    let mut converged = false;
+
+    while iterations < cfg.max_iterations {
+        hooks.at_boundary(eval, iterations, lnl);
+        let radius = cfg.spr_radius;
+        let passes = cfg.smoothing_passes;
+        let optimize = cfg.optimize_model;
+        let tol = cfg.model_tol;
+        let (new_lnl, accepted) = {
+            let mut accepted_out = 0usize;
+            let out = run_recoverable(eval, hooks, &mut |e| {
+                let stats = spr::spr_round(e, radius, lnl, 0.01);
+                accepted_out = stats.accepted;
+                branch::smooth_all(e, passes);
+                if optimize {
+                    model::optimize_model(e, tol).lnl
+                } else {
+                    e.evaluate(0)
+                }
+            });
+            (out, accepted_out)
+        };
+        iterations += 1;
+        spr_moves += accepted;
+        let improvement = new_lnl - lnl;
+        lnl = new_lnl.max(lnl);
+        if improvement < cfg.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    SearchResult { lnl, iterations, spr_moves, converged }
+}
+
+/// Execute `body`; if it panics with a [`CommFailurePanic`], consult the
+/// hooks and retry (the hooks must have restored consistent state). Any
+/// other panic propagates.
+fn run_recoverable(
+    eval: &mut dyn Evaluator,
+    hooks: &mut dyn SearchHooks,
+    body: &mut dyn FnMut(&mut dyn Evaluator) -> f64,
+) -> f64 {
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(eval)));
+        match outcome {
+            Ok(v) => return v,
+            Err(payload) => match payload.downcast::<CommFailurePanic>() {
+                Ok(failure) => {
+                    if !hooks.on_failure(eval, &failure) {
+                        std::panic::resume_unwind(Box::new(*failure));
+                    }
+                    // Hooks restored state; retry the body.
+                }
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{BranchMode, SequentialEvaluator};
+    use exa_phylo::engine::{Engine, PartitionSlice};
+    use exa_phylo::model::rates::RateModelKind;
+    use exa_phylo::tree::bipartitions::rf_distance;
+    use exa_phylo::tree::Tree;
+    use exa_simgen::workloads;
+
+    fn make_eval(kind: RateModelKind, seed: u64) -> (SequentialEvaluator, Tree) {
+        let w = workloads::partitioned(8, 2, 150, seed);
+        let slices: Vec<PartitionSlice> = w
+            .compressed
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionSlice::from_compressed(i, p))
+            .collect();
+        let engine = Engine::new(8, slices, kind, 1.0);
+        let start = Tree::random(8, 1, seed + 99);
+        (
+            SequentialEvaluator::new(start, engine, 2, BranchMode::Joint),
+            w.true_tree,
+        )
+    }
+
+    #[test]
+    fn search_converges_and_improves() {
+        let (mut e, _) = make_eval(RateModelKind::Gamma, 5);
+        let start_lnl = e.evaluate(0);
+        let r = run_search(&mut e, &SearchConfig::fast(), &mut NoHooks);
+        assert!(r.lnl > start_lnl, "{start_lnl} -> {}", r.lnl);
+        assert!(r.iterations >= 1);
+        e.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn search_recovers_generating_topology() {
+        let (mut e, true_tree) = make_eval(RateModelKind::Gamma, 13);
+        let cfg = SearchConfig { max_iterations: 6, epsilon: 0.05, ..SearchConfig::fast() };
+        run_search(&mut e, &cfg, &mut NoHooks);
+        let rf = rf_distance(e.tree(), &true_tree);
+        // 8 taxa, 300 simulated sites: the ML tree is almost always the
+        // generating tree (allow one split of slack).
+        assert!(rf <= 2, "RF distance to truth: {rf}");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (mut a, _) = make_eval(RateModelKind::Gamma, 17);
+        let (mut b, _) = make_eval(RateModelKind::Gamma, 17);
+        let cfg = SearchConfig::fast();
+        let ra = run_search(&mut a, &cfg, &mut NoHooks);
+        let rb = run_search(&mut b, &cfg, &mut NoHooks);
+        assert_eq!(ra.lnl.to_bits(), rb.lnl.to_bits(), "bit-identical likelihoods");
+        assert_eq!(ra.iterations, rb.iterations);
+        assert_eq!(rf_distance(a.tree(), b.tree()), 0);
+    }
+
+    #[test]
+    fn psr_search_runs() {
+        let (mut e, _) = make_eval(RateModelKind::Psr, 23);
+        let start = e.evaluate(0);
+        let r = run_search(&mut e, &SearchConfig::fast(), &mut NoHooks);
+        assert!(r.lnl > start);
+    }
+
+    #[test]
+    fn hooks_fire_at_boundaries() {
+        struct Counting {
+            boundaries: usize,
+        }
+        impl SearchHooks for Counting {
+            fn at_boundary(&mut self, _e: &mut dyn Evaluator, _i: usize, _l: f64) {
+                self.boundaries += 1;
+            }
+            fn on_failure(
+                &mut self,
+                _e: &mut dyn Evaluator,
+                _f: &crate::evaluator::CommFailurePanic,
+            ) -> bool {
+                false
+            }
+        }
+        let (mut e, _) = make_eval(RateModelKind::Gamma, 29);
+        let mut hooks = Counting { boundaries: 0 };
+        let r = run_search(&mut e, &SearchConfig::fast(), &mut hooks);
+        assert_eq!(hooks.boundaries, r.iterations);
+    }
+
+    #[test]
+    fn unrelated_panics_propagate() {
+        struct Boom;
+        impl SearchHooks for Boom {
+            fn at_boundary(&mut self, _e: &mut dyn Evaluator, i: usize, _l: f64) {
+                if i == 0 {
+                    panic!("unrelated failure");
+                }
+            }
+            fn on_failure(
+                &mut self,
+                _e: &mut dyn Evaluator,
+                _f: &crate::evaluator::CommFailurePanic,
+            ) -> bool {
+                true
+            }
+        }
+        let (mut e, _) = make_eval(RateModelKind::Gamma, 31);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_search(&mut e, &SearchConfig::fast(), &mut Boom)
+        }));
+        assert!(result.is_err());
+    }
+}

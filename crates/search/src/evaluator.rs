@@ -1,0 +1,401 @@
+//! The [`Evaluator`] trait — the seam between the (shared) search algorithm
+//! and the three execution back-ends — plus the sequential reference
+//! implementation.
+
+use exa_phylo::engine::Engine;
+use exa_phylo::model::gtr::NUM_FREE_RATES;
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::model::GtrModel;
+use exa_phylo::tree::{EdgeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Joint (`2n-3` branch lengths shared by all partitions) versus
+/// per-partition (`p·(2n-3)`, the paper's `-M` option) branch estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchMode {
+    Joint,
+    PerPartition,
+}
+
+/// The globally replicated search state: everything every rank must agree
+/// on. This is also exactly what a checkpoint stores and what fault
+/// recovery restores — the paper's "maximum state redundancy" (§V).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalState {
+    pub tree: Tree,
+    /// Per-partition Γ shapes (empty under PSR).
+    pub alphas: Vec<f64>,
+    /// Per-partition free GTR exchangeabilities.
+    pub gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
+}
+
+/// Panic payload used by distributed evaluators to signal a rank failure
+/// out of the (Result-free) evaluator methods; [`crate::driver::run_search`]
+/// catches it at iteration boundaries and consults its hooks.
+#[derive(Debug, Clone)]
+pub struct CommFailurePanic {
+    pub failed_ranks: Vec<usize>,
+}
+
+/// The search algorithm's view of the world. One implementation per
+/// execution scheme; §III-B's "identical search algorithm" claim holds
+/// because the search only ever talks to this trait.
+pub trait Evaluator {
+    /// Number of taxa.
+    fn n_taxa(&self) -> usize;
+    /// Number of **global** partitions.
+    fn n_partitions(&self) -> usize;
+    /// Branch-length estimation mode.
+    fn branch_mode(&self) -> BranchMode;
+    /// Rate-heterogeneity model (uniform across partitions).
+    fn rate_kind(&self) -> RateModelKind;
+
+    /// The replicated tree (read).
+    fn tree(&self) -> &Tree;
+    /// The replicated tree (mutate — SPR moves, branch updates).
+    fn tree_mut(&mut self) -> &mut Tree;
+
+    /// Total log-likelihood at `edge`, performing whatever partial
+    /// traversal is needed. Globally reduced (a single double on the wire
+    /// under the de-centralized scheme — §III-B: processes only need "the
+    /// same overall values for the log likelihood score"); every caller
+    /// (rank) receives the identical value.
+    fn evaluate(&mut self, edge: EdgeId) -> f64;
+    /// Like [`Evaluator::evaluate`] but additionally reduces the
+    /// per-partition log-likelihood vector (`p` doubles), needed by the
+    /// batched model-parameter optimization. Refreshes
+    /// [`Evaluator::last_per_partition`].
+    fn evaluate_partitioned(&mut self, edge: EdgeId) -> f64;
+    /// Per-global-partition log-likelihoods from the most recent
+    /// [`Evaluator::evaluate_partitioned`] call.
+    fn last_per_partition(&self) -> &[f64];
+
+    /// Prepare branch-length derivative computation at `edge` (CLV updates
+    /// plus sumtable construction).
+    fn prepare_derivatives(&mut self, edge: EdgeId);
+    /// First/second log-likelihood derivatives at the prepared edge, for
+    /// candidate branch length(s): `lengths` has 1 entry under joint mode,
+    /// one per global partition under per-partition mode. Returns globally
+    /// reduced derivative vectors of the same arity.
+    fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>);
+
+    /// Current per-partition Γ shapes (empty under PSR).
+    fn alphas(&self) -> Vec<f64>;
+    /// Batched α update for **all** partitions at once (invalidates CLVs).
+    fn set_alphas(&mut self, alphas: &[f64]);
+    /// Current values of free GTR rate `rate_index` across partitions.
+    fn gtr_rate(&self, rate_index: usize) -> Vec<f64>;
+    /// Batched update of free GTR rate `rate_index` for all partitions.
+    fn set_gtr_rate(&mut self, rate_index: usize, values: &[f64]);
+    /// Optimize PSR per-site rates (no-op under Γ). Implementations keep
+    /// this data-local except for the small normalization reduction.
+    fn optimize_site_rates(&mut self);
+
+    /// Snapshot the replicated global state (checkpointing, fault
+    /// recovery).
+    fn snapshot(&self) -> GlobalState;
+    /// Restore a snapshot (after recovery or restart).
+    fn restore(&mut self, state: &GlobalState);
+
+    /// Downcasting hook: lets scheme-specific recovery code (e.g. the
+    /// de-centralized fault handler rebuilding a rank's engine) reach its
+    /// concrete evaluator through the trait object.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Helper shared by all back-ends: push global (α, GTR) parameters into an
+/// engine's local partitions.
+pub fn apply_global_params(engine: &mut Engine, state: &GlobalState) {
+    for (local, global) in engine.global_indices().into_iter().enumerate() {
+        let (old_model, mut rates) = engine.model_state(local);
+        if let Some(&a) = state.alphas.get(global) {
+            rates.set_alpha(a);
+        }
+        let g = &state.gtr_rates[global];
+        let model = GtrModel::new([g[0], g[1], g[2], g[3], g[4], 1.0], *old_model.freqs());
+        engine.set_model_state(local, model, rates);
+    }
+}
+
+/// The sequential back-end: one engine holding all data, no communication.
+/// This is both the correctness reference for the parallel schemes and the
+/// single-rank execution path.
+pub struct SequentialEvaluator {
+    tree: Tree,
+    engine: Engine,
+    n_partitions: usize,
+    branch_mode: BranchMode,
+    alphas: Vec<f64>,
+    gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
+    last_lnl: Vec<f64>,
+}
+
+impl SequentialEvaluator {
+    /// Wrap a tree and a full-data engine. The tree's branch-length arity
+    /// must match the mode (1 for joint, `n_partitions` for per-partition).
+    pub fn new(tree: Tree, engine: Engine, n_partitions: usize, branch_mode: BranchMode) -> Self {
+        let expected = match branch_mode {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => n_partitions,
+        };
+        assert_eq!(tree.blen_count(), expected, "tree branch-length arity mismatch");
+        let alphas = match engine.rate_kind() {
+            RateModelKind::Gamma => {
+                (0..engine.n_partitions()).map(|i| engine.alpha(i).unwrap()).collect()
+            }
+            RateModelKind::Psr => Vec::new(),
+        };
+        let gtr_rates = (0..engine.n_partitions())
+            .map(|i| {
+                let r = engine.gtr_rates(i);
+                [r[0], r[1], r[2], r[3], r[4]]
+            })
+            .collect();
+        SequentialEvaluator {
+            tree,
+            engine,
+            n_partitions,
+            branch_mode,
+            alphas,
+            gtr_rates,
+            last_lnl: vec![0.0; n_partitions],
+        }
+    }
+
+    /// Access the inner engine (tests, statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (advanced use/testing).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+}
+
+impl Evaluator for SequentialEvaluator {
+    fn n_taxa(&self) -> usize {
+        self.tree.n_taxa()
+    }
+
+    fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    fn branch_mode(&self) -> BranchMode {
+        self.branch_mode
+    }
+
+    fn rate_kind(&self) -> RateModelKind {
+        self.engine.rate_kind()
+    }
+
+    fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    fn evaluate(&mut self, edge: EdgeId) -> f64 {
+        // Sequential: no communication, so the partitioned form is free.
+        self.evaluate_partitioned(edge)
+    }
+
+    fn evaluate_partitioned(&mut self, edge: EdgeId) -> f64 {
+        let d = self.tree.traversal_descriptor(edge);
+        self.engine.execute(&d);
+        let per_local = self.engine.evaluate(&d);
+        self.last_lnl = vec![0.0; self.n_partitions];
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            self.last_lnl[global] = per_local[local];
+        }
+        self.last_lnl.iter().sum()
+    }
+
+    fn last_per_partition(&self) -> &[f64] {
+        &self.last_lnl
+    }
+
+    fn prepare_derivatives(&mut self, edge: EdgeId) {
+        let d = self.tree.traversal_descriptor(edge);
+        self.engine.execute(&d);
+        self.engine.prepare_derivatives(&d);
+    }
+
+    fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let (d1, d2) = self.engine.derivatives(lengths);
+        match self.branch_mode {
+            BranchMode::Joint => (vec![d1.iter().sum()], vec![d2.iter().sum()]),
+            BranchMode::PerPartition => {
+                let mut g1 = vec![0.0; self.n_partitions];
+                let mut g2 = vec![0.0; self.n_partitions];
+                for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+                    g1[global] = d1[local];
+                    g2[global] = d2[local];
+                }
+                (g1, g2)
+            }
+        }
+    }
+
+    fn alphas(&self) -> Vec<f64> {
+        self.alphas.clone()
+    }
+
+    fn set_alphas(&mut self, alphas: &[f64]) {
+        assert_eq!(alphas.len(), self.n_partitions);
+        self.alphas = alphas.to_vec();
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            self.engine.set_alpha(local, alphas[global]);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn gtr_rate(&self, rate_index: usize) -> Vec<f64> {
+        self.gtr_rates.iter().map(|r| r[rate_index]).collect()
+    }
+
+    fn set_gtr_rate(&mut self, rate_index: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.n_partitions);
+        for (g, &v) in values.iter().enumerate() {
+            self.gtr_rates[g][rate_index] = v;
+        }
+        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+            self.engine.set_gtr_rate(local, rate_index, values[global]);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn optimize_site_rates(&mut self) {
+        if self.engine.rate_kind() != RateModelKind::Psr {
+            return;
+        }
+        let d = self.tree.full_traversal_descriptor(0);
+        self.engine.execute(&d);
+        let (num, den) = self.engine.optimize_site_rates(&d);
+        if num > 0.0 {
+            self.engine.finalize_site_rates(den / num);
+        }
+        self.tree.invalidate_all();
+    }
+
+    fn snapshot(&self) -> GlobalState {
+        GlobalState {
+            tree: self.tree.clone(),
+            alphas: self.alphas.clone(),
+            gtr_rates: self.gtr_rates.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &GlobalState) {
+        self.tree = state.tree.clone();
+        self.alphas = state.alphas.clone();
+        self.gtr_rates = state.gtr_rates.clone();
+        apply_global_params(&mut self.engine, state);
+        self.tree.invalidate_all();
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_bio::alignment::Alignment;
+    use exa_bio::partition::PartitionScheme;
+    use exa_bio::patterns::CompressedAlignment;
+    use exa_phylo::engine::PartitionSlice;
+
+    fn make_eval(kind: RateModelKind) -> SequentialEvaluator {
+        let rows = [
+            ("t0", "ACGTACGTACGTACGTAAAA"),
+            ("t1", "ACGTACGAACGTACGTAAAC"),
+            ("t2", "TCGAACGTACGAACGTAAAG"),
+            ("t3", "TCGAACGAACGTACGAAAAT"),
+            ("t4", "TCGATCGAACGTACGAATAT"),
+        ];
+        let aln = Alignment::from_ascii(&rows).unwrap();
+        let scheme = PartitionScheme::uniform_chunks(2, 10);
+        let comp = CompressedAlignment::build(&aln, &scheme);
+        let slices: Vec<PartitionSlice> = comp
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionSlice::from_compressed(i, p))
+            .collect();
+        let engine = Engine::new(5, slices, kind, 1.0);
+        let tree = Tree::random(5, 1, 3);
+        SequentialEvaluator::new(tree, engine, 2, BranchMode::Joint)
+    }
+
+    #[test]
+    fn evaluate_fills_per_partition() {
+        let mut e = make_eval(RateModelKind::Gamma);
+        let total = e.evaluate(0);
+        let per: f64 = e.last_per_partition().iter().sum();
+        assert!((total - per).abs() < 1e-12);
+        assert!(total < 0.0);
+        assert_eq!(e.last_per_partition().len(), 2);
+    }
+
+    #[test]
+    fn set_alphas_changes_likelihood() {
+        let mut e = make_eval(RateModelKind::Gamma);
+        let l0 = e.evaluate(0);
+        e.set_alphas(&[0.05, 0.05]);
+        let l1 = e.evaluate(0);
+        assert_ne!(l0, l1);
+        assert_eq!(e.alphas(), vec![0.05, 0.05]);
+    }
+
+    #[test]
+    fn set_gtr_rate_changes_likelihood() {
+        let mut e = make_eval(RateModelKind::Gamma);
+        let l0 = e.evaluate(0);
+        e.set_gtr_rate(1, &[5.0, 5.0]);
+        let l1 = e.evaluate(0);
+        assert_ne!(l0, l1);
+        assert_eq!(e.gtr_rate(1), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut e = make_eval(RateModelKind::Gamma);
+        e.set_alphas(&[0.3, 2.0]);
+        let l0 = e.evaluate(0);
+        let snap = e.snapshot();
+
+        // Perturb everything.
+        e.set_alphas(&[1.0, 1.0]);
+        e.set_gtr_rate(0, &[3.0, 3.0]);
+        e.tree_mut().set_length(0, 0, 1.7);
+        let l1 = e.evaluate(0);
+        assert_ne!(l0, l1);
+
+        e.restore(&snap);
+        let l2 = e.evaluate(0);
+        assert!((l0 - l2).abs() < 1e-9, "restore must reproduce the snapshot: {l0} vs {l2}");
+    }
+
+    #[test]
+    fn psr_site_rate_optimization_is_safe() {
+        let mut e = make_eval(RateModelKind::Psr);
+        let l0 = e.evaluate(0);
+        e.optimize_site_rates();
+        let l1 = e.evaluate(0);
+        assert!(l1 >= l0 - 1e-6, "{l0} -> {l1}");
+    }
+
+    #[test]
+    fn gamma_site_rate_optimization_is_noop() {
+        let mut e = make_eval(RateModelKind::Gamma);
+        let l0 = e.evaluate(0);
+        e.optimize_site_rates();
+        let l1 = e.evaluate(0);
+        assert_eq!(l0, l1);
+    }
+}

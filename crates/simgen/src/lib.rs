@@ -1,0 +1,253 @@
+//! `exa-simgen` — synthetic data generation.
+//!
+//! The paper evaluates on (i) a *simulated* 150-taxon × 20 Mbp DNA alignment
+//! and (ii) a real 52-taxon multi-gene alignment cut into ~1000 bp
+//! partitions (§IV-B). Neither dataset is redistributable, so this crate
+//! regenerates statistically equivalent inputs: sequences evolved along a
+//! random tree under per-partition GTR models with Γ or per-site rate
+//! variation (the standard forward-simulation used by tools like Seq-Gen and
+//! INDELible, minus indels — ExaML operates on aligned data anyway).
+//!
+//! Everything is deterministic in the seed.
+
+pub mod workloads;
+
+use exa_bio::alignment::Alignment;
+use exa_bio::dna::{Nucleotide, NUM_STATES};
+use exa_bio::partition::PartitionScheme;
+use exa_phylo::model::pmatrix::prob_matrix;
+use exa_phylo::model::GtrModel;
+use exa_phylo::numerics::gamma::discrete_gamma_rates;
+use exa_phylo::tree::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rate variation used when *generating* data.
+#[derive(Debug, Clone)]
+pub enum SimRates {
+    /// All sites evolve at rate 1.
+    Uniform,
+    /// Discrete Γ: each site draws one of the four category rates.
+    Gamma { alpha: f64 },
+}
+
+/// One partition's generating model.
+#[derive(Debug, Clone)]
+pub struct SimModel {
+    pub gtr: GtrModel,
+    pub rates: SimRates,
+}
+
+impl SimModel {
+    /// Draw a heterogeneous random model (distinct exchangeabilities, GC
+    /// content and α per partition — the "different genes evolve at
+    /// different speeds" premise from §I).
+    pub fn random(rng: &mut StdRng) -> SimModel {
+        let mut ex = [1.0f64; 6];
+        for e in ex.iter_mut().take(5) {
+            *e = rng.gen_range(0.3..4.0);
+        }
+        // Transitions (AG, CT) typically exceed transversions.
+        ex[1] *= rng.gen_range(1.5..3.0);
+        ex[4] *= rng.gen_range(1.5..3.0);
+        let mut freqs = [0.0f64; 4];
+        let mut sum = 0.0;
+        for f in freqs.iter_mut() {
+            *f = rng.gen_range(0.15..0.35);
+            sum += *f;
+        }
+        for f in freqs.iter_mut() {
+            *f /= sum;
+        }
+        let alpha = rng.gen_range(0.3..1.5);
+        SimModel { gtr: GtrModel::new(ex, freqs), rates: SimRates::Gamma { alpha } }
+    }
+}
+
+/// Evolve sequences along `tree` for the given partition scheme; partition
+/// `p` uses `models[p]`. Returns the alignment (taxa named `t0..tN-1`).
+pub fn simulate(
+    tree: &Tree,
+    scheme: &PartitionScheme,
+    models: &[SimModel],
+    seed: u64,
+) -> Alignment {
+    assert_eq!(models.len(), scheme.len(), "one model per partition");
+    let n_taxa = tree.n_taxa();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<Nucleotide>> = vec![Vec::with_capacity(scheme.n_sites()); n_taxa];
+
+    // Root the walk at inner node n_taxa (any node works — GTR is
+    // stationary and reversible).
+    let root: NodeId = n_taxa;
+
+    for (p, model) in scheme.partitions().iter().zip(models) {
+        let cat_rates = match &model.rates {
+            SimRates::Uniform => vec![1.0],
+            SimRates::Gamma { alpha } => discrete_gamma_rates(*alpha, 4),
+        };
+        for _site in p.start..p.end {
+            let rate = cat_rates[rng.gen_range(0..cat_rates.len())];
+            let mut states = vec![usize::MAX; tree.n_nodes()];
+            states[root] = sample_from(model.gtr.freqs(), &mut rng);
+            // DFS from the root, sampling child states through P(t·r).
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                for &(w, e) in tree.neighbors(v) {
+                    if states[w] != usize::MAX {
+                        continue;
+                    }
+                    let t = tree.edge(e).length(0);
+                    let pm = prob_matrix(&model.gtr, t, rate);
+                    let row = &pm[states[v]];
+                    states[w] = sample_from(row, &mut rng);
+                    stack.push(w);
+                }
+            }
+            for (taxon, seq) in rows.iter_mut().enumerate() {
+                seq.push(Nucleotide::from_state(states[taxon]));
+            }
+        }
+    }
+
+    let taxa: Vec<String> = (0..n_taxa).map(|i| format!("t{i}")).collect();
+    Alignment::new(taxa, rows).expect("simulated alignment is well-formed")
+}
+
+fn sample_from(weights: &[f64; NUM_STATES], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    NUM_STATES - 1
+}
+
+/// A random tree with biologically plausible branch lengths (log-uniform in
+/// `[min_bl, max_bl]`), deterministic in the seed.
+pub fn random_tree_with_lengths(
+    n_taxa: usize,
+    blen_count: usize,
+    min_bl: f64,
+    max_bl: f64,
+    seed: u64,
+) -> Tree {
+    assert!(min_bl > 0.0 && min_bl < max_bl);
+    let mut tree = Tree::random(n_taxa, blen_count, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb5ad_4ece_da1c_e2a9);
+    for e in 0..tree.n_edges() {
+        let u: f64 = rng.gen_range(min_bl.ln()..max_bl.ln());
+        let len = u.exp();
+        let lengths = vec![len; blen_count];
+        tree.set_lengths(e, &lengths);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exa_bio::patterns::CompressedAlignment;
+    use exa_bio::stats::empirical_frequencies;
+
+    fn jc_model(rates: SimRates) -> SimModel {
+        SimModel { gtr: GtrModel::jukes_cantor(), rates }
+    }
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let tree = random_tree_with_lengths(8, 1, 0.05, 0.3, 7);
+        let scheme = PartitionScheme::unpartitioned(200);
+        let m = vec![jc_model(SimRates::Uniform)];
+        let a = simulate(&tree, &scheme, &m, 42);
+        let b = simulate(&tree, &scheme, &m, 42);
+        let c = simulate(&tree, &scheme, &m, 43);
+        assert_eq!(a.n_taxa(), 8);
+        assert_eq!(a.n_sites(), 200);
+        assert_eq!(a, b, "same seed, same data");
+        assert_ne!(a, c, "different seed, different data");
+    }
+
+    #[test]
+    fn short_branches_give_similar_sequences() {
+        let tree = random_tree_with_lengths(6, 1, 0.001, 0.002, 3);
+        let scheme = PartitionScheme::unpartitioned(500);
+        let a = simulate(&tree, &scheme, &[jc_model(SimRates::Uniform)], 1);
+        // Adjacent rows should be nearly identical under tiny branches.
+        let diff = (0..500).filter(|&s| a.row(0)[s] != a.row(1)[s]).count();
+        assert!(diff < 25, "too divergent for tiny branches: {diff}/500");
+    }
+
+    #[test]
+    fn long_branches_approach_saturation() {
+        let tree = random_tree_with_lengths(6, 1, 4.0, 8.0, 3);
+        let scheme = PartitionScheme::unpartitioned(2000);
+        let a = simulate(&tree, &scheme, &[jc_model(SimRates::Uniform)], 1);
+        let diff = (0..2000).filter(|&s| a.row(0)[s] != a.row(1)[s]).count();
+        // At saturation under JC, two sequences differ at ~75% of sites.
+        let frac = diff as f64 / 2000.0;
+        assert!((frac - 0.75).abs() < 0.06, "saturation fraction {frac}");
+    }
+
+    #[test]
+    fn skewed_frequencies_show_up_in_data() {
+        let gtr = GtrModel::new([1.0; 6], [0.7, 0.1, 0.1, 0.1]);
+        let tree = random_tree_with_lengths(5, 1, 0.05, 0.2, 9);
+        let scheme = PartitionScheme::unpartitioned(3000);
+        let a = simulate(&tree, &scheme, &[SimModel { gtr, rates: SimRates::Uniform }], 5);
+        let comp = CompressedAlignment::build(&a, &scheme);
+        let f = empirical_frequencies(&comp.partitions[0]);
+        assert!(f[0] > 0.6, "A-rich generator must give A-rich data: {f:?}");
+    }
+
+    #[test]
+    fn gamma_rates_create_rate_variation() {
+        // Under strong rate heterogeneity some sites are invariant (slow
+        // categories) even on a tree long enough to saturate fast sites.
+        let tree = random_tree_with_lengths(10, 1, 0.3, 0.8, 11);
+        let scheme = PartitionScheme::unpartitioned(1500);
+        let hetero = simulate(&tree, &scheme, &[jc_model(SimRates::Gamma { alpha: 0.1 })], 2);
+        let uniform = simulate(&tree, &scheme, &[jc_model(SimRates::Uniform)], 2);
+        let invariant = |a: &Alignment| {
+            (0..a.n_sites())
+                .filter(|&s| {
+                    let c0 = a.row(0)[s];
+                    (1..a.n_taxa()).all(|t| a.row(t)[s] == c0)
+                })
+                .count()
+        };
+        let inv_h = invariant(&hetero);
+        let inv_u = invariant(&uniform);
+        assert!(
+            inv_h > 2 * inv_u.max(1),
+            "heterogeneous: {inv_h} invariant vs uniform: {inv_u}"
+        );
+    }
+
+    #[test]
+    fn per_partition_models_differ() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m0 = SimModel::random(&mut rng);
+        let m1 = SimModel::random(&mut rng);
+        assert_ne!(m0.gtr.rates(), m1.gtr.rates());
+        let tree = random_tree_with_lengths(6, 1, 0.05, 0.3, 5);
+        let scheme = PartitionScheme::uniform_chunks(2, 800);
+        let a = simulate(&tree, &scheme, &[m0.clone(), m1], 9);
+        let comp = CompressedAlignment::build(&a, &scheme);
+        let f0 = empirical_frequencies(&comp.partitions[0]);
+        let f1 = empirical_frequencies(&comp.partitions[1]);
+        let dist: f64 = f0.iter().zip(&f1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 0.02, "partition compositions should differ: {f0:?} vs {f1:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one model per partition")]
+    fn model_count_must_match() {
+        let tree = random_tree_with_lengths(4, 1, 0.1, 0.2, 1);
+        let scheme = PartitionScheme::uniform_chunks(2, 10);
+        simulate(&tree, &scheme, &[jc_model(SimRates::Uniform)], 0);
+    }
+}

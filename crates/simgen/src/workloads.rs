@@ -1,0 +1,104 @@
+//! The paper's two benchmark workloads (§IV-B), regenerated at configurable
+//! scale.
+
+use crate::{random_tree_with_lengths, simulate, SimModel, SimRates};
+use exa_bio::alignment::Alignment;
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_phylo::model::GtrModel;
+use exa_phylo::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: raw alignment, scheme, compressed form and the
+/// generating tree (for recovery checks).
+pub struct Workload {
+    pub alignment: Alignment,
+    pub scheme: PartitionScheme,
+    pub compressed: CompressedAlignment,
+    pub true_tree: Tree,
+}
+
+impl Workload {
+    fn build(tree: Tree, scheme: PartitionScheme, models: &[SimModel], seed: u64) -> Workload {
+        let alignment = simulate(&tree, &scheme, models, seed);
+        let compressed = CompressedAlignment::build(&alignment, &scheme);
+        Workload { alignment, scheme, compressed, true_tree: tree }
+    }
+}
+
+/// Challenge (i): the large unpartitioned alignment. The paper's instance is
+/// 150 taxa × 20,000,000 bp (12,597,450 unique patterns); `n_sites` scales
+/// it down for in-process runs — the cluster model in `exa-comm` rescales
+/// measured profiles back up (see EXPERIMENTS.md).
+pub fn large_unpartitioned(n_taxa: usize, n_sites: usize, seed: u64) -> Workload {
+    let tree = random_tree_with_lengths(n_taxa, 1, 0.01, 0.6, seed);
+    let scheme = PartitionScheme::unpartitioned(n_sites);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let model = SimModel {
+        gtr: GtrModel::new(
+            [1.2, 2.9, 0.8, 1.1, 3.4, 1.0],
+            [0.27, 0.23, 0.24, 0.26],
+        ),
+        rates: SimRates::Gamma { alpha: rng.gen_range(0.6..0.9) },
+    };
+    Workload::build(tree, scheme, &[model], seed)
+}
+
+/// Challenge (ii): the partitioned 52-taxon alignment. The paper cuts a real
+/// multi-gene alignment into ~1000 bp partitions and takes the first
+/// 10/50/100/500/1000; each partition here gets its own random GTR+Γ model.
+pub fn partitioned_52taxa(n_partitions: usize, chunk_len: usize, seed: u64) -> Workload {
+    partitioned(52, n_partitions, chunk_len, seed)
+}
+
+/// Generalized partitioned workload.
+pub fn partitioned(n_taxa: usize, n_partitions: usize, chunk_len: usize, seed: u64) -> Workload {
+    let tree = random_tree_with_lengths(n_taxa, 1, 0.01, 0.5, seed);
+    let scheme = PartitionScheme::uniform_chunks(n_partitions, chunk_len);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let models: Vec<SimModel> = (0..n_partitions).map(|_| SimModel::random(&mut rng)).collect();
+    Workload::build(tree, scheme, &models, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_unpartitioned_shape() {
+        let w = large_unpartitioned(20, 2000, 1);
+        assert_eq!(w.alignment.n_taxa(), 20);
+        assert_eq!(w.alignment.n_sites(), 2000);
+        assert_eq!(w.scheme.len(), 1);
+        assert!(w.compressed.total_patterns() <= 2000);
+        // Real sequence data compresses, but not degenerately.
+        assert!(w.compressed.total_patterns() > 200);
+    }
+
+    #[test]
+    fn partitioned_shape() {
+        let w = partitioned_52taxa(10, 100, 3);
+        assert_eq!(w.alignment.n_taxa(), 52);
+        assert_eq!(w.scheme.len(), 10);
+        assert_eq!(w.alignment.n_sites(), 1000);
+        assert_eq!(w.compressed.n_partitions(), 10);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = partitioned(8, 3, 50, 9);
+        let b = partitioned(8, 3, 50, 9);
+        assert_eq!(a.alignment, b.alignment);
+        assert_eq!(a.compressed, b.compressed);
+    }
+
+    #[test]
+    fn pattern_counts_grow_with_partitions() {
+        // More partitions = more sites = more total patterns (compression is
+        // per partition).
+        let small = partitioned(10, 2, 100, 4);
+        let large = partitioned(10, 8, 100, 4);
+        assert!(large.compressed.total_patterns() > small.compressed.total_patterns());
+    }
+}

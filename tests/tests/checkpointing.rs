@@ -1,0 +1,80 @@
+//! Checkpoint/restart across full de-centralized runs.
+
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_core::{checkpoint, run_decentralized, InferenceConfig};
+
+fn workload() -> workloads::Workload {
+    workloads::partitioned(8, 2, 100, 41)
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("examl_it_{name}_{}.json", std::process::id()))
+}
+
+#[test]
+fn checkpoints_are_written_and_loadable() {
+    let w = workload();
+    let path = tmp("write");
+    let mut cfg = InferenceConfig::new(2);
+    cfg.search = SearchConfig { max_iterations: 3, epsilon: 0.01, ..SearchConfig::fast() };
+    cfg.checkpoint_path = Some(path.clone());
+    cfg.checkpoint_every = 1;
+    let out = run_decentralized(&w.compressed, &cfg);
+
+    let ckpt = checkpoint::load(&path).expect("checkpoint must exist and parse");
+    std::fs::remove_file(&path).ok();
+    assert!(ckpt.iteration < cfg.search.max_iterations);
+    assert!(ckpt.lnl.is_finite());
+    assert_eq!(ckpt.state.tree.n_taxa(), 8);
+    // The checkpointed likelihood is from an earlier boundary; the final
+    // result can only be better or equal.
+    assert!(out.result.lnl >= ckpt.lnl - 1e-9);
+}
+
+#[test]
+fn resume_continues_to_a_result_at_least_as_good() {
+    let w = workload();
+    let path = tmp("resume");
+
+    // Phase 1: a deliberately short run that leaves a checkpoint behind.
+    let mut cfg1 = InferenceConfig::new(2);
+    cfg1.search = SearchConfig { max_iterations: 1, epsilon: 0.001, ..SearchConfig::fast() };
+    cfg1.checkpoint_path = Some(path.clone());
+    cfg1.checkpoint_every = 1;
+    let first = run_decentralized(&w.compressed, &cfg1);
+
+    // Phase 2: resume and keep searching.
+    let mut cfg2 = InferenceConfig::new(2);
+    cfg2.search = SearchConfig { max_iterations: 3, epsilon: 0.001, ..SearchConfig::fast() };
+    cfg2.resume_from = Some(path.clone());
+    let second = run_decentralized(&w.compressed, &cfg2);
+    std::fs::remove_file(&path).ok();
+
+    assert!(
+        second.result.lnl >= first.result.lnl - 1e-6,
+        "resumed run must not be worse: {} vs {}",
+        second.result.lnl,
+        first.result.lnl
+    );
+}
+
+#[test]
+fn resume_with_different_rank_count() {
+    // The checkpoint stores only replicated state, so the rank count is
+    // free to change across restarts (a real operational need on clusters).
+    let w = workload();
+    let path = tmp("ranks");
+
+    let mut cfg1 = InferenceConfig::new(3);
+    cfg1.search = SearchConfig { max_iterations: 1, ..SearchConfig::fast() };
+    cfg1.checkpoint_path = Some(path.clone());
+    run_decentralized(&w.compressed, &cfg1);
+
+    let mut cfg2 = InferenceConfig::new(2);
+    cfg2.search = SearchConfig { max_iterations: 2, ..SearchConfig::fast() };
+    cfg2.resume_from = Some(path.clone());
+    let out = run_decentralized(&w.compressed, &cfg2);
+    std::fs::remove_file(&path).ok();
+    assert!(out.result.lnl.is_finite());
+}

@@ -1,0 +1,101 @@
+//! §V fault tolerance: ranks die mid-search, survivors redistribute the
+//! dead rank's data and finish the inference from the replicated state.
+
+use exa_phylo::tree::bipartitions::rf_distance;
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_core::fault::FaultPlan;
+use examl_core::{run_decentralized, InferenceConfig};
+
+fn workload(seed: u64) -> workloads::Workload {
+    workloads::partitioned(8, 2, 100, seed)
+}
+
+fn cfg(n_ranks: usize, plan: FaultPlan) -> InferenceConfig {
+    let mut cfg = InferenceConfig::new(n_ranks);
+    cfg.search = SearchConfig { max_iterations: 3, epsilon: 0.01, ..SearchConfig::fast() };
+    cfg.seed = 21;
+    cfg.fault_plan = plan;
+    cfg
+}
+
+#[test]
+fn single_rank_failure_is_survived() {
+    let w = workload(5);
+    let baseline = run_decentralized(&w.compressed, &cfg(4, FaultPlan::none()));
+    let faulted = run_decentralized(&w.compressed, &cfg(4, FaultPlan::kill(2, 1)));
+
+    // The run completes and reaches (essentially) the same optimum: the
+    // survivors redo the interrupted iteration on redistributed data, and
+    // since the search state is fully replicated the trajectory is
+    // identical up to floating-point summation order across rank counts.
+    assert!(faulted.result.lnl.is_finite());
+    assert!(
+        (faulted.result.lnl - baseline.result.lnl).abs() < 1.0,
+        "faulted {} vs baseline {}",
+        faulted.result.lnl,
+        baseline.result.lnl
+    );
+    assert_eq!(
+        rf_distance(&faulted.state.tree, &baseline.state.tree),
+        0,
+        "same final topology with and without failure"
+    );
+    assert_eq!(faulted.survivors, vec![0, 1, 3]);
+}
+
+#[test]
+fn failure_of_rank_zero_is_survived() {
+    // There is no master: rank 0 is as expendable as any other (the paper's
+    // §V contrast with fork-join, where a master death is catastrophic).
+    let w = workload(9);
+    let out = run_decentralized(&w.compressed, &cfg(3, FaultPlan::kill(0, 1)));
+    assert!(out.result.lnl.is_finite());
+    assert_eq!(out.survivors, vec![1, 2]);
+}
+
+#[test]
+fn two_failures_in_sequence_are_survived() {
+    let w = workload(13);
+    let plan = FaultPlan::kill(1, 1).and_kill(3, 2);
+    let baseline = run_decentralized(&w.compressed, &cfg(4, FaultPlan::none()));
+    let out = run_decentralized(&w.compressed, &cfg(4, plan));
+    assert!(out.result.lnl.is_finite());
+    assert_eq!(out.survivors, vec![0, 2]);
+    assert!(
+        (out.result.lnl - baseline.result.lnl).abs() < 1.0,
+        "{} vs {}",
+        out.result.lnl,
+        baseline.result.lnl
+    );
+}
+
+#[test]
+fn simultaneous_failures_are_survived() {
+    let w = workload(17);
+    let plan = FaultPlan::kill(1, 1).and_kill(2, 1);
+    let out = run_decentralized(&w.compressed, &cfg(4, plan));
+    assert!(out.result.lnl.is_finite());
+    assert_eq!(out.survivors, vec![0, 3]);
+}
+
+#[test]
+fn failure_under_mps_distribution() {
+    let w = workloads::partitioned(8, 6, 60, 19);
+    let mut c = cfg(3, FaultPlan::kill(1, 1));
+    c.strategy = exa_sched::Strategy::MonolithicLpt;
+    let out = run_decentralized(&w.compressed, &c);
+    assert!(out.result.lnl.is_finite());
+    assert_eq!(out.survivors, vec![0, 2]);
+}
+
+#[test]
+fn failure_under_psr_model() {
+    // PSR per-site rates are data-local; recovery resets them on the new
+    // owners and the next optimization round re-fits them.
+    let w = workload(23);
+    let mut c = cfg(3, FaultPlan::kill(2, 1));
+    c.rate_model = exa_phylo::model::rates::RateModelKind::Psr;
+    let out = run_decentralized(&w.compressed, &c);
+    assert!(out.result.lnl.is_finite());
+}
