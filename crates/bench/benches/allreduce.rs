@@ -15,7 +15,8 @@ fn bench_allreduce_ranks(c: &mut Criterion) {
                 World::run(ranks, |rank| {
                     let mut data = vec![rank.id() as f64; 8];
                     for _ in 0..100 {
-                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods)
+                            .unwrap();
                     }
                     data[0]
                 })
@@ -37,7 +38,8 @@ fn bench_allreduce_message_size(c: &mut Criterion) {
                 World::run(4, |rank| {
                     let mut data = vec![rank.id() as f64; len];
                     for _ in 0..50 {
-                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+                        rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods)
+                            .unwrap();
                     }
                     data[0]
                 })
@@ -57,7 +59,8 @@ fn bench_allreduce_vs_reduce_broadcast(c: &mut Criterion) {
             World::run(4, |rank| {
                 let mut lnls = vec![1.0; 10];
                 for _ in 0..50 {
-                    rank.allreduce_sum(&mut lnls, CommCategory::SiteLikelihoods).unwrap();
+                    rank.allreduce_sum(&mut lnls, CommCategory::SiteLikelihoods)
+                        .unwrap();
                 }
             })
         });
@@ -67,12 +70,17 @@ fn bench_allreduce_vs_reduce_broadcast(c: &mut Criterion) {
             World::run(4, |rank| {
                 for _ in 0..50 {
                     // Traversal descriptor out (here: a 200-byte stand-in)…
-                    let mut desc = if rank.id() == 0 { vec![0u8; 200] } else { Vec::new() };
+                    let mut desc = if rank.id() == 0 {
+                        vec![0u8; 200]
+                    } else {
+                        Vec::new()
+                    };
                     rank.broadcast_bytes(0, &mut desc, CommCategory::TraversalDescriptor)
                         .unwrap();
                     // …likelihoods back.
                     let mut lnls = vec![1.0; 10];
-                    rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods).unwrap();
+                    rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
+                        .unwrap();
                 }
             })
         });

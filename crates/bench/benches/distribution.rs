@@ -30,9 +30,14 @@ fn bench_balance_quality(c: &mut Criterion) {
     // multiplies bookkeeping by the rank count but balances perfectly).
     let w = workloads::partitioned(8, 500, 20, 3);
     let ranks = 192;
-    let cyc = balance_stats(&w.compressed, &distribute(&w.compressed, ranks, Strategy::Cyclic));
-    let mps =
-        balance_stats(&w.compressed, &distribute(&w.compressed, ranks, Strategy::MonolithicLpt));
+    let cyc = balance_stats(
+        &w.compressed,
+        &distribute(&w.compressed, ranks, Strategy::Cyclic),
+    );
+    let mps = balance_stats(
+        &w.compressed,
+        &distribute(&w.compressed, ranks, Strategy::MonolithicLpt),
+    );
     assert!(cyc.imbalance < 1.05);
     assert_eq!(mps.total_shares, 500);
     assert!(cyc.total_shares > 10 * mps.total_shares);

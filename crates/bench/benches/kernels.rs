@@ -30,7 +30,9 @@ fn bench_newview(c: &mut Criterion) {
             RateModelKind::Gamma => 4,
             RateModelKind::Psr => 1,
         };
-        group.throughput(Throughput::Elements(patterns * cats * (tree.n_inner() as u64)));
+        group.throughput(Throughput::Elements(
+            patterns * cats * (tree.n_inner() as u64),
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
@@ -115,11 +117,56 @@ fn bench_partial_vs_full_traversal(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // The exa-obs contract: tracing must be a near-free bystander on the hot
+    // kernel path. Three configurations of the same newview traversal:
+    // no tracer installed (the default), a tracer whose recorder is disabled
+    // (one relaxed atomic load per span), and full recording.
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    let (mut engine, mut tree) = setup(RateModelKind::Gamma, 4000);
+
+    group.bench_function("newview_untraced", |b| {
+        b.iter(|| {
+            let d = tree.full_traversal_descriptor(0);
+            engine.execute(&d);
+            std::hint::black_box(());
+        });
+    });
+
+    let recorder = exa_obs::Recorder::new(1);
+    recorder.set_enabled(false);
+    let tracer = recorder.tracer(0);
+    {
+        let _tls = exa_obs::install_tracer(tracer.clone());
+        group.bench_function("newview_tracer_disabled", |b| {
+            b.iter(|| {
+                let d = tree.full_traversal_descriptor(0);
+                engine.execute(&d);
+                std::hint::black_box(());
+            });
+        });
+        recorder.set_enabled(true);
+        group.bench_function("newview_tracer_enabled", |b| {
+            b.iter(|| {
+                let d = tree.full_traversal_descriptor(0);
+                engine.execute(&d);
+                std::hint::black_box(());
+            });
+        });
+    }
+    drop(tracer);
+    let trace = exa_obs::Recorder::finish(recorder);
+    assert!(trace.total_events() > 0, "enabled pass must have recorded");
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_newview,
     bench_evaluate,
     bench_derivatives,
-    bench_partial_vs_full_traversal
+    bench_partial_vs_full_traversal,
+    bench_tracing_overhead
 );
 criterion_main!(benches);

@@ -41,20 +41,27 @@ struct Figure3Point {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let taxa: usize = arg_value(&args, "--taxa").and_then(|s| s.parse().ok()).unwrap_or(150);
-    let sites: usize = arg_value(&args, "--sites").and_then(|s| s.parse().ok()).unwrap_or(20_000);
-    let ranks: usize = arg_value(&args, "--ranks").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let taxa: usize = arg_value(&args, "--taxa")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let sites: usize = arg_value(&args, "--sites")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let ranks: usize = arg_value(&args, "--ranks")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
 
     eprintln!("generating the large unpartitioned workload ({taxa} taxa x {sites} bp)...");
     let w = workloads::large_unpartitioned(taxa, sites, 9);
     let measured_patterns = w.compressed.total_patterns() as f64;
-    let scale =
-        (PAPER_PATTERNS / measured_patterns) * ((PAPER_TAXA - 2.0) / (taxa as f64 - 2.0));
+    let scale = (PAPER_PATTERNS / measured_patterns) * ((PAPER_TAXA - 2.0) / (taxa as f64 - 2.0));
     eprintln!(
         "  {measured_patterns} unique patterns measured; scaling work/memory x{scale:.0} \
          to the paper's 12.6M patterns x 150 taxa"

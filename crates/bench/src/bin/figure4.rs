@@ -34,7 +34,9 @@ struct Figure4Point {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
@@ -43,8 +45,12 @@ fn main() {
         Some("per-partition") => BranchMode::PerPartition,
         _ => BranchMode::Joint,
     };
-    let chunk: usize = arg_value(&args, "--chunk").and_then(|s| s.parse().ok()).unwrap_or(25);
-    let ranks: usize = arg_value(&args, "--ranks").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let chunk: usize = arg_value(&args, "--chunk")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let ranks: usize = arg_value(&args, "--ranks")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let sizes: Vec<usize> = arg_value(&args, "--sizes")
         .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
         .unwrap_or_else(|| vec![10, 50, 100, 500, 1000]);
@@ -64,8 +70,11 @@ fn main() {
     for &p in &sizes {
         // MPS (-Q) for >= 500 partitions, exactly like the paper.
         let mps = p >= 500;
-        let strategy =
-            if mps { exa_sched::Strategy::MonolithicLpt } else { exa_sched::Strategy::Cyclic };
+        let strategy = if mps {
+            exa_sched::Strategy::MonolithicLpt
+        } else {
+            exa_sched::Strategy::Cyclic
+        };
         eprintln!("generating {p}-partition workload (52 taxa x {p} x {chunk} bp)...");
         let w = workloads::partitioned_52taxa(p, chunk, 3);
 
@@ -175,13 +184,13 @@ fn main() {
             ));
         }
     }
-    md.push_str(&format!(
+    md.push_str(
         "\nPaper reference, Fig. 4(a): ExaML ~= RAxML-Light on 10/50/100 partitions under \
          PSR, ~30% faster under Γ; 3.1x/2.6x (Γ) and 3.2x/2.7x (PSR) faster on 500/1000. \
          Fig. 4(b) (-M): up to 1.7x (Γ) / 2.0x (PSR). The expected shape: the speedup \
          factor grows with the partition count because fork-join traffic (descriptors + \
-         parameter arrays) grows with partitions while ExaML's collectives stay small.\n"
-    ));
+         parameter arrays) grows with partitions while ExaML's collectives stay small.\n",
+    );
     println!("{md}");
     write_markdown(&format!("figure4{suffix}"), &md);
     write_json(&format!("figure4{suffix}"), &points);

@@ -48,9 +48,17 @@ fn main() {
     let w = workloads::partitioned_52taxa(10, chunk_len, 1);
 
     let configs = [
-        ("Gamma, per-partition", RateModelKind::Gamma, BranchMode::PerPartition),
+        (
+            "Gamma, per-partition",
+            RateModelKind::Gamma,
+            BranchMode::PerPartition,
+        ),
         ("Gamma, joint", RateModelKind::Gamma, BranchMode::Joint),
-        ("PSR, per-partition", RateModelKind::Psr, BranchMode::PerPartition),
+        (
+            "PSR, per-partition",
+            RateModelKind::Psr,
+            BranchMode::PerPartition,
+        ),
         ("PSR, joint", RateModelKind::Psr, BranchMode::Joint),
     ];
 
@@ -60,7 +68,11 @@ fn main() {
         let mut cfg = ForkJoinConfig::new(ranks);
         cfg.rate_model = kind;
         cfg.branch_mode = mode;
-        cfg.search = SearchConfig { max_iterations: 3, epsilon: 0.05, ..SearchConfig::default() };
+        cfg.search = SearchConfig {
+            max_iterations: 3,
+            epsilon: 0.05,
+            ..SearchConfig::default()
+        };
         cfg.seed = 7;
         let out = run_forkjoin(&w.compressed, &cfg);
         let s = &out.comm_stats;
@@ -94,11 +106,15 @@ fn main() {
             f(&columns[3])
         )
     };
-    md.push_str(&row("branch length optimization [%]", &|c| format!("{:.2}", c.branch_length_pct)));
+    md.push_str(&row("branch length optimization [%]", &|c| {
+        format!("{:.2}", c.branch_length_pct)
+    }));
     md.push_str(&row("per-site/per-partition likelihoods [%]", &|c| {
         format!("{:.2}", c.site_likelihoods_pct)
     }));
-    md.push_str(&row("model parameters [%]", &|c| format!("{:.2}", c.model_params_pct)));
+    md.push_str(&row("model parameters [%]", &|c| {
+        format!("{:.2}", c.model_params_pct)
+    }));
     md.push_str(&row("traversal descriptor [%]", &|c| {
         format!("{:.2}", c.traversal_descriptor_pct)
     }));

@@ -44,7 +44,11 @@ impl Alignment {
                 return Err(BioError::DuplicateTaxon(t.clone()));
             }
         }
-        Ok(Alignment { taxa, rows, n_sites })
+        Ok(Alignment {
+            taxa,
+            rows,
+            n_sites,
+        })
     }
 
     /// Build from raw ASCII sequences.
@@ -100,9 +104,11 @@ impl Alignment {
 
     /// Extract the sub-alignment covering columns `[start, end)`.
     pub fn slice_sites(&self, start: usize, end: usize) -> Alignment {
-        assert!(start <= end && end <= self.n_sites, "site slice out of bounds");
-        let rows: Vec<Vec<Nucleotide>> =
-            self.rows.iter().map(|r| r[start..end].to_vec()).collect();
+        assert!(
+            start <= end && end <= self.n_sites,
+            "site slice out of bounds"
+        );
+        let rows: Vec<Vec<Nucleotide>> = self.rows.iter().map(|r| r[start..end].to_vec()).collect();
         Alignment {
             taxa: self.taxa.clone(),
             rows,
@@ -157,10 +163,7 @@ mod tests {
     fn column_access() {
         let a = small();
         let col = a.column(0);
-        assert_eq!(
-            col,
-            vec![Nucleotide::A, Nucleotide::A, Nucleotide::T]
-        );
+        assert_eq!(col, vec![Nucleotide::A, Nucleotide::A, Nucleotide::T]);
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
     #[test]
     fn rejects_bad_character() {
         let err = Alignment::from_ascii(&[("a", "ACZT")]).unwrap_err();
-        assert!(matches!(err, BioError::InvalidCharacter { position: 2, .. }));
+        assert!(matches!(
+            err,
+            BioError::InvalidCharacter { position: 2, .. }
+        ));
     }
 
     #[test]

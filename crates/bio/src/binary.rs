@@ -86,15 +86,16 @@ impl<'a> Reader<'a> {
         let v = self.u64()?;
         // Guard against absurd lengths from corrupt files before allocating.
         if v > self.buf.len() as u64 {
-            return Err(BioError::BadBinary(format!("implausible {what} length {v}")));
+            return Err(BioError::BadBinary(format!(
+                "implausible {what} length {v}"
+            )));
         }
         Ok(v as usize)
     }
     fn str(&mut self) -> Result<String, BioError> {
         let n = self.len("string")?;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| BioError::BadBinary("non-utf8 string".into()))
+        String::from_utf8(bytes.to_vec()).map_err(|_| BioError::BadBinary("non-utf8 string".into()))
     }
 }
 
@@ -148,7 +149,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedAlignment, BioError> {
     }
     let version = r.u32()?;
     if version != VERSION {
-        return Err(BioError::BadBinary(format!("unsupported version {version}")));
+        return Err(BioError::BadBinary(format!(
+            "unsupported version {version}"
+        )));
     }
     let n_taxa = r.len("taxa")?;
     let mut taxa = Vec::with_capacity(n_taxa);
@@ -179,7 +182,12 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedAlignment, BioError> {
             }
             site_to_pattern.push(s);
         }
-        partitions.push(CompressedPartition { name, tips, weights, site_to_pattern });
+        partitions.push(CompressedPartition {
+            name,
+            tips,
+            weights,
+            site_to_pattern,
+        });
     }
     if r.pos != body.len() {
         return Err(BioError::BadBinary(format!(
@@ -234,7 +242,10 @@ mod tests {
         for pos in [0, 4, 10, bytes.len() / 2, bytes.len() - 9] {
             let mut bad = bytes.clone();
             bad[pos] ^= 0x5a;
-            assert!(from_bytes(&bad).is_err(), "corruption at {pos} not detected");
+            assert!(
+                from_bytes(&bad).is_err(),
+                "corruption at {pos} not detected"
+            );
         }
     }
 
@@ -242,7 +253,10 @@ mod tests {
     fn detects_truncation() {
         let bytes = to_bytes(&sample());
         for cut in [0, 3, 7, bytes.len() - 1] {
-            assert!(from_bytes(&bytes[..cut]).is_err(), "truncation to {cut} accepted");
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut} accepted"
+            );
         }
     }
 

@@ -6,9 +6,17 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BioError {
     /// A character that is not a valid IUPAC nucleotide code was encountered.
-    InvalidCharacter { taxon: String, position: usize, ch: char },
+    InvalidCharacter {
+        taxon: String,
+        position: usize,
+        ch: char,
+    },
     /// Two sequences in one alignment have different lengths.
-    LengthMismatch { taxon: String, expected: usize, found: usize },
+    LengthMismatch {
+        taxon: String,
+        expected: usize,
+        found: usize,
+    },
     /// The same taxon name appears twice.
     DuplicateTaxon(String),
     /// A parse error with a human-readable description.
@@ -24,10 +32,21 @@ pub enum BioError {
 impl fmt::Display for BioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BioError::InvalidCharacter { taxon, position, ch } => {
-                write!(f, "invalid character {ch:?} in taxon {taxon:?} at site {position}")
+            BioError::InvalidCharacter {
+                taxon,
+                position,
+                ch,
+            } => {
+                write!(
+                    f,
+                    "invalid character {ch:?} in taxon {taxon:?} at site {position}"
+                )
             }
-            BioError::LengthMismatch { taxon, expected, found } => {
+            BioError::LengthMismatch {
+                taxon,
+                expected,
+                found,
+            } => {
                 write!(f, "taxon {taxon:?} has length {found}, expected {expected}")
             }
             BioError::DuplicateTaxon(t) => write!(f, "duplicate taxon name {t:?}"),

@@ -16,7 +16,10 @@ pub fn parse_fasta(text: &str) -> Result<Alignment, BioError> {
         if let Some(header) = line.strip_prefix('>') {
             let name = header.split_whitespace().next().unwrap_or("").to_string();
             if name.is_empty() {
-                return Err(BioError::Parse(format!("empty FASTA header at line {}", lineno + 1)));
+                return Err(BioError::Parse(format!(
+                    "empty FASTA header at line {}",
+                    lineno + 1
+                )));
             }
             taxa.push(name);
             seqs.push(String::new());

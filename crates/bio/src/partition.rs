@@ -43,7 +43,11 @@ impl PartitionScheme {
     /// A single partition covering the whole alignment.
     pub fn unpartitioned(n_sites: usize) -> PartitionScheme {
         PartitionScheme {
-            partitions: vec![Partition { name: "ALL".into(), start: 0, end: n_sites }],
+            partitions: vec![Partition {
+                name: "ALL".into(),
+                start: 0,
+                end: n_sites,
+            }],
             n_sites,
         }
     }
@@ -63,7 +67,10 @@ impl PartitionScheme {
                 )));
             }
             if p.is_empty() {
-                return Err(BioError::BadPartition(format!("partition {:?} is empty", p.name)));
+                return Err(BioError::BadPartition(format!(
+                    "partition {:?} is empty",
+                    p.name
+                )));
             }
             expected_start = p.end;
         }
@@ -72,7 +79,10 @@ impl PartitionScheme {
                 "partitions cover {expected_start} sites but alignment has {n_sites}"
             )));
         }
-        Ok(PartitionScheme { partitions, n_sites })
+        Ok(PartitionScheme {
+            partitions,
+            n_sites,
+        })
     }
 
     /// Cut the first `count` equally-sized chunks of `chunk_len` sites, the
@@ -88,7 +98,10 @@ impl PartitionScheme {
                 end: (i + 1) * chunk_len,
             })
             .collect();
-        PartitionScheme { partitions, n_sites: count * chunk_len }
+        PartitionScheme {
+            partitions,
+            n_sites: count * chunk_len,
+        }
     }
 
     /// Build from per-block lengths (heterogeneous gene lengths).
@@ -97,11 +110,18 @@ impl PartitionScheme {
         let mut start = 0usize;
         for (i, len) in lengths.into_iter().enumerate() {
             assert!(len > 0, "zero-length partition");
-            partitions.push(Partition { name: format!("gene{i}"), start, end: start + len });
+            partitions.push(Partition {
+                name: format!("gene{i}"),
+                start,
+                end: start + len,
+            });
             start += len;
         }
         assert!(!partitions.is_empty(), "no partitions");
-        PartitionScheme { partitions, n_sites: start }
+        PartitionScheme {
+            partitions,
+            n_sites: start,
+        }
     }
 
     /// Number of partitions.
@@ -130,9 +150,7 @@ impl PartitionScheme {
             return None;
         }
         // Binary search over the sorted, tiling blocks.
-        let idx = self
-            .partitions
-            .partition_point(|p| p.end <= site);
+        let idx = self.partitions.partition_point(|p| p.end <= site);
         Some(idx)
     }
 
@@ -147,7 +165,10 @@ impl PartitionScheme {
         }
         let partitions: Vec<Partition> = self.partitions[..count].to_vec();
         let n_sites = partitions.last().unwrap().end;
-        Ok(PartitionScheme { partitions, n_sites })
+        Ok(PartitionScheme {
+            partitions,
+            n_sites,
+        })
     }
 }
 
@@ -173,7 +194,11 @@ pub fn parse_partition_file(text: &str, n_sites: usize) -> Result<PartitionSchem
         if lo == 0 || hi < lo {
             return Err(err("range must be 1-based and non-empty"));
         }
-        partitions.push(Partition { name: name.trim().to_string(), start: lo - 1, end: hi });
+        partitions.push(Partition {
+            name: name.trim().to_string(),
+            start: lo - 1,
+            end: hi,
+        });
     }
     PartitionScheme::new(partitions, n_sites)
 }
@@ -224,15 +249,27 @@ mod tests {
     #[test]
     fn validation_catches_gap() {
         let parts = vec![
-            Partition { name: "a".into(), start: 0, end: 4 },
-            Partition { name: "b".into(), start: 5, end: 10 },
+            Partition {
+                name: "a".into(),
+                start: 0,
+                end: 4,
+            },
+            Partition {
+                name: "b".into(),
+                start: 5,
+                end: 10,
+            },
         ];
         assert!(PartitionScheme::new(parts, 10).is_err());
     }
 
     #[test]
     fn validation_catches_short_cover() {
-        let parts = vec![Partition { name: "a".into(), start: 0, end: 4 }];
+        let parts = vec![Partition {
+            name: "a".into(),
+            start: 0,
+            end: 4,
+        }];
         assert!(PartitionScheme::new(parts, 10).is_err());
     }
 

@@ -134,7 +134,10 @@ impl CompressedAlignment {
                 }
             })
             .collect();
-        CompressedAlignment { taxa: alignment.taxa().to_vec(), partitions }
+        CompressedAlignment {
+            taxa: alignment.taxa().to_vec(),
+            partitions,
+        }
     }
 
     /// Total unique patterns across all partitions.

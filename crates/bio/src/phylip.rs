@@ -12,7 +12,9 @@ use crate::error::BioError;
 /// Parse a relaxed sequential PHYLIP file.
 pub fn parse_phylip(text: &str) -> Result<Alignment, BioError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| BioError::Parse("empty file".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| BioError::Parse("empty file".into()))?;
     let mut hp = header.split_whitespace();
     let n_taxa: usize = hp
         .next()

@@ -23,16 +23,21 @@ pub fn empirical_frequencies(p: &CompressedPartition) -> [f64; NUM_STATES] {
                 continue;
             }
             let share = w / nbits;
-            for s in 0..NUM_STATES {
+            for (s, count) in counts.iter_mut().enumerate() {
                 if code & (1 << s) != 0 {
-                    counts[s] += share;
+                    *count += share;
                 }
             }
         }
     }
     let total: f64 = counts.iter().sum();
     let mut freqs = if total > 0.0 {
-        [counts[0] / total, counts[1] / total, counts[2] / total, counts[3] / total]
+        [
+            counts[0] / total,
+            counts[1] / total,
+            counts[2] / total,
+            counts[3] / total,
+        ]
     } else {
         [0.25; NUM_STATES]
     };
@@ -151,10 +156,18 @@ mod tests {
 
     #[test]
     fn psr_uses_quarter_of_gamma_memory() {
-        let c = comp(&[("a", "ACGTACGT"), ("b", "ACGAACGA"), ("c", "TTGAACGA"), ("d", "ACGATTTT")]);
+        let c = comp(&[
+            ("a", "ACGTACGT"),
+            ("b", "ACGAACGA"),
+            ("c", "TTGAACGA"),
+            ("d", "ACGATTTT"),
+        ]);
         let gamma = clv_memory_bytes(&c, 4);
         let psr = clv_memory_bytes(&c, 1);
         // The CLV part is exactly 4×; scaler overhead shifts the total a bit.
-        assert!(gamma > 3 * psr && gamma <= 4 * psr, "gamma={gamma} psr={psr}");
+        assert!(
+            gamma > 3 * psr && gamma <= 4 * psr,
+            "gamma={gamma} psr={psr}"
+        );
     }
 }

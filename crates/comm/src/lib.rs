@@ -27,10 +27,17 @@
 //! 48-core-node cluster (DESIGN.md §2 documents this substitution).
 
 pub mod cluster;
-pub mod stats;
 
-pub use stats::{CommCategory, CommStats, OpKind};
+/// Communication accounting types. These moved to `exa-obs` (the bottom of
+/// the crate stack) so the trace aggregation can share them; re-exported
+/// here for existing call sites.
+pub mod stats {
+    pub use exa_obs::{CategoryStats, CommCategory, CommStats, OpKind, Snapshot};
+}
 
+pub use stats::{CategoryStats, CommCategory, CommStats, OpKind, Snapshot};
+
+use exa_obs::{Recorder, RegionKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -110,6 +117,10 @@ struct Ctx {
 pub struct Rank {
     id: usize,
     ctx: Arc<Ctx>,
+    /// This rank's trace handle (present under [`World::run_traced`]).
+    /// `Tracer` is `!Send`, so a `Rank` carrying one is pinned to its
+    /// thread — which is the intended discipline anyway.
+    tracer: Option<Tracer>,
 }
 
 /// Factory for rank worlds.
@@ -123,7 +134,28 @@ impl World {
         F: Fn(Rank) -> T + Sync,
         T: Send,
     {
+        Self::run_traced(n, None, f)
+    }
+
+    /// Like [`World::run`], with per-rank tracing: each rank claims its
+    /// buffer in `recorder` and installs itself as the thread's current
+    /// tracer (so `exa_obs::region`/`mark` in deeper layers attribute to
+    /// the right rank). Collectives emit events automatically. Pass the
+    /// recorder to [`exa_obs::Recorder::finish`] after this returns to
+    /// obtain the merged trace.
+    pub fn run_traced<F, T>(n: usize, recorder: Option<&Arc<Recorder>>, f: F) -> Vec<T>
+    where
+        F: Fn(Rank) -> T + Sync,
+        T: Send,
+    {
         assert!(n >= 1, "need at least one rank");
+        if let Some(rec) = recorder {
+            assert!(
+                rec.n_ranks() >= n,
+                "recorder has {} rank buffers, world needs {n}",
+                rec.n_ranks()
+            );
+        }
         let ctx = Arc::new(Ctx {
             size: n,
             state: Mutex::new(State {
@@ -151,11 +183,22 @@ impl World {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|id| {
-                    let rank = Rank { id, ctx: Arc::clone(&ctx) };
-                    scope.spawn(move || f(rank))
+                    let ctx = Arc::clone(&ctx);
+                    let recorder = recorder.map(Arc::clone);
+                    // The Rank is constructed *inside* the spawned thread:
+                    // its tracer must be claimed on the thread that emits
+                    // the rank's events (Tracer is !Send).
+                    scope.spawn(move || {
+                        let tracer = recorder.as_ref().map(|r| r.tracer(id));
+                        let _tls = tracer.clone().map(exa_obs::install_tracer);
+                        f(Rank { id, ctx, tracer })
+                    })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 }
@@ -199,9 +242,17 @@ impl Rank {
     /// Account traffic that is modeled but not physically moved through the
     /// in-process communicator (e.g. the initial data distribution, which
     /// real ExaML performs via MPI I/O but a shared-memory world reads
-    /// directly). Recorded once, exactly like a completed collective.
+    /// directly). Recorded once, exactly like a completed collective — but
+    /// **not** traced: the event trace holds only observed operations, so
+    /// rank timelines stay identical when a single rank accounts modeled
+    /// traffic on behalf of the world.
     pub fn account(&self, category: CommCategory, kind: OpKind, bytes: u64) {
         self.ctx.stats.lock().record(category, kind, bytes);
+    }
+
+    /// This rank's trace handle, when running under [`World::run_traced`].
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     fn collective(
@@ -210,9 +261,19 @@ impl Rank {
         category: CommCategory,
         payload: Payload,
     ) -> Result<Payload, CommError> {
+        // Span covering synchronization + payload exchange. Declared before
+        // the guard so it closes after the lock is released.
+        let _wait = self
+            .tracer
+            .as_ref()
+            .map(|t| t.region(RegionKind::CollectiveWait));
         let ctx = &*self.ctx;
         let mut st = ctx.state.lock();
-        debug_assert!(st.active[self.id], "failed rank {} called a collective", self.id);
+        debug_assert!(
+            st.active[self.id],
+            "failed rank {} called a collective",
+            self.id
+        );
         // Entry: refuse on pending failure, drain any previous result.
         loop {
             if st.poisoned {
@@ -256,17 +317,16 @@ impl Rank {
             // Last arrival: combine deterministically in rank order and
             // record the operation once. A combine panic (malformed
             // payloads) poisons the world so waiters unwind too.
-            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                combine(&st, op)
-            })) {
-                Ok(r) => r,
-                Err(e) => {
-                    st.poisoned = true;
-                    ctx.cv.notify_all();
-                    drop(st);
-                    std::panic::resume_unwind(e);
-                }
-            };
+            let result =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| combine(&st, op))) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        st.poisoned = true;
+                        ctx.cv.notify_all();
+                        drop(st);
+                        std::panic::resume_unwind(e);
+                    }
+                };
             let (_, cat) = st.category.expect("category recorded by a depositor");
             ctx.stats.lock().record(cat, op.kind, wire_bytes(&result));
             st.result = Some(result);
@@ -289,6 +349,9 @@ impl Rank {
         }
 
         let out = st.result.clone().expect("result present");
+        // The authoritative (root-preferred) category, read before the last
+        // reader resets it — so every rank traces the identical event.
+        let traced_category = st.category.expect("category present").1;
         st.remaining_readers -= 1;
         if st.remaining_readers == 0 {
             st.result = None;
@@ -301,15 +364,24 @@ impl Rank {
             }
             ctx.cv.notify_all();
         }
+        drop(st);
+        if let Some(t) = &self.tracer {
+            t.collective(op.kind, traced_category, wire_bytes(&out));
+        }
         Ok(out)
     }
 
     /// Deterministic sum-allreduce over `data` (in place). All active ranks
     /// receive the bit-identical result.
     pub fn allreduce_sum(&self, data: &mut [f64], category: CommCategory) -> Result<(), CommError> {
-        let op = OpSig { kind: OpKind::Allreduce, root: 0 };
+        let op = OpSig {
+            kind: OpKind::Allreduce,
+            root: 0,
+        };
         let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
-        let Payload::F64(v) = out else { unreachable!("allreduce returns f64") };
+        let Payload::F64(v) = out else {
+            unreachable!("allreduce returns f64")
+        };
         data.copy_from_slice(&v);
         Ok(())
     }
@@ -321,10 +393,15 @@ impl Rank {
         data: &mut [f64],
         category: CommCategory,
     ) -> Result<(), CommError> {
-        let op = OpSig { kind: OpKind::Reduce, root };
+        let op = OpSig {
+            kind: OpKind::Reduce,
+            root,
+        };
         let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
         if self.id == root {
-            let Payload::F64(v) = out else { unreachable!("reduce returns f64") };
+            let Payload::F64(v) = out else {
+                unreachable!("reduce returns f64")
+            };
             data.copy_from_slice(&v);
         }
         Ok(())
@@ -338,11 +415,19 @@ impl Rank {
         data: &mut Vec<u8>,
         category: CommCategory,
     ) -> Result<(), CommError> {
-        let op = OpSig { kind: OpKind::Broadcast, root };
-        let payload =
-            if self.id == root { Payload::Bytes(std::mem::take(data)) } else { Payload::Unit };
+        let op = OpSig {
+            kind: OpKind::Broadcast,
+            root,
+        };
+        let payload = if self.id == root {
+            Payload::Bytes(std::mem::take(data))
+        } else {
+            Payload::Unit
+        };
         let out = self.collective(op, category, payload)?;
-        let Payload::Bytes(v) = out else { unreachable!("broadcast returns bytes") };
+        let Payload::Bytes(v) = out else {
+            unreachable!("broadcast returns bytes")
+        };
         *data = v;
         Ok(())
     }
@@ -354,11 +439,19 @@ impl Rank {
         data: &mut Vec<f64>,
         category: CommCategory,
     ) -> Result<(), CommError> {
-        let op = OpSig { kind: OpKind::Broadcast, root };
-        let payload =
-            if self.id == root { Payload::F64(std::mem::take(data)) } else { Payload::Unit };
+        let op = OpSig {
+            kind: OpKind::Broadcast,
+            root,
+        };
+        let payload = if self.id == root {
+            Payload::F64(std::mem::take(data))
+        } else {
+            Payload::Unit
+        };
         let out = self.collective(op, category, payload)?;
-        let Payload::F64(v) = out else { unreachable!("broadcast_f64 returns f64") };
+        let Payload::F64(v) = out else {
+            unreachable!("broadcast_f64 returns f64")
+        };
         *data = v;
         Ok(())
     }
@@ -371,9 +464,14 @@ impl Rank {
         data: Vec<u8>,
         category: CommCategory,
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let op = OpSig { kind: OpKind::Gather, root };
+        let op = OpSig {
+            kind: OpKind::Gather,
+            root,
+        };
         let out = self.collective(op, category, Payload::Bytes(data))?;
-        let Payload::PerRank(blobs) = out else { unreachable!("gather returns per-rank blobs") };
+        let Payload::PerRank(blobs) = out else {
+            unreachable!("gather returns per-rank blobs")
+        };
         Ok(if self.id == root { blobs } else { Vec::new() })
     }
 
@@ -386,21 +484,33 @@ impl Rank {
         data: Vec<Vec<u8>>,
         category: CommCategory,
     ) -> Result<Vec<u8>, CommError> {
-        let op = OpSig { kind: OpKind::Scatter, root };
+        let op = OpSig {
+            kind: OpKind::Scatter,
+            root,
+        };
         let payload = if self.id == root {
-            assert_eq!(data.len(), self.ctx.size, "scatter needs one blob per world slot");
+            assert_eq!(
+                data.len(),
+                self.ctx.size,
+                "scatter needs one blob per world slot"
+            );
             Payload::PerRank(data)
         } else {
             Payload::Unit
         };
         let out = self.collective(op, category, payload)?;
-        let Payload::PerRank(blobs) = out else { unreachable!("scatter returns per-rank blobs") };
+        let Payload::PerRank(blobs) = out else {
+            unreachable!("scatter returns per-rank blobs")
+        };
         Ok(blobs[self.id].clone())
     }
 
     /// Synchronization barrier (a zero-byte parallel region).
     pub fn barrier(&self, category: CommCategory) -> Result<(), CommError> {
-        let op = OpSig { kind: OpKind::Barrier, root: 0 };
+        let op = OpSig {
+            kind: OpKind::Barrier,
+            root: 0,
+        };
         self.collective(op, category, Payload::Unit)?;
         Ok(())
     }
@@ -428,6 +538,17 @@ impl Rank {
             for c in st.contributions.iter_mut() {
                 *c = None;
             }
+        }
+        // A failure can shrink the world while every survivor is already
+        // parked in the recovery barrier (simultaneous deaths where the
+        // survivors acknowledged the first failure before the second rank
+        // declared itself). The barrier completes on `rec_arrived ==
+        // n_active`, so re-check it here — no survivor will arrive again.
+        if st.rec_arrived > 0 && st.rec_arrived == st.n_active {
+            st.pending_failure = false;
+            st.aborted.clear();
+            st.rec_gen += 1;
+            st.rec_arrived = 0;
         }
         ctx.cv.notify_all();
     }
@@ -490,7 +611,9 @@ fn combine(st: &State, op: OpSig) -> Payload {
             Payload::F64(acc.expect("no contributions"))
         }
         OpKind::Broadcast => {
-            let c = st.contributions[op.root].clone().expect("root did not contribute");
+            let c = st.contributions[op.root]
+                .clone()
+                .expect("root did not contribute");
             assert!(
                 !matches!(c, Payload::Unit),
                 "broadcast root {} contributed no data",
@@ -512,7 +635,9 @@ fn combine(st: &State, op: OpSig) -> Payload {
             Payload::PerRank(blobs)
         }
         OpKind::Scatter => {
-            let c = st.contributions[op.root].clone().expect("root did not contribute");
+            let c = st.contributions[op.root]
+                .clone()
+                .expect("root did not contribute");
             let Payload::PerRank(blobs) = c else {
                 panic!("scatter root {} must contribute per-rank blobs", op.root)
             };
@@ -541,7 +666,8 @@ mod tests {
     fn allreduce_sums_across_ranks() {
         let results = World::run(4, |rank| {
             let mut data = vec![rank.id() as f64, 1.0];
-            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods)
+                .unwrap();
             data
         });
         for r in &results {
@@ -554,8 +680,12 @@ mod tests {
         // Sum of values that do NOT commute bit-identically under arbitrary
         // order; fixed-order combination must give every rank the same bits.
         let results = World::run(8, |rank| {
-            let mut data = vec![0.1 * (rank.id() as f64 + 1.0).powi(3), 1e-17 * rank.id() as f64];
-            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods).unwrap();
+            let mut data = vec![
+                0.1 * (rank.id() as f64 + 1.0).powi(3),
+                1e-17 * rank.id() as f64,
+            ];
+            rank.allreduce_sum(&mut data, CommCategory::SiteLikelihoods)
+                .unwrap();
             (data[0].to_bits(), data[1].to_bits())
         });
         for w in results.windows(2) {
@@ -567,7 +697,8 @@ mod tests {
     fn reduce_only_updates_root() {
         let results = World::run(3, |rank| {
             let mut data = vec![1.0 + rank.id() as f64];
-            rank.reduce_sum(1, &mut data, CommCategory::BranchLength).unwrap();
+            rank.reduce_sum(1, &mut data, CommCategory::BranchLength)
+                .unwrap();
             data[0]
         });
         assert_eq!(results[0], 1.0);
@@ -578,8 +709,13 @@ mod tests {
     #[test]
     fn broadcast_bytes_from_root() {
         let results = World::run(5, |rank| {
-            let mut data = if rank.id() == 2 { vec![7u8, 8, 9] } else { Vec::new() };
-            rank.broadcast_bytes(2, &mut data, CommCategory::TraversalDescriptor).unwrap();
+            let mut data = if rank.id() == 2 {
+                vec![7u8, 8, 9]
+            } else {
+                Vec::new()
+            };
+            rank.broadcast_bytes(2, &mut data, CommCategory::TraversalDescriptor)
+                .unwrap();
             data
         });
         for r in results {
@@ -590,8 +726,13 @@ mod tests {
     #[test]
     fn broadcast_f64_from_root() {
         let results = World::run(3, |rank| {
-            let mut data = if rank.id() == 0 { vec![1.5, 2.5] } else { Vec::new() };
-            rank.broadcast_f64(0, &mut data, CommCategory::ModelParams).unwrap();
+            let mut data = if rank.id() == 0 {
+                vec![1.5, 2.5]
+            } else {
+                Vec::new()
+            };
+            rank.broadcast_f64(0, &mut data, CommCategory::ModelParams)
+                .unwrap();
             data
         });
         for r in results {
@@ -605,7 +746,8 @@ mod tests {
             let mut acc = 0.0;
             for round in 0..50 {
                 let mut d = vec![(rank.id() * round) as f64];
-                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                    .unwrap();
                 acc += d[0];
                 rank.barrier(CommCategory::Control).unwrap();
             }
@@ -621,9 +763,15 @@ mod tests {
     fn stats_record_regions_and_bytes() {
         let results = World::run(2, |rank| {
             let mut d = vec![0.0; 3];
-            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
-            let mut b = if rank.id() == 0 { vec![0u8; 100] } else { Vec::new() };
-            rank.broadcast_bytes(0, &mut b, CommCategory::TraversalDescriptor).unwrap();
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
+            let mut b = if rank.id() == 0 {
+                vec![0u8; 100]
+            } else {
+                Vec::new()
+            };
+            rank.broadcast_bytes(0, &mut b, CommCategory::TraversalDescriptor)
+                .unwrap();
             rank.barrier(CommCategory::Control).unwrap();
             rank.stats()
         });
@@ -640,10 +788,73 @@ mod tests {
     fn single_rank_world_works() {
         let results = World::run(1, |rank| {
             let mut d = vec![5.0];
-            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
             d[0]
         });
         assert_eq!(results, vec![5.0]);
+    }
+
+    #[test]
+    fn second_failure_completes_an_already_entered_recovery_barrier() {
+        // Regression test for a recovery deadlock: rank 1 fails, both
+        // survivors acknowledge and park inside `recover()` (the barrier
+        // needs n_active = 3 arrivals), and only then does rank 2 declare
+        // its own failure. Shrinking n_active to 2 must complete the
+        // barrier — the two parked survivors will never arrive again.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let entering = AtomicUsize::new(0);
+        let results = World::run(4, |rank| {
+            match rank.id() {
+                1 => {
+                    rank.fail();
+                    return vec![];
+                }
+                2 => {
+                    // Wait until both survivors are at (or inside) the
+                    // recovery barrier before failing.
+                    while entering.load(Ordering::SeqCst) < 2 {
+                        std::thread::yield_now();
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    rank.fail();
+                    return vec![];
+                }
+                _ => {}
+            }
+            // Survivors: observe rank 1's failure via an aborted collective.
+            let mut d = vec![1.0];
+            match rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods) {
+                Err(CommError::RanksFailed(set)) => assert!(set.contains(&1)),
+                Ok(()) => panic!("collective must abort after failure"),
+            }
+            entering.fetch_add(1, Ordering::SeqCst);
+            let (failed, survivors) = rank.recover();
+            assert!(failed.contains(&1));
+            // Depending on timing rank 2's death lands before or after the
+            // barrier releases; either way the world must keep working with
+            // the survivor set recover() reported.
+            if failed.contains(&2) {
+                assert_eq!(survivors, vec![0, 3]);
+            }
+            let mut d = vec![1.0];
+            match rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods) {
+                Ok(()) => {}
+                Err(CommError::RanksFailed(set)) => {
+                    // Rank 2 died after the first recovery: acknowledge and
+                    // retry on the final two-rank world.
+                    assert!(set.contains(&2));
+                    let (_, survivors) = rank.recover();
+                    assert_eq!(survivors, vec![0, 3]);
+                    d = vec![1.0];
+                    rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                        .unwrap();
+                }
+            }
+            d
+        });
+        assert_eq!(results[0], vec![2.0]);
+        assert_eq!(results[3], vec![2.0]);
     }
 
     #[test]
@@ -651,7 +862,8 @@ mod tests {
         let results = World::run(4, |rank| {
             // Round 1: everyone participates.
             let mut d = vec![1.0];
-            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
             assert_eq!(d[0], 4.0);
 
             if rank.id() == 2 {
@@ -671,7 +883,8 @@ mod tests {
 
             // Round 3: the shrunken world functions.
             let mut d = vec![1.0];
-            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
             d[0]
         });
         assert_eq!(results[0], 3.0);
@@ -698,7 +911,8 @@ mod tests {
                 }
             }
             let mut d = vec![1.0];
-            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
             d[0]
         });
         assert_eq!(results[2], 2.0);
@@ -751,7 +965,9 @@ mod tests {
     fn gather_then_scatter_roundtrip() {
         let results = World::run(3, |rank| {
             let mine = vec![rank.id() as u8 + 100];
-            let gathered = rank.gather_bytes(0, mine.clone(), CommCategory::Control).unwrap();
+            let gathered = rank
+                .gather_bytes(0, mine.clone(), CommCategory::Control)
+                .unwrap();
             let data = if rank.id() == 0 { gathered } else { Vec::new() };
             let back = rank.scatter_bytes(0, data, CommCategory::Control).unwrap();
             (mine, back)
@@ -762,6 +978,64 @@ mod tests {
     }
 
     #[test]
+    fn traced_world_records_identical_collective_sequences() {
+        let rec = Recorder::new(3);
+        let stats = World::run_traced(3, Some(&rec), |rank| {
+            let mut d = vec![1.0; 2];
+            rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                .unwrap();
+            let mut b = if rank.id() == 0 {
+                vec![1u8; 10]
+            } else {
+                Vec::new()
+            };
+            rank.broadcast_bytes(0, &mut b, CommCategory::TraversalDescriptor)
+                .unwrap();
+            rank.barrier(CommCategory::Control).unwrap();
+            rank.stats()
+        });
+        let trace = Recorder::finish(rec);
+        let s0 = trace.signatures(0);
+        assert_eq!(s0, trace.signatures(1));
+        assert_eq!(s0, trace.signatures(2));
+        // Per collective: begin:collective_wait, coll:…, end:collective_wait.
+        assert_eq!(s0.len(), 9);
+        assert!(
+            s0.contains(&"coll:allreduce:SiteLikelihoods:16".to_string()),
+            "{s0:?}"
+        );
+        assert!(s0.contains(&"coll:broadcast:TraversalDescriptor:10".to_string()));
+
+        // Aggregated comm traffic must agree with the communicator's own
+        // accounting (both count each collective once).
+        let m = trace.aggregate();
+        assert_eq!(m.comm, stats[0]);
+        assert_eq!(m.collective_events, 9); // 3 collectives × 3 ranks
+        assert_eq!(m.region(exa_obs::RegionKind::CollectiveWait).count, 9);
+    }
+
+    #[test]
+    fn traced_world_installs_thread_local_tracer() {
+        let rec = Recorder::new(2);
+        World::run_traced(2, Some(&rec), |rank| {
+            exa_obs::mark(|| format!("hello:{}", rank.id()));
+            rank.barrier(CommCategory::Control).unwrap();
+        });
+        let trace = Recorder::finish(rec);
+        assert_eq!(trace.signatures(0)[0], "mark:hello:0");
+        assert_eq!(trace.signatures(1)[0], "mark:hello:1");
+    }
+
+    #[test]
+    fn untraced_world_has_no_tracer() {
+        World::run(2, |rank| {
+            assert!(rank.tracer().is_none());
+            assert!(exa_obs::with_tracer(|_| ()).is_none());
+            rank.barrier(CommCategory::Control).unwrap();
+        });
+    }
+
+    #[test]
     fn heavy_concurrency_smoke() {
         // Many ranks, many rounds — exercises the generation machinery.
         let n = 16;
@@ -769,7 +1043,8 @@ mod tests {
             let mut total = 0.0;
             for _ in 0..200 {
                 let mut d = vec![1.0];
-                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods).unwrap();
+                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                    .unwrap();
                 total += d[0];
             }
             total

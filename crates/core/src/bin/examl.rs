@@ -11,15 +11,20 @@
 //!       [--iterations 10] [--radius 5] [--epsilon 0.1]
 //!       [--checkpoint ck.json [--checkpoint-every 1]] [--resume ck.json]
 //!       [--binary-out data.exml | --binary-in data.exml]
-//!       [--out-tree result.nwk] [--quiet]
+//!       [--out-tree result.nwk] [--trace-out trace.json] [--quiet]
 //! ```
+//!
+//! Every run records an `exa-obs` trace of parallel regions, kernels and
+//! collectives; the end-of-run summary table is printed to stderr, and
+//! `--trace-out` additionally writes the full trace in Chrome
+//! `trace_event` JSON (openable in Perfetto or `chrome://tracing`).
 
 use exa_bio::partition::{parse_partition_file, PartitionScheme};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommCategory;
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::{BranchMode, SearchConfig, StartingTree};
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::InferenceConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +47,7 @@ struct Args {
     checkpoint_every: usize,
     resume: Option<PathBuf>,
     out_tree: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     quiet: bool,
     bootstrap: usize,
     ascii: bool,
@@ -67,6 +73,7 @@ fn usage() -> ! {
            --resume FILE          resume from a checkpoint\n\
            --binary-out FILE      write the compressed alignment in binary form and exit\n\
            --out-tree FILE        write the final Newick tree to FILE\n\
+           --trace-out FILE       write a Chrome trace_event JSON trace to FILE\n\
            --bootstrap N          run N bootstrap replicates and annotate support\n\
            --ascii                also print an ASCII cladogram\n\
            --stats                print alignment statistics and memory estimates, then exit\n\
@@ -95,6 +102,7 @@ fn parse_args() -> Args {
         checkpoint_every: 1,
         resume: None,
         out_tree: None,
+        trace_out: None,
         quiet: false,
         bootstrap: 0,
         ascii: false,
@@ -136,11 +144,13 @@ fn parse_args() -> Args {
             "--epsilon" => args.epsilon = value("--epsilon").parse().unwrap_or_else(|_| usage()),
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint").into()),
             "--checkpoint-every" => {
-                args.checkpoint_every =
-                    value("--checkpoint-every").parse().unwrap_or_else(|_| usage())
+                args.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--resume" => args.resume = Some(value("--resume").into()),
             "--out-tree" => args.out_tree = Some(value("--out-tree").into()),
+            "--trace-out" => args.trace_out = Some(value("--trace-out").into()),
             "--bootstrap" => {
                 args.bootstrap = value("--bootstrap").parse().unwrap_or_else(|_| usage())
             }
@@ -207,8 +217,14 @@ fn main() -> ExitCode {
         println!("unique patterns      : {}", compressed.total_patterns());
         let gamma = exa_bio::stats::clv_memory_bytes(&compressed, 4);
         let psr = exa_bio::stats::clv_memory_bytes(&compressed, 1);
-        println!("CLV memory (GAMMA)   : {:.1} MiB", gamma as f64 / (1 << 20) as f64);
-        println!("CLV memory (PSR)     : {:.1} MiB", psr as f64 / (1 << 20) as f64);
+        println!(
+            "CLV memory (GAMMA)   : {:.1} MiB",
+            gamma as f64 / (1 << 20) as f64
+        );
+        println!(
+            "CLV memory (PSR)     : {:.1} MiB",
+            psr as f64 / (1 << 20) as f64
+        );
         for (i, p) in compressed.partitions.iter().enumerate() {
             let gaps = exa_bio::stats::gap_fraction(p);
             let freqs = exa_bio::stats::empirical_frequencies(p);
@@ -274,7 +290,10 @@ fn main() -> ExitCode {
     cfg.resume_from = args.resume.clone();
 
     let start = std::time::Instant::now();
-    let (out, annotated) = if args.bootstrap > 0 {
+    let (out, annotated, trace) = if args.bootstrap > 0 {
+        if args.trace_out.is_some() {
+            eprintln!("warning: --trace-out is ignored under --bootstrap");
+        }
         let bs_cfg = examl_core::bootstrap::BootstrapConfig {
             replicates: args.bootstrap,
             seed: args.seed.wrapping_add(0xB00),
@@ -282,22 +301,26 @@ fn main() -> ExitCode {
         };
         let bs = examl_core::bootstrap::run_bootstrap(&compressed, &bs_cfg);
         if !args.quiet {
-            let mean: f64 =
-                bs.support.values().sum::<f64>() / bs.support.len().max(1) as f64;
+            let mean: f64 = bs.support.values().sum::<f64>() / bs.support.len().max(1) as f64;
             eprintln!(
                 "bootstrap    : {} replicates, mean split support {:.1}%",
                 args.bootstrap, mean
             );
         }
-        (bs.best, Some(bs.annotated_newick))
+        (bs.best, Some(bs.annotated_newick), None)
     } else {
-        (run_decentralized(&compressed, &cfg), None)
+        let recorder = exa_obs::Recorder::new(cfg.n_ranks);
+        let out = examl_core::run_decentralized_traced(&compressed, &cfg, Some(&recorder));
+        (out, None, Some(exa_obs::Recorder::finish(recorder)))
     };
     let elapsed = start.elapsed();
 
     if !args.quiet {
         eprintln!("final lnL    : {:.6}", out.result.lnl);
-        eprintln!("iterations   : {} (converged: {})", out.result.iterations, out.result.converged);
+        eprintln!(
+            "iterations   : {} (converged: {})",
+            out.result.iterations, out.result.converged
+        );
         eprintln!("SPR moves    : {}", out.result.spr_moves);
         eprintln!("wall time    : {elapsed:.2?}");
         eprintln!(
@@ -307,6 +330,33 @@ fn main() -> ExitCode {
             out.comm_stats.get(CommCategory::SiteLikelihoods).bytes,
             out.comm_stats.get(CommCategory::BranchLength).bytes,
         );
+        // Analytic wall-time projection on the paper's reference cluster
+        // (AMD Magny-Cours nodes), from this run's measured work + traffic.
+        let spec = exa_comm::cluster::ClusterSpec::magny_cours(args.ranks.div_ceil(48).max(1));
+        let profile = exa_comm::cluster::RunProfile::from_stats(
+            &out.comm_stats,
+            out.work.total(),
+            out.mem_bytes,
+        );
+        let modeled = exa_comm::cluster::modeled_time(&spec, &profile);
+        eprintln!(
+            "modeled time : {:.3} s on {} nodes ({:.3} s compute, {:.3} s comm)",
+            modeled.total_s, spec.nodes, modeled.compute_s, modeled.comm_s
+        );
+    }
+    if let Some(trace) = &trace {
+        if !args.quiet {
+            eprint!("{}", exa_obs::summary_table(&trace.aggregate()));
+        }
+        if let Some(path) = &args.trace_out {
+            if let Err(e) = exa_obs::write_chrome_trace(path, trace) {
+                eprintln!("error writing trace: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !args.quiet {
+                eprintln!("wrote trace to {}", path.display());
+            }
+        }
     }
     if args.ascii {
         let names: Vec<String> = compressed.taxa.clone();

@@ -70,7 +70,7 @@ fn resample_partition(part: &CompressedPartition, rng: &mut StdRng) -> Compresse
     let kept: Vec<usize> = (0..n_patterns).filter(|&i| counts[i] > 0).collect();
     let mut sub = part.select_patterns(&kept);
     for (slot, &i) in sub.weights.iter_mut().zip(&kept) {
-        *slot = counts[*&i];
+        *slot = counts[i];
     }
     sub
 }
@@ -81,7 +81,11 @@ pub fn resample_alignment(aln: &CompressedAlignment, seed: u64) -> CompressedAli
     let mut rng = StdRng::seed_from_u64(seed);
     CompressedAlignment {
         taxa: aln.taxa.clone(),
-        partitions: aln.partitions.iter().map(|p| resample_partition(p, &mut rng)).collect(),
+        partitions: aln
+            .partitions
+            .iter()
+            .map(|p| resample_partition(p, &mut rng))
+            .collect(),
     }
 }
 
@@ -112,11 +116,21 @@ pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> Bootst
     let denom = cfg.replicates.max(1) as f64;
     let support: HashMap<Vec<usize>, f64> = best_splits
         .iter()
-        .map(|s| (s.clone(), 100.0 * counts.get(s).copied().unwrap_or(0) as f64 / denom))
+        .map(|s| {
+            (
+                s.clone(),
+                100.0 * counts.get(s).copied().unwrap_or(0) as f64 / denom,
+            )
+        })
         .collect();
     let annotated_newick = best.state.tree.to_newick_with_support(&aln.taxa, &support);
 
-    BootstrapOutput { best, replicate_lnls, support, annotated_newick }
+    BootstrapOutput {
+        best,
+        replicate_lnls,
+        support,
+        annotated_newick,
+    }
 }
 
 #[cfg(test)]
@@ -165,15 +179,21 @@ mod tests {
         // receive high support across replicates.
         let w = workloads::partitioned(6, 1, 400, 13);
         let mut base = InferenceConfig::new(2);
-        base.search = SearchConfig { max_iterations: 2, ..SearchConfig::fast() };
-        let cfg = BootstrapConfig { replicates: 5, seed: 99, base };
+        base.search = SearchConfig {
+            max_iterations: 2,
+            ..SearchConfig::fast()
+        };
+        let cfg = BootstrapConfig {
+            replicates: 5,
+            seed: 99,
+            base,
+        };
         let out = run_bootstrap(&w.compressed, &cfg);
         assert_eq!(out.replicate_lnls.len(), 5);
         assert!(out.annotated_newick.ends_with(");"));
         // 6 taxa → 3 internal splits on the best tree.
         assert_eq!(out.support.len(), 3);
-        let mean_support: f64 =
-            out.support.values().sum::<f64>() / out.support.len() as f64;
+        let mean_support: f64 = out.support.values().sum::<f64>() / out.support.len() as f64;
         assert!(
             mean_support >= 60.0,
             "strong simulated signal should give high support: {:?}",

@@ -54,8 +54,8 @@ impl From<std::io::Error> for CheckpointError {
 
 /// Atomically write a checkpoint.
 pub fn save(path: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
-    let json = serde_json::to_vec_pretty(ckpt)
-        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let json =
+        serde_json::to_vec_pretty(ckpt).map_err(|e| CheckpointError::Format(e.to_string()))?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, json)?;
     std::fs::rename(&tmp, path)?;
@@ -65,15 +65,18 @@ pub fn save(path: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
 /// Load and validate a checkpoint.
 pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let bytes = std::fs::read(path)?;
-    let ckpt: Checkpoint = serde_json::from_slice(&bytes)
-        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let ckpt: Checkpoint =
+        serde_json::from_slice(&bytes).map_err(|e| CheckpointError::Format(e.to_string()))?;
     if ckpt.version != CHECKPOINT_VERSION {
         return Err(CheckpointError::Format(format!(
             "unsupported checkpoint version {}",
             ckpt.version
         )));
     }
-    ckpt.state.tree.check_invariants().map_err(CheckpointError::Format)?;
+    ckpt.state
+        .tree
+        .check_invariants()
+        .map_err(CheckpointError::Format)?;
     Ok(ckpt)
 }
 

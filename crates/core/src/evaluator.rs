@@ -8,7 +8,9 @@ use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::{EdgeId, Tree};
-use exa_search::evaluator::{apply_global_params, BranchMode, CommFailurePanic, Evaluator, GlobalState};
+use exa_search::evaluator::{
+    apply_global_params, BranchMode, CommFailurePanic, Evaluator, GlobalState,
+};
 
 /// Evaluator back-end for one de-centralized rank.
 pub struct DecentralizedEvaluator {
@@ -38,7 +40,11 @@ impl DecentralizedEvaluator {
             BranchMode::Joint => 1,
             BranchMode::PerPartition => n_partitions,
         };
-        assert_eq!(tree.blen_count(), expected, "tree branch-length arity mismatch");
+        assert_eq!(
+            tree.blen_count(),
+            expected,
+            "tree branch-length arity mismatch"
+        );
         let alphas = match engine.rate_kind() {
             RateModelKind::Gamma => vec![1.0; n_partitions],
             RateModelKind::Psr => Vec::new(),
@@ -121,7 +127,9 @@ impl Evaluator for DecentralizedEvaluator {
         self.engine.execute(&d);
         let per_local = self.engine.evaluate(&d);
         let mut buf = vec![per_local.iter().sum::<f64>()];
-        let r = self.rank.allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+        let r = self
+            .rank
+            .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
         self.comm_ok(r);
         buf[0]
     }
@@ -136,7 +144,9 @@ impl Evaluator for DecentralizedEvaluator {
         for (local, global) in self.engine.global_indices().into_iter().enumerate() {
             buf[global] += per_local[local];
         }
-        let r = self.rank.allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+        let r = self
+            .rank
+            .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
         self.comm_ok(r);
         self.last_lnl = buf;
         // Fixed-order local sum of identical inputs → identical totals.
@@ -159,7 +169,9 @@ impl Evaluator for DecentralizedEvaluator {
             BranchMode::Joint => {
                 // The paper's second allreduce: 2 doubles.
                 let mut buf = vec![d1.iter().sum::<f64>(), d2.iter().sum::<f64>()];
-                let r = self.rank.allreduce_sum(&mut buf, CommCategory::BranchLength);
+                let r = self
+                    .rank
+                    .allreduce_sum(&mut buf, CommCategory::BranchLength);
                 self.comm_ok(r);
                 (vec![buf[0]], vec![buf[1]])
             }
@@ -171,7 +183,9 @@ impl Evaluator for DecentralizedEvaluator {
                     buf[global] += d1[local];
                     buf[p + global] += d2[local];
                 }
-                let r = self.rank.allreduce_sum(&mut buf, CommCategory::BranchLength);
+                let r = self
+                    .rank
+                    .allreduce_sum(&mut buf, CommCategory::BranchLength);
                 self.comm_ok(r);
                 (buf[..p].to_vec(), buf[p..].to_vec())
             }

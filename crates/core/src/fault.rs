@@ -44,7 +44,9 @@ impl FaultPlan {
 
     /// Kill `rank` at iteration `iteration`.
     pub fn kill(rank: usize, iteration: usize) -> FaultPlan {
-        FaultPlan { failures: vec![(rank, iteration)] }
+        FaultPlan {
+            failures: vec![(rank, iteration)],
+        }
     }
 
     /// Add another scripted failure.
@@ -110,7 +112,7 @@ impl SearchHooks for DecentralizedHooks {
         if let Some(path) = &self.cfg.checkpoint_path {
             let every = self.cfg.checkpoint_every.max(1);
             let is_writer = self.rank.active_ranks().first() == Some(&self.rank.id());
-            if is_writer && iteration % every == 0 {
+            if is_writer && iteration.is_multiple_of(every) {
                 let ckpt = Checkpoint {
                     version: CHECKPOINT_VERSION,
                     iteration,
@@ -138,8 +140,12 @@ impl SearchHooks for DecentralizedHooks {
         // 2. Redistribute: recompute the assignment over the survivors and
         //    rebuild the local engine from the shared alignment.
         let assignments = exa_sched::distribute(&self.aln, survivors.len(), self.cfg.strategy);
-        let engine =
-            build_engine(&self.aln, &assignments[my_index], &self.freqs, self.cfg.rate_model);
+        let engine = build_engine(
+            &self.aln,
+            &assignments[my_index],
+            &self.freqs,
+            self.cfg.rate_model,
+        );
         let de = eval
             .as_any_mut()
             .downcast_mut::<DecentralizedEvaluator>()

@@ -30,10 +30,13 @@ pub use evaluator::DecentralizedEvaluator;
 use exa_bio::patterns::CompressedAlignment;
 use exa_bio::stats::empirical_frequencies;
 use exa_comm::{CommCategory, CommStats, Rank, World};
+use exa_obs::Recorder;
 use exa_phylo::engine::{Engine, PartitionSlice, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
-use exa_search::{build_starting_tree, run_search, BranchMode, SearchConfig, SearchResult, StartingTree};
+use exa_search::{
+    build_starting_tree, run_search, BranchMode, SearchConfig, SearchResult, StartingTree,
+};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -142,12 +145,26 @@ pub fn build_engine(
 
 /// Run a de-centralized inference over `cfg.n_ranks` rank threads.
 pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> RunOutput {
-    assert!(aln.n_taxa() >= 4, "need at least 4 taxa for a meaningful search");
+    run_decentralized_traced(aln, cfg, None)
+}
+
+/// [`run_decentralized`] with an optional [`Recorder`]: each rank claims its
+/// tracer slot, so kernels, search phases and collectives emit events. Call
+/// `Recorder::finish` after this returns to obtain the merged trace.
+pub fn run_decentralized_traced(
+    aln: &CompressedAlignment,
+    cfg: &InferenceConfig,
+    recorder: Option<&Arc<Recorder>>,
+) -> RunOutput {
+    assert!(
+        aln.n_taxa() >= 4,
+        "need at least 4 taxa for a meaningful search"
+    );
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
 
-    let reports: Vec<RankReport> = World::run(cfg.n_ranks, |rank| {
+    let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
         rank_main(rank, Arc::clone(&aln), Arc::clone(&freqs), Arc::clone(&cfg))
     });
 
@@ -158,7 +175,13 @@ pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> Ru
     let mut lnls: Vec<u64> = Vec::new();
     for r in reports {
         match r {
-            RankReport::Survived { result, state, work: w, mem_bytes, stats } => {
+            RankReport::Survived {
+                result,
+                state,
+                work: w,
+                mem_bytes,
+                stats,
+            } => {
                 work = work.merge(&w);
                 mem += mem_bytes;
                 lnls.push(result.lnl.to_bits());

@@ -28,8 +28,11 @@ fn distributed_evaluate_matches_sequential_bitwise_per_rank() {
         let w2 = Arc::clone(&w);
         let results = World::run(ranks, move |rank| {
             let freqs = global_frequencies(&w2.compressed);
-            let assignments =
-                exa_sched::distribute(&w2.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
+            let assignments = exa_sched::distribute(
+                &w2.compressed,
+                rank.world_size(),
+                exa_sched::Strategy::Cyclic,
+            );
             let engine = build_engine(
                 &w2.compressed,
                 &assignments[rank.id()],
@@ -71,10 +74,17 @@ fn distributed_derivatives_match_sequential() {
     let w2 = Arc::clone(&w);
     let results = World::run(3, move |rank| {
         let freqs = global_frequencies(&w2.compressed);
-        let assignments =
-            exa_sched::distribute(&w2.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
-        let engine =
-            build_engine(&w2.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let assignments = exa_sched::distribute(
+            &w2.compressed,
+            rank.world_size(),
+            exa_sched::Strategy::Cyclic,
+        );
+        let engine = build_engine(
+            &w2.compressed,
+            &assignments[rank.id()],
+            &freqs,
+            RateModelKind::Gamma,
+        );
         let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
         let mut eval = DecentralizedEvaluator::new(
             rank.clone(),
@@ -100,10 +110,17 @@ fn evaluate_uses_one_double_partitioned_uses_p() {
     let w = Arc::new(workloads::partitioned(6, 4, 40, 11));
     let results = World::run(2, move |rank| {
         let freqs = global_frequencies(&w.compressed);
-        let assignments =
-            exa_sched::distribute(&w.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
-        let engine =
-            build_engine(&w.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let assignments = exa_sched::distribute(
+            &w.compressed,
+            rank.world_size(),
+            exa_sched::Strategy::Cyclic,
+        );
+        let engine = build_engine(
+            &w.compressed,
+            &assignments[rank.id()],
+            &freqs,
+            RateModelKind::Gamma,
+        );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(
             rank.clone(),
@@ -129,10 +146,17 @@ fn snapshot_restore_in_rank_world() {
     let w = Arc::new(workloads::partitioned(6, 2, 60, 17));
     let results = World::run(2, move |rank| {
         let freqs = global_frequencies(&w.compressed);
-        let assignments =
-            exa_sched::distribute(&w.compressed, rank.world_size(), exa_sched::Strategy::Cyclic);
-        let engine =
-            build_engine(&w.compressed, &assignments[rank.id()], &freqs, RateModelKind::Gamma);
+        let assignments = exa_sched::distribute(
+            &w.compressed,
+            rank.world_size(),
+            exa_sched::Strategy::Cyclic,
+        );
+        let engine = build_engine(
+            &w.compressed,
+            &assignments[rank.id()],
+            &freqs,
+            RateModelKind::Gamma,
+        );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(
             rank.clone(),

@@ -26,10 +26,13 @@ pub use master::ForkJoinEvaluator;
 
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, World};
+use exa_obs::Recorder;
 use exa_phylo::engine::WorkCounters;
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
-use exa_search::{build_starting_tree, run_search, BranchMode, NoHooks, SearchConfig, SearchResult, StartingTree};
+use exa_search::{
+    build_starting_tree, run_search, BranchMode, NoHooks, SearchConfig, SearchResult, StartingTree,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -75,18 +78,40 @@ pub struct RunOutput {
 }
 
 enum RankReport {
-    Master { result: SearchResult, state: Box<GlobalState>, work: WorkCounters, mem: u64, stats: CommStats },
-    Worker { work: WorkCounters, mem: u64 },
+    Master {
+        result: SearchResult,
+        state: Box<GlobalState>,
+        work: WorkCounters,
+        mem: u64,
+        stats: CommStats,
+    },
+    Worker {
+        work: WorkCounters,
+        mem: u64,
+    },
 }
 
 /// Run a fork-join inference: rank 0 is the master, the rest are workers.
 pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutput {
-    assert!(aln.n_taxa() >= 4, "need at least 4 taxa for a meaningful search");
+    run_forkjoin_traced(aln, cfg, None)
+}
+
+/// [`run_forkjoin`] with an optional [`Recorder`]; see
+/// `examl_core::run_decentralized_traced` for the usage pattern.
+pub fn run_forkjoin_traced(
+    aln: &CompressedAlignment,
+    cfg: &ForkJoinConfig,
+    recorder: Option<&std::sync::Arc<Recorder>>,
+) -> RunOutput {
+    assert!(
+        aln.n_taxa() >= 4,
+        "need at least 4 taxa for a meaningful search"
+    );
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(examl_core::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
 
-    let reports: Vec<RankReport> = World::run(cfg.n_ranks, |rank| {
+    let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
         let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
         let engine =
             examl_core::build_engine(&aln, &assignments[rank.id()], &freqs, cfg.rate_model);
@@ -100,7 +125,11 @@ pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutpu
                     (p.tips.iter().map(Vec::len).sum::<usize>() + 4 * p.weights.len()) as u64
                 })
                 .sum();
-            rank.account(exa_comm::CommCategory::Control, exa_comm::OpKind::Scatter, bytes);
+            rank.account(
+                exa_comm::CommCategory::Control,
+                exa_comm::OpKind::Scatter,
+                bytes,
+            );
             // Master: owns the tree and runs the search; the evaluator
             // broadcasts work to the workers.
             let blens = match cfg.branch_mode {
@@ -127,7 +156,8 @@ pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutpu
             }
         } else {
             // Worker: tree-agnostic kernel executor.
-            let (work, mem) = worker::worker_loop(rank, engine, cfg.branch_mode, aln.n_partitions());
+            let (work, mem) =
+                worker::worker_loop(rank, engine, cfg.branch_mode, aln.n_partitions());
             RankReport::Worker { work, mem }
         }
     });
@@ -137,7 +167,13 @@ pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutpu
     let mut master: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
     for r in reports {
         match r {
-            RankReport::Master { result, state, work, mem, stats } => {
+            RankReport::Master {
+                result,
+                state,
+                work,
+                mem,
+                stats,
+            } => {
                 total_work = total_work.merge(&work);
                 total_mem += mem;
                 master = Some((result, state, stats));

@@ -39,7 +39,11 @@ impl ForkJoinEvaluator {
             BranchMode::Joint => 1,
             BranchMode::PerPartition => n_partitions,
         };
-        assert_eq!(tree.blen_count(), expected, "tree branch-length arity mismatch");
+        assert_eq!(
+            tree.blen_count(),
+            expected,
+            "tree branch-length arity mismatch"
+        );
         let alphas = match engine.rate_kind() {
             RateModelKind::Gamma => vec![1.0; n_partitions],
             RateModelKind::Psr => Vec::new(),
@@ -109,7 +113,10 @@ impl Evaluator for ForkJoinEvaluator {
         // The master computes the traversal order and must BROADCAST it —
         // the traffic the de-centralized scheme eliminates.
         let d = self.tree.traversal_descriptor(edge);
-        self.command(&WorkerCmd::Evaluate(d.clone()), CommCategory::TraversalDescriptor);
+        self.command(
+            &WorkerCmd::Evaluate(d.clone()),
+            CommCategory::TraversalDescriptor,
+        );
         self.engine.execute(&d);
         let per_local = self.engine.evaluate(&d);
         let mut total = vec![per_local.iter().sum::<f64>()];
@@ -144,18 +151,27 @@ impl Evaluator for ForkJoinEvaluator {
 
     fn prepare_derivatives(&mut self, edge: EdgeId) {
         let d = self.tree.traversal_descriptor(edge);
-        self.command(&WorkerCmd::PrepareDerivatives(d.clone()), CommCategory::TraversalDescriptor);
+        self.command(
+            &WorkerCmd::PrepareDerivatives(d.clone()),
+            CommCategory::TraversalDescriptor,
+        );
         self.engine.execute(&d);
         self.engine.prepare_derivatives(&d);
     }
 
     fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
         // Candidate branch length(s) out…
-        self.command(&WorkerCmd::Derivatives(lengths.to_vec()), CommCategory::BranchLength);
+        self.command(
+            &WorkerCmd::Derivatives(lengths.to_vec()),
+            CommCategory::BranchLength,
+        );
         let (d1, d2) = self.engine.derivatives(lengths);
         // …derivative sums back.
-        let mut buf = derivative_buffer(&self.engine, self.branch_mode, self.n_partitions, &d1, &d2);
-        self.rank.reduce_sum(0, &mut buf, CommCategory::BranchLength).expect("reduce failed");
+        let mut buf =
+            derivative_buffer(&self.engine, self.branch_mode, self.n_partitions, &d1, &d2);
+        self.rank
+            .reduce_sum(0, &mut buf, CommCategory::BranchLength)
+            .expect("reduce failed");
         match self.branch_mode {
             BranchMode::Joint => (vec![buf[0]], vec![buf[1]]),
             BranchMode::PerPartition => {
@@ -173,7 +189,10 @@ impl Evaluator for ForkJoinEvaluator {
         assert_eq!(alphas.len(), self.n_partitions);
         // Fork-join must broadcast the full parameter array — with 1000
         // partitions this is the 8 kB-per-region traffic of §III-A.
-        self.command(&WorkerCmd::SetAlphas(alphas.to_vec()), CommCategory::ModelParams);
+        self.command(
+            &WorkerCmd::SetAlphas(alphas.to_vec()),
+            CommCategory::ModelParams,
+        );
         self.alphas = alphas.to_vec();
         for (local, global) in self.engine.global_indices().into_iter().enumerate() {
             self.engine.set_alpha(local, alphas[global]);
@@ -188,7 +207,10 @@ impl Evaluator for ForkJoinEvaluator {
     fn set_gtr_rate(&mut self, rate_index: usize, values: &[f64]) {
         assert_eq!(values.len(), self.n_partitions);
         self.command(
-            &WorkerCmd::SetGtrRate { index: rate_index as u8, values: values.to_vec() },
+            &WorkerCmd::SetGtrRate {
+                index: rate_index as u8,
+                values: values.to_vec(),
+            },
             CommCategory::ModelParams,
         );
         for (g, &v) in values.iter().enumerate() {
@@ -205,11 +227,16 @@ impl Evaluator for ForkJoinEvaluator {
             return;
         }
         let d = self.tree.full_traversal_descriptor(0);
-        self.command(&WorkerCmd::OptimizeSiteRates(d.clone()), CommCategory::TraversalDescriptor);
+        self.command(
+            &WorkerCmd::OptimizeSiteRates(d.clone()),
+            CommCategory::TraversalDescriptor,
+        );
         self.engine.execute(&d);
         let (num, den) = self.engine.optimize_site_rates(&d);
         let mut buf = vec![num, den];
-        self.rank.reduce_sum(0, &mut buf, CommCategory::ModelParams).expect("reduce failed");
+        self.rank
+            .reduce_sum(0, &mut buf, CommCategory::ModelParams)
+            .expect("reduce failed");
         let scale = if buf[0] > 0.0 { buf[1] / buf[0] } else { 1.0 };
         // PSR rate values themselves stay data-local on each worker; only
         // the scale is broadcast.
@@ -234,12 +261,18 @@ impl Evaluator for ForkJoinEvaluator {
         self.gtr_rates = state.gtr_rates.clone();
         // Workers must see the restored parameters too.
         if !self.alphas.is_empty() {
-            self.command(&WorkerCmd::SetAlphas(self.alphas.clone()), CommCategory::ModelParams);
+            self.command(
+                &WorkerCmd::SetAlphas(self.alphas.clone()),
+                CommCategory::ModelParams,
+            );
         }
         for i in 0..NUM_FREE_RATES {
             let values: Vec<f64> = self.gtr_rates.iter().map(|r| r[i]).collect();
             self.command(
-                &WorkerCmd::SetGtrRate { index: i as u8, values },
+                &WorkerCmd::SetGtrRate {
+                    index: i as u8,
+                    values,
+                },
                 CommCategory::ModelParams,
             );
         }

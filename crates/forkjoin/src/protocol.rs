@@ -87,7 +87,10 @@ pub struct DecodeError(pub String);
 impl<'a> R<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.b.len() {
-            return Err(DecodeError(format!("truncated command at byte {}", self.pos)));
+            return Err(DecodeError(format!(
+                "truncated command at byte {}",
+                self.pos
+            )));
         }
         let s = &self.b[self.pos..self.pos + n];
         self.pos += n;
@@ -121,12 +124,23 @@ impl<'a> R<'a> {
             let right = self.u32()? as usize;
             let left_lengths = self.f64s()?;
             let right_lengths = self.f64s()?;
-            entries.push(TraversalEntry { parent, left, right, left_lengths, right_lengths });
+            entries.push(TraversalEntry {
+                parent,
+                left,
+                right,
+                left_lengths,
+                right_lengths,
+            });
         }
         let root_a = self.u32()? as usize;
         let root_b = self.u32()? as usize;
         let root_lengths = self.f64s()?;
-        Ok(TraversalDescriptor { entries, root_a, root_b, root_lengths })
+        Ok(TraversalDescriptor {
+            entries,
+            root_a,
+            root_b,
+            root_lengths,
+        })
     }
 }
 
@@ -183,7 +197,10 @@ pub fn decode(bytes: &[u8]) -> Result<WorkerCmd, DecodeError> {
         TAG_SET_ALPHAS => WorkerCmd::SetAlphas(r.f64s()?),
         TAG_SET_GTR => {
             let index = r.u8()?;
-            WorkerCmd::SetGtrRate { index, values: r.f64s()? }
+            WorkerCmd::SetGtrRate {
+                index,
+                values: r.f64s()?,
+            }
         }
         TAG_OPT_SITE_RATES => WorkerCmd::OptimizeSiteRates(r.descriptor()?),
         TAG_SET_PSR_SCALE => WorkerCmd::SetPsrScale(r.f64()?),
@@ -191,7 +208,10 @@ pub fn decode(bytes: &[u8]) -> Result<WorkerCmd, DecodeError> {
         t => return Err(DecodeError(format!("unknown command tag {t}"))),
     };
     if r.pos != bytes.len() {
-        return Err(DecodeError(format!("{} trailing bytes", bytes.len() - r.pos)));
+        return Err(DecodeError(format!(
+            "{} trailing bytes",
+            bytes.len() - r.pos
+        )));
     }
     Ok(cmd)
 }
@@ -214,7 +234,10 @@ mod tests {
             WorkerCmd::PrepareDerivatives(sample_descriptor(3)),
             WorkerCmd::Derivatives(vec![0.1, 0.2, 0.3]),
             WorkerCmd::SetAlphas(vec![0.5; 10]),
-            WorkerCmd::SetGtrRate { index: 3, values: vec![1.0, 2.0] },
+            WorkerCmd::SetGtrRate {
+                index: 3,
+                values: vec![1.0, 2.0],
+            },
             WorkerCmd::OptimizeSiteRates(sample_descriptor(1)),
             WorkerCmd::SetPsrScale(1.25),
             WorkerCmd::Shutdown,

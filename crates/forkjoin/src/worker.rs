@@ -64,7 +64,8 @@ pub fn worker_loop(
                 engine.execute(&d);
                 let (num, den) = engine.optimize_site_rates(&d);
                 let mut buf = vec![num, den];
-                rank.reduce_sum(0, &mut buf, CommCategory::ModelParams).expect("reduce failed");
+                rank.reduce_sum(0, &mut buf, CommCategory::ModelParams)
+                    .expect("reduce failed");
             }
             WorkerCmd::SetPsrScale(scale) => {
                 engine.finalize_site_rates(scale);

@@ -1,13 +1,16 @@
 //! Fork-join driver tests at crate level (the cross-scheme equivalence
 //! lives in the workspace integration suite).
 
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 use exa_comm::CommCategory;
+use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 
 fn quick() -> SearchConfig {
-    SearchConfig { max_iterations: 1, ..SearchConfig::fast() }
+    SearchConfig {
+        max_iterations: 1,
+        ..SearchConfig::fast()
+    }
 }
 
 #[test]
@@ -53,7 +56,10 @@ fn every_operation_broadcasts_a_descriptor_or_parameters() {
     // reduce per candidate); but every reduce has a commanding broadcast.
     let broadcasts = s.ops_of_kind(exa_comm::OpKind::Broadcast);
     let reduces = s.ops_of_kind(exa_comm::OpKind::Reduce);
-    assert!(broadcasts >= reduces, "broadcasts {broadcasts} vs reduces {reduces}");
+    assert!(
+        broadcasts >= reduces,
+        "broadcasts {broadcasts} vs reduces {reduces}"
+    );
 }
 
 #[test]

@@ -1,0 +1,306 @@
+//! Merge per-rank event buffers into run-level metrics.
+
+use crate::events::{EventKind, RegionKind, TraceEvent};
+use crate::stats::CommStats;
+use serde::{Deserialize, Serialize};
+
+/// The merged output of one run's [`crate::Recorder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    pub per_rank: Vec<Vec<TraceEvent>>,
+}
+
+impl RunTrace {
+    pub fn n_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    pub fn events(&self, rank: usize) -> &[TraceEvent] {
+        &self.per_rank[rank]
+    }
+
+    /// Timestamp-free event signatures of one rank (see
+    /// [`TraceEvent::signature`]); the unit of determinism comparisons.
+    pub fn signatures(&self, rank: usize) -> Vec<String> {
+        self.per_rank[rank]
+            .iter()
+            .map(TraceEvent::signature)
+            .collect()
+    }
+
+    /// Total recorded events across ranks.
+    pub fn total_events(&self) -> usize {
+        self.per_rank.iter().map(Vec::len).sum()
+    }
+
+    /// Reduce to run-level metrics.
+    pub fn aggregate(&self) -> RunMetrics {
+        let mut regions = vec![RegionStats::default(); RegionKind::ALL.len()];
+        let mut comm = CommStats::default();
+        let mut collective_events = 0u64;
+        let mut marks = 0u64;
+        let mut unmatched = 0u64;
+        let mut span_ns = 0u64;
+        // Collectives are symmetric: every rank logs the same operation, so
+        // run-level comm stats come from rank 0's view (matching how the
+        // communicator's own `CommStats` counts each collective once).
+        for (rank, events) in self.per_rank.iter().enumerate() {
+            // Begin-events awaiting their end, per kind (regions of
+            // different kinds may nest arbitrarily).
+            let mut open: Vec<Vec<u64>> = vec![Vec::new(); RegionKind::ALL.len()];
+            for e in events {
+                span_ns = span_ns.max(e.ts_ns);
+                match &e.kind {
+                    EventKind::RegionBegin { region } => {
+                        open[region.index()].push(e.ts_ns);
+                    }
+                    EventKind::RegionEnd { region } => match open[region.index()].pop() {
+                        Some(begin_ns) => {
+                            regions[region.index()].observe(e.ts_ns.saturating_sub(begin_ns));
+                        }
+                        None => unmatched += 1,
+                    },
+                    EventKind::Collective {
+                        op,
+                        category,
+                        bytes,
+                    } => {
+                        collective_events += 1;
+                        if rank == 0 {
+                            comm.record(*category, *op, *bytes);
+                        }
+                    }
+                    EventKind::Mark { .. } => marks += 1,
+                }
+            }
+            unmatched += open.iter().map(|v| v.len() as u64).sum::<u64>();
+        }
+        RunMetrics {
+            n_ranks: self.n_ranks(),
+            regions,
+            comm,
+            collective_events,
+            marks,
+            unmatched_regions: unmatched,
+            span_ns,
+        }
+    }
+}
+
+/// Duration statistics of one [`RegionKind`] across all ranks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Log₂ duration histogram: bucket `i` counts durations in
+    /// `[2^i, 2^(i+1))` ns (bucket 0 additionally holds 0 ns).
+    pub hist: [u64; 32],
+}
+
+impl RegionStats {
+    fn observe(&mut self, dur_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = dur_ns;
+            self.max_ns = dur_ns;
+        } else {
+            self.min_ns = self.min_ns.min(dur_ns);
+            self.max_ns = self.max_ns.max(dur_ns);
+        }
+        self.count += 1;
+        self.total_ns += dur_ns;
+        let bucket = if dur_ns == 0 {
+            0
+        } else {
+            (63 - dur_ns.leading_zeros() as usize).min(self.hist.len() - 1)
+        };
+        self.hist[bucket] += 1;
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Run-level metrics: the aggregation of every rank's events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub n_ranks: usize,
+    /// Indexed by [`RegionKind::ALL`] order.
+    pub regions: Vec<RegionStats>,
+    /// Comm traffic reconstructed from collective events (rank 0's view,
+    /// each collective counted once).
+    pub comm: CommStats,
+    /// Collective events across **all** ranks (≈ regions × ranks).
+    pub collective_events: u64,
+    pub marks: u64,
+    /// `RegionEnd` without begin or vice versa — nonzero indicates a rank
+    /// died mid-region or a driver bug.
+    pub unmatched_regions: u64,
+    /// Largest timestamp seen (run span on the recorder's clock).
+    pub span_ns: u64,
+}
+
+impl RunMetrics {
+    pub fn region(&self, kind: RegionKind) -> &RegionStats {
+        &self.regions[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{CommCategory, OpKind};
+
+    fn ev(ts_ns: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts_ns, kind }
+    }
+
+    #[test]
+    fn aggregates_nested_regions() {
+        let trace = RunTrace {
+            per_rank: vec![vec![
+                ev(
+                    0,
+                    EventKind::RegionBegin {
+                        region: RegionKind::SprRound,
+                    },
+                ),
+                ev(
+                    10,
+                    EventKind::RegionBegin {
+                        region: RegionKind::Newview,
+                    },
+                ),
+                ev(
+                    30,
+                    EventKind::RegionEnd {
+                        region: RegionKind::Newview,
+                    },
+                ),
+                ev(
+                    40,
+                    EventKind::RegionBegin {
+                        region: RegionKind::Newview,
+                    },
+                ),
+                ev(
+                    100,
+                    EventKind::RegionEnd {
+                        region: RegionKind::Newview,
+                    },
+                ),
+                ev(
+                    200,
+                    EventKind::RegionEnd {
+                        region: RegionKind::SprRound,
+                    },
+                ),
+            ]],
+        };
+        let m = trace.aggregate();
+        assert_eq!(m.region(RegionKind::Newview).count, 2);
+        assert_eq!(m.region(RegionKind::Newview).total_ns, 80);
+        assert_eq!(m.region(RegionKind::Newview).min_ns, 20);
+        assert_eq!(m.region(RegionKind::Newview).max_ns, 60);
+        assert_eq!(m.region(RegionKind::SprRound).count, 1);
+        assert_eq!(m.region(RegionKind::SprRound).total_ns, 200);
+        assert_eq!(m.unmatched_regions, 0);
+        assert_eq!(m.span_ns, 200);
+        assert!((m.region(RegionKind::Newview).mean_ns() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_stats_count_each_collective_once() {
+        let coll = EventKind::Collective {
+            op: OpKind::Allreduce,
+            category: CommCategory::SiteLikelihoods,
+            bytes: 8,
+        };
+        let trace = RunTrace {
+            per_rank: vec![
+                vec![ev(1, coll.clone()), ev(2, coll.clone())],
+                vec![ev(1, coll.clone()), ev(2, coll.clone())],
+                vec![ev(1, coll.clone()), ev(2, coll)],
+            ],
+        };
+        let m = trace.aggregate();
+        // 6 events across ranks, but 2 logical collectives.
+        assert_eq!(m.collective_events, 6);
+        assert_eq!(m.comm.total_regions(), 2);
+        assert_eq!(m.comm.get(CommCategory::SiteLikelihoods).bytes, 16);
+    }
+
+    #[test]
+    fn unmatched_regions_are_counted_not_fatal() {
+        let trace = RunTrace {
+            per_rank: vec![vec![
+                ev(
+                    0,
+                    EventKind::RegionBegin {
+                        region: RegionKind::Evaluate,
+                    },
+                ),
+                ev(
+                    5,
+                    EventKind::RegionEnd {
+                        region: RegionKind::Newview,
+                    },
+                ),
+            ]],
+        };
+        let m = trace.aggregate();
+        // One dangling begin + one end without begin.
+        assert_eq!(m.unmatched_regions, 2);
+        assert_eq!(m.region(RegionKind::Evaluate).count, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut s = RegionStats::default();
+        s.observe(0); // bucket 0
+        s.observe(1); // bucket 0
+        s.observe(2); // bucket 1
+        s.observe(3); // bucket 1
+        s.observe(1024); // bucket 10
+        assert_eq!(s.hist[0], 2);
+        assert_eq!(s.hist[1], 2);
+        assert_eq!(s.hist[10], 1);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn metrics_roundtrip_through_json() {
+        let trace = RunTrace {
+            per_rank: vec![vec![
+                ev(
+                    0,
+                    EventKind::RegionBegin {
+                        region: RegionKind::NrIteration,
+                    },
+                ),
+                ev(
+                    4,
+                    EventKind::RegionEnd {
+                        region: RegionKind::NrIteration,
+                    },
+                ),
+                ev(
+                    6,
+                    EventKind::Mark {
+                        label: "pass:1".into(),
+                    },
+                ),
+            ]],
+        };
+        let m = trace.aggregate();
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,199 @@
+//! Trace event model: what a rank can record.
+
+use crate::stats::{CommCategory, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// The spans a rank opens and closes. Kernel kinds mirror ExaML's three
+/// likelihood functions; phase kinds mirror the search driver's structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Conditional-likelihood (CLV) update along a traversal descriptor.
+    Newview,
+    /// Log-likelihood evaluation at the virtual root.
+    Evaluate,
+    /// First/second derivative computation for Newton–Raphson.
+    CoreDerivative,
+    /// One SPR round of the search driver.
+    SprRound,
+    /// One Newton–Raphson branch-length iteration (a smoothing pass).
+    NrIteration,
+    /// One round of model-parameter optimization (α / GTR / PSR rates).
+    ModelOptRound,
+    /// Time spent inside a collective (synchronization + payload exchange).
+    CollectiveWait,
+    /// Checkpoint save/restore I/O.
+    Checkpoint,
+    /// Per-rank setup: data distribution, engine construction.
+    Setup,
+}
+
+impl RegionKind {
+    pub const ALL: [RegionKind; 9] = [
+        RegionKind::Newview,
+        RegionKind::Evaluate,
+        RegionKind::CoreDerivative,
+        RegionKind::SprRound,
+        RegionKind::NrIteration,
+        RegionKind::ModelOptRound,
+        RegionKind::CollectiveWait,
+        RegionKind::Checkpoint,
+        RegionKind::Setup,
+    ];
+
+    /// Stable lower-snake name used in exports and summary tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegionKind::Newview => "newview",
+            RegionKind::Evaluate => "evaluate",
+            RegionKind::CoreDerivative => "core_derivative",
+            RegionKind::SprRound => "spr_round",
+            RegionKind::NrIteration => "nr_iteration",
+            RegionKind::ModelOptRound => "model_opt_round",
+            RegionKind::CollectiveWait => "collective_wait",
+            RegionKind::Checkpoint => "checkpoint",
+            RegionKind::Setup => "setup",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RegionKind::Newview => 0,
+            RegionKind::Evaluate => 1,
+            RegionKind::CoreDerivative => 2,
+            RegionKind::SprRound => 3,
+            RegionKind::NrIteration => 4,
+            RegionKind::ModelOptRound => 5,
+            RegionKind::CollectiveWait => 6,
+            RegionKind::Checkpoint => 7,
+            RegionKind::Setup => 8,
+        }
+    }
+}
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    RegionBegin {
+        region: RegionKind,
+    },
+    RegionEnd {
+        region: RegionKind,
+    },
+    /// A collective operation this rank took part in. `bytes` is the
+    /// theoretical payload (matching [`crate::CommStats`] accounting).
+    Collective {
+        op: OpKind,
+        category: CommCategory,
+        bytes: u64,
+    },
+    /// A point annotation, e.g. `spr_round:3` or `nr_pass:0`.
+    Mark {
+        label: String,
+    },
+}
+
+/// A timestamped event. Timestamps are nanoseconds since the owning
+/// [`crate::Recorder`]'s creation, so ranks of one run share a clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub ts_ns: u64,
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Timestamp-free rendering, used by determinism tests: two ranks (or
+    /// two runs) behaved identically iff their signature sequences match.
+    pub fn signature(&self) -> String {
+        match &self.kind {
+            EventKind::RegionBegin { region } => format!("begin:{}", region.label()),
+            EventKind::RegionEnd { region } => format!("end:{}", region.label()),
+            EventKind::Collective {
+                op,
+                category,
+                bytes,
+            } => {
+                format!("coll:{}:{:?}:{}", op.label(), category, bytes)
+            }
+            EventKind::Mark { label } => format!("mark:{label}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_ignore_timestamps() {
+        let a = TraceEvent {
+            ts_ns: 10,
+            kind: EventKind::RegionBegin {
+                region: RegionKind::Newview,
+            },
+        };
+        let b = TraceEvent {
+            ts_ns: 99,
+            kind: EventKind::RegionBegin {
+                region: RegionKind::Newview,
+            },
+        };
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.signature(), "begin:newview");
+    }
+
+    #[test]
+    fn collective_signature_includes_payload() {
+        let e = TraceEvent {
+            ts_ns: 0,
+            kind: EventKind::Collective {
+                op: OpKind::Allreduce,
+                category: CommCategory::SiteLikelihoods,
+                bytes: 8,
+            },
+        };
+        assert_eq!(e.signature(), "coll:allreduce:SiteLikelihoods:8");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = RegionKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), RegionKind::ALL.len());
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            TraceEvent {
+                ts_ns: 5,
+                kind: EventKind::RegionBegin {
+                    region: RegionKind::SprRound,
+                },
+            },
+            TraceEvent {
+                ts_ns: 7,
+                kind: EventKind::Mark {
+                    label: "spr_round:0".into(),
+                },
+            },
+            TraceEvent {
+                ts_ns: 9,
+                kind: EventKind::Collective {
+                    op: OpKind::Broadcast,
+                    category: CommCategory::ModelParams,
+                    bytes: 32,
+                },
+            },
+            TraceEvent {
+                ts_ns: 12,
+                kind: EventKind::RegionEnd {
+                    region: RegionKind::SprRound,
+                },
+            },
+        ];
+        let text = serde_json::to_string(&events).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&text).unwrap();
+        assert_eq!(events, back);
+    }
+}

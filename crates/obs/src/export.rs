@@ -1,0 +1,276 @@
+//! Exporters: Chrome `trace_event` JSON and a plain-text summary table.
+
+use crate::aggregate::{RunMetrics, RunTrace};
+use crate::events::EventKind;
+use crate::stats::CommCategory;
+use serde::Value;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+fn entry(k: &str, v: Value) -> (String, Value) {
+    (k.to_string(), v)
+}
+
+fn str_v(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// Microseconds (Chrome's `ts`/`dur` unit) from nanoseconds.
+fn us(ts_ns: u64) -> Value {
+    Value::Float(ts_ns as f64 / 1000.0)
+}
+
+/// Render a trace in Chrome `trace_event` JSON ("JSON object format"):
+/// one process, one thread per rank, `B`/`E` span events for regions and
+/// `i` instant events for collectives and marks. Loadable in Perfetto and
+/// `chrome://tracing`.
+pub fn chrome_trace(trace: &RunTrace) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
+    for rank in 0..trace.n_ranks() {
+        // Thread-name metadata so the timeline rows read "rank 0", …
+        events.push(Value::Map(vec![
+            entry("name", str_v("thread_name")),
+            entry("ph", str_v("M")),
+            entry("pid", Value::UInt(0)),
+            entry("tid", Value::UInt(rank as u64)),
+            entry(
+                "args",
+                Value::Map(vec![entry("name", str_v(format!("rank {rank}")))]),
+            ),
+        ]));
+        for e in trace.events(rank) {
+            let mut fields = vec![
+                entry("pid", Value::UInt(0)),
+                entry("tid", Value::UInt(rank as u64)),
+                entry("ts", us(e.ts_ns)),
+            ];
+            match &e.kind {
+                EventKind::RegionBegin { region } => {
+                    fields.push(entry("ph", str_v("B")));
+                    fields.push(entry("name", str_v(region.label())));
+                    fields.push(entry("cat", str_v("region")));
+                }
+                EventKind::RegionEnd { region } => {
+                    fields.push(entry("ph", str_v("E")));
+                    fields.push(entry("name", str_v(region.label())));
+                    fields.push(entry("cat", str_v("region")));
+                }
+                EventKind::Collective {
+                    op,
+                    category,
+                    bytes,
+                } => {
+                    fields.push(entry("ph", str_v("i")));
+                    fields.push(entry("s", str_v("t")));
+                    fields.push(entry("name", str_v(op.label())));
+                    fields.push(entry("cat", str_v("collective")));
+                    fields.push(entry(
+                        "args",
+                        Value::Map(vec![
+                            entry("category", str_v(format!("{category:?}"))),
+                            entry("bytes", Value::UInt(*bytes)),
+                        ]),
+                    ));
+                }
+                EventKind::Mark { label } => {
+                    fields.push(entry("ph", str_v("i")));
+                    fields.push(entry("s", str_v("t")));
+                    fields.push(entry("name", str_v(label.clone())));
+                    fields.push(entry("cat", str_v("mark")));
+                }
+            }
+            events.push(Value::Map(fields));
+        }
+    }
+    Value::Map(vec![
+        entry("traceEvents", Value::Array(events)),
+        entry("displayTimeUnit", str_v("ms")),
+    ])
+}
+
+/// Serialize [`chrome_trace`] to `path`.
+pub fn write_chrome_trace(path: &Path, trace: &RunTrace) -> std::io::Result<()> {
+    let value = chrome_trace(trace);
+    let json = serde_json::to_string(&value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let x = ns as f64;
+    if x < 1e3 {
+        format!("{ns} ns")
+    } else if x < 1e6 {
+        format!("{:.1} µs", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.1} ms", x / 1e6)
+    } else {
+        format!("{:.2} s", x / 1e9)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    let x = b as f64;
+    if x < 1024.0 {
+        format!("{b} B")
+    } else if x < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", x / 1024.0)
+    } else {
+        format!("{:.1} MiB", x / (1024.0 * 1024.0))
+    }
+}
+
+/// Human-readable end-of-run summary: one row per region kind that
+/// occurred, one per comm category with traffic, plus run totals.
+pub fn summary_table(metrics: &RunMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace summary ({} ranks)", metrics.n_ranks);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>9} {:>12} {:>12} {:>12}",
+        "region", "count", "total", "mean", "max"
+    );
+    for kind in crate::RegionKind::ALL {
+        let s = metrics.region(kind);
+        if s.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>9} {:>12} {:>12} {:>12}",
+            kind.label(),
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.mean_ns() as u64),
+            fmt_ns(s.max_ns),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>9} {:>14}",
+        "comm category", "regions", "bytes"
+    );
+    for cat in CommCategory::ALL {
+        let c = metrics.comm.get(cat);
+        if c.regions == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>9} {:>14}",
+            cat.label(),
+            c.regions,
+            fmt_bytes(c.bytes),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  totals: {} parallel regions, {}, {} events, span {}",
+        metrics.comm.total_regions(),
+        fmt_bytes(metrics.comm.total_bytes()),
+        metrics.collective_events + metrics.marks,
+        fmt_ns(metrics.span_ns),
+    );
+    if metrics.unmatched_regions > 0 {
+        let _ = writeln!(
+            out,
+            "  WARNING: {} unmatched region events",
+            metrics.unmatched_regions
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{RegionKind, TraceEvent};
+    use crate::stats::OpKind;
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            per_rank: vec![
+                vec![
+                    TraceEvent {
+                        ts_ns: 0,
+                        kind: EventKind::RegionBegin {
+                            region: RegionKind::Newview,
+                        },
+                    },
+                    TraceEvent {
+                        ts_ns: 1500,
+                        kind: EventKind::RegionEnd {
+                            region: RegionKind::Newview,
+                        },
+                    },
+                    TraceEvent {
+                        ts_ns: 2000,
+                        kind: EventKind::Collective {
+                            op: OpKind::Allreduce,
+                            category: CommCategory::SiteLikelihoods,
+                            bytes: 8,
+                        },
+                    },
+                ],
+                vec![TraceEvent {
+                    ts_ns: 2100,
+                    kind: EventKind::Mark {
+                        label: "spr_round:0".into(),
+                    },
+                }],
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_valid_shape() {
+        let v = chrome_trace(&sample_trace());
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let map = back.as_map("trace").unwrap();
+        let events = serde::field(map, "traceEvents")
+            .as_array("traceEvents")
+            .unwrap();
+        // 4 events + 2 thread-name metadata records.
+        assert_eq!(events.len(), 6);
+        for e in events {
+            let m = e.as_map("event").unwrap();
+            let ph = serde::field(m, "ph").as_str("ph").unwrap();
+            assert!(["B", "E", "i", "M"].contains(&ph), "{ph}");
+        }
+        // B/E balance for rank 0.
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn write_chrome_trace_produces_parseable_file() {
+        let dir = std::env::temp_dir().join("exa_obs_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path, &sample_trace()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert!(serde::field(v.as_map("root").unwrap(), "traceEvents") != &Value::Null);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_table_lists_active_rows_only() {
+        let table = summary_table(&sample_trace().aggregate());
+        assert!(table.contains("newview"));
+        assert!(table.contains("per-site/per-partition likelihoods"));
+        assert!(
+            !table.contains("model parameters"),
+            "no ModelParams traffic:\n{table}"
+        );
+        assert!(
+            !table.contains("spr_round "),
+            "no spr region rows:\n{table}"
+        );
+        assert!(table.contains("totals: 1 parallel regions"));
+    }
+}

@@ -1,0 +1,40 @@
+//! `exa-obs`: per-rank tracing & metrics for parallel phylogenetic runs.
+//!
+//! The paper's central argument is about *parallel regions*: the fork-join
+//! scheme opens one region per traversal-descriptor broadcast while the
+//! de-centralized scheme needs only the two allreduces of §III-B. Verifying
+//! that claim (and localizing where wall time goes) requires seeing every
+//! region, kernel invocation and collective per rank. This crate provides:
+//!
+//! - [`Recorder`]/[`Tracer`]: span-style events written to per-rank
+//!   append-only buffers. The hot path takes no lock — each rank thread owns
+//!   its buffer exclusively — and a disabled recorder costs one relaxed
+//!   atomic load per event site.
+//! - a thread-local current tracer ([`install_tracer`]) so deep layers
+//!   (likelihood kernels, the tree search) can emit events without the
+//!   tracer being plumbed through every signature; the free functions
+//!   [`region`], [`collective`] and [`mark`] are no-ops when no tracer is
+//!   installed.
+//! - aggregation ([`RunTrace::aggregate`]) into run-level metrics: duration
+//!   histograms per region kind, byte totals per [`CommCategory`], event
+//!   counts — plus [`Snapshot`]s of [`CommStats`] with a `diff` API.
+//! - exporters: Chrome `trace_event` JSON (openable in Perfetto /
+//!   `chrome://tracing`) and a plain JSON summary.
+//!
+//! The communication bookkeeping types ([`CommCategory`], [`OpKind`],
+//! [`CommStats`]) live here — at the bottom of the crate stack — and are
+//! re-exported by `exa-comm` for compatibility with existing call sites.
+
+mod aggregate;
+mod events;
+mod export;
+mod recorder;
+mod stats;
+
+pub use aggregate::{RegionStats, RunMetrics, RunTrace};
+pub use events::{EventKind, RegionKind, TraceEvent};
+pub use export::{chrome_trace, summary_table, write_chrome_trace};
+pub use recorder::{
+    collective, install_tracer, mark, region, with_tracer, Recorder, RegionGuard, TlsGuard, Tracer,
+};
+pub use stats::{CategoryStats, CommCategory, CommStats, OpKind, Snapshot};

@@ -4,7 +4,9 @@
 //! four categories of parallel regions and counts the *theoretical* bytes
 //! moved by each (payload size, independent of rank count). This module is
 //! that bookkeeping: every collective records one *parallel region* and its
-//! payload bytes under a [`CommCategory`].
+//! payload bytes under a [`CommCategory`]. It lives in `exa-obs` (the bottom
+//! of the crate stack) so both the communicator and the trace aggregation
+//! can use it; `exa-comm` re-exports everything here.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +19,30 @@ pub enum OpKind {
     Gather,
     Scatter,
     Barrier,
+}
+
+impl OpKind {
+    /// All kinds, in [`CommStats`] counter order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Allreduce,
+        OpKind::Reduce,
+        OpKind::Broadcast,
+        OpKind::Gather,
+        OpKind::Scatter,
+        OpKind::Barrier,
+    ];
+
+    /// Lower-case name for traces and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Allreduce => "allreduce",
+            OpKind::Reduce => "reduce",
+            OpKind::Broadcast => "broadcast",
+            OpKind::Gather => "gather",
+            OpKind::Scatter => "scatter",
+            OpKind::Barrier => "barrier",
+        }
+    }
 }
 
 /// Table I's four traffic classes, plus `Control` for setup traffic that the
@@ -58,7 +84,7 @@ impl CommCategory {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             CommCategory::BranchLength => 0,
             CommCategory::SiteLikelihoods => 1,
@@ -150,6 +176,43 @@ impl CommStats {
         }
         out
     }
+
+    /// Field-wise delta `self - earlier` (saturating, so a reset between
+    /// snapshots degrades to zeros instead of wrapping).
+    pub fn diff(&self, earlier: &CommStats) -> CommStats {
+        let mut out = self.clone();
+        for (a, b) in out.per_category.iter_mut().zip(&earlier.per_category) {
+            a.regions = a.regions.saturating_sub(b.regions);
+            a.bytes = a.bytes.saturating_sub(b.bytes);
+        }
+        for (a, b) in out.per_kind.iter_mut().zip(&earlier.per_kind) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
+/// A labelled point-in-time capture of [`CommStats`], for attributing
+/// traffic to a phase of the run ("after model optimization", "SPR round
+/// 3", …) by diffing consecutive snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub label: String,
+    pub stats: CommStats,
+}
+
+impl Snapshot {
+    pub fn capture(label: impl Into<String>, stats: &CommStats) -> Snapshot {
+        Snapshot {
+            label: label.into(),
+            stats: stats.clone(),
+        }
+    }
+
+    /// Per-category / per-kind deltas accumulated since `earlier`.
+    pub fn diff(&self, earlier: &Snapshot) -> CommStats {
+        self.stats.diff(&earlier.stats)
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +265,57 @@ mod tests {
 
     #[test]
     fn labels_match_table_one() {
-        assert_eq!(CommCategory::TraversalDescriptor.label(), "traversal descriptor");
-        assert_eq!(CommCategory::BranchLength.label(), "branch length optimization");
+        assert_eq!(
+            CommCategory::TraversalDescriptor.label(),
+            "traversal descriptor"
+        );
+        assert_eq!(
+            CommCategory::BranchLength.label(),
+            "branch length optimization"
+        );
+    }
+
+    #[test]
+    fn diff_subtracts_per_field() {
+        let mut before = CommStats::default();
+        before.record(CommCategory::SiteLikelihoods, OpKind::Allreduce, 8);
+        let mut after = before.clone();
+        after.record(CommCategory::SiteLikelihoods, OpKind::Allreduce, 8);
+        after.record(CommCategory::BranchLength, OpKind::Allreduce, 16);
+        after.record(CommCategory::ModelParams, OpKind::Broadcast, 4);
+
+        let d = after.diff(&before);
+        assert_eq!(d.get(CommCategory::SiteLikelihoods).regions, 1);
+        assert_eq!(d.get(CommCategory::SiteLikelihoods).bytes, 8);
+        assert_eq!(d.get(CommCategory::BranchLength).bytes, 16);
+        assert_eq!(d.ops_of_kind(OpKind::Allreduce), 2);
+        assert_eq!(d.ops_of_kind(OpKind::Broadcast), 1);
+        // Diffing against itself yields the zero stats.
+        assert_eq!(after.diff(&after), CommStats::default());
+    }
+
+    #[test]
+    fn diff_saturates_on_reset() {
+        let mut before = CommStats::default();
+        before.record(CommCategory::Control, OpKind::Barrier, 0);
+        let after = CommStats::default();
+        let d = after.diff(&before);
+        assert_eq!(d, CommStats::default());
+    }
+
+    #[test]
+    fn snapshot_diff_matches_stats_diff() {
+        let mut stats = CommStats::default();
+        stats.record(CommCategory::ModelParams, OpKind::Broadcast, 40);
+        let s0 = Snapshot::capture("before", &stats);
+        stats.record(CommCategory::ModelParams, OpKind::Broadcast, 40);
+        stats.record(CommCategory::BranchLength, OpKind::Allreduce, 16);
+        let s1 = Snapshot::capture("after", &stats);
+
+        let d = s1.diff(&s0);
+        assert_eq!(d.get(CommCategory::ModelParams).bytes, 40);
+        assert_eq!(d.get(CommCategory::ModelParams).regions, 1);
+        assert_eq!(d.get(CommCategory::BranchLength).regions, 1);
+        assert_eq!(s0.label, "before");
     }
 }

@@ -56,8 +56,15 @@ fn cat_index(rates: &RateHeterogeneity, i: usize, c: usize) -> usize {
 /// One child's contribution to a parent CLV state: either through the tip
 /// lookup or by a matrix–vector product against the child's CLV block.
 enum Child<'a> {
-    Tip { codes: &'a [u8], lookup: Vec<[[f64; NUM_STATES]; 16]> },
-    Inner { clv: &'a [f64], scale: &'a [u32], ps: Vec<ProbMatrix> },
+    Tip {
+        codes: &'a [u8],
+        lookup: Vec<[[f64; NUM_STATES]; 16]>,
+    },
+    Inner {
+        clv: &'a [f64],
+        scale: &'a [u32],
+        ps: Vec<ProbMatrix>,
+    },
 }
 
 impl<'a> Child<'a> {
@@ -73,7 +80,10 @@ impl<'a> Child<'a> {
                 let p = &ps[k];
                 for (s, o) in out.iter_mut().enumerate() {
                     let row = &p[s];
-                    *o = row[0] * block[0] + row[1] * block[1] + row[2] * block[2] + row[3] * block[3];
+                    *o = row[0] * block[0]
+                        + row[1] * block[1]
+                        + row[2] * block[2]
+                        + row[3] * block[3];
                 }
             }
         }
@@ -90,7 +100,11 @@ impl<'a> Child<'a> {
 
 /// Recompute the parent CLV of one traversal entry. Returns the work done in
 /// pattern-categories.
-pub(crate) fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntry) -> u64 {
+pub(crate) fn newview_entry(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    entry: &TraversalEntry,
+) -> u64 {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let gi = part.data.global_index;
@@ -112,10 +126,17 @@ pub(crate) fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &Tr
             ps: Vec<ProbMatrix>,
         ) -> Child<'a> {
             if node < n_taxa {
-                Child::Tip { codes: &part.data.tips[node], lookup: build_tip_lookup(&ps) }
+                Child::Tip {
+                    codes: &part.data.tips[node],
+                    lookup: build_tip_lookup(&ps),
+                }
             } else {
                 let idx = node - n_taxa;
-                Child::Inner { clv: &part.clv[idx], scale: &part.scale[idx], ps }
+                Child::Inner {
+                    clv: &part.clv[idx],
+                    scale: &part.scale[idx],
+                    ps,
+                }
             }
         }
         let left = make_child(part, n_taxa, entry.left, ps_left);
@@ -190,7 +211,10 @@ fn root_side<'a>(part: &'a PartitionState, n_taxa: usize, node: usize) -> RootSi
         RootSide::Tip(&part.data.tips[node])
     } else {
         let idx = node - n_taxa;
-        RootSide::Inner { clv: &part.clv[idx], scale: &part.scale[idx] }
+        RootSide::Inner {
+            clv: &part.clv[idx],
+            scale: &part.scale[idx],
+        }
     }
 }
 

@@ -34,7 +34,7 @@ use exa_bio::stats::empirical_frequencies;
 pub const MIN_LIKELIHOOD: f64 = 8.636_168_555_094_445e-78; // 2^-256
 pub const TWO_TO_256: f64 = 1.157_920_892_373_162e77; // 2^256
 /// ln(2⁻²⁵⁶), added per scaling event when assembling log-likelihoods.
-pub const LN_MIN_LIKELIHOOD: f64 = -177.445_678_223_345_99;
+pub const LN_MIN_LIKELIHOOD: f64 = -177.445_678_223_346;
 
 /// The immutable data of one local partition slice.
 #[derive(Debug, Clone)]
@@ -133,7 +133,12 @@ pub(crate) struct PartitionState {
 }
 
 impl PartitionState {
-    fn new(data: PartitionSlice, n_inner: usize, kind: RateModelKind, alpha0: f64) -> PartitionState {
+    fn new(
+        data: PartitionSlice,
+        n_inner: usize,
+        kind: RateModelKind,
+        alpha0: f64,
+    ) -> PartitionState {
         let n_patterns = data.n_patterns();
         let model = GtrModel::new([1.0; 6], data.freqs);
         let rates = match kind {
@@ -175,14 +180,24 @@ impl Engine {
     /// all running the same rate-heterogeneity `kind` with initial Γ shape
     /// `alpha0` (ignored under PSR). GTR starts at equal exchangeabilities
     /// with empirical base frequencies, RAxML's defaults.
-    pub fn new(n_taxa: usize, slices: Vec<PartitionSlice>, kind: RateModelKind, alpha0: f64) -> Engine {
+    pub fn new(
+        n_taxa: usize,
+        slices: Vec<PartitionSlice>,
+        kind: RateModelKind,
+        alpha0: f64,
+    ) -> Engine {
         assert!(n_taxa >= 3, "need at least 3 taxa");
         let n_inner = n_taxa - 2;
         let parts = slices
             .into_iter()
             .map(|s| PartitionState::new(s, n_inner, kind, alpha0))
             .collect();
-        Engine { n_taxa, kind, parts, work: WorkCounters::default() }
+        Engine {
+            n_taxa,
+            kind,
+            parts,
+            work: WorkCounters::default(),
+        }
     }
 
     /// Number of taxa.
@@ -270,7 +285,11 @@ impl Engine {
             "cannot switch rate-category count at runtime"
         );
         if let RateHeterogeneity::Psr { pattern_cat, .. } = &rates {
-            assert_eq!(pattern_cat.len(), p.data.n_patterns(), "PSR state has wrong pattern count");
+            assert_eq!(
+                pattern_cat.len(),
+                p.data.n_patterns(),
+                "PSR state has wrong pattern count"
+            );
         }
         p.model = model;
         p.rates = rates;
@@ -278,7 +297,10 @@ impl Engine {
 
     /// Clone of the model state (checkpointing).
     pub fn model_state(&self, local: usize) -> (GtrModel, RateHeterogeneity) {
-        (self.parts[local].model.clone(), self.parts[local].rates.clone())
+        (
+            self.parts[local].model.clone(),
+            self.parts[local].rates.clone(),
+        )
     }
 
     /// The branch length used by local partition `local` given a descriptor
@@ -294,6 +316,7 @@ impl Engine {
     /// Execute a traversal descriptor: recompute the listed CLVs for every
     /// local partition.
     pub fn execute(&mut self, d: &TraversalDescriptor) {
+        let _span = exa_obs::region(exa_obs::RegionKind::Newview);
         let n_taxa = self.n_taxa;
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
@@ -308,6 +331,7 @@ impl Engine {
     /// CLVs must be up to date (call [`Engine::execute`] first or use the
     /// combined form in the drivers).
     pub fn evaluate(&mut self, d: &TraversalDescriptor) -> Vec<f64> {
+        let _span = exa_obs::region(exa_obs::RegionKind::Evaluate);
         let n_taxa = self.n_taxa;
         let mut out = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;
@@ -334,6 +358,7 @@ impl Engine {
     /// branch length(s): one entry (joint) or one per *global* partition.
     /// Requires [`Engine::prepare_derivatives`] to have run for this edge.
     pub fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
         let mut d1 = Vec::with_capacity(self.parts.len());
         let mut d2 = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;

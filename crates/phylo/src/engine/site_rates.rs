@@ -68,7 +68,8 @@ pub(crate) fn finalize_partition(part: &mut PartitionState, scale: f64) {
         return;
     }
     let scaled: Vec<f64> = part.psr_scratch.iter().map(|r| r * scale).collect();
-    part.rates.set_pattern_rates(&scaled, &part.data.weights, PSR_MAX_CATEGORIES);
+    part.rates
+        .set_pattern_rates(&scaled, &part.data.weights, PSR_MAX_CATEGORIES);
 }
 
 /// Log-likelihood of the single pattern `i` with every branch scaled by
@@ -108,10 +109,8 @@ fn single_pattern_lnl(
         let mut out = [0.0; NUM_STATES];
         let mut maxv = 0.0f64;
         for s in 0..NUM_STATES {
-            let l =
-                pl[s][0] * xl[0] + pl[s][1] * xl[1] + pl[s][2] * xl[2] + pl[s][3] * xl[3];
-            let rr =
-                pr[s][0] * xr[0] + pr[s][1] * xr[1] + pr[s][2] * xr[2] + pr[s][3] * xr[3];
+            let l = pl[s][0] * xl[0] + pl[s][1] * xl[1] + pl[s][2] * xl[2] + pl[s][3] * xl[3];
+            let rr = pr[s][0] * xr[0] + pr[s][1] * xr[1] + pr[s][2] * xr[2] + pr[s][3] * xr[3];
             out[s] = l * rr;
             maxv = maxv.max(out[s].abs());
         }

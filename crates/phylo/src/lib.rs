@@ -16,6 +16,11 @@
 //!   sumtable-based derivatives) over a rank's local data slice, with work
 //!   counters for the analytic cluster model.
 
+// Dense fixed-size matrix/vector math throughout this crate reads most
+// clearly with explicit indices (mirroring the textbook formulas); iterator
+// rewrites obscure the stride structure the kernels depend on.
+#![allow(clippy::needless_range_loop)]
+
 pub mod engine;
 pub mod model;
 pub mod numerics;

@@ -176,7 +176,10 @@ impl GtrModel {
     /// Replace one free exchangeability rate (0..=4) and refresh the
     /// decomposition. The value is clamped into `[RATE_MIN, RATE_MAX]`.
     pub fn set_rate(&mut self, index: usize, value: f64) {
-        assert!(index < NUM_FREE_RATES, "rate index {index} out of range (GT is fixed)");
+        assert!(
+            index < NUM_FREE_RATES,
+            "rate index {index} out of range (GT is fixed)"
+        );
         self.rates[index] = value.clamp(RATE_MIN, RATE_MAX);
         self.decompose();
     }
@@ -201,10 +204,7 @@ mod tests {
     use super::*;
 
     fn sample() -> GtrModel {
-        GtrModel::new(
-            [1.3, 3.2, 0.9, 1.1, 4.0, 1.0],
-            [0.3, 0.2, 0.25, 0.25],
-        )
+        GtrModel::new([1.3, 3.2, 0.9, 1.1, 4.0, 1.0], [0.3, 0.2, 0.25, 0.25])
     }
 
     #[test]
@@ -305,8 +305,9 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         assert!(std::panic::catch_unwind(|| GtrModel::new([0.0; 6], [0.25; 4])).is_err());
-        assert!(std::panic::catch_unwind(|| GtrModel::new([1.0; 6], [0.0, 0.5, 0.25, 0.25]))
-            .is_err());
+        assert!(
+            std::panic::catch_unwind(|| GtrModel::new([1.0; 6], [0.0, 0.5, 0.25, 0.25])).is_err()
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn prob_matrix(model: &GtrModel, t: f64, r: f64) -> ProbMatrix {
 
 /// `(P, dP/dt, d²P/dt²)` at `t` with rate multiplier `r`:
 /// derivative factors are `(λ_k r)` and `(λ_k r)²` in the eigenbasis.
-pub fn prob_matrix_derivs(model: &GtrModel, t: f64, r: f64) -> (ProbMatrix, ProbMatrix, ProbMatrix) {
+pub fn prob_matrix_derivs(
+    model: &GtrModel,
+    t: f64,
+    r: f64,
+) -> (ProbMatrix, ProbMatrix, ProbMatrix) {
     let lam = model.eigenvalues();
     let v = model.v();
     let vi = model.v_inv();
@@ -150,8 +154,16 @@ mod tests {
             for j in 0..4 {
                 let fd1 = (pp[i][j] - pm[i][j]) / (2.0 * h);
                 let fd2 = (pp[i][j] - 2.0 * p[i][j] + pm[i][j]) / (h * h);
-                assert!((d1[i][j] - fd1).abs() < 1e-6, "d1 ({i},{j}): {} vs {fd1}", d1[i][j]);
-                assert!((d2[i][j] - fd2).abs() < 1e-3, "d2 ({i},{j}): {} vs {fd2}", d2[i][j]);
+                assert!(
+                    (d1[i][j] - fd1).abs() < 1e-6,
+                    "d1 ({i},{j}): {} vs {fd1}",
+                    d1[i][j]
+                );
+                assert!(
+                    (d2[i][j] - fd2).abs() < 1e-3,
+                    "d2 ({i},{j}): {} vs {fd2}",
+                    d2[i][j]
+                );
             }
         }
     }

@@ -44,14 +44,20 @@ pub enum RateHeterogeneity {
     Gamma { alpha: f64, rates: Vec<f64> },
     /// Per-site rates, quantized: `pattern_cat[i]` indexes into
     /// `category_rates`. The weighted mean rate over patterns is kept at 1.
-    Psr { category_rates: Vec<f64>, pattern_cat: Vec<u32> },
+    Psr {
+        category_rates: Vec<f64>,
+        pattern_cat: Vec<u32>,
+    },
 }
 
 impl RateHeterogeneity {
     /// A fresh Γ model with the given shape.
     pub fn gamma(alpha: f64) -> RateHeterogeneity {
         let alpha = alpha.clamp(ALPHA_MIN, ALPHA_MAX);
-        RateHeterogeneity::Gamma { alpha, rates: discrete_gamma_rates(alpha, GAMMA_CATEGORIES) }
+        RateHeterogeneity::Gamma {
+            alpha,
+            rates: discrete_gamma_rates(alpha, GAMMA_CATEGORIES),
+        }
     }
 
     /// A fresh PSR model with all `n_patterns` rates at 1.
@@ -125,7 +131,11 @@ impl RateHeterogeneity {
     /// # Panics
     /// Panics if called on a Γ model, or on length mismatch.
     pub fn set_pattern_rates(&mut self, rates: &[f64], weights: &[f64], max_categories: usize) {
-        let RateHeterogeneity::Psr { category_rates, pattern_cat } = self else {
+        let RateHeterogeneity::Psr {
+            category_rates,
+            pattern_cat,
+        } = self
+        else {
             panic!("set_pattern_rates on a Gamma model");
         };
         assert_eq!(rates.len(), weights.len());
@@ -194,9 +204,10 @@ impl RateHeterogeneity {
     pub fn pattern_rate(&self, pattern: usize) -> Option<f64> {
         match self {
             RateHeterogeneity::Gamma { .. } => None,
-            RateHeterogeneity::Psr { category_rates, pattern_cat } => {
-                Some(category_rates[pattern_cat[pattern] as usize])
-            }
+            RateHeterogeneity::Psr {
+                category_rates,
+                pattern_cat,
+            } => Some(category_rates[pattern_cat[pattern] as usize]),
         }
     }
 }
@@ -262,7 +273,11 @@ mod tests {
         let weights = vec![1.0; 100];
         p.set_pattern_rates(&rates, &weights, 25);
         assert!(p.distinct_rates().len() <= 25);
-        assert!(p.distinct_rates().len() >= 20, "{}", p.distinct_rates().len());
+        assert!(
+            p.distinct_rates().len() >= 20,
+            "{}",
+            p.distinct_rates().len()
+        );
         // Quantization preserves rate ordering.
         for i in 1..100 {
             assert!(p.pattern_rate(i).unwrap() >= p.pattern_rate(i - 1).unwrap() - 1e-12);

@@ -20,7 +20,13 @@ pub struct MinResult {
 const GOLD: f64 = 0.381_966_011_250_105_1; // 2 - phi
 
 /// Brent's method on `[a, b]` (no derivative), tolerance `tol` on `x`.
-pub fn brent_min<F: FnMut(f64) -> f64>(a: f64, b: f64, tol: f64, max_iter: usize, mut f: F) -> MinResult {
+pub fn brent_min<F: FnMut(f64) -> f64>(
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+    mut f: F,
+) -> MinResult {
     let mut st = BrentState::new(a, b);
     let mut iterations = 0;
     for _ in 0..max_iter {
@@ -32,7 +38,11 @@ pub fn brent_min<F: FnMut(f64) -> f64>(a: f64, b: f64, tol: f64, max_iter: usize
         let fx = f(x);
         st.update(x, fx);
     }
-    MinResult { x: st.best_x(), fx: st.best_f(), iterations }
+    MinResult {
+        x: st.best_x(),
+        fx: st.best_f(),
+        iterations,
+    }
 }
 
 /// State machine form of Brent minimization: `proposal()` yields the next
@@ -120,7 +130,9 @@ impl BrentState {
             q = q.abs();
             let e_old = self.e;
             self.e = self.d;
-            if p.abs() < (0.5 * q * e_old).abs() && p > q * (self.a - self.x) && p < q * (self.b - self.x)
+            if p.abs() < (0.5 * q * e_old).abs()
+                && p > q * (self.a - self.x)
+                && p < q * (self.b - self.x)
             {
                 d_new = p / q;
                 let u = self.x + d_new;
@@ -131,7 +143,11 @@ impl BrentState {
             }
         }
         if use_golden {
-            self.e = if self.x >= xm { self.a - self.x } else { self.b - self.x };
+            self.e = if self.x >= xm {
+                self.a - self.x
+            } else {
+                self.b - self.x
+            };
             d_new = GOLD * self.e;
         }
         self.d = d_new;
@@ -199,8 +215,15 @@ pub struct BatchedBrent {
 impl BatchedBrent {
     /// One instance per `(a, b)` bracket.
     pub fn new(brackets: &[(f64, f64)], tol: f64) -> BatchedBrent {
-        let states = brackets.iter().map(|&(a, b)| BrentState::new(a, b)).collect();
-        BatchedBrent { states, tol, pending: vec![None; brackets.len()] }
+        let states = brackets
+            .iter()
+            .map(|&(a, b)| BrentState::new(a, b))
+            .collect();
+        BatchedBrent {
+            states,
+            tol,
+            pending: vec![None; brackets.len()],
+        }
     }
 
     /// Number of instances.
@@ -289,7 +312,9 @@ mod tests {
 
     #[test]
     fn narrow_spike() {
-        let r = brent_min(0.0, 10.0, 1e-10, 500, |x| -(-((x - 7.3) * (x - 7.3)) * 50.0).exp());
+        let r = brent_min(0.0, 10.0, 1e-10, 500, |x| {
+            -(-((x - 7.3) * (x - 7.3)) * 50.0).exp()
+        });
         // Brent is a local method; from the golden start it may or may not
         // find the spike — but it must terminate and return a valid point.
         assert!((0.0..=10.0).contains(&r.x));
@@ -310,7 +335,7 @@ mod tests {
         }
         let seq: Vec<MinResult> = funcs
             .iter()
-            .map(|f| brent_min(-2.0, 4.0, 1e-9, 500, |x| f(x)))
+            .map(|f| brent_min(-2.0, 4.0, 1e-9, 500, f))
             .collect();
         for i in 0..3 {
             assert!((batch.best_x(i) - seq[i].x).abs() < 1e-7, "instance {i}");

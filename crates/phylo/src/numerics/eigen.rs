@@ -146,7 +146,12 @@ mod tests {
         let r = reconstruct(&e);
         for i in 0..4 {
             for j in 0..4 {
-                assert!((r[i][j] - a[i][j]).abs() < 1e-10, "({i},{j}): {} vs {}", r[i][j], a[i][j]);
+                assert!(
+                    (r[i][j] - a[i][j]).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    r[i][j],
+                    a[i][j]
+                );
             }
         }
     }

@@ -12,14 +12,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     // Lanczos coefficients for g = 7.
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -99,7 +99,10 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Bisection refined by Newton steps; robust for the α range the Γ model
 /// uses (α ∈ [0.01, 100]).
 pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p), "inv_gamma_p requires p in [0,1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "inv_gamma_p requires p in [0,1), got {p}"
+    );
     if p == 0.0 {
         return 0.0;
     }
@@ -123,8 +126,12 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
         // Newton step from the density; fall back to bisection midpoint if
         // the step leaves the bracket.
         let dens = (-x + (a - 1.0) * x.ln() - gln).exp();
-        let mut next = if dens > 0.0 { x - f / dens } else { 0.5 * (lo + hi) };
-        if !(next > lo && next < hi) || !next.is_finite() {
+        let mut next = if dens > 0.0 {
+            x - f / dens
+        } else {
+            0.5 * (lo + hi)
+        };
+        if !(next > lo && next < hi && next.is_finite()) {
             next = 0.5 * (lo + hi);
         }
         if (next - x).abs() <= 1e-14 * x.abs() + 1e-300 {
@@ -163,7 +170,11 @@ pub fn discrete_gamma_rates(alpha: f64, k: usize) -> Vec<f64> {
     let mut rates = Vec::with_capacity(k);
     let mut prev = 0.0f64;
     for i in 0..k {
-        let next = if i + 1 < k { gamma_p(alpha + 1.0, alpha * cuts[i]) } else { 1.0 };
+        let next = if i + 1 < k {
+            gamma_p(alpha + 1.0, alpha * cuts[i])
+        } else {
+            1.0
+        };
         rates.push(k as f64 * (next - prev));
         prev = next;
     }
@@ -203,8 +214,8 @@ mod tests {
         assert_eq!(gamma_p(2.0, 0.0), 0.0);
         assert!((gamma_p(2.0, 1e6) - 1.0).abs() < 1e-12);
         // P(1, x) = 1 - e^{-x} (exponential CDF).
-        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
-            let exact = 1.0 - (-x as f64).exp();
+        for &x in &[0.1f64, 0.5, 1.0, 3.0, 10.0] {
+            let exact = 1.0 - (-x).exp();
             assert!((gamma_p(1.0, x) - exact).abs() < 1e-12, "x={x}");
         }
     }
@@ -234,7 +245,10 @@ mod tests {
                 let rates = discrete_gamma_rates(alpha, k);
                 assert_eq!(rates.len(), k);
                 let mean: f64 = rates.iter().sum::<f64>() / k as f64;
-                assert!((mean - 1.0).abs() < 1e-10, "alpha={alpha} k={k} mean={mean}");
+                assert!(
+                    (mean - 1.0).abs() < 1e-10,
+                    "alpha={alpha} k={k} mean={mean}"
+                );
                 // Rates are sorted ascending by construction.
                 for w in rates.windows(2) {
                     assert!(w[0] <= w[1] + 1e-12, "alpha={alpha} k={k}: {rates:?}");
@@ -251,7 +265,10 @@ mod tests {
         let wide = discrete_gamma_rates(0.1, 4);
         assert!(tight[3] - tight[0] < 0.5, "{tight:?}");
         assert!(wide[3] - wide[0] > 2.0, "{wide:?}");
-        assert!(wide[0] < 1e-3, "lowest category under strong heterogeneity: {wide:?}");
+        assert!(
+            wide[0] < 1e-3,
+            "lowest category under strong heterogeneity: {wide:?}"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub fn bipartitions(tree: &Tree) -> HashSet<Vec<usize>> {
         let side = taxa_on_side(tree, edge.a, edge.b);
         let canonical = if side.contains(&0) {
             // Complement.
-            (0..tree.n_taxa()).filter(|t| !side.contains(t)).collect::<Vec<_>>()
+            (0..tree.n_taxa())
+                .filter(|t| !side.contains(t))
+                .collect::<Vec<_>>()
         } else {
             let mut v: Vec<usize> = side.into_iter().collect();
             v.sort_unstable();

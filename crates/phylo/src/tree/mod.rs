@@ -214,8 +214,11 @@ impl Tree {
         for &tip in &tips {
             assert!(tip < n_taxa, "triplet member {tip} is not a tip");
             let e = t.edges.len();
-            t.edges
-                .push(Edge { a: tip, b: center, lengths: vec![DEFAULT_BRANCH_LENGTH; blen_count] });
+            t.edges.push(Edge {
+                a: tip,
+                b: center,
+                lengths: vec![DEFAULT_BRANCH_LENGTH; blen_count],
+            });
             t.adj[tip].push((center, e));
             t.adj[center].push((tip, e));
         }
@@ -225,9 +228,15 @@ impl Tree {
     /// Attach tip `taxon` (not yet in the tree) into edge `e`, creating the
     /// next unused inner node. Used by stepwise-addition constructions.
     pub fn attach_tip(&mut self, taxon: NodeId, e: EdgeId) -> NodeId {
-        debug_assert!(self.is_tip(taxon) && self.adj[taxon].is_empty(), "taxon already attached");
+        debug_assert!(
+            self.is_tip(taxon) && self.adj[taxon].is_empty(),
+            "taxon already attached"
+        );
         // The next unused inner node: 3 tips use 1 inner; tip k uses inner k-2.
-        let used_inner = self.adj[self.n_taxa..].iter().filter(|a| !a.is_empty()).count();
+        let used_inner = self.adj[self.n_taxa..]
+            .iter()
+            .filter(|a| !a.is_empty())
+            .count();
         let x = self.n_taxa + used_inner;
         debug_assert!(self.adj[x].is_empty(), "inner node {x} already in use");
 
@@ -235,7 +244,11 @@ impl Tree {
         // Split e = (a,b) into (a,x) [reusing slot e] and (x,b) [new slot],
         // then hang the new tip off x.
         let half: Vec<f64> = lengths.iter().map(|l| (l / 2.0).max(BL_MIN)).collect();
-        self.edges[e] = Edge { a, b: x, lengths: half.clone() };
+        self.edges[e] = Edge {
+            a,
+            b: x,
+            lengths: half.clone(),
+        };
         self.adj[a].iter_mut().for_each(|p| {
             if p.1 == e {
                 p.0 = x;
@@ -243,11 +256,18 @@ impl Tree {
         });
         self.remove_adj(b, e);
         let e2 = self.edges.len();
-        self.edges.push(Edge { a: x, b, lengths: half });
+        self.edges.push(Edge {
+            a: x,
+            b,
+            lengths: half,
+        });
         self.adj[b].push((x, e2));
         let e3 = self.edges.len();
-        self.edges
-            .push(Edge { a: taxon, b: x, lengths: vec![DEFAULT_BRANCH_LENGTH; self.blen_count] });
+        self.edges.push(Edge {
+            a: taxon,
+            b: x,
+            lengths: vec![DEFAULT_BRANCH_LENGTH; self.blen_count],
+        });
         self.adj[taxon].push((x, e3));
         self.adj[x].push((a, e));
         self.adj[x].push((b, e2));
@@ -364,7 +384,10 @@ impl Tree {
     pub fn prune(&mut self, x: NodeId, sub: NodeId) -> PruneInfo {
         assert!(!self.is_tip(x), "cannot prune at tip {x}");
         let nbrs: Vec<(NodeId, EdgeId)> = self.adj[x].clone();
-        assert!(nbrs.iter().any(|&(n, _)| n == sub), "{sub} is not a neighbor of {x}");
+        assert!(
+            nbrs.iter().any(|&(n, _)| n == sub),
+            "{sub} is not a neighbor of {x}"
+        );
         let mut others = nbrs.iter().filter(|&&(n, _)| n != sub);
         let (q, eq) = *others.next().expect("inner node must have 3 neighbors");
         let (r, er) = *others.next().expect("inner node must have 3 neighbors");
@@ -382,7 +405,11 @@ impl Tree {
             .zip(&len_xr)
             .map(|(a, b)| (a + b).clamp(BL_MIN, BL_MAX))
             .collect();
-        self.edges[eq] = Edge { a: q, b: r, lengths: merged };
+        self.edges[eq] = Edge {
+            a: q,
+            b: r,
+            lengths: merged,
+        };
         // Rewire adjacency: q keeps edge eq but neighbor becomes r; r's
         // entry for er is rewritten to (q, eq); x loses q and r.
         for p in self.adj[q].iter_mut() {
@@ -403,7 +430,16 @@ impl Tree {
         self.clear_orientation(r);
         self.clear_orientation(x);
 
-        PruneInfo { x, sub, q, r, merged_edge: eq, free_edge: er, len_xq, len_xr }
+        PruneInfo {
+            x,
+            sub,
+            q,
+            r,
+            merged_edge: eq,
+            free_edge: er,
+            len_xq,
+            len_xr,
+        }
     }
 
     /// Graft the pruned subtree (from `info`) into `target` = (y,z): the
@@ -414,7 +450,11 @@ impl Tree {
     /// Panics if `target` is the pruned subtree's own attachment edge.
     pub fn graft(&mut self, info: &PruneInfo, target: EdgeId) -> GraftInfo {
         let x = info.x;
-        let Edge { a: y, b: z, lengths: orig } = self.edges[target].clone();
+        let Edge {
+            a: y,
+            b: z,
+            lengths: orig,
+        } = self.edges[target].clone();
         assert!(y != x && z != x, "cannot graft into the subtree's own edge");
         debug_assert!(
             {
@@ -437,7 +477,11 @@ impl Tree {
         );
         let half: Vec<f64> = orig.iter().map(|l| (l / 2.0).max(BL_MIN)).collect();
 
-        self.edges[target] = Edge { a: y, b: x, lengths: half.clone() };
+        self.edges[target] = Edge {
+            a: y,
+            b: x,
+            lengths: half.clone(),
+        };
         for p in self.adj[y].iter_mut() {
             if p.1 == target {
                 p.0 = x;
@@ -450,7 +494,11 @@ impl Tree {
                 *p = (x, ez);
             }
         }
-        self.edges[ez] = Edge { a: x, b: z, lengths: half };
+        self.edges[ez] = Edge {
+            a: x,
+            b: z,
+            lengths: half,
+        };
         self.adj[x].push((y, target));
         self.adj[x].push((z, ez));
 
@@ -460,7 +508,13 @@ impl Tree {
         self.clear_orientation(z);
         self.clear_orientation(x);
 
-        GraftInfo { target_edge: target, new_edge: ez, y, z, orig_len: orig }
+        GraftInfo {
+            target_edge: target,
+            new_edge: ez,
+            y,
+            z,
+            orig_len: orig,
+        }
     }
 
     /// Undo a graft: detach `info.x` again, restoring the split edge.
@@ -470,7 +524,11 @@ impl Tree {
         self.invalidate_for_edge(g.target_edge);
         self.invalidate_for_edge(g.new_edge);
         // Restore target edge y–z with original lengths.
-        self.edges[g.target_edge] = Edge { a: g.y, b: g.z, lengths: g.orig_len.clone() };
+        self.edges[g.target_edge] = Edge {
+            a: g.y,
+            b: g.z,
+            lengths: g.orig_len.clone(),
+        };
         for q in self.adj[g.y].iter_mut() {
             if q.1 == g.target_edge {
                 q.0 = g.z;
@@ -495,7 +553,11 @@ impl Tree {
         self.invalidate_for_edge(p.merged_edge);
         // merged_edge currently q–r; split back into q–x (same slot) and
         // x–r (freed slot), with the exact original lengths.
-        self.edges[p.merged_edge] = Edge { a: p.q, b: x, lengths: p.len_xq.clone() };
+        self.edges[p.merged_edge] = Edge {
+            a: p.q,
+            b: x,
+            lengths: p.len_xq.clone(),
+        };
         for e in self.adj[p.q].iter_mut() {
             if e.1 == p.merged_edge {
                 e.0 = x;
@@ -506,7 +568,11 @@ impl Tree {
                 *e = (x, p.free_edge);
             }
         }
-        self.edges[p.free_edge] = Edge { a: x, b: p.r, lengths: p.len_xr.clone() };
+        self.edges[p.free_edge] = Edge {
+            a: x,
+            b: p.r,
+            lengths: p.len_xr.clone(),
+        };
         self.adj[x].push((p.q, p.merged_edge));
         self.adj[x].push((p.r, p.free_edge));
 
@@ -548,7 +614,11 @@ impl Tree {
     pub fn check_invariants(&self) -> Result<(), String> {
         let n = self.n_taxa;
         if self.edges.len() != 2 * n - 3 {
-            return Err(format!("expected {} edges, found {}", 2 * n - 3, self.edges.len()));
+            return Err(format!(
+                "expected {} edges, found {}",
+                2 * n - 3,
+                self.edges.len()
+            ));
         }
         for v in 0..self.n_nodes() {
             let deg = self.adj[v].len();
@@ -558,7 +628,7 @@ impl Tree {
             }
             for &(w, e) in &self.adj[v] {
                 let edge = &self.edges[e];
-                if !(edge.a == v && edge.b == w) && !(edge.a == w && edge.b == v) {
+                if !((edge.a == v && edge.b == w) || (edge.a == w && edge.b == v)) {
                     return Err(format!("adjacency ({v},{w}) disagrees with edge {e:?}"));
                 }
                 if !self.adj[w].iter().any(|&(u, e2)| u == v && e2 == e) {
@@ -581,7 +651,10 @@ impl Tree {
             }
         }
         if count != self.n_nodes() {
-            return Err(format!("tree not connected: reached {count} of {}", self.n_nodes()));
+            return Err(format!(
+                "tree not connected: reached {count} of {}",
+                self.n_nodes()
+            ));
         }
         for e in &self.edges {
             if e.lengths.len() != self.blen_count {
@@ -676,8 +749,10 @@ mod tests {
         // Topology and lengths identical (adjacency order may differ).
         for e in 0..t.n_edges() {
             let (ea, eb) = (t.edge(e).a.min(t.edge(e).b), t.edge(e).a.max(t.edge(e).b));
-            let (ba, bb) =
-                (before.edge(e).a.min(before.edge(e).b), before.edge(e).a.max(before.edge(e).b));
+            let (ba, bb) = (
+                before.edge(e).a.min(before.edge(e).b),
+                before.edge(e).a.max(before.edge(e).b),
+            );
             assert_eq!((ea, eb), (ba, bb), "edge {e}");
             assert_eq!(t.edge(e).lengths, before.edge(e).lengths, "edge {e}");
         }
@@ -777,7 +852,9 @@ mod tests {
         let mut t = Tree::random(4, 1, 1);
         t.check_invariants().unwrap();
         let (i1, i2) = (4, 5);
-        let internal = t.edge_between(i1, i2).expect("inner nodes adjacent in 4-taxon tree");
+        let internal = t
+            .edge_between(i1, i2)
+            .expect("inner nodes adjacent in 4-taxon tree");
         t.set_orientation(i1, i2);
         t.set_orientation(i2, i1);
         // Changing the internal edge keeps both (they point at it).

@@ -54,7 +54,11 @@ impl Tree {
                 return Err(NewickError(format!("bad edge ({a},{b})")));
             }
             let e: EdgeId = t.edges.len();
-            t.edges.push(Edge { a, b, lengths: vec![len.clamp(BL_MIN, BL_MAX); blen_count] });
+            t.edges.push(Edge {
+                a,
+                b,
+                lengths: vec![len.clamp(BL_MIN, BL_MAX); blen_count],
+            });
             t.adj[a].push((b, e));
             t.adj[b].push((a, e));
         }
@@ -65,7 +69,11 @@ impl Tree {
     /// Render as Newick using `names` for tips, rooted at an arbitrary
     /// trifurcating inner node.
     pub fn to_newick(&self, names: &[String]) -> String {
-        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        assert_eq!(
+            names.len(),
+            self.n_taxa(),
+            "name list must match taxon count"
+        );
         let root = self.n_taxa(); // first inner node
         let mut out = String::from("(");
         let nbrs: Vec<(NodeId, EdgeId)> = {
@@ -120,7 +128,10 @@ impl Tree {
         blen_count: usize,
     ) -> Result<Tree, NewickError> {
         let n_taxa = names.len();
-        let mut parser = Parser { bytes: text.trim().as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            bytes: text.trim().as_bytes(),
+            pos: 0,
+        };
         let root_node = parser.parse_clade()?;
         parser.skip_ws();
         if parser.peek() == Some(b';') {
@@ -128,7 +139,10 @@ impl Tree {
         }
         parser.skip_ws();
         if parser.pos != parser.bytes.len() {
-            return Err(NewickError(format!("trailing input at byte {}", parser.pos)));
+            return Err(NewickError(format!(
+                "trailing input at byte {}",
+                parser.pos
+            )));
         }
 
         // Flatten into edges, assigning inner ids on the fly.

@@ -15,7 +15,11 @@ impl Tree {
         names: &[String],
         support: &HashMap<Vec<usize>, f64>,
     ) -> String {
-        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        assert_eq!(
+            names.len(),
+            self.n_taxa(),
+            "name list must match taxon count"
+        );
         let splits = bipartitions_of_subtrees(self);
         let root = self.n_taxa();
         let mut out = String::from("(");
@@ -72,7 +76,11 @@ impl Tree {
     /// Render an ASCII cladogram (topology only), one tip per line. Rooted
     /// for display at the first inner node.
     pub fn to_ascii(&self, names: &[String]) -> String {
-        assert_eq!(names.len(), self.n_taxa(), "name list must match taxon count");
+        assert_eq!(
+            names.len(),
+            self.n_taxa(),
+            "name list must match taxon count"
+        );
         let root = self.n_taxa();
         let mut lines: Vec<String> = Vec::new();
         let mut nbrs: Vec<NodeId> = self.neighbors(root).iter().map(|&(n, _)| n).collect();

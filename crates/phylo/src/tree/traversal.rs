@@ -168,7 +168,10 @@ mod tests {
         let mut t = Tree::random(10, 1, 1);
         let _ = t.full_traversal_descriptor(0);
         let d2 = t.traversal_descriptor(0);
-        assert!(d2.is_empty(), "CLVs were valid, descriptor should be empty: {d2:?}");
+        assert!(
+            d2.is_empty(),
+            "CLVs were valid, descriptor should be empty: {d2:?}"
+        );
     }
 
     #[test]
@@ -197,7 +200,11 @@ mod tests {
         t.set_length(far, 0, 0.5);
         let d = t.traversal_descriptor(root);
         assert!(!d.is_empty());
-        assert!(d.len() < t.n_inner(), "partial traversal expected, got full ({})", d.len());
+        assert!(
+            d.len() < t.n_inner(),
+            "partial traversal expected, got full ({})",
+            d.len()
+        );
     }
 
     #[test]
@@ -209,7 +216,12 @@ mod tests {
         assert_eq!(d1.len(), dp.len());
         // Per-partition branch lengths inflate the descriptor ~10x in its
         // branch-length payload — the -M effect from §IV-D.
-        assert!(dp.wire_bytes() > 5 * d1.wire_bytes(), "{} vs {}", dp.wire_bytes(), d1.wire_bytes());
+        assert!(
+            dp.wire_bytes() > 5 * d1.wire_bytes(),
+            "{} vs {}",
+            dp.wire_bytes(),
+            d1.wire_bytes()
+        );
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! on (root-invariance, partial-traversal equivalence, additivity of
 //! pattern-split likelihoods).
 
+// The brute-force reference implementation uses explicit site/state indices.
+#![allow(clippy::needless_range_loop)]
+
 use exa_bio::alignment::Alignment;
 use exa_bio::dna::NUM_STATES;
 use exa_bio::partition::PartitionScheme;
@@ -37,8 +40,11 @@ fn random_alignment(n: usize, len: usize, seed: u64) -> Alignment {
                 .collect()
         })
         .collect();
-    let named: Vec<(&str, &str)> =
-        names.iter().map(String::as_str).zip(rows.iter().map(String::as_str)).collect();
+    let named: Vec<(&str, &str)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(rows.iter().map(String::as_str))
+        .collect();
     Alignment::from_ascii(&named).unwrap()
 }
 
@@ -124,7 +130,10 @@ fn conditional(
 fn tips_and_weights(aln: &Alignment) -> (Vec<Vec<u8>>, Vec<f64>) {
     let comp = CompressedAlignment::build(aln, &PartitionScheme::unpartitioned(aln.n_sites()));
     let p = &comp.partitions[0];
-    (p.tips.clone(), p.weights.iter().map(|&w| w as f64).collect())
+    (
+        p.tips.clone(),
+        p.weights.iter().map(|&w| w as f64).collect(),
+    )
 }
 
 #[test]
@@ -165,7 +174,10 @@ fn psr_likelihood_matches_brute_force() {
     let model = GtrModel::new([1.0; 6], engine.freqs(0));
     // Fresh PSR: all rates 1.
     let reference = brute_force_lnl(&tree, &tips, &weights, &model, &|_| vec![(1.0, 1.0)]);
-    assert!((lnl - reference).abs() < 1e-8, "engine {lnl} vs brute force {reference}");
+    assert!(
+        (lnl - reference).abs() < 1e-8,
+        "engine {lnl} vs brute force {reference}"
+    );
 }
 
 #[test]
@@ -188,7 +200,10 @@ fn gtr_rates_affect_likelihood_consistently() {
     let gamma_rates = exa_phylo::numerics::gamma::discrete_gamma_rates(1.2, 4);
     let cats: Vec<(f64, f64)> = gamma_rates.iter().map(|&r| (r, 0.25)).collect();
     let reference = brute_force_lnl(&tree, &tips, &weights, &model, &|_| cats.clone());
-    assert!((lnl - reference).abs() < 1e-8, "engine {lnl} vs brute force {reference}");
+    assert!(
+        (lnl - reference).abs() < 1e-8,
+        "engine {lnl} vs brute force {reference}"
+    );
 }
 
 #[test]
@@ -229,7 +244,10 @@ fn partial_traversal_equals_full_traversal() {
     let far = tree.n_edges() - 1;
     tree.set_length(far, 0, 0.37);
     let partial = tree.traversal_descriptor(0);
-    assert!(partial.len() < tree.n_inner(), "expected a partial traversal");
+    assert!(
+        partial.len() < tree.n_inner(),
+        "expected a partial traversal"
+    );
     engine.execute(&partial);
     let lnl_partial = engine.evaluate(&partial)[0];
 
@@ -264,18 +282,27 @@ fn derivatives_match_finite_differences() {
     // Finite differences via evaluate with hand-edited root lengths (CLVs
     // are independent of the root-edge length).
     let h = 1e-6;
-    let lnl_at = |t: f64, eng: &mut Engine, desc: &mut exa_phylo::tree::traversal::TraversalDescriptor| {
-        desc.root_lengths = vec![t];
-        eng.evaluate(desc)[0]
-    };
+    let lnl_at =
+        |t: f64, eng: &mut Engine, desc: &mut exa_phylo::tree::traversal::TraversalDescriptor| {
+            desc.root_lengths = vec![t];
+            eng.evaluate(desc)[0]
+        };
     let lp = lnl_at(t0 + h, &mut engine, &mut d);
     let lm = lnl_at(t0 - h, &mut engine, &mut d);
     let l0 = lnl_at(t0, &mut engine, &mut d);
     let fd1 = (lp - lm) / (2.0 * h);
     let fd2 = (lp - 2.0 * l0 + lm) / (h * h);
 
-    assert!((d1[0] - fd1).abs() < 1e-4 * (1.0 + fd1.abs()), "d1 {} vs fd {fd1}", d1[0]);
-    assert!((d2[0] - fd2).abs() < 1e-2 * (1.0 + fd2.abs()), "d2 {} vs fd {fd2}", d2[0]);
+    assert!(
+        (d1[0] - fd1).abs() < 1e-4 * (1.0 + fd1.abs()),
+        "d1 {} vs fd {fd1}",
+        d1[0]
+    );
+    assert!(
+        (d2[0] - fd2).abs() < 1e-2 * (1.0 + fd2.abs()),
+        "d2 {} vs fd {fd2}",
+        d2[0]
+    );
 }
 
 #[test]
@@ -306,7 +333,11 @@ fn derivative_zero_at_optimum() {
     }
     let (d1, d2) = engine.derivatives(&[t]);
     assert!(d1[0].abs() < 1e-6, "derivative at optimum: {}", d1[0]);
-    assert!(d2[0] < 0.0, "second derivative at optimum must be negative: {}", d2[0]);
+    assert!(
+        d2[0] < 0.0,
+        "second derivative at optimum must be negative: {}",
+        d2[0]
+    );
 }
 
 #[test]
@@ -446,6 +477,12 @@ fn per_partition_branch_lengths_select_correct_slot() {
     engine.execute(&d2);
     let changed = engine.evaluate(&d2);
 
-    assert!((changed[1] - base[1]).abs() < 1e-10, "partition 1 must be unaffected");
-    assert!((changed[0] - base[0]).abs() > 1e-10, "partition 0 must react");
+    assert!(
+        (changed[1] - base[1]).abs() < 1e-10,
+        "partition 1 must be unaffected"
+    );
+    assert!(
+        (changed[0] - base[0]).abs() > 1e-10,
+        "partition 0 must react"
+    );
 }

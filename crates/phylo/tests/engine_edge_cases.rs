@@ -32,8 +32,9 @@ fn small_alignment(n_taxa: usize, sites: usize, seed: u64) -> Alignment {
     };
     let rows: Vec<(String, String)> = (0..n_taxa)
         .map(|i| {
-            let seq: String =
-                (0..sites).map(|_| ['A', 'C', 'G', 'T'][(next() % 4) as usize]).collect();
+            let seq: String = (0..sites)
+                .map(|_| ['A', 'C', 'G', 'T'][(next() % 4) as usize])
+                .collect();
             (format!("t{i}"), seq)
         })
         .collect();
@@ -102,7 +103,10 @@ fn psr_rates_quantize_to_bounded_categories() {
     let (_, rates) = e.model_state(0);
     let distinct = rates.distinct_rates();
     assert!(distinct.len() <= exa_phylo::model::rates::PSR_MAX_CATEGORIES);
-    assert!(distinct.len() > 1, "300 random sites should span multiple rate categories");
+    assert!(
+        distinct.len() > 1,
+        "300 random sites should span multiple rate categories"
+    );
 }
 
 #[test]

@@ -2,6 +2,9 @@
 //! safety, model-math identities, and the pulley principle over random
 //! inputs.
 
+// Matrix identities below are written with explicit row/column indices.
+#![allow(clippy::needless_range_loop)]
+
 use exa_phylo::model::pmatrix::prob_matrix;
 use exa_phylo::model::GtrModel;
 use exa_phylo::numerics::gamma::discrete_gamma_rates;

@@ -28,9 +28,19 @@ pub fn balance_stats(aln: &CompressedAlignment, assignments: &[RankAssignment]) 
     let max_load = *loads.iter().max().unwrap();
     let min_load = *loads.iter().min().unwrap();
     let mean_load = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
-    let imbalance = if mean_load > 0.0 { max_load as f64 / mean_load } else { 1.0 };
+    let imbalance = if mean_load > 0.0 {
+        max_load as f64 / mean_load
+    } else {
+        1.0
+    };
     let total_shares = assignments.iter().map(|a| a.shares.len()).sum();
-    BalanceStats { max_load, min_load, mean_load, imbalance, total_shares }
+    BalanceStats {
+        max_load,
+        min_load,
+        mean_load,
+        imbalance,
+        total_shares,
+    }
 }
 
 #[cfg(test)]
@@ -51,11 +61,20 @@ mod tests {
                 v /= 4;
             }
         }
-        let named: Vec<(String, String)> =
-            rows.into_iter().enumerate().map(|(i, r)| (format!("t{i}"), r)).collect();
-        let refs: Vec<(&str, &str)> = named.iter().map(|(n, r)| (n.as_str(), r.as_str())).collect();
+        let named: Vec<(String, String)> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (format!("t{i}"), r))
+            .collect();
+        let refs: Vec<(&str, &str)> = named
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.as_str()))
+            .collect();
         let aln = Alignment::from_ascii(&refs).unwrap();
-        CompressedAlignment::build(&aln, &PartitionScheme::from_lengths(part_lens.iter().copied()))
+        CompressedAlignment::build(
+            &aln,
+            &PartitionScheme::from_lengths(part_lens.iter().copied()),
+        )
     }
 
     #[test]
@@ -77,7 +96,12 @@ mod tests {
         let cyc = balance_stats(&aln, &distribute(&aln, ranks, Strategy::Cyclic));
         let mps = balance_stats(&aln, &distribute(&aln, ranks, Strategy::MonolithicLpt));
         assert_eq!(mps.total_shares, 64);
-        assert!(cyc.total_shares > 4 * mps.total_shares, "{} vs {}", cyc.total_shares, mps.total_shares);
+        assert!(
+            cyc.total_shares > 4 * mps.total_shares,
+            "{} vs {}",
+            cyc.total_shares,
+            mps.total_shares
+        );
     }
 
     #[test]

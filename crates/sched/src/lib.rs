@@ -64,7 +64,11 @@ pub enum Strategy {
 }
 
 /// Distribute the alignment's patterns over `n_ranks`.
-pub fn distribute(aln: &CompressedAlignment, n_ranks: usize, strategy: Strategy) -> Vec<RankAssignment> {
+pub fn distribute(
+    aln: &CompressedAlignment,
+    n_ranks: usize,
+    strategy: Strategy,
+) -> Vec<RankAssignment> {
     assert!(n_ranks >= 1, "need at least one rank");
     match strategy {
         Strategy::Cyclic => cyclic(aln, n_ranks),
@@ -118,9 +122,16 @@ fn monolithic_lpt(aln: &CompressedAlignment, n_ranks: usize) -> Vec<RankAssignme
     // Refinement: move any partition from the most-loaded rank to the
     // least-loaded one while that strictly reduces the makespan.
     loop {
-        let (max_r, &max_l) =
-            loads.iter().enumerate().max_by_key(|&(i, &l)| (l, usize::MAX - i)).unwrap();
-        let (min_r, &min_l) = loads.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).unwrap();
+        let (max_r, &max_l) = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &l)| (l, usize::MAX - i))
+            .unwrap();
+        let (min_r, &min_l) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .unwrap();
         if max_r == min_r {
             break;
         }
@@ -133,7 +144,7 @@ fn monolithic_lpt(aln: &CompressedAlignment, n_ranks: usize) -> Vec<RankAssignme
             }
             let w = aln.partitions[pi].n_patterns();
             let new_max = (max_l - w).max(min_l + w);
-            if new_max < max_l && best.map_or(true, |(bw, _)| w > bw) {
+            if new_max < max_l && best.is_none_or(|(bw, _)| w > bw) {
                 best = Some((w, pi));
             }
         }
@@ -149,7 +160,10 @@ fn monolithic_lpt(aln: &CompressedAlignment, n_ranks: usize) -> Vec<RankAssignme
 
     let mut out = vec![RankAssignment::default(); n_ranks];
     for (pi, &r) in owner.iter().enumerate() {
-        out[r].shares.push(PartShare { global_index: pi, patterns: PatternSubset::All });
+        out[r].shares.push(PartShare {
+            global_index: pi,
+            patterns: PatternSubset::All,
+        });
     }
     out
 }
@@ -199,8 +213,10 @@ mod tests {
             .enumerate()
             .map(|(i, r)| (format!("t{i}"), r))
             .collect();
-        let refs: Vec<(&str, &str)> =
-            named.iter().map(|(n, r)| (n.as_str(), r.as_str())).collect();
+        let refs: Vec<(&str, &str)> = named
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.as_str()))
+            .collect();
         let aln = Alignment::from_ascii(&refs).unwrap();
         let scheme = PartitionScheme::from_lengths(part_lens.iter().copied());
         CompressedAlignment::build(&aln, &scheme)
@@ -228,7 +244,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&c| c == 1), "partition {pi} coverage: {seen:?}");
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "partition {pi} coverage: {seen:?}"
+            );
         }
     }
 
@@ -283,7 +302,10 @@ mod tests {
             );
             // For this instance LPT actually achieves near-perfect balance.
             let opt_lb = (total as f64 / m as f64).max(max_item);
-            assert!((makespan as f64) < 1.15 * opt_lb, "m={m}: makespan {makespan}");
+            assert!(
+                (makespan as f64) < 1.15 * opt_lb,
+                "m={m}: makespan {makespan}"
+            );
         }
     }
 
@@ -298,7 +320,9 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(_, x)| {
-                x.shares.iter().any(|s| aln.partitions[s.global_index].n_patterns() == 100)
+                x.shares
+                    .iter()
+                    .any(|s| aln.partitions[s.global_index].n_patterns() == 100)
             })
             .map(|(i, _)| i)
             .collect();
@@ -330,11 +354,18 @@ mod tests {
         let a = distribute(&aln, 2, Strategy::Cyclic);
         let data0 = materialize(&aln, &a[0]);
         let data1 = materialize(&aln, &a[1]);
-        let total: usize = data0.iter().chain(&data1).map(|(_, p)| p.n_patterns()).sum();
+        let total: usize = data0
+            .iter()
+            .chain(&data1)
+            .map(|(_, p)| p.n_patterns())
+            .sum();
         assert_eq!(total, aln.total_patterns());
         // Weighted site counts preserved.
-        let wsum: u32 =
-            data0.iter().chain(&data1).flat_map(|(_, p)| p.weights.iter()).sum();
+        let wsum: u32 = data0
+            .iter()
+            .chain(&data1)
+            .flat_map(|(_, p)| p.weights.iter())
+            .sum();
         assert_eq!(wsum as usize, aln.total_sites());
     }
 

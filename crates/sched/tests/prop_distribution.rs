@@ -20,9 +20,15 @@ fn alignment_with_sizes(sizes: &[usize]) -> CompressedAlignment {
             v /= 4;
         }
     }
-    let named: Vec<(String, String)> =
-        rows.into_iter().enumerate().map(|(i, r)| (format!("t{i}"), r)).collect();
-    let refs: Vec<(&str, &str)> = named.iter().map(|(n, r)| (n.as_str(), r.as_str())).collect();
+    let named: Vec<(String, String)> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("t{i}"), r))
+        .collect();
+    let refs: Vec<(&str, &str)> = named
+        .iter()
+        .map(|(n, r)| (n.as_str(), r.as_str()))
+        .collect();
     let aln = Alignment::from_ascii(&refs).unwrap();
     CompressedAlignment::build(&aln, &PartitionScheme::from_lengths(sizes.iter().copied()))
 }

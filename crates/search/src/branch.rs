@@ -25,7 +25,9 @@ pub fn optimize_branch(eval: &mut dyn Evaluator, edge: EdgeId) -> usize {
         BranchMode::Joint => 1,
         BranchMode::PerPartition => eval.n_partitions(),
     };
-    let mut t: Vec<f64> = (0..arity).map(|p| eval.tree().edge(edge).length(p)).collect();
+    let mut t: Vec<f64> = (0..arity)
+        .map(|p| eval.tree().edge(edge).length(p))
+        .collect();
     let mut converged = vec![false; arity];
     let mut iterations = 0;
 
@@ -33,7 +35,10 @@ pub fn optimize_branch(eval: &mut dyn Evaluator, edge: EdgeId) -> usize {
         if converged.iter().all(|&c| c) {
             break;
         }
-        let (d1, d2) = eval.derivatives(&t);
+        let (d1, d2) = {
+            let _span = exa_obs::region(exa_obs::RegionKind::NrIteration);
+            eval.derivatives(&t)
+        };
         iterations += 1;
         let mut any_moved = false;
         for p in 0..arity {

@@ -76,6 +76,7 @@ pub fn run_search(
     let mut converged = false;
 
     while iterations < cfg.max_iterations {
+        exa_obs::mark(|| format!("iteration:{iterations}"));
         hooks.at_boundary(eval, iterations, lnl);
         let radius = cfg.spr_radius;
         let passes = cfg.smoothing_passes;
@@ -105,7 +106,12 @@ pub fn run_search(
         }
     }
 
-    SearchResult { lnl, iterations, spr_moves, converged }
+    SearchResult {
+        lnl,
+        iterations,
+        spr_moves,
+        converged,
+    }
 }
 
 /// Execute `body`; if it panics with a [`CommFailurePanic`], consult the
@@ -173,7 +179,11 @@ mod tests {
     #[test]
     fn search_recovers_generating_topology() {
         let (mut e, true_tree) = make_eval(RateModelKind::Gamma, 13);
-        let cfg = SearchConfig { max_iterations: 6, epsilon: 0.05, ..SearchConfig::fast() };
+        let cfg = SearchConfig {
+            max_iterations: 6,
+            epsilon: 0.05,
+            ..SearchConfig::fast()
+        };
         run_search(&mut e, &cfg, &mut NoHooks);
         let rf = rf_distance(e.tree(), &true_tree);
         // 8 taxa, 300 simulated sites: the ML tree is almost always the
@@ -188,7 +198,11 @@ mod tests {
         let cfg = SearchConfig::fast();
         let ra = run_search(&mut a, &cfg, &mut NoHooks);
         let rb = run_search(&mut b, &cfg, &mut NoHooks);
-        assert_eq!(ra.lnl.to_bits(), rb.lnl.to_bits(), "bit-identical likelihoods");
+        assert_eq!(
+            ra.lnl.to_bits(),
+            rb.lnl.to_bits(),
+            "bit-identical likelihoods"
+        );
         assert_eq!(ra.iterations, rb.iterations);
         assert_eq!(rf_distance(a.tree(), b.tree()), 0);
     }

@@ -138,11 +138,15 @@ impl SequentialEvaluator {
             BranchMode::Joint => 1,
             BranchMode::PerPartition => n_partitions,
         };
-        assert_eq!(tree.blen_count(), expected, "tree branch-length arity mismatch");
+        assert_eq!(
+            tree.blen_count(),
+            expected,
+            "tree branch-length arity mismatch"
+        );
         let alphas = match engine.rate_kind() {
-            RateModelKind::Gamma => {
-                (0..engine.n_partitions()).map(|i| engine.alpha(i).unwrap()).collect()
-            }
+            RateModelKind::Gamma => (0..engine.n_partitions())
+                .map(|i| engine.alpha(i).unwrap())
+                .collect(),
             RateModelKind::Psr => Vec::new(),
         };
         let gtr_rates = (0..engine.n_partitions())
@@ -378,7 +382,10 @@ mod tests {
 
         e.restore(&snap);
         let l2 = e.evaluate(0);
-        assert!((l0 - l2).abs() < 1e-9, "restore must reproduce the snapshot: {l0} vs {l2}");
+        assert!(
+            (l0 - l2).abs() < 1e-9,
+            "restore must reproduce the snapshot: {l0} vs {l2}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct ModelOptStats {
 pub fn optimize_alphas(eval: &mut dyn Evaluator, tol: f64) -> ModelOptStats {
     if eval.rate_kind() != RateModelKind::Gamma {
         let lnl = eval.evaluate(0);
-        return ModelOptStats { evaluations: 1, lnl };
+        return ModelOptStats {
+            evaluations: 1,
+            lnl,
+        };
     }
     let p = eval.n_partitions();
     let brackets = vec![(ALPHA_MIN.ln(), ALPHA_MAX.ln()); p];
@@ -49,7 +52,10 @@ pub fn optimize_alphas(eval: &mut dyn Evaluator, tol: f64) -> ModelOptStats {
     let best: Vec<f64> = (0..p).map(|i| brent.best_x(i).exp()).collect();
     eval.set_alphas(&best);
     let lnl = eval.evaluate(0);
-    ModelOptStats { evaluations: evaluations + 1, lnl }
+    ModelOptStats {
+        evaluations: evaluations + 1,
+        lnl,
+    }
 }
 
 /// Optimize the five free GTR exchangeabilities by coordinate descent, each
@@ -72,12 +78,16 @@ pub fn optimize_gtr(eval: &mut dyn Evaluator, tol: f64) -> ModelOptStats {
         eval.set_gtr_rate(rate_index, &best);
     }
     let lnl = eval.evaluate(0);
-    ModelOptStats { evaluations: evaluations + 1, lnl }
+    ModelOptStats {
+        evaluations: evaluations + 1,
+        lnl,
+    }
 }
 
 /// Full model-optimization round: α (Γ) or per-site rates (PSR), then GTR
 /// exchangeabilities.
 pub fn optimize_model(eval: &mut dyn Evaluator, tol: f64) -> ModelOptStats {
+    let _span = exa_obs::region(exa_obs::RegionKind::ModelOptRound);
     let mut evaluations = 0;
     match eval.rate_kind() {
         RateModelKind::Gamma => {
@@ -91,7 +101,10 @@ pub fn optimize_model(eval: &mut dyn Evaluator, tol: f64) -> ModelOptStats {
     }
     let s = optimize_gtr(eval, tol);
     evaluations += s.evaluations;
-    ModelOptStats { evaluations, lnl: s.lnl }
+    ModelOptStats {
+        evaluations,
+        lnl: s.lnl,
+    }
 }
 
 #[cfg(test)]
@@ -101,9 +114,9 @@ mod tests {
     use exa_bio::partition::PartitionScheme;
     use exa_bio::patterns::CompressedAlignment;
     use exa_phylo::engine::{Engine, PartitionSlice};
+    use exa_phylo::model::GtrModel;
     use exa_phylo::tree::Tree;
     use exa_simgen::{random_tree_with_lengths, simulate, SimModel, SimRates};
-    use exa_phylo::model::GtrModel;
 
     /// Simulated data with known generating parameters so optimization has
     /// a meaningful target.
@@ -111,7 +124,10 @@ mod tests {
         let tree = random_tree_with_lengths(8, 1, 0.05, 0.4, 11);
         let scheme = PartitionScheme::uniform_chunks(2, 400);
         let models = vec![
-            SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Gamma { alpha } },
+            SimModel {
+                gtr: GtrModel::jukes_cantor(),
+                rates: SimRates::Gamma { alpha },
+            },
             SimModel {
                 gtr: GtrModel::new([1.0, 4.0, 1.0, 1.0, 4.0, 1.0], [0.25; 4]),
                 rates: SimRates::Gamma { alpha },
@@ -192,8 +208,14 @@ mod tests {
         let tree = random_tree_with_lengths(8, 1, 0.05, 0.4, 31);
         let scheme = PartitionScheme::uniform_chunks(2, 500);
         let models = vec![
-            SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Gamma { alpha: 0.15 } },
-            SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Gamma { alpha: 8.0 } },
+            SimModel {
+                gtr: GtrModel::jukes_cantor(),
+                rates: SimRates::Gamma { alpha: 0.15 },
+            },
+            SimModel {
+                gtr: GtrModel::jukes_cantor(),
+                rates: SimRates::Gamma { alpha: 8.0 },
+            },
         ];
         let aln = simulate(&tree, &scheme, &models, 5);
         let comp = CompressedAlignment::build(&aln, &scheme);

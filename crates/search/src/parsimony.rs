@@ -57,7 +57,11 @@ pub fn parsimony_score(tree: &Tree, data: &ParsimonyData) -> u64 {
     // Fitch over the trifurcating root: fold pairwise.
     for i in 0..n {
         let first = s0[i] & s1[i];
-        let (merged, add1) = if first != 0 { (first, 0) } else { (s0[i] | s1[i], 1) };
+        let (merged, add1) = if first != 0 {
+            (first, 0)
+        } else {
+            (s0[i] | s1[i], 1)
+        };
         let add2 = if merged & s2[i] != 0 { 0 } else { 1 };
         score += (add1 + add2) * data.weights[i] as u64;
     }
@@ -113,7 +117,7 @@ pub fn parsimony_tree(data: &ParsimonyData, blen_count: usize, seed: u64) -> Tre
             let mut trial = tree.clone();
             trial.attach_tip(taxon, e);
             let s = parsimony_score(&trial, data);
-            if best.map_or(true, |(b, _)| s < b) {
+            if best.is_none_or(|(b, _)| s < b) {
                 best = Some((s, e));
             }
         }
@@ -123,16 +127,15 @@ pub fn parsimony_tree(data: &ParsimonyData, blen_count: usize, seed: u64) -> Tre
     tree
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use exa_bio::alignment::Alignment;
     use exa_bio::partition::PartitionScheme;
     use exa_bio::patterns::CompressedAlignment;
+    use exa_phylo::model::GtrModel;
     use exa_phylo::tree::bipartitions::rf_distance;
     use exa_simgen::{random_tree_with_lengths, simulate, SimModel, SimRates};
-    use exa_phylo::model::GtrModel;
 
     fn data_from(aln: &Alignment) -> ParsimonyData {
         let scheme = PartitionScheme::unpartitioned(aln.n_sites());
@@ -155,13 +158,7 @@ mod tests {
 
     #[test]
     fn single_mutation_scores_one() {
-        let aln = Alignment::from_ascii(&[
-            ("a", "A"),
-            ("b", "A"),
-            ("c", "A"),
-            ("d", "C"),
-        ])
-        .unwrap();
+        let aln = Alignment::from_ascii(&[("a", "A"), ("b", "A"), ("c", "A"), ("d", "C")]).unwrap();
         let data = data_from(&aln);
         let tree = Tree::random(4, 1, 1);
         assert_eq!(parsimony_score(&tree, &data), 1);
@@ -170,13 +167,8 @@ mod tests {
     #[test]
     fn weights_multiply_scores() {
         // Two identical variable columns compress to one pattern, weight 2.
-        let aln = Alignment::from_ascii(&[
-            ("a", "AA"),
-            ("b", "AA"),
-            ("c", "AA"),
-            ("d", "CC"),
-        ])
-        .unwrap();
+        let aln =
+            Alignment::from_ascii(&[("a", "AA"), ("b", "AA"), ("c", "AA"), ("d", "CC")]).unwrap();
         let data = data_from(&aln);
         assert_eq!(data.n_patterns(), 1);
         let tree = Tree::random(4, 1, 1);
@@ -208,13 +200,19 @@ mod tests {
         // (usually equal to) the generating topology.
         let true_tree = random_tree_with_lengths(10, 1, 0.03, 0.15, 5);
         let scheme = PartitionScheme::unpartitioned(800);
-        let model = SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Uniform };
+        let model = SimModel {
+            gtr: GtrModel::jukes_cantor(),
+            rates: SimRates::Uniform,
+        };
         let aln = simulate(&true_tree, &scheme, &[model], 5);
         let data = data_from(&aln);
         let pars = parsimony_tree(&data, 1, 3);
         pars.check_invariants().unwrap();
         let rf = rf_distance(&pars, &true_tree);
-        assert!(rf <= 4, "parsimony tree should be near the truth: RF = {rf}");
+        assert!(
+            rf <= 4,
+            "parsimony tree should be near the truth: RF = {rf}"
+        );
 
         // And it should score no worse than a random topology.
         let random = Tree::random(10, 1, 99);

@@ -30,11 +30,21 @@ pub struct SprStats {
 /// scored lazily; the best strictly-improving insertion is applied and its
 /// local branches are re-optimized. Deterministic iteration order keeps all
 /// de-centralized ranks in lockstep.
-pub fn spr_round(eval: &mut dyn Evaluator, radius: usize, start_lnl: f64, epsilon: f64) -> SprStats {
+pub fn spr_round(
+    eval: &mut dyn Evaluator,
+    radius: usize,
+    start_lnl: f64,
+    epsilon: f64,
+) -> SprStats {
+    let _span = exa_obs::region(exa_obs::RegionKind::SprRound);
     let n_taxa = eval.n_taxa();
     let n_nodes = 2 * n_taxa - 2;
-    let mut stats =
-        SprStats { prunes: 0, insertions_tried: 0, accepted: 0, lnl: start_lnl };
+    let mut stats = SprStats {
+        prunes: 0,
+        insertions_tried: 0,
+        accepted: 0,
+        lnl: start_lnl,
+    };
 
     for x in n_taxa..n_nodes {
         // Deterministic neighbor directions (sorted by node id).
@@ -69,7 +79,7 @@ pub fn spr_round(eval: &mut dyn Evaluator, radius: usize, start_lnl: f64, epsilo
                 // Score at the fresh attachment edge (partial traversal).
                 let lnl = eval.evaluate(g.target_edge);
                 stats.insertions_tried += 1;
-                if best.map_or(true, |(b, _)| lnl > b) {
+                if best.is_none_or(|(b, _)| lnl > b) {
                     best = Some((lnl, target));
                 }
                 let tree = eval.tree_mut();
@@ -127,13 +137,19 @@ mod tests {
     fn simulated_eval_from(seed: u64, start: Option<Tree>) -> (SequentialEvaluator, Tree) {
         let true_tree = random_tree_with_lengths(10, 1, 0.05, 0.3, seed);
         let scheme = PartitionScheme::unpartitioned(600);
-        let model = SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Uniform };
+        let model = SimModel {
+            gtr: GtrModel::jukes_cantor(),
+            rates: SimRates::Uniform,
+        };
         let aln = simulate(&true_tree, &scheme, &[model], seed);
         let comp = CompressedAlignment::build(&aln, &scheme);
         let slices = vec![PartitionSlice::from_compressed(0, &comp.partitions[0])];
         let engine = Engine::new(10, slices, RateModelKind::Gamma, 1.0);
         let start = start.unwrap_or_else(|| Tree::random(10, 1, seed + 1000));
-        (SequentialEvaluator::new(start, engine, 1, BranchMode::Joint), true_tree)
+        (
+            SequentialEvaluator::new(start, engine, 1, BranchMode::Joint),
+            true_tree,
+        )
     }
 
     fn simulated_eval(seed: u64) -> (SequentialEvaluator, Tree) {
@@ -182,7 +198,11 @@ mod tests {
         smooth_all(&mut e, 3);
         let before = e.evaluate(0);
         let stats = spr_round(&mut e, 3, before, 0.01);
-        assert!(stats.lnl >= before - 1e-6, "round must not regress: {before} -> {}", stats.lnl);
+        assert!(
+            stats.lnl >= before - 1e-6,
+            "round must not regress: {before} -> {}",
+            stats.lnl
+        );
         e.tree().check_invariants().unwrap();
     }
 

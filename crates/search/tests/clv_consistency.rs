@@ -21,7 +21,10 @@ fn fresh_lnl(e: &mut SequentialEvaluator, edge: usize) -> f64 {
 fn spr_operations_preserve_clv_consistency() {
     let true_tree = random_tree_with_lengths(10, 1, 0.05, 0.3, 11);
     let scheme = PartitionScheme::unpartitioned(600);
-    let model = SimModel { gtr: GtrModel::jukes_cantor(), rates: SimRates::Uniform };
+    let model = SimModel {
+        gtr: GtrModel::jukes_cantor(),
+        rates: SimRates::Uniform,
+    };
     let aln = simulate(&true_tree, &scheme, &[model], 11);
     let comp = CompressedAlignment::build(&aln, &scheme);
     let slices = vec![PartitionSlice::from_compressed(0, &comp.partitions[0])];
@@ -29,16 +32,22 @@ fn spr_operations_preserve_clv_consistency() {
     let mut e = SequentialEvaluator::new(true_tree, engine, 1, BranchMode::Joint);
 
     let n_taxa = 10;
-    for x in n_taxa..(2*n_taxa-2) {
-        let subs: Vec<usize> = e.tree().neighbors(x).iter().map(|&(n,_)| n).collect();
+    for x in n_taxa..(2 * n_taxa - 2) {
+        let subs: Vec<usize> = e.tree().neighbors(x).iter().map(|&(n, _)| n).collect();
         for sub in subs {
-            if e.tree().edge_between(x, sub).is_none() { continue; }
+            if e.tree().edge_between(x, sub).is_none() {
+                continue;
+            }
             let info = e.tree_mut().prune(x, sub);
-            let cands: Vec<usize> = e.tree().edges_within_radius(info.merged_edge, 3)
-                .into_iter().filter(|&ed| {
+            let cands: Vec<usize> = e
+                .tree()
+                .edges_within_radius(info.merged_edge, 3)
+                .into_iter()
+                .filter(|&ed| {
                     let edge = e.tree().edge(ed);
                     edge.a != x && edge.b != x && ed != info.free_edge
-                }).collect();
+                })
+                .collect();
             for target in cands {
                 let g = e.tree_mut().graft(&info, target);
                 let partial = e.evaluate(g.target_edge);
@@ -57,7 +66,10 @@ fn spr_operations_preserve_clv_consistency() {
             e.tree_mut().restore_prune(&info);
             let p3 = e.evaluate(0);
             let f3 = fresh_lnl(&mut e, 0);
-            assert!((p3-f3).abs() < 1e-7, "INCONSISTENT after restore x={x} sub={sub}: {p3} vs {f3}");
+            assert!(
+                (p3 - f3).abs() < 1e-7,
+                "INCONSISTENT after restore x={x} sub={sub}: {p3} vs {f3}"
+            );
         }
     }
     println!("all consistent");

@@ -60,7 +60,10 @@ impl SimModel {
             *f /= sum;
         }
         let alpha = rng.gen_range(0.3..1.5);
-        SimModel { gtr: GtrModel::new(ex, freqs), rates: SimRates::Gamma { alpha } }
+        SimModel {
+            gtr: GtrModel::new(ex, freqs),
+            rates: SimRates::Gamma { alpha },
+        }
     }
 }
 
@@ -154,7 +157,10 @@ mod tests {
     use exa_bio::stats::empirical_frequencies;
 
     fn jc_model(rates: SimRates) -> SimModel {
-        SimModel { gtr: GtrModel::jukes_cantor(), rates }
+        SimModel {
+            gtr: GtrModel::jukes_cantor(),
+            rates,
+        }
     }
 
     #[test]
@@ -197,7 +203,15 @@ mod tests {
         let gtr = GtrModel::new([1.0; 6], [0.7, 0.1, 0.1, 0.1]);
         let tree = random_tree_with_lengths(5, 1, 0.05, 0.2, 9);
         let scheme = PartitionScheme::unpartitioned(3000);
-        let a = simulate(&tree, &scheme, &[SimModel { gtr, rates: SimRates::Uniform }], 5);
+        let a = simulate(
+            &tree,
+            &scheme,
+            &[SimModel {
+                gtr,
+                rates: SimRates::Uniform,
+            }],
+            5,
+        );
         let comp = CompressedAlignment::build(&a, &scheme);
         let f = empirical_frequencies(&comp.partitions[0]);
         assert!(f[0] > 0.6, "A-rich generator must give A-rich data: {f:?}");
@@ -209,7 +223,12 @@ mod tests {
         // categories) even on a tree long enough to saturate fast sites.
         let tree = random_tree_with_lengths(10, 1, 0.3, 0.8, 11);
         let scheme = PartitionScheme::unpartitioned(1500);
-        let hetero = simulate(&tree, &scheme, &[jc_model(SimRates::Gamma { alpha: 0.1 })], 2);
+        let hetero = simulate(
+            &tree,
+            &scheme,
+            &[jc_model(SimRates::Gamma { alpha: 0.1 })],
+            2,
+        );
         let uniform = simulate(&tree, &scheme, &[jc_model(SimRates::Uniform)], 2);
         let invariant = |a: &Alignment| {
             (0..a.n_sites())
@@ -240,7 +259,10 @@ mod tests {
         let f0 = empirical_frequencies(&comp.partitions[0]);
         let f1 = empirical_frequencies(&comp.partitions[1]);
         let dist: f64 = f0.iter().zip(&f1).map(|(a, b)| (a - b).abs()).sum();
-        assert!(dist > 0.02, "partition compositions should differ: {f0:?} vs {f1:?}");
+        assert!(
+            dist > 0.02,
+            "partition compositions should differ: {f0:?} vs {f1:?}"
+        );
     }
 
     #[test]

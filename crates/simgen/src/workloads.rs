@@ -23,7 +23,12 @@ impl Workload {
     fn build(tree: Tree, scheme: PartitionScheme, models: &[SimModel], seed: u64) -> Workload {
         let alignment = simulate(&tree, &scheme, models, seed);
         let compressed = CompressedAlignment::build(&alignment, &scheme);
-        Workload { alignment, scheme, compressed, true_tree: tree }
+        Workload {
+            alignment,
+            scheme,
+            compressed,
+            true_tree: tree,
+        }
     }
 }
 
@@ -36,11 +41,10 @@ pub fn large_unpartitioned(n_taxa: usize, n_sites: usize, seed: u64) -> Workload
     let scheme = PartitionScheme::unpartitioned(n_sites);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let model = SimModel {
-        gtr: GtrModel::new(
-            [1.2, 2.9, 0.8, 1.1, 3.4, 1.0],
-            [0.27, 0.23, 0.24, 0.26],
-        ),
-        rates: SimRates::Gamma { alpha: rng.gen_range(0.6..0.9) },
+        gtr: GtrModel::new([1.2, 2.9, 0.8, 1.1, 3.4, 1.0], [0.27, 0.23, 0.24, 0.26]),
+        rates: SimRates::Gamma {
+            alpha: rng.gen_range(0.6..0.9),
+        },
     };
     Workload::build(tree, scheme, &[model], seed)
 }
@@ -57,7 +61,9 @@ pub fn partitioned(n_taxa: usize, n_partitions: usize, chunk_len: usize, seed: u
     let tree = random_tree_with_lengths(n_taxa, 1, 0.01, 0.5, seed);
     let scheme = PartitionScheme::uniform_chunks(n_partitions, chunk_len);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
-    let models: Vec<SimModel> = (0..n_partitions).map(|_| SimModel::random(&mut rng)).collect();
+    let models: Vec<SimModel> = (0..n_partitions)
+        .map(|_| SimModel::random(&mut rng))
+        .collect();
     Workload::build(tree, scheme, &models, seed)
 }
 

@@ -13,26 +13,45 @@ use examl_core::fault::FaultPlan;
 use examl_core::{run_decentralized, InferenceConfig};
 
 fn main() {
-    let ranks: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    assert!(ranks >= 3, "need at least 3 ranks to kill one and keep going");
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    assert!(
+        ranks >= 3,
+        "need at least 3 ranks to kill one and keep going"
+    );
 
     println!("generating 20-taxon, 5-partition workload...");
     let w = workloads::partitioned(20, 5, 150, 77);
 
-    let search = SearchConfig { max_iterations: 4, epsilon: 0.01, ..SearchConfig::default() };
+    let search = SearchConfig {
+        max_iterations: 4,
+        epsilon: 0.01,
+        ..SearchConfig::default()
+    };
 
     println!("\n--- run 1: no failures, {ranks} ranks ---");
     let mut cfg = InferenceConfig::new(ranks);
     cfg.search = search.clone();
     let clean = run_decentralized(&w.compressed, &cfg);
-    println!("  lnL = {:.4}, survivors = {:?}", clean.result.lnl, clean.survivors);
+    println!(
+        "  lnL = {:.4}, survivors = {:?}",
+        clean.result.lnl, clean.survivors
+    );
 
-    println!("\n--- run 2: rank 1 dies at iteration 1, rank {} at iteration 2 ---", ranks - 1);
+    println!(
+        "\n--- run 2: rank 1 dies at iteration 1, rank {} at iteration 2 ---",
+        ranks - 1
+    );
     let mut cfg = InferenceConfig::new(ranks);
     cfg.search = search;
     cfg.fault_plan = FaultPlan::kill(1, 1).and_kill(ranks - 1, 2);
     let faulted = run_decentralized(&w.compressed, &cfg);
-    println!("  lnL = {:.4}, survivors = {:?}", faulted.result.lnl, faulted.survivors);
+    println!(
+        "  lnL = {:.4}, survivors = {:?}",
+        faulted.result.lnl, faulted.survivors
+    );
 
     println!("\n--- comparison ---");
     println!("  clean   : {:.4}", clean.result.lnl);

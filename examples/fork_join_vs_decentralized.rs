@@ -9,9 +9,9 @@
 //! ```
 
 use exa_comm::{CommCategory, CommStats};
+use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 use exa_simgen::workloads;
 use examl_core::{run_decentralized, InferenceConfig};
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 
 fn print_stats(label: &str, stats: &CommStats) {
     println!("  {label}:");
@@ -56,7 +56,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let fj = run_forkjoin(&w.compressed, &fcfg);
     let fj_time = t0.elapsed();
-    println!("  lnL = {:.4} after {} iterations ({fj_time:.2?})", fj.result.lnl, fj.result.iterations);
+    println!(
+        "  lnL = {:.4} after {} iterations ({fj_time:.2?})",
+        fj.result.lnl, fj.result.iterations
+    );
 
     println!("\n=== de-centralized (ExaML scheme) on {ranks} ranks ===");
     let mut dcfg = InferenceConfig::new(ranks);
@@ -70,7 +73,10 @@ fn main() {
     );
 
     println!("\n=== identical science ===");
-    println!("  |lnL difference|   : {:.3e}", (fj.result.lnl - dec.result.lnl).abs());
+    println!(
+        "  |lnL difference|   : {:.3e}",
+        (fj.result.lnl - dec.result.lnl).abs()
+    );
     println!(
         "  same topology      : {}",
         exa_phylo::tree::bipartitions::rf_distance(&fj.state.tree, &dec.state.tree) == 0
@@ -80,7 +86,8 @@ fn main() {
     print_stats("fork-join", &fj.comm_stats);
     print_stats("de-centralized", &dec.comm_stats);
 
-    let ratio_bytes = fj.comm_stats.total_bytes() as f64 / dec.comm_stats.total_bytes().max(1) as f64;
+    let ratio_bytes =
+        fj.comm_stats.total_bytes() as f64 / dec.comm_stats.total_bytes().max(1) as f64;
     let ratio_regions =
         fj.comm_stats.total_regions() as f64 / dec.comm_stats.total_regions().max(1) as f64;
     println!("\n  fork-join moves {ratio_bytes:.1}x the bytes in {ratio_regions:.1}x the parallel regions");

@@ -17,8 +17,14 @@ use examl_core::{run_decentralized, InferenceConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let partitions: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(10);
-    let chunk_len: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let partitions: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let chunk_len: usize = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let ranks: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let per_partition = args.iter().any(|a| a == "--per-partition-branches");
     let psr = args.iter().any(|a| a == "--psr");
@@ -50,8 +56,16 @@ fn main() {
     } else {
         Strategy::Cyclic
     };
-    cfg.branch_mode = if per_partition { BranchMode::PerPartition } else { BranchMode::Joint };
-    cfg.rate_model = if psr { RateModelKind::Psr } else { RateModelKind::Gamma };
+    cfg.branch_mode = if per_partition {
+        BranchMode::PerPartition
+    } else {
+        BranchMode::Joint
+    };
+    cfg.rate_model = if psr {
+        RateModelKind::Psr
+    } else {
+        RateModelKind::Gamma
+    };
     println!(
         "running de-centralized inference: {ranks} ranks, {:?}, {:?}, {:?}",
         cfg.strategy, cfg.branch_mode, cfg.rate_model
@@ -64,8 +78,14 @@ fn main() {
     println!("final log-likelihood : {:.4}", out.result.lnl);
     println!("iterations           : {}", out.result.iterations);
     println!("wall clock           : {elapsed:.2?}");
-    println!("kernel work          : {} pattern-category updates", out.work.total());
-    println!("CLV memory           : {:.1} MiB", out.mem_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "kernel work          : {} pattern-category updates",
+        out.work.total()
+    );
+    println!(
+        "CLV memory           : {:.1} MiB",
+        out.mem_bytes as f64 / (1 << 20) as f64
+    );
     println!("parallel regions     : {}", out.comm_stats.total_regions());
     println!("bytes communicated   : {}", out.comm_stats.total_bytes());
     if psr {
@@ -73,8 +93,7 @@ fn main() {
     }
     // Recover per-partition alpha estimates under Gamma.
     if !out.state.alphas.is_empty() {
-        let mean_alpha: f64 =
-            out.state.alphas.iter().sum::<f64>() / out.state.alphas.len() as f64;
+        let mean_alpha: f64 = out.state.alphas.iter().sum::<f64>() / out.state.alphas.len() as f64;
         println!("mean fitted alpha    : {mean_alpha:.3}");
     }
 }

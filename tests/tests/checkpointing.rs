@@ -17,7 +17,11 @@ fn checkpoints_are_written_and_loadable() {
     let w = workload();
     let path = tmp("write");
     let mut cfg = InferenceConfig::new(2);
-    cfg.search = SearchConfig { max_iterations: 3, epsilon: 0.01, ..SearchConfig::fast() };
+    cfg.search = SearchConfig {
+        max_iterations: 3,
+        epsilon: 0.01,
+        ..SearchConfig::fast()
+    };
     cfg.checkpoint_path = Some(path.clone());
     cfg.checkpoint_every = 1;
     let out = run_decentralized(&w.compressed, &cfg);
@@ -39,14 +43,22 @@ fn resume_continues_to_a_result_at_least_as_good() {
 
     // Phase 1: a deliberately short run that leaves a checkpoint behind.
     let mut cfg1 = InferenceConfig::new(2);
-    cfg1.search = SearchConfig { max_iterations: 1, epsilon: 0.001, ..SearchConfig::fast() };
+    cfg1.search = SearchConfig {
+        max_iterations: 1,
+        epsilon: 0.001,
+        ..SearchConfig::fast()
+    };
     cfg1.checkpoint_path = Some(path.clone());
     cfg1.checkpoint_every = 1;
     let first = run_decentralized(&w.compressed, &cfg1);
 
     // Phase 2: resume and keep searching.
     let mut cfg2 = InferenceConfig::new(2);
-    cfg2.search = SearchConfig { max_iterations: 3, epsilon: 0.001, ..SearchConfig::fast() };
+    cfg2.search = SearchConfig {
+        max_iterations: 3,
+        epsilon: 0.001,
+        ..SearchConfig::fast()
+    };
     cfg2.resume_from = Some(path.clone());
     let second = run_decentralized(&w.compressed, &cfg2);
     std::fs::remove_file(&path).ok();
@@ -67,12 +79,18 @@ fn resume_with_different_rank_count() {
     let path = tmp("ranks");
 
     let mut cfg1 = InferenceConfig::new(3);
-    cfg1.search = SearchConfig { max_iterations: 1, ..SearchConfig::fast() };
+    cfg1.search = SearchConfig {
+        max_iterations: 1,
+        ..SearchConfig::fast()
+    };
     cfg1.checkpoint_path = Some(path.clone());
     run_decentralized(&w.compressed, &cfg1);
 
     let mut cfg2 = InferenceConfig::new(2);
-    cfg2.search = SearchConfig { max_iterations: 2, ..SearchConfig::fast() };
+    cfg2.search = SearchConfig {
+        max_iterations: 2,
+        ..SearchConfig::fast()
+    };
     cfg2.resume_from = Some(path.clone());
     let out = run_decentralized(&w.compressed, &cfg2);
     std::fs::remove_file(&path).ok();

@@ -14,7 +14,10 @@ fn cfg(ranks: usize, kind: RateModelKind) -> InferenceConfig {
     let mut cfg = InferenceConfig::new(ranks);
     cfg.rate_model = kind;
     cfg.strategy = exa_sched::Strategy::MonolithicLpt;
-    cfg.search = SearchConfig { max_iterations: 1, ..SearchConfig::fast() };
+    cfg.search = SearchConfig {
+        max_iterations: 1,
+        ..SearchConfig::fast()
+    };
     cfg.seed = 3;
     cfg
 }
@@ -51,7 +54,10 @@ fn empty_ranks_under_forkjoin_psr() {
     let mut cfg = exa_forkjoin::ForkJoinConfig::new(4);
     cfg.rate_model = RateModelKind::Psr;
     cfg.strategy = exa_sched::Strategy::MonolithicLpt;
-    cfg.search = SearchConfig { max_iterations: 1, ..SearchConfig::fast() };
+    cfg.search = SearchConfig {
+        max_iterations: 1,
+        ..SearchConfig::fast()
+    };
     let out = exa_forkjoin::run_forkjoin(&w.compressed, &cfg);
     assert!(out.result.lnl.is_finite());
 }

@@ -13,7 +13,11 @@ fn workload(seed: u64) -> workloads::Workload {
 
 fn cfg(n_ranks: usize, plan: FaultPlan) -> InferenceConfig {
     let mut cfg = InferenceConfig::new(n_ranks);
-    cfg.search = SearchConfig { max_iterations: 3, epsilon: 0.01, ..SearchConfig::fast() };
+    cfg.search = SearchConfig {
+        max_iterations: 3,
+        epsilon: 0.01,
+        ..SearchConfig::fast()
+    };
     cfg.seed = 21;
     cfg.fault_plan = plan;
     cfg

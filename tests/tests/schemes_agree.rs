@@ -3,6 +3,7 @@
 //! therefore produce the same tree and likelihood; and both must match the
 //! sequential reference. These tests run all three end-to-end.
 
+use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::bipartitions::rf_distance;
 use exa_phylo::tree::Tree;
@@ -10,14 +11,16 @@ use exa_search::evaluator::BranchMode;
 use exa_search::{run_search, NoHooks, SearchConfig, SequentialEvaluator};
 use exa_simgen::workloads;
 use examl_core::{run_decentralized, InferenceConfig};
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
 
 fn small_workload(seed: u64) -> workloads::Workload {
     workloads::partitioned(8, 2, 120, seed)
 }
 
 fn fast_search() -> SearchConfig {
-    SearchConfig { max_iterations: 2, ..SearchConfig::fast() }
+    SearchConfig {
+        max_iterations: 2,
+        ..SearchConfig::fast()
+    }
 }
 
 fn sequential_reference(
@@ -39,8 +42,7 @@ fn sequential_reference(
         BranchMode::PerPartition => w.compressed.n_partitions(),
     };
     let tree = Tree::random(w.compressed.n_taxa(), blens, seed);
-    let mut eval =
-        SequentialEvaluator::new(tree, engine, w.compressed.n_partitions(), mode);
+    let mut eval = SequentialEvaluator::new(tree, engine, w.compressed.n_partitions(), mode);
     let r = run_search(&mut eval, &fast_search(), &mut NoHooks);
     use exa_search::Evaluator as _;
     (r.lnl, eval.snapshot().tree)
@@ -63,7 +65,11 @@ fn decentralized_matches_sequential() {
         "decentralized {} vs sequential {seq_lnl}",
         out.result.lnl
     );
-    assert_eq!(rf_distance(&out.state.tree, &seq_tree), 0, "topologies must agree");
+    assert_eq!(
+        rf_distance(&out.state.tree, &seq_tree),
+        0,
+        "topologies must agree"
+    );
 }
 
 #[test]
@@ -114,7 +120,10 @@ fn rank_count_does_not_change_the_result() {
 fn mps_and_cyclic_agree() {
     let w = workloads::partitioned(8, 6, 60, 17);
     let mut results = Vec::new();
-    for strategy in [exa_sched::Strategy::Cyclic, exa_sched::Strategy::MonolithicLpt] {
+    for strategy in [
+        exa_sched::Strategy::Cyclic,
+        exa_sched::Strategy::MonolithicLpt,
+    ] {
         let mut cfg = InferenceConfig::new(3);
         cfg.search = fast_search();
         cfg.strategy = strategy;
@@ -128,7 +137,10 @@ fn mps_and_cyclic_agree() {
         results[0].result.lnl,
         results[1].result.lnl
     );
-    assert_eq!(rf_distance(&results[0].state.tree, &results[1].state.tree), 0);
+    assert_eq!(
+        rf_distance(&results[0].state.tree, &results[1].state.tree),
+        0
+    );
 }
 
 #[test]
@@ -202,7 +214,10 @@ fn communication_profile_matches_the_paper_story() {
     let fj = run_forkjoin(&w.compressed, &fcfg);
 
     // (i) The de-centralized scheme never broadcasts traversal descriptors.
-    assert_eq!(dec.comm_stats.get(CommCategory::TraversalDescriptor).bytes, 0);
+    assert_eq!(
+        dec.comm_stats.get(CommCategory::TraversalDescriptor).bytes,
+        0
+    );
     assert!(fj.comm_stats.get(CommCategory::TraversalDescriptor).bytes > 0);
 
     // (ii) Descriptor traffic dominates fork-join bytes (Table I: 30–97%).

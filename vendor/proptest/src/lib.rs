@@ -1,0 +1,260 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the macro and strategy surface this workspace's property tests
+//! use: `proptest!`, `prop_compose!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_assume!`, range and `any::<T>()` strategies, `prop::collection::vec`,
+//! `prop::sample::{select, Index}`, and tuple strategies.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its case number and the
+//!   per-test RNG seed; re-running is deterministic, so the case is
+//!   reproducible but not minimized.
+//! - **Deterministic seeding.** Cases derive from a hash of the test name,
+//!   so runs are identical across invocations (no `PROPTEST_` env vars).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::{select, Index};
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    // `#[macro_export]` macros live at the crate root; re-export them so a
+    // glob import of the prelude brings them into scope like real proptest.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Run one named property test: the body of a `proptest!`-generated `#[test]`.
+pub fn run_property_test<F>(config: test_runner::ProptestConfig, name: &str, body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    test_runner::Runner::new(config, name).run(body)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property_test(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    // Two generation stages: the second stage's strategies may reference
+    // values drawn in the first.
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)
+        ($($arg1:pat in $strat1:expr),* $(,)?)
+        ($($arg2:pat in $strat2:expr),* $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::generator(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg1 = $crate::strategy::Strategy::sample(&($strat1), __rng);)*
+                $(let $arg2 = $crate::strategy::Strategy::sample(&($strat2), __rng);)*
+                $body
+            })
+        }
+    };
+    // Single generation stage.
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:tt)*)
+        ($($arg1:pat in $strat1:expr),* $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::generator(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg1 = $crate::strategy::Strategy::sample(&($strat1), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0usize..10)(b in a..=a, pad in 0usize..3) -> (usize, usize) {
+            (a.min(a + pad), b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in -1.5f64..2.5, z in 1u8..=255) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0usize..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(0.0f64..1.0, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+
+        #[test]
+        fn composed_strategy_links_stages((a, b) in arb_pair()) {
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn index_is_in_range(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            let i = idx.index(len);
+            prop_assert!(i < len);
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![2usize, 5, 7])) {
+            prop_assert!([2usize, 5, 7].contains(&x));
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(t in (any::<u32>(), 0usize..4, -1.0f64..1.0)) {
+            prop_assert!(t.1 < 4);
+            prop_assert!((-1.0..1.0).contains(&t.2));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property test")]
+    fn failing_property_panics() {
+        crate::run_property_test(
+            ProptestConfig::with_cases(8),
+            "vendored::failing_property",
+            |rng| {
+                let x = Strategy::sample(&(0usize..100), rng);
+                prop_assert!(x > 1000, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sample_all = || {
+            let mut out = Vec::new();
+            crate::run_property_test(
+                ProptestConfig::with_cases(16),
+                "vendored::determinism",
+                |rng| {
+                    out.push(Strategy::sample(&(0u64..u64::MAX), rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(sample_all(), sample_all());
+    }
+}

@@ -1,0 +1,128 @@
+//! Case execution: deterministic per-test RNG, reject accounting, failure
+//! reporting (without shrinking).
+
+/// How many cases to run per property (the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of one case body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip this case without counting it.
+    Reject,
+    /// `prop_assert!` failed: the property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64). Strategies draw
+/// `u64`s from this; everything else is layered on top.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: stable seeds without any global state.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub struct Runner {
+    config: ProptestConfig,
+    name: String,
+}
+
+impl Runner {
+    pub fn new(config: ProptestConfig, name: &str) -> Runner {
+        Runner {
+            config,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = seed_for(&self.name);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < self.config.cases {
+            // Each attempt (including rejected ones) gets a fresh stream so
+            // a rejected prefix cannot stall progress.
+            let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match body(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "property test `{}` exceeded {} prop_assume! rejections",
+                            self.name, self.config.max_global_rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property test `{}` failed at case {} (rng seed {:#x}):\n{}",
+                        self.name, case, seed, msg
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal replacement that keeps the public surface the codebase
+//! actually uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, and the `serde_json` functions built on top. Instead of serde's
+//! visitor architecture, this implementation round-trips every value through
+//! a self-describing [`Value`] tree — slower, but entirely sufficient for
+//! checkpoints, result files and trace exports.
+//!
+//! Enum representation mirrors serde's externally-tagged default: a unit
+//! variant serializes to its name as a string, a data-carrying variant to a
+//! single-entry map `{ "Variant": ... }`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::Value;
+
+/// Serialization: convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Derive-macro support: look up a field in a map value, yielding `Null`
+/// for absent fields so `Option` fields tolerate omission.
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}

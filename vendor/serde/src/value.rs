@@ -1,0 +1,122 @@
+//! The self-describing value tree all (de)serialization goes through.
+
+use crate::{DeError, Deserialize, Serialize};
+
+/// A JSON-shaped value. Maps preserve insertion order (field order of the
+/// serialized struct), which keeps emitted JSON stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self, what: &str) -> Result<&[(String, Value)], DeError> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(DeError(format!(
+                "{what}: expected map, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_array(&self, what: &str) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(DeError(format!(
+                "{what}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_str(&self, what: &str) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError(format!(
+                "{what}: expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_bool(&self, what: &str) -> Result<bool, DeError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!(
+                "{what}: expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_f64(&self, what: &str) -> Result<f64, DeError> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // serde_json has no NaN/Inf literal; they serialize as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!(
+                "{what}: expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_u64(&self, what: &str) -> Result<u64, DeError> {
+        match self {
+            Value::UInt(u) => Ok(*u),
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(DeError(format!(
+                "{what}: expected unsigned integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_i64(&self, what: &str) -> Result<i64, DeError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Ok(*u as i64),
+            other => Err(DeError(format!(
+                "{what}: expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
