@@ -1,0 +1,74 @@
+//! Sentinel overhead guard: the replica-divergence sentinel at cadence 64
+//! must cost less than 2% of wall time versus running unverified.
+//!
+//! The vendored criterion stand-in has no statistics or baselines, so the
+//! guard itself is a manual interleaved-median comparison after the
+//! criterion groups run (interleaving cancels slow machine drift; medians
+//! shrug off scheduler hiccups).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_core::{run_decentralized_checked, InferenceConfig};
+use std::time::Instant;
+
+fn cfg(cadence: u64) -> InferenceConfig {
+    let mut cfg = InferenceConfig::new(2);
+    cfg.search = SearchConfig {
+        max_iterations: 3,
+        epsilon: 0.01,
+        ..SearchConfig::fast()
+    };
+    cfg.seed = 17;
+    cfg.verify_replicas = cadence;
+    cfg
+}
+
+fn run_once(w: &workloads::Workload, cadence: u64) -> f64 {
+    let t0 = Instant::now();
+    let out = run_decentralized_checked(&w.compressed, &cfg(cadence), None)
+        .expect("clean run must not trip the sentinel");
+    assert!(out.result.lnl.is_finite());
+    t0.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn bench_sentinel_overhead(c: &mut Criterion) {
+    let w = workloads::partitioned(12, 4, 300, 1);
+
+    let mut group = c.benchmark_group("sentinel");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| b.iter(|| run_once(&w, 0)));
+    group.bench_function("cadence_64", |b| b.iter(|| run_once(&w, 64)));
+    group.finish();
+
+    // The <2% guard (DESIGN target): interleaved medians, warmup discarded.
+    run_once(&w, 0);
+    run_once(&w, 64);
+    let mut base = Vec::new();
+    let mut verified = Vec::new();
+    for _ in 0..9 {
+        base.push(run_once(&w, 0));
+        verified.push(run_once(&w, 64));
+    }
+    let (base, verified) = (median(base), median(verified));
+    let overhead = verified / base - 1.0;
+    eprintln!(
+        "sentinel overhead at cadence 64: {:+.2}% (disabled {:.1} ms, verified {:.1} ms)",
+        100.0 * overhead,
+        1e3 * base,
+        1e3 * verified
+    );
+    assert!(
+        overhead < 0.02,
+        "sentinel cadence-64 overhead {:.2}% exceeds the 2% budget",
+        100.0 * overhead
+    );
+}
+
+criterion_group!(benches, bench_sentinel_overhead);
+criterion_main!(benches);

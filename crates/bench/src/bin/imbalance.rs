@@ -1,0 +1,116 @@
+//! Measured vs predicted load imbalance — checks the scheduler's
+//! pattern-count prediction against *measured* per-rank kernel time (from
+//! the `exa-obs` kernel events) for the cyclic and monolithic (`-Q`)
+//! distributions on the partitioned 52-taxon dataset.
+//!
+//! ```text
+//! cargo run -p examl-bench --release --bin imbalance -- [partitions=10] [chunk_len=200] [ranks=4]
+//! ```
+//!
+//! The paper's premise for per-site cyclic distribution (§IV-A) is that
+//! pattern counts predict runtime well enough to balance on; this harness
+//! quantifies how true that is, and how much worse the prediction gets for
+//! monolithic per-partition assignment where per-partition cost variation
+//! is not averaged away.
+
+use exa_sched::balance::{balance_stats, measured_balance};
+use exa_sched::Strategy;
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_bench::{write_json, write_markdown};
+use examl_core::InferenceConfig;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+#[derive(Serialize)]
+struct ImbalanceRow {
+    strategy: String,
+    predicted_imbalance: f64,
+    measured_imbalance: f64,
+    ratio: f64,
+    per_rank_ms: Vec<f64>,
+    hottest_partitions: Vec<(u32, u64)>,
+    lnl: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let partitions: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let chunk_len: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let ranks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    eprintln!("generating the partitioned dataset (52 taxa x {partitions} x {chunk_len} bp)...");
+    let w = workloads::partitioned_52taxa(partitions, chunk_len, 1);
+
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("cyclic", Strategy::Cyclic),
+        ("monolithic (-Q)", Strategy::MonolithicLpt),
+    ] {
+        eprintln!("running de-centralized, {label} ...");
+        let mut cfg = InferenceConfig::new(ranks);
+        cfg.strategy = strategy;
+        cfg.search = SearchConfig {
+            max_iterations: 3,
+            epsilon: 0.05,
+            ..SearchConfig::default()
+        };
+        cfg.seed = 7;
+
+        let predicted = balance_stats(
+            &w.compressed,
+            &exa_sched::distribute(&w.compressed, ranks, strategy),
+        );
+
+        let recorder = exa_obs::Recorder::new(ranks);
+        let out = examl_core::run_decentralized_traced(&w.compressed, &cfg, Some(&recorder));
+        let trace = exa_obs::Recorder::finish(recorder);
+        let measured = measured_balance(&trace.kernel_profile().per_rank, 5);
+
+        rows.push(ImbalanceRow {
+            strategy: label.to_string(),
+            predicted_imbalance: predicted.imbalance,
+            measured_imbalance: measured.imbalance,
+            ratio: measured.ratio_to_predicted(&predicted).unwrap_or(0.0),
+            per_rank_ms: measured
+                .per_rank_ns
+                .iter()
+                .map(|&ns| ns as f64 / 1e6)
+                .collect(),
+            hottest_partitions: measured.hottest.clone(),
+            lnl: out.result.lnl,
+        });
+    }
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# Measured vs predicted load imbalance ({} taxa, {partitions} partitions x {chunk_len} bp, {ranks} ranks)\n",
+        w.compressed.n_taxa()
+    );
+    let _ = writeln!(
+        md,
+        "| strategy | predicted (max/mean patterns) | measured (max/mean kernel ns) | measured/predicted | hottest partitions (ms) |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for r in &rows {
+        let hottest: Vec<String> = r
+            .hottest_partitions
+            .iter()
+            .map(|&(p, ns)| format!("p{p}: {:.1}", ns as f64 / 1e6))
+            .collect();
+        let _ = writeln!(
+            md,
+            "| {} | {:.3} | {:.3} | {:.3} | {} |",
+            r.strategy,
+            r.predicted_imbalance,
+            r.measured_imbalance,
+            r.ratio,
+            hottest.join(", ")
+        );
+    }
+    print!("{md}");
+
+    write_json("imbalance", &rows);
+    write_markdown("imbalance", &md);
+}

@@ -31,15 +31,10 @@ use crate::patterns::{CompressedAlignment, CompressedPartition};
 const MAGIC: &[u8; 4] = b"EXML";
 const VERSION: u32 = 1;
 
-/// FNV-1a 64-bit, used as an integrity checksum for the binary file.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit, used as an integrity checksum for the binary file. The
+/// implementation is shared with the replica-fingerprint machinery and
+/// lives in `exa-obs`; this re-export keeps existing call sites working.
+pub use exa_obs::fnv1a;
 
 struct Writer {
     buf: Vec<u8>,

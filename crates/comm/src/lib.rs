@@ -475,6 +475,26 @@ impl Rank {
         Ok(if self.id == root { blobs } else { Vec::new() })
     }
 
+    /// Gather every rank's byte blob and hand the full rank-indexed set to
+    /// **every** rank (failed ranks yield empty slots). This is the
+    /// sentinel's exchange primitive: each rank must see all fingerprints
+    /// so every rank reaches the same verdict and the abort is symmetric.
+    pub fn allgather_bytes(
+        &self,
+        data: Vec<u8>,
+        category: CommCategory,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        let op = OpSig {
+            kind: OpKind::Allgather,
+            root: 0,
+        };
+        let out = self.collective(op, category, Payload::Bytes(data))?;
+        let Payload::PerRank(blobs) = out else {
+            unreachable!("allgather returns per-rank blobs")
+        };
+        Ok(blobs)
+    }
+
     /// Scatter rank-indexed byte blobs from `root`; each rank receives its
     /// own slot (the in-process analogue of the initial data distribution
     /// ExaML performs with MPI I/O).
@@ -621,9 +641,11 @@ fn combine(st: &State, op: OpSig) -> Payload {
             );
             c
         }
-        OpKind::Gather => {
+        OpKind::Gather | OpKind::Allgather => {
             // Collect every active rank's blob in rank order; inactive
-            // ranks contribute empty slots so indices stay stable.
+            // ranks contribute empty slots so indices stay stable. For
+            // Gather only the root reads the result; for Allgather every
+            // rank does.
             let blobs: Vec<Vec<u8>> = st
                 .contributions
                 .iter()
@@ -943,6 +965,20 @@ mod tests {
         assert_eq!(gathered.len(), 4);
         for (r, blob) in gathered.iter().enumerate() {
             assert_eq!(blob, &vec![r as u8; r + 1]);
+        }
+    }
+
+    #[test]
+    fn allgather_delivers_all_blobs_to_every_rank() {
+        let results = World::run(4, |rank| {
+            let blob = vec![rank.id() as u8; rank.id() + 1];
+            rank.allgather_bytes(blob, CommCategory::Control).unwrap()
+        });
+        for gathered in &results {
+            assert_eq!(gathered.len(), 4);
+            for (r, blob) in gathered.iter().enumerate() {
+                assert_eq!(blob, &vec![r as u8; r + 1]);
+            }
         }
     }
 

@@ -24,7 +24,7 @@ use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommCategory;
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::{BranchMode, SearchConfig, StartingTree};
-use examl_core::InferenceConfig;
+use examl_core::{DivergenceFault, FaultComponent, InferenceConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -52,6 +52,9 @@ struct Args {
     bootstrap: usize,
     ascii: bool,
     stats_only: bool,
+    verify_replicas: u64,
+    health_out: Option<PathBuf>,
+    inject_divergence: Option<DivergenceFault>,
 }
 
 fn usage() -> ! {
@@ -74,7 +77,13 @@ fn usage() -> ! {
            --binary-out FILE      write the compressed alignment in binary form and exit\n\
            --out-tree FILE        write the final Newick tree to FILE\n\
            --trace-out FILE       write a Chrome trace_event JSON trace to FILE\n\
+                                  (under --bootstrap: one trace per replicate, FILE.repN.json)\n\
            --bootstrap N          run N bootstrap replicates and annotate support\n\
+           --verify-replicas N    compare replica state fingerprints every N collectives\n\
+           --health-out FILE      append one heartbeat JSON line per iteration to FILE\n\
+           --inject-divergence RANK:COLLECTIVE:alpha|blen\n\
+                                  flip one state bit on RANK after COLLECTIVE collectives\n\
+                                  (sentinel fault-injection testing)\n\
            --ascii                also print an ASCII cladogram\n\
            --stats                print alignment statistics and memory estimates, then exit\n\
            --quiet                suppress progress output"
@@ -107,6 +116,9 @@ fn parse_args() -> Args {
         bootstrap: 0,
         ascii: false,
         stats_only: false,
+        verify_replicas: 0,
+        health_out: None,
+        inject_divergence: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -154,6 +166,20 @@ fn parse_args() -> Args {
             "--bootstrap" => {
                 args.bootstrap = value("--bootstrap").parse().unwrap_or_else(|_| usage())
             }
+            "--verify-replicas" => {
+                args.verify_replicas = value("--verify-replicas")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--health-out" => args.health_out = Some(value("--health-out").into()),
+            "--inject-divergence" => {
+                args.inject_divergence = Some(
+                    parse_divergence_fault(&value("--inject-divergence")).unwrap_or_else(|| {
+                        eprintln!("--inject-divergence expects RANK:COLLECTIVE:alpha|blen");
+                        usage()
+                    }),
+                )
+            }
             "--ascii" => args.ascii = true,
             "--stats" => args.stats_only = true,
             "--quiet" => args.quiet = true,
@@ -165,6 +191,19 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
+fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
+    let mut parts = spec.splitn(3, ':');
+    let rank = parts.next()?.parse().ok()?;
+    let after_collectives = parts.next()?.parse().ok()?;
+    let component = FaultComponent::parse(parts.next()?)?;
+    Some(DivergenceFault {
+        rank,
+        after_collectives,
+        component,
+    })
 }
 
 fn load_alignment(args: &Args) -> Result<CompressedAlignment, String> {
@@ -288,29 +327,55 @@ fn main() -> ExitCode {
     cfg.checkpoint_path = args.checkpoint.clone();
     cfg.checkpoint_every = args.checkpoint_every;
     cfg.resume_from = args.resume.clone();
+    cfg.verify_replicas = args.verify_replicas;
+    cfg.divergence_fault = args.inject_divergence;
+    cfg.health_out = args.health_out.clone();
 
     let start = std::time::Instant::now();
     let (out, annotated, trace) = if args.bootstrap > 0 {
-        if args.trace_out.is_some() {
-            eprintln!("warning: --trace-out is ignored under --bootstrap");
-        }
         let bs_cfg = examl_core::bootstrap::BootstrapConfig {
             replicates: args.bootstrap,
             seed: args.seed.wrapping_add(0xB00),
             base: cfg.clone(),
         };
-        let bs = examl_core::bootstrap::run_bootstrap(&compressed, &bs_cfg);
+        let bs = match examl_core::bootstrap::run_bootstrap_traced(
+            &compressed,
+            &bs_cfg,
+            args.trace_out.as_deref(),
+        ) {
+            Ok(bs) => bs,
+            Err(e) => {
+                eprintln!("error writing trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if !args.quiet {
             let mean: f64 = bs.support.values().sum::<f64>() / bs.support.len().max(1) as f64;
             eprintln!(
                 "bootstrap    : {} replicates, mean split support {:.1}%",
                 args.bootstrap, mean
             );
+            if let Some(path) = &args.trace_out {
+                eprintln!(
+                    "wrote traces to {} (+ per-replicate {})",
+                    path.display(),
+                    examl_core::bootstrap::replicate_trace_path(path, 0).display()
+                );
+            }
         }
         (bs.best, Some(bs.annotated_newick), None)
     } else {
         let recorder = exa_obs::Recorder::new(cfg.n_ranks);
-        let out = examl_core::run_decentralized_traced(&compressed, &cfg, Some(&recorder));
+        let out = match examl_core::run_decentralized_checked(&compressed, &cfg, Some(&recorder)) {
+            Ok(out) => out,
+            Err(d) => {
+                // The sentinel tripped: the structured diagnostic names the
+                // first divergent collective, the minority ranks and the
+                // differing state component(s).
+                eprintln!("error: {d}");
+                return ExitCode::FAILURE;
+            }
+        };
         (out, None, Some(exa_obs::Recorder::finish(recorder)))
     };
     let elapsed = start.elapsed();
@@ -357,6 +422,32 @@ fn main() -> ExitCode {
                 eprintln!("wrote trace to {}", path.display());
             }
         }
+    }
+    if !args.quiet {
+        // End-of-run health report: sentinel verdict, measured-vs-predicted
+        // load imbalance, heartbeat count. The heartbeat *file* is written
+        // regardless of --quiet; only this console rendering is suppressed.
+        let measured = trace.as_ref().and_then(|t| {
+            let ratio = exa_obs::imbalance_ratio(&t.kernel_profile().rank_totals());
+            (ratio > 0.0).then_some(ratio)
+        });
+        let assignments = exa_sched::distribute(&compressed, args.ranks, cfg.strategy);
+        let predicted = exa_sched::balance::balance_stats(&compressed, &assignments).imbalance;
+        let heartbeats = args
+            .health_out
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count() as u64)
+            .unwrap_or(0);
+        let report = exa_obs::HealthReport {
+            sentinel_cadence: cfg.verify_replicas,
+            sentinel_syncs: out.sentinel_syncs,
+            divergence: None,
+            measured_imbalance: measured,
+            predicted_imbalance: Some(predicted),
+            heartbeats,
+        };
+        eprint!("{}", report.render());
     }
     if args.ascii {
         let names: Vec<String> = compressed.taxa.clone();

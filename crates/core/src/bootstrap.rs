@@ -12,12 +12,13 @@
 //! composes cheaply with the binary alignment format and the de-centralized
 //! driver.
 
-use crate::{run_decentralized, InferenceConfig, RunOutput};
+use crate::{run_decentralized, run_decentralized_traced, InferenceConfig, RunOutput};
 use exa_bio::patterns::{CompressedAlignment, CompressedPartition};
 use exa_phylo::tree::bipartitions::bipartitions;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 /// Bootstrap configuration.
 #[derive(Debug, Clone)]
@@ -89,10 +90,53 @@ pub fn resample_alignment(aln: &CompressedAlignment, seed: u64) -> CompressedAli
     }
 }
 
+/// Derive the trace path of bootstrap replicate `replicate` from the base
+/// `--trace-out` path: `trace.json` → `trace.rep3.json` (the extension-less
+/// case appends `.rep3`).
+pub fn replicate_trace_path(path: &Path, replicate: usize) -> PathBuf {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => path.with_extension(format!("rep{replicate}.{ext}")),
+        None => {
+            let mut p = path.as_os_str().to_owned();
+            p.push(format!(".rep{replicate}"));
+            PathBuf::from(p)
+        }
+    }
+}
+
 /// Run the best-tree search plus `replicates` bootstrap searches and
 /// compute bipartition support.
 pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> BootstrapOutput {
-    let best = run_decentralized(aln, &cfg.base);
+    run_bootstrap_traced(aln, cfg, None).expect("untraced bootstrap performs no trace I/O")
+}
+
+/// [`run_bootstrap`] with optional tracing: when `trace_out` is set, the
+/// best-tree run's Chrome trace goes to that path and each replicate's to
+/// [`replicate_trace_path`] of it (one trace per replicate — replicates run
+/// sequentially, so sharing one recorder would interleave them).
+pub fn run_bootstrap_traced(
+    aln: &CompressedAlignment,
+    cfg: &BootstrapConfig,
+    trace_out: Option<&Path>,
+) -> std::io::Result<BootstrapOutput> {
+    fn run_one(
+        aln: &CompressedAlignment,
+        cfg: &InferenceConfig,
+        trace_path: Option<PathBuf>,
+    ) -> std::io::Result<RunOutput> {
+        match trace_path {
+            None => Ok(run_decentralized(aln, cfg)),
+            Some(path) => {
+                let recorder = exa_obs::Recorder::new(cfg.n_ranks);
+                let out = run_decentralized_traced(aln, cfg, Some(&recorder));
+                let trace = exa_obs::Recorder::finish(recorder);
+                exa_obs::write_chrome_trace(&path, &trace)?;
+                Ok(out)
+            }
+        }
+    }
+
+    let best = run_one(aln, &cfg.base, trace_out.map(Path::to_path_buf))?;
     let best_splits = bipartitions(&best.state.tree);
 
     let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
@@ -102,11 +146,19 @@ pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> Bootst
         let resampled = resample_alignment(aln, replicate_seed);
         let mut rcfg = cfg.base.clone();
         rcfg.seed = replicate_seed;
-        // Replicates never checkpoint or fault-inject.
+        // Replicates never checkpoint, fault-inject or heartbeat (the
+        // sentinel cadence, if any, stays on — replicas must agree in
+        // replicate searches too).
         rcfg.checkpoint_path = None;
         rcfg.resume_from = None;
         rcfg.fault_plan = crate::fault::FaultPlan::none();
-        let out = run_decentralized(&resampled, &rcfg);
+        rcfg.divergence_fault = None;
+        rcfg.health_out = None;
+        let out = run_one(
+            &resampled,
+            &rcfg,
+            trace_out.map(|p| replicate_trace_path(p, r)),
+        )?;
         replicate_lnls.push(out.result.lnl);
         for split in bipartitions(&out.state.tree) {
             *counts.entry(split).or_insert(0) += 1;
@@ -125,12 +177,12 @@ pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> Bootst
         .collect();
     let annotated_newick = best.state.tree.to_newick_with_support(&aln.taxa, &support);
 
-    BootstrapOutput {
+    Ok(BootstrapOutput {
         best,
         replicate_lnls,
         support,
         annotated_newick,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -138,6 +190,19 @@ mod tests {
     use super::*;
     use exa_search::SearchConfig;
     use exa_simgen::workloads;
+
+    #[test]
+    fn replicate_trace_paths_insert_rep_suffix() {
+        use std::path::Path;
+        assert_eq!(
+            replicate_trace_path(Path::new("out/trace.json"), 3),
+            Path::new("out/trace.rep3.json")
+        );
+        assert_eq!(
+            replicate_trace_path(Path::new("trace"), 0),
+            Path::new("trace.rep0")
+        );
+    }
 
     #[test]
     fn resampling_preserves_site_totals() {

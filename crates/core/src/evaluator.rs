@@ -3,7 +3,9 @@
 //! paper inserts into the likelihood-evaluation and derivative routines
 //! (§III-B), plus a 2-double reduction for PSR rate normalization.
 
+use crate::sentinel::{DivergenceFault, FaultComponent, Sentinel};
 use exa_comm::{CommCategory, CommError, Rank};
+use exa_obs::{ReplicaDivergence, StateFingerprint};
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
@@ -25,6 +27,8 @@ pub struct DecentralizedEvaluator {
     alphas: Vec<f64>,
     gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
     last_lnl: Vec<f64>,
+    /// Replica-divergence sentinel (disabled unless configured).
+    sentinel: Sentinel,
 }
 
 impl DecentralizedEvaluator {
@@ -59,7 +63,25 @@ impl DecentralizedEvaluator {
             alphas,
             gtr_rates,
             last_lnl: vec![0.0; n_partitions],
+            sentinel: Sentinel::disabled(),
         }
+    }
+
+    /// Enable the replica-divergence sentinel: exchange and compare state
+    /// fingerprints every `cadence` evaluator collectives (0 disables).
+    /// `fault` optionally schedules a single-bit corruption (testing).
+    pub fn set_sentinel(&mut self, cadence: u64, fault: Option<DivergenceFault>) {
+        self.sentinel = Sentinel {
+            cadence,
+            collectives: 0,
+            syncs: 0,
+            fault,
+        };
+    }
+
+    /// Fingerprint syncs completed so far.
+    pub fn sentinel_syncs(&self) -> u64 {
+        self.sentinel.syncs
     }
 
     /// The communicator handle.
@@ -89,6 +111,75 @@ impl DecentralizedEvaluator {
             Err(CommError::RanksFailed(set)) => std::panic::panic_any(CommFailurePanic {
                 failed_ranks: set.into_iter().collect(),
             }),
+        }
+    }
+
+    /// Sentinel hook, called after every evaluator collective. Because all
+    /// replicas execute the identical collective sequence, their counters
+    /// advance in lock-step and every rank reaches a sync at the same
+    /// point — the fingerprint allgather is itself a collective and needs
+    /// this alignment.
+    fn after_collective(&mut self) {
+        let sync = self.sentinel.tick();
+        if let Some(f) = self.sentinel.due_fault(self.rank.id()) {
+            self.inject(f.component);
+        }
+        if !sync {
+            return;
+        }
+        self.sentinel.syncs += 1;
+        let fp = self.state_fingerprint();
+        let r = self
+            .rank
+            .allgather_bytes(fp.to_bytes().to_vec(), CommCategory::Control);
+        let blobs = self.comm_ok(r);
+        // Failed ranks contribute empty slots; compare only live replicas,
+        // remembering their true rank ids.
+        let mut ids = Vec::new();
+        let mut fps = Vec::new();
+        for (rank_id, blob) in blobs.iter().enumerate() {
+            if let Some(fp) = StateFingerprint::from_bytes(blob) {
+                ids.push(rank_id);
+                fps.push(fp);
+            }
+        }
+        if let Some((minority, components)) = exa_obs::check_agreement(&fps) {
+            let diagnostic = ReplicaDivergence {
+                collective_index: self.sentinel.collectives,
+                sync_index: self.sentinel.syncs,
+                minority_ranks: minority.into_iter().map(|i| ids[i]).collect(),
+                components,
+            };
+            // Every rank computed the identical verdict from the identical
+            // allgather result, so every rank panics *here*, simultaneously
+            // — no rank is left parked inside a collective and the world
+            // unwinds instead of deadlocking.
+            std::panic::panic_any(diagnostic);
+        }
+    }
+
+    /// Apply a scheduled single-bit corruption to this rank's replica.
+    fn inject(&mut self, component: FaultComponent) {
+        match component {
+            FaultComponent::Alpha if !self.alphas.is_empty() => {
+                let mut a = self.alphas.clone();
+                a[0] = f64::from_bits(a[0].to_bits() ^ 1);
+                self.set_alphas(&a);
+            }
+            // Under PSR there is no α; corrupt a GTR rate instead (still
+            // the ModelParams fingerprint component).
+            FaultComponent::Alpha => {
+                let mut r = self.gtr_rate(0);
+                r[0] = f64::from_bits(r[0].to_bits() ^ 1);
+                self.set_gtr_rate(0, &r);
+            }
+            // An LSB mantissa flip preserves the magnitude, so the result
+            // stays inside the optimizer's branch-length bounds.
+            FaultComponent::BranchLength => {
+                let old = self.tree.edge(0).lengths[0];
+                self.tree
+                    .set_length(0, 0, f64::from_bits(old.to_bits() ^ 1));
+            }
         }
     }
 }
@@ -131,6 +222,7 @@ impl Evaluator for DecentralizedEvaluator {
             .rank
             .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
         self.comm_ok(r);
+        self.after_collective();
         buf[0]
     }
 
@@ -148,6 +240,7 @@ impl Evaluator for DecentralizedEvaluator {
             .rank
             .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
         self.comm_ok(r);
+        self.after_collective();
         self.last_lnl = buf;
         // Fixed-order local sum of identical inputs → identical totals.
         self.last_lnl.iter().sum()
@@ -173,6 +266,7 @@ impl Evaluator for DecentralizedEvaluator {
                     .rank
                     .allreduce_sum(&mut buf, CommCategory::BranchLength);
                 self.comm_ok(r);
+                self.after_collective();
                 (vec![buf[0]], vec![buf[1]])
             }
             BranchMode::PerPartition => {
@@ -187,6 +281,7 @@ impl Evaluator for DecentralizedEvaluator {
                     .rank
                     .allreduce_sum(&mut buf, CommCategory::BranchLength);
                 self.comm_ok(r);
+                self.after_collective();
                 (buf[..p].to_vec(), buf[p..].to_vec())
             }
         }
@@ -235,6 +330,7 @@ impl Evaluator for DecentralizedEvaluator {
         let mut buf = vec![num, den];
         let r = self.rank.allreduce_sum(&mut buf, CommCategory::ModelParams);
         self.comm_ok(r);
+        self.after_collective();
         if buf[0] > 0.0 {
             self.engine.finalize_site_rates(buf[1] / buf[0]);
         }

@@ -23,11 +23,16 @@
 use crate::checkpoint::{self, Checkpoint, CHECKPOINT_VERSION};
 use crate::{build_engine, die_now, DecentralizedEvaluator, InferenceConfig};
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::Rank;
+use exa_comm::{CommCategory, Rank};
+use exa_obs::{imbalance_ratio, HeartbeatRecord};
 use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState};
-use exa_search::SearchHooks;
+use exa_search::{BoundaryInfo, SearchHooks};
 use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A scripted set of rank failures, for tests, examples and the fault
 /// benches: rank `r` dies at the boundary of iteration `i`.
@@ -65,8 +70,16 @@ impl FaultPlan {
     }
 }
 
-/// Iteration hooks for a de-centralized rank: checkpointing, scripted
-/// faults, recovery.
+/// Per-rank heartbeat state, active only when `health_out` is configured.
+struct HealthState {
+    path: PathBuf,
+    last_instant: Instant,
+    last_regions: u64,
+    created: bool,
+}
+
+/// Iteration hooks for a de-centralized rank: checkpointing, heartbeats,
+/// scripted faults, recovery.
 pub struct DecentralizedHooks {
     rank: Rank,
     aln: Arc<CompressedAlignment>,
@@ -78,6 +91,7 @@ pub struct DecentralizedHooks {
     snapshot_lnl: f64,
     /// Recoveries performed (observability for tests).
     pub recoveries: usize,
+    health: Option<HealthState>,
 }
 
 impl DecentralizedHooks {
@@ -89,6 +103,12 @@ impl DecentralizedHooks {
         cfg: Arc<InferenceConfig>,
         eval: &DecentralizedEvaluator,
     ) -> DecentralizedHooks {
+        let health = cfg.health_out.clone().map(|path| HealthState {
+            path,
+            last_instant: Instant::now(),
+            last_regions: 0,
+            created: false,
+        });
         DecentralizedHooks {
             rank,
             aln,
@@ -98,33 +118,102 @@ impl DecentralizedHooks {
             snapshot_iteration: 0,
             snapshot_lnl: f64::NEG_INFINITY,
             recoveries: 0,
+            health,
         }
+    }
+
+    /// Emit one heartbeat record. Every active rank joins the kernel-time
+    /// allgather (the same `cfg` enables heartbeats on all of them, so the
+    /// collective stays aligned); only the lowest-id active rank writes.
+    fn heartbeat(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
+        let Some(health) = self.health.as_mut() else {
+            return;
+        };
+        let de = eval
+            .as_any_mut()
+            .downcast_mut::<DecentralizedEvaluator>()
+            .expect("de-centralized hooks require the de-centralized evaluator");
+        // Exchange cumulative measured kernel time so the writer can report
+        // the live (measured, not modeled) load-imbalance ratio.
+        let kernel_ns = de.engine().work().kernel_ns;
+        let gathered = de
+            .rank()
+            .allgather_bytes(kernel_ns.to_le_bytes().to_vec(), CommCategory::Control);
+        let Ok(blobs) = gathered else {
+            // A rank failed mid-heartbeat: skip this record; recovery runs
+            // at the driver level and the next boundary tries again.
+            return;
+        };
+        let per_rank: Vec<u64> = blobs
+            .iter()
+            .filter(|b| b.len() == 8)
+            .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+            .collect();
+        // With no master, the lowest-id active rank writes (same rule as
+        // checkpoints).
+        if self.rank.active_ranks().first() != Some(&self.rank.id()) {
+            return;
+        }
+        let stats = self.rank.stats();
+        let now = Instant::now();
+        let dt = now.duration_since(health.last_instant).as_secs_f64();
+        let regions = stats.total_regions();
+        let collectives_per_sec = if dt > 0.0 {
+            regions.saturating_sub(health.last_regions) as f64 / dt
+        } else {
+            0.0
+        };
+        health.last_instant = now;
+        health.last_regions = regions;
+        let rec = HeartbeatRecord {
+            iteration: info.iteration as u64,
+            lnl: info.lnl,
+            spr_accepts: info.spr_moves as u64,
+            collectives_per_sec,
+            comm_bytes: stats.total_bytes(),
+            imbalance: imbalance_ratio(&per_rank),
+            sentinel_syncs: de.sentinel_syncs(),
+            divergence: "ok".to_string(),
+        };
+        let line = rec.to_json_line();
+        let written = if health.created {
+            OpenOptions::new()
+                .append(true)
+                .open(&health.path)
+                .and_then(|mut f| writeln!(f, "{line}"))
+        } else {
+            File::create(&health.path).and_then(|mut f| writeln!(f, "{line}"))
+        };
+        written.expect("heartbeat write failed");
+        health.created = true;
     }
 }
 
 impl SearchHooks for DecentralizedHooks {
-    fn at_boundary(&mut self, eval: &mut dyn Evaluator, iteration: usize, lnl: f64) {
+    fn at_boundary(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
         self.snapshot = eval.snapshot();
-        self.snapshot_iteration = iteration;
-        self.snapshot_lnl = lnl;
+        self.snapshot_iteration = info.iteration;
+        self.snapshot_lnl = info.lnl;
 
         // Checkpoint: with no master, the lowest-id active rank writes.
         if let Some(path) = &self.cfg.checkpoint_path {
             let every = self.cfg.checkpoint_every.max(1);
             let is_writer = self.rank.active_ranks().first() == Some(&self.rank.id());
-            if is_writer && iteration.is_multiple_of(every) {
+            if is_writer && info.iteration.is_multiple_of(every) {
                 let ckpt = Checkpoint {
                     version: CHECKPOINT_VERSION,
-                    iteration,
-                    lnl,
+                    iteration: info.iteration,
+                    lnl: info.lnl,
                     state: self.snapshot.clone(),
                 };
                 checkpoint::save(path, &ckpt).expect("checkpoint write failed");
             }
         }
 
+        self.heartbeat(eval, info);
+
         // Scripted death (fault-injection testing of §V).
-        if self.cfg.fault_plan.fires(self.rank.id(), iteration) {
+        if self.cfg.fault_plan.fires(self.rank.id(), info.iteration) {
             die_now(&self.rank);
         }
     }

@@ -24,8 +24,10 @@ pub mod bootstrap;
 pub mod checkpoint;
 pub mod evaluator;
 pub mod fault;
+pub mod sentinel;
 
 pub use evaluator::DecentralizedEvaluator;
+pub use sentinel::{DivergenceFault, FaultComponent};
 
 use exa_bio::patterns::CompressedAlignment;
 use exa_bio::stats::empirical_frequencies;
@@ -66,6 +68,13 @@ pub struct InferenceConfig {
     pub resume_from: Option<PathBuf>,
     /// Scripted rank failures (testing / demonstration of §V).
     pub fault_plan: fault::FaultPlan,
+    /// Replica-divergence sentinel cadence: exchange state fingerprints
+    /// every N evaluator collectives (`--verify-replicas N`, 0 = off).
+    pub verify_replicas: u64,
+    /// Scripted single-bit state corruption (sentinel fault injection).
+    pub divergence_fault: Option<DivergenceFault>,
+    /// Write heartbeat JSON-lines records here (one per iteration boundary).
+    pub health_out: Option<PathBuf>,
 }
 
 impl InferenceConfig {
@@ -83,6 +92,9 @@ impl InferenceConfig {
             checkpoint_every: 1,
             resume_from: None,
             fault_plan: fault::FaultPlan::none(),
+            verify_replicas: 0,
+            divergence_fault: None,
+            health_out: None,
         }
     }
 }
@@ -103,6 +115,8 @@ pub struct RunOutput {
     pub mem_bytes: u64,
     /// Ranks alive at the end.
     pub survivors: Vec<usize>,
+    /// Sentinel fingerprint syncs completed (0 when the sentinel is off).
+    pub sentinel_syncs: u64,
 }
 
 /// What each rank thread reports back.
@@ -113,15 +127,45 @@ enum RankReport {
         work: WorkCounters,
         mem_bytes: u64,
         stats: CommStats,
+        sentinel_syncs: u64,
     },
     Died {
         work: WorkCounters,
         mem_bytes: u64,
     },
+    /// The sentinel tripped: every rank aborted with the same diagnostic.
+    Diverged {
+        work: WorkCounters,
+        mem_bytes: u64,
+        diagnostic: Box<exa_obs::ReplicaDivergence>,
+    },
 }
 
 /// Per-rank panic payload for a scripted death (unwinds out of the search).
 struct RankDiedPanic;
+
+/// Silence the default panic hook for the payloads this crate uses as
+/// control flow (scripted deaths, comm failures, sentinel divergence) —
+/// they are always caught and turned into reports/diagnostics, so the
+/// default hook's per-thread `Box<dyn Any>` message and backtrace are pure
+/// noise. Installed once, process-wide, wrapping the previous hook.
+fn install_control_panic_silencer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.downcast_ref::<RankDiedPanic>().is_some()
+                || p.downcast_ref::<exa_obs::ReplicaDivergence>().is_some()
+                || p.downcast_ref::<exa_search::evaluator::CommFailurePanic>()
+                    .is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
 
 /// Compute the global per-partition empirical frequencies once — every rank
 /// derives identical models from them regardless of which patterns it holds.
@@ -151,15 +195,32 @@ pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> Ru
 /// [`run_decentralized`] with an optional [`Recorder`]: each rank claims its
 /// tracer slot, so kernels, search phases and collectives emit events. Call
 /// `Recorder::finish` after this returns to obtain the merged trace.
+///
+/// Panics on replica divergence — use [`run_decentralized_checked`] to
+/// handle the sentinel's structured diagnostic instead.
 pub fn run_decentralized_traced(
     aln: &CompressedAlignment,
     cfg: &InferenceConfig,
     recorder: Option<&Arc<Recorder>>,
 ) -> RunOutput {
+    match run_decentralized_checked(aln, cfg, recorder) {
+        Ok(out) => out,
+        Err(d) => panic!("{d}"),
+    }
+}
+
+/// [`run_decentralized_traced`] that surfaces a sentinel trip as a
+/// structured [`exa_obs::ReplicaDivergence`] instead of panicking.
+pub fn run_decentralized_checked(
+    aln: &CompressedAlignment,
+    cfg: &InferenceConfig,
+    recorder: Option<&Arc<Recorder>>,
+) -> Result<RunOutput, exa_obs::ReplicaDivergence> {
     assert!(
         aln.n_taxa() >= 4,
         "need at least 4 taxa for a meaningful search"
     );
+    install_control_panic_silencer();
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
@@ -173,6 +234,8 @@ pub fn run_decentralized_traced(
     let mut mem = 0u64;
     let mut chosen: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
     let mut lnls: Vec<u64> = Vec::new();
+    let mut syncs = 0u64;
+    let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     for r in reports {
         match r {
             RankReport::Survived {
@@ -181,10 +244,12 @@ pub fn run_decentralized_traced(
                 work: w,
                 mem_bytes,
                 stats,
+                sentinel_syncs,
             } => {
                 work = work.merge(&w);
                 mem += mem_bytes;
                 lnls.push(result.lnl.to_bits());
+                syncs = syncs.max(sentinel_syncs);
                 if chosen.is_none() {
                     chosen = Some((result, state, stats));
                 }
@@ -193,7 +258,21 @@ pub fn run_decentralized_traced(
                 work = work.merge(&w);
                 mem += mem_bytes;
             }
+            RankReport::Diverged {
+                work: w,
+                mem_bytes,
+                diagnostic,
+            } => {
+                work = work.merge(&w);
+                mem += mem_bytes;
+                // Every rank derived the identical verdict from the same
+                // allgathered fingerprints; keep one.
+                divergence = Some(diagnostic);
+            }
         }
+    }
+    if let Some(d) = divergence {
+        return Err(*d);
     }
     assert!(
         lnls.windows(2).all(|w| w[0] == w[1]),
@@ -204,7 +283,7 @@ pub fn run_decentralized_traced(
     let survivors = (0..cfg.n_ranks)
         .filter(|r| !cfg.fault_plan.kills(*r))
         .collect();
-    RunOutput {
+    Ok(RunOutput {
         tree_newick: state.tree.to_newick(&names),
         result,
         state: *state,
@@ -212,7 +291,8 @@ pub fn run_decentralized_traced(
         work,
         mem_bytes: mem,
         survivors,
-    }
+        sentinel_syncs: syncs,
+    })
 }
 
 fn rank_main(
@@ -251,6 +331,7 @@ fn rank_main(
         aln.n_partitions(),
         cfg.branch_mode,
     );
+    eval.set_sentinel(cfg.verify_replicas, cfg.divergence_fault);
 
     // 3. Optional checkpoint resume (every rank reads the file, the
     //    in-process analogue of ExaML's parallel binary-file read).
@@ -281,6 +362,7 @@ fn rank_main(
                 work: eval.engine().work(),
                 mem_bytes: eval.engine().clv_bytes(),
                 stats: rank.stats(),
+                sentinel_syncs: eval.sentinel_syncs(),
             }
         }
         Err(payload) => {
@@ -288,6 +370,14 @@ fn rank_main(
                 RankReport::Died {
                     work: eval.engine().work(),
                     mem_bytes: eval.engine().clv_bytes(),
+                }
+            } else if let Some(d) = payload.downcast_ref::<exa_obs::ReplicaDivergence>() {
+                // Caught here (not at join) so the structured diagnostic
+                // survives — `World::run` re-panics with a plain message.
+                RankReport::Diverged {
+                    work: eval.engine().work(),
+                    mem_bytes: eval.engine().clv_bytes(),
+                    diagnostic: Box::new(d.clone()),
                 }
             } else {
                 std::panic::resume_unwind(payload);

@@ -39,6 +39,7 @@ impl RunTrace {
         let mut comm = CommStats::default();
         let mut collective_events = 0u64;
         let mut marks = 0u64;
+        let mut kernel_events = 0u64;
         let mut unmatched = 0u64;
         let mut span_ns = 0u64;
         // Collectives are symmetric: every rank logs the same operation, so
@@ -71,6 +72,9 @@ impl RunTrace {
                         }
                     }
                     EventKind::Mark { .. } => marks += 1,
+                    // Kernel spans are complete at emission; they carry no
+                    // begin/end pair and stay out of the region stacks.
+                    EventKind::Kernel { .. } => kernel_events += 1,
                 }
             }
             unmatched += open.iter().map(|v| v.len() as u64).sum::<u64>();
@@ -81,9 +85,68 @@ impl RunTrace {
             comm,
             collective_events,
             marks,
+            kernel_events,
             unmatched_regions: unmatched,
             span_ns,
         }
+    }
+
+    /// Sum per-partition kernel durations per rank: the *measured* load the
+    /// scheduler's pattern-count prediction can be checked against.
+    pub fn kernel_profile(&self) -> KernelProfile {
+        let per_rank = self
+            .per_rank
+            .iter()
+            .map(|events| {
+                let mut acc: Vec<(u32, u64)> = Vec::new();
+                for e in events {
+                    if let EventKind::Kernel {
+                        partition, dur_ns, ..
+                    } = &e.kind
+                    {
+                        match acc.binary_search_by_key(partition, |&(p, _)| p) {
+                            Ok(i) => acc[i].1 += dur_ns,
+                            Err(i) => acc.insert(i, (*partition, *dur_ns)),
+                        }
+                    }
+                }
+                acc
+            })
+            .collect();
+        KernelProfile { per_rank }
+    }
+}
+
+/// Measured kernel time per (rank, global partition), summed over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// `per_rank[r]` is rank `r`'s `(global partition, total ns)` pairs,
+    /// sorted by partition index.
+    pub per_rank: Vec<Vec<(u32, u64)>>,
+}
+
+impl KernelProfile {
+    /// Total measured kernel nanoseconds per rank.
+    pub fn rank_totals(&self) -> Vec<u64> {
+        self.per_rank
+            .iter()
+            .map(|parts| parts.iter().map(|&(_, ns)| ns).sum())
+            .collect()
+    }
+
+    /// Total measured kernel nanoseconds per global partition, summed
+    /// across ranks, sorted by partition index.
+    pub fn partition_totals(&self) -> Vec<(u32, u64)> {
+        let mut acc: Vec<(u32, u64)> = Vec::new();
+        for parts in &self.per_rank {
+            for &(p, ns) in parts {
+                match acc.binary_search_by_key(&p, |&(q, _)| q) {
+                    Ok(i) => acc[i].1 += ns,
+                    Err(i) => acc.insert(i, (p, ns)),
+                }
+            }
+        }
+        acc
     }
 }
 
@@ -139,6 +202,8 @@ pub struct RunMetrics {
     /// Collective events across **all** ranks (≈ regions × ranks).
     pub collective_events: u64,
     pub marks: u64,
+    /// Complete kernel spans across all ranks (see [`EventKind::Kernel`]).
+    pub kernel_events: u64,
     /// `RegionEnd` without begin or vice versa — nonzero indicates a rank
     /// died mid-region or a driver bug.
     pub unmatched_regions: u64,
@@ -272,6 +337,37 @@ mod tests {
         assert_eq!(s.hist[1], 2);
         assert_eq!(s.hist[10], 1);
         assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn kernel_profile_sums_per_rank_and_partition() {
+        let k = |ts, partition, dur_ns| {
+            ev(
+                ts,
+                EventKind::Kernel {
+                    region: RegionKind::Newview,
+                    partition,
+                    dur_ns,
+                },
+            )
+        };
+        let trace = RunTrace {
+            per_rank: vec![
+                vec![k(0, 2, 100), k(1, 0, 50), k(2, 2, 25)],
+                vec![k(0, 1, 10), k(1, 1, 30)],
+            ],
+        };
+        let profile = trace.kernel_profile();
+        assert_eq!(profile.per_rank[0], vec![(0, 50), (2, 125)]);
+        assert_eq!(profile.per_rank[1], vec![(1, 40)]);
+        assert_eq!(profile.rank_totals(), vec![175, 40]);
+        assert_eq!(profile.partition_totals(), vec![(0, 50), (1, 40), (2, 125)]);
+
+        let m = trace.aggregate();
+        assert_eq!(m.kernel_events, 5);
+        // Kernel spans carry their own duration; region stats stay empty.
+        assert_eq!(m.region(RegionKind::Newview).count, 0);
+        assert_eq!(m.unmatched_regions, 0);
     }
 
     #[test]

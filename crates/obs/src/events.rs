@@ -90,6 +90,17 @@ pub enum EventKind {
     Mark {
         label: String,
     },
+    /// One kernel invocation on one **global** partition, recorded as a
+    /// complete span (duration known at emission time). This is the raw
+    /// material of the measured load-imbalance profiler: summing `dur_ns`
+    /// per (rank, partition) yields the real per-rank kernel cost that
+    /// `sched::balance` can compare against its pattern-count prediction.
+    Kernel {
+        region: RegionKind,
+        /// Global partition index.
+        partition: u32,
+        dur_ns: u64,
+    },
 }
 
 /// A timestamped event. Timestamps are nanoseconds since the owning
@@ -115,6 +126,12 @@ impl TraceEvent {
                 format!("coll:{}:{:?}:{}", op.label(), category, bytes)
             }
             EventKind::Mark { label } => format!("mark:{label}"),
+            // Durations are deliberately excluded (like timestamps): ranks
+            // in lock-step execute the same kernels on the same partitions
+            // but never in the same wall time.
+            EventKind::Kernel {
+                region, partition, ..
+            } => format!("kernel:{}:{partition}", region.label()),
         }
     }
 }
@@ -155,6 +172,28 @@ mod tests {
     }
 
     #[test]
+    fn kernel_signature_excludes_duration() {
+        let a = TraceEvent {
+            ts_ns: 1,
+            kind: EventKind::Kernel {
+                region: RegionKind::Evaluate,
+                partition: 3,
+                dur_ns: 100,
+            },
+        };
+        let b = TraceEvent {
+            ts_ns: 2,
+            kind: EventKind::Kernel {
+                region: RegionKind::Evaluate,
+                partition: 3,
+                dur_ns: 9999,
+            },
+        };
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.signature(), "kernel:evaluate:3");
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let mut labels: Vec<&str> = RegionKind::ALL.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
@@ -183,6 +222,14 @@ mod tests {
                     op: OpKind::Broadcast,
                     category: CommCategory::ModelParams,
                     bytes: 32,
+                },
+            },
+            TraceEvent {
+                ts_ns: 11,
+                kind: EventKind::Kernel {
+                    region: RegionKind::Newview,
+                    partition: 7,
+                    dur_ns: 420,
                 },
             },
             TraceEvent {

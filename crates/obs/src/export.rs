@@ -79,6 +79,21 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     fields.push(entry("name", str_v(label.clone())));
                     fields.push(entry("cat", str_v("mark")));
                 }
+                EventKind::Kernel {
+                    region,
+                    partition,
+                    dur_ns,
+                } => {
+                    // Chrome "complete" event: begin + duration in one record.
+                    fields.push(entry("ph", str_v("X")));
+                    fields.push(entry("dur", us(*dur_ns)));
+                    fields.push(entry("name", str_v(region.label())));
+                    fields.push(entry("cat", str_v("kernel")));
+                    fields.push(entry(
+                        "args",
+                        Value::Map(vec![entry("partition", Value::UInt(*partition as u64))]),
+                    ));
+                }
             }
             events.push(Value::Map(fields));
         }
@@ -214,12 +229,22 @@ mod tests {
                         },
                     },
                 ],
-                vec![TraceEvent {
-                    ts_ns: 2100,
-                    kind: EventKind::Mark {
-                        label: "spr_round:0".into(),
+                vec![
+                    TraceEvent {
+                        ts_ns: 2100,
+                        kind: EventKind::Mark {
+                            label: "spr_round:0".into(),
+                        },
                     },
-                }],
+                    TraceEvent {
+                        ts_ns: 2200,
+                        kind: EventKind::Kernel {
+                            region: RegionKind::Evaluate,
+                            partition: 1,
+                            dur_ns: 900,
+                        },
+                    },
+                ],
             ],
         }
     }
@@ -233,12 +258,12 @@ mod tests {
         let events = serde::field(map, "traceEvents")
             .as_array("traceEvents")
             .unwrap();
-        // 4 events + 2 thread-name metadata records.
-        assert_eq!(events.len(), 6);
+        // 5 events + 2 thread-name metadata records.
+        assert_eq!(events.len(), 7);
         for e in events {
             let m = e.as_map("event").unwrap();
             let ph = serde::field(m, "ph").as_str("ph").unwrap();
-            assert!(["B", "E", "i", "M"].contains(&ph), "{ph}");
+            assert!(["B", "E", "i", "M", "X"].contains(&ph), "{ph}");
         }
         // B/E balance for rank 0.
         let b = text.matches("\"ph\":\"B\"").count();

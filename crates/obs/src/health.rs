@@ -1,0 +1,205 @@
+//! Run-health reporting: heartbeat records and the end-of-run summary.
+//!
+//! A long de-centralized run is opaque from the outside: stdout shows the
+//! final tree hours later, and a stalled or diverged run looks identical to
+//! a slow one. The heartbeat monitor emits one JSON-lines
+//! [`HeartbeatRecord`] per search-iteration boundary (behind
+//! `--health-out FILE`), cheap enough to tail from another terminal or feed
+//! a dashboard; [`HealthReport`] condenses the same signals into the CLI's
+//! end-of-run summary.
+
+use crate::fingerprint::ReplicaDivergence;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One periodic status record, serialized as a single JSON line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatRecord {
+    /// Search iteration this boundary precedes (0 = before the first).
+    pub iteration: u64,
+    /// Current total log likelihood.
+    pub lnl: f64,
+    /// Accepted SPR moves so far.
+    pub spr_accepts: u64,
+    /// Collectives per wall-clock second since the previous heartbeat.
+    pub collectives_per_sec: f64,
+    /// Cumulative theoretical payload bytes across all collectives.
+    pub comm_bytes: u64,
+    /// Measured kernel-time imbalance (max rank / mean rank) since the
+    /// previous heartbeat; 1.0 is perfect balance, 0.0 means no kernel
+    /// time was measured in the interval.
+    pub imbalance: f64,
+    /// Fingerprint syncs completed so far (0 when the sentinel is off).
+    pub sentinel_syncs: u64,
+    /// `"ok"` while replicas agree. A run that trips the sentinel aborts
+    /// before the next heartbeat, so a diverged status never appears here —
+    /// the field documents that the run was verified up to this record.
+    pub divergence: String,
+}
+
+impl HeartbeatRecord {
+    /// One-line JSON encoding (no interior newlines), ready to append to a
+    /// JSON-lines file.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("heartbeat serialization cannot fail")
+    }
+
+    /// Parse a line produced by [`HeartbeatRecord::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<HeartbeatRecord, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+}
+
+/// Measured kernel-time imbalance: max over ranks divided by the mean.
+/// Returns 0.0 when no time was measured (so callers can distinguish "no
+/// data" from "perfectly balanced").
+pub fn imbalance_ratio(per_rank_ns: &[u64]) -> f64 {
+    if per_rank_ns.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = per_rank_ns.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / per_rank_ns.len() as f64;
+    *per_rank_ns.iter().max().unwrap() as f64 / mean
+}
+
+/// End-of-run health summary for the CLI.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Sentinel cadence in collectives (0 = sentinel off).
+    pub sentinel_cadence: u64,
+    /// Fingerprint syncs completed.
+    pub sentinel_syncs: u64,
+    /// The divergence that aborted the run, if any.
+    pub divergence: Option<ReplicaDivergence>,
+    /// Measured kernel-time imbalance over the whole run (from the trace),
+    /// when tracing was on.
+    pub measured_imbalance: Option<f64>,
+    /// The scheduler's predicted imbalance (pattern counts).
+    pub predicted_imbalance: Option<f64>,
+    /// Heartbeat records written.
+    pub heartbeats: u64,
+}
+
+impl HealthReport {
+    /// Multi-line plain-text rendering for the end-of-run summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run health");
+        match (self.sentinel_cadence, &self.divergence) {
+            (0, _) => {
+                let _ = writeln!(out, "  sentinel: off");
+            }
+            (n, None) => {
+                let _ = writeln!(
+                    out,
+                    "  sentinel: {} fingerprint sync(s) at cadence {n}, replicas bit-identical",
+                    self.sentinel_syncs
+                );
+            }
+            (n, Some(d)) => {
+                let _ = writeln!(
+                    out,
+                    "  sentinel: TRIPPED after {} sync(s) at cadence {n}",
+                    self.sentinel_syncs
+                );
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        match (self.measured_imbalance, self.predicted_imbalance) {
+            (Some(m), Some(p)) if p > 0.0 => {
+                let _ = writeln!(
+                    out,
+                    "  load imbalance: measured {m:.3}, predicted {p:.3} (ratio {:.3})",
+                    m / p
+                );
+            }
+            (Some(m), _) => {
+                let _ = writeln!(out, "  load imbalance: measured {m:.3}");
+            }
+            (None, Some(p)) => {
+                let _ = writeln!(out, "  load imbalance: predicted {p:.3} (no trace)");
+            }
+            (None, None) => {}
+        }
+        if self.heartbeats > 0 {
+            let _ = writeln!(out, "  heartbeats: {} record(s)", self.heartbeats);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Component;
+
+    fn record() -> HeartbeatRecord {
+        HeartbeatRecord {
+            iteration: 3,
+            lnl: -1234.5678,
+            spr_accepts: 7,
+            collectives_per_sec: 812.5,
+            comm_bytes: 65536,
+            imbalance: 1.25,
+            sentinel_syncs: 4,
+            divergence: "ok".into(),
+        }
+    }
+
+    #[test]
+    fn heartbeat_roundtrips_as_one_json_line() {
+        let r = record();
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'), "must be a single line: {line}");
+        let back = HeartbeatRecord::from_json_line(&line).unwrap();
+        assert_eq!(r, back);
+        assert!(HeartbeatRecord::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn imbalance_ratio_is_max_over_mean() {
+        assert_eq!(imbalance_ratio(&[]), 0.0);
+        assert_eq!(imbalance_ratio(&[0, 0]), 0.0);
+        assert!((imbalance_ratio(&[100, 100, 100]) - 1.0).abs() < 1e-12);
+        // mean = 150, max = 200.
+        assert!((imbalance_ratio(&[100, 200]) - 200.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_clean_and_tripped_states() {
+        let clean = HealthReport {
+            sentinel_cadence: 64,
+            sentinel_syncs: 12,
+            divergence: None,
+            measured_imbalance: Some(1.08),
+            predicted_imbalance: Some(1.05),
+            heartbeats: 5,
+        };
+        let text = clean.render();
+        assert!(text.contains("replicas bit-identical"), "{text}");
+        assert!(text.contains("cadence 64"), "{text}");
+        assert!(text.contains("measured 1.080"), "{text}");
+        assert!(text.contains("heartbeats: 5"), "{text}");
+
+        let tripped = HealthReport {
+            sentinel_cadence: 8,
+            sentinel_syncs: 2,
+            divergence: Some(ReplicaDivergence {
+                collective_index: 16,
+                sync_index: 2,
+                minority_ranks: vec![1],
+                components: vec![Component::ModelParams],
+            }),
+            ..HealthReport::default()
+        };
+        let text = tripped.render();
+        assert!(text.contains("TRIPPED"), "{text}");
+        assert!(text.contains("rank(s) {1}"), "{text}");
+
+        let off = HealthReport::default();
+        assert!(off.render().contains("sentinel: off"));
+    }
+}

@@ -28,13 +28,21 @@
 mod aggregate;
 mod events;
 mod export;
+mod fingerprint;
+mod health;
 mod recorder;
 mod stats;
 
-pub use aggregate::{RegionStats, RunMetrics, RunTrace};
+pub use aggregate::{KernelProfile, RegionStats, RunMetrics, RunTrace};
 pub use events::{EventKind, RegionKind, TraceEvent};
 pub use export::{chrome_trace, summary_table, write_chrome_trace};
+pub use fingerprint::{
+    check_agreement, fnv1a, Component, Fnv1a, ReplicaDivergence, StateFingerprint, FNV_OFFSET,
+    FNV_PRIME,
+};
+pub use health::{imbalance_ratio, HealthReport, HeartbeatRecord};
 pub use recorder::{
-    collective, install_tracer, mark, region, with_tracer, Recorder, RegionGuard, TlsGuard, Tracer,
+    collective, install_tracer, kernel, mark, region, tracing_active, with_tracer, Recorder,
+    RegionGuard, TlsGuard, Tracer,
 };
 pub use stats::{CategoryStats, CommCategory, CommStats, OpKind, Snapshot};

@@ -164,6 +164,17 @@ impl Tracer {
             });
         }
     }
+
+    /// Record one kernel invocation on one global partition.
+    pub fn kernel(&self, region: RegionKind, partition: u32, dur_ns: u64) {
+        if self.recorder.enabled() {
+            self.push(EventKind::Kernel {
+                region,
+                partition,
+                dur_ns,
+            });
+        }
+    }
 }
 
 /// RAII span: emits the matching `RegionEnd` on drop.
@@ -219,6 +230,18 @@ pub fn region(kind: RegionKind) -> Option<RegionGuard> {
 /// Record a collective on the current tracer.
 pub fn collective(op: OpKind, category: CommCategory, bytes: u64) {
     with_tracer(|t| t.collective(op, category, bytes));
+}
+
+/// Record a kernel invocation on the current tracer.
+pub fn kernel(region: RegionKind, partition: u32, dur_ns: u64) {
+    with_tracer(|t| t.kernel(region, partition, dur_ns));
+}
+
+/// Whether a tracer is installed on this thread **and** recording is on —
+/// the gate for optional measurement work (e.g. per-partition `Instant`
+/// reads) whose only consumer is the trace.
+pub fn tracing_active() -> bool {
+    with_tracer(|t| t.recorder.enabled()).unwrap_or(false)
 }
 
 /// Record a point annotation on the current tracer. The label is built
@@ -352,6 +375,26 @@ mod tests {
         assert!(region(RegionKind::Newview).is_none());
         collective(OpKind::Barrier, CommCategory::Control, 0);
         mark(|| panic!("label must not be built without a tracer"));
+    }
+
+    #[test]
+    fn tracing_active_tracks_tls_and_enable_state() {
+        assert!(!tracing_active());
+        let rec = Recorder::new(1);
+        let t = rec.tracer(0);
+        {
+            let _g = install_tracer(t.clone());
+            assert!(tracing_active());
+            kernel(RegionKind::Newview, 3, 55);
+            rec.set_enabled(false);
+            assert!(!tracing_active());
+            kernel(RegionKind::Newview, 4, 66);
+            rec.set_enabled(true);
+        }
+        assert!(!tracing_active());
+        drop(t);
+        let trace = Recorder::finish(rec);
+        assert_eq!(trace.signatures(0), vec!["kernel:newview:3"]);
     }
 
     #[test]

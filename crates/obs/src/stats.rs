@@ -17,17 +17,19 @@ pub enum OpKind {
     Reduce,
     Broadcast,
     Gather,
+    Allgather,
     Scatter,
     Barrier,
 }
 
 impl OpKind {
     /// All kinds, in [`CommStats`] counter order.
-    pub const ALL: [OpKind; 6] = [
+    pub const ALL: [OpKind; 7] = [
         OpKind::Allreduce,
         OpKind::Reduce,
         OpKind::Broadcast,
         OpKind::Gather,
+        OpKind::Allgather,
         OpKind::Scatter,
         OpKind::Barrier,
     ];
@@ -39,6 +41,7 @@ impl OpKind {
             OpKind::Reduce => "reduce",
             OpKind::Broadcast => "broadcast",
             OpKind::Gather => "gather",
+            OpKind::Allgather => "allgather",
             OpKind::Scatter => "scatter",
             OpKind::Barrier => "barrier",
         }
@@ -111,7 +114,7 @@ pub struct CommStats {
     /// Collective-call-site style counter per op kind (the paper's "<50 MPI
     /// calls in ExaML vs >100 in RAxML-Light" is about static call sites;
     /// we track dynamic ops per kind, which the harness reports alongside).
-    per_kind: [u64; 6],
+    per_kind: [u64; 7],
 }
 
 impl CommStats {
@@ -129,8 +132,9 @@ impl CommStats {
             OpKind::Reduce => 1,
             OpKind::Broadcast => 2,
             OpKind::Gather => 3,
-            OpKind::Scatter => 4,
-            OpKind::Barrier => 5,
+            OpKind::Allgather => 4,
+            OpKind::Scatter => 5,
+            OpKind::Barrier => 6,
         }
     }
 

@@ -98,6 +98,10 @@ pub struct WorkCounters {
     pub deriv_patterns: u64,
     /// Pattern-categories processed during per-site rate optimization.
     pub site_rate_patterns: u64,
+    /// Wall-clock nanoseconds spent inside the engine's kernel methods.
+    /// Measured, not modeled — the heartbeat monitor's per-rank load
+    /// signal. Excluded from [`WorkCounters::total`] (different unit).
+    pub kernel_ns: u64,
 }
 
 impl WorkCounters {
@@ -108,10 +112,12 @@ impl WorkCounters {
             eval_patterns: self.eval_patterns + other.eval_patterns,
             deriv_patterns: self.deriv_patterns + other.deriv_patterns,
             site_rate_patterns: self.site_rate_patterns + other.site_rate_patterns,
+            kernel_ns: self.kernel_ns + other.kernel_ns,
         }
     }
 
-    /// Total kernel work (pattern-categories).
+    /// Total kernel work (pattern-categories; `kernel_ns` is wall time and
+    /// stays out of this sum).
     pub fn total(&self) -> u64 {
         self.clv_updates + self.eval_patterns + self.deriv_patterns + self.site_rate_patterns
     }
@@ -317,14 +323,25 @@ impl Engine {
     /// local partition.
     pub fn execute(&mut self, d: &TraversalDescriptor) {
         let _span = exa_obs::region(exa_obs::RegionKind::Newview);
+        let started = std::time::Instant::now();
+        let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
+            let t0 = per_part.then(std::time::Instant::now);
             for entry in &d.entries {
                 work += kernels::newview_entry(part, n_taxa, entry);
             }
+            if let Some(t0) = t0 {
+                exa_obs::kernel(
+                    exa_obs::RegionKind::Newview,
+                    part.data.global_index as u32,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
         }
         self.work.clv_updates += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
     }
 
     /// Per-partition log-likelihoods at the descriptor's virtual root.
@@ -332,15 +349,26 @@ impl Engine {
     /// combined form in the drivers).
     pub fn evaluate(&mut self, d: &TraversalDescriptor) -> Vec<f64> {
         let _span = exa_obs::region(exa_obs::RegionKind::Evaluate);
+        let started = std::time::Instant::now();
+        let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
         let mut out = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
+            let t0 = per_part.then(std::time::Instant::now);
             let (lnl, w) = kernels::evaluate_root(part, n_taxa, d);
             out.push(lnl);
             work += w;
+            if let Some(t0) = t0 {
+                exa_obs::kernel(
+                    exa_obs::RegionKind::Evaluate,
+                    part.data.global_index as u32,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
         }
         self.work.eval_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         out
     }
 
@@ -359,17 +387,28 @@ impl Engine {
     /// Requires [`Engine::prepare_derivatives`] to have run for this edge.
     pub fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
+        let started = std::time::Instant::now();
+        let per_part = exa_obs::tracing_active();
         let mut d1 = Vec::with_capacity(self.parts.len());
         let mut d2 = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
+            let t0 = per_part.then(std::time::Instant::now);
             let t = Engine::branch_length(lengths, part.data.global_index);
             let (a, b, w) = kernels::derivatives_from_sumtable(part, t);
             d1.push(a);
             d2.push(b);
             work += w;
+            if let Some(t0) = t0 {
+                exa_obs::kernel(
+                    exa_obs::RegionKind::CoreDerivative,
+                    part.data.global_index as u32,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
         }
         self.work.deriv_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (d1, d2)
     }
 
@@ -377,6 +416,7 @@ impl Engine {
     /// returns `(Σ w·r, Σ w)` over local patterns so the caller can compute
     /// the global normalization with one small allreduce.
     pub fn optimize_site_rates(&mut self, d: &TraversalDescriptor) -> (f64, f64) {
+        let started = std::time::Instant::now();
         let n_taxa = self.n_taxa;
         let mut num = 0.0;
         let mut den = 0.0;
@@ -388,6 +428,7 @@ impl Engine {
             work += w;
         }
         self.work.site_rate_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (num, den)
     }
 

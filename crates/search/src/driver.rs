@@ -33,11 +33,26 @@ pub struct SearchResult {
     pub converged: bool,
 }
 
+/// Search progress at an iteration boundary, handed to
+/// [`SearchHooks::at_boundary`]. A struct (rather than positional
+/// arguments) so new observability fields don't ripple through every hook
+/// implementor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryInfo {
+    /// Iteration about to start (0 = before the first).
+    pub iteration: usize,
+    /// Current total log-likelihood.
+    pub lnl: f64,
+    /// Accepted SPR moves so far.
+    pub spr_moves: usize,
+}
+
 /// Hook points at iteration boundaries.
 pub trait SearchHooks {
     /// Called before each iteration (and once before the first) with the
-    /// current likelihood. Checkpointing and fault injection live here.
-    fn at_boundary(&mut self, eval: &mut dyn Evaluator, iteration: usize, lnl: f64);
+    /// current search progress. Checkpointing, heartbeats and fault
+    /// injection live here.
+    fn at_boundary(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo);
 
     /// A recoverable failure unwound the current iteration. Return `true`
     /// after restoring consistent state (the driver retries the iteration),
@@ -49,7 +64,7 @@ pub trait SearchHooks {
 pub struct NoHooks;
 
 impl SearchHooks for NoHooks {
-    fn at_boundary(&mut self, _eval: &mut dyn Evaluator, _iteration: usize, _lnl: f64) {}
+    fn at_boundary(&mut self, _eval: &mut dyn Evaluator, _info: &BoundaryInfo) {}
     fn on_failure(&mut self, _eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {
         false
     }
@@ -77,7 +92,14 @@ pub fn run_search(
 
     while iterations < cfg.max_iterations {
         exa_obs::mark(|| format!("iteration:{iterations}"));
-        hooks.at_boundary(eval, iterations, lnl);
+        hooks.at_boundary(
+            eval,
+            &BoundaryInfo {
+                iteration: iterations,
+                lnl,
+                spr_moves,
+            },
+        );
         let radius = cfg.spr_radius;
         let passes = cfg.smoothing_passes;
         let optimize = cfg.optimize_model;
@@ -221,7 +243,7 @@ mod tests {
             boundaries: usize,
         }
         impl SearchHooks for Counting {
-            fn at_boundary(&mut self, _e: &mut dyn Evaluator, _i: usize, _l: f64) {
+            fn at_boundary(&mut self, _e: &mut dyn Evaluator, _info: &BoundaryInfo) {
                 self.boundaries += 1;
             }
             fn on_failure(
@@ -242,8 +264,8 @@ mod tests {
     fn unrelated_panics_propagate() {
         struct Boom;
         impl SearchHooks for Boom {
-            fn at_boundary(&mut self, _e: &mut dyn Evaluator, i: usize, _l: f64) {
-                if i == 0 {
+            fn at_boundary(&mut self, _e: &mut dyn Evaluator, info: &BoundaryInfo) {
+                if info.iteration == 0 {
                     panic!("unrelated failure");
                 }
             }

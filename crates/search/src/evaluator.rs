@@ -101,6 +101,48 @@ pub trait Evaluator {
     /// de-centralized fault handler rebuilding a rank's engine) reach its
     /// concrete evaluator through the trait object.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Deterministic digest of the replicated search state, one 64-bit
+    /// hash per [`exa_obs::Component`]. Under the de-centralized scheme
+    /// every rank must produce the identical fingerprint at the same
+    /// collective count — the replica-divergence sentinel exchanges and
+    /// compares these. Bit-exact: hashes `f64::to_bits`, so a single
+    /// flipped mantissa bit anywhere in the state changes the digest.
+    fn state_fingerprint(&self) -> exa_obs::StateFingerprint {
+        let mut model = exa_obs::Fnv1a::new();
+        for a in self.alphas() {
+            model.write_f64(a);
+        }
+        for r in 0..NUM_FREE_RATES {
+            for v in self.gtr_rate(r) {
+                model.write_f64(v);
+            }
+        }
+        let tree = self.tree();
+        let mut topology = exa_obs::Fnv1a::new();
+        let mut branches = exa_obs::Fnv1a::new();
+        for e in 0..tree.n_edges() {
+            let edge = tree.edge(e);
+            topology.write_u64(edge.a as u64);
+            topology.write_u64(edge.b as u64);
+            for &l in &edge.lengths {
+                branches.write_f64(l);
+            }
+        }
+        let mut lnl = exa_obs::Fnv1a::new();
+        for &v in self.last_per_partition() {
+            lnl.write_f64(v);
+        }
+        // Order matches `Component::ALL`.
+        exa_obs::StateFingerprint {
+            components: [
+                model.finish(),
+                branches.finish(),
+                topology.finish(),
+                lnl.finish(),
+            ],
+        }
+    }
 }
 
 /// Helper shared by all back-ends: push global (α, GTR) parameters into an
@@ -386,6 +428,40 @@ mod tests {
             (l0 - l2).abs() < 1e-9,
             "restore must reproduce the snapshot: {l0} vs {l2}"
         );
+    }
+
+    #[test]
+    fn state_fingerprint_localizes_perturbations() {
+        use exa_obs::Component;
+        let mut a = make_eval(RateModelKind::Gamma);
+        let mut b = make_eval(RateModelKind::Gamma);
+        a.evaluate(0);
+        b.evaluate(0);
+        assert_eq!(
+            a.state_fingerprint(),
+            b.state_fingerprint(),
+            "identically-built evaluators fingerprint identically"
+        );
+
+        // A single-bit α flip moves exactly the ModelParams digest.
+        let mut alphas = b.alphas();
+        alphas[0] = f64::from_bits(alphas[0].to_bits() ^ 1);
+        b.set_alphas(&alphas);
+        let d = a.state_fingerprint().differing(&b.state_fingerprint());
+        assert_eq!(d, vec![Component::ModelParams]);
+
+        // A branch-length nudge on a restored copy moves BranchLengths
+        // (the tree shape itself is untouched).
+        let snap = a.snapshot();
+        b.restore(&snap);
+        assert_eq!(
+            a.state_fingerprint().differing(&b.state_fingerprint()),
+            vec![]
+        );
+        let old = b.tree().edge(2).lengths[0];
+        b.tree_mut().set_length(2, 0, old + 1e-6);
+        let d = a.state_fingerprint().differing(&b.state_fingerprint());
+        assert_eq!(d, vec![Component::BranchLengths]);
     }
 
     #[test]

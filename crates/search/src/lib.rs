@@ -26,7 +26,7 @@ pub mod model;
 pub mod parsimony;
 pub mod spr;
 
-pub use driver::{run_search, NoHooks, SearchHooks, SearchResult};
+pub use driver::{run_search, BoundaryInfo, NoHooks, SearchHooks, SearchResult};
 pub use evaluator::{BranchMode, CommFailurePanic, Evaluator, GlobalState, SequentialEvaluator};
 
 use serde::{Deserialize, Serialize};

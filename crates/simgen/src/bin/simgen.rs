@@ -1,0 +1,30 @@
+//! Write a simulated partitioned workload as a PHYLIP file — used by
+//! `scripts/verify.sh` for an end-to-end `examl` smoke run without shipping
+//! binary fixtures.
+//!
+//! ```text
+//! cargo run -p exa-simgen --bin simgen -- OUT.phy [n_taxa=8] [n_partitions=2] [chunk_len=100] [seed=1]
+//! ```
+
+use exa_bio::phylip::write_phylip;
+use exa_simgen::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(out) = args.first() else {
+        eprintln!("usage: simgen OUT.phy [n_taxa] [n_partitions] [chunk_len] [seed]");
+        std::process::exit(2);
+    };
+    let n_taxa = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n_partitions = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let chunk_len = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let w = workloads::partitioned(n_taxa, n_partitions, chunk_len, seed);
+    std::fs::write(out, write_phylip(&w.alignment)).expect("write phylip file");
+    eprintln!(
+        "wrote {out} ({} taxa x {} sites, {n_partitions} partitions)",
+        w.alignment.n_taxa(),
+        w.alignment.n_sites()
+    );
+}

@@ -16,4 +16,22 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> examl smoke run (sentinel + heartbeat)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/smoke.phy" 8 2 60 1
+cargo run -q --release -p examl-core --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 \
+  --verify-replicas 8 --health-out "$tmp/health.jsonl" \
+  --out-tree "$tmp/smoke.nwk" --quiet
+test -s "$tmp/smoke.nwk"
+test -s "$tmp/health.jsonl"
+# Every heartbeat line must parse as JSON and report a verified-ok run.
+while IFS= read -r line; do
+  [ -n "$line" ] || continue
+  status="$(printf '%s' "$line" | jq -r .divergence)"
+  [ "$status" = "ok" ] || { echo "unexpected heartbeat: $line"; exit 1; }
+done <"$tmp/health.jsonl"
+echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok"
+
 echo "verify: OK"
