@@ -30,9 +30,9 @@ fn bench_schemes(c: &mut Criterion) {
             &partitions,
             |b, _| {
                 b.iter(|| {
-                    let mut cfg = examl_core::InferenceConfig::new(4);
+                    let mut cfg = examl_core::RunConfig::new(4);
                     cfg.search = quick_search();
-                    std::hint::black_box(examl_core::run_decentralized(&w.compressed, &cfg))
+                    std::hint::black_box(cfg.run(&w.compressed).unwrap())
                 });
             },
         );
@@ -43,7 +43,7 @@ fn bench_schemes(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = exa_forkjoin::ForkJoinConfig::new(4);
                     cfg.search = quick_search();
-                    std::hint::black_box(exa_forkjoin::run_forkjoin(&w.compressed, &cfg))
+                    std::hint::black_box(exa_forkjoin::execute(&w.compressed, &cfg, None))
                 });
             },
         );
@@ -52,12 +52,12 @@ fn bench_schemes(c: &mut Criterion) {
 
     // Print the communication comparison once (the paper's actual metric).
     let w = workloads::partitioned_52taxa(16, 30, 3);
-    let mut cfg = examl_core::InferenceConfig::new(4);
+    let mut cfg = examl_core::RunConfig::new(4);
     cfg.search = quick_search();
-    let dec = examl_core::run_decentralized(&w.compressed, &cfg);
+    let dec = cfg.run(&w.compressed).unwrap();
     let mut fcfg = exa_forkjoin::ForkJoinConfig::new(4);
     fcfg.search = quick_search();
-    let fj = exa_forkjoin::run_forkjoin(&w.compressed, &fcfg);
+    let fj = exa_forkjoin::execute(&w.compressed, &fcfg, None);
     eprintln!(
         "16 partitions: fork-join {} regions / {} bytes vs de-centralized {} regions / {} bytes",
         fj.comm_stats.total_regions(),

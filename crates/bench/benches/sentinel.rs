@@ -9,11 +9,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::{run_decentralized_checked, InferenceConfig};
+use examl_core::RunConfig;
 use std::time::Instant;
 
-fn cfg(cadence: u64) -> InferenceConfig {
-    let mut cfg = InferenceConfig::new(2);
+fn cfg(cadence: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(2);
     cfg.search = SearchConfig {
         max_iterations: 3,
         epsilon: 0.01,
@@ -26,7 +26,8 @@ fn cfg(cadence: u64) -> InferenceConfig {
 
 fn run_once(w: &workloads::Workload, cadence: u64) -> f64 {
     let t0 = Instant::now();
-    let out = run_decentralized_checked(&w.compressed, &cfg(cadence), None)
+    let out = cfg(cadence)
+        .run(&w.compressed)
         .expect("clean run must not trip the sentinel");
     assert!(out.result.lnl.is_finite());
     t0.elapsed().as_secs_f64()

@@ -14,7 +14,7 @@
 //! reproduces the §IV-C ExaML-vs-RAxML-Light comparison at 32 nodes.
 
 use exa_comm::cluster::{modeled_time, ClusterSpec};
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
@@ -85,12 +85,12 @@ fn main() {
             RateModelKind::Gamma => "GAMMA",
         };
         eprintln!("running ExaML under {label} on {ranks} in-process ranks ...");
-        let mut cfg = examl_core::InferenceConfig::new(ranks);
+        let mut cfg = examl_core::RunConfig::new(ranks);
         cfg.rate_model = kind;
         cfg.search = search.clone();
         cfg.seed = 11;
         let t0 = std::time::Instant::now();
-        let out = examl_core::run_decentralized(&w.compressed, &cfg);
+        let out = cfg.run(&w.compressed).unwrap();
         let ex = MeasuredRun::new(
             out.result.lnl,
             out.result.iterations,
@@ -125,7 +125,7 @@ fn main() {
         fcfg.search = search.clone();
         fcfg.seed = 11;
         let t0 = std::time::Instant::now();
-        let fj_out = run_forkjoin(&w.compressed, &fcfg);
+        let fj_out = execute(&w.compressed, &fcfg, None);
         let fj = MeasuredRun::new(
             fj_out.result.lnl,
             fj_out.result.iterations,

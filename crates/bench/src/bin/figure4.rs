@@ -15,7 +15,7 @@
 //! model in `exa_comm::cluster` (substitution documented in DESIGN.md §2).
 
 use exa_comm::cluster::{modeled_time, ClusterSpec};
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::BranchMode;
 use exa_search::SearchConfig;
@@ -85,14 +85,14 @@ fn main() {
             };
             // --- ExaML (de-centralized) ---
             eprintln!("  ExaML, {model_label} ...");
-            let mut cfg = examl_core::InferenceConfig::new(ranks);
+            let mut cfg = examl_core::RunConfig::new(ranks);
             cfg.rate_model = kind;
             cfg.branch_mode = mode;
             cfg.strategy = strategy;
             cfg.search = search.clone();
             cfg.seed = 5;
             let t0 = std::time::Instant::now();
-            let out = examl_core::run_decentralized(&w.compressed, &cfg);
+            let out = cfg.run(&w.compressed).unwrap();
             let measured = MeasuredRun::new(
                 out.result.lnl,
                 out.result.iterations,
@@ -120,7 +120,7 @@ fn main() {
             cfg.search = search.clone();
             cfg.seed = 5;
             let t0 = std::time::Instant::now();
-            let out = run_forkjoin(&w.compressed, &cfg);
+            let out = execute(&w.compressed, &cfg, None);
             let measured = MeasuredRun::new(
                 out.result.lnl,
                 out.result.iterations,

@@ -18,7 +18,7 @@ use exa_sched::Strategy;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 use examl_bench::{write_json, write_markdown};
-use examl_core::InferenceConfig;
+use examl_core::RunConfig;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -48,7 +48,7 @@ fn main() {
         ("monolithic (-Q)", Strategy::MonolithicLpt),
     ] {
         eprintln!("running de-centralized, {label} ...");
-        let mut cfg = InferenceConfig::new(ranks);
+        let mut cfg = RunConfig::new(ranks);
         cfg.strategy = strategy;
         cfg.search = SearchConfig {
             max_iterations: 3,
@@ -62,9 +62,11 @@ fn main() {
             &exa_sched::distribute(&w.compressed, ranks, strategy),
         );
 
-        let recorder = exa_obs::Recorder::new(ranks);
-        let out = examl_core::run_decentralized_traced(&w.compressed, &cfg, Some(&recorder));
-        let trace = exa_obs::Recorder::finish(recorder);
+        let out = cfg.clone().collect_trace(true).run(&w.compressed).unwrap();
+        let trace = out
+            .trace
+            .as_ref()
+            .expect("collect_trace(true) yields a trace");
         let measured = measured_balance(&trace.kernel_profile().per_rank, 5);
 
         rows.push(ImbalanceRow {

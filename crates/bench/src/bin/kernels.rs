@@ -1,0 +1,179 @@
+//! Scalar vs SIMD likelihood-kernel backends, per kernel — the measurement
+//! behind the `KernelBackend` abstraction: the three kernels (`newview`,
+//! `evaluate`, the Newton–Raphson sumtable derivatives) are >90% of runtime
+//! (§II), so backend speedup is whole-inference speedup.
+//!
+//! ```text
+//! cargo run -p examl-bench --release --bin kernels -- [taxa=24] [sites=4000] [reps=9]
+//! ```
+//!
+//! Both backends are bitwise-identical by construction (no FMA, scalar
+//! association order), which this harness re-asserts on the measured
+//! engines before timing. Medians over interleaved repetitions cancel
+//! machine drift.
+
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_phylo::engine::{Engine, KernelKind, PartitionSlice};
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::tree::Tree;
+use exa_simgen::workloads;
+use examl_bench::{write_json, write_markdown};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    scalar_ns_per_call: f64,
+    simd_ns_per_call: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct KernelsReport {
+    taxa: usize,
+    sites: usize,
+    patterns: usize,
+    rate_model: String,
+    simd_backend: String,
+    rows: Vec<KernelRow>,
+}
+
+fn setup(taxa: usize, sites: usize, kernel: KernelKind) -> (Engine, Tree) {
+    let w = workloads::large_unpartitioned(taxa, sites, 5);
+    let scheme = PartitionScheme::unpartitioned(sites);
+    let comp = CompressedAlignment::build(&w.alignment, &scheme);
+    let slices = vec![PartitionSlice::from_compressed(0, &comp.partitions[0])];
+    let engine = Engine::with_kernel(taxa, slices, RateModelKind::Gamma, 0.8, kernel);
+    let tree = Tree::random(taxa, 1, 5);
+    (engine, tree)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Median ns/call of `op`, interleaved by the caller across backends.
+fn time_ns(reps: usize, iters: usize, mut op: impl FnMut()) -> Vec<f64> {
+    // Warmup.
+    op();
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let taxa: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let sites: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(9);
+
+    eprintln!("generating the Γ DNA workload ({taxa} taxa x {sites} bp)...");
+    let (mut scalar, mut tree_s) = setup(taxa, sites, KernelKind::Scalar);
+    let (mut simd, mut tree_v) = setup(taxa, sites, KernelKind::Simd);
+    let patterns = scalar.total_patterns();
+    let d_s = tree_s.full_traversal_descriptor(0);
+    let d_v = tree_v.full_traversal_descriptor(0);
+
+    // The bitwise contract, on the very engines we are about to time.
+    scalar.execute(&d_s);
+    simd.execute(&d_v);
+    let (ls, lv) = (scalar.evaluate(&d_s), simd.evaluate(&d_v));
+    assert_eq!(ls.len(), lv.len());
+    for (a, b) in ls.iter().zip(&lv) {
+        assert_eq!(a.to_bits(), b.to_bits(), "backends must agree bitwise");
+    }
+
+    // newview — interleave scalar/SIMD timing batches.
+    let (mut ns_s, mut ns_v) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        ns_s.extend(time_ns(1, 3, || scalar.execute(&d_s)));
+        ns_v.extend(time_ns(1, 3, || simd.execute(&d_v)));
+    }
+    let newview = (median(ns_s), median(ns_v));
+
+    // evaluate.
+    let (mut ns_s, mut ns_v) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        ns_s.extend(time_ns(1, 10, || {
+            std::hint::black_box(scalar.evaluate(&d_s));
+        }));
+        ns_v.extend(time_ns(1, 10, || {
+            std::hint::black_box(simd.evaluate(&d_v));
+        }));
+    }
+    let evaluate = (median(ns_s), median(ns_v));
+
+    // derivatives (sumtable prepared once, as in Newton–Raphson).
+    scalar.prepare_derivatives(&d_s);
+    simd.prepare_derivatives(&d_v);
+    let (mut ns_s, mut ns_v) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        ns_s.extend(time_ns(1, 10, || {
+            std::hint::black_box(scalar.derivatives(&[0.13]));
+        }));
+        ns_v.extend(time_ns(1, 10, || {
+            std::hint::black_box(simd.derivatives(&[0.13]));
+        }));
+    }
+    let derivatives = (median(ns_s), median(ns_v));
+
+    let rows: Vec<KernelRow> = [
+        ("newview", newview),
+        ("evaluate", evaluate),
+        ("derivatives", derivatives),
+    ]
+    .into_iter()
+    .map(|(kernel, (s, v))| KernelRow {
+        kernel: kernel.to_string(),
+        scalar_ns_per_call: s,
+        simd_ns_per_call: v,
+        speedup: s / v,
+    })
+    .collect();
+
+    let report = KernelsReport {
+        taxa,
+        sites,
+        patterns,
+        rate_model: "Gamma (4 categories)".to_string(),
+        simd_backend: if exa_phylo::simd_available() {
+            "avx2".to_string()
+        } else {
+            "portable-chunks".to_string()
+        },
+        rows,
+    };
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# Kernel backends: scalar vs SIMD ({taxa} taxa x {sites} bp Γ DNA, {patterns} patterns, {} SIMD path)\n",
+        report.simd_backend
+    );
+    let _ = writeln!(md, "| kernel | scalar | simd | speedup |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for r in &report.rows {
+        let _ = writeln!(
+            md,
+            "| {} | {:.1} µs/call | {:.1} µs/call | {:.2}x |",
+            r.kernel,
+            r.scalar_ns_per_call / 1e3,
+            r.simd_ns_per_call / 1e3,
+            r.speedup
+        );
+    }
+    print!("{md}");
+
+    write_json("kernels", &report);
+    write_markdown("kernels", &md);
+}

@@ -19,7 +19,7 @@
 //! | # bytes (MB)                    | 2841  | 1809 | 1763  | 626  |
 
 use exa_comm::CommCategory;
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::BranchMode;
 use exa_search::SearchConfig;
@@ -74,7 +74,7 @@ fn main() {
             ..SearchConfig::default()
         };
         cfg.seed = 7;
-        let out = run_forkjoin(&w.compressed, &cfg);
+        let out = execute(&w.compressed, &cfg, None);
         let s = &out.comm_stats;
         columns.push(Table1Column {
             config: label.to_string(),

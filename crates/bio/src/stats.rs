@@ -54,6 +54,13 @@ pub fn empirical_frequencies(p: &CompressedPartition) -> [f64; NUM_STATES] {
     freqs
 }
 
+/// The global per-partition empirical frequencies of a whole alignment.
+/// Computed once from the *full* data — every rank derives identical models
+/// from them regardless of which patterns it holds.
+pub fn global_frequencies(aln: &CompressedAlignment) -> Vec<[f64; NUM_STATES]> {
+    aln.partitions.iter().map(empirical_frequencies).collect()
+}
+
 /// Fraction of fully-undetermined characters (gaps / N) in a partition,
 /// weighted by pattern weight.
 pub fn gap_fraction(p: &CompressedPartition) -> f64 {

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! examl --phylip data.phy [--partitions parts.txt] [--ranks 4]
-//!       [--model GAMMA|PSR] [-Q] [-M] [--seed 42]
+//!       [--model GAMMA|PSR] [--kernel scalar|simd|auto] [-Q] [-M] [--seed 42]
 //!       [--starting-tree random|parsimony|<file.nwk>]
 //!       [--iterations 10] [--radius 5] [--epsilon 0.1]
 //!       [--checkpoint ck.json [--checkpoint-every 1]] [--resume ck.json]
@@ -14,199 +14,50 @@
 //!       [--out-tree result.nwk] [--trace-out trace.json] [--quiet]
 //! ```
 //!
-//! Every run records an `exa-obs` trace of parallel regions, kernels and
-//! collectives; the end-of-run summary table is printed to stderr, and
-//! `--trace-out` additionally writes the full trace in Chrome
-//! `trace_event` JSON (openable in Perfetto or `chrome://tracing`).
+//! Flag parsing lives in `examl_core::cli` and the run orchestration in
+//! `examl_core::RunConfig` — this binary only wires the two together and
+//! formats the output.
 
 use exa_bio::partition::{parse_partition_file, PartitionScheme};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommCategory;
-use exa_phylo::model::rates::RateModelKind;
 use exa_search::{BranchMode, SearchConfig, StartingTree};
-use examl_core::{DivergenceFault, FaultComponent, InferenceConfig};
-use std::path::PathBuf;
+use examl_core::{CliConfig, CliError, RunConfig};
 use std::process::ExitCode;
 
-struct Args {
-    phylip: Option<PathBuf>,
-    fasta: Option<PathBuf>,
-    binary_in: Option<PathBuf>,
-    binary_out: Option<PathBuf>,
-    partitions: Option<PathBuf>,
-    ranks: usize,
-    model: RateModelKind,
-    mps: bool,
-    per_partition_branches: bool,
-    seed: u64,
-    starting_tree: String,
-    iterations: usize,
-    radius: usize,
-    epsilon: f64,
-    checkpoint: Option<PathBuf>,
-    checkpoint_every: usize,
-    resume: Option<PathBuf>,
-    out_tree: Option<PathBuf>,
-    trace_out: Option<PathBuf>,
-    quiet: bool,
-    bootstrap: usize,
-    ascii: bool,
-    stats_only: bool,
-    verify_replicas: u64,
-    health_out: Option<PathBuf>,
-    inject_divergence: Option<DivergenceFault>,
-}
+const USAGE: &str = "usage: examl (--phylip FILE | --fasta FILE | --binary-in FILE) [options]\n\
+options:\n\
+  --partitions FILE      RAxML-style partition file (DNA, name = a-b)\n\
+  --ranks N              number of ranks (default 4)\n\
+  --model GAMMA|PSR      rate heterogeneity model (default GAMMA)\n\
+  --kernel K             likelihood-kernel backend: scalar | simd | auto\n\
+                         (default auto: ranks negotiate the fastest backend\n\
+                         all of them support; also via EXAML_KERNEL)\n\
+  -Q                     monolithic per-partition data distribution (MPS)\n\
+  -M                     per-partition branch lengths\n\
+  --seed N               starting-tree seed (default 42)\n\
+  --starting-tree S      random | parsimony | <newick file> (default parsimony)\n\
+  --iterations N         max search iterations (default 10)\n\
+  --radius N             SPR rearrangement radius (default 5)\n\
+  --epsilon X            convergence threshold (default 0.1)\n\
+  --checkpoint FILE      write checkpoints to FILE\n\
+  --checkpoint-every N   checkpoint interval in iterations (default 1)\n\
+  --resume FILE          resume from a checkpoint\n\
+  --binary-out FILE      write the compressed alignment in binary form and exit\n\
+  --out-tree FILE        write the final Newick tree to FILE\n\
+  --trace-out FILE       write a Chrome trace_event JSON trace to FILE\n\
+                         (under --bootstrap: one trace per replicate, FILE.repN.json)\n\
+  --bootstrap N          run N bootstrap replicates and annotate support\n\
+  --verify-replicas N    compare replica state fingerprints every N collectives\n\
+  --health-out FILE      append one heartbeat JSON line per iteration to FILE\n\
+  --inject-divergence RANK:COLLECTIVE:alpha|blen\n\
+                         flip one state bit on RANK after COLLECTIVE collectives\n\
+                         (sentinel fault-injection testing)\n\
+  --ascii                also print an ASCII cladogram\n\
+  --stats                print alignment statistics and memory estimates, then exit\n\
+  --quiet                suppress progress output";
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: examl (--phylip FILE | --fasta FILE | --binary-in FILE) [options]\n\
-         options:\n\
-           --partitions FILE      RAxML-style partition file (DNA, name = a-b)\n\
-           --ranks N              number of ranks (default 4)\n\
-           --model GAMMA|PSR      rate heterogeneity model (default GAMMA)\n\
-           -Q                     monolithic per-partition data distribution (MPS)\n\
-           -M                     per-partition branch lengths\n\
-           --seed N               starting-tree seed (default 42)\n\
-           --starting-tree S      random | parsimony | <newick file> (default parsimony)\n\
-           --iterations N         max search iterations (default 10)\n\
-           --radius N             SPR rearrangement radius (default 5)\n\
-           --epsilon X            convergence threshold (default 0.1)\n\
-           --checkpoint FILE      write checkpoints to FILE\n\
-           --checkpoint-every N   checkpoint interval in iterations (default 1)\n\
-           --resume FILE          resume from a checkpoint\n\
-           --binary-out FILE      write the compressed alignment in binary form and exit\n\
-           --out-tree FILE        write the final Newick tree to FILE\n\
-           --trace-out FILE       write a Chrome trace_event JSON trace to FILE\n\
-                                  (under --bootstrap: one trace per replicate, FILE.repN.json)\n\
-           --bootstrap N          run N bootstrap replicates and annotate support\n\
-           --verify-replicas N    compare replica state fingerprints every N collectives\n\
-           --health-out FILE      append one heartbeat JSON line per iteration to FILE\n\
-           --inject-divergence RANK:COLLECTIVE:alpha|blen\n\
-                                  flip one state bit on RANK after COLLECTIVE collectives\n\
-                                  (sentinel fault-injection testing)\n\
-           --ascii                also print an ASCII cladogram\n\
-           --stats                print alignment statistics and memory estimates, then exit\n\
-           --quiet                suppress progress output"
-    );
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        phylip: None,
-        fasta: None,
-        binary_in: None,
-        binary_out: None,
-        partitions: None,
-        ranks: 4,
-        model: RateModelKind::Gamma,
-        mps: false,
-        per_partition_branches: false,
-        seed: 42,
-        starting_tree: "parsimony".into(),
-        iterations: 10,
-        radius: 5,
-        epsilon: 0.1,
-        checkpoint: None,
-        checkpoint_every: 1,
-        resume: None,
-        out_tree: None,
-        trace_out: None,
-        quiet: false,
-        bootstrap: 0,
-        ascii: false,
-        stats_only: false,
-        verify_replicas: 0,
-        health_out: None,
-        inject_divergence: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            })
-        };
-        match flag.as_str() {
-            "--phylip" => args.phylip = Some(value("--phylip").into()),
-            "--fasta" => args.fasta = Some(value("--fasta").into()),
-            "--binary-in" => args.binary_in = Some(value("--binary-in").into()),
-            "--binary-out" => args.binary_out = Some(value("--binary-out").into()),
-            "--partitions" => args.partitions = Some(value("--partitions").into()),
-            "--ranks" => args.ranks = value("--ranks").parse().unwrap_or_else(|_| usage()),
-            "--model" => {
-                args.model = match value("--model").to_uppercase().as_str() {
-                    "GAMMA" => RateModelKind::Gamma,
-                    "PSR" | "CAT" => RateModelKind::Psr,
-                    other => {
-                        eprintln!("unknown model {other:?} (use GAMMA or PSR)");
-                        usage()
-                    }
-                }
-            }
-            "-Q" => args.mps = true,
-            "-M" => args.per_partition_branches = true,
-            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--starting-tree" => args.starting_tree = value("--starting-tree"),
-            "--iterations" => {
-                args.iterations = value("--iterations").parse().unwrap_or_else(|_| usage())
-            }
-            "--radius" => args.radius = value("--radius").parse().unwrap_or_else(|_| usage()),
-            "--epsilon" => args.epsilon = value("--epsilon").parse().unwrap_or_else(|_| usage()),
-            "--checkpoint" => args.checkpoint = Some(value("--checkpoint").into()),
-            "--checkpoint-every" => {
-                args.checkpoint_every = value("--checkpoint-every")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--resume" => args.resume = Some(value("--resume").into()),
-            "--out-tree" => args.out_tree = Some(value("--out-tree").into()),
-            "--trace-out" => args.trace_out = Some(value("--trace-out").into()),
-            "--bootstrap" => {
-                args.bootstrap = value("--bootstrap").parse().unwrap_or_else(|_| usage())
-            }
-            "--verify-replicas" => {
-                args.verify_replicas = value("--verify-replicas")
-                    .parse()
-                    .unwrap_or_else(|_| usage())
-            }
-            "--health-out" => args.health_out = Some(value("--health-out").into()),
-            "--inject-divergence" => {
-                args.inject_divergence = Some(
-                    parse_divergence_fault(&value("--inject-divergence")).unwrap_or_else(|| {
-                        eprintln!("--inject-divergence expects RANK:COLLECTIVE:alpha|blen");
-                        usage()
-                    }),
-                )
-            }
-            "--ascii" => args.ascii = true,
-            "--stats" => args.stats_only = true,
-            "--quiet" => args.quiet = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown argument {other:?}");
-                usage()
-            }
-        }
-    }
-    args
-}
-
-/// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
-fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
-    let mut parts = spec.splitn(3, ':');
-    let rank = parts.next()?.parse().ok()?;
-    let after_collectives = parts.next()?.parse().ok()?;
-    let component = FaultComponent::parse(parts.next()?)?;
-    Some(DivergenceFault {
-        rank,
-        after_collectives,
-        component,
-    })
-}
-
-fn load_alignment(args: &Args) -> Result<CompressedAlignment, String> {
+fn load_alignment(args: &CliConfig) -> Result<CompressedAlignment, String> {
     if let Some(path) = &args.binary_in {
         return exa_bio::binary::read_file(path).map_err(|e| e.to_string());
     }
@@ -230,7 +81,18 @@ fn load_alignment(args: &Args) -> Result<CompressedAlignment, String> {
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let args = match CliConfig::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(CliError::Help) => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let compressed = match load_alignment(&args) {
         Ok(c) => c,
         Err(e) => {
@@ -304,52 +166,64 @@ fn main() -> ExitCode {
         },
     };
 
-    let mut cfg = InferenceConfig::new(args.ranks);
-    cfg.rate_model = args.model;
-    cfg.branch_mode = if args.per_partition_branches {
-        BranchMode::PerPartition
+    let mut run = RunConfig::new(args.ranks)
+        .rate_model(args.model)
+        .branch_mode(if args.per_partition_branches {
+            BranchMode::PerPartition
+        } else {
+            BranchMode::Joint
+        })
+        .strategy(if args.mps {
+            exa_sched::Strategy::MonolithicLpt
+        } else {
+            exa_sched::Strategy::Cyclic
+        })
+        .search(SearchConfig {
+            max_iterations: args.iterations,
+            spr_radius: args.radius,
+            epsilon: args.epsilon,
+            ..SearchConfig::default()
+        })
+        .seed(args.seed)
+        .starting_tree(starting_tree)
+        .kernel(args.kernel)
+        .verify_replicas(args.verify_replicas);
+    if let Some(path) = &args.checkpoint {
+        run = run.checkpoint(path, args.checkpoint_every);
+    }
+    if let Some(path) = &args.resume {
+        run = run.resume(path);
+    }
+    if let Some(fault) = args.inject_divergence {
+        run = run.divergence_fault(fault);
+    }
+    if let Some(path) = &args.health_out {
+        run = run.health_out(path);
+    }
+    if args.bootstrap > 0 {
+        run = run.bootstrap(args.bootstrap, args.seed.wrapping_add(0xB00));
+        if let Some(path) = &args.trace_out {
+            run = run.bootstrap_trace_out(path);
+        }
     } else {
-        BranchMode::Joint
-    };
-    cfg.strategy = if args.mps {
-        exa_sched::Strategy::MonolithicLpt
-    } else {
-        exa_sched::Strategy::Cyclic
-    };
-    cfg.search = SearchConfig {
-        max_iterations: args.iterations,
-        spr_radius: args.radius,
-        epsilon: args.epsilon,
-        ..SearchConfig::default()
-    };
-    cfg.seed = args.seed;
-    cfg.starting_tree = starting_tree;
-    cfg.checkpoint_path = args.checkpoint.clone();
-    cfg.checkpoint_every = args.checkpoint_every;
-    cfg.resume_from = args.resume.clone();
-    cfg.verify_replicas = args.verify_replicas;
-    cfg.divergence_fault = args.inject_divergence;
-    cfg.health_out = args.health_out.clone();
+        run = run.collect_trace(true);
+    }
 
     let start = std::time::Instant::now();
-    let (out, annotated, trace) = if args.bootstrap > 0 {
-        let bs_cfg = examl_core::bootstrap::BootstrapConfig {
-            replicates: args.bootstrap,
-            seed: args.seed.wrapping_add(0xB00),
-            base: cfg.clone(),
-        };
-        let bs = match examl_core::bootstrap::run_bootstrap_traced(
-            &compressed,
-            &bs_cfg,
-            args.trace_out.as_deref(),
-        ) {
-            Ok(bs) => bs,
-            Err(e) => {
-                eprintln!("error writing trace: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if !args.quiet {
+    let out = match run.run(&compressed) {
+        Ok(out) => out,
+        Err(e) => {
+            // A sentinel trip arrives here as a structured diagnostic naming
+            // the first divergent collective, the minority ranks and the
+            // differing state component(s).
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    if !args.quiet {
+        if let Some(bs) = &out.bootstrap {
             let mean: f64 = bs.support.values().sum::<f64>() / bs.support.len().max(1) as f64;
             eprintln!(
                 "bootstrap    : {} replicates, mean split support {:.1}%",
@@ -363,24 +237,6 @@ fn main() -> ExitCode {
                 );
             }
         }
-        (bs.best, Some(bs.annotated_newick), None)
-    } else {
-        let recorder = exa_obs::Recorder::new(cfg.n_ranks);
-        let out = match examl_core::run_decentralized_checked(&compressed, &cfg, Some(&recorder)) {
-            Ok(out) => out,
-            Err(d) => {
-                // The sentinel tripped: the structured diagnostic names the
-                // first divergent collective, the minority ranks and the
-                // differing state component(s).
-                eprintln!("error: {d}");
-                return ExitCode::FAILURE;
-            }
-        };
-        (out, None, Some(exa_obs::Recorder::finish(recorder)))
-    };
-    let elapsed = start.elapsed();
-
-    if !args.quiet {
         eprintln!("final lnL    : {:.6}", out.result.lnl);
         eprintln!(
             "iterations   : {} (converged: {})",
@@ -409,7 +265,7 @@ fn main() -> ExitCode {
             modeled.total_s, spec.nodes, modeled.compute_s, modeled.comm_s
         );
     }
-    if let Some(trace) = &trace {
+    if let Some(trace) = &out.trace {
         if !args.quiet {
             eprint!("{}", exa_obs::summary_table(&trace.aggregate()));
         }
@@ -424,36 +280,21 @@ fn main() -> ExitCode {
         }
     }
     if !args.quiet {
-        // End-of-run health report: sentinel verdict, measured-vs-predicted
-        // load imbalance, heartbeat count. The heartbeat *file* is written
-        // regardless of --quiet; only this console rendering is suppressed.
-        let measured = trace.as_ref().and_then(|t| {
-            let ratio = exa_obs::imbalance_ratio(&t.kernel_profile().rank_totals());
-            (ratio > 0.0).then_some(ratio)
-        });
-        let assignments = exa_sched::distribute(&compressed, args.ranks, cfg.strategy);
-        let predicted = exa_sched::balance::balance_stats(&compressed, &assignments).imbalance;
-        let heartbeats = args
-            .health_out
-            .as_ref()
-            .and_then(|p| std::fs::read_to_string(p).ok())
-            .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count() as u64)
-            .unwrap_or(0);
-        let report = exa_obs::HealthReport {
-            sentinel_cadence: cfg.verify_replicas,
-            sentinel_syncs: out.sentinel_syncs,
-            divergence: None,
-            measured_imbalance: measured,
-            predicted_imbalance: Some(predicted),
-            heartbeats,
-        };
-        eprint!("{}", report.render());
+        // End-of-run health report: kernel backend, sentinel verdict,
+        // measured-vs-predicted load imbalance, heartbeat count. The
+        // heartbeat *file* is written regardless of --quiet; only this
+        // console rendering is suppressed.
+        eprint!("{}", out.health.render());
     }
     if args.ascii {
         let names: Vec<String> = compressed.taxa.clone();
         eprintln!("{}", out.state.tree.to_ascii(&names));
     }
-    let final_tree = annotated.unwrap_or_else(|| out.tree_newick.clone());
+    let final_tree = out
+        .bootstrap
+        .as_ref()
+        .map(|bs| bs.annotated_newick.clone())
+        .unwrap_or_else(|| out.tree_newick.clone());
     match &args.out_tree {
         Some(path) => {
             if let Err(e) = std::fs::write(path, format!("{final_tree}\n")) {

@@ -12,7 +12,7 @@
 //! composes cheaply with the binary alignment format and the de-centralized
 //! driver.
 
-use crate::{run_decentralized, run_decentralized_traced, InferenceConfig, RunOutput};
+use crate::{decentralized_impl, InferenceConfig, RunOutput};
 use exa_bio::patterns::{CompressedAlignment, CompressedPartition};
 use exa_phylo::tree::bipartitions::bipartitions;
 use rand::rngs::StdRng;
@@ -106,15 +106,36 @@ pub fn replicate_trace_path(path: &Path, replicate: usize) -> PathBuf {
 
 /// Run the best-tree search plus `replicates` bootstrap searches and
 /// compute bipartition support.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RunConfig::new(n_ranks).bootstrap(replicates, seed).run(&aln)` instead"
+)]
 pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> BootstrapOutput {
-    run_bootstrap_traced(aln, cfg, None).expect("untraced bootstrap performs no trace I/O")
+    bootstrap_impl(aln, cfg, None).expect("untraced bootstrap performs no trace I/O")
 }
 
 /// [`run_bootstrap`] with optional tracing: when `trace_out` is set, the
 /// best-tree run's Chrome trace goes to that path and each replicate's to
-/// [`replicate_trace_path`] of it (one trace per replicate — replicates run
-/// sequentially, so sharing one recorder would interleave them).
+/// [`replicate_trace_path`] of it.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RunConfig::new(n_ranks).bootstrap(replicates, seed).run(&aln)` instead"
+)]
 pub fn run_bootstrap_traced(
+    aln: &CompressedAlignment,
+    cfg: &BootstrapConfig,
+    trace_out: Option<&Path>,
+) -> std::io::Result<BootstrapOutput> {
+    bootstrap_impl(aln, cfg, trace_out)
+}
+
+/// The bootstrap driver behind [`crate::RunConfig::run`] and the deprecated
+/// `run_bootstrap*` shims. When `trace_out` is set, the best-tree run's
+/// Chrome trace goes to that path and each replicate's to
+/// [`replicate_trace_path`] of it (one trace per replicate — replicates run
+/// sequentially, so sharing one recorder would interleave them). Panics on
+/// replica divergence, like the historical entrypoints did.
+pub(crate) fn bootstrap_impl(
     aln: &CompressedAlignment,
     cfg: &BootstrapConfig,
     trace_out: Option<&Path>,
@@ -124,11 +145,14 @@ pub fn run_bootstrap_traced(
         cfg: &InferenceConfig,
         trace_path: Option<PathBuf>,
     ) -> std::io::Result<RunOutput> {
+        let checked = |recorder: Option<&std::sync::Arc<exa_obs::Recorder>>| {
+            decentralized_impl(aln, cfg, recorder).unwrap_or_else(|d| panic!("{d}"))
+        };
         match trace_path {
-            None => Ok(run_decentralized(aln, cfg)),
+            None => Ok(checked(None)),
             Some(path) => {
                 let recorder = exa_obs::Recorder::new(cfg.n_ranks);
-                let out = run_decentralized_traced(aln, cfg, Some(&recorder));
+                let out = checked(Some(&recorder));
                 let trace = exa_obs::Recorder::finish(recorder);
                 exa_obs::write_chrome_trace(&path, &trace)?;
                 Ok(out)
@@ -253,7 +277,7 @@ mod tests {
             seed: 99,
             base,
         };
-        let out = run_bootstrap(&w.compressed, &cfg);
+        let out = bootstrap_impl(&w.compressed, &cfg, None).unwrap();
         assert_eq!(out.replicate_lnls.len(), 5);
         assert!(out.annotated_newick.ends_with(");"));
         // 6 taxa → 3 internal splits on the best tree.

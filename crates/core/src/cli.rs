@@ -1,0 +1,433 @@
+//! Command-line parsing for the `examl` binary, extracted from the binary
+//! so it is unit-testable and reusable.
+//!
+//! [`CliConfig::parse`] consumes the argument list (without the program
+//! name) and produces either a validated configuration or a [`CliError`]
+//! whose rendering names the nearest valid flag for typos:
+//!
+//! ```text
+//! unknown argument "--phlyip" (did you mean --phylip?)
+//! ```
+
+use crate::sentinel::{DivergenceFault, FaultComponent};
+use exa_phylo::engine::KernelChoice;
+use exa_phylo::model::rates::RateModelKind;
+use std::path::PathBuf;
+
+/// Every flag the `examl` binary accepts, in `usage()` order. Unknown-flag
+/// suggestions are ranked against this list.
+pub const FLAGS: &[&str] = &[
+    "--phylip",
+    "--fasta",
+    "--binary-in",
+    "--binary-out",
+    "--partitions",
+    "--ranks",
+    "--model",
+    "--kernel",
+    "-Q",
+    "-M",
+    "--seed",
+    "--starting-tree",
+    "--iterations",
+    "--radius",
+    "--epsilon",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+    "--out-tree",
+    "--trace-out",
+    "--bootstrap",
+    "--verify-replicas",
+    "--health-out",
+    "--inject-divergence",
+    "--ascii",
+    "--stats",
+    "--quiet",
+    "--help",
+];
+
+/// Parsed command line of the `examl` binary.
+#[derive(Debug, Clone)]
+pub struct CliConfig {
+    pub phylip: Option<PathBuf>,
+    pub fasta: Option<PathBuf>,
+    pub binary_in: Option<PathBuf>,
+    pub binary_out: Option<PathBuf>,
+    pub partitions: Option<PathBuf>,
+    pub ranks: usize,
+    pub model: RateModelKind,
+    pub kernel: KernelChoice,
+    pub mps: bool,
+    pub per_partition_branches: bool,
+    pub seed: u64,
+    pub starting_tree: String,
+    pub iterations: usize,
+    pub radius: usize,
+    pub epsilon: f64,
+    pub checkpoint: Option<PathBuf>,
+    pub checkpoint_every: usize,
+    pub resume: Option<PathBuf>,
+    pub out_tree: Option<PathBuf>,
+    pub trace_out: Option<PathBuf>,
+    pub quiet: bool,
+    pub bootstrap: usize,
+    pub ascii: bool,
+    pub stats_only: bool,
+    pub verify_replicas: u64,
+    pub health_out: Option<PathBuf>,
+    pub inject_divergence: Option<DivergenceFault>,
+}
+
+impl Default for CliConfig {
+    fn default() -> CliConfig {
+        CliConfig {
+            phylip: None,
+            fasta: None,
+            binary_in: None,
+            binary_out: None,
+            partitions: None,
+            ranks: 4,
+            model: RateModelKind::Gamma,
+            kernel: KernelChoice::from_env(),
+            mps: false,
+            per_partition_branches: false,
+            seed: 42,
+            starting_tree: "parsimony".into(),
+            iterations: 10,
+            radius: 5,
+            epsilon: 0.1,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
+            out_tree: None,
+            trace_out: None,
+            quiet: false,
+            bootstrap: 0,
+            ascii: false,
+            stats_only: false,
+            verify_replicas: 0,
+            health_out: None,
+            inject_divergence: None,
+        }
+    }
+}
+
+/// A rejected command line. `Display` renders the message the binary
+/// prints before its usage text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// `--help`/`-h`: not an error, but parsing stops.
+    Help,
+    /// A flag nobody recognizes; `suggestion` is the closest valid flag
+    /// (edit distance), when one is close enough to be plausible.
+    UnknownFlag {
+        flag: String,
+        suggestion: Option<&'static str>,
+    },
+    /// A value-taking flag at the end of the line.
+    MissingValue { flag: &'static str },
+    /// A value that does not parse.
+    BadValue {
+        flag: &'static str,
+        value: String,
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => write!(f, "help requested"),
+            CliError::UnknownFlag { flag, suggestion } => {
+                write!(f, "unknown argument {flag:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s}?)")?;
+                }
+                Ok(())
+            }
+            CliError::MissingValue { flag } => write!(f, "missing value for {flag}"),
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value {value:?} for {flag} (expected {expected})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Levenshtein edit distance — small inputs only (flag names), so the
+/// O(n·m) dynamic program is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The valid flag closest to `flag`, when it is close enough (edit distance
+/// at most half the flag's length) to plausibly be a typo.
+pub fn nearest_flag(flag: &str) -> Option<&'static str> {
+    FLAGS
+        .iter()
+        .map(|&f| (edit_distance(flag, f), f))
+        .min()
+        .filter(|&(d, f)| d <= f.len().div_ceil(2))
+        .map(|(_, f)| f)
+}
+
+impl CliConfig {
+    /// Parse an argument list (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<CliConfig, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cfg = CliConfig::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &'static str| -> Result<String, CliError> {
+                it.next().ok_or(CliError::MissingValue { flag: name })
+            };
+            fn num<T: std::str::FromStr>(
+                flag: &'static str,
+                value: String,
+                expected: &'static str,
+            ) -> Result<T, CliError> {
+                value.parse().map_err(|_| CliError::BadValue {
+                    flag,
+                    value,
+                    expected,
+                })
+            }
+            match flag.as_str() {
+                "--phylip" => cfg.phylip = Some(value("--phylip")?.into()),
+                "--fasta" => cfg.fasta = Some(value("--fasta")?.into()),
+                "--binary-in" => cfg.binary_in = Some(value("--binary-in")?.into()),
+                "--binary-out" => cfg.binary_out = Some(value("--binary-out")?.into()),
+                "--partitions" => cfg.partitions = Some(value("--partitions")?.into()),
+                "--ranks" => cfg.ranks = num("--ranks", value("--ranks")?, "a count")?,
+                "--model" => {
+                    let v = value("--model")?;
+                    cfg.model = match v.to_uppercase().as_str() {
+                        "GAMMA" => RateModelKind::Gamma,
+                        "PSR" | "CAT" => RateModelKind::Psr,
+                        _ => {
+                            return Err(CliError::BadValue {
+                                flag: "--model",
+                                value: v,
+                                expected: "GAMMA or PSR",
+                            })
+                        }
+                    }
+                }
+                "--kernel" => {
+                    let v = value("--kernel")?;
+                    cfg.kernel = KernelChoice::parse(&v).ok_or(CliError::BadValue {
+                        flag: "--kernel",
+                        value: v,
+                        expected: "scalar, simd or auto",
+                    })?;
+                }
+                "-Q" => cfg.mps = true,
+                "-M" => cfg.per_partition_branches = true,
+                "--seed" => cfg.seed = num("--seed", value("--seed")?, "an integer")?,
+                "--starting-tree" => cfg.starting_tree = value("--starting-tree")?,
+                "--iterations" => {
+                    cfg.iterations = num("--iterations", value("--iterations")?, "a count")?
+                }
+                "--radius" => cfg.radius = num("--radius", value("--radius")?, "a count")?,
+                "--epsilon" => cfg.epsilon = num("--epsilon", value("--epsilon")?, "a number")?,
+                "--checkpoint" => cfg.checkpoint = Some(value("--checkpoint")?.into()),
+                "--checkpoint-every" => {
+                    cfg.checkpoint_every = num(
+                        "--checkpoint-every",
+                        value("--checkpoint-every")?,
+                        "a count",
+                    )?
+                }
+                "--resume" => cfg.resume = Some(value("--resume")?.into()),
+                "--out-tree" => cfg.out_tree = Some(value("--out-tree")?.into()),
+                "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
+                "--bootstrap" => {
+                    cfg.bootstrap = num("--bootstrap", value("--bootstrap")?, "a count")?
+                }
+                "--verify-replicas" => {
+                    cfg.verify_replicas = num(
+                        "--verify-replicas",
+                        value("--verify-replicas")?,
+                        "a cadence",
+                    )?
+                }
+                "--health-out" => cfg.health_out = Some(value("--health-out")?.into()),
+                "--inject-divergence" => {
+                    let v = value("--inject-divergence")?;
+                    cfg.inject_divergence =
+                        Some(parse_divergence_fault(&v).ok_or(CliError::BadValue {
+                            flag: "--inject-divergence",
+                            value: v,
+                            expected: "RANK:COLLECTIVE:alpha|blen",
+                        })?);
+                }
+                "--ascii" => cfg.ascii = true,
+                "--stats" => cfg.stats_only = true,
+                "--quiet" => cfg.quiet = true,
+                "--help" | "-h" => return Err(CliError::Help),
+                other => {
+                    return Err(CliError::UnknownFlag {
+                        flag: other.to_string(),
+                        suggestion: nearest_flag(other),
+                    })
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
+pub fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
+    let mut parts = spec.splitn(3, ':');
+    let rank = parts.next()?.parse().ok()?;
+    let after_collectives = parts.next()?.parse().ok()?;
+    let component = FaultComponent::parse(parts.next()?)?;
+    Some(DivergenceFault {
+        rank,
+        after_collectives,
+        component,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliConfig, CliError> {
+        CliConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_historical_cli() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.ranks, 4);
+        assert_eq!(c.model, RateModelKind::Gamma);
+        assert_eq!(c.starting_tree, "parsimony");
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.radius, 5);
+        assert!((c.epsilon - 0.1).abs() < 1e-12);
+        assert_eq!(c.verify_replicas, 0);
+        assert!(!c.quiet && !c.ascii && !c.stats_only);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let c = parse(&[
+            "--phylip",
+            "a.phy",
+            "--partitions",
+            "p.txt",
+            "--ranks",
+            "8",
+            "--model",
+            "psr",
+            "--kernel",
+            "simd",
+            "-Q",
+            "-M",
+            "--seed",
+            "7",
+            "--starting-tree",
+            "random",
+            "--iterations",
+            "3",
+            "--radius",
+            "2",
+            "--epsilon",
+            "0.5",
+            "--verify-replicas",
+            "16",
+            "--inject-divergence",
+            "1:10:alpha",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(c.phylip.as_deref(), Some(std::path::Path::new("a.phy")));
+        assert_eq!(c.ranks, 8);
+        assert_eq!(c.model, RateModelKind::Psr);
+        assert_eq!(c.kernel, KernelChoice::Simd);
+        assert!(c.mps && c.per_partition_branches && c.quiet);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.verify_replicas, 16);
+        let fault = c.inject_divergence.unwrap();
+        assert_eq!(fault.rank, 1);
+        assert_eq!(fault.after_collectives, 10);
+        assert_eq!(fault.component, FaultComponent::Alpha);
+    }
+
+    #[test]
+    fn unknown_flag_names_the_nearest_valid_one() {
+        let err = parse(&["--phlyip", "a.phy"]).unwrap_err();
+        let CliError::UnknownFlag { flag, suggestion } = &err else {
+            panic!("expected UnknownFlag, got {err:?}");
+        };
+        assert_eq!(flag, "--phlyip");
+        assert_eq!(*suggestion, Some("--phylip"));
+        assert!(err.to_string().contains("did you mean --phylip?"), "{err}");
+
+        let err = parse(&["--kernal", "simd"]).unwrap_err();
+        assert!(err.to_string().contains("did you mean --kernel?"), "{err}");
+
+        // Gibberish gets no far-fetched suggestion.
+        let err = parse(&["--zzzzzzzzzzzzzzzzzz"]).unwrap_err();
+        let CliError::UnknownFlag { suggestion, .. } = err else {
+            panic!()
+        };
+        assert_eq!(suggestion, None);
+    }
+
+    #[test]
+    fn missing_and_bad_values_are_structured() {
+        assert_eq!(
+            parse(&["--ranks"]).unwrap_err(),
+            CliError::MissingValue { flag: "--ranks" }
+        );
+        let err = parse(&["--ranks", "many"]).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::BadValue {
+                flag: "--ranks",
+                ..
+            }
+        ));
+        let err = parse(&["--kernel", "avx512"]).unwrap_err();
+        assert!(err.to_string().contains("scalar, simd or auto"), "{err}");
+        let err = parse(&["--model", "JC"]).unwrap_err();
+        assert!(err.to_string().contains("GAMMA or PSR"), "{err}");
+        assert_eq!(parse(&["--help"]).unwrap_err(), CliError::Help);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("--phlyip", "--phylip"), 2);
+    }
+}

@@ -356,4 +356,8 @@ impl Evaluator for DecentralizedEvaluator {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn backend_fingerprint(&self) -> u64 {
+        exa_search::kernel_fingerprint(self.engine.kernel_kind())
+    }
 }

@@ -21,7 +21,7 @@
 //! lost — only the current iteration's partial work is redone.
 
 use crate::checkpoint::{self, Checkpoint, CHECKPOINT_VERSION};
-use crate::{build_engine, die_now, DecentralizedEvaluator, InferenceConfig};
+use crate::{die_now, DecentralizedEvaluator, InferenceConfig};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, Rank};
 use exa_obs::{imbalance_ratio, HeartbeatRecord};
@@ -174,6 +174,7 @@ impl DecentralizedHooks {
             imbalance: imbalance_ratio(&per_rank),
             sentinel_syncs: de.sentinel_syncs(),
             divergence: "ok".to_string(),
+            kernel: Some(de.engine().kernel_kind().label().to_string()),
         };
         let line = rec.to_json_line();
         let written = if health.created {
@@ -227,18 +228,23 @@ impl SearchHooks for DecentralizedHooks {
             .expect("a failed rank cannot recover");
 
         // 2. Redistribute: recompute the assignment over the survivors and
-        //    rebuild the local engine from the shared alignment.
+        //    rebuild the local engine from the shared alignment. The rebuilt
+        //    engine keeps the kernel backend negotiated at startup — the
+        //    survivors already agreed on it, and re-negotiating here would
+        //    require a collective the failed rank can no longer join.
         let assignments = exa_sched::distribute(&self.aln, survivors.len(), self.cfg.strategy);
-        let engine = build_engine(
-            &self.aln,
-            &assignments[my_index],
-            &self.freqs,
-            self.cfg.rate_model,
-        );
         let de = eval
             .as_any_mut()
             .downcast_mut::<DecentralizedEvaluator>()
             .expect("de-centralized hooks require the de-centralized evaluator");
+        let kernel = de.engine().kernel_kind();
+        let engine = exa_sched::build_engine(
+            &self.aln,
+            &assignments[my_index],
+            &self.freqs,
+            self.cfg.rate_model,
+            kernel,
+        );
         de.replace_engine(engine);
 
         // 3. Rewind to the last consistent boundary and retry.

@@ -22,18 +22,21 @@
 
 pub mod bootstrap;
 pub mod checkpoint;
+pub mod cli;
 pub mod evaluator;
 pub mod fault;
+pub mod run;
 pub mod sentinel;
 
+pub use cli::{CliConfig, CliError};
 pub use evaluator::DecentralizedEvaluator;
+pub use run::{BootstrapOptions, BootstrapSummary, RunConfig, RunError, RunOutcome, Scheme};
 pub use sentinel::{DivergenceFault, FaultComponent};
 
 use exa_bio::patterns::CompressedAlignment;
-use exa_bio::stats::empirical_frequencies;
 use exa_comm::{CommCategory, CommStats, Rank, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::{Engine, PartitionSlice, WorkCounters};
+use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
@@ -75,6 +78,15 @@ pub struct InferenceConfig {
     pub divergence_fault: Option<DivergenceFault>,
     /// Write heartbeat JSON-lines records here (one per iteration boundary).
     pub health_out: Option<PathBuf>,
+    /// Likelihood-kernel backend selection. `Auto` makes the ranks agree on
+    /// a common backend via a one-time capability allgather (every rank
+    /// adopts the weakest capability present), keeping the backend uniform
+    /// across the world — a requirement for fault-driven redistribution.
+    pub kernel: KernelChoice,
+    /// Test hook: force a specific backend per rank, bypassing negotiation.
+    /// Mixing kinds violates the uniform-backend requirement and is
+    /// detected by the replica-divergence sentinel.
+    pub kernel_override: Option<Vec<KernelKind>>,
 }
 
 impl InferenceConfig {
@@ -95,6 +107,40 @@ impl InferenceConfig {
             verify_replicas: 0,
             divergence_fault: None,
             health_out: None,
+            kernel: KernelChoice::from_env(),
+            kernel_override: None,
+        }
+    }
+}
+
+/// Resolve the kernel backend a rank will compute with. `Auto` performs the
+/// one-time capability negotiation: each rank contributes its local
+/// capability level on an allgather and every rank adopts the minimum, so
+/// heterogeneous worlds settle on a backend all of them support. A failed
+/// (empty) slot is ignored — the survivors still agree because they all saw
+/// the same gather.
+pub(crate) fn negotiate_kernel(
+    rank: &Rank,
+    choice: KernelChoice,
+    override_table: Option<&[KernelKind]>,
+) -> KernelKind {
+    if let Some(table) = override_table {
+        return table[rank.id() % table.len().max(1)];
+    }
+    match choice {
+        KernelChoice::Scalar => KernelKind::Scalar,
+        KernelChoice::Simd => KernelKind::Simd,
+        KernelChoice::Auto => {
+            let mine = choice.capability_level();
+            let gathered = rank
+                .allgather_bytes(vec![mine], CommCategory::Control)
+                .expect("kernel capability negotiation cannot proceed after a rank failure");
+            let min = gathered
+                .iter()
+                .filter_map(|b| b.first().copied())
+                .min()
+                .unwrap_or(mine);
+            KernelKind::from_capability_level(min)
         }
     }
 }
@@ -117,6 +163,9 @@ pub struct RunOutput {
     pub survivors: Vec<usize>,
     /// Sentinel fingerprint syncs completed (0 when the sentinel is off).
     pub sentinel_syncs: u64,
+    /// The likelihood-kernel backend the ranks computed with (negotiated
+    /// under `KernelChoice::Auto`, forced otherwise).
+    pub kernel: KernelKind,
 }
 
 /// What each rank thread reports back.
@@ -128,6 +177,7 @@ enum RankReport {
         mem_bytes: u64,
         stats: CommStats,
         sentinel_syncs: u64,
+        kernel: KernelKind,
     },
     Died {
         work: WorkCounters,
@@ -167,43 +217,33 @@ fn install_control_panic_silencer() {
     });
 }
 
-/// Compute the global per-partition empirical frequencies once — every rank
-/// derives identical models from them regardless of which patterns it holds.
-pub fn global_frequencies(aln: &CompressedAlignment) -> Vec<[f64; 4]> {
-    aln.partitions.iter().map(empirical_frequencies).collect()
-}
-
-/// Build a rank's engine from a distribution assignment.
-pub fn build_engine(
-    aln: &CompressedAlignment,
-    assignment: &exa_sched::RankAssignment,
-    freqs: &[[f64; 4]],
-    rate_model: RateModelKind,
-) -> Engine {
-    let slices: Vec<PartitionSlice> = exa_sched::materialize(aln, assignment)
-        .into_iter()
-        .map(|(gi, part)| PartitionSlice::from_subset(gi, &part, freqs[gi]))
-        .collect();
-    Engine::new(aln.n_taxa(), slices, rate_model, 1.0)
-}
-
 /// Run a de-centralized inference over `cfg.n_ranks` rank threads.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RunConfig::new(n_ranks).run(&aln)` — the unified entrypoint"
+)]
 pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> RunOutput {
-    run_decentralized_traced(aln, cfg, None)
+    match decentralized_impl(aln, cfg, None) {
+        Ok(out) => out,
+        Err(d) => panic!("{d}"),
+    }
 }
 
 /// [`run_decentralized`] with an optional [`Recorder`]: each rank claims its
 /// tracer slot, so kernels, search phases and collectives emit events. Call
 /// `Recorder::finish` after this returns to obtain the merged trace.
 ///
-/// Panics on replica divergence — use [`run_decentralized_checked`] to
-/// handle the sentinel's structured diagnostic instead.
+/// Panics on replica divergence.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RunConfig::new(n_ranks).collect_trace(true).run(&aln)` instead"
+)]
 pub fn run_decentralized_traced(
     aln: &CompressedAlignment,
     cfg: &InferenceConfig,
     recorder: Option<&Arc<Recorder>>,
 ) -> RunOutput {
-    match run_decentralized_checked(aln, cfg, recorder) {
+    match decentralized_impl(aln, cfg, recorder) {
         Ok(out) => out,
         Err(d) => panic!("{d}"),
     }
@@ -211,7 +251,21 @@ pub fn run_decentralized_traced(
 
 /// [`run_decentralized_traced`] that surfaces a sentinel trip as a
 /// structured [`exa_obs::ReplicaDivergence`] instead of panicking.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `RunConfig::new(n_ranks).run(&aln)` and match on `RunError::Divergence`"
+)]
 pub fn run_decentralized_checked(
+    aln: &CompressedAlignment,
+    cfg: &InferenceConfig,
+    recorder: Option<&Arc<Recorder>>,
+) -> Result<RunOutput, exa_obs::ReplicaDivergence> {
+    decentralized_impl(aln, cfg, recorder)
+}
+
+/// The de-centralized scheme driver behind both [`RunConfig::run`] and the
+/// deprecated `run_decentralized*` shims.
+pub(crate) fn decentralized_impl(
     aln: &CompressedAlignment,
     cfg: &InferenceConfig,
     recorder: Option<&Arc<Recorder>>,
@@ -222,7 +276,7 @@ pub fn run_decentralized_checked(
     );
     install_control_panic_silencer();
     let aln = Arc::new(aln.clone());
-    let freqs = Arc::new(global_frequencies(&aln));
+    let freqs = Arc::new(exa_bio::stats::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
 
     let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
@@ -235,6 +289,7 @@ pub fn run_decentralized_checked(
     let mut chosen: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
     let mut lnls: Vec<u64> = Vec::new();
     let mut syncs = 0u64;
+    let mut run_kernel = KernelKind::Scalar;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     for r in reports {
         match r {
@@ -245,6 +300,7 @@ pub fn run_decentralized_checked(
                 mem_bytes,
                 stats,
                 sentinel_syncs,
+                kernel,
             } => {
                 work = work.merge(&w);
                 mem += mem_bytes;
@@ -252,6 +308,7 @@ pub fn run_decentralized_checked(
                 syncs = syncs.max(sentinel_syncs);
                 if chosen.is_none() {
                     chosen = Some((result, state, stats));
+                    run_kernel = kernel;
                 }
             }
             RankReport::Died { work: w, mem_bytes } => {
@@ -292,6 +349,7 @@ pub fn run_decentralized_checked(
         mem_bytes: mem,
         survivors,
         sentinel_syncs: syncs,
+        kernel: run_kernel,
     })
 }
 
@@ -304,7 +362,19 @@ fn rank_main(
     // 1. Deterministic data distribution — every rank computes the same
     //    assignment table locally (no coordination needed).
     let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
-    let engine = build_engine(&aln, &assignments[rank.id()], &freqs, cfg.rate_model);
+    // Agree on a kernel backend before building any engine: `Auto` runs the
+    // one-time capability allgather. Every rank stamps the winner into its
+    // trace — identically, preserving cross-rank event-sequence parity — so
+    // post-hoc analysis knows what the run computed with.
+    let kernel = negotiate_kernel(&rank, cfg.kernel, cfg.kernel_override.as_deref());
+    exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, kernel.label()));
+    let engine = exa_sched::build_engine(
+        &aln,
+        &assignments[rank.id()],
+        &freqs,
+        cfg.rate_model,
+        kernel,
+    );
     // Account the initial data distribution (real ExaML reads the binary
     // alignment via MPI I/O; the in-process world shares memory, so this
     // traffic is modeled, not moved): one scatter of each rank's slice.
@@ -363,6 +433,7 @@ fn rank_main(
                 mem_bytes: eval.engine().clv_bytes(),
                 stats: rank.stats(),
                 sentinel_syncs: eval.sentinel_syncs(),
+                kernel: eval.engine().kernel_kind(),
             }
         }
         Err(payload) => {

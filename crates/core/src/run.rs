@@ -1,0 +1,474 @@
+//! The unified run entrypoint.
+//!
+//! Historically every combination of scheme × tracing × divergence handling
+//! got its own free function (`run_decentralized`, `run_decentralized_traced`,
+//! `run_decentralized_checked`, `run_forkjoin`, `run_forkjoin_traced`,
+//! `run_bootstrap`, `run_bootstrap_traced`, …) — nine entrypoints whose
+//! signatures drifted apart as features landed. [`RunConfig`] replaces the
+//! lot: one builder-style configuration, one [`RunConfig::run`] call, one
+//! [`RunOutcome`] that always carries the negotiated kernel backend, the
+//! optional trace and the end-of-run [`HealthReport`].
+//!
+//! ```no_run
+//! # let aln: exa_bio::patterns::CompressedAlignment = unimplemented!();
+//! use examl_core::{RunConfig, Scheme};
+//!
+//! let outcome = RunConfig::new(4)
+//!     .scheme(Scheme::Decentralized)
+//!     .verify_replicas(64)
+//!     .collect_trace(true)
+//!     .run(&aln)
+//!     .expect("replicas stayed bit-identical");
+//! println!("lnL {} with {} kernels", outcome.result.lnl, outcome.kernel.label());
+//! ```
+//!
+//! The old entrypoints survive one release cycle as `#[deprecated]` shims.
+
+use crate::bootstrap::{bootstrap_impl, BootstrapConfig};
+use crate::fault::FaultPlan;
+use crate::sentinel::DivergenceFault;
+use crate::{decentralized_impl, InferenceConfig, RunOutput};
+use exa_bio::patterns::CompressedAlignment;
+use exa_comm::CommStats;
+use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
+use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::evaluator::GlobalState;
+use exa_search::{BranchMode, SearchConfig, SearchResult, StartingTree};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Which parallelization scheme executes the search (§III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    /// The paper's contribution: every rank replicates the search and only
+    /// mathematically-required reductions are communicated. Supports
+    /// checkpointing, fault tolerance, the replica sentinel and bootstrap.
+    Decentralized,
+    /// The RAxML-Light master/worker baseline: rank 0 owns the tree and
+    /// broadcasts work. No fault tolerance (a master failure is
+    /// catastrophic by design) and no replica sentinel (there are no
+    /// replicas to compare).
+    ForkJoin,
+}
+
+/// Bootstrap settings carried by a [`RunConfig`] (de-centralized only).
+#[derive(Debug, Clone)]
+pub struct BootstrapOptions {
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Master seed; replicate `i` resamples with `seed + i`.
+    pub seed: u64,
+    /// Write the best-tree run's Chrome trace here and each replicate's to
+    /// `bootstrap::replicate_trace_path` of it.
+    pub trace_out: Option<PathBuf>,
+}
+
+/// Bootstrap results attached to a [`RunOutcome`].
+#[derive(Debug, Clone)]
+pub struct BootstrapSummary {
+    /// Per-replicate final log-likelihoods.
+    pub replicate_lnls: Vec<f64>,
+    /// Support (% of replicates) per canonical bipartition of the best tree.
+    pub support: HashMap<Vec<usize>, f64>,
+    /// Best tree with support labels, Newick.
+    pub annotated_newick: String,
+}
+
+/// Why a run did not produce a [`RunOutcome`].
+#[derive(Debug)]
+pub enum RunError {
+    /// The replica sentinel tripped: the diagnostic names the first
+    /// divergent collective, the minority ranks and the state component(s).
+    Divergence(ReplicaDivergence),
+    /// Trace or support-file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Divergence(d) => write!(f, "{d}"),
+            RunError::Io(e) => write!(f, "trace I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ReplicaDivergence> for RunError {
+    fn from(d: ReplicaDivergence) -> RunError {
+        RunError::Divergence(d)
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> RunError {
+        RunError::Io(e)
+    }
+}
+
+/// Everything a run produces, regardless of scheme.
+///
+/// The search fields mirror the historical `RunOutput` so migrating callers
+/// is mechanical; on top of those, every outcome reports the kernel backend
+/// the ranks computed with, the merged trace (when requested) and the
+/// end-of-run health summary.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub result: SearchResult,
+    /// Final replicated state (tree + model parameters).
+    pub state: GlobalState,
+    /// Final tree in Newick form.
+    pub tree_newick: String,
+    /// Communication statistics of the whole world.
+    pub comm_stats: CommStats,
+    /// Kernel work summed over all ranks.
+    pub work: WorkCounters,
+    /// Total CLV memory across ranks, bytes.
+    pub mem_bytes: u64,
+    /// Ranks alive at the end (all of them under fork-join).
+    pub survivors: Vec<usize>,
+    /// Sentinel fingerprint syncs completed (0 when the sentinel is off).
+    pub sentinel_syncs: u64,
+    /// The likelihood-kernel backend the ranks computed with (negotiated
+    /// under `KernelChoice::Auto`, forced otherwise).
+    pub kernel: KernelKind,
+    /// Merged trace, present when [`RunConfig::collect_trace`] was set
+    /// (absent for bootstrap runs, which write per-replicate trace files
+    /// instead).
+    pub trace: Option<RunTrace>,
+    /// End-of-run health summary (sentinel verdict, load imbalance,
+    /// heartbeat count, kernel backend).
+    pub health: HealthReport,
+    /// Bootstrap support results, when replicates were requested.
+    pub bootstrap: Option<BootstrapSummary>,
+}
+
+/// Builder-style configuration for [`RunConfig::run`], the single
+/// entrypoint replacing the `run_*` function family.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub scheme: Scheme,
+    pub n_ranks: usize,
+    pub rate_model: RateModelKind,
+    pub branch_mode: BranchMode,
+    pub strategy: exa_sched::Strategy,
+    pub search: SearchConfig,
+    pub seed: u64,
+    pub starting_tree: StartingTree,
+    pub checkpoint_path: Option<PathBuf>,
+    pub checkpoint_every: usize,
+    pub resume_from: Option<PathBuf>,
+    pub fault_plan: FaultPlan,
+    pub verify_replicas: u64,
+    pub divergence_fault: Option<DivergenceFault>,
+    pub health_out: Option<PathBuf>,
+    /// Kernel-backend selection; `Auto` negotiates a common backend across
+    /// the ranks (de-centralized) or resolves locally (fork-join).
+    pub kernel: KernelChoice,
+    /// Test hook: force a backend per rank, bypassing negotiation. Mixing
+    /// kinds violates the uniform-backend requirement and trips the
+    /// sentinel (de-centralized only).
+    pub kernel_override: Option<Vec<KernelKind>>,
+    /// Collect an `exa-obs` trace and return it in the outcome.
+    pub collect_trace: bool,
+    /// Run a bootstrap analysis around the best-tree search.
+    pub bootstrap: Option<BootstrapOptions>,
+}
+
+impl RunConfig {
+    /// Defaults for `n_ranks` ranks: de-centralized scheme, Γ model, no
+    /// tracing, sentinel off, kernel from `EXAML_KERNEL` (default `auto`).
+    pub fn new(n_ranks: usize) -> RunConfig {
+        let base = InferenceConfig::new(n_ranks);
+        RunConfig {
+            scheme: Scheme::Decentralized,
+            n_ranks,
+            rate_model: base.rate_model,
+            branch_mode: base.branch_mode,
+            strategy: base.strategy,
+            search: base.search,
+            seed: base.seed,
+            starting_tree: base.starting_tree,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
+            fault_plan: FaultPlan::none(),
+            verify_replicas: 0,
+            divergence_fault: None,
+            health_out: None,
+            kernel: base.kernel,
+            kernel_override: None,
+            collect_trace: false,
+            bootstrap: None,
+        }
+    }
+
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    pub fn rate_model(mut self, model: RateModelKind) -> Self {
+        self.rate_model = model;
+        self
+    }
+
+    pub fn branch_mode(mut self, mode: BranchMode) -> Self {
+        self.branch_mode = mode;
+        self
+    }
+
+    pub fn strategy(mut self, strategy: exa_sched::Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn starting_tree(mut self, tree: StartingTree) -> Self {
+        self.starting_tree = tree;
+        self
+    }
+
+    /// Write a checkpoint to `path` every `every` iterations.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resume from a checkpoint file before searching.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Scripted rank failures (fault-tolerance testing, §V).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Exchange replica state fingerprints every `cadence` collectives
+    /// (0 = sentinel off).
+    pub fn verify_replicas(mut self, cadence: u64) -> Self {
+        self.verify_replicas = cadence;
+        self
+    }
+
+    /// Scripted single-bit state corruption (sentinel fault injection).
+    pub fn divergence_fault(mut self, fault: DivergenceFault) -> Self {
+        self.divergence_fault = Some(fault);
+        self
+    }
+
+    /// Append one heartbeat JSON line per iteration boundary to `path`.
+    pub fn health_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.health_out = Some(path.into());
+        self
+    }
+
+    /// Select the likelihood-kernel backend.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Test hook: force a backend per rank (`table[rank % len]`).
+    pub fn kernel_override(mut self, table: Vec<KernelKind>) -> Self {
+        self.kernel_override = Some(table);
+        self
+    }
+
+    /// Collect an `exa-obs` trace and return it in the outcome.
+    pub fn collect_trace(mut self, on: bool) -> Self {
+        self.collect_trace = on;
+        self
+    }
+
+    /// Run `replicates` bootstrap replicates (replicate `i` resamples with
+    /// `seed + i`) and attach bipartition support to the outcome.
+    pub fn bootstrap(mut self, replicates: usize, seed: u64) -> Self {
+        self.bootstrap = Some(BootstrapOptions {
+            replicates,
+            seed,
+            trace_out: None,
+        });
+        self
+    }
+
+    /// Write bootstrap traces (best run + one file per replicate) rooted at
+    /// `path`. Only meaningful after [`RunConfig::bootstrap`].
+    pub fn bootstrap_trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        if let Some(bs) = &mut self.bootstrap {
+            bs.trace_out = Some(path.into());
+        }
+        self
+    }
+
+    /// The equivalent de-centralized [`InferenceConfig`] (the type the
+    /// per-rank machinery consumes).
+    pub fn inference_config(&self) -> InferenceConfig {
+        InferenceConfig {
+            n_ranks: self.n_ranks,
+            rate_model: self.rate_model,
+            branch_mode: self.branch_mode,
+            strategy: self.strategy,
+            search: self.search.clone(),
+            seed: self.seed,
+            starting_tree: self.starting_tree.clone(),
+            checkpoint_path: self.checkpoint_path.clone(),
+            checkpoint_every: self.checkpoint_every,
+            resume_from: self.resume_from.clone(),
+            fault_plan: self.fault_plan.clone(),
+            verify_replicas: self.verify_replicas,
+            divergence_fault: self.divergence_fault,
+            health_out: self.health_out.clone(),
+            kernel: self.kernel,
+            kernel_override: self.kernel_override.clone(),
+        }
+    }
+
+    /// Execute the configured run.
+    pub fn run(&self, aln: &CompressedAlignment) -> Result<RunOutcome, RunError> {
+        match self.scheme {
+            Scheme::Decentralized => self.run_decentralized(aln),
+            Scheme::ForkJoin => self.run_forkjoin(aln),
+        }
+    }
+
+    fn run_decentralized(&self, aln: &CompressedAlignment) -> Result<RunOutcome, RunError> {
+        let cfg = self.inference_config();
+        if let Some(bs) = &self.bootstrap {
+            let bs_cfg = BootstrapConfig {
+                replicates: bs.replicates,
+                seed: bs.seed,
+                base: cfg,
+            };
+            let out = bootstrap_impl(aln, &bs_cfg, bs.trace_out.as_deref())?;
+            let summary = BootstrapSummary {
+                replicate_lnls: out.replicate_lnls,
+                support: out.support,
+                annotated_newick: out.annotated_newick,
+            };
+            let health = self.health_report(aln, out.best.sentinel_syncs, None, out.best.kernel);
+            return Ok(assemble(out.best, None, health, Some(summary)));
+        }
+        let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
+        let out = decentralized_impl(aln, &cfg, recorder.as_ref())?;
+        let trace = recorder.map(Recorder::finish);
+        let health = self.health_report(aln, out.sentinel_syncs, trace.as_ref(), out.kernel);
+        Ok(assemble(out, trace, health, None))
+    }
+
+    fn run_forkjoin(&self, aln: &CompressedAlignment) -> Result<RunOutcome, RunError> {
+        assert!(
+            self.bootstrap.is_none(),
+            "bootstrap requires the de-centralized scheme"
+        );
+        // All ranks of an in-process world share one machine; resolving
+        // `auto` locally yields the same answer a negotiation would.
+        let kernel = match self.kernel_override.as_deref() {
+            Some([first, rest @ ..]) => {
+                assert!(
+                    rest.iter().all(|k| k == first),
+                    "fork-join has no replica sentinel; refusing a mixed kernel override"
+                );
+                *first
+            }
+            _ => self.kernel.resolve_local(),
+        };
+        let fj = exa_forkjoin::ForkJoinConfig {
+            n_ranks: self.n_ranks,
+            rate_model: self.rate_model,
+            branch_mode: self.branch_mode,
+            strategy: self.strategy,
+            search: self.search.clone(),
+            seed: self.seed,
+            starting_tree: self.starting_tree.clone(),
+            kernel,
+        };
+        let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
+        let out = exa_forkjoin::execute(aln, &fj, recorder.as_ref());
+        let trace = recorder.map(Recorder::finish);
+        let health = self.health_report(aln, 0, trace.as_ref(), kernel);
+        Ok(RunOutcome {
+            result: out.result,
+            state: out.state,
+            tree_newick: out.tree_newick,
+            comm_stats: out.comm_stats,
+            work: out.work,
+            mem_bytes: out.mem_bytes,
+            survivors: (0..self.n_ranks).collect(),
+            sentinel_syncs: 0,
+            kernel,
+            trace,
+            health,
+            bootstrap: None,
+        })
+    }
+
+    /// End-of-run health summary: sentinel verdict, measured (trace) vs
+    /// predicted (scheduler) load imbalance, heartbeat count, kernel.
+    fn health_report(
+        &self,
+        aln: &CompressedAlignment,
+        sentinel_syncs: u64,
+        trace: Option<&RunTrace>,
+        kernel: KernelKind,
+    ) -> HealthReport {
+        let measured = trace.and_then(|t| {
+            let ratio = exa_obs::imbalance_ratio(&t.kernel_profile().rank_totals());
+            (ratio > 0.0).then_some(ratio)
+        });
+        let assignments = exa_sched::distribute(aln, self.n_ranks, self.strategy);
+        let predicted = exa_sched::balance::balance_stats(aln, &assignments).imbalance;
+        let heartbeats = self
+            .health_out
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count() as u64)
+            .unwrap_or(0);
+        HealthReport {
+            sentinel_cadence: self.verify_replicas,
+            sentinel_syncs,
+            divergence: None,
+            measured_imbalance: measured,
+            predicted_imbalance: Some(predicted),
+            heartbeats,
+            kernel: Some(kernel.label().to_string()),
+        }
+    }
+}
+
+fn assemble(
+    out: RunOutput,
+    trace: Option<RunTrace>,
+    health: HealthReport,
+    bootstrap: Option<BootstrapSummary>,
+) -> RunOutcome {
+    RunOutcome {
+        result: out.result,
+        state: out.state,
+        tree_newick: out.tree_newick,
+        comm_stats: out.comm_stats,
+        work: out.work,
+        mem_bytes: out.mem_bytes,
+        survivors: out.survivors,
+        sentinel_syncs: out.sentinel_syncs,
+        kernel: out.kernel,
+        trace,
+        health,
+        bootstrap,
+    }
+}

@@ -1,18 +1,27 @@
 //! Unit-level tests of the de-centralized evaluator against the sequential
 //! reference, inside small rank worlds.
 
+use exa_bio::stats::global_frequencies;
 use exa_comm::{CommCategory, World};
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::Tree;
+use exa_phylo::KernelChoice;
+use exa_sched::build_engine;
 use exa_search::evaluator::{BranchMode, Evaluator, SequentialEvaluator};
 use exa_simgen::workloads;
-use examl_core::{build_engine, global_frequencies, DecentralizedEvaluator};
+use examl_core::DecentralizedEvaluator;
 use std::sync::Arc;
 
 fn sequential(w: &workloads::Workload, seed: u64) -> SequentialEvaluator {
     let freqs = global_frequencies(&w.compressed);
     let assignment = exa_sched::distribute(&w.compressed, 1, exa_sched::Strategy::Cyclic);
-    let engine = build_engine(&w.compressed, &assignment[0], &freqs, RateModelKind::Gamma);
+    let engine = build_engine(
+        &w.compressed,
+        &assignment[0],
+        &freqs,
+        RateModelKind::Gamma,
+        KernelChoice::from_env().resolve_local(),
+    );
     let tree = Tree::random(w.compressed.n_taxa(), 1, seed);
     SequentialEvaluator::new(tree, engine, w.compressed.n_partitions(), BranchMode::Joint)
 }
@@ -38,6 +47,7 @@ fn distributed_evaluate_matches_sequential_bitwise_per_rank() {
                 &assignments[rank.id()],
                 &freqs,
                 RateModelKind::Gamma,
+                KernelChoice::from_env().resolve_local(),
             );
             let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
             let mut eval = DecentralizedEvaluator::new(
@@ -84,6 +94,7 @@ fn distributed_derivatives_match_sequential() {
             &assignments[rank.id()],
             &freqs,
             RateModelKind::Gamma,
+            KernelChoice::from_env().resolve_local(),
         );
         let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
         let mut eval = DecentralizedEvaluator::new(
@@ -120,6 +131,7 @@ fn evaluate_uses_one_double_partitioned_uses_p() {
             &assignments[rank.id()],
             &freqs,
             RateModelKind::Gamma,
+            KernelChoice::from_env().resolve_local(),
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(
@@ -156,6 +168,7 @@ fn snapshot_restore_in_rank_world() {
             &assignments[rank.id()],
             &freqs,
             RateModelKind::Gamma,
+            KernelChoice::from_env().resolve_local(),
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(

@@ -27,7 +27,7 @@ pub use master::ForkJoinEvaluator;
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::WorkCounters;
+use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
@@ -49,6 +49,11 @@ pub struct ForkJoinConfig {
     pub seed: u64,
     /// Starting-tree policy (must match across comparison runs).
     pub starting_tree: StartingTree,
+    /// Resolved likelihood-kernel backend every rank computes with. The
+    /// ranks of an in-process fork-join world share one machine, so there
+    /// is no capability negotiation here — callers resolve `auto` locally
+    /// (see `KernelChoice::resolve_local`).
+    pub kernel: KernelKind,
 }
 
 impl ForkJoinConfig {
@@ -62,6 +67,7 @@ impl ForkJoinConfig {
             search: SearchConfig::default(),
             seed: 42,
             starting_tree: StartingTree::Random,
+            kernel: KernelChoice::from_env().resolve_local(),
         }
     }
 }
@@ -92,13 +98,32 @@ enum RankReport {
 }
 
 /// Run a fork-join inference: rank 0 is the master, the rest are workers.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `examl_core::RunConfig::new(n_ranks).scheme(Scheme::ForkJoin).run(&aln)` \
+            or `exa_forkjoin::execute` directly"
+)]
 pub fn run_forkjoin(aln: &CompressedAlignment, cfg: &ForkJoinConfig) -> RunOutput {
-    run_forkjoin_traced(aln, cfg, None)
+    execute(aln, cfg, None)
 }
 
-/// [`run_forkjoin`] with an optional [`Recorder`]; see
-/// `examl_core::run_decentralized_traced` for the usage pattern.
+/// [`run_forkjoin`] with an optional [`Recorder`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `examl_core::RunConfig` with `collect_trace(true)`, or `exa_forkjoin::execute`"
+)]
 pub fn run_forkjoin_traced(
+    aln: &CompressedAlignment,
+    cfg: &ForkJoinConfig,
+    recorder: Option<&std::sync::Arc<Recorder>>,
+) -> RunOutput {
+    execute(aln, cfg, recorder)
+}
+
+/// Execute a fork-join inference: rank 0 is the master, the rest are
+/// workers. With a [`Recorder`], each rank claims its tracer slot so
+/// kernels, search phases and collectives emit events.
+pub fn execute(
     aln: &CompressedAlignment,
     cfg: &ForkJoinConfig,
     recorder: Option<&std::sync::Arc<Recorder>>,
@@ -108,13 +133,19 @@ pub fn run_forkjoin_traced(
         "need at least 4 taxa for a meaningful search"
     );
     let aln = Arc::new(aln.clone());
-    let freqs = Arc::new(examl_core::global_frequencies(&aln));
+    let freqs = Arc::new(exa_bio::stats::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
 
     let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
         let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
-        let engine =
-            examl_core::build_engine(&aln, &assignments[rank.id()], &freqs, cfg.rate_model);
+        let engine = exa_sched::build_engine(
+            &aln,
+            &assignments[rank.id()],
+            &freqs,
+            cfg.rate_model,
+            cfg.kernel,
+        );
+        exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, cfg.kernel.label()));
         if rank.id() == 0 {
             // Account the initial data distribution (modeled; see the
             // de-centralized driver for the rationale).

@@ -2,7 +2,7 @@
 //! lives in the workspace integration suite).
 
 use exa_comm::CommCategory;
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 
@@ -19,7 +19,7 @@ fn single_rank_forkjoin_works() {
     let w = workloads::partitioned(6, 2, 60, 3);
     let mut cfg = ForkJoinConfig::new(1);
     cfg.search = quick();
-    let out = run_forkjoin(&w.compressed, &cfg);
+    let out = execute(&w.compressed, &cfg, None);
     assert!(out.result.lnl.is_finite() && out.result.lnl < 0.0);
     out.state.tree.check_invariants().unwrap();
 }
@@ -32,7 +32,7 @@ fn worker_count_does_not_change_result() {
         let mut cfg = ForkJoinConfig::new(ranks);
         cfg.search = quick();
         cfg.seed = 9;
-        lnls.push(run_forkjoin(&w.compressed, &cfg).result.lnl);
+        lnls.push(execute(&w.compressed, &cfg, None).result.lnl);
     }
     for pair in lnls.windows(2) {
         assert!((pair[0] - pair[1]).abs() < 1e-6, "{lnls:?}");
@@ -46,7 +46,7 @@ fn every_operation_broadcasts_a_descriptor_or_parameters() {
     let w = workloads::partitioned(6, 3, 60, 7);
     let mut cfg = ForkJoinConfig::new(3);
     cfg.search = quick();
-    let out = run_forkjoin(&w.compressed, &cfg);
+    let out = execute(&w.compressed, &cfg, None);
     let s = &out.comm_stats;
     assert!(s.get(CommCategory::TraversalDescriptor).regions > 0);
     assert!(s.get(CommCategory::ModelParams).regions > 0);
@@ -70,8 +70,8 @@ fn mps_strategy_works_under_forkjoin() {
     cyc.seed = 3;
     let mut mps = cyc.clone();
     mps.strategy = exa_sched::Strategy::MonolithicLpt;
-    let a = run_forkjoin(&w.compressed, &cyc);
-    let b = run_forkjoin(&w.compressed, &mps);
+    let a = execute(&w.compressed, &cyc, None);
+    let b = execute(&w.compressed, &mps, None);
     assert!((a.result.lnl - b.result.lnl).abs() < 1e-6);
 }
 
@@ -84,8 +84,8 @@ fn parsimony_start_beats_or_matches_random_start() {
     random.starting_tree = StartingTree::Random;
     let mut pars = random.clone();
     pars.starting_tree = StartingTree::Parsimony;
-    let lr = run_forkjoin(&w.compressed, &random).result.lnl;
-    let lp = run_forkjoin(&w.compressed, &pars).result.lnl;
+    let lr = execute(&w.compressed, &random, None).result.lnl;
+    let lp = execute(&w.compressed, &pars, None).result.lnl;
     // With only 1 search iteration, a better start shows through.
     assert!(lp >= lr - 1.0, "parsimony {lp} vs random {lr}");
 }

@@ -21,11 +21,18 @@ fn us(ts_ns: u64) -> Value {
     Value::Float(ts_ns as f64 / 1000.0)
 }
 
+/// Reserved mark-label prefix that stamps the likelihood-kernel backend
+/// into a trace. [`chrome_trace`] hoists the suffix into the top-level
+/// `otherData` header so the backend is visible without scanning events.
+pub const KERNEL_BACKEND_MARK: &str = "kernel_backend:";
+
 /// Render a trace in Chrome `trace_event` JSON ("JSON object format"):
 /// one process, one thread per rank, `B`/`E` span events for regions and
 /// `i` instant events for collectives and marks. Loadable in Perfetto and
-/// `chrome://tracing`.
+/// `chrome://tracing`. A reserved [`KERNEL_BACKEND_MARK`] mark (emitted once
+/// by rank 0) is additionally surfaced as `otherData.kernel_backend`.
 pub fn chrome_trace(trace: &RunTrace) -> Value {
+    let mut kernel_backend: Option<String> = None;
     let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
     for rank in 0..trace.n_ranks() {
         // Thread-name metadata so the timeline rows read "rank 0", …
@@ -74,6 +81,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     ));
                 }
                 EventKind::Mark { label } => {
+                    if let Some(kind) = label.strip_prefix(KERNEL_BACKEND_MARK) {
+                        kernel_backend.get_or_insert_with(|| kind.to_string());
+                    }
                     fields.push(entry("ph", str_v("i")));
                     fields.push(entry("s", str_v("t")));
                     fields.push(entry("name", str_v(label.clone())));
@@ -98,10 +108,17 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
             events.push(Value::Map(fields));
         }
     }
-    Value::Map(vec![
+    let mut top = vec![
         entry("traceEvents", Value::Array(events)),
         entry("displayTimeUnit", str_v("ms")),
-    ])
+    ];
+    if let Some(kind) = kernel_backend {
+        top.push(entry(
+            "otherData",
+            Value::Map(vec![entry("kernel_backend", str_v(kind))]),
+        ));
+    }
+    Value::Map(top)
 }
 
 /// Serialize [`chrome_trace`] to `path`.
@@ -269,6 +286,28 @@ mod tests {
         let b = text.matches("\"ph\":\"B\"").count();
         let e = text.matches("\"ph\":\"E\"").count();
         assert_eq!(b, e);
+    }
+
+    #[test]
+    fn kernel_backend_mark_is_hoisted_into_other_data() {
+        // No mark → no otherData header.
+        let plain = serde_json::to_string(&chrome_trace(&sample_trace())).unwrap();
+        assert!(!plain.contains("otherData"), "{plain}");
+
+        let mut trace = sample_trace();
+        trace.per_rank[0].insert(
+            0,
+            TraceEvent {
+                ts_ns: 0,
+                kind: EventKind::Mark {
+                    label: format!("{KERNEL_BACKEND_MARK}simd"),
+                },
+            },
+        );
+        let v = chrome_trace(&trace);
+        let map = v.as_map("trace").unwrap();
+        let other = serde::field(map, "otherData").as_map("otherData").unwrap();
+        assert_eq!(serde::field(other, "kernel_backend"), &str_v("simd"));
     }
 
     #[test]

@@ -84,14 +84,22 @@ pub enum Component {
     Topology,
     /// The rank's last locally-accumulated log likelihood(s).
     LnlAccumulator,
+    /// Identity of the likelihood-kernel backend in use. Mixed backends do
+    /// not numerically diverge the replicated state (both produce bitwise
+    /// identical results by contract), but a mix still violates the
+    /// uniform-backend requirement — after a fault-driven redistribution the
+    /// surviving ranks must be interchangeable — so the sentinel treats it
+    /// as divergence in its own right.
+    KernelBackend,
 }
 
 impl Component {
-    pub const ALL: [Component; 4] = [
+    pub const ALL: [Component; 5] = [
         Component::ModelParams,
         Component::BranchLengths,
         Component::Topology,
         Component::LnlAccumulator,
+        Component::KernelBackend,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -100,6 +108,7 @@ impl Component {
             Component::BranchLengths => "branch lengths",
             Component::Topology => "topology",
             Component::LnlAccumulator => "lnL accumulator",
+            Component::KernelBackend => "kernel backend",
         }
     }
 
@@ -109,6 +118,7 @@ impl Component {
             Component::BranchLengths => 1,
             Component::Topology => 2,
             Component::LnlAccumulator => 3,
+            Component::KernelBackend => 4,
         }
     }
 }
@@ -117,12 +127,12 @@ impl Component {
 /// [`Component::ALL`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StateFingerprint {
-    pub components: [u64; 4],
+    pub components: [u64; 5],
 }
 
 impl StateFingerprint {
     /// Wire size of [`StateFingerprint::to_bytes`].
-    pub const BYTES: usize = 32;
+    pub const BYTES: usize = 40;
 
     pub fn get(&self, c: Component) -> u64 {
         self.components[c.index()]
@@ -143,7 +153,7 @@ impl StateFingerprint {
         if bytes.len() != Self::BYTES {
             return None;
         }
-        let mut components = [0u64; 4];
+        let mut components = [0u64; 5];
         for (v, chunk) in components.iter_mut().zip(bytes.chunks_exact(8)) {
             *v = u64::from_le_bytes(chunk.try_into().unwrap());
         }
@@ -283,18 +293,20 @@ mod tests {
 
     fn fp(m: u64, b: u64, t: u64, l: u64) -> StateFingerprint {
         StateFingerprint {
-            components: [m, b, t, l],
+            components: [m, b, t, l, 0],
         }
     }
 
     #[test]
     fn fingerprint_bytes_roundtrip() {
-        let f = fp(1, u64::MAX, 0xdead_beef, 42);
+        let mut f = fp(1, u64::MAX, 0xdead_beef, 42);
+        f.components[4] = 0x4b42; // kernel-backend digest
         let bytes = f.to_bytes();
         assert_eq!(bytes.len(), StateFingerprint::BYTES);
         assert_eq!(StateFingerprint::from_bytes(&bytes), Some(f));
-        assert_eq!(StateFingerprint::from_bytes(&bytes[..31]), None);
+        assert_eq!(StateFingerprint::from_bytes(&bytes[..39]), None);
         assert_eq!(f.get(Component::BranchLengths), u64::MAX);
+        assert_eq!(f.get(Component::KernelBackend), 0x4b42);
     }
 
     #[test]
@@ -326,6 +338,16 @@ mod tests {
             comps,
             vec![Component::ModelParams, Component::LnlAccumulator]
         );
+    }
+
+    #[test]
+    fn lone_kernel_backend_mismatch_is_divergence() {
+        let simd = fp(1, 2, 3, 4);
+        let mut scalar = simd;
+        scalar.components[4] = 0x5ca1a5;
+        let (minority, comps) = check_agreement(&[simd, simd, scalar]).unwrap();
+        assert_eq!(minority, vec![2]);
+        assert_eq!(comps, vec![Component::KernelBackend]);
     }
 
     #[test]

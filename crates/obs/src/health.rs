@@ -35,6 +35,10 @@ pub struct HeartbeatRecord {
     /// before the next heartbeat, so a diverged status never appears here —
     /// the field documents that the run was verified up to this record.
     pub divergence: String,
+    /// Label of the likelihood-kernel backend in use (`"scalar"`/`"simd"`).
+    /// `None` when absent, so heartbeat files written before the field
+    /// existed still parse.
+    pub kernel: Option<String>,
 }
 
 impl HeartbeatRecord {
@@ -81,6 +85,9 @@ pub struct HealthReport {
     pub predicted_imbalance: Option<f64>,
     /// Heartbeat records written.
     pub heartbeats: u64,
+    /// Label of the likelihood-kernel backend the run used (`None` when
+    /// the producing layer predates kernel selection).
+    pub kernel: Option<String>,
 }
 
 impl HealthReport {
@@ -88,6 +95,9 @@ impl HealthReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "run health");
+        if let Some(kernel) = &self.kernel {
+            let _ = writeln!(out, "  kernel: {kernel}");
+        }
         match (self.sentinel_cadence, &self.divergence) {
             (0, _) => {
                 let _ = writeln!(out, "  sentinel: off");
@@ -146,6 +156,7 @@ mod tests {
             imbalance: 1.25,
             sentinel_syncs: 4,
             divergence: "ok".into(),
+            kernel: Some("simd".into()),
         }
     }
 
@@ -157,6 +168,12 @@ mod tests {
         let back = HeartbeatRecord::from_json_line(&line).unwrap();
         assert_eq!(r, back);
         assert!(HeartbeatRecord::from_json_line("not json").is_err());
+
+        // Lines written before the kernel field existed still parse.
+        let legacy = line.replace(",\"kernel\":\"simd\"", "");
+        assert_ne!(legacy, line);
+        let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
+        assert_eq!(back.kernel, None);
     }
 
     #[test]
@@ -177,8 +194,10 @@ mod tests {
             measured_imbalance: Some(1.08),
             predicted_imbalance: Some(1.05),
             heartbeats: 5,
+            kernel: Some("simd".into()),
         };
         let text = clean.render();
+        assert!(text.contains("kernel: simd"), "{text}");
         assert!(text.contains("replicas bit-identical"), "{text}");
         assert!(text.contains("cadence 64"), "{text}");
         assert!(text.contains("measured 1.080"), "{text}");

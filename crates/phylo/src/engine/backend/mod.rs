@@ -1,0 +1,476 @@
+//! Pluggable likelihood-kernel backends.
+//!
+//! The three kernels (`newview`, `evaluate`, the sumtable derivatives) take
+//! over 90% of runtime (§II). This module puts their inner loops behind the
+//! [`KernelBackend`] trait — BEAGLE's proven shape — with two
+//! implementations:
+//!
+//! * [`scalar`] — the original straight-line code, moved here unchanged,
+//! * [`simd`] — AVX2 4×f64 lanes over the `pattern × category × 4-state`
+//!   CLV blocks, with a portable 4-lane-chunk fallback where AVX2 is
+//!   unavailable.
+//!
+//! Both backends are **bitwise-identical by construction**: the SIMD code
+//! uses no FMA contraction and reproduces the scalar association order in
+//! every reduction (per-lane `((a·b₀ + a·b₁) + a·b₂) + a·b₃` row-dots,
+//! in-order horizontal sums). This keeps checkpoints portable across
+//! backends and makes the replica-divergence sentinel's bitwise fingerprint
+//! contract backend-independent — what must stay uniform across ranks is the
+//! backend *identity* (fingerprinted separately), not the arithmetic.
+//!
+//! Backends are selected per [`Engine`](super::Engine) at construction; the
+//! de-centralized driver negotiates a common [`KernelKind`] across ranks in
+//! `auto` mode (capability allgather) before building engines.
+
+pub(crate) mod scalar;
+pub(crate) mod simd;
+
+use serde::{Deserialize, Serialize};
+
+use super::{Engine, PartitionState};
+use crate::model::pmatrix::{prob_matrix, ProbMatrix};
+use crate::model::rates::RateHeterogeneity;
+use crate::tree::traversal::{TraversalDescriptor, TraversalEntry};
+use exa_bio::dna::NUM_STATES;
+
+/// Precomputed tip contribution table for one P-matrix:
+/// `table[code][s] = Σ_t P[s][t] · tip(code)[t]` for the 16 ambiguity codes.
+pub(crate) type TipTable = [[f64; NUM_STATES]; 16];
+
+/// A concrete kernel implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Straight-line scalar code.
+    Scalar,
+    /// AVX2 vectorized (portable-chunk fallback off x86-64/AVX2).
+    Simd,
+}
+
+impl KernelKind {
+    /// Stable lowercase label (CLI values, trace/health stamps).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Simd => "simd",
+        }
+    }
+
+    /// Capability level for the one-byte auto-negotiation allgather: ranks
+    /// agree on the *minimum* level any rank supports, so higher levels must
+    /// be strict supersets.
+    pub fn capability_level(&self) -> u8 {
+        match self {
+            KernelKind::Scalar => 0,
+            KernelKind::Simd => 1,
+        }
+    }
+
+    /// Inverse of [`KernelKind::capability_level`], saturating down to
+    /// scalar for unknown (future) levels.
+    pub fn from_capability_level(level: u8) -> KernelKind {
+        if level >= 1 {
+            KernelKind::Simd
+        } else {
+            KernelKind::Scalar
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A kernel-selection policy, as requested on the command line or via the
+/// `EXAML_KERNEL` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Force the scalar backend.
+    Scalar,
+    /// Force the SIMD backend (portable fallback where AVX2 is missing).
+    Simd,
+    /// Pick the best backend every rank supports (requires negotiation in
+    /// multi-rank runs; locally resolves to the best available).
+    Auto,
+}
+
+impl KernelChoice {
+    /// Parse a CLI/env value (`scalar`, `simd`, `auto`).
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        match s {
+            "scalar" => Some(KernelChoice::Scalar),
+            "simd" => Some(KernelChoice::Simd),
+            "auto" => Some(KernelChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Simd => "simd",
+            KernelChoice::Auto => "auto",
+        }
+    }
+
+    /// The process-wide default: `EXAML_KERNEL` if set to a valid value,
+    /// otherwise `auto`. Invalid values fall back to `auto` rather than
+    /// aborting — the engine is used far from any CLI error path.
+    pub fn from_env() -> KernelChoice {
+        match std::env::var("EXAML_KERNEL") {
+            Ok(v) => KernelChoice::parse(&v).unwrap_or(KernelChoice::Auto),
+            Err(_) => KernelChoice::Auto,
+        }
+    }
+
+    /// Resolve this policy against the *local* machine only. Multi-rank
+    /// drivers must instead exchange [`KernelChoice::capability_level`]s and
+    /// agree on the minimum.
+    pub fn resolve_local(self) -> KernelKind {
+        match self {
+            KernelChoice::Scalar => KernelKind::Scalar,
+            KernelChoice::Simd => KernelKind::Simd,
+            KernelChoice::Auto => {
+                if simd_available() {
+                    KernelKind::Simd
+                } else {
+                    KernelKind::Scalar
+                }
+            }
+        }
+    }
+
+    /// The capability level this rank advertises in the auto-negotiation
+    /// allgather: a forced choice pins its own level, `auto` advertises the
+    /// best locally available backend.
+    pub fn capability_level(self) -> u8 {
+        match self {
+            KernelChoice::Scalar => KernelKind::Scalar.capability_level(),
+            KernelChoice::Simd => KernelKind::Simd.capability_level(),
+            KernelChoice::Auto => self.resolve_local().capability_level(),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether the hardware-accelerated SIMD path (AVX2) is available on this
+/// machine. The SIMD backend still *works* without it via portable chunks;
+/// `auto` only prefers it when this returns true.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The inner loops of the three likelihood kernels over one partition's
+/// pattern slice. Implementations must be bitwise-deterministic: the same
+/// inputs produce the same bits on every call and every rank.
+pub(crate) trait KernelBackend: Send + Sync {
+    /// Which backend this is (stamped into traces/health reports and
+    /// fingerprinted by the replica sentinel).
+    fn kind(&self) -> KernelKind;
+
+    /// Recompute the parent CLV of one traversal entry. Returns the work
+    /// done in pattern-categories.
+    fn newview_entry(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        entry: &TraversalEntry,
+    ) -> u64;
+
+    /// Log-likelihood of one partition at the descriptor's virtual root.
+    fn evaluate_root(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        d: &TraversalDescriptor,
+    ) -> (f64, u64);
+
+    /// Build the derivative sumtable for the descriptor's root edge.
+    fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor);
+
+    /// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from
+    /// the prepared sumtable.
+    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64);
+}
+
+static SCALAR_BACKEND: scalar::ScalarBackend = scalar::ScalarBackend;
+static SIMD_BACKEND: simd::SimdBackend = simd::SimdBackend;
+
+/// The backend singleton for a kind (backends are stateless; all per-call
+/// scratch lives in [`KernelScratch`]).
+pub(crate) fn backend_for(kind: KernelKind) -> &'static dyn KernelBackend {
+    match kind {
+        KernelKind::Scalar => &SCALAR_BACKEND,
+        KernelKind::Simd => &SIMD_BACKEND,
+    }
+}
+
+/// Reusable per-partition kernel scratch. P-matrices and tip-lookup tables
+/// used to be freshly allocated on every `newview`/`evaluate` call — on a
+/// per-edge hot path; these buffers are taken out of the
+/// [`PartitionState`], refilled, and put back, so steady-state kernels
+/// allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct KernelScratch {
+    /// P-matrices for the left/a side, one per distinct rate.
+    pub ps_a: Vec<ProbMatrix>,
+    /// P-matrices for the right/b side.
+    pub ps_b: Vec<ProbMatrix>,
+    /// Tip lookup tables for the left/a side (filled only when that child
+    /// is a tip).
+    pub lookup_a: Vec<TipTable>,
+    /// Tip lookup tables for the right/b side.
+    pub lookup_b: Vec<TipTable>,
+    /// Column-major transposes of `ps_a` (`cols[t][s] = P[s][t]`), used by
+    /// the SIMD backend's broadcast-multiply-add matrix–vector products.
+    pub cols_a: Vec<ProbMatrix>,
+    /// Column-major transposes of `ps_b`.
+    pub cols_b: Vec<ProbMatrix>,
+    /// Per-distinct-rate `exp(λ_e r t)` factors for the derivative kernel.
+    pub deriv_ex: Vec<[f64; NUM_STATES]>,
+    /// Per-distinct-rate `λ_e r` factors for the derivative kernel.
+    pub deriv_lr: Vec<[f64; NUM_STATES]>,
+}
+
+/// Fill `out` with the P-matrices of every distinct rate multiplier,
+/// reusing its allocation.
+pub(crate) fn p_matrices_into(part: &PartitionState, t: f64, out: &mut Vec<ProbMatrix>) {
+    out.clear();
+    out.extend(
+        part.rates
+            .distinct_rates()
+            .iter()
+            .map(|&r| prob_matrix(&part.model, t, r)),
+    );
+}
+
+/// Fill `out` with per-rate tip contribution tables, reusing its
+/// allocation: `out[k][code][s] = Σ_t P_k[s][t] · tip(code)[t]`.
+pub(crate) fn build_tip_lookup_into(ps: &[ProbMatrix], out: &mut Vec<TipTable>) {
+    out.clear();
+    out.extend(ps.iter().map(|p| {
+        let mut table = [[0.0; NUM_STATES]; 16];
+        for (code, entry) in table.iter_mut().enumerate() {
+            for s in 0..NUM_STATES {
+                let mut acc = 0.0;
+                for t in 0..NUM_STATES {
+                    if code & (1 << t) != 0 {
+                        acc += p[s][t];
+                    }
+                }
+                entry[s] = acc;
+            }
+        }
+        table
+    }));
+}
+
+/// Fill `out` with column-major transposes (`out[k][t][s] = ps[k][s][t]`),
+/// reusing its allocation.
+pub(crate) fn transpose_into(ps: &[ProbMatrix], out: &mut Vec<ProbMatrix>) {
+    out.clear();
+    out.extend(ps.iter().map(|p| {
+        let mut c = [[0.0; NUM_STATES]; NUM_STATES];
+        for s in 0..NUM_STATES {
+            for t in 0..NUM_STATES {
+                c[t][s] = p[s][t];
+            }
+        }
+        c
+    }));
+}
+
+/// Which P-matrix index pattern `i`, category `c` uses.
+#[inline]
+pub(crate) fn cat_index(rates: &RateHeterogeneity, i: usize, c: usize) -> usize {
+    match rates {
+        RateHeterogeneity::Gamma { .. } => c,
+        RateHeterogeneity::Psr { pattern_cat, .. } => pattern_cat[i] as usize,
+    }
+}
+
+/// The per-category weight used when integrating site likelihoods.
+#[inline]
+pub(crate) fn category_weight(rates: &RateHeterogeneity) -> f64 {
+    match rates {
+        RateHeterogeneity::Gamma { rates, .. } => 1.0 / rates.len() as f64,
+        RateHeterogeneity::Psr { .. } => 1.0,
+    }
+}
+
+/// The 16 possible tip state vectors, indexed by 4-bit ambiguity code:
+/// `TIP_STATE[code][s] = 1.0` iff bit `s` of `code` is set. Lets the SIMD
+/// paths load a tip's root-side state as one contiguous 4-wide chunk.
+pub(crate) const TIP_STATE: [[f64; NUM_STATES]; 16] = build_tip_state();
+
+const fn build_tip_state() -> [[f64; NUM_STATES]; 16] {
+    let mut table = [[0.0; NUM_STATES]; 16];
+    let mut code = 0;
+    while code < 16 {
+        let mut s = 0;
+        while s < NUM_STATES {
+            if code & (1 << s) != 0 {
+                table[code][s] = 1.0;
+            }
+            s += 1;
+        }
+        code += 1;
+    }
+    table
+}
+
+/// Per-pattern state vector access at the virtual root: tip codes or CLV.
+pub(crate) enum RootSide<'a> {
+    Tip(&'a [u8]),
+    Inner { clv: &'a [f64], scale: &'a [u32] },
+}
+
+impl<'a> RootSide<'a> {
+    #[inline]
+    pub(crate) fn state(&self, i: usize, c: usize, cats: usize, out: &mut [f64; NUM_STATES]) {
+        match self {
+            RootSide::Tip(codes) => {
+                let code = codes[i] as usize & 0xf;
+                for (s, o) in out.iter_mut().enumerate() {
+                    *o = if code & (1 << s) != 0 { 1.0 } else { 0.0 };
+                }
+            }
+            RootSide::Inner { clv, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                out.copy_from_slice(&clv[base..base + NUM_STATES]);
+            }
+        }
+    }
+
+    /// The state vector of pattern `i`, category `c` as a contiguous 4-wide
+    /// slice (the [`TIP_STATE`] row for tips, the CLV block for inner
+    /// nodes). Same values as [`RootSide::state`], zero-copy.
+    #[inline]
+    pub(crate) fn state_slice(&self, i: usize, c: usize, cats: usize) -> &[f64] {
+        match self {
+            RootSide::Tip(codes) => &TIP_STATE[codes[i] as usize & 0xf],
+            RootSide::Inner { clv, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                &clv[base..base + NUM_STATES]
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn scale_of(&self, i: usize) -> u32 {
+        match self {
+            RootSide::Tip(_) => 0,
+            RootSide::Inner { scale, .. } => scale[i],
+        }
+    }
+}
+
+pub(crate) fn root_side<'a>(part: &'a PartitionState, n_taxa: usize, node: usize) -> RootSide<'a> {
+    if node < n_taxa {
+        RootSide::Tip(&part.data.tips[node])
+    } else {
+        let idx = node - n_taxa;
+        RootSide::Inner {
+            clv: &part.clv[idx],
+            scale: &part.scale[idx],
+        }
+    }
+}
+
+/// Shared by both backends: the branch lengths of a newview entry for this
+/// partition.
+#[inline]
+pub(crate) fn entry_lengths(part: &PartitionState, entry: &TraversalEntry) -> (f64, f64) {
+    let gi = part.data.global_index;
+    (
+        Engine::branch_length(&entry.left_lengths, gi),
+        Engine::branch_length(&entry.right_lengths, gi),
+    )
+}
+
+/// Shared by both backends: fill the derivative-factor scratch
+/// (`exp(λ_e r t)` and `λ_e r` per distinct rate) for
+/// `derivatives_from_sumtable`.
+pub(crate) fn fill_deriv_factors(
+    part: &PartitionState,
+    t: f64,
+    ex: &mut Vec<[f64; NUM_STATES]>,
+    lr: &mut Vec<[f64; NUM_STATES]>,
+) {
+    let lam = *part.model.eigenvalues();
+    ex.clear();
+    lr.clear();
+    for &r in part.rates.distinct_rates() {
+        let mut e = [0.0; NUM_STATES];
+        let mut l1 = [0.0; NUM_STATES];
+        for k in 0..NUM_STATES {
+            let lk = lam[k] * r;
+            e[k] = (lk * t).exp();
+            l1[k] = lk;
+        }
+        ex.push(e);
+        lr.push(l1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_roundtrip_through_choice_parse() {
+        for kind in [KernelKind::Scalar, KernelKind::Simd] {
+            let choice = KernelChoice::parse(kind.label()).unwrap();
+            assert_eq!(choice.resolve_local(), kind);
+        }
+        assert_eq!(KernelChoice::parse("auto"), Some(KernelChoice::Auto));
+        assert_eq!(KernelChoice::parse("avx512"), None);
+    }
+
+    #[test]
+    fn capability_levels_are_ordered_and_invertible() {
+        assert!(KernelKind::Scalar.capability_level() < KernelKind::Simd.capability_level());
+        for kind in [KernelKind::Scalar, KernelKind::Simd] {
+            assert_eq!(
+                KernelKind::from_capability_level(kind.capability_level()),
+                kind
+            );
+        }
+        // Unknown future levels saturate to the best we know.
+        assert_eq!(KernelKind::from_capability_level(200), KernelKind::Simd);
+    }
+
+    #[test]
+    fn auto_resolves_to_an_available_backend() {
+        let kind = KernelChoice::Auto.resolve_local();
+        if simd_available() {
+            assert_eq!(kind, KernelKind::Simd);
+        } else {
+            assert_eq!(kind, KernelKind::Scalar);
+        }
+        assert_eq!(
+            KernelChoice::Auto.capability_level(),
+            kind.capability_level()
+        );
+    }
+
+    #[test]
+    fn backend_singletons_report_their_kind() {
+        assert_eq!(backend_for(KernelKind::Scalar).kind(), KernelKind::Scalar);
+        assert_eq!(backend_for(KernelKind::Simd).kind(), KernelKind::Simd);
+    }
+}

@@ -1,0 +1,304 @@
+//! The scalar kernel backend: the original straight-line implementations of
+//! `newview`, `evaluate`, and the sumtable derivatives, moved behind
+//! [`KernelBackend`]. The only change from the pre-backend code is that
+//! P-matrices and tip-lookup tables now come from the partition's
+//! [`KernelScratch`](super::KernelScratch) instead of fresh `Vec`s per edge.
+//!
+//! All kernels run per local partition and are generic over the two rate
+//! models through a small category-indirection: under Γ every pattern
+//! integrates over all category P-matrices (weight 1/k each); under PSR each
+//! pattern uses the single P-matrix of its quantized rate category.
+
+use super::{
+    build_tip_lookup_into, cat_index, category_weight, entry_lengths, fill_deriv_factors,
+    p_matrices_into, root_side, KernelBackend, KernelKind, TipTable,
+};
+use crate::engine::{PartitionState, LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
+use crate::model::pmatrix::ProbMatrix;
+use crate::tree::traversal::{TraversalDescriptor, TraversalEntry};
+use exa_bio::dna::NUM_STATES;
+
+pub(crate) struct ScalarBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Scalar
+    }
+
+    fn newview_entry(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        entry: &TraversalEntry,
+    ) -> u64 {
+        newview_entry(part, n_taxa, entry)
+    }
+
+    fn evaluate_root(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        d: &TraversalDescriptor,
+    ) -> (f64, u64) {
+        evaluate_root(part, n_taxa, d)
+    }
+
+    fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+        make_sumtable(part, n_taxa, d)
+    }
+
+    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
+        derivatives_from_sumtable(part, t)
+    }
+}
+
+/// One child's contribution to a parent CLV state: either through the tip
+/// lookup or by a matrix–vector product against the child's CLV block.
+enum Child<'a> {
+    Tip {
+        codes: &'a [u8],
+        lookup: &'a [TipTable],
+    },
+    Inner {
+        clv: &'a [f64],
+        scale: &'a [u32],
+        ps: &'a [ProbMatrix],
+    },
+}
+
+impl<'a> Child<'a> {
+    #[inline]
+    fn contribution(&self, i: usize, c: usize, cats: usize, k: usize, out: &mut [f64; NUM_STATES]) {
+        match self {
+            Child::Tip { codes, lookup } => {
+                *out = lookup[k][codes[i] as usize & 0xf];
+            }
+            Child::Inner { clv, ps, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                let block = &clv[base..base + NUM_STATES];
+                let p = &ps[k];
+                for (s, o) in out.iter_mut().enumerate() {
+                    let row = &p[s];
+                    *o = row[0] * block[0]
+                        + row[1] * block[1]
+                        + row[2] * block[2]
+                        + row[3] * block[3];
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn scale_of(&self, i: usize) -> u32 {
+        match self {
+            Child::Tip { .. } => 0,
+            Child::Inner { scale, .. } => scale[i],
+        }
+    }
+}
+
+/// Recompute the parent CLV of one traversal entry. Returns the work done in
+/// pattern-categories.
+fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntry) -> u64 {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let (t_left, t_right) = entry_lengths(part, entry);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    p_matrices_into(part, t_left, &mut scratch.ps_a);
+    p_matrices_into(part, t_right, &mut scratch.ps_b);
+    if entry.left < n_taxa {
+        build_tip_lookup_into(&scratch.ps_a, &mut scratch.lookup_a);
+    }
+    if entry.right < n_taxa {
+        build_tip_lookup_into(&scratch.ps_b, &mut scratch.lookup_b);
+    }
+
+    let parent_idx = entry.parent - n_taxa;
+    let mut parent_clv = std::mem::take(&mut part.clv[parent_idx]);
+    let mut parent_scale = std::mem::take(&mut part.scale[parent_idx]);
+
+    {
+        let left = if entry.left < n_taxa {
+            Child::Tip {
+                codes: &part.data.tips[entry.left],
+                lookup: &scratch.lookup_a,
+            }
+        } else {
+            let idx = entry.left - n_taxa;
+            Child::Inner {
+                clv: &part.clv[idx],
+                scale: &part.scale[idx],
+                ps: &scratch.ps_a,
+            }
+        };
+        let right = if entry.right < n_taxa {
+            Child::Tip {
+                codes: &part.data.tips[entry.right],
+                lookup: &scratch.lookup_b,
+            }
+        } else {
+            let idx = entry.right - n_taxa;
+            Child::Inner {
+                clv: &part.clv[idx],
+                scale: &part.scale[idx],
+                ps: &scratch.ps_b,
+            }
+        };
+
+        let mut lv = [0.0; NUM_STATES];
+        let mut rv = [0.0; NUM_STATES];
+        for i in 0..n_patterns {
+            let mut maxv = 0.0f64;
+            let base_i = i * cats * NUM_STATES;
+            for c in 0..cats {
+                let k = cat_index(&part.rates, i, c);
+                left.contribution(i, c, cats, k, &mut lv);
+                right.contribution(i, c, cats, k, &mut rv);
+                let out = &mut parent_clv[base_i + c * NUM_STATES..base_i + (c + 1) * NUM_STATES];
+                for s in 0..NUM_STATES {
+                    let v = lv[s] * rv[s];
+                    out[s] = v;
+                    maxv = maxv.max(v.abs());
+                }
+            }
+            let mut count = left.scale_of(i) + right.scale_of(i);
+            if maxv < MIN_LIKELIHOOD {
+                for v in parent_clv[base_i..base_i + cats * NUM_STATES].iter_mut() {
+                    *v *= TWO_TO_256;
+                }
+                count += 1;
+            }
+            parent_scale[i] = count;
+        }
+    }
+
+    part.clv[parent_idx] = parent_clv;
+    part.scale[parent_idx] = parent_scale;
+    part.scratch = scratch;
+    (n_patterns * cats) as u64
+}
+
+/// Log-likelihood of one partition at the descriptor's virtual root.
+fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) -> (f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let gi = part.data.global_index;
+    let t = crate::engine::Engine::branch_length(&d.root_lengths, gi);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    p_matrices_into(part, t, &mut scratch.ps_a);
+    let freqs = *part.model.freqs();
+    let cat_weight = category_weight(&part.rates);
+
+    let mut lnl = 0.0f64;
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        let mut xa = [0.0; NUM_STATES];
+        let mut xb = [0.0; NUM_STATES];
+        for i in 0..n_patterns {
+            let mut site = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(&part.rates, i, c);
+                a.state(i, c, cats, &mut xa);
+                b.state(i, c, cats, &mut xb);
+                let p = &scratch.ps_a[k];
+                let mut acc = 0.0;
+                for s in 0..NUM_STATES {
+                    let row = &p[s];
+                    let pb = row[0] * xb[0] + row[1] * xb[1] + row[2] * xb[2] + row[3] * xb[3];
+                    acc += freqs[s] * xa[s] * pb;
+                }
+                site += cat_weight * acc;
+            }
+            let count = a.scale_of(i) + b.scale_of(i);
+            let site = site.max(f64::MIN_POSITIVE);
+            lnl += part.data.weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+        }
+    }
+    part.scratch = scratch;
+    (lnl, (n_patterns * cats) as u64)
+}
+
+/// Build the derivative sumtable for the descriptor's root edge:
+/// `ST[(i·cats+c)·4+e] = (Σ_s π_s x_a[s] V[s,e]) · (Σ_t V⁻¹[e,t] x_b[t])`.
+/// The branch length itself enters only in [`derivatives_from_sumtable`],
+/// so Newton–Raphson iterations reuse one sumtable (RAxML's scheme).
+fn make_sumtable(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let freqs = *part.model.freqs();
+    let v = *part.model.v();
+    let vi = *part.model.v_inv();
+
+    let mut sumtable = std::mem::take(&mut part.sumtable);
+    sumtable.resize(n_patterns * cats * NUM_STATES, 0.0);
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        let mut xa = [0.0; NUM_STATES];
+        let mut xb = [0.0; NUM_STATES];
+        for i in 0..n_patterns {
+            for c in 0..cats {
+                a.state(i, c, cats, &mut xa);
+                b.state(i, c, cats, &mut xb);
+                let base = (i * cats + c) * NUM_STATES;
+                for e in 0..NUM_STATES {
+                    let mut ae = 0.0;
+                    let mut be = 0.0;
+                    for s in 0..NUM_STATES {
+                        ae += freqs[s] * xa[s] * v[s][e];
+                        be += vi[e][s] * xb[s];
+                    }
+                    sumtable[base + e] = ae * be;
+                }
+            }
+        }
+    }
+    part.sumtable = sumtable;
+}
+
+/// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from the
+/// prepared sumtable. Scaling constants cancel in the `L'/L` ratios.
+fn derivatives_from_sumtable(part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let cat_weight = category_weight(&part.rates);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    fill_deriv_factors(part, t, &mut scratch.deriv_ex, &mut scratch.deriv_lr);
+    let ex = &scratch.deriv_ex;
+    let lr1 = &scratch.deriv_lr;
+
+    let mut d1_sum = 0.0f64;
+    let mut d2_sum = 0.0f64;
+    for i in 0..n_patterns {
+        let mut l = 0.0f64;
+        let mut l1 = 0.0f64;
+        let mut l2 = 0.0f64;
+        for c in 0..cats {
+            let k = cat_index(&part.rates, i, c);
+            let base = (i * cats + c) * NUM_STATES;
+            let e = &ex[k];
+            let lk = &lr1[k];
+            for s in 0..NUM_STATES {
+                let w = part.sumtable[base + s] * e[s];
+                l += w;
+                l1 += w * lk[s];
+                l2 += w * lk[s] * lk[s];
+            }
+        }
+        l *= cat_weight;
+        l1 *= cat_weight;
+        l2 *= cat_weight;
+        let l = l.max(f64::MIN_POSITIVE);
+        let ratio1 = l1 / l;
+        let ratio2 = l2 / l;
+        let wgt = part.data.weights[i];
+        d1_sum += wgt * ratio1;
+        d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+    }
+    part.scratch = scratch;
+    (d1_sum, d2_sum, (n_patterns * cats) as u64)
+}

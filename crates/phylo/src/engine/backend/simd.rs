@@ -1,0 +1,937 @@
+//! The SIMD kernel backend: AVX2 4×f64 lanes over the
+//! `pattern × category × 4-state` CLV blocks, with a portable 4-lane-chunk
+//! fallback used off x86-64 or when AVX2 is missing at runtime.
+//!
+//! # Bitwise identity with the scalar backend
+//!
+//! Every reduction reproduces the scalar association order exactly, and no
+//! FMA contraction is used, so results are bit-for-bit equal to
+//! [`super::scalar`]:
+//!
+//! * Matrix–vector products run over **column-major** P-matrices
+//!   (`cols[t][s] = P[s][t]`, prepared once per edge in the scratch) as
+//!   broadcast-multiply-adds; lane `s` then computes
+//!   `((P[s][0]·b₀ + P[s][1]·b₁) + P[s][2]·b₂) + P[s][3]·b₃` — the scalar
+//!   row-dot order.
+//! * Horizontal sums extract lanes and accumulate in lane order starting
+//!   from `0.0`, matching the scalar `acc += …` loops.
+//!
+//! The one documented exception: `newview`'s rescaling max is computed with
+//! vector max, which treats NaN differently from `f64::max`; NaN CLVs only
+//! arise from already-broken inputs.
+
+use super::{
+    build_tip_lookup_into, category_weight, entry_lengths, fill_deriv_factors, p_matrices_into,
+    root_side, transpose_into, KernelBackend, KernelKind, TipTable,
+};
+use crate::engine::{Engine, PartitionState};
+use crate::model::pmatrix::ProbMatrix;
+use crate::tree::traversal::{TraversalDescriptor, TraversalEntry};
+use exa_bio::dna::NUM_STATES;
+
+pub(crate) struct SimdBackend;
+
+impl KernelBackend for SimdBackend {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Simd
+    }
+
+    fn newview_entry(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        entry: &TraversalEntry,
+    ) -> u64 {
+        newview_entry(part, n_taxa, entry)
+    }
+
+    fn evaluate_root(
+        &self,
+        part: &mut PartitionState,
+        n_taxa: usize,
+        d: &TraversalDescriptor,
+    ) -> (f64, u64) {
+        evaluate_root(part, n_taxa, d)
+    }
+
+    fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+        make_sumtable(part, n_taxa, d)
+    }
+
+    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
+        derivatives_from_sumtable(part, t)
+    }
+}
+
+/// Whether the hardware AVX2 path is usable right now.
+#[inline]
+fn avx2_usable() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One child's 4-wide contribution source inside `newview`: a precomputed
+/// tip-lookup row or a matrix–vector product of the column-major P against
+/// the child's CLV block.
+enum SimdChild<'a> {
+    Tip {
+        codes: &'a [u8],
+        lookup: &'a [TipTable],
+    },
+    Inner {
+        clv: &'a [f64],
+        scale: &'a [u32],
+        cols: &'a [ProbMatrix],
+    },
+}
+
+impl<'a> SimdChild<'a> {
+    #[inline]
+    fn scale_of(&self, i: usize) -> u32 {
+        match self {
+            SimdChild::Tip { .. } => 0,
+            SimdChild::Inner { scale, .. } => scale[i],
+        }
+    }
+}
+
+fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntry) -> u64 {
+    newview_entry_impl(part, n_taxa, entry, avx2_usable())
+}
+
+fn newview_entry_impl(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    entry: &TraversalEntry,
+    use_avx2: bool,
+) -> u64 {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let (t_left, t_right) = entry_lengths(part, entry);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    p_matrices_into(part, t_left, &mut scratch.ps_a);
+    p_matrices_into(part, t_right, &mut scratch.ps_b);
+    transpose_into(&scratch.ps_a, &mut scratch.cols_a);
+    transpose_into(&scratch.ps_b, &mut scratch.cols_b);
+    if entry.left < n_taxa {
+        build_tip_lookup_into(&scratch.ps_a, &mut scratch.lookup_a);
+    }
+    if entry.right < n_taxa {
+        build_tip_lookup_into(&scratch.ps_b, &mut scratch.lookup_b);
+    }
+
+    let parent_idx = entry.parent - n_taxa;
+    let mut parent_clv = std::mem::take(&mut part.clv[parent_idx]);
+    let mut parent_scale = std::mem::take(&mut part.scale[parent_idx]);
+
+    {
+        let left = if entry.left < n_taxa {
+            SimdChild::Tip {
+                codes: &part.data.tips[entry.left],
+                lookup: &scratch.lookup_a,
+            }
+        } else {
+            let idx = entry.left - n_taxa;
+            SimdChild::Inner {
+                clv: &part.clv[idx],
+                scale: &part.scale[idx],
+                cols: &scratch.cols_a,
+            }
+        };
+        let right = if entry.right < n_taxa {
+            SimdChild::Tip {
+                codes: &part.data.tips[entry.right],
+                lookup: &scratch.lookup_b,
+            }
+        } else {
+            let idx = entry.right - n_taxa;
+            SimdChild::Inner {
+                clv: &part.clv[idx],
+                scale: &part.scale[idx],
+                cols: &scratch.cols_b,
+            }
+        };
+
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            unsafe {
+                avx2::newview_patterns(
+                    &part.rates,
+                    &left,
+                    &right,
+                    n_patterns,
+                    cats,
+                    &mut parent_clv,
+                    &mut parent_scale,
+                );
+            }
+        } else {
+            portable::newview_patterns(
+                &part.rates,
+                &left,
+                &right,
+                n_patterns,
+                cats,
+                &mut parent_clv,
+                &mut parent_scale,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = use_avx2;
+            portable::newview_patterns(
+                &part.rates,
+                &left,
+                &right,
+                n_patterns,
+                cats,
+                &mut parent_clv,
+                &mut parent_scale,
+            );
+        }
+    }
+
+    part.clv[parent_idx] = parent_clv;
+    part.scale[parent_idx] = parent_scale;
+    part.scratch = scratch;
+    (n_patterns * cats) as u64
+}
+
+fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) -> (f64, u64) {
+    evaluate_root_impl(part, n_taxa, d, avx2_usable())
+}
+
+fn evaluate_root_impl(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+    use_avx2: bool,
+) -> (f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let gi = part.data.global_index;
+    let t = Engine::branch_length(&d.root_lengths, gi);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    p_matrices_into(part, t, &mut scratch.ps_a);
+    transpose_into(&scratch.ps_a, &mut scratch.cols_a);
+    let freqs = *part.model.freqs();
+    let cat_weight = category_weight(&part.rates);
+
+    let lnl;
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        #[cfg(target_arch = "x86_64")]
+        {
+            lnl = if use_avx2 {
+                unsafe {
+                    avx2::evaluate_patterns(
+                        &part.rates,
+                        &part.data.weights,
+                        &freqs,
+                        &scratch.cols_a,
+                        &a,
+                        &b,
+                        n_patterns,
+                        cats,
+                        cat_weight,
+                    )
+                }
+            } else {
+                portable::evaluate_patterns(
+                    &part.rates,
+                    &part.data.weights,
+                    &freqs,
+                    &scratch.cols_a,
+                    &a,
+                    &b,
+                    n_patterns,
+                    cats,
+                    cat_weight,
+                )
+            };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = use_avx2;
+            lnl = portable::evaluate_patterns(
+                &part.rates,
+                &part.data.weights,
+                &freqs,
+                &scratch.cols_a,
+                &a,
+                &b,
+                n_patterns,
+                cats,
+                cat_weight,
+            );
+        }
+    }
+    part.scratch = scratch;
+    (lnl, (n_patterns * cats) as u64)
+}
+
+fn make_sumtable(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+    make_sumtable_impl(part, n_taxa, d, avx2_usable())
+}
+
+fn make_sumtable_impl(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+    use_avx2: bool,
+) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let freqs = *part.model.freqs();
+    let v = *part.model.v();
+    let vi = *part.model.v_inv();
+    // Transposed V⁻¹ so the `be` reduction can run row-contiguous:
+    // `vit[s][e] = vi[e][s]`.
+    let mut vit = [[0.0; NUM_STATES]; NUM_STATES];
+    for e in 0..NUM_STATES {
+        for s in 0..NUM_STATES {
+            vit[s][e] = vi[e][s];
+        }
+    }
+
+    let mut sumtable = std::mem::take(&mut part.sumtable);
+    sumtable.resize(n_patterns * cats * NUM_STATES, 0.0);
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            unsafe {
+                avx2::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
+            }
+        } else {
+            portable::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = use_avx2;
+            portable::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
+        }
+    }
+    part.sumtable = sumtable;
+}
+
+fn derivatives_from_sumtable(part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
+    derivatives_from_sumtable_impl(part, t, avx2_usable())
+}
+
+fn derivatives_from_sumtable_impl(
+    part: &mut PartitionState,
+    t: f64,
+    use_avx2: bool,
+) -> (f64, f64, u64) {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    let cat_weight = category_weight(&part.rates);
+
+    let mut scratch = std::mem::take(&mut part.scratch);
+    fill_deriv_factors(part, t, &mut scratch.deriv_ex, &mut scratch.deriv_lr);
+
+    #[cfg(target_arch = "x86_64")]
+    let (d1, d2) = if use_avx2 {
+        unsafe {
+            avx2::derivative_patterns(
+                &part.rates,
+                &part.data.weights,
+                &part.sumtable,
+                &scratch.deriv_ex,
+                &scratch.deriv_lr,
+                n_patterns,
+                cats,
+                cat_weight,
+            )
+        }
+    } else {
+        portable::derivative_patterns(
+            &part.rates,
+            &part.data.weights,
+            &part.sumtable,
+            &scratch.deriv_ex,
+            &scratch.deriv_lr,
+            n_patterns,
+            cats,
+            cat_weight,
+        )
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_avx2;
+    #[cfg(not(target_arch = "x86_64"))]
+    let (d1, d2) = portable::derivative_patterns(
+        &part.rates,
+        &part.data.weights,
+        &part.sumtable,
+        &scratch.deriv_ex,
+        &scratch.deriv_lr,
+        n_patterns,
+        cats,
+        cat_weight,
+    );
+
+    part.scratch = scratch;
+    (d1, d2, (n_patterns * cats) as u64)
+}
+
+/// The AVX2 hardware path. Every function carries
+/// `#[target_feature(enable = "avx2")]`; callers must have verified AVX2
+/// support (see [`avx2_usable`]).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::SimdChild;
+    use crate::engine::backend::{cat_index, RootSide};
+    use crate::engine::{LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
+    use crate::model::pmatrix::ProbMatrix;
+    use crate::model::rates::RateHeterogeneity;
+    use exa_bio::dna::NUM_STATES;
+    use std::arch::x86_64::*;
+
+    /// `P·b` over a column-major P: per-lane
+    /// `((P[s][0]·b₀ + P[s][1]·b₁) + P[s][2]·b₂) + P[s][3]·b₃`, the scalar
+    /// row-dot association order.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn matvec(cols: &ProbMatrix, b: &[f64]) -> __m256d {
+        unsafe {
+            let mut acc = _mm256_mul_pd(_mm256_loadu_pd(cols[0].as_ptr()), _mm256_set1_pd(b[0]));
+            acc = _mm256_add_pd(
+                acc,
+                _mm256_mul_pd(_mm256_loadu_pd(cols[1].as_ptr()), _mm256_set1_pd(b[1])),
+            );
+            acc = _mm256_add_pd(
+                acc,
+                _mm256_mul_pd(_mm256_loadu_pd(cols[2].as_ptr()), _mm256_set1_pd(b[2])),
+            );
+            acc = _mm256_add_pd(
+                acc,
+                _mm256_mul_pd(_mm256_loadu_pd(cols[3].as_ptr()), _mm256_set1_pd(b[3])),
+            );
+            acc
+        }
+    }
+
+    /// In-lane-order horizontal sum starting from `0.0`, matching the
+    /// scalar `acc = 0.0; for s { acc += t[s] }` loops bitwise.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn hsum_ordered(v: __m256d) -> f64 {
+        let mut arr = [0.0f64; NUM_STATES];
+        unsafe { _mm256_storeu_pd(arr.as_mut_ptr(), v) };
+        let mut acc = 0.0;
+        for x in arr {
+            acc += x;
+        }
+        acc
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn child_vec(child: &SimdChild, i: usize, c: usize, cats: usize, k: usize) -> __m256d {
+        match child {
+            SimdChild::Tip { codes, lookup } => unsafe {
+                _mm256_loadu_pd(lookup[k][codes[i] as usize & 0xf].as_ptr())
+            },
+            SimdChild::Inner { clv, cols, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                matvec(&cols[k], &clv[base..base + NUM_STATES])
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn newview_patterns(
+        rates: &RateHeterogeneity,
+        left: &SimdChild,
+        right: &SimdChild,
+        n_patterns: usize,
+        cats: usize,
+        parent_clv: &mut [f64],
+        parent_scale: &mut [u32],
+    ) {
+        let sign_mask = _mm256_set1_pd(-0.0);
+        let upscale = _mm256_set1_pd(TWO_TO_256);
+        for i in 0..n_patterns {
+            let base_i = i * cats * NUM_STATES;
+            let mut vmax = _mm256_setzero_pd();
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let lv = child_vec(left, i, c, cats, k);
+                let rv = child_vec(right, i, c, cats, k);
+                let v = _mm256_mul_pd(lv, rv);
+                unsafe {
+                    _mm256_storeu_pd(parent_clv.as_mut_ptr().add(base_i + c * NUM_STATES), v);
+                }
+                vmax = _mm256_max_pd(vmax, _mm256_andnot_pd(sign_mask, v));
+            }
+            let mut arr = [0.0f64; NUM_STATES];
+            unsafe { _mm256_storeu_pd(arr.as_mut_ptr(), vmax) };
+            let maxv = arr[0].max(arr[1]).max(arr[2]).max(arr[3]);
+            let mut count = left.scale_of(i) + right.scale_of(i);
+            if maxv < MIN_LIKELIHOOD {
+                for c in 0..cats {
+                    unsafe {
+                        let p = parent_clv.as_mut_ptr().add(base_i + c * NUM_STATES);
+                        _mm256_storeu_pd(p, _mm256_mul_pd(_mm256_loadu_pd(p), upscale));
+                    }
+                }
+                count += 1;
+            }
+            parent_scale[i] = count;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn evaluate_patterns(
+        rates: &RateHeterogeneity,
+        weights: &[f64],
+        freqs: &[f64; NUM_STATES],
+        cols: &[ProbMatrix],
+        a: &RootSide,
+        b: &RootSide,
+        n_patterns: usize,
+        cats: usize,
+        cat_weight: f64,
+    ) -> f64 {
+        let fv = unsafe { _mm256_loadu_pd(freqs.as_ptr()) };
+        let mut lnl = 0.0f64;
+        for i in 0..n_patterns {
+            let mut site = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let xa = a.state_slice(i, c, cats);
+                let xb = b.state_slice(i, c, cats);
+                let pb = matvec(&cols[k], xb);
+                let xav = unsafe { _mm256_loadu_pd(xa.as_ptr()) };
+                let terms = _mm256_mul_pd(_mm256_mul_pd(fv, xav), pb);
+                site += cat_weight * hsum_ordered(terms);
+            }
+            let count = a.scale_of(i) + b.scale_of(i);
+            let site = site.max(f64::MIN_POSITIVE);
+            lnl += weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+        }
+        lnl
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn sumtable_patterns(
+        a: &RootSide,
+        b: &RootSide,
+        freqs: &[f64; NUM_STATES],
+        v: &ProbMatrix,
+        vit: &ProbMatrix,
+        n_patterns: usize,
+        cats: usize,
+        sumtable: &mut [f64],
+    ) {
+        let fv = unsafe { _mm256_loadu_pd(freqs.as_ptr()) };
+        for i in 0..n_patterns {
+            for c in 0..cats {
+                let xa = a.state_slice(i, c, cats);
+                let xb = b.state_slice(i, c, cats);
+                let fa = _mm256_mul_pd(fv, unsafe { _mm256_loadu_pd(xa.as_ptr()) });
+                let mut fa_arr = [0.0f64; NUM_STATES];
+                unsafe { _mm256_storeu_pd(fa_arr.as_mut_ptr(), fa) };
+                let mut ae = _mm256_setzero_pd();
+                let mut be = _mm256_setzero_pd();
+                for s in 0..NUM_STATES {
+                    unsafe {
+                        ae = _mm256_add_pd(
+                            ae,
+                            _mm256_mul_pd(
+                                _mm256_set1_pd(fa_arr[s]),
+                                _mm256_loadu_pd(v[s].as_ptr()),
+                            ),
+                        );
+                        be = _mm256_add_pd(
+                            be,
+                            _mm256_mul_pd(_mm256_set1_pd(xb[s]), _mm256_loadu_pd(vit[s].as_ptr())),
+                        );
+                    }
+                }
+                let base = (i * cats + c) * NUM_STATES;
+                unsafe {
+                    _mm256_storeu_pd(sumtable.as_mut_ptr().add(base), _mm256_mul_pd(ae, be));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn derivative_patterns(
+        rates: &RateHeterogeneity,
+        weights: &[f64],
+        sumtable: &[f64],
+        ex: &[[f64; NUM_STATES]],
+        lr: &[[f64; NUM_STATES]],
+        n_patterns: usize,
+        cats: usize,
+        cat_weight: f64,
+    ) -> (f64, f64) {
+        let mut d1_sum = 0.0f64;
+        let mut d2_sum = 0.0f64;
+        for i in 0..n_patterns {
+            let mut l = 0.0f64;
+            let mut l1 = 0.0f64;
+            let mut l2 = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let base = (i * cats + c) * NUM_STATES;
+                let (w, wl1, wl2);
+                unsafe {
+                    let st = _mm256_loadu_pd(sumtable.as_ptr().add(base));
+                    let ev = _mm256_loadu_pd(ex[k].as_ptr());
+                    let lkv = _mm256_loadu_pd(lr[k].as_ptr());
+                    w = _mm256_mul_pd(st, ev);
+                    wl1 = _mm256_mul_pd(w, lkv);
+                    wl2 = _mm256_mul_pd(wl1, lkv);
+                }
+                let mut wa = [0.0f64; NUM_STATES];
+                let mut w1a = [0.0f64; NUM_STATES];
+                let mut w2a = [0.0f64; NUM_STATES];
+                unsafe {
+                    _mm256_storeu_pd(wa.as_mut_ptr(), w);
+                    _mm256_storeu_pd(w1a.as_mut_ptr(), wl1);
+                    _mm256_storeu_pd(w2a.as_mut_ptr(), wl2);
+                }
+                for s in 0..NUM_STATES {
+                    l += wa[s];
+                    l1 += w1a[s];
+                    l2 += w2a[s];
+                }
+            }
+            l *= cat_weight;
+            l1 *= cat_weight;
+            l2 *= cat_weight;
+            let l = l.max(f64::MIN_POSITIVE);
+            let ratio1 = l1 / l;
+            let ratio2 = l2 / l;
+            let wgt = weights[i];
+            d1_sum += wgt * ratio1;
+            d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+        }
+        (d1_sum, d2_sum)
+    }
+}
+
+/// The portable fallback: the same chunked algorithms over `[f64; 4]`
+/// lanes in plain Rust. Association orders match [`mod@super::scalar`] and
+/// the [`mod@avx2`] path exactly, so all three produce identical bits.
+mod portable {
+    use super::SimdChild;
+    use crate::engine::backend::{cat_index, RootSide};
+    use crate::engine::{LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
+    use crate::model::pmatrix::ProbMatrix;
+    use crate::model::rates::RateHeterogeneity;
+    use exa_bio::dna::NUM_STATES;
+
+    type V4 = [f64; NUM_STATES];
+
+    #[inline(always)]
+    fn splat(x: f64) -> V4 {
+        [x; NUM_STATES]
+    }
+
+    #[inline(always)]
+    fn load(s: &[f64]) -> V4 {
+        [s[0], s[1], s[2], s[3]]
+    }
+
+    #[inline(always)]
+    fn mul(a: V4, b: V4) -> V4 {
+        [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
+    }
+
+    #[inline(always)]
+    fn add(a: V4, b: V4) -> V4 {
+        [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+    }
+
+    #[inline(always)]
+    fn matvec(cols: &ProbMatrix, b: &[f64]) -> V4 {
+        let mut acc = mul(cols[0], splat(b[0]));
+        acc = add(acc, mul(cols[1], splat(b[1])));
+        acc = add(acc, mul(cols[2], splat(b[2])));
+        acc = add(acc, mul(cols[3], splat(b[3])));
+        acc
+    }
+
+    #[inline(always)]
+    fn hsum_ordered(v: V4) -> f64 {
+        let mut acc = 0.0;
+        for x in v {
+            acc += x;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn child_vec(child: &SimdChild, i: usize, c: usize, cats: usize, k: usize) -> V4 {
+        match child {
+            SimdChild::Tip { codes, lookup } => lookup[k][codes[i] as usize & 0xf],
+            SimdChild::Inner { clv, cols, .. } => {
+                let base = (i * cats + c) * NUM_STATES;
+                matvec(&cols[k], &clv[base..base + NUM_STATES])
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn newview_patterns(
+        rates: &RateHeterogeneity,
+        left: &SimdChild,
+        right: &SimdChild,
+        n_patterns: usize,
+        cats: usize,
+        parent_clv: &mut [f64],
+        parent_scale: &mut [u32],
+    ) {
+        for i in 0..n_patterns {
+            let base_i = i * cats * NUM_STATES;
+            let mut maxv = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let lv = child_vec(left, i, c, cats, k);
+                let rv = child_vec(right, i, c, cats, k);
+                let v = mul(lv, rv);
+                let out = &mut parent_clv[base_i + c * NUM_STATES..base_i + (c + 1) * NUM_STATES];
+                for s in 0..NUM_STATES {
+                    out[s] = v[s];
+                    maxv = maxv.max(v[s].abs());
+                }
+            }
+            let mut count = left.scale_of(i) + right.scale_of(i);
+            if maxv < MIN_LIKELIHOOD {
+                for v in parent_clv[base_i..base_i + cats * NUM_STATES].iter_mut() {
+                    *v *= TWO_TO_256;
+                }
+                count += 1;
+            }
+            parent_scale[i] = count;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn evaluate_patterns(
+        rates: &RateHeterogeneity,
+        weights: &[f64],
+        freqs: &[f64; NUM_STATES],
+        cols: &[ProbMatrix],
+        a: &RootSide,
+        b: &RootSide,
+        n_patterns: usize,
+        cats: usize,
+        cat_weight: f64,
+    ) -> f64 {
+        let mut lnl = 0.0f64;
+        for i in 0..n_patterns {
+            let mut site = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let xa = a.state_slice(i, c, cats);
+                let xb = b.state_slice(i, c, cats);
+                let pb = matvec(&cols[k], xb);
+                let terms = mul(mul(*freqs, load(xa)), pb);
+                site += cat_weight * hsum_ordered(terms);
+            }
+            let count = a.scale_of(i) + b.scale_of(i);
+            let site = site.max(f64::MIN_POSITIVE);
+            lnl += weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+        }
+        lnl
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn sumtable_patterns(
+        a: &RootSide,
+        b: &RootSide,
+        freqs: &[f64; NUM_STATES],
+        v: &ProbMatrix,
+        vit: &ProbMatrix,
+        n_patterns: usize,
+        cats: usize,
+        sumtable: &mut [f64],
+    ) {
+        for i in 0..n_patterns {
+            for c in 0..cats {
+                let xa = a.state_slice(i, c, cats);
+                let xb = b.state_slice(i, c, cats);
+                let fa = mul(*freqs, load(xa));
+                let mut ae = splat(0.0);
+                let mut be = splat(0.0);
+                for s in 0..NUM_STATES {
+                    ae = add(ae, mul(splat(fa[s]), v[s]));
+                    be = add(be, mul(splat(xb[s]), vit[s]));
+                }
+                let st = mul(ae, be);
+                let base = (i * cats + c) * NUM_STATES;
+                sumtable[base..base + NUM_STATES].copy_from_slice(&st);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn derivative_patterns(
+        rates: &RateHeterogeneity,
+        weights: &[f64],
+        sumtable: &[f64],
+        ex: &[[f64; NUM_STATES]],
+        lr: &[[f64; NUM_STATES]],
+        n_patterns: usize,
+        cats: usize,
+        cat_weight: f64,
+    ) -> (f64, f64) {
+        let mut d1_sum = 0.0f64;
+        let mut d2_sum = 0.0f64;
+        for i in 0..n_patterns {
+            let mut l = 0.0f64;
+            let mut l1 = 0.0f64;
+            let mut l2 = 0.0f64;
+            for c in 0..cats {
+                let k = cat_index(rates, i, c);
+                let base = (i * cats + c) * NUM_STATES;
+                let st = load(&sumtable[base..base + NUM_STATES]);
+                let w = mul(st, ex[k]);
+                let wl1 = mul(w, lr[k]);
+                let wl2 = mul(wl1, lr[k]);
+                for s in 0..NUM_STATES {
+                    l += w[s];
+                    l1 += wl1[s];
+                    l2 += wl2[s];
+                }
+            }
+            l *= cat_weight;
+            l1 *= cat_weight;
+            l2 *= cat_weight;
+            let l = l.max(f64::MIN_POSITIVE);
+            let ratio1 = l1 / l;
+            let ratio2 = l2 / l;
+            let wgt = weights[i];
+            d1_sum += wgt * ratio1;
+            d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+        }
+        (d1_sum, d2_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::backend::backend_for;
+    use crate::engine::PartitionSlice;
+    use crate::model::rates::RateModelKind;
+    use crate::tree::Tree;
+
+    /// Hand-built deterministic partition slice with a mix of unambiguous,
+    /// ambiguous, and gap tip codes.
+    fn slice(n_taxa: usize, n_patterns: usize, seed: u64) -> PartitionSlice {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let tips: Vec<Vec<u8>> = (0..n_taxa)
+            .map(|_| {
+                (0..n_patterns)
+                    .map(|_| match next() % 10 {
+                        0..=7 => 1u8 << (next() % 4),
+                        8 => 0xf,
+                        _ => 0b0101,
+                    })
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..n_patterns).map(|_| (1 + next() % 3) as f64).collect();
+        PartitionSlice {
+            name: "test".into(),
+            global_index: 0,
+            tips,
+            weights,
+            freqs: [0.3, 0.2, 0.25, 0.25],
+        }
+    }
+
+    /// Run the scalar backend and the SIMD backend's portable path (and the
+    /// AVX2 path where available) over the same traversal and assert every
+    /// observable output — CLVs, scale counts, lnl, sumtable, derivatives —
+    /// is bitwise identical.
+    fn check_paths(kind: RateModelKind) {
+        let n_taxa = 7;
+        let s = slice(n_taxa, 41, 77);
+        let mk = || Engine::with_kernel(n_taxa, vec![s.clone()], kind, 0.6, KernelKind::Scalar);
+        let mut tree = Tree::random(n_taxa, 1, 5);
+        let d = tree.full_traversal_descriptor(0);
+
+        let scalar = backend_for(KernelKind::Scalar);
+        let mut eng_scalar = mk();
+        let mut eng_port = mk();
+        for entry in &d.entries {
+            scalar.newview_entry(&mut eng_scalar.parts[0], n_taxa, entry);
+            newview_entry_impl(&mut eng_port.parts[0], n_taxa, entry, false);
+        }
+        assert_eq!(eng_scalar.parts[0].clv, eng_port.parts[0].clv);
+        assert_eq!(eng_scalar.parts[0].scale, eng_port.parts[0].scale);
+
+        let (lnl_s, w_s) = scalar.evaluate_root(&mut eng_scalar.parts[0], n_taxa, &d);
+        let (lnl_p, w_p) = evaluate_root_impl(&mut eng_port.parts[0], n_taxa, &d, false);
+        assert_eq!(lnl_s.to_bits(), lnl_p.to_bits(), "{lnl_s} vs {lnl_p}");
+        assert_eq!(w_s, w_p);
+
+        scalar.make_sumtable(&mut eng_scalar.parts[0], n_taxa, &d);
+        make_sumtable_impl(&mut eng_port.parts[0], n_taxa, &d, false);
+        assert_eq!(eng_scalar.parts[0].sumtable, eng_port.parts[0].sumtable);
+
+        for t in [1e-6, 0.07, 0.9] {
+            let (a1, a2, _) = scalar.derivatives_from_sumtable(&mut eng_scalar.parts[0], t);
+            let (b1, b2, _) = derivatives_from_sumtable_impl(&mut eng_port.parts[0], t, false);
+            assert_eq!(a1.to_bits(), b1.to_bits(), "d1 at {t}");
+            assert_eq!(a2.to_bits(), b2.to_bits(), "d2 at {t}");
+        }
+
+        if avx2_usable() {
+            let mut eng_avx = mk();
+            for entry in &d.entries {
+                newview_entry_impl(&mut eng_avx.parts[0], n_taxa, entry, true);
+            }
+            assert_eq!(eng_scalar.parts[0].clv, eng_avx.parts[0].clv);
+            assert_eq!(eng_scalar.parts[0].scale, eng_avx.parts[0].scale);
+            let (lnl_a, _) = evaluate_root_impl(&mut eng_avx.parts[0], n_taxa, &d, true);
+            assert_eq!(lnl_s.to_bits(), lnl_a.to_bits(), "{lnl_s} vs {lnl_a}");
+            make_sumtable_impl(&mut eng_avx.parts[0], n_taxa, &d, true);
+            assert_eq!(eng_scalar.parts[0].sumtable, eng_avx.parts[0].sumtable);
+            for t in [1e-6, 0.07, 0.9] {
+                let (a1, a2, _) = scalar.derivatives_from_sumtable(&mut eng_scalar.parts[0], t);
+                let (b1, b2, _) = derivatives_from_sumtable_impl(&mut eng_avx.parts[0], t, true);
+                assert_eq!(a1.to_bits(), b1.to_bits(), "avx2 d1 at {t}");
+                assert_eq!(a2.to_bits(), b2.to_bits(), "avx2 d2 at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn portable_chunks_match_scalar_bitwise_gamma() {
+        check_paths(RateModelKind::Gamma);
+    }
+
+    #[test]
+    fn portable_chunks_match_scalar_bitwise_psr() {
+        check_paths(RateModelKind::Psr);
+    }
+}

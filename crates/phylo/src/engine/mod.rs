@@ -19,8 +19,12 @@
 //! guarantees the de-centralized and fork-join drivers execute bit-identical
 //! arithmetic.
 
-mod kernels;
+pub mod backend;
 mod site_rates;
+
+pub use backend::{simd_available, KernelChoice, KernelKind};
+
+use backend::{KernelBackend, KernelScratch};
 
 use crate::model::gtr::GtrModel;
 use crate::model::rates::{RateHeterogeneity, RateModelKind};
@@ -136,6 +140,9 @@ pub(crate) struct PartitionState {
     pub sumtable: Vec<f64>,
     /// Scratch: per-pattern rates during PSR optimization.
     pub psr_scratch: Vec<f64>,
+    /// Reusable kernel scratch (P-matrices, tip lookups, SIMD transposes) —
+    /// refilled per edge instead of reallocated.
+    pub scratch: KernelScratch,
 }
 
 impl PartitionState {
@@ -160,6 +167,7 @@ impl PartitionState {
             scale: vec![vec![0; n_patterns]; n_inner],
             sumtable: vec![0.0; n_patterns * cats * NUM_STATES],
             psr_scratch: vec![1.0; n_patterns],
+            scratch: KernelScratch::default(),
         }
     }
 
@@ -177,6 +185,9 @@ pub struct Engine {
     /// partitions (MPS with more ranks than partitions), so collective
     /// call sequences stay identical across ranks.
     kind: RateModelKind,
+    /// The kernel backend all partitions run on. Must be uniform across
+    /// ranks in multi-rank runs (see [`backend`] docs).
+    backend: &'static dyn KernelBackend,
     pub(crate) parts: Vec<PartitionState>,
     work: WorkCounters,
 }
@@ -186,11 +197,33 @@ impl Engine {
     /// all running the same rate-heterogeneity `kind` with initial Γ shape
     /// `alpha0` (ignored under PSR). GTR starts at equal exchangeabilities
     /// with empirical base frequencies, RAxML's defaults.
+    ///
+    /// The kernel backend is resolved from the process-wide default
+    /// ([`KernelChoice::from_env`], i.e. `EXAML_KERNEL` or `auto`) against
+    /// the local machine. Multi-rank drivers that negotiated a common
+    /// backend should use [`Engine::with_kernel`] instead.
     pub fn new(
         n_taxa: usize,
         slices: Vec<PartitionSlice>,
         kind: RateModelKind,
         alpha0: f64,
+    ) -> Engine {
+        Engine::with_kernel(
+            n_taxa,
+            slices,
+            kind,
+            alpha0,
+            KernelChoice::from_env().resolve_local(),
+        )
+    }
+
+    /// [`Engine::new`] with an explicitly chosen kernel backend.
+    pub fn with_kernel(
+        n_taxa: usize,
+        slices: Vec<PartitionSlice>,
+        kind: RateModelKind,
+        alpha0: f64,
+        kernel: KernelKind,
     ) -> Engine {
         assert!(n_taxa >= 3, "need at least 3 taxa");
         let n_inner = n_taxa - 2;
@@ -201,9 +234,15 @@ impl Engine {
         Engine {
             n_taxa,
             kind,
+            backend: backend::backend_for(kernel),
             parts,
             work: WorkCounters::default(),
         }
+    }
+
+    /// The kernel backend this engine runs on.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.backend.kind()
     }
 
     /// Number of taxa.
@@ -326,11 +365,12 @@ impl Engine {
         let started = std::time::Instant::now();
         let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
+        let backend = self.backend;
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
             for entry in &d.entries {
-                work += kernels::newview_entry(part, n_taxa, entry);
+                work += backend.newview_entry(part, n_taxa, entry);
             }
             if let Some(t0) = t0 {
                 exa_obs::kernel(
@@ -352,11 +392,12 @@ impl Engine {
         let started = std::time::Instant::now();
         let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
+        let backend = self.backend;
         let mut out = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
-            let (lnl, w) = kernels::evaluate_root(part, n_taxa, d);
+            let (lnl, w) = backend.evaluate_root(part, n_taxa, d);
             out.push(lnl);
             work += w;
             if let Some(t0) = t0 {
@@ -376,8 +417,9 @@ impl Engine {
     /// CLVs must be up to date.
     pub fn prepare_derivatives(&mut self, d: &TraversalDescriptor) {
         let n_taxa = self.n_taxa;
+        let backend = self.backend;
         for part in self.parts.iter_mut() {
-            kernels::make_sumtable(part, n_taxa, d);
+            backend.make_sumtable(part, n_taxa, d);
         }
     }
 
@@ -389,13 +431,14 @@ impl Engine {
         let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
         let started = std::time::Instant::now();
         let per_part = exa_obs::tracing_active();
+        let backend = self.backend;
         let mut d1 = Vec::with_capacity(self.parts.len());
         let mut d2 = Vec::with_capacity(self.parts.len());
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
             let t = Engine::branch_length(lengths, part.data.global_index);
-            let (a, b, w) = kernels::derivatives_from_sumtable(part, t);
+            let (a, b, w) = backend.derivatives_from_sumtable(part, t);
             d1.push(a);
             d2.push(b);
             work += w;

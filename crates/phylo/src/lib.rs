@@ -26,6 +26,6 @@ pub mod model;
 pub mod numerics;
 pub mod tree;
 
-pub use engine::{Engine, PartitionSlice, WorkCounters};
+pub use engine::{simd_available, Engine, KernelChoice, KernelKind, PartitionSlice, WorkCounters};
 pub use model::{GtrModel, RateHeterogeneity, RateModelKind};
 pub use tree::{EdgeId, NodeId, Tree};

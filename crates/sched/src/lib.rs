@@ -188,6 +188,23 @@ pub fn materialize(
         .collect()
 }
 
+/// Build a rank's likelihood engine from its distribution assignment, on
+/// the given kernel backend. This is the one place a data distribution
+/// becomes an [`Engine`], shared by every execution scheme.
+pub fn build_engine(
+    aln: &CompressedAlignment,
+    assignment: &RankAssignment,
+    freqs: &[[f64; 4]],
+    rate_model: exa_phylo::RateModelKind,
+    kernel: exa_phylo::KernelKind,
+) -> exa_phylo::Engine {
+    let slices: Vec<exa_phylo::PartitionSlice> = materialize(aln, assignment)
+        .into_iter()
+        .map(|(gi, part)| exa_phylo::PartitionSlice::from_subset(gi, &part, freqs[gi]))
+        .collect();
+    exa_phylo::Engine::with_kernel(aln.n_taxa(), slices, rate_model, 1.0, kernel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,19 @@ pub trait Evaluator {
     /// concrete evaluator through the trait object.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 
+    /// Digest of the likelihood-kernel backend this evaluator computes
+    /// with, folded into [`Evaluator::state_fingerprint`] as
+    /// [`exa_obs::Component::KernelBackend`]. Backends are bitwise
+    /// identical by contract, so a mix never shows up in the numeric
+    /// components — but mixed backends still break the interchangeability
+    /// that fault-driven data redistribution relies on, so the sentinel
+    /// flags them directly. Implementations backed by an engine return a
+    /// hash of the kernel label; the default (0) means "unspecified" and
+    /// only ever disagrees with an implementation that overrides this.
+    fn backend_fingerprint(&self) -> u64 {
+        0
+    }
+
     /// Deterministic digest of the replicated search state, one 64-bit
     /// hash per [`exa_obs::Component`]. Under the de-centralized scheme
     /// every rank must produce the identical fingerprint at the same
@@ -140,9 +153,17 @@ pub trait Evaluator {
                 branches.finish(),
                 topology.finish(),
                 lnl.finish(),
+                self.backend_fingerprint(),
             ],
         }
     }
+}
+
+/// The canonical [`Evaluator::backend_fingerprint`] digest for an engine's
+/// kernel: FNV-1a over the kernel label. All engine-backed evaluators use
+/// this so that identical backends hash identically across schemes.
+pub fn kernel_fingerprint(kind: exa_phylo::KernelKind) -> u64 {
+    exa_obs::fnv1a(kind.label().as_bytes())
 }
 
 /// Helper shared by all back-ends: push global (α, GTR) parameters into an
@@ -345,6 +366,10 @@ impl Evaluator for SequentialEvaluator {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn backend_fingerprint(&self) -> u64 {
+        kernel_fingerprint(self.engine.kernel_kind())
     }
 }
 

@@ -27,7 +27,9 @@ pub mod parsimony;
 pub mod spr;
 
 pub use driver::{run_search, BoundaryInfo, NoHooks, SearchHooks, SearchResult};
-pub use evaluator::{BranchMode, CommFailurePanic, Evaluator, GlobalState, SequentialEvaluator};
+pub use evaluator::{
+    kernel_fingerprint, BranchMode, CommFailurePanic, Evaluator, GlobalState, SequentialEvaluator,
+};
 
 use serde::{Deserialize, Serialize};
 

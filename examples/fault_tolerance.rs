@@ -10,7 +10,7 @@
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 use examl_core::fault::FaultPlan;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 fn main() {
     let ranks: usize = std::env::args()
@@ -32,9 +32,11 @@ fn main() {
     };
 
     println!("\n--- run 1: no failures, {ranks} ranks ---");
-    let mut cfg = InferenceConfig::new(ranks);
+    let mut cfg = RunConfig::new(ranks);
     cfg.search = search.clone();
-    let clean = run_decentralized(&w.compressed, &cfg);
+    let clean = cfg
+        .run(&w.compressed)
+        .expect("uniform replicas cannot diverge");
     println!(
         "  lnL = {:.4}, survivors = {:?}",
         clean.result.lnl, clean.survivors
@@ -44,10 +46,12 @@ fn main() {
         "\n--- run 2: rank 1 dies at iteration 1, rank {} at iteration 2 ---",
         ranks - 1
     );
-    let mut cfg = InferenceConfig::new(ranks);
+    let mut cfg = RunConfig::new(ranks);
     cfg.search = search;
     cfg.fault_plan = FaultPlan::kill(1, 1).and_kill(ranks - 1, 2);
-    let faulted = run_decentralized(&w.compressed, &cfg);
+    let faulted = cfg
+        .run(&w.compressed)
+        .expect("uniform replicas cannot diverge");
     println!(
         "  lnL = {:.4}, survivors = {:?}",
         faulted.result.lnl, faulted.survivors

@@ -9,9 +9,9 @@
 //! ```
 
 use exa_comm::{CommCategory, CommStats};
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_simgen::workloads;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 fn print_stats(label: &str, stats: &CommStats) {
     println!("  {label}:");
@@ -54,7 +54,7 @@ fn main() {
     let mut fcfg = ForkJoinConfig::new(ranks);
     fcfg.seed = seed;
     let t0 = std::time::Instant::now();
-    let fj = run_forkjoin(&w.compressed, &fcfg);
+    let fj = execute(&w.compressed, &fcfg, None);
     let fj_time = t0.elapsed();
     println!(
         "  lnL = {:.4} after {} iterations ({fj_time:.2?})",
@@ -62,10 +62,12 @@ fn main() {
     );
 
     println!("\n=== de-centralized (ExaML scheme) on {ranks} ranks ===");
-    let mut dcfg = InferenceConfig::new(ranks);
+    let mut dcfg = RunConfig::new(ranks);
     dcfg.seed = seed;
     let t0 = std::time::Instant::now();
-    let dec = run_decentralized(&w.compressed, &dcfg);
+    let dec = dcfg
+        .run(&w.compressed)
+        .expect("uniform replicas cannot diverge");
     let dec_time = t0.elapsed();
     println!(
         "  lnL = {:.4} after {} iterations ({dec_time:.2?})",

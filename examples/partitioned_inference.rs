@@ -12,7 +12,7 @@ use exa_phylo::model::rates::RateModelKind;
 use exa_sched::{balance::balance_stats, distribute, Strategy};
 use exa_search::evaluator::BranchMode;
 use exa_simgen::workloads;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +50,7 @@ fn main() {
         );
     }
 
-    let mut cfg = InferenceConfig::new(ranks);
+    let mut cfg = RunConfig::new(ranks);
     cfg.strategy = if partitions >= 2 * ranks {
         Strategy::MonolithicLpt // the paper's -Q regime
     } else {
@@ -72,7 +72,9 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let out = run_decentralized(&w.compressed, &cfg);
+    let out = cfg
+        .run(&w.compressed)
+        .expect("uniform replicas cannot diverge");
     let elapsed = start.elapsed();
 
     println!("final log-likelihood : {:.4}", out.result.lnl);

@@ -8,7 +8,7 @@
 use exa_bio::partition::PartitionScheme;
 use exa_bio::patterns::CompressedAlignment;
 use exa_bio::phylip::parse_phylip;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 /// A tiny embedded alignment (8 primate-like toy sequences, 60 bp) so the
 /// quickstart has zero external inputs.
@@ -41,9 +41,11 @@ fn main() {
     );
 
     // 2. Configure and run the de-centralized inference.
-    let mut cfg = InferenceConfig::new(ranks);
+    let mut cfg = RunConfig::new(ranks);
     cfg.seed = seed;
-    let out = run_decentralized(&compressed, &cfg);
+    let out = cfg
+        .run(&compressed)
+        .expect("uniform replicas cannot diverge");
 
     // 3. Report.
     println!("final log-likelihood : {:.4}", out.result.lnl);

@@ -13,25 +13,34 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (once per kernel backend)"
+for kernel in scalar simd; do
+  echo "    EXAML_KERNEL=$kernel"
+  EXAML_KERNEL="$kernel" cargo test -q --workspace
+done
 
 echo "==> examl smoke run (sentinel + heartbeat)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/smoke.phy" 8 2 60 1
 cargo run -q --release -p examl-core --bin examl -- \
-  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 --kernel auto \
   --verify-replicas 8 --health-out "$tmp/health.jsonl" \
   --out-tree "$tmp/smoke.nwk" --quiet
 test -s "$tmp/smoke.nwk"
 test -s "$tmp/health.jsonl"
-# Every heartbeat line must parse as JSON and report a verified-ok run.
+# Every heartbeat line must parse as JSON, report a verified-ok run, and
+# carry the auto-negotiated kernel backend.
 while IFS= read -r line; do
   [ -n "$line" ] || continue
   status="$(printf '%s' "$line" | jq -r .divergence)"
   [ "$status" = "ok" ] || { echo "unexpected heartbeat: $line"; exit 1; }
+  kernel="$(printf '%s' "$line" | jq -r .kernel)"
+  case "$kernel" in
+    scalar|simd) ;;
+    *) echo "heartbeat missing negotiated kernel: $line"; exit 1 ;;
+  esac
 done <"$tmp/health.jsonl"
-echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok"
+echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel)"
 
 echo "verify: OK"

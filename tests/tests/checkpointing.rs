@@ -2,7 +2,7 @@
 
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::{checkpoint, run_decentralized, InferenceConfig};
+use examl_core::{checkpoint, RunConfig};
 
 fn workload() -> workloads::Workload {
     workloads::partitioned(8, 2, 100, 41)
@@ -16,7 +16,7 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn checkpoints_are_written_and_loadable() {
     let w = workload();
     let path = tmp("write");
-    let mut cfg = InferenceConfig::new(2);
+    let mut cfg = RunConfig::new(2);
     cfg.search = SearchConfig {
         max_iterations: 3,
         epsilon: 0.01,
@@ -24,7 +24,7 @@ fn checkpoints_are_written_and_loadable() {
     };
     cfg.checkpoint_path = Some(path.clone());
     cfg.checkpoint_every = 1;
-    let out = run_decentralized(&w.compressed, &cfg);
+    let out = cfg.run(&w.compressed).unwrap();
 
     let ckpt = checkpoint::load(&path).expect("checkpoint must exist and parse");
     std::fs::remove_file(&path).ok();
@@ -42,7 +42,7 @@ fn resume_continues_to_a_result_at_least_as_good() {
     let path = tmp("resume");
 
     // Phase 1: a deliberately short run that leaves a checkpoint behind.
-    let mut cfg1 = InferenceConfig::new(2);
+    let mut cfg1 = RunConfig::new(2);
     cfg1.search = SearchConfig {
         max_iterations: 1,
         epsilon: 0.001,
@@ -50,17 +50,17 @@ fn resume_continues_to_a_result_at_least_as_good() {
     };
     cfg1.checkpoint_path = Some(path.clone());
     cfg1.checkpoint_every = 1;
-    let first = run_decentralized(&w.compressed, &cfg1);
+    let first = cfg1.run(&w.compressed).unwrap();
 
     // Phase 2: resume and keep searching.
-    let mut cfg2 = InferenceConfig::new(2);
+    let mut cfg2 = RunConfig::new(2);
     cfg2.search = SearchConfig {
         max_iterations: 3,
         epsilon: 0.001,
         ..SearchConfig::fast()
     };
     cfg2.resume_from = Some(path.clone());
-    let second = run_decentralized(&w.compressed, &cfg2);
+    let second = cfg2.run(&w.compressed).unwrap();
     std::fs::remove_file(&path).ok();
 
     assert!(
@@ -78,21 +78,21 @@ fn resume_with_different_rank_count() {
     let w = workload();
     let path = tmp("ranks");
 
-    let mut cfg1 = InferenceConfig::new(3);
+    let mut cfg1 = RunConfig::new(3);
     cfg1.search = SearchConfig {
         max_iterations: 1,
         ..SearchConfig::fast()
     };
     cfg1.checkpoint_path = Some(path.clone());
-    run_decentralized(&w.compressed, &cfg1);
+    cfg1.run(&w.compressed).unwrap();
 
-    let mut cfg2 = InferenceConfig::new(2);
+    let mut cfg2 = RunConfig::new(2);
     cfg2.search = SearchConfig {
         max_iterations: 2,
         ..SearchConfig::fast()
     };
     cfg2.resume_from = Some(path.clone());
-    let out = run_decentralized(&w.compressed, &cfg2);
+    let out = cfg2.run(&w.compressed).unwrap();
     std::fs::remove_file(&path).ok();
     assert!(out.result.lnl.is_finite());
 }

@@ -8,10 +8,10 @@
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
-fn cfg(ranks: usize, kind: RateModelKind) -> InferenceConfig {
-    let mut cfg = InferenceConfig::new(ranks);
+fn cfg(ranks: usize, kind: RateModelKind) -> RunConfig {
+    let mut cfg = RunConfig::new(ranks);
     cfg.rate_model = kind;
     cfg.strategy = exa_sched::Strategy::MonolithicLpt;
     cfg.search = SearchConfig {
@@ -26,11 +26,11 @@ fn cfg(ranks: usize, kind: RateModelKind) -> InferenceConfig {
 fn more_ranks_than_partitions_under_gamma() {
     // 2 partitions, 4 ranks: two ranks are empty.
     let w = workloads::partitioned(6, 2, 60, 3);
-    let out = run_decentralized(&w.compressed, &cfg(4, RateModelKind::Gamma));
+    let out = cfg(4, RateModelKind::Gamma).run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
 
     // Same answer as the fully-loaded 2-rank run.
-    let dense = run_decentralized(&w.compressed, &cfg(2, RateModelKind::Gamma));
+    let dense = cfg(2, RateModelKind::Gamma).run(&w.compressed).unwrap();
     assert!(
         (out.result.lnl - dense.result.lnl).abs() < 1e-6,
         "{} vs {}",
@@ -44,7 +44,7 @@ fn more_ranks_than_partitions_under_psr() {
     // The regression: PSR site-rate optimization performs an allreduce that
     // empty ranks must join.
     let w = workloads::partitioned(6, 2, 60, 5);
-    let out = run_decentralized(&w.compressed, &cfg(4, RateModelKind::Psr));
+    let out = cfg(4, RateModelKind::Psr).run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
 }
 
@@ -58,6 +58,6 @@ fn empty_ranks_under_forkjoin_psr() {
         max_iterations: 1,
         ..SearchConfig::fast()
     };
-    let out = exa_forkjoin::run_forkjoin(&w.compressed, &cfg);
+    let out = exa_forkjoin::execute(&w.compressed, &cfg, None);
     assert!(out.result.lnl.is_finite());
 }

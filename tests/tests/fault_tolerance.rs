@@ -5,14 +5,14 @@ use exa_phylo::tree::bipartitions::rf_distance;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 use examl_core::fault::FaultPlan;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 fn workload(seed: u64) -> workloads::Workload {
     workloads::partitioned(8, 2, 100, seed)
 }
 
-fn cfg(n_ranks: usize, plan: FaultPlan) -> InferenceConfig {
-    let mut cfg = InferenceConfig::new(n_ranks);
+fn cfg(n_ranks: usize, plan: FaultPlan) -> RunConfig {
+    let mut cfg = RunConfig::new(n_ranks);
     cfg.search = SearchConfig {
         max_iterations: 3,
         epsilon: 0.01,
@@ -26,8 +26,8 @@ fn cfg(n_ranks: usize, plan: FaultPlan) -> InferenceConfig {
 #[test]
 fn single_rank_failure_is_survived() {
     let w = workload(5);
-    let baseline = run_decentralized(&w.compressed, &cfg(4, FaultPlan::none()));
-    let faulted = run_decentralized(&w.compressed, &cfg(4, FaultPlan::kill(2, 1)));
+    let baseline = cfg(4, FaultPlan::none()).run(&w.compressed).unwrap();
+    let faulted = cfg(4, FaultPlan::kill(2, 1)).run(&w.compressed).unwrap();
 
     // The run completes and reaches (essentially) the same optimum: the
     // survivors redo the interrupted iteration on redistributed data, and
@@ -53,7 +53,7 @@ fn failure_of_rank_zero_is_survived() {
     // There is no master: rank 0 is as expendable as any other (the paper's
     // §V contrast with fork-join, where a master death is catastrophic).
     let w = workload(9);
-    let out = run_decentralized(&w.compressed, &cfg(3, FaultPlan::kill(0, 1)));
+    let out = cfg(3, FaultPlan::kill(0, 1)).run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
     assert_eq!(out.survivors, vec![1, 2]);
 }
@@ -62,8 +62,8 @@ fn failure_of_rank_zero_is_survived() {
 fn two_failures_in_sequence_are_survived() {
     let w = workload(13);
     let plan = FaultPlan::kill(1, 1).and_kill(3, 2);
-    let baseline = run_decentralized(&w.compressed, &cfg(4, FaultPlan::none()));
-    let out = run_decentralized(&w.compressed, &cfg(4, plan));
+    let baseline = cfg(4, FaultPlan::none()).run(&w.compressed).unwrap();
+    let out = cfg(4, plan).run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
     assert_eq!(out.survivors, vec![0, 2]);
     assert!(
@@ -78,7 +78,7 @@ fn two_failures_in_sequence_are_survived() {
 fn simultaneous_failures_are_survived() {
     let w = workload(17);
     let plan = FaultPlan::kill(1, 1).and_kill(2, 1);
-    let out = run_decentralized(&w.compressed, &cfg(4, plan));
+    let out = cfg(4, plan).run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
     assert_eq!(out.survivors, vec![0, 3]);
 }
@@ -88,7 +88,7 @@ fn failure_under_mps_distribution() {
     let w = workloads::partitioned(8, 6, 60, 19);
     let mut c = cfg(3, FaultPlan::kill(1, 1));
     c.strategy = exa_sched::Strategy::MonolithicLpt;
-    let out = run_decentralized(&w.compressed, &c);
+    let out = c.run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
     assert_eq!(out.survivors, vec![0, 2]);
 }
@@ -100,6 +100,6 @@ fn failure_under_psr_model() {
     let w = workload(23);
     let mut c = cfg(3, FaultPlan::kill(2, 1));
     c.rate_model = exa_phylo::model::rates::RateModelKind::Psr;
-    let out = run_decentralized(&w.compressed, &c);
+    let out = c.run(&w.compressed).unwrap();
     assert!(out.result.lnl.is_finite());
 }

@@ -3,14 +3,14 @@
 //! therefore produce the same tree and likelihood; and both must match the
 //! sequential reference. These tests run all three end-to-end.
 
-use exa_forkjoin::{run_forkjoin, ForkJoinConfig};
+use exa_forkjoin::{execute, ForkJoinConfig};
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::bipartitions::rf_distance;
 use exa_phylo::tree::Tree;
 use exa_search::evaluator::BranchMode;
 use exa_search::{run_search, NoHooks, SearchConfig, SequentialEvaluator};
 use exa_simgen::workloads;
-use examl_core::{run_decentralized, InferenceConfig};
+use examl_core::RunConfig;
 
 fn small_workload(seed: u64) -> workloads::Workload {
     workloads::partitioned(8, 2, 120, seed)
@@ -55,10 +55,10 @@ fn decentralized_matches_sequential() {
     let (seq_lnl, seq_tree) =
         sequential_reference(&w, RateModelKind::Gamma, BranchMode::Joint, seed);
 
-    let mut cfg = InferenceConfig::new(3);
+    let mut cfg = RunConfig::new(3);
     cfg.search = fast_search();
     cfg.seed = seed;
-    let out = run_decentralized(&w.compressed, &cfg);
+    let out = cfg.run(&w.compressed).unwrap();
 
     assert!(
         (out.result.lnl - seq_lnl).abs() < 1e-6,
@@ -77,15 +77,15 @@ fn forkjoin_matches_decentralized_exactly() {
     let w = small_workload(7);
     let seed = 11;
 
-    let mut dcfg = InferenceConfig::new(3);
+    let mut dcfg = RunConfig::new(3);
     dcfg.search = fast_search();
     dcfg.seed = seed;
-    let dec = run_decentralized(&w.compressed, &dcfg);
+    let dec = dcfg.run(&w.compressed).unwrap();
 
     let mut fcfg = ForkJoinConfig::new(3);
     fcfg.search = fast_search();
     fcfg.seed = seed;
-    let fj = run_forkjoin(&w.compressed, &fcfg);
+    let fj = execute(&w.compressed, &fcfg, None);
 
     assert!(
         (dec.result.lnl - fj.result.lnl).abs() < 1e-6,
@@ -102,10 +102,10 @@ fn rank_count_does_not_change_the_result() {
     let w = small_workload(13);
     let mut lnls = Vec::new();
     for n_ranks in [1usize, 2, 4] {
-        let mut cfg = InferenceConfig::new(n_ranks);
+        let mut cfg = RunConfig::new(n_ranks);
         cfg.search = fast_search();
         cfg.seed = 5;
-        let out = run_decentralized(&w.compressed, &cfg);
+        let out = cfg.run(&w.compressed).unwrap();
         lnls.push(out.result.lnl);
     }
     for pair in lnls.windows(2) {
@@ -124,11 +124,11 @@ fn mps_and_cyclic_agree() {
         exa_sched::Strategy::Cyclic,
         exa_sched::Strategy::MonolithicLpt,
     ] {
-        let mut cfg = InferenceConfig::new(3);
+        let mut cfg = RunConfig::new(3);
         cfg.search = fast_search();
         cfg.strategy = strategy;
         cfg.seed = 9;
-        let out = run_decentralized(&w.compressed, &cfg);
+        let out = cfg.run(&w.compressed).unwrap();
         results.push(out);
     }
     assert!(
@@ -148,17 +148,17 @@ fn psr_schemes_agree() {
     let w = small_workload(23);
     let seed = 3;
 
-    let mut dcfg = InferenceConfig::new(2);
+    let mut dcfg = RunConfig::new(2);
     dcfg.search = fast_search();
     dcfg.rate_model = RateModelKind::Psr;
     dcfg.seed = seed;
-    let dec = run_decentralized(&w.compressed, &dcfg);
+    let dec = dcfg.run(&w.compressed).unwrap();
 
     let mut fcfg = ForkJoinConfig::new(2);
     fcfg.search = fast_search();
     fcfg.rate_model = RateModelKind::Psr;
     fcfg.seed = seed;
-    let fj = run_forkjoin(&w.compressed, &fcfg);
+    let fj = execute(&w.compressed, &fcfg, None);
 
     // PSR rates are optimized on pattern subsets, so the quantization is
     // distribution-dependent in principle; with identical distribution
@@ -176,17 +176,17 @@ fn per_partition_branch_mode_agrees_across_schemes() {
     let w = small_workload(29);
     let seed = 8;
 
-    let mut dcfg = InferenceConfig::new(2);
+    let mut dcfg = RunConfig::new(2);
     dcfg.search = fast_search();
     dcfg.branch_mode = BranchMode::PerPartition;
     dcfg.seed = seed;
-    let dec = run_decentralized(&w.compressed, &dcfg);
+    let dec = dcfg.run(&w.compressed).unwrap();
 
     let mut fcfg = ForkJoinConfig::new(2);
     fcfg.search = fast_search();
     fcfg.branch_mode = BranchMode::PerPartition;
     fcfg.seed = seed;
-    let fj = run_forkjoin(&w.compressed, &fcfg);
+    let fj = execute(&w.compressed, &fcfg, None);
 
     assert!(
         (dec.result.lnl - fj.result.lnl).abs() < 1e-6,
@@ -203,15 +203,15 @@ fn communication_profile_matches_the_paper_story() {
     let w = small_workload(31);
     let seed = 4;
 
-    let mut dcfg = InferenceConfig::new(3);
+    let mut dcfg = RunConfig::new(3);
     dcfg.search = fast_search();
     dcfg.seed = seed;
-    let dec = run_decentralized(&w.compressed, &dcfg);
+    let dec = dcfg.run(&w.compressed).unwrap();
 
     let mut fcfg = ForkJoinConfig::new(3);
     fcfg.search = fast_search();
     fcfg.seed = seed;
-    let fj = run_forkjoin(&w.compressed, &fcfg);
+    let fj = execute(&w.compressed, &fcfg, None);
 
     // (i) The de-centralized scheme never broadcasts traversal descriptors.
     assert_eq!(

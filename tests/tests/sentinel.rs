@@ -11,15 +11,24 @@
 use exa_obs::Component;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::{run_decentralized_checked, DivergenceFault, FaultComponent, InferenceConfig};
+use examl_core::{DivergenceFault, FaultComponent, RunConfig, RunError};
 use proptest::prelude::*;
 
 fn workload(seed: u64) -> workloads::Workload {
     workloads::partitioned(8, 2, 100, seed)
 }
 
-fn cfg(n_ranks: usize, cadence: u64) -> InferenceConfig {
-    let mut cfg = InferenceConfig::new(n_ranks);
+/// Unwrap the structured sentinel diagnostic out of a run result.
+fn divergence(res: Result<examl_core::RunOutcome, RunError>) -> exa_obs::ReplicaDivergence {
+    match res {
+        Err(RunError::Divergence(d)) => d,
+        Ok(_) => panic!("a corrupted replica must trip the sentinel"),
+        Err(other) => panic!("expected a divergence, got {other}"),
+    }
+}
+
+fn cfg(n_ranks: usize, cadence: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(n_ranks);
     cfg.search = SearchConfig {
         max_iterations: 3,
         epsilon: 0.01,
@@ -43,8 +52,7 @@ fn injected_alpha_flip_is_detected_at_next_sync() {
         after_collectives: 8,
         component: FaultComponent::Alpha,
     });
-    let err = run_decentralized_checked(&w.compressed, &c, None)
-        .expect_err("a corrupted replica must trip the sentinel");
+    let err = divergence(c.run(&w.compressed));
     assert_eq!(err.minority_ranks, vec![1], "{err}");
     assert_eq!(err.components, vec![Component::ModelParams], "{err}");
     assert_eq!(err.collective_index, 8, "{err}");
@@ -60,8 +68,7 @@ fn injected_branch_length_flip_is_detected_with_component() {
         after_collectives: 12,
         component: FaultComponent::BranchLength,
     });
-    let err = run_decentralized_checked(&w.compressed, &c, None)
-        .expect_err("a corrupted replica must trip the sentinel");
+    let err = divergence(c.run(&w.compressed));
     assert_eq!(err.minority_ranks, vec![2], "{err}");
     assert_eq!(err.components, vec![Component::BranchLengths], "{err}");
     assert_eq!(err.sync_index, 3, "{err}");
@@ -76,8 +83,12 @@ fn divergence_panics_through_the_unchecked_api() {
         after_collectives: 8,
         component: FaultComponent::Alpha,
     });
+    // Deliberately exercises the deprecated shim: it must keep working
+    // (and aborting loudly) for the one-cycle migration window.
+    let ic = c.inference_config();
     let panicked = std::panic::catch_unwind(|| {
-        examl_core::run_decentralized(&w.compressed, &c);
+        #[allow(deprecated)]
+        examl_core::run_decentralized(&w.compressed, &ic);
     });
     assert!(panicked.is_err(), "run_decentralized must abort loudly");
 }
@@ -85,10 +96,11 @@ fn divergence_panics_through_the_unchecked_api() {
 #[test]
 fn clean_runs_never_trip_and_match_the_unverified_run() {
     let w = workload(11);
-    let baseline = run_decentralized_checked(&w.compressed, &cfg(3, 0), None).expect("clean run");
+    let baseline = cfg(3, 0).run(&w.compressed).expect("clean run");
     assert_eq!(baseline.sentinel_syncs, 0);
     for cadence in [1, 2, 3, 5, 7, 64] {
-        let out = run_decentralized_checked(&w.compressed, &cfg(3, cadence), None)
+        let out = cfg(3, cadence)
+            .run(&w.compressed)
             .unwrap_or_else(|d| panic!("clean run tripped at cadence {cadence}: {d}"));
         assert!(out.sentinel_syncs > 0, "cadence {cadence} never synced");
         // The sentinel is pure observation: the result is bit-identical to
@@ -112,7 +124,7 @@ proptest! {
         let w = workloads::partitioned(6, 1, 60, 3);
         let mut c = cfg(2, cadence);
         c.search.max_iterations = 2;
-        let out = run_decentralized_checked(&w.compressed, &c, None);
+        let out = c.run(&w.compressed);
         prop_assert!(out.is_ok(), "false positive at cadence {}", cadence);
         prop_assert!(out.unwrap().sentinel_syncs > 0);
     }

@@ -14,11 +14,10 @@
 //!    trace match the communicator's own accounting, and kernel/search
 //!    regions appear with sane counts.
 
-use exa_forkjoin::ForkJoinConfig;
 use exa_obs::{Recorder, RegionKind, RunTrace};
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::InferenceConfig;
+use examl_core::{RunConfig, Scheme};
 
 fn small_workload(seed: u64) -> workloads::Workload {
     workloads::partitioned(8, 2, 120, seed)
@@ -36,21 +35,24 @@ fn traced_decentralized(
     n_ranks: usize,
     seed: u64,
 ) -> (RunTrace, exa_comm::CommStats) {
-    let mut cfg = InferenceConfig::new(n_ranks);
-    cfg.search = fast_search();
-    cfg.seed = seed;
-    let recorder = Recorder::new(n_ranks);
-    let out = examl_core::run_decentralized_traced(&w.compressed, &cfg, Some(&recorder));
-    (Recorder::finish(recorder), out.comm_stats)
+    let out = RunConfig::new(n_ranks)
+        .search(fast_search())
+        .seed(seed)
+        .collect_trace(true)
+        .run(&w.compressed)
+        .unwrap();
+    (out.trace.unwrap(), out.comm_stats)
 }
 
 fn traced_forkjoin(w: &workloads::Workload, n_ranks: usize, seed: u64) -> RunTrace {
-    let mut cfg = ForkJoinConfig::new(n_ranks);
-    cfg.search = fast_search();
-    cfg.seed = seed;
-    let recorder = Recorder::new(n_ranks);
-    exa_forkjoin::run_forkjoin_traced(&w.compressed, &cfg, Some(&recorder));
-    Recorder::finish(recorder)
+    let out = RunConfig::new(n_ranks)
+        .scheme(Scheme::ForkJoin)
+        .search(fast_search())
+        .seed(seed)
+        .collect_trace(true)
+        .run(&w.compressed)
+        .unwrap();
+    out.trace.unwrap()
 }
 
 #[test]
@@ -160,11 +162,14 @@ fn kernel_and_search_regions_have_sane_counts() {
 
 #[test]
 fn disabled_recorder_yields_empty_trace() {
+    // Exercises the deprecated external-recorder shim: it must keep working
+    // for the one-cycle migration window, including Recorder::set_enabled.
     let w = small_workload(29);
-    let mut cfg = InferenceConfig::new(2);
+    let mut cfg = examl_core::InferenceConfig::new(2);
     cfg.search = fast_search();
     let recorder = Recorder::new(2);
     recorder.set_enabled(false);
+    #[allow(deprecated)]
     examl_core::run_decentralized_traced(&w.compressed, &cfg, Some(&recorder));
     let trace = Recorder::finish(recorder);
     assert_eq!(trace.total_events(), 0);
