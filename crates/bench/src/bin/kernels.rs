@@ -46,7 +46,16 @@ fn setup(taxa: usize, sites: usize, kernel: KernelKind) -> (Engine, Tree) {
     let scheme = PartitionScheme::unpartitioned(sites);
     let comp = CompressedAlignment::build(&w.alignment, &scheme);
     let slices = vec![PartitionSlice::from_compressed(0, &comp.partitions[0])];
-    let engine = Engine::with_kernel(taxa, slices, RateModelKind::Gamma, 0.8, kernel);
+    // Repeat compression pinned off: this harness isolates backend speed on
+    // the uncompressed kernels; the `repeats` harness owns the on/off axis.
+    let engine = Engine::with_config(
+        taxa,
+        slices,
+        RateModelKind::Gamma,
+        0.8,
+        kernel,
+        exa_phylo::SiteRepeats::Off,
+    );
     let tree = Tree::random(taxa, 1, 5);
     (engine, tree)
 }

@@ -12,6 +12,9 @@
 //! * [`phylip`] / [`fasta`] — text parsers and writers,
 //! * [`binary`] — the binary alignment format the paper's §V announces for
 //!   fast (re-)distribution of data after checkpoint/restart or rank failure,
+//! * [`repeats`] — subtree-repeat classes (Kobert-style bottom-up ids) that
+//!   let the likelihood engine compute conditional likelihoods only once per
+//!   repeated induced tip pattern,
 //! * [`stats`] — basic alignment statistics (empirical base frequencies etc.).
 
 pub mod alignment;
@@ -22,6 +25,7 @@ pub mod fasta;
 pub mod partition;
 pub mod patterns;
 pub mod phylip;
+pub mod repeats;
 pub mod stats;
 
 pub use alignment::Alignment;
@@ -29,3 +33,4 @@ pub use dna::Nucleotide;
 pub use error::BioError;
 pub use partition::{Partition, PartitionScheme};
 pub use patterns::{CompressedAlignment, CompressedPartition};
+pub use repeats::{pair_classes_into, ClassSource, RepeatClasses, TIP_CLASS_COUNT};

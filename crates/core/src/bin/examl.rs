@@ -33,6 +33,9 @@ options:\n\
   --kernel K             likelihood-kernel backend: scalar | simd | auto\n\
                          (default auto: ranks negotiate the fastest backend\n\
                          all of them support; also via EXAML_KERNEL)\n\
+  --site-repeats S       subtree-repeat CLV compression: on | off | auto\n\
+                         (default auto: ranks negotiate a uniform setting,\n\
+                         resolving to on; also via EXAML_SITE_REPEATS)\n\
   -Q                     monolithic per-partition data distribution (MPS)\n\
   -M                     per-partition branch lengths\n\
   --seed N               starting-tree seed (default 42)\n\
@@ -187,6 +190,7 @@ fn main() -> ExitCode {
         .seed(args.seed)
         .starting_tree(starting_tree)
         .kernel(args.kernel)
+        .site_repeats(args.site_repeats)
         .verify_replicas(args.verify_replicas);
     if let Some(path) = &args.checkpoint {
         run = run.checkpoint(path, args.checkpoint_every);

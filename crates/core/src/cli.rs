@@ -10,7 +10,7 @@
 //! ```
 
 use crate::sentinel::{DivergenceFault, FaultComponent};
-use exa_phylo::engine::KernelChoice;
+use exa_phylo::engine::{KernelChoice, RepeatsChoice};
 use exa_phylo::model::rates::RateModelKind;
 use std::path::PathBuf;
 
@@ -25,6 +25,7 @@ pub const FLAGS: &[&str] = &[
     "--ranks",
     "--model",
     "--kernel",
+    "--site-repeats",
     "-Q",
     "-M",
     "--seed",
@@ -58,6 +59,7 @@ pub struct CliConfig {
     pub ranks: usize,
     pub model: RateModelKind,
     pub kernel: KernelChoice,
+    pub site_repeats: RepeatsChoice,
     pub mps: bool,
     pub per_partition_branches: bool,
     pub seed: u64,
@@ -90,6 +92,7 @@ impl Default for CliConfig {
             ranks: 4,
             model: RateModelKind::Gamma,
             kernel: KernelChoice::from_env(),
+            site_repeats: RepeatsChoice::from_env(),
             mps: false,
             per_partition_branches: false,
             seed: 42,
@@ -245,6 +248,14 @@ impl CliConfig {
                         expected: "scalar, simd or auto",
                     })?;
                 }
+                "--site-repeats" => {
+                    let v = value("--site-repeats")?;
+                    cfg.site_repeats = RepeatsChoice::parse(&v).ok_or(CliError::BadValue {
+                        flag: "--site-repeats",
+                        value: v,
+                        expected: "on, off or auto",
+                    })?;
+                }
                 "-Q" => cfg.mps = true,
                 "-M" => cfg.per_partition_branches = true,
                 "--seed" => cfg.seed = num("--seed", value("--seed")?, "an integer")?,
@@ -348,6 +359,8 @@ mod tests {
             "psr",
             "--kernel",
             "simd",
+            "--site-repeats",
+            "off",
             "-Q",
             "-M",
             "--seed",
@@ -371,6 +384,7 @@ mod tests {
         assert_eq!(c.ranks, 8);
         assert_eq!(c.model, RateModelKind::Psr);
         assert_eq!(c.kernel, KernelChoice::Simd);
+        assert_eq!(c.site_repeats, RepeatsChoice::Off);
         assert!(c.mps && c.per_partition_branches && c.quiet);
         assert_eq!(c.seed, 7);
         assert_eq!(c.verify_replicas, 16);
@@ -417,6 +431,8 @@ mod tests {
         ));
         let err = parse(&["--kernel", "avx512"]).unwrap_err();
         assert!(err.to_string().contains("scalar, simd or auto"), "{err}");
+        let err = parse(&["--site-repeats", "maybe"]).unwrap_err();
+        assert!(err.to_string().contains("on, off or auto"), "{err}");
         let err = parse(&["--model", "JC"]).unwrap_err();
         assert!(err.to_string().contains("GAMMA or PSR"), "{err}");
         assert_eq!(parse(&["--help"]).unwrap_err(), CliError::Help);

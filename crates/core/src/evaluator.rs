@@ -358,6 +358,6 @@ impl Evaluator for DecentralizedEvaluator {
     }
 
     fn backend_fingerprint(&self) -> u64 {
-        exa_search::kernel_fingerprint(self.engine.kernel_kind())
+        exa_search::kernel_fingerprint(self.engine.kernel_kind(), self.engine.site_repeats())
     }
 }

@@ -85,6 +85,7 @@ pub struct DecentralizedHooks {
     aln: Arc<CompressedAlignment>,
     freqs: Arc<Vec<[f64; 4]>>,
     cfg: Arc<InferenceConfig>,
+    shared: Arc<exa_sched::SharedSlices>,
     /// Snapshot at the last iteration boundary (the recovery point).
     snapshot: GlobalState,
     snapshot_iteration: usize,
@@ -101,6 +102,7 @@ impl DecentralizedHooks {
         aln: Arc<CompressedAlignment>,
         freqs: Arc<Vec<[f64; 4]>>,
         cfg: Arc<InferenceConfig>,
+        shared: Arc<exa_sched::SharedSlices>,
         eval: &DecentralizedEvaluator,
     ) -> DecentralizedHooks {
         let health = cfg.health_out.clone().map(|path| HealthState {
@@ -114,6 +116,7 @@ impl DecentralizedHooks {
             aln,
             freqs,
             cfg,
+            shared,
             snapshot: eval.snapshot(),
             snapshot_iteration: 0,
             snapshot_lnl: f64::NEG_INFINITY,
@@ -165,6 +168,7 @@ impl DecentralizedHooks {
         };
         health.last_instant = now;
         health.last_regions = regions;
+        let work = de.engine().work();
         let rec = HeartbeatRecord {
             iteration: info.iteration as u64,
             lnl: info.lnl,
@@ -175,6 +179,8 @@ impl DecentralizedHooks {
             sentinel_syncs: de.sentinel_syncs(),
             divergence: "ok".to_string(),
             kernel: Some(de.engine().kernel_kind().label().to_string()),
+            repeat_ratio: Some(work.repeat_ratio()),
+            clv_saved: Some(work.clv_saved),
         };
         let line = rec.to_json_line();
         let written = if health.created {
@@ -238,12 +244,15 @@ impl SearchHooks for DecentralizedHooks {
             .downcast_mut::<DecentralizedEvaluator>()
             .expect("de-centralized hooks require the de-centralized evaluator");
         let kernel = de.engine().kernel_kind();
+        let site_repeats = de.engine().site_repeats();
         let engine = exa_sched::build_engine(
             &self.aln,
             &assignments[my_index],
             &self.freqs,
             self.cfg.rate_model,
             kernel,
+            site_repeats,
+            Some(&self.shared),
         );
         de.replace_engine(engine);
 

@@ -36,7 +36,7 @@ pub use sentinel::{DivergenceFault, FaultComponent};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, CommStats, Rank, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
+use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
@@ -87,6 +87,14 @@ pub struct InferenceConfig {
     /// Mixing kinds violates the uniform-backend requirement and is
     /// detected by the replica-divergence sentinel.
     pub kernel_override: Option<Vec<KernelKind>>,
+    /// Subtree-repeat CLV compression selection. Like `kernel`, `Auto` is
+    /// negotiated uniformly across the ranks (minimum capability wins) and
+    /// the resolved setting is stamped into the sentinel fingerprint, so a
+    /// rank that somehow resolved differently trips the sentinel instead of
+    /// silently diverging operationally.
+    pub site_repeats: RepeatsChoice,
+    /// Test hook: force a repeats setting per rank, bypassing negotiation.
+    pub site_repeats_override: Option<Vec<SiteRepeats>>,
 }
 
 impl InferenceConfig {
@@ -109,6 +117,8 @@ impl InferenceConfig {
             health_out: None,
             kernel: KernelChoice::from_env(),
             kernel_override: None,
+            site_repeats: RepeatsChoice::from_env(),
+            site_repeats_override: None,
         }
     }
 }
@@ -145,6 +155,38 @@ pub(crate) fn negotiate_kernel(
     }
 }
 
+/// Resolve the subtree-repeat compression setting a rank will compute with,
+/// by the same protocol as [`negotiate_kernel`]: forced settings resolve
+/// locally, `Auto` runs a one-byte capability allgather and every rank
+/// adopts the minimum. Repeats change no likelihood bits, but the setting
+/// must still be uniform so redistributed slices behave identically on every
+/// survivor and the fingerprinted compute configuration matches.
+pub(crate) fn negotiate_site_repeats(
+    rank: &Rank,
+    choice: RepeatsChoice,
+    override_table: Option<&[SiteRepeats]>,
+) -> SiteRepeats {
+    if let Some(table) = override_table {
+        return table[rank.id() % table.len().max(1)];
+    }
+    match choice {
+        RepeatsChoice::On => SiteRepeats::On,
+        RepeatsChoice::Off => SiteRepeats::Off,
+        RepeatsChoice::Auto => {
+            let mine = choice.capability_level();
+            let gathered = rank
+                .allgather_bytes(vec![mine], CommCategory::Control)
+                .expect("site-repeats negotiation cannot proceed after a rank failure");
+            let min = gathered
+                .iter()
+                .filter_map(|b| b.first().copied())
+                .min()
+                .unwrap_or(mine);
+            SiteRepeats::from_capability_level(min)
+        }
+    }
+}
+
 /// Result of a de-centralized run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -166,6 +208,9 @@ pub struct RunOutput {
     /// The likelihood-kernel backend the ranks computed with (negotiated
     /// under `KernelChoice::Auto`, forced otherwise).
     pub kernel: KernelKind,
+    /// The subtree-repeat compression setting the ranks computed with
+    /// (negotiated under `RepeatsChoice::Auto`, forced otherwise).
+    pub site_repeats: SiteRepeats,
 }
 
 /// What each rank thread reports back.
@@ -178,6 +223,7 @@ enum RankReport {
         stats: CommStats,
         sentinel_syncs: u64,
         kernel: KernelKind,
+        site_repeats: SiteRepeats,
     },
     Died {
         work: WorkCounters,
@@ -217,54 +263,7 @@ fn install_control_panic_silencer() {
     });
 }
 
-/// Run a de-centralized inference over `cfg.n_ranks` rank threads.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `RunConfig::new(n_ranks).run(&aln)` — the unified entrypoint"
-)]
-pub fn run_decentralized(aln: &CompressedAlignment, cfg: &InferenceConfig) -> RunOutput {
-    match decentralized_impl(aln, cfg, None) {
-        Ok(out) => out,
-        Err(d) => panic!("{d}"),
-    }
-}
-
-/// [`run_decentralized`] with an optional [`Recorder`]: each rank claims its
-/// tracer slot, so kernels, search phases and collectives emit events. Call
-/// `Recorder::finish` after this returns to obtain the merged trace.
-///
-/// Panics on replica divergence.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `RunConfig::new(n_ranks).collect_trace(true).run(&aln)` instead"
-)]
-pub fn run_decentralized_traced(
-    aln: &CompressedAlignment,
-    cfg: &InferenceConfig,
-    recorder: Option<&Arc<Recorder>>,
-) -> RunOutput {
-    match decentralized_impl(aln, cfg, recorder) {
-        Ok(out) => out,
-        Err(d) => panic!("{d}"),
-    }
-}
-
-/// [`run_decentralized_traced`] that surfaces a sentinel trip as a
-/// structured [`exa_obs::ReplicaDivergence`] instead of panicking.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `RunConfig::new(n_ranks).run(&aln)` and match on `RunError::Divergence`"
-)]
-pub fn run_decentralized_checked(
-    aln: &CompressedAlignment,
-    cfg: &InferenceConfig,
-    recorder: Option<&Arc<Recorder>>,
-) -> Result<RunOutput, exa_obs::ReplicaDivergence> {
-    decentralized_impl(aln, cfg, recorder)
-}
-
-/// The de-centralized scheme driver behind both [`RunConfig::run`] and the
-/// deprecated `run_decentralized*` shims.
+/// The de-centralized scheme driver behind [`RunConfig::run`].
 pub(crate) fn decentralized_impl(
     aln: &CompressedAlignment,
     cfg: &InferenceConfig,
@@ -278,9 +277,18 @@ pub(crate) fn decentralized_impl(
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(exa_bio::stats::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
+    // One set of Arc-wrapped tip/weight buffers for the whole in-process
+    // world: ranks holding a full partition alias these instead of cloning.
+    let shared = Arc::new(exa_sched::SharedSlices::build(&aln));
 
     let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
-        rank_main(rank, Arc::clone(&aln), Arc::clone(&freqs), Arc::clone(&cfg))
+        rank_main(
+            rank,
+            Arc::clone(&aln),
+            Arc::clone(&freqs),
+            Arc::clone(&cfg),
+            Arc::clone(&shared),
+        )
     });
 
     // Aggregate: all survivors must agree bit-for-bit; pick the first.
@@ -290,6 +298,7 @@ pub(crate) fn decentralized_impl(
     let mut lnls: Vec<u64> = Vec::new();
     let mut syncs = 0u64;
     let mut run_kernel = KernelKind::Scalar;
+    let mut run_repeats = SiteRepeats::Off;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     for r in reports {
         match r {
@@ -301,6 +310,7 @@ pub(crate) fn decentralized_impl(
                 stats,
                 sentinel_syncs,
                 kernel,
+                site_repeats,
             } => {
                 work = work.merge(&w);
                 mem += mem_bytes;
@@ -309,6 +319,7 @@ pub(crate) fn decentralized_impl(
                 if chosen.is_none() {
                     chosen = Some((result, state, stats));
                     run_kernel = kernel;
+                    run_repeats = site_repeats;
                 }
             }
             RankReport::Died { work: w, mem_bytes } => {
@@ -350,6 +361,7 @@ pub(crate) fn decentralized_impl(
         survivors,
         sentinel_syncs: syncs,
         kernel: run_kernel,
+        site_repeats: run_repeats,
     })
 }
 
@@ -358,22 +370,32 @@ fn rank_main(
     aln: Arc<CompressedAlignment>,
     freqs: Arc<Vec<[f64; 4]>>,
     cfg: Arc<InferenceConfig>,
+    shared: Arc<exa_sched::SharedSlices>,
 ) -> RankReport {
     // 1. Deterministic data distribution — every rank computes the same
     //    assignment table locally (no coordination needed).
     let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
-    // Agree on a kernel backend before building any engine: `Auto` runs the
-    // one-time capability allgather. Every rank stamps the winner into its
-    // trace — identically, preserving cross-rank event-sequence parity — so
-    // post-hoc analysis knows what the run computed with.
+    // Agree on a kernel backend and repeats setting before building any
+    // engine: `Auto` runs the one-time capability allgathers. Every rank
+    // stamps the winners into its trace — identically, preserving cross-rank
+    // event-sequence parity — so post-hoc analysis knows what the run
+    // computed with.
     let kernel = negotiate_kernel(&rank, cfg.kernel, cfg.kernel_override.as_deref());
     exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, kernel.label()));
+    let site_repeats = negotiate_site_repeats(
+        &rank,
+        cfg.site_repeats,
+        cfg.site_repeats_override.as_deref(),
+    );
+    exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, site_repeats.label()));
     let engine = exa_sched::build_engine(
         &aln,
         &assignments[rank.id()],
         &freqs,
         cfg.rate_model,
         kernel,
+        site_repeats,
+        Some(&shared),
     );
     // Account the initial data distribution (real ExaML reads the binary
     // alignment via MPI I/O; the in-process world shares memory, so this
@@ -416,6 +438,7 @@ fn rank_main(
         Arc::clone(&aln),
         Arc::clone(&freqs),
         Arc::clone(&cfg),
+        Arc::clone(&shared),
         &eval,
     );
 
@@ -434,6 +457,7 @@ fn rank_main(
                 stats: rank.stats(),
                 sentinel_syncs: eval.sentinel_syncs(),
                 kernel: eval.engine().kernel_kind(),
+                site_repeats: eval.engine().site_repeats(),
             }
         }
         Err(payload) => {

@@ -22,7 +22,8 @@
 //! println!("lnL {} with {} kernels", outcome.result.lnl, outcome.kernel.label());
 //! ```
 //!
-//! The old entrypoints survive one release cycle as `#[deprecated]` shims.
+//! The old entrypoints survived one release cycle as `#[deprecated]` shims
+//! and have since been removed.
 
 use crate::bootstrap::{bootstrap_impl, BootstrapConfig};
 use crate::fault::FaultPlan;
@@ -31,7 +32,7 @@ use crate::{decentralized_impl, InferenceConfig, RunOutput};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommStats;
 use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
-use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
+use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{BranchMode, SearchConfig, SearchResult, StartingTree};
@@ -134,6 +135,8 @@ pub struct RunOutcome {
     /// The likelihood-kernel backend the ranks computed with (negotiated
     /// under `KernelChoice::Auto`, forced otherwise).
     pub kernel: KernelKind,
+    /// The subtree-repeat compression setting the ranks computed with.
+    pub site_repeats: SiteRepeats,
     /// Merged trace, present when [`RunConfig::collect_trace`] was set
     /// (absent for bootstrap runs, which write per-replicate trace files
     /// instead).
@@ -171,6 +174,12 @@ pub struct RunConfig {
     /// kinds violates the uniform-backend requirement and trips the
     /// sentinel (de-centralized only).
     pub kernel_override: Option<Vec<KernelKind>>,
+    /// Subtree-repeat CLV compression; `Auto` negotiates a uniform setting
+    /// across the ranks (de-centralized) or resolves locally (fork-join).
+    pub site_repeats: RepeatsChoice,
+    /// Test hook: force a repeats setting per rank, bypassing negotiation
+    /// (de-centralized only).
+    pub site_repeats_override: Option<Vec<SiteRepeats>>,
     /// Collect an `exa-obs` trace and return it in the outcome.
     pub collect_trace: bool,
     /// Run a bootstrap analysis around the best-tree search.
@@ -200,6 +209,8 @@ impl RunConfig {
             health_out: None,
             kernel: base.kernel,
             kernel_override: None,
+            site_repeats: base.site_repeats,
+            site_repeats_override: None,
             collect_trace: false,
             bootstrap: None,
         }
@@ -290,6 +301,18 @@ impl RunConfig {
         self
     }
 
+    /// Select the subtree-repeat CLV compression setting.
+    pub fn site_repeats(mut self, choice: RepeatsChoice) -> Self {
+        self.site_repeats = choice;
+        self
+    }
+
+    /// Test hook: force a repeats setting per rank (`table[rank % len]`).
+    pub fn site_repeats_override(mut self, table: Vec<SiteRepeats>) -> Self {
+        self.site_repeats_override = Some(table);
+        self
+    }
+
     /// Collect an `exa-obs` trace and return it in the outcome.
     pub fn collect_trace(mut self, on: bool) -> Self {
         self.collect_trace = on;
@@ -336,6 +359,8 @@ impl RunConfig {
             health_out: self.health_out.clone(),
             kernel: self.kernel,
             kernel_override: self.kernel_override.clone(),
+            site_repeats: self.site_repeats,
+            site_repeats_override: self.site_repeats_override.clone(),
         }
     }
 
@@ -361,13 +386,27 @@ impl RunConfig {
                 support: out.support,
                 annotated_newick: out.annotated_newick,
             };
-            let health = self.health_report(aln, out.best.sentinel_syncs, None, out.best.kernel);
+            let health = self.health_report(
+                aln,
+                out.best.sentinel_syncs,
+                None,
+                out.best.kernel,
+                out.best.site_repeats,
+                &out.best.work,
+            );
             return Ok(assemble(out.best, None, health, Some(summary)));
         }
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         let out = decentralized_impl(aln, &cfg, recorder.as_ref())?;
         let trace = recorder.map(Recorder::finish);
-        let health = self.health_report(aln, out.sentinel_syncs, trace.as_ref(), out.kernel);
+        let health = self.health_report(
+            aln,
+            out.sentinel_syncs,
+            trace.as_ref(),
+            out.kernel,
+            out.site_repeats,
+            &out.work,
+        );
         Ok(assemble(out, trace, health, None))
     }
 
@@ -388,6 +427,16 @@ impl RunConfig {
             }
             _ => self.kernel.resolve_local(),
         };
+        let site_repeats = match self.site_repeats_override.as_deref() {
+            Some([first, rest @ ..]) => {
+                assert!(
+                    rest.iter().all(|r| r == first),
+                    "fork-join has no replica sentinel; refusing a mixed repeats override"
+                );
+                *first
+            }
+            _ => self.site_repeats.resolve_local(),
+        };
         let fj = exa_forkjoin::ForkJoinConfig {
             n_ranks: self.n_ranks,
             rate_model: self.rate_model,
@@ -397,11 +446,12 @@ impl RunConfig {
             seed: self.seed,
             starting_tree: self.starting_tree.clone(),
             kernel,
+            site_repeats,
         };
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         let out = exa_forkjoin::execute(aln, &fj, recorder.as_ref());
         let trace = recorder.map(Recorder::finish);
-        let health = self.health_report(aln, 0, trace.as_ref(), kernel);
+        let health = self.health_report(aln, 0, trace.as_ref(), kernel, site_repeats, &out.work);
         Ok(RunOutcome {
             result: out.result,
             state: out.state,
@@ -412,6 +462,7 @@ impl RunConfig {
             survivors: (0..self.n_ranks).collect(),
             sentinel_syncs: 0,
             kernel,
+            site_repeats,
             trace,
             health,
             bootstrap: None,
@@ -426,6 +477,8 @@ impl RunConfig {
         sentinel_syncs: u64,
         trace: Option<&RunTrace>,
         kernel: KernelKind,
+        site_repeats: SiteRepeats,
+        work: &WorkCounters,
     ) -> HealthReport {
         let measured = trace.and_then(|t| {
             let ratio = exa_obs::imbalance_ratio(&t.kernel_profile().rank_totals());
@@ -447,6 +500,8 @@ impl RunConfig {
             predicted_imbalance: Some(predicted),
             heartbeats,
             kernel: Some(kernel.label().to_string()),
+            site_repeats: Some(site_repeats.label().to_string()),
+            repeat_ratio: Some(work.repeat_ratio()),
         }
     }
 }
@@ -467,6 +522,7 @@ fn assemble(
         survivors: out.survivors,
         sentinel_syncs: out.sentinel_syncs,
         kernel: out.kernel,
+        site_repeats: out.site_repeats,
         trace,
         health,
         bootstrap,

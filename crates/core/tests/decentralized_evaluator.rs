@@ -5,7 +5,7 @@ use exa_bio::stats::global_frequencies;
 use exa_comm::{CommCategory, World};
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::Tree;
-use exa_phylo::KernelChoice;
+use exa_phylo::{KernelChoice, SiteRepeats};
 use exa_sched::build_engine;
 use exa_search::evaluator::{BranchMode, Evaluator, SequentialEvaluator};
 use exa_simgen::workloads;
@@ -21,6 +21,8 @@ fn sequential(w: &workloads::Workload, seed: u64) -> SequentialEvaluator {
         &freqs,
         RateModelKind::Gamma,
         KernelChoice::from_env().resolve_local(),
+        SiteRepeats::On,
+        None,
     );
     let tree = Tree::random(w.compressed.n_taxa(), 1, seed);
     SequentialEvaluator::new(tree, engine, w.compressed.n_partitions(), BranchMode::Joint)
@@ -48,6 +50,8 @@ fn distributed_evaluate_matches_sequential_bitwise_per_rank() {
                 &freqs,
                 RateModelKind::Gamma,
                 KernelChoice::from_env().resolve_local(),
+                SiteRepeats::On,
+                None,
             );
             let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
             let mut eval = DecentralizedEvaluator::new(
@@ -95,6 +99,8 @@ fn distributed_derivatives_match_sequential() {
             &freqs,
             RateModelKind::Gamma,
             KernelChoice::from_env().resolve_local(),
+            SiteRepeats::On,
+            None,
         );
         let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
         let mut eval = DecentralizedEvaluator::new(
@@ -132,6 +138,8 @@ fn evaluate_uses_one_double_partitioned_uses_p() {
             &freqs,
             RateModelKind::Gamma,
             KernelChoice::from_env().resolve_local(),
+            SiteRepeats::On,
+            None,
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(
@@ -169,6 +177,8 @@ fn snapshot_restore_in_rank_world() {
             &freqs,
             RateModelKind::Gamma,
             KernelChoice::from_env().resolve_local(),
+            SiteRepeats::On,
+            None,
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
         let mut eval = DecentralizedEvaluator::new(

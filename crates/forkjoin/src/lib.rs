@@ -27,7 +27,7 @@ pub use master::ForkJoinEvaluator;
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::{KernelChoice, KernelKind, WorkCounters};
+use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
@@ -54,6 +54,10 @@ pub struct ForkJoinConfig {
     /// is no capability negotiation here — callers resolve `auto` locally
     /// (see `KernelChoice::resolve_local`).
     pub kernel: KernelKind,
+    /// Resolved subtree-repeat compression setting, uniform across the
+    /// ranks for the same reason the kernel is (callers resolve `auto`
+    /// locally; see `RepeatsChoice::resolve_local`).
+    pub site_repeats: SiteRepeats,
 }
 
 impl ForkJoinConfig {
@@ -68,6 +72,7 @@ impl ForkJoinConfig {
             seed: 42,
             starting_tree: StartingTree::Random,
             kernel: KernelChoice::from_env().resolve_local(),
+            site_repeats: RepeatsChoice::from_env().resolve_local(),
         }
     }
 }
@@ -135,6 +140,7 @@ pub fn execute(
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(exa_bio::stats::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
+    let shared = Arc::new(exa_sched::SharedSlices::build(&aln));
 
     let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
         let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
@@ -144,8 +150,11 @@ pub fn execute(
             &freqs,
             cfg.rate_model,
             cfg.kernel,
+            cfg.site_repeats,
+            Some(&shared),
         );
         exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, cfg.kernel.label()));
+        exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, cfg.site_repeats.label()));
         if rank.id() == 0 {
             // Account the initial data distribution (modeled; see the
             // de-centralized driver for the rationale).

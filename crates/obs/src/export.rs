@@ -26,6 +26,11 @@ fn us(ts_ns: u64) -> Value {
 /// `otherData` header so the backend is visible without scanning events.
 pub const KERNEL_BACKEND_MARK: &str = "kernel_backend:";
 
+/// Reserved mark-label prefix that stamps the site-repeats setting
+/// (`"on"`/`"off"`) into a trace; hoisted into `otherData.site_repeats` the
+/// same way [`KERNEL_BACKEND_MARK`] is.
+pub const SITE_REPEATS_MARK: &str = "site_repeats:";
+
 /// Render a trace in Chrome `trace_event` JSON ("JSON object format"):
 /// one process, one thread per rank, `B`/`E` span events for regions and
 /// `i` instant events for collectives and marks. Loadable in Perfetto and
@@ -33,6 +38,7 @@ pub const KERNEL_BACKEND_MARK: &str = "kernel_backend:";
 /// by rank 0) is additionally surfaced as `otherData.kernel_backend`.
 pub fn chrome_trace(trace: &RunTrace) -> Value {
     let mut kernel_backend: Option<String> = None;
+    let mut site_repeats: Option<String> = None;
     let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
     for rank in 0..trace.n_ranks() {
         // Thread-name metadata so the timeline rows read "rank 0", …
@@ -84,6 +90,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     if let Some(kind) = label.strip_prefix(KERNEL_BACKEND_MARK) {
                         kernel_backend.get_or_insert_with(|| kind.to_string());
                     }
+                    if let Some(setting) = label.strip_prefix(SITE_REPEATS_MARK) {
+                        site_repeats.get_or_insert_with(|| setting.to_string());
+                    }
                     fields.push(entry("ph", str_v("i")));
                     fields.push(entry("s", str_v("t")));
                     fields.push(entry("name", str_v(label.clone())));
@@ -112,11 +121,15 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
         entry("traceEvents", Value::Array(events)),
         entry("displayTimeUnit", str_v("ms")),
     ];
+    let mut other = Vec::new();
     if let Some(kind) = kernel_backend {
-        top.push(entry(
-            "otherData",
-            Value::Map(vec![entry("kernel_backend", str_v(kind))]),
-        ));
+        other.push(entry("kernel_backend", str_v(kind)));
+    }
+    if let Some(setting) = site_repeats {
+        other.push(entry("site_repeats", str_v(setting)));
+    }
+    if !other.is_empty() {
+        top.push(entry("otherData", Value::Map(other)));
     }
     Value::Map(top)
 }

@@ -39,6 +39,14 @@ pub struct HeartbeatRecord {
     /// `None` when absent, so heartbeat files written before the field
     /// existed still parse.
     pub kernel: Option<String>,
+    /// Subtree-repeat compression ratio so far:
+    /// `(clv_updates + clv_saved) / clv_updates`, i.e. how many times more
+    /// CLV columns a repeat-blind run would have computed. 1.0 when
+    /// compression is off; `None` on legacy records.
+    pub repeat_ratio: Option<f64>,
+    /// Cumulative CLV pattern-category updates skipped by subtree-repeat
+    /// compression. `None` on legacy records.
+    pub clv_saved: Option<u64>,
 }
 
 impl HeartbeatRecord {
@@ -88,6 +96,12 @@ pub struct HealthReport {
     /// Label of the likelihood-kernel backend the run used (`None` when
     /// the producing layer predates kernel selection).
     pub kernel: Option<String>,
+    /// Site-repeats setting the run used (`"on"`/`"off"`; `None` when the
+    /// producing layer predates repeat compression).
+    pub site_repeats: Option<String>,
+    /// Subtree-repeat compression ratio over the whole run:
+    /// `(clv_updates + clv_saved) / clv_updates`.
+    pub repeat_ratio: Option<f64>,
 }
 
 impl HealthReport {
@@ -97,6 +111,18 @@ impl HealthReport {
         let _ = writeln!(out, "run health");
         if let Some(kernel) = &self.kernel {
             let _ = writeln!(out, "  kernel: {kernel}");
+        }
+        match (&self.site_repeats, self.repeat_ratio) {
+            (Some(setting), Some(ratio)) => {
+                let _ = writeln!(
+                    out,
+                    "  site repeats: {setting} (compression ratio {ratio:.3})"
+                );
+            }
+            (Some(setting), None) => {
+                let _ = writeln!(out, "  site repeats: {setting}");
+            }
+            (None, _) => {}
         }
         match (self.sentinel_cadence, &self.divergence) {
             (0, _) => {
@@ -157,6 +183,8 @@ mod tests {
             sentinel_syncs: 4,
             divergence: "ok".into(),
             kernel: Some("simd".into()),
+            repeat_ratio: Some(2.5),
+            clv_saved: Some(1200),
         }
     }
 
@@ -169,11 +197,16 @@ mod tests {
         assert_eq!(r, back);
         assert!(HeartbeatRecord::from_json_line("not json").is_err());
 
-        // Lines written before the kernel field existed still parse.
-        let legacy = line.replace(",\"kernel\":\"simd\"", "");
+        // Lines written before the kernel/repeat fields existed still parse.
+        let legacy = line
+            .replace(",\"kernel\":\"simd\"", "")
+            .replace(",\"repeat_ratio\":2.5", "")
+            .replace(",\"clv_saved\":1200", "");
         assert_ne!(legacy, line);
         let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
         assert_eq!(back.kernel, None);
+        assert_eq!(back.repeat_ratio, None);
+        assert_eq!(back.clv_saved, None);
     }
 
     #[test]
@@ -195,9 +228,13 @@ mod tests {
             predicted_imbalance: Some(1.05),
             heartbeats: 5,
             kernel: Some("simd".into()),
+            site_repeats: Some("on".into()),
+            repeat_ratio: Some(2.125),
         };
         let text = clean.render();
         assert!(text.contains("kernel: simd"), "{text}");
+        assert!(text.contains("site repeats: on"), "{text}");
+        assert!(text.contains("compression ratio 2.125"), "{text}");
         assert!(text.contains("replicas bit-identical"), "{text}");
         assert!(text.contains("cadence 64"), "{text}");
         assert!(text.contains("measured 1.080"), "{text}");

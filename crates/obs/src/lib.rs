@@ -35,7 +35,9 @@ mod stats;
 
 pub use aggregate::{KernelProfile, RegionStats, RunMetrics, RunTrace};
 pub use events::{EventKind, RegionKind, TraceEvent};
-pub use export::{chrome_trace, summary_table, write_chrome_trace, KERNEL_BACKEND_MARK};
+pub use export::{
+    chrome_trace, summary_table, write_chrome_trace, KERNEL_BACKEND_MARK, SITE_REPEATS_MARK,
+};
 pub use fingerprint::{
     check_agreement, fnv1a, Component, Fnv1a, ReplicaDivergence, StateFingerprint, FNV_OFFSET,
     FNV_PRIME,

@@ -98,11 +98,15 @@ impl<'a> Child<'a> {
 }
 
 /// Recompute the parent CLV of one traversal entry. Returns the work done in
-/// pattern-categories.
+/// pattern-categories (with repeat compression: representatives only).
 fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntry) -> u64 {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let (t_left, t_right) = entry_lengths(part, entry);
+    let compress = crate::engine::repeats::refresh_entry(part, n_taxa, entry);
+    if !compress {
+        crate::engine::repeats::fill_identity(&mut part.repeat_scratch.ident, n_patterns);
+    }
 
     let mut scratch = std::mem::take(&mut part.scratch);
     p_matrices_into(part, t_left, &mut scratch.ps_a);
@@ -118,7 +122,15 @@ fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntr
     let mut parent_clv = std::mem::take(&mut part.clv[parent_idx]);
     let mut parent_scale = std::mem::take(&mut part.scale[parent_idx]);
 
+    let computed;
     {
+        let patterns: &[u32] = if compress {
+            &part.repeats[parent_idx].classes.representatives
+        } else {
+            &part.repeat_scratch.ident
+        };
+        computed = patterns.len();
+
         let left = if entry.left < n_taxa {
             Child::Tip {
                 codes: &part.data.tips[entry.left],
@@ -148,7 +160,8 @@ fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntr
 
         let mut lv = [0.0; NUM_STATES];
         let mut rv = [0.0; NUM_STATES];
-        for i in 0..n_patterns {
+        for &ip in patterns {
+            let i = ip as usize;
             let mut maxv = 0.0f64;
             let base_i = i * cats * NUM_STATES;
             for c in 0..cats {
@@ -171,12 +184,20 @@ fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntr
             }
             parent_scale[i] = count;
         }
+        if compress {
+            crate::engine::repeats::scatter_entry(
+                &part.repeats[parent_idx].classes,
+                cats,
+                &mut parent_clv,
+                &mut parent_scale,
+            );
+        }
     }
 
     part.clv[parent_idx] = parent_clv;
     part.scale[parent_idx] = parent_scale;
     part.scratch = scratch;
-    (n_patterns * cats) as u64
+    (computed * cats) as u64
 }
 
 /// Log-likelihood of one partition at the descriptor's virtual root.

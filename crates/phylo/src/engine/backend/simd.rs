@@ -114,6 +114,10 @@ fn newview_entry_impl(
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let (t_left, t_right) = entry_lengths(part, entry);
+    let compress = crate::engine::repeats::refresh_entry(part, n_taxa, entry);
+    if !compress {
+        crate::engine::repeats::fill_identity(&mut part.repeat_scratch.ident, n_patterns);
+    }
 
     let mut scratch = std::mem::take(&mut part.scratch);
     p_matrices_into(part, t_left, &mut scratch.ps_a);
@@ -131,7 +135,15 @@ fn newview_entry_impl(
     let mut parent_clv = std::mem::take(&mut part.clv[parent_idx]);
     let mut parent_scale = std::mem::take(&mut part.scale[parent_idx]);
 
+    let computed;
     {
+        let patterns: &[u32] = if compress {
+            &part.repeats[parent_idx].classes.representatives
+        } else {
+            &part.repeat_scratch.ident
+        };
+        computed = patterns.len();
+
         let left = if entry.left < n_taxa {
             SimdChild::Tip {
                 codes: &part.data.tips[entry.left],
@@ -166,7 +178,7 @@ fn newview_entry_impl(
                     &part.rates,
                     &left,
                     &right,
-                    n_patterns,
+                    patterns,
                     cats,
                     &mut parent_clv,
                     &mut parent_scale,
@@ -177,7 +189,7 @@ fn newview_entry_impl(
                 &part.rates,
                 &left,
                 &right,
-                n_patterns,
+                patterns,
                 cats,
                 &mut parent_clv,
                 &mut parent_scale,
@@ -190,7 +202,15 @@ fn newview_entry_impl(
                 &part.rates,
                 &left,
                 &right,
-                n_patterns,
+                patterns,
+                cats,
+                &mut parent_clv,
+                &mut parent_scale,
+            );
+        }
+        if compress {
+            crate::engine::repeats::scatter_entry(
+                &part.repeats[parent_idx].classes,
                 cats,
                 &mut parent_clv,
                 &mut parent_scale,
@@ -201,7 +221,7 @@ fn newview_entry_impl(
     part.clv[parent_idx] = parent_clv;
     part.scale[parent_idx] = parent_scale;
     part.scratch = scratch;
-    (n_patterns * cats) as u64
+    (computed * cats) as u64
 }
 
 fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) -> (f64, u64) {
@@ -456,14 +476,15 @@ mod avx2 {
         rates: &RateHeterogeneity,
         left: &SimdChild,
         right: &SimdChild,
-        n_patterns: usize,
+        patterns: &[u32],
         cats: usize,
         parent_clv: &mut [f64],
         parent_scale: &mut [u32],
     ) {
         let sign_mask = _mm256_set1_pd(-0.0);
         let upscale = _mm256_set1_pd(TWO_TO_256);
-        for i in 0..n_patterns {
+        for &ip in patterns {
+            let i = ip as usize;
             let base_i = i * cats * NUM_STATES;
             let mut vmax = _mm256_setzero_pd();
             for c in 0..cats {
@@ -696,12 +717,13 @@ mod portable {
         rates: &RateHeterogeneity,
         left: &SimdChild,
         right: &SimdChild,
-        n_patterns: usize,
+        patterns: &[u32],
         cats: usize,
         parent_clv: &mut [f64],
         parent_scale: &mut [u32],
     ) {
-        for i in 0..n_patterns {
+        for &ip in patterns {
+            let i = ip as usize;
             let base_i = i * cats * NUM_STATES;
             let mut maxv = 0.0f64;
             for c in 0..cats {
@@ -862,8 +884,8 @@ mod tests {
         PartitionSlice {
             name: "test".into(),
             global_index: 0,
-            tips,
-            weights,
+            tips: std::sync::Arc::new(tips),
+            weights: std::sync::Arc::new(weights),
             freqs: [0.3, 0.2, 0.25, 0.25],
         }
     }

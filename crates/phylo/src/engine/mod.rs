@@ -20,11 +20,14 @@
 //! arithmetic.
 
 pub mod backend;
+pub mod repeats;
 mod site_rates;
 
 pub use backend::{simd_available, KernelChoice, KernelKind};
+pub use repeats::{RepeatsChoice, SiteRepeats};
 
 use backend::{KernelBackend, KernelScratch};
+use repeats::{NodeRepeats, RepeatScratch};
 
 use crate::model::gtr::GtrModel;
 use crate::model::rates::{RateHeterogeneity, RateModelKind};
@@ -32,6 +35,7 @@ use crate::tree::traversal::TraversalDescriptor;
 use exa_bio::dna::NUM_STATES;
 use exa_bio::patterns::CompressedPartition;
 use exa_bio::stats::empirical_frequencies;
+use std::sync::Arc;
 
 /// CLV underflow threshold: entries below 2⁻²⁵⁶ trigger rescaling by 2²⁵⁶
 /// (RAxML's constants).
@@ -48,10 +52,12 @@ pub struct PartitionSlice {
     /// Index of this partition in the global scheme (model-parameter
     /// batching is keyed on this).
     pub global_index: usize,
-    /// Tip codes: `tips[taxon][pattern]`.
-    pub tips: Vec<Vec<u8>>,
-    /// Pattern weights.
-    pub weights: Vec<f64>,
+    /// Tip codes: `tips[taxon][pattern]`. Shared — an N-rank in-process
+    /// cluster whose ranks all hold the full partition points every rank at
+    /// one copy of the tip matrix instead of N clones.
+    pub tips: Arc<Vec<Vec<u8>>>,
+    /// Pattern weights (shared, like `tips`).
+    pub weights: Arc<Vec<f64>>,
     /// Empirical base frequencies of the **full** partition. When a slice
     /// holds only a pattern subset (cyclic distribution), frequencies must
     /// still be the global ones or ranks would build different GTR models
@@ -78,8 +84,26 @@ impl PartitionSlice {
         PartitionSlice {
             name: p.name.clone(),
             global_index,
-            tips: p.tips.clone(),
-            weights: p.weights.iter().map(|&w| w as f64).collect(),
+            tips: Arc::new(p.tips.clone()),
+            weights: Arc::new(p.weights.iter().map(|&w| w as f64).collect()),
+            freqs,
+        }
+    }
+
+    /// Build a slice around already-shared tip/weight tables (full
+    /// partitions distributed to several in-process ranks).
+    pub fn from_shared(
+        global_index: usize,
+        name: String,
+        tips: Arc<Vec<Vec<u8>>>,
+        weights: Arc<Vec<f64>>,
+        freqs: [f64; 4],
+    ) -> PartitionSlice {
+        PartitionSlice {
+            name,
+            global_index,
+            tips,
+            weights,
             freqs,
         }
     }
@@ -96,6 +120,10 @@ impl PartitionSlice {
 pub struct WorkCounters {
     /// CLV entries recomputed by `newview`.
     pub clv_updates: u64,
+    /// CLV entries `newview` *skipped* thanks to subtree-repeat compression
+    /// (duplicates filled by copy instead of recomputation). Excluded from
+    /// [`WorkCounters::total`] — skipped work is not work.
+    pub clv_saved: u64,
     /// Pattern-categories combined in `evaluate`.
     pub eval_patterns: u64,
     /// Pattern-categories processed by `derivatives` calls.
@@ -113,6 +141,7 @@ impl WorkCounters {
     pub fn merge(&self, other: &WorkCounters) -> WorkCounters {
         WorkCounters {
             clv_updates: self.clv_updates + other.clv_updates,
+            clv_saved: self.clv_saved + other.clv_saved,
             eval_patterns: self.eval_patterns + other.eval_patterns,
             deriv_patterns: self.deriv_patterns + other.deriv_patterns,
             site_rate_patterns: self.site_rate_patterns + other.site_rate_patterns,
@@ -121,9 +150,20 @@ impl WorkCounters {
     }
 
     /// Total kernel work (pattern-categories; `kernel_ns` is wall time and
-    /// stays out of this sum).
+    /// `clv_saved` is avoided work, so both stay out of this sum).
     pub fn total(&self) -> u64 {
         self.clv_updates + self.eval_patterns + self.deriv_patterns + self.site_rate_patterns
+    }
+
+    /// Repeat-compression factor of `newview`: full work over performed
+    /// work, ≥ 1.0 (1.0 = nothing saved; meaningful only once some
+    /// `newview` work has been counted).
+    pub fn repeat_ratio(&self) -> f64 {
+        if self.clv_updates == 0 {
+            1.0
+        } else {
+            (self.clv_updates + self.clv_saved) as f64 / self.clv_updates as f64
+        }
     }
 }
 
@@ -143,6 +183,14 @@ pub(crate) struct PartitionState {
     /// Reusable kernel scratch (P-matrices, tip lookups, SIMD transposes) —
     /// refilled per edge instead of reallocated.
     pub scratch: KernelScratch,
+    /// Per-inner-node subtree-repeat tables (empty when compression is
+    /// off). Indexed like `clv` (`node - n_taxa`).
+    pub repeats: Vec<NodeRepeats>,
+    /// Bumped whenever the PSR pattern→category map may have changed;
+    /// part of every repeat table's cache key.
+    pub repeat_epoch: u64,
+    /// Shared repeat-builder scratch (dedup table, identity list).
+    pub repeat_scratch: RepeatScratch,
 }
 
 impl PartitionState {
@@ -151,6 +199,7 @@ impl PartitionState {
         n_inner: usize,
         kind: RateModelKind,
         alpha0: f64,
+        site_repeats: SiteRepeats,
     ) -> PartitionState {
         let n_patterns = data.n_patterns();
         let model = GtrModel::new([1.0; 6], data.freqs);
@@ -168,6 +217,12 @@ impl PartitionState {
             sumtable: vec![0.0; n_patterns * cats * NUM_STATES],
             psr_scratch: vec![1.0; n_patterns],
             scratch: KernelScratch::default(),
+            repeats: match site_repeats {
+                SiteRepeats::On => vec![NodeRepeats::default(); n_inner],
+                SiteRepeats::Off => Vec::new(),
+            },
+            repeat_epoch: 0,
+            repeat_scratch: RepeatScratch::default(),
         }
     }
 
@@ -188,6 +243,9 @@ pub struct Engine {
     /// The kernel backend all partitions run on. Must be uniform across
     /// ranks in multi-rank runs (see [`backend`] docs).
     backend: &'static dyn KernelBackend,
+    /// Subtree-repeat compression setting (uniform across ranks, like the
+    /// backend — see [`repeats`] docs).
+    site_repeats: SiteRepeats,
     pub(crate) parts: Vec<PartitionState>,
     work: WorkCounters,
 }
@@ -217,7 +275,9 @@ impl Engine {
         )
     }
 
-    /// [`Engine::new`] with an explicitly chosen kernel backend.
+    /// [`Engine::new`] with an explicitly chosen kernel backend; the
+    /// site-repeats setting comes from the process-wide default
+    /// (`EXAML_SITE_REPEATS` or `auto`).
     pub fn with_kernel(
         n_taxa: usize,
         slices: Vec<PartitionSlice>,
@@ -225,16 +285,37 @@ impl Engine {
         alpha0: f64,
         kernel: KernelKind,
     ) -> Engine {
+        Engine::with_config(
+            n_taxa,
+            slices,
+            kind,
+            alpha0,
+            kernel,
+            RepeatsChoice::from_env().resolve_local(),
+        )
+    }
+
+    /// [`Engine::new`] with every backend knob chosen explicitly. Multi-rank
+    /// drivers negotiate both settings before building engines.
+    pub fn with_config(
+        n_taxa: usize,
+        slices: Vec<PartitionSlice>,
+        kind: RateModelKind,
+        alpha0: f64,
+        kernel: KernelKind,
+        site_repeats: SiteRepeats,
+    ) -> Engine {
         assert!(n_taxa >= 3, "need at least 3 taxa");
         let n_inner = n_taxa - 2;
         let parts = slices
             .into_iter()
-            .map(|s| PartitionState::new(s, n_inner, kind, alpha0))
+            .map(|s| PartitionState::new(s, n_inner, kind, alpha0, site_repeats))
             .collect();
         Engine {
             n_taxa,
             kind,
             backend: backend::backend_for(kernel),
+            site_repeats,
             parts,
             work: WorkCounters::default(),
         }
@@ -243,6 +324,11 @@ impl Engine {
     /// The kernel backend this engine runs on.
     pub fn kernel_kind(&self) -> KernelKind {
         self.backend.kind()
+    }
+
+    /// Whether this engine compresses subtree repeats in `newview`.
+    pub fn site_repeats(&self) -> SiteRepeats {
+        self.site_repeats
     }
 
     /// Number of taxa.
@@ -338,6 +424,16 @@ impl Engine {
         }
         p.model = model;
         p.rates = rates;
+        // A restored PSR state may carry a different pattern→category map,
+        // which is part of every repeat-table key.
+        if matches!(p.rates, RateHeterogeneity::Psr { .. }) {
+            p.repeat_epoch += 1;
+        }
+    }
+
+    /// The immutable data slice of local partition `local`.
+    pub fn partition_slice(&self, local: usize) -> &PartitionSlice {
+        &self.parts[local].data
     }
 
     /// Clone of the model state (checkpointing).
@@ -367,10 +463,14 @@ impl Engine {
         let n_taxa = self.n_taxa;
         let backend = self.backend;
         let mut work = 0u64;
+        let mut saved = 0u64;
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
+            let full = (part.data.n_patterns() * part.rates.clv_categories()) as u64;
             for entry in &d.entries {
-                work += backend.newview_entry(part, n_taxa, entry);
+                let w = backend.newview_entry(part, n_taxa, entry);
+                work += w;
+                saved += full - w;
             }
             if let Some(t0) = t0 {
                 exa_obs::kernel(
@@ -381,6 +481,7 @@ impl Engine {
             }
         }
         self.work.clv_updates += work;
+        self.work.clv_saved += saved;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
     }
 
@@ -480,6 +581,11 @@ impl Engine {
     pub fn finalize_site_rates(&mut self, scale: f64) {
         for part in self.parts.iter_mut() {
             site_rates::finalize_partition(part, scale);
+            // Re-quantization moves patterns between rate categories, which
+            // are part of the PSR repeat-class keys.
+            if matches!(part.rates, RateHeterogeneity::Psr { .. }) {
+                part.repeat_epoch += 1;
+            }
         }
     }
 }

@@ -26,6 +26,9 @@ pub mod model;
 pub mod numerics;
 pub mod tree;
 
-pub use engine::{simd_available, Engine, KernelChoice, KernelKind, PartitionSlice, WorkCounters};
+pub use engine::{
+    simd_available, Engine, KernelChoice, KernelKind, PartitionSlice, RepeatsChoice, SiteRepeats,
+    WorkCounters,
+};
 pub use model::{GtrModel, RateHeterogeneity, RateModelKind};
 pub use tree::{EdgeId, NodeId, Tree};

@@ -19,6 +19,7 @@ pub mod balance;
 
 use exa_bio::patterns::CompressedAlignment;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which patterns of one partition a rank holds.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -188,21 +189,86 @@ pub fn materialize(
         .collect()
 }
 
+/// Full-partition tip codes and pattern weights wrapped in `Arc`, built once
+/// per process. Every in-process rank whose assignment holds an entire
+/// partition ([`PatternSubset::All`]) gets its [`PartitionSlice`] by cloning
+/// the `Arc` handles instead of the buffers, so an N-rank world holds one
+/// copy of each full partition's data rather than N. Cyclic `Indices` shares
+/// still materialize per rank — their pattern subsets genuinely differ.
+///
+/// [`PartitionSlice`]: exa_phylo::PartitionSlice
+#[derive(Debug, Clone, Default)]
+pub struct SharedSlices {
+    tips: Vec<Arc<Vec<Vec<u8>>>>,
+    weights: Vec<Arc<Vec<f64>>>,
+}
+
+impl SharedSlices {
+    /// Wrap every partition's tip/weight buffers once.
+    pub fn build(aln: &CompressedAlignment) -> SharedSlices {
+        SharedSlices {
+            tips: aln
+                .partitions
+                .iter()
+                .map(|p| Arc::new(p.tips.clone()))
+                .collect(),
+            weights: aln
+                .partitions
+                .iter()
+                .map(|p| Arc::new(p.weights.iter().map(|&w| w as f64).collect()))
+                .collect(),
+        }
+    }
+
+    /// A full-partition slice backed by the shared buffers (no data copy).
+    pub fn slice(
+        &self,
+        aln: &CompressedAlignment,
+        global_index: usize,
+        freqs: [f64; 4],
+    ) -> exa_phylo::PartitionSlice {
+        exa_phylo::PartitionSlice::from_shared(
+            global_index,
+            aln.partitions[global_index].name.clone(),
+            Arc::clone(&self.tips[global_index]),
+            Arc::clone(&self.weights[global_index]),
+            freqs,
+        )
+    }
+}
+
 /// Build a rank's likelihood engine from its distribution assignment, on
-/// the given kernel backend. This is the one place a data distribution
-/// becomes an [`Engine`], shared by every execution scheme.
+/// the given kernel backend and site-repeats setting. This is the one place
+/// a data distribution becomes an [`Engine`](exa_phylo::Engine), shared by
+/// every execution scheme. When `shared` is given, full-partition shares
+/// reuse its `Arc`-backed buffers instead of cloning them.
 pub fn build_engine(
     aln: &CompressedAlignment,
     assignment: &RankAssignment,
     freqs: &[[f64; 4]],
     rate_model: exa_phylo::RateModelKind,
     kernel: exa_phylo::KernelKind,
+    site_repeats: exa_phylo::SiteRepeats,
+    shared: Option<&SharedSlices>,
 ) -> exa_phylo::Engine {
-    let slices: Vec<exa_phylo::PartitionSlice> = materialize(aln, assignment)
-        .into_iter()
-        .map(|(gi, part)| exa_phylo::PartitionSlice::from_subset(gi, &part, freqs[gi]))
+    let slices: Vec<exa_phylo::PartitionSlice> = assignment
+        .shares
+        .iter()
+        .map(|s| {
+            let gi = s.global_index;
+            match (&s.patterns, shared) {
+                (PatternSubset::All, Some(sh)) => sh.slice(aln, gi, freqs[gi]),
+                (PatternSubset::All, None) => {
+                    exa_phylo::PartitionSlice::from_subset(gi, &aln.partitions[gi], freqs[gi])
+                }
+                (PatternSubset::Indices(idx), _) => {
+                    let part = aln.partitions[gi].select_patterns(idx);
+                    exa_phylo::PartitionSlice::from_subset(gi, &part, freqs[gi])
+                }
+            }
+        })
         .collect();
-    exa_phylo::Engine::with_kernel(aln.n_taxa(), slices, rate_model, 1.0, kernel)
+    exa_phylo::Engine::with_config(aln.n_taxa(), slices, rate_model, 1.0, kernel, site_repeats)
 }
 
 #[cfg(test)]
@@ -384,6 +450,43 @@ mod tests {
             .flat_map(|(_, p)| p.weights.iter())
             .sum();
         assert_eq!(wsum as usize, aln.total_sites());
+    }
+
+    #[test]
+    fn shared_slices_alias_full_partitions_across_engines() {
+        let aln = test_alignment(&[9, 4, 17]);
+        let a = distribute(&aln, 2, Strategy::MonolithicLpt);
+        let freqs = vec![[0.25; 4]; aln.partitions.len()];
+        let shared = SharedSlices::build(&aln);
+        let engines: Vec<exa_phylo::Engine> = a
+            .iter()
+            .map(|asg| {
+                build_engine(
+                    &aln,
+                    asg,
+                    &freqs,
+                    exa_phylo::RateModelKind::Gamma,
+                    exa_phylo::KernelKind::Scalar,
+                    exa_phylo::SiteRepeats::Off,
+                    Some(&shared),
+                )
+            })
+            .collect();
+        for e in &engines {
+            for li in 0..e.n_partitions() {
+                let s = e.partition_slice(li);
+                assert!(
+                    Arc::ptr_eq(&s.tips, &shared.tips[s.global_index]),
+                    "tips of partition {} are a private copy",
+                    s.global_index
+                );
+                assert!(
+                    Arc::ptr_eq(&s.weights, &shared.weights[s.global_index]),
+                    "weights of partition {} are a private copy",
+                    s.global_index
+                );
+            }
+        }
     }
 
     #[test]

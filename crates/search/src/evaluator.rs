@@ -160,10 +160,13 @@ pub trait Evaluator {
 }
 
 /// The canonical [`Evaluator::backend_fingerprint`] digest for an engine's
-/// kernel: FNV-1a over the kernel label. All engine-backed evaluators use
-/// this so that identical backends hash identically across schemes.
-pub fn kernel_fingerprint(kind: exa_phylo::KernelKind) -> u64 {
-    exa_obs::fnv1a(kind.label().as_bytes())
+/// compute configuration: FNV-1a over the kernel label and the site-repeats
+/// setting. All engine-backed evaluators use this so that identical backends
+/// hash identically across schemes — and a rank that silently resolved a
+/// different repeats setting (which would change nothing numerically but
+/// everything operationally) trips the sentinel like a kernel mismatch does.
+pub fn kernel_fingerprint(kind: exa_phylo::KernelKind, repeats: exa_phylo::SiteRepeats) -> u64 {
+    exa_obs::fnv1a(format!("{}+repeats:{}", kind.label(), repeats.label()).as_bytes())
 }
 
 /// Helper shared by all back-ends: push global (α, GTR) parameters into an
@@ -369,7 +372,7 @@ impl Evaluator for SequentialEvaluator {
     }
 
     fn backend_fingerprint(&self) -> u64 {
-        kernel_fingerprint(self.engine.kernel_kind())
+        kernel_fingerprint(self.engine.kernel_kind(), self.engine.site_repeats())
     }
 }
 

@@ -13,24 +13,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test (once per kernel backend)"
+echo "==> cargo test (once per kernel backend x site-repeats setting)"
 for kernel in scalar simd; do
-  echo "    EXAML_KERNEL=$kernel"
-  EXAML_KERNEL="$kernel" cargo test -q --workspace
+  for repeats in on off; do
+    echo "    EXAML_KERNEL=$kernel EXAML_SITE_REPEATS=$repeats"
+    EXAML_KERNEL="$kernel" EXAML_SITE_REPEATS="$repeats" cargo test -q --workspace
+  done
 done
 
-echo "==> examl smoke run (sentinel + heartbeat)"
+echo "==> examl smoke run (sentinel + heartbeat + repeat compression)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/smoke.phy" 8 2 60 1
 cargo run -q --release -p examl-core --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 --kernel auto \
-  --verify-replicas 8 --health-out "$tmp/health.jsonl" \
+  --site-repeats on --verify-replicas 8 --health-out "$tmp/health.jsonl" \
   --out-tree "$tmp/smoke.nwk" --quiet
 test -s "$tmp/smoke.nwk"
 test -s "$tmp/health.jsonl"
-# Every heartbeat line must parse as JSON, report a verified-ok run, and
-# carry the auto-negotiated kernel backend.
+# Every heartbeat line must parse as JSON, report a verified-ok run, carry
+# the auto-negotiated kernel backend, and (with --site-repeats on) a
+# repeat-compression ratio of at least 1.
 while IFS= read -r line; do
   [ -n "$line" ] || continue
   status="$(printf '%s' "$line" | jq -r .divergence)"
@@ -40,7 +43,10 @@ while IFS= read -r line; do
     scalar|simd) ;;
     *) echo "heartbeat missing negotiated kernel: $line"; exit 1 ;;
   esac
+  printf '%s' "$line" | jq -e '.repeat_ratio >= 1' >/dev/null \
+    || { echo "heartbeat missing repeat-compression ratio: $line"; exit 1; }
 done <"$tmp/health.jsonl"
-echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel)"
+ratio="$(tail -n 1 "$tmp/health.jsonl" | jq -r .repeat_ratio)"
+echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel, repeat ratio: $ratio)"
 
 echo "verify: OK"

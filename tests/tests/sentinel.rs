@@ -75,25 +75,6 @@ fn injected_branch_length_flip_is_detected_with_component() {
 }
 
 #[test]
-fn divergence_panics_through_the_unchecked_api() {
-    let w = workload(5);
-    let mut c = cfg(2, 8);
-    c.divergence_fault = Some(DivergenceFault {
-        rank: 0,
-        after_collectives: 8,
-        component: FaultComponent::Alpha,
-    });
-    // Deliberately exercises the deprecated shim: it must keep working
-    // (and aborting loudly) for the one-cycle migration window.
-    let ic = c.inference_config();
-    let panicked = std::panic::catch_unwind(|| {
-        #[allow(deprecated)]
-        examl_core::run_decentralized(&w.compressed, &ic);
-    });
-    assert!(panicked.is_err(), "run_decentralized must abort loudly");
-}
-
-#[test]
 fn clean_runs_never_trip_and_match_the_unverified_run() {
     let w = workload(11);
     let baseline = cfg(3, 0).run(&w.compressed).expect("clean run");

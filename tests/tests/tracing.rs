@@ -14,7 +14,7 @@
 //!    trace match the communicator's own accounting, and kernel/search
 //!    regions appear with sane counts.
 
-use exa_obs::{Recorder, RegionKind, RunTrace};
+use exa_obs::{RegionKind, RunTrace};
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 use examl_core::{RunConfig, Scheme};
@@ -161,18 +161,17 @@ fn kernel_and_search_regions_have_sane_counts() {
 }
 
 #[test]
-fn disabled_recorder_yields_empty_trace() {
-    // Exercises the deprecated external-recorder shim: it must keep working
-    // for the one-cycle migration window, including Recorder::set_enabled.
+fn trace_collection_is_opt_in() {
+    // The external-recorder shims are gone (their migration window is
+    // over); `RunConfig::collect_trace` is now the only tracing switch, and
+    // a run without it must not return a trace.
     let w = small_workload(29);
-    let mut cfg = examl_core::InferenceConfig::new(2);
-    cfg.search = fast_search();
-    let recorder = Recorder::new(2);
-    recorder.set_enabled(false);
-    #[allow(deprecated)]
-    examl_core::run_decentralized_traced(&w.compressed, &cfg, Some(&recorder));
-    let trace = Recorder::finish(recorder);
-    assert_eq!(trace.total_events(), 0);
+    let out = RunConfig::new(2)
+        .search(fast_search())
+        .seed(29)
+        .run(&w.compressed)
+        .unwrap();
+    assert!(out.trace.is_none(), "untraced run must not carry a trace");
 }
 
 #[test]
