@@ -9,7 +9,7 @@
 //!       [--model GAMMA|PSR] [--kernel scalar|simd|auto] [-Q] [-M] [--seed 42]
 //!       [--starting-tree random|parsimony|<file.nwk>]
 //!       [--iterations 10] [--radius 5] [--epsilon 0.1]
-//!       [--checkpoint ck.json [--checkpoint-every 1]] [--resume ck.json]
+//!       [--checkpoint-out DIR [--checkpoint-every 1]] [--resume DIR]
 //!       [--binary-out data.exml | --binary-in data.exml]
 //!       [--out-tree result.nwk] [--trace-out trace.json] [--quiet]
 //! ```
@@ -43,9 +43,12 @@ options:\n\
   --iterations N         max search iterations (default 10)\n\
   --radius N             SPR rearrangement radius (default 5)\n\
   --epsilon X            convergence threshold (default 0.1)\n\
-  --checkpoint FILE      write checkpoints to FILE\n\
+  --checkpoint-out DIR   commit checkpoint generations into DIR (atomic\n\
+                         write + rename; the last 3 generations are kept)\n\
   --checkpoint-every N   checkpoint interval in iterations (default 1)\n\
-  --resume FILE          resume from a checkpoint\n\
+  --resume DIR           resume from the newest intact generation in DIR\n\
+  --inject-kill N[:RANK] die after N committed checkpoints — all ranks, or\n\
+                         just RANK (restart chaos testing; exit code 3)\n\
   --binary-out FILE      write the compressed alignment in binary form and exit\n\
   --out-tree FILE        write the final Newick tree to FILE\n\
   --trace-out FILE       write a Chrome trace_event JSON trace to FILE\n\
@@ -192,11 +195,18 @@ fn main() -> ExitCode {
         .kernel(args.kernel)
         .site_repeats(args.site_repeats)
         .verify_replicas(args.verify_replicas);
-    if let Some(path) = &args.checkpoint {
+    if let Some(path) = &args.checkpoint_out {
         run = run.checkpoint(path, args.checkpoint_every);
     }
     if let Some(path) = &args.resume {
         run = run.resume(path);
+    }
+    if let Some(spec) = args.inject_kill {
+        if args.checkpoint_out.is_none() {
+            eprintln!("--inject-kill requires --checkpoint-out");
+            return ExitCode::from(2);
+        }
+        run = run.inject_kill(spec);
     }
     if let Some(fault) = args.inject_divergence {
         run = run.divergence_fault(fault);
@@ -216,6 +226,13 @@ fn main() -> ExitCode {
     let start = std::time::Instant::now();
     let out = match run.run(&compressed) {
         Ok(out) => out,
+        Err(e @ examl_core::RunError::Killed { .. }) => {
+            // The injected kill fired after committing its checkpoint
+            // budget. Exit code 3 lets restart harnesses distinguish the
+            // planned kill from real failures (1) and usage errors (2).
+            eprintln!("{e}");
+            return ExitCode::from(3);
+        }
         Err(e) => {
             // A sentinel trip arrives here as a structured diagnostic naming
             // the first divergent collective, the minority ranks and the

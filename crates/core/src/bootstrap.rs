@@ -12,9 +12,14 @@
 //! composes cheaply with the binary alignment format and the de-centralized
 //! driver.
 
+use crate::checkpoint::{self, BootstrapProgress, Checkpoint, CheckpointHeader, CheckpointPayload};
+use crate::run::RunError;
 use crate::{decentralized_impl, InferenceConfig, RunOutput};
 use exa_bio::patterns::{CompressedAlignment, CompressedPartition};
+use exa_comm::CommStats;
+use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::tree::bipartitions::bipartitions;
+use exa_search::evaluator::SearchSnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -111,7 +116,7 @@ pub fn replicate_trace_path(path: &Path, replicate: usize) -> PathBuf {
     note = "use `RunConfig::new(n_ranks).bootstrap(replicates, seed).run(&aln)` instead"
 )]
 pub fn run_bootstrap(aln: &CompressedAlignment, cfg: &BootstrapConfig) -> BootstrapOutput {
-    bootstrap_impl(aln, cfg, None).expect("untraced bootstrap performs no trace I/O")
+    bootstrap_impl(aln, cfg, None, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`run_bootstrap`] with optional tracing: when `trace_out` is set, the
@@ -126,33 +131,65 @@ pub fn run_bootstrap_traced(
     cfg: &BootstrapConfig,
     trace_out: Option<&Path>,
 ) -> std::io::Result<BootstrapOutput> {
-    bootstrap_impl(aln, cfg, trace_out)
+    bootstrap_impl(aln, cfg, trace_out, None).map_err(|e| match e {
+        RunError::Io(io) => io,
+        other => panic!("{other}"),
+    })
+}
+
+/// Resolve the informational kernel label for a reconstructed (resumed)
+/// bootstrap best run without a live world to negotiate on: forced choices
+/// resolve directly, `Auto` resolves to this host's local capability (every
+/// rank of an in-process world shares the host, so this matches what the
+/// original negotiation produced).
+fn local_kernel(choice: KernelChoice) -> KernelKind {
+    match choice {
+        KernelChoice::Scalar => KernelKind::Scalar,
+        KernelChoice::Simd => KernelKind::Simd,
+        KernelChoice::Auto => KernelKind::from_capability_level(choice.capability_level()),
+    }
+}
+
+/// [`local_kernel`]'s analogue for subtree-repeat compression.
+fn local_site_repeats(choice: RepeatsChoice) -> SiteRepeats {
+    match choice {
+        RepeatsChoice::On => SiteRepeats::On,
+        RepeatsChoice::Off => SiteRepeats::Off,
+        RepeatsChoice::Auto => SiteRepeats::from_capability_level(choice.capability_level()),
+    }
 }
 
 /// The bootstrap driver behind [`crate::RunConfig::run`] and the deprecated
 /// `run_bootstrap*` shims. When `trace_out` is set, the best-tree run's
 /// Chrome trace goes to that path and each replicate's to
 /// [`replicate_trace_path`] of it (one trace per replicate — replicates run
-/// sequentially, so sharing one recorder would interleave them). Panics on
-/// replica divergence, like the historical entrypoints did.
+/// sequentially, so sharing one recorder would interleave them).
+///
+/// Checkpointing: a checkpoint committed *during* the best-tree search
+/// carries `bootstrap: None` and resuming it re-enters that search; after
+/// each completed replicate the driver commits a generation with
+/// `bootstrap: Some(progress)` and resuming it skips both the best run and
+/// the completed replicates. Replicate searches themselves never checkpoint
+/// (the per-replicate state is tiny next to re-running one replicate, and
+/// generations from different replicates would alias in the same
+/// directory).
 pub(crate) fn bootstrap_impl(
     aln: &CompressedAlignment,
     cfg: &BootstrapConfig,
     trace_out: Option<&Path>,
-) -> std::io::Result<BootstrapOutput> {
+    resume: Option<&CheckpointPayload>,
+) -> Result<BootstrapOutput, RunError> {
     fn run_one(
         aln: &CompressedAlignment,
         cfg: &InferenceConfig,
         trace_path: Option<PathBuf>,
-    ) -> std::io::Result<RunOutput> {
-        let checked = |recorder: Option<&std::sync::Arc<exa_obs::Recorder>>| {
-            decentralized_impl(aln, cfg, recorder).unwrap_or_else(|d| panic!("{d}"))
-        };
+        resume: Option<&CheckpointPayload>,
+    ) -> Result<RunOutput, RunError> {
         match trace_path {
-            None => Ok(checked(None)),
+            None => Ok(decentralized_impl(aln, cfg, None, resume)?),
             Some(path) => {
                 let recorder = exa_obs::Recorder::new(cfg.n_ranks);
-                let out = checked(Some(&recorder));
+                let out = decentralized_impl(aln, cfg, Some(&recorder), resume)?;
                 let trace = exa_obs::Recorder::finish(recorder);
                 exa_obs::write_chrome_trace(&path, &trace)?;
                 Ok(out)
@@ -160,20 +197,60 @@ pub(crate) fn bootstrap_impl(
         }
     }
 
-    let best = run_one(aln, &cfg.base, trace_out.map(Path::to_path_buf))?;
+    let (best, mut counts, mut replicate_lnls, start) = match resume {
+        // Between-replicate checkpoint: the best run already finished —
+        // reconstruct its output (communication/work counters are gone
+        // with the original world and report as zero) and pick the
+        // replicate loop back up where it left off.
+        Some(p) if p.bootstrap.is_some() => {
+            let progress = p.bootstrap.as_ref().expect("guarded by is_some");
+            let state = progress.best_state.clone();
+            let tree_newick = state.tree.to_newick(&aln.taxa);
+            let best = RunOutput {
+                result: progress.best_result.clone(),
+                state,
+                tree_newick,
+                comm_stats: CommStats::default(),
+                work: WorkCounters::default(),
+                mem_bytes: 0,
+                survivors: (0..cfg.base.n_ranks).collect(),
+                sentinel_syncs: 0,
+                kernel: local_kernel(cfg.base.kernel),
+                site_repeats: local_site_repeats(cfg.base.site_repeats),
+                checkpoints: 0,
+            };
+            let counts: HashMap<Vec<usize>, usize> = progress
+                .split_counts
+                .iter()
+                .map(|(s, c)| (s.clone(), *c as usize))
+                .collect();
+            let lnls: Vec<f64> = progress
+                .replicate_lnl_bits
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .collect();
+            (best, counts, lnls, progress.completed.min(cfg.replicates))
+        }
+        // Mid-best-run checkpoint (or no checkpoint): run (or resume) the
+        // best-tree search, then start the replicates from scratch.
+        _ => {
+            let best = run_one(aln, &cfg.base, trace_out.map(Path::to_path_buf), resume)?;
+            (best, HashMap::new(), Vec::new(), 0)
+        }
+    };
     let best_splits = bipartitions(&best.state.tree);
+    let mut committed = best.checkpoints;
 
-    let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
-    let mut replicate_lnls = Vec::with_capacity(cfg.replicates);
-    for r in 0..cfg.replicates {
+    for r in start..cfg.replicates {
         let replicate_seed = cfg.seed.wrapping_add(r as u64);
         let resampled = resample_alignment(aln, replicate_seed);
         let mut rcfg = cfg.base.clone();
         rcfg.seed = replicate_seed;
-        // Replicates never checkpoint, fault-inject or heartbeat (the
-        // sentinel cadence, if any, stays on — replicas must agree in
-        // replicate searches too).
-        rcfg.checkpoint_path = None;
+        // Replicates never checkpoint, kill, resume, fault-inject or
+        // heartbeat (the sentinel cadence, if any, stays on — replicas
+        // must agree in replicate searches too).
+        rcfg.checkpoint_out = None;
+        rcfg.inject_kill = None;
         rcfg.resume_from = None;
         rcfg.fault_plan = crate::fault::FaultPlan::none();
         rcfg.divergence_fault = None;
@@ -182,10 +259,68 @@ pub(crate) fn bootstrap_impl(
             &resampled,
             &rcfg,
             trace_out.map(|p| replicate_trace_path(p, r)),
+            None,
         )?;
         replicate_lnls.push(out.result.lnl);
         for split in bipartitions(&out.state.tree) {
             *counts.entry(split).or_insert(0) += 1;
+        }
+
+        if let Some(dir) = &cfg.base.checkpoint_out {
+            // Sorted split order so the checkpoint bytes are a pure
+            // function of the progress (HashMap order is not).
+            let mut split_counts: Vec<(Vec<usize>, u32)> =
+                counts.iter().map(|(s, &c)| (s.clone(), c as u32)).collect();
+            split_counts.sort();
+            let progress = BootstrapProgress {
+                completed: r + 1,
+                replicate_lnl_bits: replicate_lnls.iter().map(|l| l.to_bits()).collect(),
+                split_counts,
+                best_result: best.result.clone(),
+                best_state: best.state.clone(),
+            };
+            let snapshot = SearchSnapshot {
+                iteration: best.result.iterations,
+                lnl_bits: best.result.lnl.to_bits(),
+                spr_moves: best.result.spr_moves,
+                state: best.state.clone(),
+                psr_rates: Vec::new(),
+            };
+            let header = CheckpointHeader {
+                format_version: 0, // sealed by Checkpoint::build
+                scheme: "decentralized".into(),
+                kernel: best.kernel.label().into(),
+                site_repeats: best.site_repeats.label().into(),
+                rank_count: cfg.base.n_ranks,
+                rate_model: format!("{:?}", cfg.base.rate_model),
+                branch_mode: format!("{:?}", cfg.base.branch_mode),
+                seed: cfg.base.seed,
+                n_taxa: aln.n_taxa(),
+                n_partitions: aln.n_partitions(),
+                iteration: best.result.iterations,
+                payload_len: 0,
+                payload_fingerprint: 0,
+            };
+            let ckpt = Checkpoint::build(
+                header,
+                CheckpointPayload {
+                    snapshot,
+                    bootstrap: Some(progress),
+                },
+            );
+            checkpoint::save_generation(dir, &ckpt)?;
+            committed += 1;
+            // Driver-level kill injection: replicate boundaries count
+            // toward the same committed-checkpoint budget as in-search
+            // boundaries, so a chaos harness can kill between replicates.
+            if let Some(k) = cfg.base.inject_kill {
+                if committed >= k.after_checkpoints {
+                    return Err(RunError::Killed {
+                        after_checkpoints: committed,
+                        iteration: best.result.iterations,
+                    });
+                }
+            }
         }
     }
 
@@ -277,7 +412,7 @@ mod tests {
             seed: 99,
             base,
         };
-        let out = bootstrap_impl(&w.compressed, &cfg, None).unwrap();
+        let out = bootstrap_impl(&w.compressed, &cfg, None, None).unwrap();
         assert_eq!(out.replicate_lnls.len(), 5);
         assert!(out.annotated_newick.ends_with(");"));
         // 6 taxa → 3 internal splits on the best tree.

@@ -12,6 +12,7 @@
 use crate::sentinel::{DivergenceFault, FaultComponent};
 use exa_phylo::engine::{KernelChoice, RepeatsChoice};
 use exa_phylo::model::rates::RateModelKind;
+use exa_search::KillSpec;
 use std::path::PathBuf;
 
 /// Every flag the `examl` binary accepts, in `usage()` order. Unknown-flag
@@ -33,9 +34,10 @@ pub const FLAGS: &[&str] = &[
     "--iterations",
     "--radius",
     "--epsilon",
-    "--checkpoint",
+    "--checkpoint-out",
     "--checkpoint-every",
     "--resume",
+    "--inject-kill",
     "--out-tree",
     "--trace-out",
     "--bootstrap",
@@ -67,9 +69,10 @@ pub struct CliConfig {
     pub iterations: usize,
     pub radius: usize,
     pub epsilon: f64,
-    pub checkpoint: Option<PathBuf>,
+    pub checkpoint_out: Option<PathBuf>,
     pub checkpoint_every: usize,
     pub resume: Option<PathBuf>,
+    pub inject_kill: Option<KillSpec>,
     pub out_tree: Option<PathBuf>,
     pub trace_out: Option<PathBuf>,
     pub quiet: bool,
@@ -100,9 +103,10 @@ impl Default for CliConfig {
             iterations: 10,
             radius: 5,
             epsilon: 0.1,
-            checkpoint: None,
+            checkpoint_out: None,
             checkpoint_every: 1,
             resume: None,
+            inject_kill: None,
             out_tree: None,
             trace_out: None,
             quiet: false,
@@ -265,7 +269,7 @@ impl CliConfig {
                 }
                 "--radius" => cfg.radius = num("--radius", value("--radius")?, "a count")?,
                 "--epsilon" => cfg.epsilon = num("--epsilon", value("--epsilon")?, "a number")?,
-                "--checkpoint" => cfg.checkpoint = Some(value("--checkpoint")?.into()),
+                "--checkpoint-out" => cfg.checkpoint_out = Some(value("--checkpoint-out")?.into()),
                 "--checkpoint-every" => {
                     cfg.checkpoint_every = num(
                         "--checkpoint-every",
@@ -274,6 +278,14 @@ impl CliConfig {
                     )?
                 }
                 "--resume" => cfg.resume = Some(value("--resume")?.into()),
+                "--inject-kill" => {
+                    let v = value("--inject-kill")?;
+                    cfg.inject_kill = Some(parse_kill_spec(&v).ok_or(CliError::BadValue {
+                        flag: "--inject-kill",
+                        value: v,
+                        expected: "AFTER_CKPT or AFTER_CKPT:RANK",
+                    })?);
+                }
                 "--out-tree" => cfg.out_tree = Some(value("--out-tree")?.into()),
                 "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
                 "--bootstrap" => {
@@ -310,6 +322,23 @@ impl CliConfig {
         }
         Ok(cfg)
     }
+}
+
+/// Parse `AFTER_CKPT` or `AFTER_CKPT:RANK` into a [`KillSpec`]: die after
+/// `AFTER_CKPT` committed checkpoint generations — every rank at once, or
+/// just `RANK` (exercising the single-failure recovery path before the
+/// restart).
+pub fn parse_kill_spec(spec: &str) -> Option<KillSpec> {
+    let mut parts = spec.splitn(2, ':');
+    let after_checkpoints = parts.next()?.parse().ok()?;
+    let rank = match parts.next() {
+        Some(r) => Some(r.parse().ok()?),
+        None => None,
+    };
+    Some(KillSpec {
+        after_checkpoints,
+        rank,
+    })
 }
 
 /// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
@@ -392,6 +421,57 @@ mod tests {
         assert_eq!(fault.rank, 1);
         assert_eq!(fault.after_collectives, 10);
         assert_eq!(fault.component, FaultComponent::Alpha);
+    }
+
+    #[test]
+    fn checkpoint_and_kill_flags_parse() {
+        let c = parse(&[
+            "--checkpoint-out",
+            "ckpt/",
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            "ckpt/",
+            "--inject-kill",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            c.checkpoint_out.as_deref(),
+            Some(std::path::Path::new("ckpt/"))
+        );
+        assert_eq!(c.checkpoint_every, 5);
+        assert_eq!(c.resume.as_deref(), Some(std::path::Path::new("ckpt/")));
+        assert_eq!(
+            c.inject_kill,
+            Some(KillSpec {
+                after_checkpoints: 2,
+                rank: None
+            })
+        );
+
+        let c = parse(&["--inject-kill", "3:1"]).unwrap();
+        assert_eq!(
+            c.inject_kill,
+            Some(KillSpec {
+                after_checkpoints: 3,
+                rank: Some(1)
+            })
+        );
+
+        for bad in ["", "x", "1:", "1:x", "1:2:3"] {
+            let err = parse(&["--inject-kill", bad]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::BadValue {
+                        flag: "--inject-kill",
+                        ..
+                    }
+                ),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
     }
 
     #[test]

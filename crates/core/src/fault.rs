@@ -20,13 +20,14 @@
 //! Because every rank already holds the complete search state, no state is
 //! lost — only the current iteration's partial work is redone.
 
-use crate::checkpoint::{self, Checkpoint, CHECKPOINT_VERSION};
+use crate::checkpoint::{self, Checkpoint, CheckpointHeader, CheckpointPayload};
 use crate::{die_now, DecentralizedEvaluator, InferenceConfig};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, Rank};
 use exa_obs::{imbalance_ratio, HeartbeatRecord};
-use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState};
-use exa_search::{BoundaryInfo, SearchHooks};
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
+use exa_search::{BoundaryInfo, KillPanic, SearchHooks};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -86,12 +87,28 @@ pub struct DecentralizedHooks {
     freqs: Arc<Vec<[f64; 4]>>,
     cfg: Arc<InferenceConfig>,
     shared: Arc<exa_sched::SharedSlices>,
+    /// This rank's current data assignment (kept in sync with recoveries;
+    /// needed to map local PSR rates to global pattern indices).
+    assignment: exa_sched::RankAssignment,
     /// Snapshot at the last iteration boundary (the recovery point).
     snapshot: GlobalState,
     snapshot_iteration: usize,
     snapshot_lnl: f64,
     /// Recoveries performed (observability for tests).
     pub recoveries: usize,
+    /// Checkpoint generations committed so far. Every rank counts them
+    /// (the cadence is deterministic) even though only the writer rank
+    /// performs the write — this is what aligns `--inject-kill` across the
+    /// world.
+    checkpoints_written: u64,
+    /// Iteration of the last committed checkpoint (heartbeat field).
+    last_checkpoint_iter: Option<u64>,
+    /// Wall-clock of the last checkpoint write, writer rank only.
+    last_checkpoint_ms: Option<f64>,
+    /// Set once an injected kill has fired anywhere in the world:
+    /// `(after_checkpoints, iteration)`. Disables recovery — a killed run
+    /// must abort, not heal.
+    kill_event: Option<(u64, usize)>,
     health: Option<HealthState>,
 }
 
@@ -103,6 +120,7 @@ impl DecentralizedHooks {
         freqs: Arc<Vec<[f64; 4]>>,
         cfg: Arc<InferenceConfig>,
         shared: Arc<exa_sched::SharedSlices>,
+        assignment: exa_sched::RankAssignment,
         eval: &DecentralizedEvaluator,
     ) -> DecentralizedHooks {
         let health = cfg.health_out.clone().map(|path| HealthState {
@@ -117,11 +135,135 @@ impl DecentralizedHooks {
             freqs,
             cfg,
             shared,
+            assignment,
             snapshot: eval.snapshot(),
             snapshot_iteration: 0,
             snapshot_lnl: f64::NEG_INFINITY,
             recoveries: 0,
+            checkpoints_written: 0,
+            last_checkpoint_iter: None,
+            last_checkpoint_ms: None,
+            kill_event: None,
             health,
+        }
+    }
+
+    /// Checkpoint generations committed so far (world-level count).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// The injected kill that fired, if any: `(after_checkpoints,
+    /// iteration)`.
+    pub fn kill_event(&self) -> Option<(u64, usize)> {
+        self.kill_event
+    }
+
+    /// Commit a checkpoint generation if one is due at this boundary.
+    /// Under PSR, *every* active rank joins the rate allgather (the cadence
+    /// is deterministic, so the collective stays aligned); only the
+    /// lowest-id active rank writes the file.
+    fn maybe_checkpoint(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
+        let Some(dir) = self.cfg.checkpoint_out.clone() else {
+            return;
+        };
+        let every = self.cfg.checkpoint_every.max(1);
+        if !info.iteration.is_multiple_of(every) {
+            return;
+        }
+        let de = eval
+            .as_any_mut()
+            .downcast_mut::<DecentralizedEvaluator>()
+            .expect("de-centralized hooks require the de-centralized evaluator");
+        let psr_rates = if self.cfg.rate_model == RateModelKind::Psr {
+            let local = exa_sched::capture_site_rates(de.engine(), &self.assignment, &self.aln);
+            let blob = serde_json::to_vec(&local).expect("PSR rate blob serializes");
+            let Ok(blobs) = de.rank().allgather_bytes(blob, CommCategory::Control) else {
+                // A rank failed mid-gather: skip this generation; recovery
+                // runs at the driver level and the next boundary retries.
+                return;
+            };
+            let mut parts: Vec<(usize, Vec<usize>, Vec<u64>)> = Vec::new();
+            for b in blobs.iter().filter(|b| !b.is_empty()) {
+                let v: Vec<(usize, Vec<usize>, Vec<u64>)> =
+                    serde_json::from_slice(b).expect("PSR rate blob parses");
+                parts.extend(v);
+            }
+            exa_sched::merge_site_rates(&self.aln, parts)
+        } else {
+            Vec::new()
+        };
+        self.checkpoints_written += 1;
+        self.last_checkpoint_iter = Some(info.iteration as u64);
+        // All ranks mark the committed generation (identically — trace
+        // event sequences stay comparable across ranks).
+        exa_obs::mark(|| format!("{}{}", exa_obs::CHECKPOINT_MARK, info.iteration));
+        if self.rank.active_ranks().first() != Some(&self.rank.id()) {
+            return;
+        }
+        let t0 = Instant::now();
+        let snapshot = SearchSnapshot {
+            iteration: info.iteration,
+            lnl_bits: info.lnl.to_bits(),
+            spr_moves: info.spr_moves,
+            state: self.snapshot.clone(),
+            psr_rates,
+        };
+        let header = CheckpointHeader {
+            format_version: 0, // sealed by Checkpoint::build
+            scheme: "decentralized".into(),
+            kernel: de.engine().kernel_kind().label().into(),
+            site_repeats: de.engine().site_repeats().label().into(),
+            rank_count: self.rank.active_count(),
+            rate_model: format!("{:?}", self.cfg.rate_model),
+            branch_mode: format!("{:?}", self.cfg.branch_mode),
+            seed: self.cfg.seed,
+            n_taxa: self.aln.n_taxa(),
+            n_partitions: self.aln.n_partitions(),
+            iteration: 0,
+            payload_len: 0,
+            payload_fingerprint: 0,
+        };
+        let ckpt = Checkpoint::build(
+            header,
+            CheckpointPayload {
+                snapshot,
+                bootstrap: None,
+            },
+        );
+        checkpoint::save_generation(&dir, &ckpt).expect("checkpoint write failed");
+        self.last_checkpoint_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    /// Fire the injected kill once the configured number of checkpoints
+    /// has been committed. All ranks evaluate the same deterministic
+    /// condition: with no victim rank every rank dies here; with a victim,
+    /// that rank fails its communicator and dies while the others record
+    /// the event (so recovery is disabled) and abort at their next
+    /// collective.
+    fn maybe_kill(&mut self, info: &BoundaryInfo) {
+        let Some(kill) = self.cfg.inject_kill else {
+            return;
+        };
+        if self.kill_event.is_some() || self.checkpoints_written < kill.after_checkpoints {
+            return;
+        }
+        self.kill_event = Some((kill.after_checkpoints, info.iteration));
+        let payload = KillPanic {
+            after_checkpoints: kill.after_checkpoints,
+            iteration: info.iteration,
+        };
+        match kill.rank {
+            None => std::panic::panic_any(payload),
+            Some(victim) if victim == self.rank.id() => {
+                self.rank.fail();
+                std::panic::panic_any(payload);
+            }
+            Some(_) => {
+                // Survivor of a targeted kill: the victim's failure surfaces
+                // at our next collective; `on_failure` sees the kill event
+                // and aborts instead of recovering.
+            }
         }
     }
 
@@ -181,6 +323,8 @@ impl DecentralizedHooks {
             kernel: Some(de.engine().kernel_kind().label().to_string()),
             repeat_ratio: Some(work.repeat_ratio()),
             clv_saved: Some(work.clv_saved),
+            last_checkpoint_iter: self.last_checkpoint_iter,
+            checkpoint_write_ms: self.last_checkpoint_ms,
         };
         let line = rec.to_json_line();
         let written = if health.created {
@@ -203,29 +347,25 @@ impl SearchHooks for DecentralizedHooks {
         self.snapshot_lnl = info.lnl;
 
         // Checkpoint: with no master, the lowest-id active rank writes.
-        if let Some(path) = &self.cfg.checkpoint_path {
-            let every = self.cfg.checkpoint_every.max(1);
-            let is_writer = self.rank.active_ranks().first() == Some(&self.rank.id());
-            if is_writer && info.iteration.is_multiple_of(every) {
-                let ckpt = Checkpoint {
-                    version: CHECKPOINT_VERSION,
-                    iteration: info.iteration,
-                    lnl: info.lnl,
-                    state: self.snapshot.clone(),
-                };
-                checkpoint::save(path, &ckpt).expect("checkpoint write failed");
-            }
-        }
+        self.maybe_checkpoint(eval, info);
 
         self.heartbeat(eval, info);
 
-        // Scripted death (fault-injection testing of §V).
+        // Injected kill (checkpoint/restart chaos testing), then scripted
+        // death (fault-injection testing of §V).
+        self.maybe_kill(info);
         if self.cfg.fault_plan.fires(self.rank.id(), info.iteration) {
             die_now(&self.rank);
         }
     }
 
     fn on_failure(&mut self, eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {
+        // A comm failure after an injected kill is the kill propagating —
+        // abort instead of healing, so the restart harness exercises the
+        // checkpoint path rather than §V recovery.
+        if self.kill_event.is_some() {
+            return false;
+        }
         // 1. Acknowledge and learn the surviving rank set.
         let (_failed, survivors) = self.rank.recover();
         let my_index = survivors
@@ -239,6 +379,7 @@ impl SearchHooks for DecentralizedHooks {
         //    survivors already agreed on it, and re-negotiating here would
         //    require a collective the failed rank can no longer join.
         let assignments = exa_sched::distribute(&self.aln, survivors.len(), self.cfg.strategy);
+        self.assignment = assignments[my_index].clone();
         let de = eval
             .as_any_mut()
             .downcast_mut::<DecentralizedEvaluator>()

@@ -40,7 +40,8 @@ use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, Wo
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
-    build_starting_tree, run_search, BranchMode, SearchConfig, SearchResult, StartingTree,
+    build_starting_tree, run_search_from, BranchMode, KillPanic, KillSpec, SearchConfig,
+    SearchResult, StartingTree,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -63,12 +64,18 @@ pub struct InferenceConfig {
     pub seed: u64,
     /// Starting-tree policy (random, parsimony, or a given Newick tree).
     pub starting_tree: StartingTree,
-    /// Write a checkpoint every `checkpoint_every` iterations to
-    /// `checkpoint_path` (if set).
-    pub checkpoint_path: Option<PathBuf>,
+    /// Commit a checkpoint generation every `checkpoint_every` iterations
+    /// into this directory (if set). The directory keeps the last
+    /// [`checkpoint::KEEP_GENERATIONS`] generations.
+    pub checkpoint_out: Option<PathBuf>,
     pub checkpoint_every: usize,
-    /// Resume from this checkpoint file before searching.
+    /// Resume from the newest intact generation in this checkpoint
+    /// directory before searching.
     pub resume_from: Option<PathBuf>,
+    /// Deterministic kill injection for the restart chaos harness: die
+    /// after N committed checkpoints (`--inject-kill N[:RANK]`). Requires
+    /// `checkpoint_out`.
+    pub inject_kill: Option<KillSpec>,
     /// Scripted rank failures (testing / demonstration of §V).
     pub fault_plan: fault::FaultPlan,
     /// Replica-divergence sentinel cadence: exchange state fingerprints
@@ -108,9 +115,10 @@ impl InferenceConfig {
             search: SearchConfig::default(),
             seed: 42,
             starting_tree: StartingTree::Random,
-            checkpoint_path: None,
+            checkpoint_out: None,
             checkpoint_every: 1,
             resume_from: None,
+            inject_kill: None,
             fault_plan: fault::FaultPlan::none(),
             verify_replicas: 0,
             divergence_fault: None,
@@ -211,6 +219,22 @@ pub struct RunOutput {
     /// The subtree-repeat compression setting the ranks computed with
     /// (negotiated under `RepeatsChoice::Auto`, forced otherwise).
     pub site_repeats: SiteRepeats,
+    /// Checkpoint generations committed during the run (0 when
+    /// checkpointing is off).
+    pub checkpoints: u64,
+}
+
+/// Why a de-centralized run aborted instead of producing a result.
+#[derive(Debug)]
+pub(crate) enum RunAbort {
+    /// The replica-divergence sentinel tripped.
+    Divergence(exa_obs::ReplicaDivergence),
+    /// An injected kill terminated the run after `after_checkpoints`
+    /// committed checkpoints, at iteration boundary `iteration`.
+    Killed {
+        after_checkpoints: u64,
+        iteration: usize,
+    },
 }
 
 /// What each rank thread reports back.
@@ -224,6 +248,7 @@ enum RankReport {
         sentinel_syncs: u64,
         kernel: KernelKind,
         site_repeats: SiteRepeats,
+        checkpoints: u64,
     },
     Died {
         work: WorkCounters,
@@ -235,6 +260,13 @@ enum RankReport {
         mem_bytes: u64,
         diagnostic: Box<exa_obs::ReplicaDivergence>,
     },
+    /// An injected kill (`--inject-kill`) terminated this rank.
+    Killed {
+        work: WorkCounters,
+        mem_bytes: u64,
+        after_checkpoints: u64,
+        iteration: usize,
+    },
 }
 
 /// Per-rank panic payload for a scripted death (unwinds out of the search).
@@ -245,7 +277,7 @@ struct RankDiedPanic;
 /// they are always caught and turned into reports/diagnostics, so the
 /// default hook's per-thread `Box<dyn Any>` message and backtrace are pure
 /// noise. Installed once, process-wide, wrapping the previous hook.
-fn install_control_panic_silencer() {
+pub(crate) fn install_control_panic_silencer() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -255,6 +287,7 @@ fn install_control_panic_silencer() {
                 || p.downcast_ref::<exa_obs::ReplicaDivergence>().is_some()
                 || p.downcast_ref::<exa_search::evaluator::CommFailurePanic>()
                     .is_some()
+                || p.downcast_ref::<KillPanic>().is_some()
             {
                 return;
             }
@@ -263,12 +296,16 @@ fn install_control_panic_silencer() {
     });
 }
 
-/// The de-centralized scheme driver behind [`RunConfig::run`].
+/// The de-centralized scheme driver behind [`RunConfig::run`]. `resume` is
+/// the pre-validated payload of the checkpoint generation to restart from
+/// (loaded once by the caller; every rank restores from the same parsed
+/// state).
 pub(crate) fn decentralized_impl(
     aln: &CompressedAlignment,
     cfg: &InferenceConfig,
     recorder: Option<&Arc<Recorder>>,
-) -> Result<RunOutput, exa_obs::ReplicaDivergence> {
+    resume: Option<&checkpoint::CheckpointPayload>,
+) -> Result<RunOutput, RunAbort> {
     assert!(
         aln.n_taxa() >= 4,
         "need at least 4 taxa for a meaningful search"
@@ -277,6 +314,7 @@ pub(crate) fn decentralized_impl(
     let aln = Arc::new(aln.clone());
     let freqs = Arc::new(exa_bio::stats::global_frequencies(&aln));
     let cfg = Arc::new(cfg.clone());
+    let resume = resume.cloned().map(Arc::new);
     // One set of Arc-wrapped tip/weight buffers for the whole in-process
     // world: ranks holding a full partition alias these instead of cloning.
     let shared = Arc::new(exa_sched::SharedSlices::build(&aln));
@@ -288,6 +326,7 @@ pub(crate) fn decentralized_impl(
             Arc::clone(&freqs),
             Arc::clone(&cfg),
             Arc::clone(&shared),
+            resume.clone(),
         )
     });
 
@@ -299,7 +338,9 @@ pub(crate) fn decentralized_impl(
     let mut syncs = 0u64;
     let mut run_kernel = KernelKind::Scalar;
     let mut run_repeats = SiteRepeats::Off;
+    let mut ckpts = 0u64;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
+    let mut killed: Option<(u64, usize)> = None;
     for r in reports {
         match r {
             RankReport::Survived {
@@ -311,11 +352,13 @@ pub(crate) fn decentralized_impl(
                 sentinel_syncs,
                 kernel,
                 site_repeats,
+                checkpoints,
             } => {
                 work = work.merge(&w);
                 mem += mem_bytes;
                 lnls.push(result.lnl.to_bits());
                 syncs = syncs.max(sentinel_syncs);
+                ckpts = ckpts.max(checkpoints);
                 if chosen.is_none() {
                     chosen = Some((result, state, stats));
                     run_kernel = kernel;
@@ -337,10 +380,26 @@ pub(crate) fn decentralized_impl(
                 // allgathered fingerprints; keep one.
                 divergence = Some(diagnostic);
             }
+            RankReport::Killed {
+                work: w,
+                mem_bytes,
+                after_checkpoints,
+                iteration,
+            } => {
+                work = work.merge(&w);
+                mem += mem_bytes;
+                killed = Some((after_checkpoints, iteration));
+            }
         }
     }
     if let Some(d) = divergence {
-        return Err(*d);
+        return Err(RunAbort::Divergence(*d));
+    }
+    if let Some((after_checkpoints, iteration)) = killed {
+        return Err(RunAbort::Killed {
+            after_checkpoints,
+            iteration,
+        });
     }
     assert!(
         lnls.windows(2).all(|w| w[0] == w[1]),
@@ -362,6 +421,7 @@ pub(crate) fn decentralized_impl(
         sentinel_syncs: syncs,
         kernel: run_kernel,
         site_repeats: run_repeats,
+        checkpoints: ckpts,
     })
 }
 
@@ -371,6 +431,7 @@ fn rank_main(
     freqs: Arc<Vec<[f64; 4]>>,
     cfg: Arc<InferenceConfig>,
     shared: Arc<exa_sched::SharedSlices>,
+    resume: Option<Arc<checkpoint::CheckpointPayload>>,
 ) -> RankReport {
     // 1. Deterministic data distribution — every rank computes the same
     //    assignment table locally (no coordination needed).
@@ -388,7 +449,7 @@ fn rank_main(
         cfg.site_repeats_override.as_deref(),
     );
     exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, site_repeats.label()));
-    let engine = exa_sched::build_engine(
+    let mut engine = exa_sched::build_engine(
         &aln,
         &assignments[rank.id()],
         &freqs,
@@ -397,6 +458,19 @@ fn rank_main(
         site_repeats,
         Some(&shared),
     );
+    // Checkpoint resume, phase 1: per-pattern PSR rates go straight into
+    // the fresh engine (this rank's slice of the gathered global table —
+    // elastic across any rank count, since the table is complete).
+    if let Some(p) = resume.as_deref() {
+        if !p.snapshot.psr_rates.is_empty() {
+            exa_sched::apply_site_rates(
+                &mut engine,
+                &assignments[rank.id()],
+                &aln,
+                &p.snapshot.psr_rates,
+            );
+        }
+    }
     // Account the initial data distribution (real ExaML reads the binary
     // alignment via MPI I/O; the in-process world shares memory, so this
     // traffic is modeled, not moved): one scatter of each rank's slice.
@@ -425,13 +499,19 @@ fn rank_main(
     );
     eval.set_sentinel(cfg.verify_replicas, cfg.divergence_fault);
 
-    // 3. Optional checkpoint resume (every rank reads the file, the
-    //    in-process analogue of ExaML's parallel binary-file read).
-    if let Some(path) = &cfg.resume_from {
-        let ckpt = checkpoint::load(path).expect("failed to load checkpoint");
+    // 3. Checkpoint resume, phase 2: restore the replicated state (every
+    //    rank restores from the identical parsed payload, the in-process
+    //    analogue of ExaML's parallel binary-file read), then a restart
+    //    barrier so no rank races ahead into the search while others are
+    //    still rebuilding.
+    let resume_point = resume.as_deref().map(|p| {
         use exa_search::Evaluator as _;
-        eval.restore(&ckpt.state);
-    }
+        eval.restore(&p.snapshot.state);
+        exa_obs::mark(|| format!("resume:{}", p.snapshot.iteration));
+        rank.barrier(CommCategory::Control)
+            .expect("restart barrier cannot proceed after a rank failure");
+        p.snapshot.resume_point()
+    });
 
     let mut hooks = fault::DecentralizedHooks::new(
         rank.clone(),
@@ -439,11 +519,12 @@ fn rank_main(
         Arc::clone(&freqs),
         Arc::clone(&cfg),
         Arc::clone(&shared),
+        assignments[rank.id()].clone(),
         &eval,
     );
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_search(&mut eval, &cfg.search, &mut hooks)
+        run_search_from(&mut eval, &cfg.search, &mut hooks, resume_point.as_ref())
     }));
 
     match outcome {
@@ -458,6 +539,7 @@ fn rank_main(
                 sentinel_syncs: eval.sentinel_syncs(),
                 kernel: eval.engine().kernel_kind(),
                 site_repeats: eval.engine().site_repeats(),
+                checkpoints: hooks.checkpoints_written(),
             }
         }
         Err(payload) => {
@@ -465,6 +547,28 @@ fn rank_main(
                 RankReport::Died {
                     work: eval.engine().work(),
                     mem_bytes: eval.engine().clv_bytes(),
+                }
+            } else if let Some(k) = payload.downcast_ref::<KillPanic>() {
+                RankReport::Killed {
+                    work: eval.engine().work(),
+                    mem_bytes: eval.engine().clv_bytes(),
+                    after_checkpoints: k.after_checkpoints,
+                    iteration: k.iteration,
+                }
+            } else if payload
+                .downcast_ref::<exa_search::evaluator::CommFailurePanic>()
+                .is_some()
+                && hooks.kill_event().is_some()
+            {
+                // Survivor of a targeted kill: the victim's death surfaced
+                // as a comm failure with recovery disabled.
+                let (after_checkpoints, iteration) =
+                    hooks.kill_event().expect("kill event just checked");
+                RankReport::Killed {
+                    work: eval.engine().work(),
+                    mem_bytes: eval.engine().clv_bytes(),
+                    after_checkpoints,
+                    iteration,
                 }
             } else if let Some(d) = payload.downcast_ref::<exa_obs::ReplicaDivergence>() {
                 // Caught here (not at join) so the structured diagnostic

@@ -26,16 +26,17 @@
 //! and have since been removed.
 
 use crate::bootstrap::{bootstrap_impl, BootstrapConfig};
+use crate::checkpoint::{self, Checkpoint, CheckpointError, CheckpointHeader, CheckpointPayload};
 use crate::fault::FaultPlan;
 use crate::sentinel::DivergenceFault;
-use crate::{decentralized_impl, InferenceConfig, RunOutput};
+use crate::{decentralized_impl, InferenceConfig, RunAbort, RunOutput};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommStats;
 use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
-use exa_search::evaluator::GlobalState;
-use exa_search::{BranchMode, SearchConfig, SearchResult, StartingTree};
+use exa_search::evaluator::{GlobalState, SearchSnapshot};
+use exa_search::{BranchMode, KillSpec, SearchConfig, SearchResult, StartingTree};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -82,6 +83,15 @@ pub enum RunError {
     /// The replica sentinel tripped: the diagnostic names the first
     /// divergent collective, the minority ranks and the state component(s).
     Divergence(ReplicaDivergence),
+    /// An injected kill (`--inject-kill`) terminated the run after the
+    /// configured number of committed checkpoints.
+    Killed {
+        after_checkpoints: u64,
+        iteration: usize,
+    },
+    /// Checkpoint load/validation failed (corrupt file, incompatible
+    /// header, empty directory).
+    Checkpoint(CheckpointError),
     /// Trace or support-file I/O failed.
     Io(std::io::Error),
 }
@@ -90,6 +100,15 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Divergence(d) => write!(f, "{d}"),
+            RunError::Killed {
+                after_checkpoints,
+                iteration,
+            } => write!(
+                f,
+                "run killed by injection after {after_checkpoints} checkpoint(s), \
+                 at iteration boundary {iteration}"
+            ),
+            RunError::Checkpoint(e) => write!(f, "{e}"),
             RunError::Io(e) => write!(f, "trace I/O failed: {e}"),
         }
     }
@@ -106,6 +125,27 @@ impl From<ReplicaDivergence> for RunError {
 impl From<std::io::Error> for RunError {
     fn from(e: std::io::Error) -> RunError {
         RunError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> RunError {
+        RunError::Checkpoint(e)
+    }
+}
+
+impl From<RunAbort> for RunError {
+    fn from(a: RunAbort) -> RunError {
+        match a {
+            RunAbort::Divergence(d) => RunError::Divergence(d),
+            RunAbort::Killed {
+                after_checkpoints,
+                iteration,
+            } => RunError::Killed {
+                after_checkpoints,
+                iteration,
+            },
+        }
     }
 }
 
@@ -160,9 +200,15 @@ pub struct RunConfig {
     pub search: SearchConfig,
     pub seed: u64,
     pub starting_tree: StartingTree,
-    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint directory: commit a generation every `checkpoint_every`
+    /// iterations (both schemes).
+    pub checkpoint_out: Option<PathBuf>,
     pub checkpoint_every: usize,
+    /// Resume from the newest intact generation in this directory.
     pub resume_from: Option<PathBuf>,
+    /// Deterministic kill injection for the restart chaos harness (requires
+    /// `checkpoint_out`).
+    pub inject_kill: Option<KillSpec>,
     pub fault_plan: FaultPlan,
     pub verify_replicas: u64,
     pub divergence_fault: Option<DivergenceFault>,
@@ -200,9 +246,10 @@ impl RunConfig {
             search: base.search,
             seed: base.seed,
             starting_tree: base.starting_tree,
-            checkpoint_path: None,
+            checkpoint_out: None,
             checkpoint_every: 1,
             resume_from: None,
+            inject_kill: None,
             fault_plan: FaultPlan::none(),
             verify_replicas: 0,
             divergence_fault: None,
@@ -251,16 +298,27 @@ impl RunConfig {
         self
     }
 
-    /// Write a checkpoint to `path` every `every` iterations.
-    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
-        self.checkpoint_path = Some(path.into());
+    /// Commit a checkpoint generation into directory `dir` every `every`
+    /// iterations (the directory keeps the last
+    /// [`checkpoint::KEEP_GENERATIONS`] generations).
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint_out = Some(dir.into());
         self.checkpoint_every = every;
         self
     }
 
-    /// Resume from a checkpoint file before searching.
-    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
-        self.resume_from = Some(path.into());
+    /// Resume from the newest intact checkpoint generation in `dir` before
+    /// searching.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(dir.into());
+        self
+    }
+
+    /// Inject a deterministic kill after `spec.after_checkpoints` committed
+    /// checkpoint generations (restart chaos testing). Requires
+    /// [`RunConfig::checkpoint`].
+    pub fn inject_kill(mut self, spec: KillSpec) -> Self {
+        self.inject_kill = Some(spec);
         self
     }
 
@@ -350,9 +408,10 @@ impl RunConfig {
             search: self.search.clone(),
             seed: self.seed,
             starting_tree: self.starting_tree.clone(),
-            checkpoint_path: self.checkpoint_path.clone(),
+            checkpoint_out: self.checkpoint_out.clone(),
             checkpoint_every: self.checkpoint_every,
             resume_from: self.resume_from.clone(),
+            inject_kill: self.inject_kill,
             fault_plan: self.fault_plan.clone(),
             verify_replicas: self.verify_replicas,
             divergence_fault: self.divergence_fault,
@@ -366,21 +425,47 @@ impl RunConfig {
 
     /// Execute the configured run.
     pub fn run(&self, aln: &CompressedAlignment) -> Result<RunOutcome, RunError> {
+        assert!(
+            self.inject_kill.is_none() || self.checkpoint_out.is_some(),
+            "--inject-kill requires --checkpoint-out (kills are counted in checkpoints)"
+        );
         match self.scheme {
             Scheme::Decentralized => self.run_decentralized(aln),
             Scheme::ForkJoin => self.run_forkjoin(aln),
         }
     }
 
+    /// Load and validate the resume checkpoint, if one was requested. The
+    /// strict header fields must match this run ([`checkpoint::validate_resume`]);
+    /// the elastic ones (kernel, site-repeats, rank count, scheme) may
+    /// differ — the replicated state redistributes.
+    fn load_resume(&self, aln: &CompressedAlignment) -> Result<Option<Checkpoint>, RunError> {
+        let Some(dir) = &self.resume_from else {
+            return Ok(None);
+        };
+        let ckpt = checkpoint::load_latest(dir)?;
+        let ctx = checkpoint::ResumeContext {
+            rate_model: format!("{:?}", self.rate_model),
+            branch_mode: format!("{:?}", self.branch_mode),
+            seed: self.seed,
+            n_taxa: aln.n_taxa(),
+            n_partitions: aln.n_partitions(),
+        };
+        checkpoint::validate_resume(&ckpt.header, &ctx)?;
+        Ok(Some(ckpt))
+    }
+
     fn run_decentralized(&self, aln: &CompressedAlignment) -> Result<RunOutcome, RunError> {
         let cfg = self.inference_config();
+        let resume = self.load_resume(aln)?;
         if let Some(bs) = &self.bootstrap {
             let bs_cfg = BootstrapConfig {
                 replicates: bs.replicates,
                 seed: bs.seed,
                 base: cfg,
             };
-            let out = bootstrap_impl(aln, &bs_cfg, bs.trace_out.as_deref())?;
+            let resume = resume.map(|c| c.payload);
+            let out = bootstrap_impl(aln, &bs_cfg, bs.trace_out.as_deref(), resume.as_ref())?;
             let summary = BootstrapSummary {
                 replicate_lnls: out.replicate_lnls,
                 support: out.support,
@@ -396,8 +481,9 @@ impl RunConfig {
             );
             return Ok(assemble(out.best, None, health, Some(summary)));
         }
+        let resume = resume.map(|c| c.payload);
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
-        let out = decentralized_impl(aln, &cfg, recorder.as_ref())?;
+        let out = decentralized_impl(aln, &cfg, recorder.as_ref(), resume.as_ref())?;
         let trace = recorder.map(Recorder::finish);
         let health = self.health_report(
             aln,
@@ -415,6 +501,14 @@ impl RunConfig {
             self.bootstrap.is_none(),
             "bootstrap requires the de-centralized scheme"
         );
+        assert!(
+            self.inject_kill
+                .is_none_or(|k| matches!(k.rank, None | Some(0))),
+            "fork-join kill injection targets the master (rank 0); \
+             worker ranks run no boundary hooks"
+        );
+        crate::install_control_panic_silencer();
+        let resume = self.load_resume(aln)?;
         // All ranks of an in-process world share one machine; resolving
         // `auto` locally yields the same answer a negotiation would.
         let kernel = match self.kernel_override.as_deref() {
@@ -449,7 +543,60 @@ impl RunConfig {
             site_repeats,
         };
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
-        let out = exa_forkjoin::execute(aln, &fj, recorder.as_ref());
+        // Checkpoint sink: the fork-join crate hands the master's snapshot
+        // up here, where the self-describing header and the generation
+        // rotation live.
+        let dir = self.checkpoint_out.clone();
+        let header = CheckpointHeader {
+            format_version: 0, // sealed by Checkpoint::build
+            scheme: "forkjoin".into(),
+            kernel: kernel.label().into(),
+            site_repeats: site_repeats.label().into(),
+            rank_count: self.n_ranks,
+            rate_model: format!("{:?}", self.rate_model),
+            branch_mode: format!("{:?}", self.branch_mode),
+            seed: self.seed,
+            n_taxa: aln.n_taxa(),
+            n_partitions: aln.n_partitions(),
+            iteration: 0,
+            payload_len: 0,
+            payload_fingerprint: 0,
+        };
+        let sink = move |snap: &SearchSnapshot| -> std::io::Result<()> {
+            let dir = dir.as_deref().expect("sink only called when checkpointing");
+            let ckpt = Checkpoint::build(
+                header.clone(),
+                CheckpointPayload {
+                    snapshot: snap.clone(),
+                    bootstrap: None,
+                },
+            );
+            checkpoint::save_generation(dir, &ckpt)
+                .map(|_| ())
+                .map_err(std::io::Error::other)
+        };
+        let ctrl = (self.checkpoint_out.is_some()
+            || resume.is_some()
+            || self.inject_kill.is_some())
+        .then(|| exa_forkjoin::RestartControl {
+            every: if self.checkpoint_out.is_some() {
+                self.checkpoint_every.max(1)
+            } else {
+                0
+            },
+            sink: &sink,
+            resume: resume.map(|c| c.payload.snapshot),
+            inject_kill: self.inject_kill,
+        });
+        let out = match exa_forkjoin::execute_controlled(aln, &fj, recorder.as_ref(), ctrl) {
+            Ok(out) => out,
+            Err(k) => {
+                return Err(RunError::Killed {
+                    after_checkpoints: k.after_checkpoints,
+                    iteration: k.iteration,
+                })
+            }
+        };
         let trace = recorder.map(Recorder::finish);
         let health = self.health_report(aln, 0, trace.as_ref(), kernel, site_repeats, &out.work);
         Ok(RunOutcome {

@@ -29,9 +29,10 @@ use exa_comm::{CommStats, World};
 use exa_obs::Recorder;
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
-use exa_search::evaluator::GlobalState;
+use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
 use exa_search::{
-    build_starting_tree, run_search, BranchMode, NoHooks, SearchConfig, SearchResult, StartingTree,
+    build_starting_tree, run_search_from, BoundaryInfo, BranchMode, KillPanic, KillSpec,
+    SearchConfig, SearchHooks, SearchResult, StartingTree,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -100,6 +101,82 @@ enum RankReport {
         work: WorkCounters,
         mem: u64,
     },
+    /// The master died by kill injection (after releasing the workers).
+    Killed(KilledRun),
+}
+
+/// An injected kill terminated the run (checkpoint/restart chaos testing):
+/// the master died after `after_checkpoints` committed checkpoints, at
+/// iteration boundary `iteration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KilledRun {
+    pub after_checkpoints: u64,
+    pub iteration: usize,
+}
+
+/// Checkpoint/restart controls for [`execute_controlled`]. The fork-join
+/// crate owns *when* (boundary cadence, PSR rate gathers, kill points);
+/// the caller owns *what* goes on disk — `sink` receives the master's
+/// [`SearchSnapshot`] and persists it however it likes.
+pub struct RestartControl<'a> {
+    /// Commit a checkpoint every `every` iterations (0 = never; resume-only
+    /// controls use 0).
+    pub every: usize,
+    /// Called on the master thread with each checkpoint snapshot.
+    pub sink: &'a (dyn Fn(&SearchSnapshot) -> std::io::Result<()> + Sync),
+    /// Snapshot to resume from, applied before the search starts.
+    pub resume: Option<SearchSnapshot>,
+    /// Kill the master after this many committed checkpoints. The master
+    /// broadcasts `Shutdown` *before* dying so the workers drain instead of
+    /// deadlocking on the next command broadcast.
+    pub inject_kill: Option<KillSpec>,
+}
+
+/// Master-side boundary hooks implementing [`RestartControl`].
+struct MasterHooks<'a> {
+    aln: &'a CompressedAlignment,
+    assignments: &'a [exa_sched::RankAssignment],
+    ctrl: Option<&'a RestartControl<'a>>,
+    checkpoints: u64,
+}
+
+impl SearchHooks for MasterHooks<'_> {
+    fn at_boundary(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
+        let Some(ctrl) = self.ctrl else { return };
+        let fj = eval
+            .as_any_mut()
+            .downcast_mut::<ForkJoinEvaluator>()
+            .expect("fork-join hooks require the fork-join evaluator");
+        if ctrl.every > 0 && info.iteration.is_multiple_of(ctrl.every) {
+            let psr_rates = fj.collect_site_rates(self.aln, self.assignments);
+            let snap = SearchSnapshot {
+                iteration: info.iteration,
+                lnl_bits: info.lnl.to_bits(),
+                spr_moves: info.spr_moves,
+                state: fj.snapshot(),
+                psr_rates,
+            };
+            (ctrl.sink)(&snap).expect("checkpoint write failed");
+            self.checkpoints += 1;
+            exa_obs::mark(|| format!("{}{}", exa_obs::CHECKPOINT_MARK, info.iteration));
+        }
+        if let Some(kill) = ctrl.inject_kill {
+            if self.checkpoints >= kill.after_checkpoints {
+                // Master death would strand the workers mid-broadcast:
+                // release them first, then unwind.
+                fj.shutdown_workers();
+                std::panic::panic_any(KillPanic {
+                    after_checkpoints: kill.after_checkpoints,
+                    iteration: info.iteration,
+                });
+            }
+        }
+    }
+
+    fn on_failure(&mut self, _eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {
+        // A master failure is catastrophic by design (§III-A).
+        false
+    }
 }
 
 /// Run a fork-join inference: rank 0 is the master, the rest are workers.
@@ -133,6 +210,21 @@ pub fn execute(
     cfg: &ForkJoinConfig,
     recorder: Option<&std::sync::Arc<Recorder>>,
 ) -> RunOutput {
+    match execute_controlled(aln, cfg, recorder, None) {
+        Ok(out) => out,
+        Err(_) => unreachable!("no kill can be injected without a RestartControl"),
+    }
+}
+
+/// [`execute`] with checkpoint/restart controls: boundary-cadence
+/// checkpoints fed to `ctrl.sink`, resume from a snapshot, and
+/// deterministic master kills for the restart chaos harness.
+pub fn execute_controlled(
+    aln: &CompressedAlignment,
+    cfg: &ForkJoinConfig,
+    recorder: Option<&std::sync::Arc<Recorder>>,
+    ctrl: Option<RestartControl<'_>>,
+) -> Result<RunOutput, KilledRun> {
     assert!(
         aln.n_taxa() >= 4,
         "need at least 4 taxa for a meaningful search"
@@ -184,20 +276,52 @@ pub fn execute(
                 aln.n_partitions(),
                 cfg.branch_mode,
             );
-            let result = run_search(&mut eval, &cfg.search, &mut NoHooks);
-            eval.shutdown_workers();
-            use exa_search::Evaluator as _;
-            RankReport::Master {
-                result,
-                state: Box::new(eval.snapshot()),
-                work: eval.engine().work(),
-                mem: eval.engine().clv_bytes(),
-                stats: rank.stats(),
+            // Resume: install the checkpointed PSR rates on every rank
+            // (broadcast), then the replicated master state.
+            let resume_point = ctrl.as_ref().and_then(|c| c.resume.as_ref()).map(|snap| {
+                eval.distribute_site_rates(&snap.psr_rates, &aln, &assignments);
+                eval.restore(&snap.state);
+                exa_obs::mark(|| format!("resume:{}", snap.iteration));
+                snap.resume_point()
+            });
+            let mut hooks = MasterHooks {
+                aln: &aln,
+                assignments: &assignments,
+                ctrl: ctrl.as_ref(),
+                checkpoints: 0,
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_search_from(&mut eval, &cfg.search, &mut hooks, resume_point.as_ref())
+            }));
+            match outcome {
+                Ok(result) => {
+                    eval.shutdown_workers();
+                    RankReport::Master {
+                        result,
+                        state: Box::new(eval.snapshot()),
+                        work: eval.engine().work(),
+                        mem: eval.engine().clv_bytes(),
+                        stats: rank.stats(),
+                    }
+                }
+                Err(payload) => match payload.downcast::<KillPanic>() {
+                    Ok(k) => RankReport::Killed(KilledRun {
+                        after_checkpoints: k.after_checkpoints,
+                        iteration: k.iteration,
+                    }),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
             }
         } else {
             // Worker: tree-agnostic kernel executor.
-            let (work, mem) =
-                worker::worker_loop(rank, engine, cfg.branch_mode, aln.n_partitions());
+            let (work, mem) = worker::worker_loop(
+                rank.clone(),
+                engine,
+                cfg.branch_mode,
+                aln.n_partitions(),
+                &assignments[rank.id()],
+                &aln,
+            );
             RankReport::Worker { work, mem }
         }
     });
@@ -205,6 +329,7 @@ pub fn execute(
     let mut total_work = WorkCounters::default();
     let mut total_mem = 0u64;
     let mut master: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
+    let mut killed: Option<KilledRun> = None;
     for r in reports {
         match r {
             RankReport::Master {
@@ -222,15 +347,19 @@ pub fn execute(
                 total_work = total_work.merge(&work);
                 total_mem += mem;
             }
+            RankReport::Killed(k) => killed = Some(k),
         }
     }
+    if let Some(k) = killed {
+        return Err(k);
+    }
     let (result, state, stats) = master.expect("master rank must report");
-    RunOutput {
+    Ok(RunOutput {
         tree_newick: state.tree.to_newick(&aln.taxa),
         result,
         state: *state,
         comm_stats: stats,
         work: total_work,
         mem_bytes: total_mem,
-    }
+    })
 }

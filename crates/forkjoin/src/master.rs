@@ -3,8 +3,9 @@
 //! descriptor, and reduces results back — §III-A's architecture, including
 //! its communication costs.
 
-use crate::protocol::{encode, WorkerCmd};
+use crate::protocol::{decode_site_rate_capture, encode, WorkerCmd};
 use crate::worker::derivative_buffer;
+use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, Rank};
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
@@ -81,6 +82,51 @@ impl ForkJoinEvaluator {
             self.command(&WorkerCmd::Shutdown, CommCategory::Control);
             self.shut_down = true;
         }
+    }
+
+    /// Checkpoint support: gather the data-local PSR per-pattern rates
+    /// from every rank (workers + the master's own slice) into the full
+    /// `table[partition][pattern]` rate-bits table. Empty under Γ.
+    pub fn collect_site_rates(
+        &mut self,
+        aln: &CompressedAlignment,
+        assignments: &[exa_sched::RankAssignment],
+    ) -> Vec<Vec<u64>> {
+        if self.engine.rate_kind() != RateModelKind::Psr {
+            return Vec::new();
+        }
+        self.command(&WorkerCmd::GatherSiteRates, CommCategory::Control);
+        let own = exa_sched::capture_site_rates(&self.engine, &assignments[0], aln);
+        let blob = crate::protocol::encode_site_rate_capture(&own);
+        let blobs = self
+            .rank
+            .gather_bytes(0, blob, CommCategory::Control)
+            .expect("fork-join master cannot survive rank failure");
+        let parts = blobs
+            .iter()
+            .filter(|b| !b.is_empty())
+            .flat_map(|b| decode_site_rate_capture(b).expect("malformed site-rate capture"));
+        exa_sched::merge_site_rates(aln, parts)
+    }
+
+    /// Restart support: broadcast a full PSR rate table so every worker
+    /// (and the master's own engine) installs its slice, then invalidate
+    /// all CLVs. No-op for an empty table (Γ checkpoints).
+    pub fn distribute_site_rates(
+        &mut self,
+        table: &[Vec<u64>],
+        aln: &CompressedAlignment,
+        assignments: &[exa_sched::RankAssignment],
+    ) {
+        if table.is_empty() {
+            return;
+        }
+        self.command(
+            &WorkerCmd::SetSiteRates(table.to_vec()),
+            CommCategory::ModelParams,
+        );
+        exa_sched::apply_site_rates(&mut self.engine, &assignments[0], aln, table);
+        self.tree.invalidate_all();
     }
 }
 

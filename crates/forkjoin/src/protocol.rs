@@ -31,6 +31,14 @@ pub enum WorkerCmd {
     SetPsrScale(f64),
     /// End of run.
     Shutdown,
+    /// Checkpoint support: gather each worker's data-local PSR per-pattern
+    /// rates to the master (workers answer with a
+    /// [`encode_site_rate_capture`] blob on a gather).
+    GatherSiteRates,
+    /// Restart support: install a full per-pattern PSR rate table
+    /// (`table[partition][pattern]` = rate bits); each worker applies its
+    /// own slice.
+    SetSiteRates(Vec<Vec<u64>>),
 }
 
 const TAG_EVALUATE: u8 = 1;
@@ -42,6 +50,8 @@ const TAG_OPT_SITE_RATES: u8 = 6;
 const TAG_SET_PSR_SCALE: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
 const TAG_EVALUATE_PARTITIONED: u8 = 9;
+const TAG_GATHER_SITE_RATES: u8 = 10;
+const TAG_SET_SITE_RATES: u8 = 11;
 
 struct W(Vec<u8>);
 
@@ -54,6 +64,15 @@ impl W {
     }
     fn f64(&mut self, v: f64) {
         self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
     }
     fn f64s(&mut self, vs: &[f64]) {
         self.u32(vs.len() as u32);
@@ -111,6 +130,16 @@ impl<'a> R<'a> {
             return Err(DecodeError(format!("implausible f64 array length {n}")));
         }
         (0..n).map(|_| self.f64()).collect()
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u64s(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() {
+            return Err(DecodeError(format!("implausible u64 array length {n}")));
+        }
+        (0..n).map(|_| self.u64()).collect()
     }
     fn descriptor(&mut self) -> Result<TraversalDescriptor, DecodeError> {
         let n = self.u32()? as usize;
@@ -182,8 +211,66 @@ pub fn encode(cmd: &WorkerCmd) -> Vec<u8> {
             w.f64(*s);
         }
         WorkerCmd::Shutdown => w.u8(TAG_SHUTDOWN),
+        WorkerCmd::GatherSiteRates => w.u8(TAG_GATHER_SITE_RATES),
+        WorkerCmd::SetSiteRates(table) => {
+            w.u8(TAG_SET_SITE_RATES);
+            w.u32(table.len() as u32);
+            for part in table {
+                w.u64s(part);
+            }
+        }
     }
     w.0
+}
+
+/// One share's PSR rate capture: the global partition index, its global
+/// pattern indices, and the rate bits.
+pub type SiteRateShare = (usize, Vec<usize>, Vec<u64>);
+
+/// Encode one rank's data-local PSR rate capture (the gather payload
+/// answering [`WorkerCmd::GatherSiteRates`]): per share, the global
+/// partition index, its global pattern indices, and the rate bits.
+pub fn encode_site_rate_capture(parts: &[SiteRateShare]) -> Vec<u8> {
+    let mut w = W(Vec::new());
+    w.u32(parts.len() as u32);
+    for (global, patterns, rates) in parts {
+        w.u32(*global as u32);
+        w.u32(patterns.len() as u32);
+        for &p in patterns {
+            w.u32(p as u32);
+        }
+        w.u64s(rates);
+    }
+    w.0
+}
+
+/// Decode a [`encode_site_rate_capture`] blob.
+pub fn decode_site_rate_capture(bytes: &[u8]) -> Result<Vec<SiteRateShare>, DecodeError> {
+    let mut r = R { b: bytes, pos: 0 };
+    let n = r.u32()? as usize;
+    if n > bytes.len() {
+        return Err(DecodeError(format!("implausible share count {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let global = r.u32()? as usize;
+        let np = r.u32()? as usize;
+        if np > bytes.len() {
+            return Err(DecodeError(format!("implausible pattern count {np}")));
+        }
+        let patterns = (0..np)
+            .map(|_| r.u32().map(|v| v as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        let rates = r.u64s()?;
+        out.push((global, patterns, rates));
+    }
+    if r.pos != bytes.len() {
+        return Err(DecodeError(format!(
+            "{} trailing bytes",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(out)
 }
 
 /// Decode a broadcast command.
@@ -205,6 +292,15 @@ pub fn decode(bytes: &[u8]) -> Result<WorkerCmd, DecodeError> {
         TAG_OPT_SITE_RATES => WorkerCmd::OptimizeSiteRates(r.descriptor()?),
         TAG_SET_PSR_SCALE => WorkerCmd::SetPsrScale(r.f64()?),
         TAG_SHUTDOWN => WorkerCmd::Shutdown,
+        TAG_GATHER_SITE_RATES => WorkerCmd::GatherSiteRates,
+        TAG_SET_SITE_RATES => {
+            let n = r.u32()? as usize;
+            if n > bytes.len() {
+                return Err(DecodeError(format!("implausible partition count {n}")));
+            }
+            let table = (0..n).map(|_| r.u64s()).collect::<Result<Vec<_>, _>>()?;
+            WorkerCmd::SetSiteRates(table)
+        }
         t => return Err(DecodeError(format!("unknown command tag {t}"))),
     };
     if r.pos != bytes.len() {
@@ -241,6 +337,11 @@ mod tests {
             WorkerCmd::OptimizeSiteRates(sample_descriptor(1)),
             WorkerCmd::SetPsrScale(1.25),
             WorkerCmd::Shutdown,
+            WorkerCmd::GatherSiteRates,
+            WorkerCmd::SetSiteRates(vec![
+                vec![1.0f64.to_bits(), 2.5f64.to_bits()],
+                vec![0.25f64.to_bits()],
+            ]),
         ];
         for cmd in cmds {
             let bytes = encode(&cmd);
@@ -280,5 +381,19 @@ mod tests {
         let mut trailing = good.clone();
         trailing.push(0);
         assert!(decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn site_rate_capture_roundtrips_and_rejects_corruption() {
+        let parts = vec![
+            (0usize, vec![0usize, 2, 4], vec![1.0f64.to_bits(); 3]),
+            (3usize, vec![1usize], vec![0.5f64.to_bits()]),
+        ];
+        let bytes = encode_site_rate_capture(&parts);
+        assert_eq!(decode_site_rate_capture(&bytes).unwrap(), parts);
+        assert!(decode_site_rate_capture(&bytes[..bytes.len() - 2]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(7);
+        assert!(decode_site_rate_capture(&trailing).is_err());
     }
 }

@@ -4,18 +4,24 @@
 //! search and only execute one of the three likelihood functions […] on the
 //! fraction of the data that has been assigned to them."
 
-use crate::protocol::{decode, WorkerCmd};
+use crate::protocol::{decode, encode_site_rate_capture, WorkerCmd};
+use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, Rank};
 use exa_phylo::engine::{Engine, WorkCounters};
 use exa_search::BranchMode;
 
 /// Run the worker until the master broadcasts `Shutdown`. Returns the
-/// worker's kernel-work counters and CLV memory footprint.
+/// worker's kernel-work counters and CLV memory footprint. The worker's
+/// data `assignment` (and the alignment) are needed for the checkpoint
+/// commands, which translate local PSR rates to/from global pattern
+/// indices.
 pub fn worker_loop(
     rank: Rank,
     mut engine: Engine,
     branch_mode: BranchMode,
     n_partitions: usize,
+    assignment: &exa_sched::RankAssignment,
+    aln: &CompressedAlignment,
 ) -> (WorkCounters, u64) {
     loop {
         let mut buf = Vec::new();
@@ -69,6 +75,15 @@ pub fn worker_loop(
             }
             WorkerCmd::SetPsrScale(scale) => {
                 engine.finalize_site_rates(scale);
+            }
+            WorkerCmd::GatherSiteRates => {
+                let local = exa_sched::capture_site_rates(&engine, assignment, aln);
+                let blob = encode_site_rate_capture(&local);
+                rank.gather_bytes(0, blob, CommCategory::Control)
+                    .expect("site-rate gather failed");
+            }
+            WorkerCmd::SetSiteRates(table) => {
+                exa_sched::apply_site_rates(&mut engine, assignment, aln, &table);
             }
             WorkerCmd::Shutdown => break,
         }

@@ -31,6 +31,13 @@ pub const KERNEL_BACKEND_MARK: &str = "kernel_backend:";
 /// same way [`KERNEL_BACKEND_MARK`] is.
 pub const SITE_REPEATS_MARK: &str = "site_repeats:";
 
+/// Reserved mark-label prefix stamped (on every rank) each time a
+/// checkpoint generation is committed; the suffix is the search iteration
+/// the checkpoint captured. Emitting it on all ranks keeps per-rank event
+/// streams structurally identical, so the trace rank-parity invariants
+/// hold across checkpointing runs.
+pub const CHECKPOINT_MARK: &str = "checkpoint:";
+
 /// Render a trace in Chrome `trace_event` JSON ("JSON object format"):
 /// one process, one thread per rank, `B`/`E` span events for regions and
 /// `i` instant events for collectives and marks. Loadable in Perfetto and

@@ -47,6 +47,13 @@ pub struct HeartbeatRecord {
     /// Cumulative CLV pattern-category updates skipped by subtree-repeat
     /// compression. `None` on legacy records.
     pub clv_saved: Option<u64>,
+    /// Search iteration captured by the most recent committed checkpoint
+    /// generation. `None` on legacy records or before the first checkpoint.
+    pub last_checkpoint_iter: Option<u64>,
+    /// Wall-clock milliseconds the most recent checkpoint write took
+    /// (gather + encode + fsync + rename). `None` on legacy records or
+    /// before the first checkpoint.
+    pub checkpoint_write_ms: Option<f64>,
 }
 
 impl HeartbeatRecord {
@@ -185,6 +192,8 @@ mod tests {
             kernel: Some("simd".into()),
             repeat_ratio: Some(2.5),
             clv_saved: Some(1200),
+            last_checkpoint_iter: Some(2),
+            checkpoint_write_ms: Some(0.75),
         }
     }
 
@@ -201,12 +210,16 @@ mod tests {
         let legacy = line
             .replace(",\"kernel\":\"simd\"", "")
             .replace(",\"repeat_ratio\":2.5", "")
-            .replace(",\"clv_saved\":1200", "");
+            .replace(",\"clv_saved\":1200", "")
+            .replace(",\"last_checkpoint_iter\":2", "")
+            .replace(",\"checkpoint_write_ms\":0.75", "");
         assert_ne!(legacy, line);
         let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
         assert_eq!(back.kernel, None);
         assert_eq!(back.repeat_ratio, None);
         assert_eq!(back.clv_saved, None);
+        assert_eq!(back.last_checkpoint_iter, None);
+        assert_eq!(back.checkpoint_write_ms, None);
     }
 
     #[test]

@@ -36,7 +36,8 @@ mod stats;
 pub use aggregate::{KernelProfile, RegionStats, RunMetrics, RunTrace};
 pub use events::{EventKind, RegionKind, TraceEvent};
 pub use export::{
-    chrome_trace, summary_table, write_chrome_trace, KERNEL_BACKEND_MARK, SITE_REPEATS_MARK,
+    chrome_trace, summary_table, write_chrome_trace, CHECKPOINT_MARK, KERNEL_BACKEND_MARK,
+    SITE_REPEATS_MARK,
 };
 pub use fingerprint::{
     check_agreement, fnv1a, Component, Fnv1a, ReplicaDivergence, StateFingerprint, FNV_OFFSET,

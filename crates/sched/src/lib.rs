@@ -271,6 +271,127 @@ pub fn build_engine(
     exa_phylo::Engine::with_config(aln.n_taxa(), slices, rate_model, 1.0, kernel, site_repeats)
 }
 
+/// The global pattern indices of one share, in the local-engine pattern
+/// order `materialize`/`build_engine` produce.
+fn share_pattern_indices(aln: &CompressedAlignment, share: &PartShare) -> Vec<usize> {
+    match &share.patterns {
+        PatternSubset::All => (0..aln.partitions[share.global_index].n_patterns()).collect(),
+        PatternSubset::Indices(idx) => idx.clone(),
+    }
+}
+
+/// Capture this rank's per-pattern PSR rates as
+/// `(global_partition, global_pattern_indices, rate_bits)` triples, one per
+/// share, in share order (which is the engine's local partition order by
+/// construction of [`build_engine`]). Returns an empty vector under Γ —
+/// there is no per-pattern state to persist. Checkpoint writers gather
+/// these triples from every rank and merge them with [`merge_site_rates`].
+pub fn capture_site_rates(
+    engine: &exa_phylo::Engine,
+    assignment: &RankAssignment,
+    aln: &CompressedAlignment,
+) -> Vec<(usize, Vec<usize>, Vec<u64>)> {
+    let mut out = Vec::new();
+    for (local, share) in assignment.shares.iter().enumerate() {
+        let (_, rates) = engine.model_state(local);
+        if !matches!(
+            rates,
+            exa_phylo::model::rates::RateHeterogeneity::Psr { .. }
+        ) {
+            return Vec::new();
+        }
+        let indices = share_pattern_indices(aln, share);
+        let bits: Vec<u64> = (0..indices.len())
+            .map(|j| {
+                rates
+                    .pattern_rate(j)
+                    .expect("PSR partition has a rate per pattern")
+                    .to_bits()
+            })
+            .collect();
+        out.push((share.global_index, indices, bits));
+    }
+    out
+}
+
+/// Merge per-rank [`capture_site_rates`] triples into one full
+/// `[global_partition][global_pattern]` rate-bits table. Panics if the
+/// shares do not cover every pattern exactly once — a rank assignment that
+/// violates that is corrupt.
+pub fn merge_site_rates(
+    aln: &CompressedAlignment,
+    parts: impl IntoIterator<Item = (usize, Vec<usize>, Vec<u64>)>,
+) -> Vec<Vec<u64>> {
+    let mut table: Vec<Vec<u64>> = aln
+        .partitions
+        .iter()
+        .map(|p| vec![0u64; p.n_patterns()])
+        .collect();
+    let mut filled: Vec<Vec<bool>> = aln
+        .partitions
+        .iter()
+        .map(|p| vec![false; p.n_patterns()])
+        .collect();
+    for (gi, indices, bits) in parts {
+        assert_eq!(indices.len(), bits.len(), "rate blob length mismatch");
+        for (&g, &b) in indices.iter().zip(&bits) {
+            assert!(
+                !filled[gi][g],
+                "pattern {g} of partition {gi} covered twice"
+            );
+            table[gi][g] = b;
+            filled[gi][g] = true;
+        }
+    }
+    for (gi, f) in filled.iter().enumerate() {
+        assert!(
+            f.iter().all(|&x| x),
+            "partition {gi} has uncovered patterns in the PSR rate table"
+        );
+    }
+    table
+}
+
+/// Restore this rank's slice of a merged PSR rate table into its engine
+/// (checkpoint resume). Rebuilds each share's `Psr` state directly from the
+/// stored `f64` bits — first-appearance-unique category rates plus a
+/// pattern→category map — so `pattern_rate` is bit-identical to the
+/// checkpointed run regardless of how this rank's patterns are now
+/// distributed. The caller is responsible for CLV invalidation afterwards
+/// (the usual `restore` path does it).
+pub fn apply_site_rates(
+    engine: &mut exa_phylo::Engine,
+    assignment: &RankAssignment,
+    aln: &CompressedAlignment,
+    table: &[Vec<u64>],
+) {
+    use std::collections::HashMap;
+    for (local, share) in assignment.shares.iter().enumerate() {
+        let indices = share_pattern_indices(aln, share);
+        let mut category_rates: Vec<f64> = Vec::new();
+        let mut by_bits: HashMap<u64, u32> = HashMap::new();
+        let pattern_cat: Vec<u32> = indices
+            .iter()
+            .map(|&g| {
+                let bits = table[share.global_index][g];
+                *by_bits.entry(bits).or_insert_with(|| {
+                    category_rates.push(f64::from_bits(bits));
+                    (category_rates.len() - 1) as u32
+                })
+            })
+            .collect();
+        let (model, _) = engine.model_state(local);
+        engine.set_model_state(
+            local,
+            model,
+            exa_phylo::model::rates::RateHeterogeneity::Psr {
+                category_rates,
+                pattern_cat,
+            },
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,5 +616,78 @@ mod tests {
         let a = distribute(&aln, 3, Strategy::MonolithicLpt);
         let b = distribute(&aln, 3, Strategy::MonolithicLpt);
         assert_eq!(a, b);
+    }
+
+    fn psr_engine(aln: &CompressedAlignment, assignment: &RankAssignment) -> exa_phylo::Engine {
+        let freqs = vec![[0.25; 4]; aln.partitions.len()];
+        build_engine(
+            aln,
+            assignment,
+            &freqs,
+            exa_phylo::RateModelKind::Psr,
+            exa_phylo::KernelKind::Scalar,
+            exa_phylo::SiteRepeats::Off,
+            None,
+        )
+    }
+
+    #[test]
+    fn site_rates_survive_capture_merge_apply_across_rank_counts() {
+        let aln = test_alignment(&[7, 5]);
+        // Two cyclic ranks with distinct per-pattern rates.
+        let two = distribute(&aln, 2, Strategy::Cyclic);
+        let mut engines: Vec<exa_phylo::Engine> = two.iter().map(|a| psr_engine(&aln, a)).collect();
+        for (e, a) in engines.iter_mut().zip(&two) {
+            for (local, share) in a.shares.iter().enumerate() {
+                let globals = share_pattern_indices(&aln, share);
+                let rates: Vec<f64> = globals
+                    .iter()
+                    .map(|&g| 0.25 + 0.125 * (share.global_index * 100 + g) as f64)
+                    .collect();
+                let pattern_cat: Vec<u32> = (0..rates.len() as u32).collect();
+                let (model, _) = e.model_state(local);
+                e.set_model_state(
+                    local,
+                    model,
+                    exa_phylo::model::rates::RateHeterogeneity::Psr {
+                        category_rates: rates,
+                        pattern_cat,
+                    },
+                );
+            }
+        }
+
+        // Gather + merge as a checkpoint writer would.
+        let table = merge_site_rates(
+            &aln,
+            engines
+                .iter()
+                .zip(&two)
+                .flat_map(|(e, a)| capture_site_rates(e, a, &aln)),
+        );
+
+        // Restore into a single-rank world (elastic resume) and re-capture.
+        let one = distribute(&aln, 1, Strategy::Cyclic);
+        let mut solo = psr_engine(&aln, &one[0]);
+        apply_site_rates(&mut solo, &one[0], &aln, &table);
+        let again = merge_site_rates(&aln, capture_site_rates(&solo, &one[0], &aln));
+        assert_eq!(table, again, "rate bits must survive redistribution");
+    }
+
+    #[test]
+    fn gamma_engines_capture_no_site_rates() {
+        let aln = test_alignment(&[6]);
+        let a = distribute(&aln, 1, Strategy::Cyclic);
+        let freqs = vec![[0.25; 4]; 1];
+        let e = build_engine(
+            &aln,
+            &a[0],
+            &freqs,
+            exa_phylo::RateModelKind::Gamma,
+            exa_phylo::KernelKind::Scalar,
+            exa_phylo::SiteRepeats::Off,
+            None,
+        );
+        assert!(capture_site_rates(&e, &a[0], &aln).is_empty());
     }
 }

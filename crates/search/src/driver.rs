@@ -47,6 +47,47 @@ pub struct BoundaryInfo {
     pub spr_moves: usize,
 }
 
+/// Where to re-enter the search loop on a checkpoint restart. The driver
+/// skips initial conditioning (the checkpointed `lnl` already reflects it)
+/// and seeds its loop counters from here, so a resumed run replays the
+/// remaining iterations bit-identically to an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumePoint {
+    /// Iteration to resume at (the checkpoint's boundary iteration).
+    pub iteration: usize,
+    /// Log-likelihood at that boundary (already max-folded by the loop).
+    pub lnl: f64,
+    /// Accepted SPR moves up to that boundary.
+    pub spr_moves: usize,
+}
+
+/// A deterministic kill point for the crash/restart chaos harness:
+/// terminate the run immediately after the `after_checkpoints`-th
+/// checkpoint has been committed. With `rank: None` every rank dies at
+/// that boundary (a job-level kill); with `rank: Some(r)` only rank `r`
+/// dies (a node loss), which the kill-armed drivers escalate to a full
+/// abort instead of recovering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillSpec {
+    /// Die after this many checkpoints have been written (1 = after the
+    /// first).
+    pub after_checkpoints: u64,
+    /// Victim rank, or `None` for all ranks.
+    pub rank: Option<usize>,
+}
+
+/// Panic payload thrown by checkpoint hooks when an injected [`KillSpec`]
+/// fires. Propagates through [`run_search_from`] (it is deliberately *not*
+/// a recoverable [`CommFailurePanic`]) and is caught by the scheme driver,
+/// which reports the run as killed.
+#[derive(Debug, Clone)]
+pub struct KillPanic {
+    /// Checkpoints committed when the kill fired.
+    pub after_checkpoints: u64,
+    /// Boundary iteration at which the kill fired.
+    pub iteration: usize,
+}
+
 /// Hook points at iteration boundaries.
 pub trait SearchHooks {
     /// Called before each iteration (and once before the first) with the
@@ -76,18 +117,37 @@ pub fn run_search(
     cfg: &SearchConfig,
     hooks: &mut dyn SearchHooks,
 ) -> SearchResult {
-    // Initial conditioning: branch lengths, then model.
-    let mut lnl = run_recoverable(eval, hooks, &mut |e| {
-        branch::smooth_all(e, cfg.smoothing_passes.max(2));
-        if cfg.optimize_model {
-            model::optimize_model(e, cfg.model_tol).lnl
-        } else {
-            e.evaluate(0)
-        }
-    });
+    run_search_from(eval, cfg, hooks, None)
+}
 
-    let mut iterations = 0;
-    let mut spr_moves = 0;
+/// [`run_search`], optionally re-entering the loop at a [`ResumePoint`].
+///
+/// On resume the initial conditioning phase (branch smoothing + model
+/// optimization before iteration 0) is skipped: the restored model
+/// parameters, branch lengths and `lnl` already include it, and re-running
+/// it would perturb the state away from the uninterrupted trajectory. The
+/// caller must have restored the evaluator to the checkpointed state first.
+pub fn run_search_from(
+    eval: &mut dyn Evaluator,
+    cfg: &SearchConfig,
+    hooks: &mut dyn SearchHooks,
+    resume: Option<&ResumePoint>,
+) -> SearchResult {
+    let (mut lnl, mut iterations, mut spr_moves) = match resume {
+        Some(rp) => (rp.lnl, rp.iteration, rp.spr_moves),
+        None => {
+            // Initial conditioning: branch lengths, then model.
+            let lnl = run_recoverable(eval, hooks, &mut |e| {
+                branch::smooth_all(e, cfg.smoothing_passes.max(2));
+                if cfg.optimize_model {
+                    model::optimize_model(e, cfg.model_tol).lnl
+                } else {
+                    e.evaluate(0)
+                }
+            });
+            (lnl, 0, 0)
+        }
+    };
     let mut converged = false;
 
     while iterations < cfg.max_iterations {
@@ -258,6 +318,52 @@ mod tests {
         let mut hooks = Counting { boundaries: 0 };
         let r = run_search(&mut e, &SearchConfig::fast(), &mut hooks);
         assert_eq!(hooks.boundaries, r.iterations);
+    }
+
+    #[test]
+    fn resume_from_boundary_is_bitwise_identical() {
+        use crate::evaluator::GlobalState;
+        // Reference: uninterrupted run.
+        let (mut reference, _) = make_eval(RateModelKind::Gamma, 37);
+        let cfg = SearchConfig::fast();
+        let ref_result = run_search(&mut reference, &cfg, &mut NoHooks);
+        assert!(ref_result.iterations >= 2, "need a boundary to resume at");
+
+        // Capture the state at an interior boundary, as a checkpoint would.
+        struct Capture {
+            at: usize,
+            point: Option<(ResumePoint, GlobalState)>,
+        }
+        impl SearchHooks for Capture {
+            fn at_boundary(&mut self, e: &mut dyn Evaluator, info: &BoundaryInfo) {
+                if info.iteration == self.at {
+                    self.point = Some((
+                        ResumePoint {
+                            iteration: info.iteration,
+                            lnl: info.lnl,
+                            spr_moves: info.spr_moves,
+                        },
+                        e.snapshot(),
+                    ));
+                }
+            }
+            fn on_failure(&mut self, _e: &mut dyn Evaluator, _f: &CommFailurePanic) -> bool {
+                false
+            }
+        }
+        let (mut first, _) = make_eval(RateModelKind::Gamma, 37);
+        let mut capture = Capture { at: 1, point: None };
+        run_search(&mut first, &cfg, &mut capture);
+        let (point, state) = capture.point.expect("boundary 1 must fire");
+
+        // Restart a fresh evaluator from the captured state.
+        let (mut resumed, _) = make_eval(RateModelKind::Gamma, 37);
+        resumed.restore(&state);
+        let res = run_search_from(&mut resumed, &cfg, &mut NoHooks, Some(&point));
+        assert_eq!(res.lnl.to_bits(), ref_result.lnl.to_bits());
+        assert_eq!(res.iterations, ref_result.iterations);
+        assert_eq!(res.spr_moves, ref_result.spr_moves);
+        assert_eq!(rf_distance(resumed.tree(), reference.tree()), 0);
     }
 
     #[test]

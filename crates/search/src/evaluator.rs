@@ -5,7 +5,6 @@
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
-use exa_phylo::model::GtrModel;
 use exa_phylo::tree::{EdgeId, Tree};
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +34,41 @@ pub struct GlobalState {
 #[derive(Debug, Clone)]
 pub struct CommFailurePanic {
     pub failed_ranks: Vec<usize>,
+}
+
+/// Everything a checkpoint must persist to re-enter the search loop
+/// bit-identically: the loop position, the replicated [`GlobalState`], and
+/// the per-pattern PSR rates (which live in the data-parallel engines, not
+/// in the replicated state, and so have to be gathered at checkpoint
+/// boundaries).
+///
+/// `lnl` is stored as raw IEEE-754 bits: the checkpoint codec is JSON, and
+/// a text float round-trip must not be trusted to preserve the exact bits
+/// the convergence test (`improvement < epsilon`) depends on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSnapshot {
+    /// Boundary iteration the snapshot was taken at.
+    pub iteration: usize,
+    /// Log-likelihood at that boundary, as `f64::to_bits`.
+    pub lnl_bits: u64,
+    /// Accepted SPR moves up to that boundary.
+    pub spr_moves: usize,
+    /// The replicated search state (topology, branch lengths, model).
+    pub state: GlobalState,
+    /// Per-global-partition, per-global-pattern PSR rates as `f64` bits;
+    /// empty under Γ. Indexed `[global_partition][global_pattern]`.
+    pub psr_rates: Vec<Vec<u64>>,
+}
+
+impl SearchSnapshot {
+    /// The loop re-entry point this snapshot encodes.
+    pub fn resume_point(&self) -> crate::driver::ResumePoint {
+        crate::driver::ResumePoint {
+            iteration: self.iteration,
+            lnl: f64::from_bits(self.lnl_bits),
+            spr_moves: self.spr_moves,
+        }
+    }
 }
 
 /// The search algorithm's view of the world. One implementation per
@@ -171,14 +205,20 @@ pub fn kernel_fingerprint(kind: exa_phylo::KernelKind, repeats: exa_phylo::SiteR
 
 /// Helper shared by all back-ends: push global (α, GTR) parameters into an
 /// engine's local partitions.
+///
+/// The existing model object is mutated (`set_rates`) rather than rebuilt
+/// with `GtrModel::new`: reconstruction would re-normalize the already
+/// normalized base frequencies, shifting them by an ULP and making a
+/// restored engine bitwise-different from the live engine it snapshots —
+/// which breaks the checkpoint/restart replay guarantee. `set_rates` also
+/// applies the same clamping the in-run `set_gtr_rate` path does.
 pub fn apply_global_params(engine: &mut Engine, state: &GlobalState) {
     for (local, global) in engine.global_indices().into_iter().enumerate() {
-        let (old_model, mut rates) = engine.model_state(local);
+        let (mut model, mut rates) = engine.model_state(local);
         if let Some(&a) = state.alphas.get(global) {
             rates.set_alpha(a);
         }
-        let g = &state.gtr_rates[global];
-        let model = GtrModel::new([g[0], g[1], g[2], g[3], g[4], 1.0], *old_model.freqs());
+        model.set_rates(&state.gtr_rates[global]);
         engine.set_model_state(local, model, rates);
     }
 }

@@ -26,9 +26,13 @@ pub mod model;
 pub mod parsimony;
 pub mod spr;
 
-pub use driver::{run_search, BoundaryInfo, NoHooks, SearchHooks, SearchResult};
+pub use driver::{
+    run_search, run_search_from, BoundaryInfo, KillPanic, KillSpec, NoHooks, ResumePoint,
+    SearchHooks, SearchResult,
+};
 pub use evaluator::{
-    kernel_fingerprint, BranchMode, CommFailurePanic, Evaluator, GlobalState, SequentialEvaluator,
+    kernel_fingerprint, BranchMode, CommFailurePanic, Evaluator, GlobalState, SearchSnapshot,
+    SequentialEvaluator,
 };
 
 use serde::{Deserialize, Serialize};

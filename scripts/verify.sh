@@ -49,4 +49,36 @@ done <"$tmp/health.jsonl"
 ratio="$(tail -n 1 "$tmp/health.jsonl" | jq -r .repeat_ratio)"
 echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel, repeat ratio: $ratio)"
 
+echo "==> examl checkpoint smoke (atomic generations + heartbeat fields)"
+cargo run -q --release -p examl-core --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
+  --checkpoint-out "$tmp/ckpt" --checkpoint-every 1 \
+  --health-out "$tmp/ckpt_health.jsonl" --quiet
+ls "$tmp/ckpt"/gen-*.ckpt >/dev/null || { echo "no checkpoint generations committed"; exit 1; }
+if ls "$tmp/ckpt"/*.tmp* >/dev/null 2>&1; then
+  echo "torn tmp file left behind by the two-phase commit"; exit 1
+fi
+# Once a generation is committed, heartbeats must carry the checkpoint
+# telemetry: the boundary iteration of the last commit and its write time.
+tail -n 1 "$tmp/ckpt_health.jsonl" | jq -e '.last_checkpoint_iter >= 0' >/dev/null \
+  || { echo "heartbeat missing last_checkpoint_iter"; exit 1; }
+tail -n 1 "$tmp/ckpt_health.jsonl" | jq -e '.checkpoint_write_ms >= 0' >/dev/null \
+  || { echo "heartbeat missing checkpoint_write_ms"; exit 1; }
+
+echo "==> examl kill/restart smoke (injected kill exits 3, resume completes)"
+rm -rf "$tmp/ckpt"
+set +e
+cargo run -q --release -p examl-core --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
+  --checkpoint-out "$tmp/ckpt" --checkpoint-every 1 \
+  --inject-kill 1 --quiet
+kill_status=$?
+set -e
+[ "$kill_status" -eq 3 ] || { echo "injected kill must exit 3, got $kill_status"; exit 1; }
+cargo run -q --release -p examl-core --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
+  --resume "$tmp/ckpt" --out-tree "$tmp/resumed.nwk" --quiet
+test -s "$tmp/resumed.nwk"
+echo "checkpoint: kill at generation 1 exited 3, resume completed"
+
 echo "verify: OK"

@@ -1,67 +1,93 @@
-//! Checkpoint/restart across full de-centralized runs.
+//! Checkpoint/restart across full de-centralized runs: generation
+//! directories, header validation, elastic resume, and the crash-mid-write
+//! regression (a torn tmp file must never shadow an intact generation).
 
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
-use examl_core::{checkpoint, RunConfig};
+use examl_core::checkpoint::{self, CheckpointError};
+use examl_core::{RunConfig, RunError};
 
 fn workload() -> workloads::Workload {
     workloads::partitioned(8, 2, 100, 41)
 }
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("examl_it_{name}_{}.json", std::process::id()))
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("examl_it_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
 }
 
 #[test]
 fn checkpoints_are_written_and_loadable() {
     let w = workload();
-    let path = tmp("write");
-    let mut cfg = RunConfig::new(2);
-    cfg.search = SearchConfig {
-        max_iterations: 3,
-        epsilon: 0.01,
-        ..SearchConfig::fast()
-    };
-    cfg.checkpoint_path = Some(path.clone());
-    cfg.checkpoint_every = 1;
+    let dir = tmp_dir("write");
+    let cfg = RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 3,
+            epsilon: 0.01,
+            ..SearchConfig::fast()
+        })
+        .checkpoint(&dir, 1);
     let out = cfg.run(&w.compressed).unwrap();
+    assert!(out.result.lnl.is_finite());
 
-    let ckpt = checkpoint::load(&path).expect("checkpoint must exist and parse");
-    std::fs::remove_file(&path).ok();
-    assert!(ckpt.iteration < cfg.search.max_iterations);
-    assert!(ckpt.lnl.is_finite());
-    assert_eq!(ckpt.state.tree.n_taxa(), 8);
+    let gens = checkpoint::list_generations(&dir).unwrap();
+    assert!(!gens.is_empty(), "cadence 1 must commit generations");
+    assert!(
+        gens.len() <= checkpoint::KEEP_GENERATIONS,
+        "rotation must cap retained generations: {gens:?}"
+    );
+    // No torn tmp files left behind by the two-phase commit.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "leftover tmp file {name}");
+    }
+
+    let ckpt = checkpoint::load_latest(&dir).expect("latest generation must parse");
+    assert_eq!(ckpt.header.format_version, checkpoint::CHECKPOINT_VERSION);
+    assert_eq!(ckpt.header.scheme, "decentralized");
+    assert_eq!(ckpt.header.rank_count, 2);
+    assert_eq!(ckpt.header.n_taxa, 8);
+    assert_eq!(ckpt.header.n_partitions, 2);
+    let snap = &ckpt.payload.snapshot;
+    assert!(snap.iteration < cfg.search.max_iterations);
+    assert!(f64::from_bits(snap.lnl_bits).is_finite());
+    assert_eq!(snap.state.tree.n_taxa(), 8);
     // The checkpointed likelihood is from an earlier boundary; the final
     // result can only be better or equal.
-    assert!(out.result.lnl >= ckpt.lnl - 1e-9);
+    assert!(out.result.lnl >= f64::from_bits(snap.lnl_bits) - 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn resume_continues_to_a_result_at_least_as_good() {
     let w = workload();
-    let path = tmp("resume");
+    let dir = tmp_dir("resume");
 
     // Phase 1: a deliberately short run that leaves a checkpoint behind.
-    let mut cfg1 = RunConfig::new(2);
-    cfg1.search = SearchConfig {
-        max_iterations: 1,
-        epsilon: 0.001,
-        ..SearchConfig::fast()
-    };
-    cfg1.checkpoint_path = Some(path.clone());
-    cfg1.checkpoint_every = 1;
-    let first = cfg1.run(&w.compressed).unwrap();
+    let first = RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 1,
+            epsilon: 0.001,
+            ..SearchConfig::fast()
+        })
+        .checkpoint(&dir, 1)
+        .run(&w.compressed)
+        .unwrap();
 
     // Phase 2: resume and keep searching.
-    let mut cfg2 = RunConfig::new(2);
-    cfg2.search = SearchConfig {
-        max_iterations: 3,
-        epsilon: 0.001,
-        ..SearchConfig::fast()
-    };
-    cfg2.resume_from = Some(path.clone());
-    let second = cfg2.run(&w.compressed).unwrap();
-    std::fs::remove_file(&path).ok();
+    let second = RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 3,
+            epsilon: 0.001,
+            ..SearchConfig::fast()
+        })
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 
     assert!(
         second.result.lnl >= first.result.lnl - 1e-6,
@@ -74,25 +100,109 @@ fn resume_continues_to_a_result_at_least_as_good() {
 #[test]
 fn resume_with_different_rank_count() {
     // The checkpoint stores only replicated state, so the rank count is
-    // free to change across restarts (a real operational need on clusters).
+    // free to change across restarts (a real operational need on
+    // clusters); the header records the old count but it is elastic.
     let w = workload();
-    let path = tmp("ranks");
+    let dir = tmp_dir("ranks");
 
-    let mut cfg1 = RunConfig::new(3);
-    cfg1.search = SearchConfig {
-        max_iterations: 1,
-        ..SearchConfig::fast()
-    };
-    cfg1.checkpoint_path = Some(path.clone());
-    cfg1.run(&w.compressed).unwrap();
+    RunConfig::new(3)
+        .search(SearchConfig {
+            max_iterations: 1,
+            ..SearchConfig::fast()
+        })
+        .checkpoint(&dir, 1)
+        .run(&w.compressed)
+        .unwrap();
+    assert_eq!(checkpoint::load_latest(&dir).unwrap().header.rank_count, 3);
 
-    let mut cfg2 = RunConfig::new(2);
-    cfg2.search = SearchConfig {
-        max_iterations: 2,
-        ..SearchConfig::fast()
-    };
-    cfg2.resume_from = Some(path.clone());
-    let out = cfg2.run(&w.compressed).unwrap();
-    std::fs::remove_file(&path).ok();
+    let out = RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 2,
+            ..SearchConfig::fast()
+        })
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
     assert!(out.result.lnl.is_finite());
+}
+
+#[test]
+fn resume_with_mismatched_seed_names_the_field() {
+    // Strict header fields (seed drives the starting topology) refuse to
+    // resume, with a structured error naming the offending field.
+    let w = workload();
+    let dir = tmp_dir("seedmm");
+
+    RunConfig::new(2)
+        .seed(41)
+        .search(SearchConfig {
+            max_iterations: 1,
+            ..SearchConfig::fast()
+        })
+        .checkpoint(&dir, 1)
+        .run(&w.compressed)
+        .unwrap();
+
+    let err = RunConfig::new(2)
+        .seed(42)
+        .search(SearchConfig {
+            max_iterations: 1,
+            ..SearchConfig::fast()
+        })
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap_err();
+    std::fs::remove_dir_all(&dir).ok();
+    match err {
+        RunError::Checkpoint(CheckpointError::Mismatch { field, .. }) => {
+            assert_eq!(field, "seed");
+        }
+        other => panic!("expected a seed mismatch, got {other}"),
+    }
+}
+
+#[test]
+fn crash_mid_write_leaves_previous_generation_loadable() {
+    // Regression for the historical non-atomic `save`: simulate a crash
+    // mid-write (a torn `.tmp` alongside a truncated newer generation) and
+    // check the previous intact generation still loads.
+    let w = workload();
+    let dir = tmp_dir("torn");
+    RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 2,
+            epsilon: 0.001,
+            ..SearchConfig::fast()
+        })
+        .checkpoint(&dir, 1)
+        .run(&w.compressed)
+        .unwrap();
+
+    let gens = checkpoint::list_generations(&dir).unwrap();
+    let (last_seq, last_path) = gens.last().unwrap().clone();
+    let intact = checkpoint::load(&last_path).unwrap();
+
+    // A crash between `write` and `rename` leaves a partial tmp file…
+    let bytes = std::fs::read(&last_path).unwrap();
+    std::fs::write(dir.join("gen-99999999.ckpt.tmp"), &bytes[..bytes.len() / 3]).unwrap();
+    // …and a crash *during* an (imagined pre-atomic) in-place write leaves
+    // a truncated newer generation.
+    let torn = checkpoint::generation_path(&dir, last_seq + 1);
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+    let recovered = checkpoint::load_latest(&dir).expect("must fall back to the intact gen");
+    assert_eq!(recovered.header, intact.header);
+    assert_eq!(checkpoint::encode(&recovered), checkpoint::encode(&intact));
+
+    // And the torn generation alone reports a structured error.
+    let err = checkpoint::load(&torn).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::Corrupt { .. } | CheckpointError::Io(_)
+        ),
+        "torn file must yield a structured error, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
