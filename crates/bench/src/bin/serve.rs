@@ -1,0 +1,243 @@
+//! Daemon throughput/starvation harness: a flood of small interactive jobs
+//! sharing the worker pool with one large background run.
+//!
+//! ```text
+//! cargo run -p examl-bench --release --bin serve -- [n_small=120] [large_iters=60] [workers=2]
+//! ```
+//!
+//! The scenario the fair-share scheduler exists for: one tenant submits a
+//! long tree search, another tenant then floods the queue with ≥100
+//! one-iteration jobs, and a single urgent submission arrives mid-flood.
+//! The report checks three things:
+//!
+//! * **no starvation** — every small job completes and its queue wait is
+//!   recorded; the maximum small-job wait is finite and bounded by the
+//!   makespan (the DRR bound in dispatch counts is property-tested in
+//!   `exa-serve`; here we report the realized wall-clock waits);
+//! * **preemption works under load** — the urgent job checkpoint-preempts
+//!   a running lower-priority job instead of queueing behind the backlog
+//!   (the victim is the newest lowest-priority run, the one with the least
+//!   progress to redo);
+//! * **nothing is lost** — the preempted job resumes and completes.
+
+use exa_search::SearchConfig;
+use exa_serve::daemon::{Daemon, DaemonConfig};
+use exa_serve::scheduler::TenantConfig;
+use exa_serve::{JobId, JobSpec, JobState};
+use exa_simgen::workloads;
+use examl_bench::{write_json, write_markdown};
+use examl_core::RunConfig;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct WaitStats {
+    jobs: usize,
+    completed: u64,
+    /// Jobs that never reached a worker (must be 0 for starvation-freedom).
+    starved: usize,
+    max_wait_ms: f64,
+    mean_wait_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ServeReport {
+    n_small: usize,
+    large_iters: usize,
+    workers: usize,
+    makespan_ms: f64,
+    small: WaitStats,
+    urgent_wait_ms: f64,
+    large_preemptions: u64,
+    large_completed: bool,
+    daemon_preemptions: u64,
+    daemon_resumes: u64,
+    peak_queue_depth: u64,
+    starvation_free: bool,
+}
+
+fn spec(alignment: &Path, tenant: &str, priority: u32, cost: u64, iters: usize) -> JobSpec {
+    JobSpec {
+        tenant: tenant.to_string(),
+        priority,
+        cost,
+        alignment: alignment.to_path_buf(),
+        partitions: None,
+        config: RunConfig::new(2).seed(7).search(SearchConfig {
+            max_iterations: iters,
+            epsilon: 1e-9,
+            ..SearchConfig::fast()
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_small: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
+    let large_iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let workers: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let root = std::env::temp_dir().join(format!("examl_bench_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).unwrap();
+    eprintln!("simulating workload (8 taxa x 200 bp)...");
+    let w = workloads::partitioned(8, 2, 100, 7);
+    let alignment = root.join("aln.phy");
+    std::fs::write(&alignment, exa_bio::phylip::write_phylip(&w.alignment)).unwrap();
+
+    let mut cfg = DaemonConfig::new(root.join("spool"));
+    cfg.workers = workers;
+    // Background gets weight 1, the interactive flood weight 4: smalls
+    // drain briskly even while the long run holds a worker.
+    cfg.tenants = vec![
+        (
+            "background".into(),
+            TenantConfig {
+                weight: 1,
+                max_running: usize::MAX,
+            },
+        ),
+        (
+            "interactive".into(),
+            TenantConfig {
+                weight: 4,
+                max_running: usize::MAX,
+            },
+        ),
+    ];
+    // Checkpoint on a cadence, not every iteration — the long run should
+    // spend its time searching.
+    cfg.checkpoint_every = 5;
+    let daemon = Daemon::start(cfg).unwrap();
+
+    let t0 = Instant::now();
+    let large_id = daemon
+        .submit(spec(&alignment, "background", 0, 100, large_iters))
+        .unwrap();
+    let small_ids: Vec<JobId> = (0..n_small)
+        .map(|_| {
+            daemon
+                .submit(spec(&alignment, "interactive", 0, 1, 1))
+                .unwrap()
+        })
+        .collect();
+    eprintln!("queued {} small jobs behind the large run", small_ids.len());
+
+    // Let the pool saturate, then fire the urgent submission that must
+    // checkpoint-preempt the background run.
+    std::thread::sleep(Duration::from_millis(200));
+    let urgent_id = daemon
+        .submit(spec(&alignment, "interactive", 9, 1, 1))
+        .unwrap();
+
+    let mut peak_queue_depth = 0u64;
+    loop {
+        let hb = daemon.health();
+        peak_queue_depth = peak_queue_depth.max(hb.queue_depth);
+        let all_done = daemon.list().iter().all(|s| s.state.is_terminal());
+        if all_done {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(600),
+            "bench timed out with queue depth {}",
+            hb.queue_depth
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let makespan_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let statuses = daemon.list();
+    let small: Vec<_> = statuses
+        .iter()
+        .filter(|s| small_ids.contains(&s.id))
+        .collect();
+    let waits: Vec<f64> = small.iter().filter_map(|s| s.wait_ms).collect();
+    let completed = small
+        .iter()
+        .filter(|s| matches!(s.state, JobState::Completed { .. }))
+        .count() as u64;
+    let starved = small.len() - waits.len();
+    let max_wait_ms = waits.iter().cloned().fold(0.0, f64::max);
+    let mean_wait_ms = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    let large = statuses.iter().find(|s| s.id == large_id).unwrap();
+    let urgent = statuses.iter().find(|s| s.id == urgent_id).unwrap();
+    let hb = daemon.health();
+    daemon.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+
+    let report = ServeReport {
+        n_small,
+        large_iters,
+        workers,
+        makespan_ms,
+        small: WaitStats {
+            jobs: small.len(),
+            completed,
+            starved,
+            max_wait_ms,
+            mean_wait_ms,
+        },
+        urgent_wait_ms: urgent.wait_ms.unwrap_or(f64::NAN),
+        large_preemptions: large.preemptions,
+        large_completed: matches!(large.state, JobState::Completed { .. }),
+        daemon_preemptions: hb.preemptions,
+        daemon_resumes: hb.resumes,
+        peak_queue_depth,
+        starvation_free: starved == 0 && completed as usize == small.len(),
+    };
+
+    let mut md = format!(
+        "# exa-serve under load: {n_small} small jobs vs one {large_iters}-iteration background run ({workers} workers)\n\n"
+    );
+    md.push_str("| metric | value |\n|---|---|\n");
+    let _ = writeln!(md, "| makespan | {:.1} ms |", report.makespan_ms);
+    let _ = writeln!(
+        md,
+        "| small jobs completed | {}/{} |",
+        report.small.completed, report.small.jobs
+    );
+    let _ = writeln!(
+        md,
+        "| small max wait | {:.1} ms |",
+        report.small.max_wait_ms
+    );
+    let _ = writeln!(
+        md,
+        "| small mean wait | {:.1} ms |",
+        report.small.mean_wait_ms
+    );
+    let _ = writeln!(md, "| urgent job wait | {:.1} ms |", report.urgent_wait_ms);
+    let _ = writeln!(
+        md,
+        "| background preemptions | {} |",
+        report.large_preemptions
+    );
+    let _ = writeln!(md, "| daemon resumes | {} |", report.daemon_resumes);
+    let _ = writeln!(md, "| peak queue depth | {} |", report.peak_queue_depth);
+    let _ = writeln!(
+        md,
+        "\nStarvation-free: {} — every small job was dispatched and completed while the background run {}.",
+        if report.starvation_free { "yes" } else { "NO" },
+        if report.large_completed {
+            "also completed"
+        } else {
+            "did not complete"
+        }
+    );
+
+    write_json("serve", &report);
+    write_markdown("serve", &md);
+
+    assert!(
+        report.starvation_free,
+        "starvation detected: {} small jobs never completed",
+        report.small.jobs - report.small.completed as usize
+    );
+}

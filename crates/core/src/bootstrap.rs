@@ -308,7 +308,7 @@ pub(crate) fn bootstrap_impl(
                     bootstrap: Some(progress),
                 },
             );
-            checkpoint::save_generation(dir, &ckpt)?;
+            checkpoint::save_generation_keeping(dir, &ckpt, cfg.base.checkpoint_keep)?;
             committed += 1;
             // Driver-level kill injection: replicate boundaries count
             // toward the same committed-checkpoint budget as in-search

@@ -46,7 +46,9 @@ pub const CHECKPOINT_VERSION: u32 = 2;
 /// Magic first line of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &str = "EXAMLCKPT";
 
-/// Committed generations retained per checkpoint directory.
+/// Default committed generations retained per checkpoint directory
+/// (overridable per run via `--checkpoint-keep` /
+/// `RunConfig::checkpoint_keep`).
 pub const KEEP_GENERATIONS: usize = 3;
 
 /// The self-describing header, written as one JSON line after the magic.
@@ -314,8 +316,18 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// leave a stray `*.tmp*` file but never a torn `path`, and never touches
 /// a previously committed file until the rename lands.
 pub fn save(path: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    atomic_write(path, &encode(ckpt))?;
+    Ok(())
+}
+
+/// The two-phase atomic commit underlying [`save`], exposed so other
+/// durable state (the serve daemon's job journal snapshots) reuses the
+/// exact crash-consistency protocol: unique temp sibling → `fsync` →
+/// `rename` → `fsync` the parent directory. An interrupted write can leave
+/// a stray `*.tmp*` file but never a torn `path`, and never touches a
+/// previously committed file until the rename lands.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write as _;
-    let bytes = encode(ckpt);
     let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut tmp_name = path
         .file_name()
@@ -325,12 +337,12 @@ pub fn save(path: &Path, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
     let tmp = path.with_file_name(tmp_name);
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         std::fs::remove_file(&tmp).ok();
-        return Err(e.into());
+        return Err(e);
     }
     if let Some(dir) = path.parent() {
         // Persist the rename itself. Directories can't always be opened
@@ -383,13 +395,24 @@ pub fn list_generations(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointErr
 /// prune generations beyond [`KEEP_GENERATIONS`]. Returns the committed
 /// sequence number and path.
 pub fn save_generation(dir: &Path, ckpt: &Checkpoint) -> Result<(u64, PathBuf), CheckpointError> {
+    save_generation_keeping(dir, ckpt, KEEP_GENERATIONS)
+}
+
+/// [`save_generation`] with a configurable retention: the directory keeps
+/// the last `keep` generations (`keep` is clamped to at least 1 — pruning
+/// the generation just committed would defeat the point).
+pub fn save_generation_keeping(
+    dir: &Path,
+    ckpt: &Checkpoint,
+    keep: usize,
+) -> Result<(u64, PathBuf), CheckpointError> {
     std::fs::create_dir_all(dir)?;
     let existing = list_generations(dir)?;
     let seq = existing.last().map(|&(s, _)| s + 1).unwrap_or(0);
     let path = generation_path(dir, seq);
     save(&path, ckpt)?;
     // Prune oldest-first; the file just committed is never a candidate.
-    let keep_from = (existing.len() + 1).saturating_sub(KEEP_GENERATIONS);
+    let keep_from = (existing.len() + 1).saturating_sub(keep.max(1));
     for (_, old) in existing.into_iter().take(keep_from) {
         std::fs::remove_file(old).ok();
     }

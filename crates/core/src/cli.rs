@@ -36,6 +36,8 @@ pub const FLAGS: &[&str] = &[
     "--epsilon",
     "--checkpoint-out",
     "--checkpoint-every",
+    "--checkpoint-every-secs",
+    "--checkpoint-keep",
     "--resume",
     "--inject-kill",
     "--out-tree",
@@ -70,7 +72,12 @@ pub struct CliConfig {
     pub radius: usize,
     pub epsilon: f64,
     pub checkpoint_out: Option<PathBuf>,
-    pub checkpoint_every: usize,
+    /// Iteration cadence as given on the command line. `None` means the
+    /// flag was absent; [`CliConfig::resolved_checkpoint_every`] picks the
+    /// effective cadence (1, or 0 when only a time cadence is armed).
+    pub checkpoint_every: Option<usize>,
+    pub checkpoint_every_secs: Option<f64>,
+    pub checkpoint_keep: usize,
     pub resume: Option<PathBuf>,
     pub inject_kill: Option<KillSpec>,
     pub out_tree: Option<PathBuf>,
@@ -104,7 +111,9 @@ impl Default for CliConfig {
             radius: 5,
             epsilon: 0.1,
             checkpoint_out: None,
-            checkpoint_every: 1,
+            checkpoint_every: None,
+            checkpoint_every_secs: None,
+            checkpoint_keep: crate::checkpoint::KEEP_GENERATIONS,
             resume: None,
             inject_kill: None,
             out_tree: None,
@@ -271,11 +280,41 @@ impl CliConfig {
                 "--epsilon" => cfg.epsilon = num("--epsilon", value("--epsilon")?, "a number")?,
                 "--checkpoint-out" => cfg.checkpoint_out = Some(value("--checkpoint-out")?.into()),
                 "--checkpoint-every" => {
-                    cfg.checkpoint_every = num(
+                    cfg.checkpoint_every = Some(num(
                         "--checkpoint-every",
                         value("--checkpoint-every")?,
                         "a count",
-                    )?
+                    )?)
+                }
+                "--checkpoint-every-secs" => {
+                    let secs: f64 = num(
+                        "--checkpoint-every-secs",
+                        value("--checkpoint-every-secs")?,
+                        "seconds",
+                    )?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(CliError::BadValue {
+                            flag: "--checkpoint-every-secs",
+                            value: secs.to_string(),
+                            expected: "seconds",
+                        });
+                    }
+                    cfg.checkpoint_every_secs = Some(secs);
+                }
+                "--checkpoint-keep" => {
+                    let keep: usize = num(
+                        "--checkpoint-keep",
+                        value("--checkpoint-keep")?,
+                        "a count of at least 1",
+                    )?;
+                    if keep == 0 {
+                        return Err(CliError::BadValue {
+                            flag: "--checkpoint-keep",
+                            value: keep.to_string(),
+                            expected: "a count of at least 1",
+                        });
+                    }
+                    cfg.checkpoint_keep = keep;
                 }
                 "--resume" => cfg.resume = Some(value("--resume")?.into()),
                 "--inject-kill" => {
@@ -321,6 +360,20 @@ impl CliConfig {
             }
         }
         Ok(cfg)
+    }
+
+    /// The effective iteration cadence for checkpoint commits.
+    ///
+    /// An explicit `--checkpoint-every N` always wins (including `0`, which
+    /// disables the iteration cadence). When the flag is absent the cadence
+    /// defaults to every iteration — unless only `--checkpoint-every-secs`
+    /// was given, in which case the time cadence alone drives commits.
+    pub fn resolved_checkpoint_every(&self) -> usize {
+        match self.checkpoint_every {
+            Some(n) => n,
+            None if self.checkpoint_every_secs.is_some() => 0,
+            None => 1,
+        }
     }
 }
 
@@ -440,7 +493,8 @@ mod tests {
             c.checkpoint_out.as_deref(),
             Some(std::path::Path::new("ckpt/"))
         );
-        assert_eq!(c.checkpoint_every, 5);
+        assert_eq!(c.checkpoint_every, Some(5));
+        assert_eq!(c.resolved_checkpoint_every(), 5);
         assert_eq!(c.resume.as_deref(), Some(std::path::Path::new("ckpt/")));
         assert_eq!(
             c.inject_kill,
@@ -470,6 +524,51 @@ mod tests {
                     }
                 ),
                 "{bad:?} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_and_retention_flags() {
+        // Absent flags: commit every iteration, keep the default window.
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.checkpoint_every, None);
+        assert_eq!(c.resolved_checkpoint_every(), 1);
+        assert_eq!(c.checkpoint_keep, crate::checkpoint::KEEP_GENERATIONS);
+
+        // A time cadence alone turns the iteration cadence off.
+        let c = parse(&["--checkpoint-every-secs", "2.5"]).unwrap();
+        assert_eq!(c.checkpoint_every_secs, Some(2.5));
+        assert_eq!(c.resolved_checkpoint_every(), 0);
+
+        // Both cadences can be armed together.
+        let c = parse(&[
+            "--checkpoint-every",
+            "4",
+            "--checkpoint-every-secs",
+            "10",
+            "--checkpoint-keep",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(c.resolved_checkpoint_every(), 4);
+        assert_eq!(c.checkpoint_every_secs, Some(10.0));
+        assert_eq!(c.checkpoint_keep, 7);
+
+        // An explicit zero disables the iteration cadence outright.
+        let c = parse(&["--checkpoint-every", "0"]).unwrap();
+        assert_eq!(c.resolved_checkpoint_every(), 0);
+
+        for (flag, bad) in [
+            ("--checkpoint-every-secs", "0"),
+            ("--checkpoint-every-secs", "-1"),
+            ("--checkpoint-every-secs", "inf"),
+            ("--checkpoint-keep", "0"),
+        ] {
+            let err = parse(&[flag, bad]).unwrap_err();
+            assert!(
+                matches!(err, CliError::BadValue { .. }),
+                "{flag} {bad:?} should be rejected, got {err:?}"
             );
         }
     }

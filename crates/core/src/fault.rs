@@ -27,7 +27,7 @@ use exa_comm::{CommCategory, Rank};
 use exa_obs::{imbalance_ratio, HeartbeatRecord};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
-use exa_search::{BoundaryInfo, KillPanic, SearchHooks};
+use exa_search::{BoundaryInfo, KillPanic, PreemptPanic, SearchHooks};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -105,6 +105,10 @@ pub struct DecentralizedHooks {
     last_checkpoint_iter: Option<u64>,
     /// Wall-clock of the last checkpoint write, writer rank only.
     last_checkpoint_ms: Option<f64>,
+    /// When the last checkpoint committed (or the run started), for the
+    /// `checkpoint_every_secs` time cadence. Rank-local; the per-boundary
+    /// due/not-due decision is made collectively so the ranks stay aligned.
+    last_checkpoint_instant: Instant,
     /// Set once an injected kill has fired anywhere in the world:
     /// `(after_checkpoints, iteration)`. Disables recovery — a killed run
     /// must abort, not heal.
@@ -143,6 +147,7 @@ impl DecentralizedHooks {
             checkpoints_written: 0,
             last_checkpoint_iter: None,
             last_checkpoint_ms: None,
+            last_checkpoint_instant: Instant::now(),
             kill_event: None,
             health,
         }
@@ -159,16 +164,59 @@ impl DecentralizedHooks {
         self.kill_event
     }
 
-    /// Commit a checkpoint generation if one is due at this boundary.
+    /// The per-boundary preemption / time-cadence agreement. Both signals
+    /// are inherently rank-local (a `PreemptSignal` flips asynchronously,
+    /// wall clocks drift), so acting on a local read would let ranks take
+    /// different paths at the same boundary and deadlock the collectives.
+    /// Instead every rank contributes one bit-mask byte on an allgather
+    /// (bit 0 = preempt requested, bit 1 = time cadence due) and all adopt
+    /// the OR — the same minimum-capability pattern as kernel negotiation.
+    /// The collective only runs when either feature is configured, so plain
+    /// runs pay nothing. Returns `(preempt, time_due)`.
+    fn boundary_agreement(&mut self) -> (bool, bool) {
+        let preempt_armed = self.cfg.preempt.is_some();
+        let time_armed =
+            self.cfg.checkpoint_every_secs.is_some() && self.cfg.checkpoint_out.is_some();
+        if !preempt_armed && !time_armed {
+            return (false, false);
+        }
+        let mut bits = 0u8;
+        if self.cfg.preempt.as_ref().is_some_and(|p| p.is_requested()) {
+            bits |= 1;
+        }
+        if let Some(secs) = self.cfg.checkpoint_every_secs {
+            if self.cfg.checkpoint_out.is_some()
+                && self.last_checkpoint_instant.elapsed().as_secs_f64() >= secs
+            {
+                bits |= 2;
+            }
+        }
+        let Ok(blobs) = self.rank.allgather_bytes(vec![bits], CommCategory::Control) else {
+            // A rank failed mid-gather: skip both signals this boundary;
+            // recovery runs at the driver level and the next boundary
+            // re-agrees.
+            return (false, false);
+        };
+        let all = blobs
+            .iter()
+            .filter_map(|b| b.first().copied())
+            .fold(0u8, |a, b| a | b);
+        (all & 1 != 0, all & 2 != 0)
+    }
+
+    /// Commit a checkpoint generation if one is due at this boundary —
+    /// on the iteration cadence, or forced (time cadence / preemption).
     /// Under PSR, *every* active rank joins the rate allgather (the cadence
-    /// is deterministic, so the collective stays aligned); only the
-    /// lowest-id active rank writes the file.
-    fn maybe_checkpoint(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
+    /// is deterministic and `force` is collectively agreed, so the
+    /// collective stays aligned); only the lowest-id active rank writes
+    /// the file.
+    fn maybe_checkpoint(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo, force: bool) {
         let Some(dir) = self.cfg.checkpoint_out.clone() else {
             return;
         };
-        let every = self.cfg.checkpoint_every.max(1);
-        if !info.iteration.is_multiple_of(every) {
+        let every = self.cfg.checkpoint_every;
+        let on_cadence = every > 0 && info.iteration.is_multiple_of(every);
+        if !on_cadence && !force {
             return;
         }
         let de = eval
@@ -195,6 +243,7 @@ impl DecentralizedHooks {
         };
         self.checkpoints_written += 1;
         self.last_checkpoint_iter = Some(info.iteration as u64);
+        self.last_checkpoint_instant = Instant::now();
         // All ranks mark the committed generation (identically — trace
         // event sequences stay comparable across ranks).
         exa_obs::mark(|| format!("{}{}", exa_obs::CHECKPOINT_MARK, info.iteration));
@@ -231,7 +280,8 @@ impl DecentralizedHooks {
                 bootstrap: None,
             },
         );
-        checkpoint::save_generation(&dir, &ckpt).expect("checkpoint write failed");
+        checkpoint::save_generation_keeping(&dir, &ckpt, self.cfg.checkpoint_keep)
+            .expect("checkpoint write failed");
         self.last_checkpoint_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
     }
 
@@ -346,10 +396,24 @@ impl SearchHooks for DecentralizedHooks {
         self.snapshot_iteration = info.iteration;
         self.snapshot_lnl = info.lnl;
 
-        // Checkpoint: with no master, the lowest-id active rank writes.
-        self.maybe_checkpoint(eval, info);
+        // Agree collectively on asynchronous signals (preemption request,
+        // wall-clock checkpoint cadence) before acting on either.
+        let (preempt, time_due) = self.boundary_agreement();
+
+        // Checkpoint: with no master, the lowest-id active rank writes. A
+        // preemption forces a final generation at this boundary so no work
+        // is lost.
+        self.maybe_checkpoint(eval, info, preempt || time_due);
 
         self.heartbeat(eval, info);
+
+        if preempt {
+            exa_obs::mark(|| format!("preempt:{}", info.iteration));
+            std::panic::panic_any(PreemptPanic {
+                iteration: info.iteration,
+                checkpoints: self.checkpoints_written,
+            });
+        }
 
         // Injected kill (checkpoint/restart chaos testing), then scripted
         // death (fault-injection testing of §V).

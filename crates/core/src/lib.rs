@@ -40,8 +40,8 @@ use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, Wo
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
-    build_starting_tree, run_search_from, BranchMode, KillPanic, KillSpec, SearchConfig,
-    SearchResult, StartingTree,
+    build_starting_tree, run_search_from, BranchMode, KillPanic, KillSpec, PreemptPanic,
+    SearchConfig, SearchResult, StartingTree,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -65,10 +65,23 @@ pub struct InferenceConfig {
     /// Starting-tree policy (random, parsimony, or a given Newick tree).
     pub starting_tree: StartingTree,
     /// Commit a checkpoint generation every `checkpoint_every` iterations
-    /// into this directory (if set). The directory keeps the last
-    /// [`checkpoint::KEEP_GENERATIONS`] generations.
+    /// into this directory (if set). `0` disables the iteration cadence
+    /// (checkpoints then only commit on the time cadence or a preemption).
     pub checkpoint_out: Option<PathBuf>,
     pub checkpoint_every: usize,
+    /// Checkpoint generations retained in `checkpoint_out` (default
+    /// [`checkpoint::KEEP_GENERATIONS`]).
+    pub checkpoint_keep: usize,
+    /// Also commit a checkpoint whenever at least this many wall-clock
+    /// seconds have elapsed since the last one, evaluated at iteration
+    /// boundaries. Wall clocks differ across ranks, so the per-boundary
+    /// decision is made collectively (any rank due → all commit).
+    pub checkpoint_every_secs: Option<f64>,
+    /// Cooperative preemption handle. When the controller requests it, the
+    /// ranks agree collectively at the next iteration boundary, commit a
+    /// final checkpoint (if `checkpoint_out` is set) and abort the run as
+    /// preempted — resumable via `resume_from`.
+    pub preempt: Option<exa_search::PreemptSignal>,
     /// Resume from the newest intact generation in this checkpoint
     /// directory before searching.
     pub resume_from: Option<PathBuf>,
@@ -117,6 +130,9 @@ impl InferenceConfig {
             starting_tree: StartingTree::Random,
             checkpoint_out: None,
             checkpoint_every: 1,
+            checkpoint_keep: checkpoint::KEEP_GENERATIONS,
+            checkpoint_every_secs: None,
+            preempt: None,
             resume_from: None,
             inject_kill: None,
             fault_plan: fault::FaultPlan::none(),
@@ -235,6 +251,10 @@ pub(crate) enum RunAbort {
         after_checkpoints: u64,
         iteration: usize,
     },
+    /// A [`exa_search::PreemptSignal`] was honoured at iteration boundary
+    /// `iteration`; `checkpoints` generations (including the preemption
+    /// checkpoint, when one was written) are on disk.
+    Preempted { iteration: usize, checkpoints: u64 },
 }
 
 /// What each rank thread reports back.
@@ -267,6 +287,13 @@ enum RankReport {
         after_checkpoints: u64,
         iteration: usize,
     },
+    /// A cooperative preemption stopped this rank at a boundary.
+    Preempted {
+        work: WorkCounters,
+        mem_bytes: u64,
+        iteration: usize,
+        checkpoints: u64,
+    },
 }
 
 /// Per-rank panic payload for a scripted death (unwinds out of the search).
@@ -288,6 +315,7 @@ pub(crate) fn install_control_panic_silencer() {
                 || p.downcast_ref::<exa_search::evaluator::CommFailurePanic>()
                     .is_some()
                 || p.downcast_ref::<KillPanic>().is_some()
+                || p.downcast_ref::<PreemptPanic>().is_some()
             {
                 return;
             }
@@ -341,6 +369,7 @@ pub(crate) fn decentralized_impl(
     let mut ckpts = 0u64;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     let mut killed: Option<(u64, usize)> = None;
+    let mut preempted: Option<(usize, u64)> = None;
     for r in reports {
         match r {
             RankReport::Survived {
@@ -390,6 +419,16 @@ pub(crate) fn decentralized_impl(
                 mem += mem_bytes;
                 killed = Some((after_checkpoints, iteration));
             }
+            RankReport::Preempted {
+                work: w,
+                mem_bytes,
+                iteration,
+                checkpoints,
+            } => {
+                work = work.merge(&w);
+                mem += mem_bytes;
+                preempted = Some((iteration, checkpoints));
+            }
         }
     }
     if let Some(d) = divergence {
@@ -399,6 +438,12 @@ pub(crate) fn decentralized_impl(
         return Err(RunAbort::Killed {
             after_checkpoints,
             iteration,
+        });
+    }
+    if let Some((iteration, checkpoints)) = preempted {
+        return Err(RunAbort::Preempted {
+            iteration,
+            checkpoints,
         });
     }
     assert!(
@@ -554,6 +599,13 @@ fn rank_main(
                     mem_bytes: eval.engine().clv_bytes(),
                     after_checkpoints: k.after_checkpoints,
                     iteration: k.iteration,
+                }
+            } else if let Some(p) = payload.downcast_ref::<PreemptPanic>() {
+                RankReport::Preempted {
+                    work: eval.engine().work(),
+                    mem_bytes: eval.engine().clv_bytes(),
+                    iteration: p.iteration,
+                    checkpoints: p.checkpoints,
                 }
             } else if payload
                 .downcast_ref::<exa_search::evaluator::CommFailurePanic>()

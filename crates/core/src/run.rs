@@ -36,7 +36,8 @@ use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{GlobalState, SearchSnapshot};
-use exa_search::{BranchMode, KillSpec, SearchConfig, SearchResult, StartingTree};
+use exa_search::{BranchMode, KillSpec, PreemptSignal, SearchConfig, SearchResult, StartingTree};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -55,7 +56,7 @@ pub enum Scheme {
 }
 
 /// Bootstrap settings carried by a [`RunConfig`] (de-centralized only).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BootstrapOptions {
     /// Number of bootstrap replicates.
     pub replicates: usize,
@@ -89,6 +90,11 @@ pub enum RunError {
         after_checkpoints: u64,
         iteration: usize,
     },
+    /// A [`PreemptSignal`] stopped the run cleanly at iteration boundary
+    /// `iteration`. Not a failure: `checkpoints` generations are on disk
+    /// (including the preemption checkpoint when `checkpoint_out` was set)
+    /// and the run resumes bit-identically via [`RunConfig::resume`].
+    Preempted { iteration: usize, checkpoints: u64 },
     /// Checkpoint load/validation failed (corrupt file, incompatible
     /// header, empty directory).
     Checkpoint(CheckpointError),
@@ -107,6 +113,14 @@ impl std::fmt::Display for RunError {
                 f,
                 "run killed by injection after {after_checkpoints} checkpoint(s), \
                  at iteration boundary {iteration}"
+            ),
+            RunError::Preempted {
+                iteration,
+                checkpoints,
+            } => write!(
+                f,
+                "run preempted at iteration boundary {iteration} \
+                 ({checkpoints} checkpoint generation(s) on disk)"
             ),
             RunError::Checkpoint(e) => write!(f, "{e}"),
             RunError::Io(e) => write!(f, "trace I/O failed: {e}"),
@@ -144,6 +158,13 @@ impl From<RunAbort> for RunError {
             } => RunError::Killed {
                 after_checkpoints,
                 iteration,
+            },
+            RunAbort::Preempted {
+                iteration,
+                checkpoints,
+            } => RunError::Preempted {
+                iteration,
+                checkpoints,
             },
         }
     }
@@ -190,7 +211,11 @@ pub struct RunOutcome {
 
 /// Builder-style configuration for [`RunConfig::run`], the single
 /// entrypoint replacing the `run_*` function family.
-#[derive(Debug, Clone)]
+///
+/// Serializable: the serve daemon spools jobs as `RunConfig` JSON. The
+/// `preempt` handle is process-local and round-trips as `null` (a
+/// deserialized config gets a fresh, disconnected signal slot).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunConfig {
     pub scheme: Scheme,
     pub n_ranks: usize,
@@ -201,9 +226,18 @@ pub struct RunConfig {
     pub seed: u64,
     pub starting_tree: StartingTree,
     /// Checkpoint directory: commit a generation every `checkpoint_every`
-    /// iterations (both schemes).
+    /// iterations (both schemes; 0 disables the iteration cadence).
     pub checkpoint_out: Option<PathBuf>,
     pub checkpoint_every: usize,
+    /// Checkpoint generations retained (default
+    /// [`checkpoint::KEEP_GENERATIONS`]).
+    pub checkpoint_keep: usize,
+    /// Also commit whenever this many wall-clock seconds have elapsed since
+    /// the last commit, evaluated at iteration boundaries (both schemes).
+    pub checkpoint_every_secs: Option<f64>,
+    /// Cooperative preemption handle: when requested, the run checkpoints
+    /// at its next boundary and returns [`RunError::Preempted`].
+    pub preempt: Option<PreemptSignal>,
     /// Resume from the newest intact generation in this directory.
     pub resume_from: Option<PathBuf>,
     /// Deterministic kill injection for the restart chaos harness (requires
@@ -248,6 +282,9 @@ impl RunConfig {
             starting_tree: base.starting_tree,
             checkpoint_out: None,
             checkpoint_every: 1,
+            checkpoint_keep: checkpoint::KEEP_GENERATIONS,
+            checkpoint_every_secs: None,
+            preempt: None,
             resume_from: None,
             inject_kill: None,
             fault_plan: FaultPlan::none(),
@@ -299,11 +336,34 @@ impl RunConfig {
     }
 
     /// Commit a checkpoint generation into directory `dir` every `every`
-    /// iterations (the directory keeps the last
-    /// [`checkpoint::KEEP_GENERATIONS`] generations).
+    /// iterations (the directory keeps the last [`RunConfig::checkpoint_keep`]
+    /// generations; `every = 0` disables the iteration cadence, leaving only
+    /// the time cadence and preemption commits).
     pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
         self.checkpoint_out = Some(dir.into());
         self.checkpoint_every = every;
+        self
+    }
+
+    /// Retain the last `keep` checkpoint generations (clamped to ≥ 1).
+    pub fn checkpoint_keep(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep.max(1);
+        self
+    }
+
+    /// Also commit a checkpoint whenever `secs` wall-clock seconds have
+    /// elapsed since the last commit, evaluated at iteration boundaries.
+    /// Requires [`RunConfig::checkpoint`].
+    pub fn checkpoint_every_secs(mut self, secs: f64) -> Self {
+        self.checkpoint_every_secs = Some(secs);
+        self
+    }
+
+    /// Arm cooperative preemption: when `signal` is requested, the run
+    /// commits a final checkpoint at its next iteration boundary (if
+    /// checkpointing is configured) and returns [`RunError::Preempted`].
+    pub fn preempt(mut self, signal: PreemptSignal) -> Self {
+        self.preempt = Some(signal);
         self
     }
 
@@ -410,6 +470,9 @@ impl RunConfig {
             starting_tree: self.starting_tree.clone(),
             checkpoint_out: self.checkpoint_out.clone(),
             checkpoint_every: self.checkpoint_every,
+            checkpoint_keep: self.checkpoint_keep,
+            checkpoint_every_secs: self.checkpoint_every_secs,
+            preempt: self.preempt.clone(),
             resume_from: self.resume_from.clone(),
             inject_kill: self.inject_kill,
             fault_plan: self.fault_plan.clone(),
@@ -562,6 +625,7 @@ impl RunConfig {
             payload_len: 0,
             payload_fingerprint: 0,
         };
+        let keep = self.checkpoint_keep;
         let sink = move |snap: &SearchSnapshot| -> std::io::Result<()> {
             let dir = dir.as_deref().expect("sink only called when checkpointing");
             let ckpt = Checkpoint::build(
@@ -571,29 +635,41 @@ impl RunConfig {
                     bootstrap: None,
                 },
             );
-            checkpoint::save_generation(dir, &ckpt)
+            checkpoint::save_generation_keeping(dir, &ckpt, keep)
                 .map(|_| ())
                 .map_err(std::io::Error::other)
         };
         let ctrl = (self.checkpoint_out.is_some()
             || resume.is_some()
-            || self.inject_kill.is_some())
+            || self.inject_kill.is_some()
+            || self.preempt.is_some())
         .then(|| exa_forkjoin::RestartControl {
+            checkpoint_armed: self.checkpoint_out.is_some(),
             every: if self.checkpoint_out.is_some() {
-                self.checkpoint_every.max(1)
+                self.checkpoint_every
             } else {
                 0
             },
+            every_secs: self
+                .checkpoint_every_secs
+                .filter(|_| self.checkpoint_out.is_some()),
             sink: &sink,
             resume: resume.map(|c| c.payload.snapshot),
             inject_kill: self.inject_kill,
+            preempt: self.preempt.clone(),
         });
         let out = match exa_forkjoin::execute_controlled(aln, &fj, recorder.as_ref(), ctrl) {
             Ok(out) => out,
-            Err(k) => {
+            Err(exa_forkjoin::Stop::Killed(k)) => {
                 return Err(RunError::Killed {
                     after_checkpoints: k.after_checkpoints,
                     iteration: k.iteration,
+                })
+            }
+            Err(exa_forkjoin::Stop::Preempted(p)) => {
+                return Err(RunError::Preempted {
+                    iteration: p.iteration,
+                    checkpoints: p.checkpoints,
                 })
             }
         };

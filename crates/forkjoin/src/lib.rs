@@ -32,10 +32,11 @@ use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
 use exa_search::{
     build_starting_tree, run_search_from, BoundaryInfo, BranchMode, KillPanic, KillSpec,
-    SearchConfig, SearchHooks, SearchResult, StartingTree,
+    PreemptPanic, PreemptSignal, SearchConfig, SearchHooks, SearchResult, StartingTree,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a fork-join run (mirror of the de-centralized one,
 /// minus fault tolerance — a master failure is catastrophic by design,
@@ -101,8 +102,9 @@ enum RankReport {
         work: WorkCounters,
         mem: u64,
     },
-    /// The master died by kill injection (after releasing the workers).
-    Killed(KilledRun),
+    /// The master stopped early (kill injection or preemption), after
+    /// releasing the workers.
+    Stopped(Stop),
 }
 
 /// An injected kill terminated the run (checkpoint/restart chaos testing):
@@ -114,14 +116,41 @@ pub struct KilledRun {
     pub iteration: usize,
 }
 
+/// A cooperative preemption stopped the run at iteration boundary
+/// `iteration`; `checkpoints` generations (including the preemption
+/// checkpoint, when the sink was armed) were committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptedRun {
+    pub iteration: usize,
+    pub checkpoints: u64,
+}
+
+/// Why [`execute_controlled`] stopped without producing a [`RunOutput`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// An injected [`KillSpec`] fired (simulated crash — nothing graceful).
+    Killed(KilledRun),
+    /// A [`PreemptSignal`] was honoured at a boundary (graceful stop,
+    /// resumable from the final checkpoint).
+    Preempted(PreemptedRun),
+}
+
 /// Checkpoint/restart controls for [`execute_controlled`]. The fork-join
 /// crate owns *when* (boundary cadence, PSR rate gathers, kill points);
 /// the caller owns *what* goes on disk — `sink` receives the master's
 /// [`SearchSnapshot`] and persists it however it likes.
 pub struct RestartControl<'a> {
-    /// Commit a checkpoint every `every` iterations (0 = never; resume-only
-    /// controls use 0).
+    /// Is the sink backed by real storage? When false (resume-only or
+    /// kill-only controls) no checkpoint is ever written, including on
+    /// preemption.
+    pub checkpoint_armed: bool,
+    /// Commit a checkpoint every `every` iterations (0 = no iteration
+    /// cadence; resume-only controls use 0).
     pub every: usize,
+    /// Also commit whenever at least this many wall-clock seconds have
+    /// elapsed since the last commit, evaluated at boundaries. Only set
+    /// when the sink is armed (the caller has a checkpoint directory).
+    pub every_secs: Option<f64>,
     /// Called on the master thread with each checkpoint snapshot.
     pub sink: &'a (dyn Fn(&SearchSnapshot) -> std::io::Result<()> + Sync),
     /// Snapshot to resume from, applied before the search starts.
@@ -130,6 +159,11 @@ pub struct RestartControl<'a> {
     /// broadcasts `Shutdown` *before* dying so the workers drain instead of
     /// deadlocking on the next command broadcast.
     pub inject_kill: Option<KillSpec>,
+    /// Cooperative preemption handle, polled at boundaries. The fork-join
+    /// master owns the only search state, so no collective agreement is
+    /// needed: the master's local read is authoritative, and the workers
+    /// are released via `Shutdown` before it unwinds.
+    pub preempt: Option<PreemptSignal>,
 }
 
 /// Master-side boundary hooks implementing [`RestartControl`].
@@ -138,6 +172,7 @@ struct MasterHooks<'a> {
     assignments: &'a [exa_sched::RankAssignment],
     ctrl: Option<&'a RestartControl<'a>>,
     checkpoints: u64,
+    last_checkpoint: Instant,
 }
 
 impl SearchHooks for MasterHooks<'_> {
@@ -147,7 +182,12 @@ impl SearchHooks for MasterHooks<'_> {
             .as_any_mut()
             .downcast_mut::<ForkJoinEvaluator>()
             .expect("fork-join hooks require the fork-join evaluator");
-        if ctrl.every > 0 && info.iteration.is_multiple_of(ctrl.every) {
+        let preempt = ctrl.preempt.as_ref().is_some_and(|p| p.is_requested());
+        let on_cadence = ctrl.every > 0 && info.iteration.is_multiple_of(ctrl.every);
+        let time_due = ctrl
+            .every_secs
+            .is_some_and(|secs| self.last_checkpoint.elapsed().as_secs_f64() >= secs);
+        if ctrl.checkpoint_armed && (on_cadence || time_due || preempt) {
             let psr_rates = fj.collect_site_rates(self.aln, self.assignments);
             let snap = SearchSnapshot {
                 iteration: info.iteration,
@@ -158,12 +198,21 @@ impl SearchHooks for MasterHooks<'_> {
             };
             (ctrl.sink)(&snap).expect("checkpoint write failed");
             self.checkpoints += 1;
+            self.last_checkpoint = Instant::now();
             exa_obs::mark(|| format!("{}{}", exa_obs::CHECKPOINT_MARK, info.iteration));
+        }
+        if preempt {
+            // Master death would strand the workers mid-broadcast: release
+            // them first, then unwind.
+            fj.shutdown_workers();
+            exa_obs::mark(|| format!("preempt:{}", info.iteration));
+            std::panic::panic_any(PreemptPanic {
+                iteration: info.iteration,
+                checkpoints: self.checkpoints,
+            });
         }
         if let Some(kill) = ctrl.inject_kill {
             if self.checkpoints >= kill.after_checkpoints {
-                // Master death would strand the workers mid-broadcast:
-                // release them first, then unwind.
                 fj.shutdown_workers();
                 std::panic::panic_any(KillPanic {
                     after_checkpoints: kill.after_checkpoints,
@@ -212,19 +261,20 @@ pub fn execute(
 ) -> RunOutput {
     match execute_controlled(aln, cfg, recorder, None) {
         Ok(out) => out,
-        Err(_) => unreachable!("no kill can be injected without a RestartControl"),
+        Err(_) => unreachable!("no kill or preemption can fire without a RestartControl"),
     }
 }
 
-/// [`execute`] with checkpoint/restart controls: boundary-cadence
-/// checkpoints fed to `ctrl.sink`, resume from a snapshot, and
-/// deterministic master kills for the restart chaos harness.
+/// [`execute`] with checkpoint/restart controls: boundary-cadence (and
+/// wall-clock-cadence) checkpoints fed to `ctrl.sink`, resume from a
+/// snapshot, deterministic master kills for the restart chaos harness, and
+/// cooperative checkpoint-preemption.
 pub fn execute_controlled(
     aln: &CompressedAlignment,
     cfg: &ForkJoinConfig,
     recorder: Option<&std::sync::Arc<Recorder>>,
     ctrl: Option<RestartControl<'_>>,
-) -> Result<RunOutput, KilledRun> {
+) -> Result<RunOutput, Stop> {
     assert!(
         aln.n_taxa() >= 4,
         "need at least 4 taxa for a meaningful search"
@@ -289,6 +339,7 @@ pub fn execute_controlled(
                 assignments: &assignments,
                 ctrl: ctrl.as_ref(),
                 checkpoints: 0,
+                last_checkpoint: Instant::now(),
             };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 run_search_from(&mut eval, &cfg.search, &mut hooks, resume_point.as_ref())
@@ -305,11 +356,17 @@ pub fn execute_controlled(
                     }
                 }
                 Err(payload) => match payload.downcast::<KillPanic>() {
-                    Ok(k) => RankReport::Killed(KilledRun {
+                    Ok(k) => RankReport::Stopped(Stop::Killed(KilledRun {
                         after_checkpoints: k.after_checkpoints,
                         iteration: k.iteration,
-                    }),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    })),
+                    Err(payload) => match payload.downcast::<PreemptPanic>() {
+                        Ok(p) => RankReport::Stopped(Stop::Preempted(PreemptedRun {
+                            iteration: p.iteration,
+                            checkpoints: p.checkpoints,
+                        })),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    },
                 },
             }
         } else {
@@ -329,7 +386,7 @@ pub fn execute_controlled(
     let mut total_work = WorkCounters::default();
     let mut total_mem = 0u64;
     let mut master: Option<(SearchResult, Box<GlobalState>, CommStats)> = None;
-    let mut killed: Option<KilledRun> = None;
+    let mut stopped: Option<Stop> = None;
     for r in reports {
         match r {
             RankReport::Master {
@@ -347,11 +404,11 @@ pub fn execute_controlled(
                 total_work = total_work.merge(&work);
                 total_mem += mem;
             }
-            RankReport::Killed(k) => killed = Some(k),
+            RankReport::Stopped(s) => stopped = Some(s),
         }
     }
-    if let Some(k) = killed {
-        return Err(k);
+    if let Some(s) = stopped {
+        return Err(s);
     }
     let (result, state, stats) = master.expect("master rank must report");
     Ok(RunOutput {

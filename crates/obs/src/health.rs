@@ -69,6 +69,85 @@ impl HeartbeatRecord {
     }
 }
 
+/// One daemon-level status record from `exa-serve`: queue and worker-pool
+/// gauges, serialized as a single JSON line (`GET /health` returns the
+/// latest one; `GET /stream-health` emits them as ndjson). The daemon owns
+/// the counters; this type only fixes the wire format so dashboards and the
+/// verify harness can `jq` it without knowing daemon internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeHeartbeat {
+    /// Monotonic record index within this daemon process.
+    pub seq: u64,
+    /// Jobs waiting in the scheduler (not running, not terminal).
+    pub queue_depth: u64,
+    /// Jobs currently executing on a worker.
+    pub running: u64,
+    /// Workers parked waiting for dispatchable jobs.
+    pub workers_idle: u64,
+    /// Terminal-state counters since daemon start (journal replay included).
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    /// Checkpoint-preemptions performed (a job may contribute several).
+    pub preemptions: u64,
+    /// Runs started from a checkpoint left by a previous attempt.
+    pub resumes: u64,
+    /// Worst queue wait so far, submit → first dispatch, in milliseconds.
+    pub max_wait_ms: f64,
+    /// Mean queue wait over all first dispatches, in milliseconds.
+    pub mean_wait_ms: f64,
+    /// Per-tenant gauges, in tenant-name order.
+    pub tenants: Vec<TenantGauge>,
+}
+
+/// Per-tenant slice of a [`ServeHeartbeat`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantGauge {
+    pub tenant: String,
+    /// Jobs of this tenant waiting in the scheduler.
+    pub queued: u64,
+    /// Jobs of this tenant currently running.
+    pub running: u64,
+    /// Dispatches granted to this tenant since daemon start.
+    pub dispatched: u64,
+}
+
+impl ServeHeartbeat {
+    /// One-line JSON encoding, ready for an ndjson stream.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("serve heartbeat serialization cannot fail")
+    }
+
+    /// Parse a line produced by [`ServeHeartbeat::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<ServeHeartbeat, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+}
+
+/// A run heartbeat multiplexed onto a shared stream: the owning job's id
+/// wrapped around the job's own [`HeartbeatRecord`]. The daemon gives every
+/// job a private `health.jsonl` spool file; when their lines are merged into
+/// one feed this wrapper keeps them attributable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobHeartbeat {
+    /// Daemon-assigned job id.
+    pub job: u64,
+    /// The job's own per-iteration record, unchanged.
+    pub record: HeartbeatRecord,
+}
+
+impl JobHeartbeat {
+    /// One-line JSON encoding, ready for an ndjson stream.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("job heartbeat serialization cannot fail")
+    }
+
+    /// Parse a line produced by [`JobHeartbeat::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<JobHeartbeat, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+}
+
 /// Measured kernel-time imbalance: max over ranks divided by the mean.
 /// Returns 0.0 when no time was measured (so callers can distinguish "no
 /// data" from "perfectly balanced").
@@ -220,6 +299,49 @@ mod tests {
         assert_eq!(back.clv_saved, None);
         assert_eq!(back.last_checkpoint_iter, None);
         assert_eq!(back.checkpoint_write_ms, None);
+    }
+
+    #[test]
+    fn serve_and_job_heartbeats_roundtrip() {
+        let hb = ServeHeartbeat {
+            seq: 9,
+            queue_depth: 42,
+            running: 3,
+            workers_idle: 1,
+            completed: 17,
+            failed: 1,
+            cancelled: 2,
+            preemptions: 5,
+            resumes: 4,
+            max_wait_ms: 812.5,
+            mean_wait_ms: 90.25,
+            tenants: vec![
+                TenantGauge {
+                    tenant: "batch".into(),
+                    queued: 40,
+                    running: 1,
+                    dispatched: 12,
+                },
+                TenantGauge {
+                    tenant: "interactive".into(),
+                    queued: 2,
+                    running: 2,
+                    dispatched: 8,
+                },
+            ],
+        };
+        let line = hb.to_json_line();
+        assert!(!line.contains('\n'), "must be a single line: {line}");
+        assert_eq!(ServeHeartbeat::from_json_line(&line).unwrap(), hb);
+        assert!(ServeHeartbeat::from_json_line("not json").is_err());
+
+        let tagged = JobHeartbeat {
+            job: 7,
+            record: record(),
+        };
+        let line = tagged.to_json_line();
+        assert!(!line.contains('\n'), "must be a single line: {line}");
+        assert_eq!(JobHeartbeat::from_json_line(&line).unwrap(), tagged);
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use fingerprint::{
     check_agreement, fnv1a, Component, Fnv1a, ReplicaDivergence, StateFingerprint, FNV_OFFSET,
     FNV_PRIME,
 };
-pub use health::{imbalance_ratio, HealthReport, HeartbeatRecord};
+pub use health::{
+    imbalance_ratio, HealthReport, HeartbeatRecord, JobHeartbeat, ServeHeartbeat, TenantGauge,
+};
 pub use recorder::{
     collective, install_tracer, kernel, mark, region, tracing_active, with_tracer, Recorder,
     RegionGuard, TlsGuard, Tracer,

@@ -88,6 +88,74 @@ pub struct KillPanic {
     pub iteration: usize,
 }
 
+/// Cooperative preemption request, shared between a controller (scheduler,
+/// signal handler) and a running search. The controller calls
+/// [`PreemptSignal::request`]; the run observes it at the next iteration
+/// boundary — the same quiescent point where checkpoints commit — writes a
+/// final checkpoint and unwinds with a [`PreemptPanic`]. The flag is a
+/// plain `SeqCst` atomic: boundary hooks turn the racy per-rank read into a
+/// collective decision (an allgather) so every rank preempts at the *same*
+/// boundary.
+#[derive(Clone, Default)]
+pub struct PreemptSignal(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl PreemptSignal {
+    pub fn new() -> PreemptSignal {
+        PreemptSignal::default()
+    }
+
+    /// Ask the run to checkpoint and stop at its next boundary.
+    pub fn request(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Has a preemption been requested?
+    pub fn is_requested(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Clear a pending request (used when re-arming a resumed run).
+    pub fn clear(&self) {
+        self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for PreemptSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PreemptSignal")
+            .field(&self.is_requested())
+            .finish()
+    }
+}
+
+// A preempt handle is process-local: it never travels through a config
+// file or checkpoint. Serialize to `Null` and deserialize to a fresh,
+// disconnected signal so configs holding one still round-trip.
+impl Serialize for PreemptSignal {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for PreemptSignal {
+    fn from_value(_v: &serde::Value) -> Result<PreemptSignal, serde::DeError> {
+        Ok(PreemptSignal::default())
+    }
+}
+
+/// Panic payload thrown by boundary hooks when a [`PreemptSignal`] fires.
+/// Like [`KillPanic`] it is control flow, not an error: the scheme driver
+/// catches it and reports the run as cleanly preempted (checkpoint
+/// committed, resumable).
+#[derive(Debug, Clone)]
+pub struct PreemptPanic {
+    /// Boundary iteration at which the preemption was honoured.
+    pub iteration: usize,
+    /// Checkpoints committed by this run, including the preemption
+    /// checkpoint itself when one was written.
+    pub checkpoints: u64,
+}
+
 /// Hook points at iteration boundaries.
 pub trait SearchHooks {
     /// Called before each iteration (and once before the first) with the

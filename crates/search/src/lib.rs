@@ -27,8 +27,8 @@ pub mod parsimony;
 pub mod spr;
 
 pub use driver::{
-    run_search, run_search_from, BoundaryInfo, KillPanic, KillSpec, NoHooks, ResumePoint,
-    SearchHooks, SearchResult,
+    run_search, run_search_from, BoundaryInfo, KillPanic, KillSpec, NoHooks, PreemptPanic,
+    PreemptSignal, ResumePoint, SearchHooks, SearchResult,
 };
 pub use evaluator::{
     kernel_fingerprint, BranchMode, CommFailurePanic, Evaluator, GlobalState, SearchSnapshot,

@@ -14,14 +14,22 @@
 //!       [--out-tree result.nwk] [--trace-out trace.json] [--quiet]
 //! ```
 //!
+//! `examl serve …` runs the multi-tenant inference daemon and its client
+//! verbs (see [`serve_cli`]). A plain run installs a SIGINT/SIGTERM bridge:
+//! the signal checkpoint-preempts the search, committing a final generation
+//! when `--checkpoint-out` is armed, and the process exits with code 4 so
+//! wrappers can tell "interrupted but resumable" from real failures.
+//!
 //! Flag parsing lives in `examl_core::cli` and the run orchestration in
 //! `examl_core::RunConfig` — this binary only wires the two together and
 //! formats the output.
 
+mod serve_cli;
+
 use exa_bio::partition::{parse_partition_file, PartitionScheme};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::CommCategory;
-use exa_search::{BranchMode, SearchConfig, StartingTree};
+use exa_search::{BranchMode, PreemptSignal, SearchConfig, StartingTree};
 use examl_core::{CliConfig, CliError, RunConfig};
 use std::process::ExitCode;
 
@@ -44,8 +52,14 @@ options:\n\
   --radius N             SPR rearrangement radius (default 5)\n\
   --epsilon X            convergence threshold (default 0.1)\n\
   --checkpoint-out DIR   commit checkpoint generations into DIR (atomic\n\
-                         write + rename; the last 3 generations are kept)\n\
-  --checkpoint-every N   checkpoint interval in iterations (default 1)\n\
+                         write + rename)\n\
+  --checkpoint-every N   checkpoint interval in iterations (default 1;\n\
+                         0 disables the iteration cadence)\n\
+  --checkpoint-every-secs S\n\
+                         also checkpoint when S wall-clock seconds have\n\
+                         passed since the last commit (alone, it disables\n\
+                         the iteration cadence)\n\
+  --checkpoint-keep N    checkpoint generations retained (default 3)\n\
   --resume DIR           resume from the newest intact generation in DIR\n\
   --inject-kill N[:RANK] die after N committed checkpoints — all ranks, or\n\
                          just RANK (restart chaos testing; exit code 3)\n\
@@ -61,7 +75,10 @@ options:\n\
                          (sentinel fault-injection testing)\n\
   --ascii                also print an ASCII cladogram\n\
   --stats                print alignment statistics and memory estimates, then exit\n\
-  --quiet                suppress progress output";
+  --quiet                suppress progress output\n\
+subcommands:\n\
+  serve                  run the multi-tenant inference daemon / talk to one\n\
+                         (examl serve --help)";
 
 fn load_alignment(args: &CliConfig) -> Result<CompressedAlignment, String> {
     if let Some(path) = &args.binary_in {
@@ -87,7 +104,12 @@ fn load_alignment(args: &CliConfig) -> Result<CompressedAlignment, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match CliConfig::parse(std::env::args().skip(1)) {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("serve") {
+        raw.remove(0);
+        return serve_cli::main(raw);
+    }
+    let args = match CliConfig::parse(raw) {
         Ok(args) => args,
         Err(CliError::Help) => {
             eprintln!("{USAGE}");
@@ -196,7 +218,12 @@ fn main() -> ExitCode {
         .site_repeats(args.site_repeats)
         .verify_replicas(args.verify_replicas);
     if let Some(path) = &args.checkpoint_out {
-        run = run.checkpoint(path, args.checkpoint_every);
+        run = run
+            .checkpoint(path, args.resolved_checkpoint_every())
+            .checkpoint_keep(args.checkpoint_keep);
+        if let Some(secs) = args.checkpoint_every_secs {
+            run = run.checkpoint_every_secs(secs);
+        }
     }
     if let Some(path) = &args.resume {
         run = run.resume(path);
@@ -223,9 +250,29 @@ fn main() -> ExitCode {
         run = run.collect_trace(true);
     }
 
+    // SIGINT/SIGTERM checkpoint-preempt the run instead of killing it
+    // mid-iteration: a final generation is committed when --checkpoint-out
+    // is armed, and the process exits with the distinct code 4.
+    exa_serve::signal::install();
+    let preempt = PreemptSignal::new();
+    exa_serve::signal::bridge_to(preempt.clone());
+    run = run.preempt(preempt);
+
     let start = std::time::Instant::now();
     let out = match run.run(&compressed) {
         Ok(out) => out,
+        Err(e @ examl_core::RunError::Preempted { .. }) => {
+            // Reached only via the signal bridge: no other preemption
+            // source exists in plain-run mode. Code 4 = "interrupted, last
+            // checkpoint intact, resume with --resume".
+            eprintln!("{e}");
+            if args.checkpoint_out.is_some() {
+                eprintln!("interrupted: final checkpoint committed, resume with --resume");
+            } else {
+                eprintln!("interrupted (no --checkpoint-out, progress not preserved)");
+            }
+            return ExitCode::from(4);
+        }
         Err(e @ examl_core::RunError::Killed { .. }) => {
             // The injected kill fired after committing its checkpoint
             // budget. Exit code 3 lets restart harnesses distinguish the

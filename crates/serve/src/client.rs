@@ -1,0 +1,168 @@
+//! Blocking client for the daemon's JSON-lines protocol, used by the
+//! `examl serve …` subcommands and the test/bench harnesses.
+//!
+//! Each call opens a fresh connection, writes one request line and reads
+//! one response line ([`Client::stream_health`] reads several). Keeping the
+//! client connectionless sidesteps keep-alive state on both ends; daemon
+//! operations are rare enough that the three-way handshake is noise.
+
+use crate::{JobId, JobSpec, JobStatus};
+use exa_obs::ServeHeartbeat;
+use serde::{field, Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Daemon address, e.g. `127.0.0.1:7711`.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    fn rpc(&self, req: &Value) -> Result<Value, String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let line = serde_json::to_string(req).map_err(|e| e.to_string())?;
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        let v: Value = serde_json::from_str(&resp).map_err(|e| format!("bad response: {e}"))?;
+        let entries = v.as_map("response").map_err(|e| e.0)?;
+        match field(entries, "ok") {
+            Value::Bool(true) => Ok(v.clone()),
+            _ => Err(field(entries, "error")
+                .as_str("error")
+                .unwrap_or("request failed")
+                .to_string()),
+        }
+    }
+
+    fn op(name: &str, extra: Vec<(String, Value)>) -> Value {
+        let mut m = vec![("op".to_string(), Value::Str(name.to_string()))];
+        m.extend(extra);
+        Value::Map(m)
+    }
+
+    /// Submit a job, returning its daemon-assigned id.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobId, String> {
+        let resp = self.rpc(&Self::op(
+            "submit",
+            vec![("spec".to_string(), spec.to_value())],
+        ))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        field(entries, "id").as_u64("id").map_err(|e| e.0)
+    }
+
+    /// Snapshot one job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, String> {
+        let resp = self.rpc(&Self::op(
+            "status",
+            vec![("id".to_string(), Value::UInt(id))],
+        ))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        JobStatus::from_value(field(entries, "job")).map_err(|e| e.0)
+    }
+
+    /// Cancel a job; `Ok(true)` when a cancellation was initiated.
+    pub fn cancel(&self, id: JobId) -> Result<bool, String> {
+        let resp = self.rpc(&Self::op(
+            "cancel",
+            vec![("id".to_string(), Value::UInt(id))],
+        ))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        field(entries, "cancelled")
+            .as_bool("cancelled")
+            .map_err(|e| e.0)
+    }
+
+    /// Snapshot every job.
+    pub fn list(&self) -> Result<Vec<JobStatus>, String> {
+        let resp = self.rpc(&Self::op("list", vec![]))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        field(entries, "jobs")
+            .as_array("jobs")
+            .map_err(|e| e.0)?
+            .iter()
+            .map(|v| JobStatus::from_value(v).map_err(|e| e.0))
+            .collect()
+    }
+
+    /// Current daemon gauges.
+    pub fn health(&self) -> Result<ServeHeartbeat, String> {
+        let resp = self.rpc(&Self::op("health", vec![]))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        ServeHeartbeat::from_value(field(entries, "health")).map_err(|e| e.0)
+    }
+
+    /// Read `count` heartbeats spaced `interval_ms` apart from the
+    /// streaming endpoint.
+    pub fn stream_health(
+        &self,
+        count: u64,
+        interval_ms: u64,
+    ) -> Result<Vec<ServeHeartbeat>, String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let req = Self::op(
+            "stream-health",
+            vec![
+                ("count".to_string(), Value::UInt(count)),
+                ("interval_ms".to_string(), Value::UInt(interval_ms)),
+            ],
+        );
+        let line = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for line in reader.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // The trailing {"ok":true} terminator ends the stream.
+            if let Ok(hb) = ServeHeartbeat::from_json_line(&line) {
+                out.push(hb);
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Ask the daemon to checkpoint running jobs and stop.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.rpc(&Self::op("shutdown", vec![])).map(|_| ())
+    }
+
+    /// Poll `status` until the job reaches a terminal state or `timeout`
+    /// elapses.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<JobStatus, String> {
+        let start = Instant::now();
+        loop {
+            let st = self.status(id)?;
+            if st.state.is_terminal() {
+                return Ok(st);
+            }
+            if start.elapsed() > timeout {
+                return Err(format!("job {id} still {:?} after {timeout:?}", st.state));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}

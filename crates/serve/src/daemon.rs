@@ -1,0 +1,697 @@
+//! The daemon core: a journaled job table, the fair-share scheduler, and a
+//! bounded worker pool executing `examl-core` runs with cooperative
+//! checkpoint-preemption.
+//!
+//! All mutable state lives in one `Mutex<Core>`; workers park on a condvar
+//! and race for dispatches through [`scheduler::FairShare`]. The invariant
+//! that makes the queue crash-safe: **every state transition is fsynced to
+//! the journal before it takes effect in memory**, so replaying the journal
+//! always reconstructs a state the daemon actually passed through (modulo a
+//! torn final append, which is dropped).
+//!
+//! Preemption handshake (the checkpoint-preemptive part of fair share):
+//!
+//! 1. `submit` finds no idle worker and a running job with strictly lower
+//!    priority → it raises that job's [`PreemptSignal`].
+//! 2. The run observes the signal at its next iteration boundary (both
+//!    schemes agree collectively in the de-centralized driver), commits a
+//!    final checkpoint generation, and unwinds as
+//!    [`RunError::Preempted`](examl_core::RunError::Preempted).
+//! 3. The worker journals `Preempted`, re-queues the job at the front of
+//!    its priority class with `resume_next`, and goes back to the pool —
+//!    freeing the worker for the higher-priority job.
+//! 4. When the job is dispatched again it resumes from the newest intact
+//!    generation in its spool directory, exactly like `--resume`; the
+//!    deterministic replicated search makes the resumed trajectory
+//!    bit-identical to an uninterrupted run.
+//!
+//! Cancellation of a running job and daemon shutdown reuse the same
+//! signal: both are "checkpoint at the next boundary and unwind", differing
+//! only in what the worker does with the carcass.
+
+use crate::journal::{Journal, JournalEvent};
+use crate::scheduler::{FairShare, TenantConfig};
+use crate::{JobId, JobSpec, JobState, JobStatus};
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_obs::{ServeHeartbeat, TenantGauge};
+use exa_search::PreemptSignal;
+use examl_core::{checkpoint, RunError};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Daemon-wide policy: spool location, pool size, scheduling and checkpoint
+/// knobs applied to every job.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Spool directory: journal plus one subdirectory per job.
+    pub spool: PathBuf,
+    /// Worker threads (concurrent runs).
+    pub workers: usize,
+    /// Scheduler quantum (deficit credited per dispatch attempt).
+    pub quantum: u64,
+    /// Policy for tenants not named in `tenants`.
+    pub default_tenant: TenantConfig,
+    /// Named per-tenant overrides (weight, concurrency quota).
+    pub tenants: Vec<(String, TenantConfig)>,
+    /// Iteration checkpoint cadence forced onto every job (0 = only the
+    /// time cadence / preemption commits).
+    pub checkpoint_every: usize,
+    /// Optional time cadence forced onto every job.
+    pub checkpoint_every_secs: Option<f64>,
+    /// Checkpoint generations retained per job.
+    pub checkpoint_keep: usize,
+}
+
+impl DaemonConfig {
+    /// Defaults: 2 workers, quantum 1, unit weights, unbounded quotas,
+    /// checkpoint every iteration, keep the standard window.
+    pub fn new(spool: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            spool: spool.into(),
+            workers: 2,
+            quantum: 1,
+            default_tenant: TenantConfig::default(),
+            tenants: Vec::new(),
+            checkpoint_every: 1,
+            checkpoint_every_secs: None,
+            checkpoint_keep: checkpoint::KEEP_GENERATIONS,
+        }
+    }
+}
+
+/// In-memory job record. The journal is authoritative; this mirrors it.
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    attempts: u64,
+    preemptions: u64,
+    /// Next dispatch should resume from the job's checkpoint directory.
+    resume_next: bool,
+    cancel_requested: bool,
+    /// Present exactly while the job is running.
+    preempt: Option<PreemptSignal>,
+    submitted_at: Instant,
+    first_dispatch: Option<Instant>,
+}
+
+struct Core {
+    cfg: DaemonConfig,
+    jobs: BTreeMap<JobId, JobEntry>,
+    sched: FairShare,
+    journal: Journal,
+    next_id: JobId,
+    shutdown: bool,
+    workers_idle: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    preemptions: u64,
+    resumes: u64,
+    wait_sum_ms: f64,
+    wait_count: u64,
+    max_wait_ms: f64,
+    health_seq: u64,
+}
+
+struct Inner {
+    state: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// Cloneable handle on a running daemon. [`Daemon::shutdown`] checkpoints
+/// and re-queues running jobs, then joins the pool.
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+fn lock(inner: &Inner) -> MutexGuard<'_, Core> {
+    // A worker panicking mid-update is already a bug; keep serving.
+    inner.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Daemon {
+    /// Open the spool (replaying the journal) and start the worker pool.
+    /// Jobs that were queued re-enter the scheduler; jobs that were running
+    /// when the previous process died are re-queued and will resume from
+    /// their newest intact checkpoint generation.
+    pub fn start(cfg: DaemonConfig) -> std::io::Result<Daemon> {
+        let (journal, events) = Journal::open(&cfg.spool)?;
+        let mut sched = FairShare::new(cfg.quantum, cfg.default_tenant);
+        for (name, tenant_cfg) in &cfg.tenants {
+            sched.set_tenant(name, *tenant_cfg);
+        }
+        let mut core = Core {
+            cfg,
+            jobs: BTreeMap::new(),
+            sched,
+            journal,
+            next_id: 1,
+            shutdown: false,
+            workers_idle: 0,
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+            preemptions: 0,
+            resumes: 0,
+            wait_sum_ms: 0.0,
+            wait_count: 0,
+            max_wait_ms: 0.0,
+            health_seq: 0,
+        };
+        core.replay(events);
+        let workers = core.cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(core),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(Daemon {
+            inner,
+            workers: Arc::new(Mutex::new(handles)),
+        })
+    }
+
+    /// Admit a job: journal it, enqueue it, and — when every worker is busy
+    /// and some running job has strictly lower priority — raise that job's
+    /// preempt signal so this submission gets a worker at the victim's next
+    /// iteration boundary.
+    pub fn submit(&self, spec: JobSpec) -> std::io::Result<JobId> {
+        let mut core = lock(&self.inner);
+        if core.shutdown {
+            return Err(std::io::Error::other("daemon is shutting down"));
+        }
+        let id = core.next_id;
+        core.next_id += 1;
+        core.journal.append(&JournalEvent::Submitted {
+            id,
+            spec: Box::new(spec.clone()),
+        })?;
+        core.sched
+            .enqueue(id, &spec.tenant, spec.priority, spec.cost);
+        let priority = spec.priority;
+        core.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                attempts: 0,
+                preemptions: 0,
+                resume_next: false,
+                cancel_requested: false,
+                preempt: None,
+                submitted_at: Instant::now(),
+                first_dispatch: None,
+            },
+        );
+        if core.workers_idle == 0 {
+            core.preempt_lowest_below(priority);
+        }
+        self.inner.cv.notify_all();
+        Ok(id)
+    }
+
+    /// Snapshot one job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let core = lock(&self.inner);
+        core.jobs.get(&id).map(|e| snapshot(id, e))
+    }
+
+    /// Snapshot every job, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let core = lock(&self.inner);
+        core.jobs.iter().map(|(id, e)| snapshot(*id, e)).collect()
+    }
+
+    /// Cancel a job. A queued job is removed immediately; a running job is
+    /// checkpoint-preempted and lands in `Cancelled` once it unwinds.
+    /// Returns whether a cancellation was initiated.
+    pub fn cancel(&self, id: JobId) -> std::io::Result<bool> {
+        let mut core = lock(&self.inner);
+        let Some(entry) = core.jobs.get(&id) else {
+            return Ok(false);
+        };
+        match entry.state {
+            JobState::Queued => {
+                core.journal.append(&JournalEvent::Cancelled { id })?;
+                core.sched.cancel(id);
+                let entry = core.jobs.get_mut(&id).unwrap();
+                entry.state = JobState::Cancelled;
+                core.cancelled += 1;
+                Ok(true)
+            }
+            JobState::Running => {
+                let entry = core.jobs.get_mut(&id).unwrap();
+                entry.cancel_requested = true;
+                if let Some(sig) = &entry.preempt {
+                    sig.request();
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Current daemon gauges as one [`ServeHeartbeat`].
+    pub fn health(&self) -> ServeHeartbeat {
+        let mut core = lock(&self.inner);
+        core.health_seq += 1;
+        core.heartbeat()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        lock(&self.inner).shutdown
+    }
+
+    /// Stop accepting work, checkpoint-preempt running jobs (journaled as
+    /// `Preempted`, so a later daemon resumes them), join the pool, and
+    /// compact the journal.
+    pub fn shutdown(&self) {
+        {
+            let mut core = lock(&self.inner);
+            core.shutdown = true;
+            for entry in core.jobs.values() {
+                if let Some(sig) = &entry.preempt {
+                    sig.request();
+                }
+            }
+            self.inner.cv.notify_all();
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut core = lock(&self.inner);
+        let snapshot_events = core.compaction_events();
+        let _ = core.journal.compact(&snapshot_events);
+    }
+}
+
+fn snapshot(id: JobId, e: &JobEntry) -> JobStatus {
+    JobStatus {
+        id,
+        tenant: e.spec.tenant.clone(),
+        priority: e.spec.priority,
+        cost: e.spec.cost,
+        state: e.state.clone(),
+        attempts: e.attempts,
+        preemptions: e.preemptions,
+        wait_ms: e
+            .first_dispatch
+            .map(|t| t.duration_since(e.submitted_at).as_secs_f64() * 1e3),
+    }
+}
+
+impl Core {
+    /// Fold replayed journal events back into job table + scheduler.
+    fn replay(&mut self, events: Vec<JournalEvent>) {
+        for ev in events {
+            match ev {
+                JournalEvent::Submitted { id, spec } => {
+                    self.next_id = self.next_id.max(id + 1);
+                    self.jobs.insert(
+                        id,
+                        JobEntry {
+                            spec: *spec,
+                            state: JobState::Queued,
+                            attempts: 0,
+                            preemptions: 0,
+                            resume_next: false,
+                            cancel_requested: false,
+                            preempt: None,
+                            submitted_at: Instant::now(),
+                            first_dispatch: None,
+                        },
+                    );
+                }
+                JournalEvent::Started { id } => {
+                    if let Some(e) = self.jobs.get_mut(&id) {
+                        e.state = JobState::Running;
+                        e.attempts += 1;
+                    }
+                }
+                JournalEvent::Preempted { id } => {
+                    if let Some(e) = self.jobs.get_mut(&id) {
+                        e.state = JobState::Queued;
+                        e.resume_next = true;
+                        e.preemptions += 1;
+                        self.preemptions += 1;
+                    }
+                }
+                JournalEvent::Cancelled { id } => {
+                    if let Some(e) = self.jobs.get_mut(&id) {
+                        e.state = JobState::Cancelled;
+                        self.cancelled += 1;
+                    }
+                }
+                JournalEvent::Completed {
+                    id,
+                    lnl,
+                    iterations,
+                } => {
+                    if let Some(e) = self.jobs.get_mut(&id) {
+                        e.state = JobState::Completed { lnl, iterations };
+                        self.completed += 1;
+                    }
+                }
+                JournalEvent::Failed { id, error } => {
+                    if let Some(e) = self.jobs.get_mut(&id) {
+                        e.state = JobState::Failed { error };
+                        self.failed += 1;
+                    }
+                }
+            }
+        }
+        // Jobs caught mid-run by a daemon crash restart from their last
+        // committed generation, like any other preemption.
+        let ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        for id in ids {
+            let e = self.jobs.get_mut(&id).unwrap();
+            if e.state == JobState::Running {
+                e.state = JobState::Queued;
+                e.resume_next = true;
+            }
+            if e.state == JobState::Queued {
+                let (tenant, priority, cost) =
+                    (e.spec.tenant.clone(), e.spec.priority, e.spec.cost);
+                if e.resume_next {
+                    self.sched.requeue_front(id, &tenant, priority, cost);
+                } else {
+                    self.sched.enqueue(id, &tenant, priority, cost);
+                }
+            }
+        }
+    }
+
+    /// Raise the preempt signal of the lowest-priority running job whose
+    /// priority is strictly below `incoming`, if any (skipping jobs already
+    /// asked to stop).
+    fn preempt_lowest_below(&mut self, incoming: u32) {
+        let victim = self
+            .jobs
+            .iter()
+            .filter(|(_, e)| e.state == JobState::Running)
+            .filter(|(_, e)| e.spec.priority < incoming)
+            .filter(|(_, e)| e.preempt.as_ref().is_some_and(|s| !s.is_requested()))
+            .min_by_key(|(id, e)| (e.spec.priority, std::cmp::Reverse(**id)))
+            .map(|(id, _)| *id);
+        if let Some(id) = victim {
+            if let Some(sig) = &self.jobs[&id].preempt {
+                sig.request();
+            }
+        }
+    }
+
+    fn running_count(&self, tenant: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|e| e.state == JobState::Running && e.spec.tenant == tenant)
+            .count()
+    }
+
+    fn heartbeat(&self) -> ServeHeartbeat {
+        let running = self
+            .jobs
+            .values()
+            .filter(|e| e.state == JobState::Running)
+            .count() as u64;
+        let tenants = self
+            .sched
+            .gauges()
+            .into_iter()
+            .map(|(tenant, queued, dispatched)| {
+                let running = self.running_count(&tenant) as u64;
+                TenantGauge {
+                    tenant,
+                    queued,
+                    running,
+                    dispatched,
+                }
+            })
+            .collect();
+        ServeHeartbeat {
+            seq: self.health_seq,
+            queue_depth: self.sched.depth() as u64,
+            running,
+            workers_idle: self.workers_idle,
+            completed: self.completed,
+            failed: self.failed,
+            cancelled: self.cancelled,
+            preemptions: self.preemptions,
+            resumes: self.resumes,
+            max_wait_ms: self.max_wait_ms,
+            mean_wait_ms: if self.wait_count == 0 {
+                0.0
+            } else {
+                self.wait_sum_ms / self.wait_count as f64
+            },
+            tenants,
+        }
+    }
+
+    /// Minimal journal equivalent to the current state: one `Submitted` per
+    /// non-terminal job (+ `Preempted` when it must resume). Terminal jobs
+    /// are dropped — their history is no longer needed for recovery.
+    fn compaction_events(&self) -> Vec<JournalEvent> {
+        let mut events = Vec::new();
+        for (id, e) in &self.jobs {
+            if e.state.is_terminal() {
+                continue;
+            }
+            events.push(JournalEvent::Submitted {
+                id: *id,
+                spec: Box::new(e.spec.clone()),
+            });
+            if e.resume_next || e.state == JobState::Running {
+                events.push(JournalEvent::Started { id: *id });
+                events.push(JournalEvent::Preempted { id: *id });
+            }
+        }
+        events
+    }
+
+    fn job_dir(&self, id: JobId) -> PathBuf {
+        self.cfg.spool.join("jobs").join(format!("{id:08}"))
+    }
+}
+
+/// What one dispatch needs outside the lock.
+struct Dispatch {
+    id: JobId,
+    spec: JobSpec,
+    resume: bool,
+    signal: PreemptSignal,
+    job_dir: PathBuf,
+}
+
+fn try_dispatch(core: &mut Core) -> Option<Dispatch> {
+    let counts: std::collections::HashMap<String, usize> = core
+        .jobs
+        .values()
+        .filter(|e| e.state == JobState::Running)
+        .fold(std::collections::HashMap::new(), |mut m, e| {
+            *m.entry(e.spec.tenant.clone()).or_insert(0) += 1;
+            m
+        });
+    let picked = core
+        .sched
+        .next(&|tenant| counts.get(tenant).copied().unwrap_or(0))?;
+    let id = picked.id;
+    let job_dir = core.job_dir(id);
+    // Resume only when a previous attempt actually committed a generation.
+    let resume = {
+        let e = &core.jobs[&id];
+        e.resume_next && checkpoint::load_latest(&job_dir.join("ckpt")).is_ok()
+    };
+    if core.journal.append(&JournalEvent::Started { id }).is_err() {
+        // Journal write failed: put the job back rather than running it
+        // un-journaled.
+        let e = &core.jobs[&id];
+        let (tenant, priority, cost) = (e.spec.tenant.clone(), e.spec.priority, e.spec.cost);
+        core.sched.requeue_front(id, &tenant, priority, cost);
+        return None;
+    }
+    let now = Instant::now();
+    let signal = PreemptSignal::new();
+    let e = core.jobs.get_mut(&id).unwrap();
+    e.state = JobState::Running;
+    e.attempts += 1;
+    e.preempt = Some(signal.clone());
+    if e.first_dispatch.is_none() {
+        e.first_dispatch = Some(now);
+        let wait_ms = now.duration_since(e.submitted_at).as_secs_f64() * 1e3;
+        core.wait_sum_ms += wait_ms;
+        core.wait_count += 1;
+        core.max_wait_ms = core.max_wait_ms.max(wait_ms);
+    }
+    if resume {
+        core.resumes += 1;
+    }
+    Some(Dispatch {
+        id,
+        spec: core.jobs[&id].spec.clone(),
+        resume,
+        signal,
+        job_dir,
+    })
+}
+
+fn worker_loop(inner: &Inner) {
+    // Immutable after start; clone outside the dispatch loop so the run
+    // itself never holds the daemon lock.
+    let cfg = lock(inner).cfg.clone();
+    loop {
+        let dispatch = {
+            let mut core = lock(inner);
+            core.workers_idle += 1;
+            let d = loop {
+                if core.shutdown {
+                    core.workers_idle -= 1;
+                    return;
+                }
+                if let Some(d) = try_dispatch(&mut core) {
+                    break d;
+                }
+                core = inner.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+            };
+            core.workers_idle -= 1;
+            d
+        };
+        let result = run_job(&dispatch, &cfg);
+        let mut core = lock(inner);
+        let id = dispatch.id;
+        match result {
+            JobOutcome::Done { lnl, iterations } => {
+                let _ = core.journal.append(&JournalEvent::Completed {
+                    id,
+                    lnl,
+                    iterations,
+                });
+                let e = core.jobs.get_mut(&id).unwrap();
+                e.state = JobState::Completed { lnl, iterations };
+                e.preempt = None;
+                core.completed += 1;
+            }
+            JobOutcome::Preempted => {
+                core.preemptions += 1;
+                let e = core.jobs.get_mut(&id).unwrap();
+                e.preemptions += 1;
+                e.preempt = None;
+                if e.cancel_requested {
+                    let _ = core.journal.append(&JournalEvent::Cancelled { id });
+                    let e = core.jobs.get_mut(&id).unwrap();
+                    e.state = JobState::Cancelled;
+                    core.cancelled += 1;
+                } else {
+                    // Either a higher-priority job displaced us, or the
+                    // daemon is shutting down. Both re-queue for resume.
+                    let _ = core.journal.append(&JournalEvent::Preempted { id });
+                    let e = core.jobs.get_mut(&id).unwrap();
+                    e.state = JobState::Queued;
+                    e.resume_next = true;
+                    let (tenant, priority, cost) =
+                        (e.spec.tenant.clone(), e.spec.priority, e.spec.cost);
+                    core.sched.requeue_front(id, &tenant, priority, cost);
+                }
+            }
+            JobOutcome::Error(error) => {
+                let _ = core.journal.append(&JournalEvent::Failed {
+                    id,
+                    error: error.clone(),
+                });
+                let e = core.jobs.get_mut(&id).unwrap();
+                e.state = JobState::Failed { error };
+                e.preempt = None;
+                core.failed += 1;
+            }
+        }
+        // A finished/requeued job may unblock a tenant quota or leave work
+        // for other parked workers.
+        inner.cv.notify_all();
+    }
+}
+
+enum JobOutcome {
+    Done { lnl: f64, iterations: u64 },
+    Preempted,
+    Error(String),
+}
+
+/// Load the job's alignment: `exa-bio` binary first, then PHYLIP, then
+/// FASTA text.
+fn load_alignment(path: &Path, partitions: Option<&Path>) -> Result<CompressedAlignment, String> {
+    if let Ok(compressed) = exa_bio::binary::read_file(path) {
+        return Ok(compressed);
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read alignment {}: {e}", path.display()))?;
+    let alignment = exa_bio::phylip::parse_phylip_auto(&text)
+        .or_else(|_| exa_bio::fasta::parse_fasta(&text))
+        .map_err(|e| format!("cannot parse alignment {}: {e}", path.display()))?;
+    let scheme = match partitions {
+        Some(p) => {
+            let ptext = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read partitions {}: {e}", p.display()))?;
+            exa_bio::partition::parse_partition_file(&ptext, alignment.n_sites())
+                .map_err(|e| e.to_string())?
+        }
+        None => PartitionScheme::unpartitioned(alignment.n_sites()),
+    };
+    Ok(CompressedAlignment::build(&alignment, &scheme))
+}
+
+/// Execute one dispatch outside the lock. The spec's `RunConfig` is taken
+/// verbatim except for the spool-owned fields.
+fn run_job(d: &Dispatch, cfg: &DaemonConfig) -> JobOutcome {
+    if let Err(e) = std::fs::create_dir_all(&d.job_dir) {
+        return JobOutcome::Error(format!("cannot create job dir: {e}"));
+    }
+    let compressed = match load_alignment(&d.spec.alignment, d.spec.partitions.as_deref()) {
+        Ok(c) => c,
+        Err(e) => return JobOutcome::Error(e),
+    };
+    let ckpt_dir = d.job_dir.join("ckpt");
+    let mut run = d.spec.config.clone();
+    run.checkpoint_out = Some(ckpt_dir.clone());
+    run.checkpoint_every = cfg.checkpoint_every;
+    run.checkpoint_every_secs = cfg.checkpoint_every_secs;
+    run.checkpoint_keep = cfg.checkpoint_keep;
+    run.preempt = Some(d.signal.clone());
+    run.health_out = Some(d.job_dir.join("health.jsonl"));
+    run.resume_from = d.resume.then(|| ckpt_dir.clone());
+    run.inject_kill = None;
+    run.collect_trace = false;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.run(&compressed)));
+    match outcome {
+        Ok(Ok(out)) => JobOutcome::Done {
+            lnl: out.result.lnl,
+            iterations: out.result.iterations as u64,
+        },
+        Ok(Err(RunError::Preempted { .. })) => JobOutcome::Preempted,
+        Ok(Err(e)) => JobOutcome::Error(e.to_string()),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "run panicked".into());
+            JobOutcome::Error(format!("panic: {msg}"))
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Wire protocol: minimal HTTP/1.1 and a line-oriented JSON protocol on
+//! the same TCP listener.
+//!
+//! The daemon sniffs the first byte of each connection: `{` starts the
+//! JSON-lines protocol (one request object per line, one response object
+//! per line — what [`crate::client`] speaks), anything else is parsed as an
+//! HTTP/1.1 request. Both surfaces expose the same six operations:
+//!
+//! | HTTP                      | JSON-lines `op`  |
+//! |---------------------------|------------------|
+//! | `POST /submit` (spec body)| `submit`         |
+//! | `GET /status/<id>`        | `status`         |
+//! | `POST /cancel/<id>`       | `cancel`         |
+//! | `GET /list`               | `list`           |
+//! | `GET /health`             | `health`         |
+//! | `GET /stream-health`      | `stream-health`  |
+//! | `POST /shutdown`          | `shutdown`       |
+//!
+//! `stream-health` emits one [`ServeHeartbeat`] JSON line per interval
+//! (`?count=N&interval_ms=M`) until the count is reached, the client goes
+//! away, or the daemon shuts down. Everything else responds with a single
+//! JSON object `{"ok":true,...}` or `{"ok":false,"error":...}`.
+//!
+//! The parser is deliberately tiny: request line + `Content-Length`, no
+//! chunked encoding, no keep-alive. Each connection is one thread; the
+//! accept loop polls non-blocking so daemon shutdown is observed promptly.
+
+use crate::daemon::Daemon;
+use crate::{JobId, JobSpec};
+use serde::{field, Serialize, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn ok_with(extra: Vec<(String, Value)>) -> Value {
+    let mut m = vec![("ok".to_string(), Value::Bool(true))];
+    m.extend(extra);
+    Value::Map(m)
+}
+
+fn err_with(msg: impl Into<String>) -> Value {
+    Value::Map(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(msg.into())),
+    ])
+}
+
+/// Handle one non-streaming operation. `shutdown` responds before the
+/// (blocking, graceful) shutdown itself begins, which the caller performs
+/// after writing the response.
+fn handle_op(daemon: &Daemon, op: &str, req: &Value) -> (Value, bool) {
+    let entries = match req.as_map("request") {
+        Ok(m) => m,
+        Err(e) => return (err_with(e.0), false),
+    };
+    let id_of = |entries: &[(String, Value)]| -> Result<JobId, String> {
+        field(entries, "id")
+            .as_u64("id")
+            .map_err(|e| e.0.to_string())
+    };
+    match op {
+        "submit" => match <JobSpec as serde::Deserialize>::from_value(field(entries, "spec")) {
+            Ok(spec) => match daemon.submit(spec) {
+                Ok(id) => (ok_with(vec![("id".to_string(), Value::UInt(id))]), false),
+                Err(e) => (err_with(e.to_string()), false),
+            },
+            Err(e) => (err_with(format!("bad spec: {}", e.0)), false),
+        },
+        "status" => match id_of(entries) {
+            Ok(id) => match daemon.status(id) {
+                Some(st) => (ok_with(vec![("job".to_string(), st.to_value())]), false),
+                None => (err_with(format!("no such job {id}")), false),
+            },
+            Err(e) => (err_with(e), false),
+        },
+        "cancel" => match id_of(entries) {
+            Ok(id) => match daemon.cancel(id) {
+                Ok(hit) => (
+                    ok_with(vec![("cancelled".to_string(), Value::Bool(hit))]),
+                    false,
+                ),
+                Err(e) => (err_with(e.to_string()), false),
+            },
+            Err(e) => (err_with(e), false),
+        },
+        "list" => {
+            let jobs: Vec<Value> = daemon.list().iter().map(|s| s.to_value()).collect();
+            (
+                ok_with(vec![("jobs".to_string(), Value::Array(jobs))]),
+                false,
+            )
+        }
+        "health" => (
+            ok_with(vec![("health".to_string(), daemon.health().to_value())]),
+            false,
+        ),
+        "shutdown" => (ok_with(vec![]), true),
+        other => (err_with(format!("unknown op {other:?}")), false),
+    }
+}
+
+/// Write heartbeats until `count` lines, a write error, or shutdown.
+fn stream_health(daemon: &Daemon, out: &mut dyn Write, count: u64, interval: Duration) {
+    for i in 0..count {
+        let line = daemon.health().to_json_line();
+        if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = out.flush();
+        if daemon.is_shutting_down() || i + 1 == count {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn stream_params(req: &Value) -> (u64, Duration) {
+    let entries = req.as_map("request").unwrap_or(&[]);
+    let count = field(entries, "count").as_u64("count").unwrap_or(u64::MAX);
+    let interval = field(entries, "interval_ms")
+        .as_u64("interval_ms")
+        .unwrap_or(200);
+    (count.max(1), Duration::from_millis(interval))
+}
+
+fn handle_jsonl(daemon: &Daemon, stream: TcpStream, first: u8) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut pending = vec![first];
+    loop {
+        let mut rest = String::new();
+        match reader.read_line(&mut rest) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        pending.extend_from_slice(rest.as_bytes());
+        let line = match String::from_utf8(std::mem::take(&mut pending)) {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    to_line(&err_with(format!("bad request: {e}")))
+                );
+                continue;
+            }
+        };
+        let op = req
+            .as_map("request")
+            .ok()
+            .map(|m| field(m, "op"))
+            .and_then(|v| v.as_str("op").ok().map(str::to_string))
+            .unwrap_or_default();
+        if op == "stream-health" {
+            let (count, interval) = stream_params(&req);
+            stream_health(daemon, &mut writer, count, interval);
+            let _ = writeln!(writer, "{}", to_line(&ok_with(vec![])));
+            continue;
+        }
+        let (resp, shutdown) = handle_op(daemon, &op, &req);
+        if writeln!(writer, "{}", to_line(&resp)).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if shutdown {
+            daemon.shutdown();
+            return;
+        }
+    }
+}
+
+fn to_line(v: &Value) -> String {
+    serde_json::to_string(v).expect("value serialization cannot fail")
+}
+
+fn http_response(out: &mut dyn Write, status: &str, body: &str) {
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = out.flush();
+}
+
+/// Parse `?count=N&interval_ms=M` from a path's query string.
+fn query_params(path: &str) -> (u64, Duration) {
+    let mut count = u64::MAX;
+    let mut interval = 200u64;
+    if let Some((_, query)) = path.split_once('?') {
+        for pair in query.split('&') {
+            if let Some((k, v)) = pair.split_once('=') {
+                match k {
+                    "count" => count = v.parse().unwrap_or(count),
+                    "interval_ms" => interval = v.parse().unwrap_or(interval),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (count.max(1), Duration::from_millis(interval))
+}
+
+fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Re-assemble the head: first sniffed byte + everything to the blank
+    // line.
+    let mut head = vec![first];
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        head.extend_from_slice(line.as_bytes());
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        if head.len() > 64 * 1024 {
+            http_response(&mut writer, "431 Request Header Fields Too Large", "{}");
+            return;
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            http_response(&mut writer, "400 Bad Request", "{}");
+            return;
+        }
+    };
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    if reader.read_exact(&mut body).is_err() && content_length > 0 {
+        http_response(&mut writer, "400 Bad Request", "{}");
+        return;
+    }
+    let route = path.split('?').next().unwrap_or("");
+    let (op, req): (String, Value) = match (method.as_str(), route) {
+        ("POST", "/submit") => {
+            let spec: Value = match serde_json::from_slice(&body) {
+                Ok(v) => v,
+                Err(e) => {
+                    http_response(
+                        &mut writer,
+                        "400 Bad Request",
+                        &to_line(&err_with(format!("bad body: {e}"))),
+                    );
+                    return;
+                }
+            };
+            (
+                "submit".into(),
+                Value::Map(vec![("spec".to_string(), spec)]),
+            )
+        }
+        ("GET", "/list") => ("list".into(), Value::Map(vec![])),
+        ("GET", "/health") => ("health".into(), Value::Map(vec![])),
+        ("POST", "/shutdown") => ("shutdown".into(), Value::Map(vec![])),
+        ("GET", "/stream-health") => {
+            let (count, interval) = query_params(&path);
+            let _ = write!(
+                writer,
+                "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+            );
+            stream_health(daemon, &mut writer, count, interval);
+            return;
+        }
+        (m, p) => {
+            let id_route = |prefix: &str| -> Option<JobId> {
+                p.strip_prefix(prefix).and_then(|s| s.parse().ok())
+            };
+            if m == "GET" {
+                if let Some(id) = id_route("/status/") {
+                    (
+                        "status".into(),
+                        Value::Map(vec![("id".to_string(), Value::UInt(id))]),
+                    )
+                } else {
+                    http_response(
+                        &mut writer,
+                        "404 Not Found",
+                        &to_line(&err_with("no route")),
+                    );
+                    return;
+                }
+            } else if m == "POST" {
+                if let Some(id) = id_route("/cancel/") {
+                    (
+                        "cancel".into(),
+                        Value::Map(vec![("id".to_string(), Value::UInt(id))]),
+                    )
+                } else {
+                    http_response(
+                        &mut writer,
+                        "404 Not Found",
+                        &to_line(&err_with("no route")),
+                    );
+                    return;
+                }
+            } else {
+                http_response(
+                    &mut writer,
+                    "404 Not Found",
+                    &to_line(&err_with("no route")),
+                );
+                return;
+            }
+        }
+    };
+    let (resp, shutdown) = handle_op(daemon, &op, &req);
+    let ok = matches!(
+        resp.as_map("response").ok().map(|m| field(m, "ok").clone()),
+        Some(Value::Bool(true))
+    );
+    http_response(
+        &mut writer,
+        if ok { "200 OK" } else { "400 Bad Request" },
+        &to_line(&resp),
+    );
+    if shutdown {
+        daemon.shutdown();
+    }
+}
+
+fn handle_conn(daemon: Daemon, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut first = [0u8; 1];
+    match stream.read(&mut first) {
+        Ok(1) => {}
+        _ => return,
+    }
+    if first[0] == b'{' {
+        handle_jsonl(&daemon, stream, first[0]);
+    } else {
+        handle_http(&daemon, stream, first[0]);
+    }
+}
+
+/// Serve connections on `listener` until the daemon shuts down. Returns
+/// the join handle of the accept thread.
+pub fn spawn(daemon: Daemon, listener: TcpListener) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let d = daemon.clone();
+                    std::thread::spawn(move || handle_conn(d, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if daemon.is_shutting_down() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => return,
+            }
+        }
+    })
+}

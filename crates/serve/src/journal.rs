@@ -1,0 +1,241 @@
+//! The daemon's crash-safe job journal.
+//!
+//! Every job state transition is one JSON line appended to
+//! `<spool>/journal.jsonl` and fsynced before the transition takes effect
+//! anywhere else — the journal *is* the queue's durable state. On startup
+//! the daemon replays the journal: terminal jobs are remembered for status
+//! queries, queued jobs re-enter the scheduler, and jobs that were running
+//! when the process died are re-queued (their next dispatch resumes from
+//! the newest intact checkpoint generation in the job's spool directory,
+//! exactly like `--resume`).
+//!
+//! A torn final line — the append that was racing the crash — is detected
+//! and dropped during replay; every earlier line was fsynced before being
+//! acted on, so nothing else can be torn. [`Journal::compact`] rewrites the
+//! file through [`examl_core::checkpoint::atomic_write`], the same
+//! two-phase commit (unique tmp + fsync + rename + directory fsync) the
+//! checkpoint layer uses, so a crash mid-compaction leaves the old journal
+//! intact.
+
+use crate::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One durable job state transition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// Job admitted with its full spec (boxed: a spec dwarfs every other
+    /// variant).
+    Submitted { id: JobId, spec: Box<JobSpec> },
+    /// Dispatched to a worker (initial run or resume).
+    Started { id: JobId },
+    /// Checkpoint-preempted and re-queued.
+    Preempted { id: JobId },
+    /// Cancelled (from the queue, or via preemption while running).
+    Cancelled { id: JobId },
+    /// Finished with a final likelihood.
+    Completed {
+        id: JobId,
+        lnl: f64,
+        iterations: u64,
+    },
+    /// The run returned an error.
+    Failed { id: JobId, error: String },
+}
+
+impl JournalEvent {
+    /// The job this event belongs to.
+    pub fn id(&self) -> JobId {
+        match self {
+            JournalEvent::Submitted { id, .. }
+            | JournalEvent::Started { id }
+            | JournalEvent::Preempted { id }
+            | JournalEvent::Cancelled { id }
+            | JournalEvent::Completed { id, .. }
+            | JournalEvent::Failed { id, .. } => *id,
+        }
+    }
+}
+
+/// Append handle on the journal file. Opening replays existing events.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Journal file inside a spool directory.
+    pub fn path_in(spool: &Path) -> PathBuf {
+        spool.join("journal.jsonl")
+    }
+
+    /// Open (creating if absent) the journal in `spool`, returning the
+    /// handle and the replayed events. A torn final line is dropped; a
+    /// malformed line elsewhere is a hard error, since only the last append
+    /// can legitimately be interrupted.
+    pub fn open(spool: &Path) -> std::io::Result<(Journal, Vec<JournalEvent>)> {
+        std::fs::create_dir_all(spool)?;
+        let path = Self::path_in(spool);
+        let mut events = Vec::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+                for (i, line) in lines.iter().enumerate() {
+                    match serde_json::from_str::<JournalEvent>(line) {
+                        Ok(ev) => events.push(ev),
+                        Err(e) if i + 1 == lines.len() && !text.ends_with('\n') => {
+                            // The crash tore the final append mid-line.
+                            let _ = e;
+                        }
+                        Err(e) => {
+                            return Err(std::io::Error::other(format!(
+                                "corrupt journal line {}: {e}",
+                                i + 1
+                            )));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((Journal { path, file }, events))
+    }
+
+    /// Durably append one event: write the line, flush, fsync. The caller
+    /// must not act on the transition before this returns.
+    pub fn append(&mut self, ev: &JournalEvent) -> std::io::Result<()> {
+        let line = serde_json::to_string(ev)
+            .map_err(|e| std::io::Error::other(format!("journal encode: {e}")))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Atomically replace the journal with `events` (dropping history for
+    /// terminal jobs), then reopen for appending.
+    pub fn compact(&mut self, events: &[JournalEvent]) -> std::io::Result<()> {
+        let mut bytes = Vec::new();
+        for ev in events {
+            let line = serde_json::to_string(ev)
+                .map_err(|e| std::io::Error::other(format!("journal encode: {e}")))?;
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        }
+        examl_core::checkpoint::atomic_write(&self.path, &bytes)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use examl_core::RunConfig;
+
+    fn spec(tenant: &str) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: 2,
+            cost: 10,
+            alignment: PathBuf::from("data.phy"),
+            partitions: None,
+            config: RunConfig::new(2),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "exa-serve-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn events_replay_in_order() {
+        let dir = tmpdir("replay");
+        {
+            let (mut j, replayed) = Journal::open(&dir).unwrap();
+            assert!(replayed.is_empty());
+            j.append(&JournalEvent::Submitted {
+                id: 1,
+                spec: Box::new(spec("a")),
+            })
+            .unwrap();
+            j.append(&JournalEvent::Started { id: 1 }).unwrap();
+            j.append(&JournalEvent::Preempted { id: 1 }).unwrap();
+            j.append(&JournalEvent::Completed {
+                id: 1,
+                lnl: -1234.5,
+                iterations: 7,
+            })
+            .unwrap();
+        }
+        let (_, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 4);
+        assert!(matches!(
+            &replayed[0],
+            JournalEvent::Submitted { id: 1, spec } if spec.tenant == "a"
+        ));
+        assert!(
+            matches!(&replayed[3], JournalEvent::Completed { lnl, .. } if (*lnl + 1234.5).abs() < 1e-12)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_corruption_elsewhere_is_fatal() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.append(&JournalEvent::Started { id: 3 }).unwrap();
+        }
+        let path = Journal::path_in(&dir);
+        // Simulate a crash mid-append: a truncated, newline-less tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"Started\":{\"id\"");
+        std::fs::write(&path, &text).unwrap();
+        let (_, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1);
+
+        // A mangled *interior* line is real corruption and must not be
+        // silently skipped.
+        std::fs::write(&path, "garbage\n{\"Started\":{\"id\":3}}\n").unwrap();
+        assert!(Journal::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_rewrites_atomically_and_keeps_appending() {
+        let dir = tmpdir("compact");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        for id in 1..=5 {
+            j.append(&JournalEvent::Started { id }).unwrap();
+            j.append(&JournalEvent::Completed {
+                id,
+                lnl: -1.0,
+                iterations: 1,
+            })
+            .unwrap();
+        }
+        j.compact(&[JournalEvent::Submitted {
+            id: 6,
+            spec: Box::new(spec("b")),
+        }])
+        .unwrap();
+        j.append(&JournalEvent::Started { id: 6 }).unwrap();
+        let (_, replayed) = Journal::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].id(), 6);
+        assert!(matches!(replayed[1], JournalEvent::Started { id: 6 }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

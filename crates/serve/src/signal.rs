@@ -1,0 +1,66 @@
+//! Async-signal bridge: SIGINT/SIGTERM → a process-wide flag → a
+//! [`PreemptSignal`](exa_search::PreemptSignal).
+//!
+//! The container has no `libc` crate, so the handler is installed through
+//! the C `signal(2)` symbol directly. The handler itself only stores into
+//! an atomic (the one thing that is async-signal-safe); a watcher thread
+//! polls the flag and raises the run's preempt signal, which the drivers
+//! observe cooperatively at the next iteration boundary — so a `kill -TERM`
+//! of a checkpointing run commits a final generation and exits cleanly
+//! instead of dying mid-iteration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATION_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handler (idempotent; no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Spawn a watcher that raises `preempt` as soon as a termination signal
+/// arrives. The watcher exits when `preempt` is dropped everywhere else or
+/// after it has fired; it polls at 50 ms, far below any iteration length.
+pub fn bridge_to(preempt: exa_search::PreemptSignal) {
+    std::thread::spawn(move || loop {
+        if termination_requested() {
+            preempt.request();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}

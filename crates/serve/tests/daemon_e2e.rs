@@ -1,0 +1,219 @@
+//! End-to-end daemon tests: submit/preempt/resume/cancel against a real
+//! worker pool running real (small) likelihood searches, plus journal
+//! replay across a daemon restart.
+//!
+//! The central claim mirrors the restart-chaos harness one level up: a job
+//! that was checkpoint-preempted by a higher-priority submission — or cut
+//! short by a daemon shutdown — must finish with a final likelihood
+//! **bitwise** identical to the same job run uninterrupted.
+
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_search::SearchConfig;
+use exa_serve::daemon::{Daemon, DaemonConfig};
+use exa_serve::{JobSpec, JobState};
+use exa_simgen::workloads;
+use examl_core::RunConfig;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A spool directory plus a PHYLIP alignment file the daemon can load.
+struct Fixture {
+    root: PathBuf,
+    alignment: PathBuf,
+    /// The alignment exactly as the daemon will see it (text round-trip,
+    /// unpartitioned) — references must run on the same patterns.
+    compressed: CompressedAlignment,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("examl_serve_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        let w = workloads::partitioned(8, 2, 100, 41);
+        let text = exa_bio::phylip::write_phylip(&w.alignment);
+        let alignment = root.join("aln.phy");
+        std::fs::write(&alignment, &text).unwrap();
+        let parsed = exa_bio::phylip::parse_phylip_auto(&text).unwrap();
+        let scheme = PartitionScheme::unpartitioned(parsed.n_sites());
+        let compressed = CompressedAlignment::build(&parsed, &scheme);
+        Fixture {
+            root,
+            alignment,
+            compressed,
+        }
+    }
+
+    fn spool(&self) -> PathBuf {
+        self.root.join("spool")
+    }
+
+    fn spec(&self, tenant: &str, priority: u32, iterations: usize) -> JobSpec {
+        JobSpec {
+            tenant: tenant.to_string(),
+            priority,
+            cost: 1,
+            alignment: self.alignment.clone(),
+            partitions: None,
+            config: RunConfig::new(2).seed(23).search(SearchConfig {
+                max_iterations: iterations,
+                epsilon: 1e-9,
+                ..SearchConfig::fast()
+            }),
+        }
+    }
+
+    /// The lnL the daemon must reproduce for `spec`, computed by running
+    /// the identical config uninterrupted (checkpointing on, as the daemon
+    /// forces it).
+    fn reference_lnl(&self, spec: &JobSpec, tag: &str) -> f64 {
+        let dir = self.root.join(format!("ref_{tag}"));
+        let out = spec
+            .config
+            .clone()
+            .checkpoint(&dir, 1)
+            .run(&self.compressed)
+            .unwrap();
+        out.result.lnl
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn wait_for(daemon: &Daemon, id: u64, pred: impl Fn(&JobState) -> bool, what: &str) -> JobState {
+    let start = Instant::now();
+    loop {
+        let st = daemon.status(id).expect("job must exist").state;
+        if pred(&st) {
+            return st;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(120),
+            "timed out waiting for job {id} to be {what}; last state {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn completed_lnl(state: &JobState) -> f64 {
+    match state {
+        JobState::Completed { lnl, .. } => *lnl,
+        other => panic!("expected Completed, got {other:?}"),
+    }
+}
+
+#[test]
+fn preempted_job_resumes_to_bitwise_identical_lnl() {
+    let fx = Fixture::new("preempt");
+    let low = fx.spec("batch", 0, 10);
+    let high = fx.spec("interactive", 9, 2);
+    let low_ref = fx.reference_lnl(&low, "low");
+    let high_ref = fx.reference_lnl(&high, "high");
+
+    // One worker: the high-priority submission can only run by preempting.
+    let mut cfg = DaemonConfig::new(fx.spool());
+    cfg.workers = 1;
+    let daemon = Daemon::start(cfg).unwrap();
+
+    let low_id = daemon.submit(low).unwrap();
+    wait_for(&daemon, low_id, |s| *s == JobState::Running, "running");
+    let high_id = daemon.submit(high).unwrap();
+
+    let high_state = wait_for(&daemon, high_id, JobState::is_terminal, "terminal");
+    let low_state = wait_for(&daemon, low_id, JobState::is_terminal, "terminal");
+
+    let low_status = daemon.status(low_id).unwrap();
+    assert!(
+        low_status.preemptions >= 1,
+        "the low-priority job must have been checkpoint-preempted"
+    );
+    assert_eq!(
+        completed_lnl(&low_state).to_bits(),
+        low_ref.to_bits(),
+        "preempt/resume must preserve the final likelihood bitwise"
+    );
+    assert_eq!(completed_lnl(&high_state).to_bits(), high_ref.to_bits());
+
+    let hb = daemon.health();
+    assert!(hb.preemptions >= 1, "health must count the preemption");
+    assert!(hb.resumes >= 1, "health must count the resume");
+    assert_eq!(hb.completed, 2);
+    daemon.shutdown();
+}
+
+#[test]
+fn cancel_hits_queued_and_running_jobs() {
+    let fx = Fixture::new("cancel");
+    let mut cfg = DaemonConfig::new(fx.spool());
+    cfg.workers = 1;
+    let daemon = Daemon::start(cfg).unwrap();
+
+    let running = daemon.submit(fx.spec("a", 0, 10)).unwrap();
+    wait_for(&daemon, running, |s| *s == JobState::Running, "running");
+    // Same priority: these queue behind the running job.
+    let queued_a = daemon.submit(fx.spec("a", 0, 2)).unwrap();
+    let queued_b = daemon.submit(fx.spec("a", 0, 2)).unwrap();
+
+    // Cancelling a queued job is immediate.
+    assert!(daemon.cancel(queued_b).unwrap());
+    assert_eq!(
+        daemon.status(queued_b).unwrap().state,
+        JobState::Cancelled,
+        "queued job must cancel synchronously"
+    );
+
+    // Cancelling the running job checkpoint-preempts it into `Cancelled`
+    // rather than re-queueing it.
+    assert!(daemon.cancel(running).unwrap());
+    let st = wait_for(&daemon, running, JobState::is_terminal, "terminal");
+    assert_eq!(st, JobState::Cancelled);
+
+    // The untouched job still completes; cancelling it afterwards is a
+    // no-op.
+    wait_for(&daemon, queued_a, JobState::is_terminal, "terminal");
+    assert!(!daemon.cancel(queued_a).unwrap());
+
+    let hb = daemon.health();
+    assert_eq!(hb.cancelled, 2);
+    assert_eq!(hb.completed, 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_journal_replay_resumes_to_bitwise_identical_lnl() {
+    let fx = Fixture::new("replay");
+    let spec = fx.spec("batch", 0, 10);
+    let reference = fx.reference_lnl(&spec, "replay");
+
+    let mut cfg = DaemonConfig::new(fx.spool());
+    cfg.workers = 1;
+    let daemon = Daemon::start(cfg.clone()).unwrap();
+    let id = daemon.submit(spec).unwrap();
+    wait_for(&daemon, id, |s| *s == JobState::Running, "running");
+    // Graceful shutdown: checkpoint-preempt, journal `Preempted`, compact.
+    daemon.shutdown();
+    assert!(
+        !daemon.status(id).unwrap().state.is_terminal(),
+        "shutdown must leave the interrupted job resumable, not failed"
+    );
+    drop(daemon);
+
+    // A fresh daemon on the same spool replays the journal and finishes
+    // the job from its checkpoint.
+    let daemon = Daemon::start(cfg).unwrap();
+    let st = daemon.status(id).expect("replay must restore the job");
+    assert!(!st.state.is_terminal(), "job must come back queued");
+    let state = wait_for(&daemon, id, JobState::is_terminal, "terminal");
+    assert_eq!(
+        completed_lnl(&state).to_bits(),
+        reference.to_bits(),
+        "a job finished across a daemon restart must match the reference bitwise"
+    );
+    assert!(daemon.health().resumes >= 1);
+    daemon.shutdown();
+}

@@ -25,7 +25,7 @@ echo "==> examl smoke run (sentinel + heartbeat + repeat compression)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/smoke.phy" 8 2 60 1
-cargo run -q --release -p examl-core --bin examl -- \
+cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 --kernel auto \
   --site-repeats on --verify-replicas 8 --health-out "$tmp/health.jsonl" \
   --out-tree "$tmp/smoke.nwk" --quiet
@@ -50,7 +50,7 @@ ratio="$(tail -n 1 "$tmp/health.jsonl" | jq -r .repeat_ratio)"
 echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel, repeat ratio: $ratio)"
 
 echo "==> examl checkpoint smoke (atomic generations + heartbeat fields)"
-cargo run -q --release -p examl-core --bin examl -- \
+cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
   --checkpoint-out "$tmp/ckpt" --checkpoint-every 1 \
   --health-out "$tmp/ckpt_health.jsonl" --quiet
@@ -68,17 +68,65 @@ tail -n 1 "$tmp/ckpt_health.jsonl" | jq -e '.checkpoint_write_ms >= 0' >/dev/nul
 echo "==> examl kill/restart smoke (injected kill exits 3, resume completes)"
 rm -rf "$tmp/ckpt"
 set +e
-cargo run -q --release -p examl-core --bin examl -- \
+cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
   --checkpoint-out "$tmp/ckpt" --checkpoint-every 1 \
   --inject-kill 1 --quiet
 kill_status=$?
 set -e
 [ "$kill_status" -eq 3 ] || { echo "injected kill must exit 3, got $kill_status"; exit 1; }
-cargo run -q --release -p examl-core --bin examl -- \
+cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \
   --resume "$tmp/ckpt" --out-tree "$tmp/resumed.nwk" --quiet
 test -s "$tmp/resumed.nwk"
 echo "checkpoint: kill at generation 1 exited 3, resume completed"
+
+echo "==> exa-serve daemon smoke (fair-share queue, preemption, health gauges)"
+examl_serve() { cargo run -q --release -p exa-serve --bin examl -- serve "$@"; }
+cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/serve.phy" 16 2 300 2
+examl_serve daemon --spool "$tmp/spool" --workers 1 \
+  >"$tmp/daemon.log" 2>"$tmp/daemon.err" &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$tmp/daemon.log" | head -n 1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never reported its listen address"; cat "$tmp/daemon.err"; exit 1; }
+# One worker: a long batch run plus a backlog keeps the queue non-empty
+# while we sample the gauges, and the priority-9 submission can only run
+# by checkpoint-preempting the batch job.
+low_id="$(examl_serve submit --to "$addr" --alignment "$tmp/serve.phy" \
+  --tenant batch --priority 0 --iterations 60 --epsilon 0.0000001 --seed 7)"
+extra_ids=""
+for _ in 1 2 3; do
+  extra_ids="$extra_ids $(examl_serve submit --to "$addr" --alignment "$tmp/serve.phy" \
+    --tenant batch --priority 0 --iterations 2 --seed 7)"
+done
+examl_serve health --to "$addr" | jq -e '.queue_depth >= 1' >/dev/null \
+  || { echo "queue depth gauge missing the backlog"; exit 1; }
+high_id="$(examl_serve submit --to "$addr" --alignment "$tmp/serve.phy" \
+  --tenant interactive --priority 9 --iterations 2 --seed 7)"
+examl_serve wait --to "$addr" "$high_id" --timeout-secs 300 >/dev/null
+low_status="$(examl_serve wait --to "$addr" "$low_id" --timeout-secs 300)"
+for jid in $extra_ids; do
+  examl_serve wait --to "$addr" "$jid" --timeout-secs 300 >/dev/null
+done
+printf '%s' "$low_status" | jq -e '.preemptions >= 1' >/dev/null \
+  || { echo "batch job was never preempted: $low_status"; exit 1; }
+printf '%s' "$low_status" | jq -e '.attempts >= 2' >/dev/null \
+  || { echo "preempted job was never re-dispatched: $low_status"; exit 1; }
+health="$(examl_serve health --to "$addr")"
+printf '%s' "$health" | jq -e '.preemptions >= 1' >/dev/null \
+  || { echo "health missing preemption count: $health"; exit 1; }
+printf '%s' "$health" | jq -e '.queue_depth == 0' >/dev/null \
+  || { echo "queue must drain: $health"; exit 1; }
+printf '%s' "$health" | jq -e '.completed == 5 and .resumes >= 1' >/dev/null \
+  || { echo "expected 5 completed jobs incl. one resume: $health"; exit 1; }
+examl_serve shutdown --to "$addr" >/dev/null
+wait "$daemon_pid" || { echo "daemon exited non-zero"; exit 1; }
+echo "serve: 5 jobs, $(printf '%s' "$health" | jq -r .preemptions) preemption(s), queue drained, clean shutdown"
 
 echo "verify: OK"

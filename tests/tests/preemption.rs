@@ -1,0 +1,132 @@
+//! Cooperative checkpoint-preemption at the `RunConfig` level, for both
+//! parallelization schemes.
+//!
+//! A [`PreemptSignal`] raised against a run must stop it at the next
+//! iteration boundary with [`RunError::Preempted`], leaving a committed
+//! final checkpoint generation behind. Resuming from that generation —
+//! through any number of further preempt/resume cycles — must converge to
+//! a final likelihood, topology and model state **bitwise** identical to
+//! an uninterrupted run of the same configuration: preemption is a pause,
+//! not a perturbation. This is the contract `exa-serve` builds its
+//! fair-share preemption on.
+
+use exa_search::{PreemptSignal, SearchConfig};
+use exa_simgen::workloads;
+use examl_core::{checkpoint, RunConfig, RunError, RunOutcome, Scheme};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("examl_preempt_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn base_cfg(scheme: Scheme) -> RunConfig {
+    RunConfig::new(2)
+        .scheme(scheme)
+        .seed(23)
+        .search(SearchConfig {
+            max_iterations: 4,
+            epsilon: 0.001,
+            ..SearchConfig::fast()
+        })
+}
+
+/// Bitwise state fingerprint: likelihood bits, topology, and every model
+/// parameter's bits.
+fn fingerprint(out: &RunOutcome) -> (u64, String, Vec<u64>, Vec<u64>) {
+    (
+        out.result.lnl.to_bits(),
+        out.tree_newick.clone(),
+        out.state.alphas.iter().map(|a| a.to_bits()).collect(),
+        out.state
+            .gtr_rates
+            .iter()
+            .flat_map(|r| r.iter().map(|v| v.to_bits()))
+            .collect(),
+    )
+}
+
+/// Preempt the run `cycles` times (each resume re-raising the signal so it
+/// stops at its very next boundary), then resume once more to completion
+/// and compare bitwise against the uninterrupted reference.
+fn preempt_resume_cycles(tag: &str, scheme: Scheme, cycles: usize) {
+    let w = workloads::partitioned(8, 2, 100, 41);
+
+    let ref_dir = tmp_dir(&format!("{tag}_ref"));
+    let reference = base_cfg(scheme)
+        .checkpoint(&ref_dir, 1)
+        .run(&w.compressed)
+        .unwrap_or_else(|e| panic!("[{tag}] reference run failed: {e}"));
+    std::fs::remove_dir_all(&ref_dir).ok();
+
+    let dir = tmp_dir(tag);
+    for k in 0..cycles {
+        // Raising the signal before the run starts makes the preemption
+        // point deterministic: the first boundary the driver reaches.
+        let signal = PreemptSignal::new();
+        signal.request();
+        let mut cfg = base_cfg(scheme).checkpoint(&dir, 1).preempt(signal);
+        if k > 0 {
+            cfg = cfg.resume(&dir);
+        }
+        match cfg.run(&w.compressed) {
+            Err(RunError::Preempted {
+                iteration,
+                checkpoints,
+            }) => {
+                assert!(
+                    checkpoints >= 1,
+                    "[{tag}] cycle {k}: preemption must commit a final generation"
+                );
+                assert!(
+                    iteration <= 4,
+                    "[{tag}] cycle {k}: preempted past max_iterations at {iteration}"
+                );
+            }
+            Ok(_) => panic!("[{tag}] cycle {k}: run ignored the preempt signal"),
+            Err(other) => panic!("[{tag}] cycle {k}: expected Preempted, got {other}"),
+        }
+        assert!(
+            !checkpoint::list_generations(&dir).unwrap().is_empty(),
+            "[{tag}] cycle {k}: no committed generations after preemption"
+        );
+    }
+
+    // A signal left un-raised must not disturb the resumed run.
+    let resumed = base_cfg(scheme)
+        .checkpoint(&dir, 1)
+        .preempt(PreemptSignal::new())
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap_or_else(|e| panic!("[{tag}] final resume failed: {e}"));
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&reference),
+        "[{tag}] preempt/resume must replay the uninterrupted run bitwise"
+    );
+}
+
+#[test]
+fn decentralized_preempt_resume_is_bitwise_identical() {
+    preempt_resume_cycles("decentralized", Scheme::Decentralized, 2);
+}
+
+#[test]
+fn forkjoin_preempt_resume_is_bitwise_identical() {
+    preempt_resume_cycles("forkjoin", Scheme::ForkJoin, 2);
+}
+
+#[test]
+fn unraised_signal_changes_nothing() {
+    // A run with a preempt handle that is never raised must be bitwise
+    // identical to one with no handle at all.
+    let w = workloads::partitioned(8, 2, 100, 41);
+    let plain = base_cfg(Scheme::Decentralized).run(&w.compressed).unwrap();
+    let armed = base_cfg(Scheme::Decentralized)
+        .preempt(PreemptSignal::new())
+        .run(&w.compressed)
+        .unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&armed));
+}
