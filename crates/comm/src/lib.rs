@@ -112,6 +112,39 @@ struct Ctx {
     stats: Mutex<CommStats>,
 }
 
+/// Registry handles for collective instrumentation, resolved once so the
+/// per-collective cost is two relaxed atomic adds.
+struct CollectiveMetrics {
+    calls: Arc<exa_obs::metrics::Counter>,
+    wait_ns: Arc<exa_obs::metrics::Counter>,
+}
+
+impl CollectiveMetrics {
+    fn observe(&self, elapsed_ns: u64) {
+        self.calls.inc();
+        self.wait_ns.add(elapsed_ns);
+    }
+}
+
+fn collective_metrics() -> &'static CollectiveMetrics {
+    static HANDLES: std::sync::OnceLock<CollectiveMetrics> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = exa_obs::metrics::global();
+        CollectiveMetrics {
+            calls: reg.counter(
+                "exa_collectives_total",
+                "Collective operations completed across all ranks.",
+                &[],
+            ),
+            wait_ns: reg.counter(
+                "exa_collective_wait_ns_total",
+                "Nanoseconds ranks spent inside collectives (sync + exchange), summed over ranks.",
+                &[],
+            ),
+        }
+    })
+}
+
 /// Handle a rank thread uses to communicate.
 #[derive(Clone)]
 pub struct Rank {
@@ -267,6 +300,9 @@ impl Rank {
             .tracer
             .as_ref()
             .map(|t| t.region(RegionKind::CollectiveWait));
+        // Live-metrics twin of the trace span: pay for the clock read only
+        // when the registry is on.
+        let metrics_t0 = exa_obs::metrics::enabled().then(std::time::Instant::now);
         let ctx = &*self.ctx;
         let mut st = ctx.state.lock();
         debug_assert!(
@@ -367,6 +403,9 @@ impl Rank {
         drop(st);
         if let Some(t) = &self.tracer {
             t.collective(op.kind, traced_category, wire_bytes(&out));
+        }
+        if let Some(t0) = metrics_t0 {
+            collective_metrics().observe(t0.elapsed().as_nanos() as u64);
         }
         Ok(out)
     }

@@ -45,6 +45,7 @@ pub const FLAGS: &[&str] = &[
     "--bootstrap",
     "--verify-replicas",
     "--health-out",
+    "--metrics-out",
     "--inject-divergence",
     "--ascii",
     "--stats",
@@ -88,6 +89,9 @@ pub struct CliConfig {
     pub stats_only: bool,
     pub verify_replicas: u64,
     pub health_out: Option<PathBuf>,
+    /// Dump a Prometheus text-format snapshot of the process-global
+    /// metrics registry to this file at exit (also enables the registry).
+    pub metrics_out: Option<PathBuf>,
     pub inject_divergence: Option<DivergenceFault>,
 }
 
@@ -124,6 +128,7 @@ impl Default for CliConfig {
             stats_only: false,
             verify_replicas: 0,
             health_out: None,
+            metrics_out: None,
             inject_divergence: None,
         }
     }
@@ -338,6 +343,7 @@ impl CliConfig {
                     )?
                 }
                 "--health-out" => cfg.health_out = Some(value("--health-out")?.into()),
+                "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
                 "--inject-divergence" => {
                     let v = value("--inject-divergence")?;
                     cfg.inject_divergence =
@@ -459,6 +465,8 @@ mod tests {
             "16",
             "--inject-divergence",
             "1:10:alpha",
+            "--metrics-out",
+            "metrics.prom",
             "--quiet",
         ])
         .unwrap();
@@ -474,6 +482,10 @@ mod tests {
         assert_eq!(fault.rank, 1);
         assert_eq!(fault.after_collectives, 10);
         assert_eq!(fault.component, FaultComponent::Alpha);
+        assert_eq!(
+            c.metrics_out.as_deref(),
+            Some(std::path::Path::new("metrics.prom"))
+        );
     }
 
     #[test]

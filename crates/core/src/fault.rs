@@ -282,7 +282,9 @@ impl DecentralizedHooks {
         );
         checkpoint::save_generation_keeping(&dir, &ckpt, self.cfg.checkpoint_keep)
             .expect("checkpoint write failed");
-        self.last_checkpoint_ms = Some(t0.elapsed().as_secs_f64() * 1e3);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.last_checkpoint_ms = Some(elapsed_ms);
+        crate::run::observe_checkpoint_write("decentralized", elapsed_ms);
     }
 
     /// Fire the injected kill once the configured number of checkpoints

@@ -548,6 +548,7 @@ impl RunConfig {
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         let out = decentralized_impl(aln, &cfg, recorder.as_ref(), resume.as_ref())?;
         let trace = recorder.map(Recorder::finish);
+        record_run_metrics("decentralized", out.kernel, trace.as_ref());
         let health = self.health_report(
             aln,
             out.sentinel_syncs,
@@ -627,6 +628,7 @@ impl RunConfig {
         };
         let keep = self.checkpoint_keep;
         let sink = move |snap: &SearchSnapshot| -> std::io::Result<()> {
+            let t0 = std::time::Instant::now();
             let dir = dir.as_deref().expect("sink only called when checkpointing");
             let ckpt = Checkpoint::build(
                 header.clone(),
@@ -635,9 +637,11 @@ impl RunConfig {
                     bootstrap: None,
                 },
             );
-            checkpoint::save_generation_keeping(dir, &ckpt, keep)
+            let res = checkpoint::save_generation_keeping(dir, &ckpt, keep)
                 .map(|_| ())
-                .map_err(std::io::Error::other)
+                .map_err(std::io::Error::other);
+            observe_checkpoint_write("forkjoin", t0.elapsed().as_secs_f64() * 1e3);
+            res
         };
         let ctrl = (self.checkpoint_out.is_some()
             || resume.is_some()
@@ -674,6 +678,7 @@ impl RunConfig {
             }
         };
         let trace = recorder.map(Recorder::finish);
+        record_run_metrics("forkjoin", kernel, trace.as_ref());
         let health = self.health_report(aln, 0, trace.as_ref(), kernel, site_repeats, &out.work);
         Ok(RunOutcome {
             result: out.result,
@@ -725,8 +730,52 @@ impl RunConfig {
             kernel: Some(kernel.label().to_string()),
             site_repeats: Some(site_repeats.label().to_string()),
             repeat_ratio: Some(work.repeat_ratio()),
+            critical_path: trace
+                .and_then(RunTrace::critical_path)
+                .map(|cp| cp.summary()),
         }
     }
+}
+
+/// Fold a finished run into the process-global metrics registry: one
+/// `exa_runs_completed_total{scheme}` tick, plus the trace's total kernel
+/// time as `exa_kernel_ns_total{scheme,kernel}` when tracing was on. No-op
+/// while the registry is disabled.
+fn record_run_metrics(scheme: &str, kernel: KernelKind, trace: Option<&RunTrace>) {
+    if !exa_obs::metrics::enabled() {
+        return;
+    }
+    let reg = exa_obs::metrics::global();
+    reg.counter(
+        "exa_runs_completed_total",
+        "Tree-search runs completed, by parallelization scheme.",
+        &[("scheme", scheme)],
+    )
+    .inc();
+    if let Some(t) = trace {
+        let total: u64 = t.kernel_profile().rank_totals().iter().sum();
+        reg.counter(
+            "exa_kernel_ns_total",
+            "Nanoseconds spent in likelihood kernels, summed over ranks.",
+            &[("scheme", scheme), ("kernel", kernel.label())],
+        )
+        .add(total);
+    }
+}
+
+/// Record one checkpoint write's wall time into
+/// `exa_checkpoint_write_ms{scheme}`. No-op while the registry is disabled.
+pub(crate) fn observe_checkpoint_write(scheme: &str, ms: f64) {
+    if !exa_obs::metrics::enabled() {
+        return;
+    }
+    exa_obs::metrics::global()
+        .histogram(
+            "exa_checkpoint_write_ms",
+            "Wall-clock milliseconds per checkpoint write (gather + encode + fsync + rename).",
+            &[("scheme", scheme)],
+        )
+        .observe(ms);
 }
 
 fn assemble(

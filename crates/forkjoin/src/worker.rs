@@ -10,6 +10,20 @@ use exa_comm::{CommCategory, Rank};
 use exa_phylo::engine::{Engine, WorkCounters};
 use exa_search::BranchMode;
 
+/// Cached handle for the worker-pool command counter: one relaxed atomic
+/// add per broadcast command once resolved.
+fn commands_counter() -> &'static std::sync::Arc<exa_obs::metrics::Counter> {
+    static HANDLE: std::sync::OnceLock<std::sync::Arc<exa_obs::metrics::Counter>> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| {
+        exa_obs::metrics::global().counter(
+            "exa_forkjoin_commands_total",
+            "Master commands executed by fork-join workers, summed over workers.",
+            &[],
+        )
+    })
+}
+
 /// Run the worker until the master broadcasts `Shutdown`. Returns the
 /// worker's kernel-work counters and CLV memory footprint. The worker's
 /// data `assignment` (and the alignment) are needed for the checkpoint
@@ -28,6 +42,9 @@ pub fn worker_loop(
         rank.broadcast_bytes(0, &mut buf, CommCategory::TraversalDescriptor)
             .expect("fork-join has no failure recovery (master is a single point of failure)");
         let cmd = decode(&buf).expect("malformed master command");
+        if exa_obs::metrics::enabled() {
+            commands_counter().inc();
+        }
         match cmd {
             WorkerCmd::Evaluate(d) => {
                 engine.execute(&d);

@@ -38,6 +38,13 @@ pub const SITE_REPEATS_MARK: &str = "site_repeats:";
 /// hold across checkpointing runs.
 pub const CHECKPOINT_MARK: &str = "checkpoint:";
 
+/// Reserved mark-label prefix the search driver emits at every iteration
+/// boundary; the suffix is the iteration number. These marks cut the
+/// windows of [`crate::RunTrace::critical_path`] — on the de-centralized
+/// scheme every rank emits them, on fork-join only the master does, and
+/// both cases window correctly because ranks share the recorder clock.
+pub const ITERATION_MARK: &str = "iteration:";
+
 /// Render a trace in Chrome `trace_event` JSON ("JSON object format"):
 /// one process, one thread per rank, `B`/`E` span events for regions and
 /// `i` instant events for collectives and marks. Loadable in Perfetto and

@@ -8,6 +8,7 @@
 //! a dashboard; [`HealthReport`] condenses the same signals into the CLI's
 //! end-of-run summary.
 
+use crate::aggregate::CriticalPathSummary;
 use crate::fingerprint::ReplicaDivergence;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -98,6 +99,19 @@ pub struct ServeHeartbeat {
     pub mean_wait_ms: f64,
     /// Per-tenant gauges, in tenant-name order.
     pub tenants: Vec<TenantGauge>,
+    /// Daemon build version (`CARGO_PKG_VERSION`). `None` on legacy
+    /// records.
+    pub version: Option<String>,
+    /// Locally-negotiated likelihood-kernel capability (`"scalar"`/
+    /// `"simd"` — what a single-node job would resolve `auto` to). `None`
+    /// on legacy records.
+    pub kernel: Option<String>,
+    /// Locally-resolved site-repeats capability (`"on"`/`"off"`). `None`
+    /// on legacy records.
+    pub site_repeats: Option<String>,
+    /// Seconds since this daemon process started. `None` on legacy
+    /// records.
+    pub uptime_secs: Option<f64>,
 }
 
 /// Per-tenant slice of a [`ServeHeartbeat`].
@@ -188,6 +202,10 @@ pub struct HealthReport {
     /// Subtree-repeat compression ratio over the whole run:
     /// `(clv_updates + clv_saved) / clv_updates`.
     pub repeat_ratio: Option<f64>,
+    /// Per-iteration wall-time attribution (compute vs collective-wait vs
+    /// straggler-induced idle), from [`crate::RunTrace::critical_path`].
+    /// `None` when tracing was off or the trace had no iteration marks.
+    pub critical_path: Option<CriticalPathSummary>,
 }
 
 impl HealthReport {
@@ -248,6 +266,29 @@ impl HealthReport {
         }
         if self.heartbeats > 0 {
             let _ = writeln!(out, "  heartbeats: {} record(s)", self.heartbeats);
+        }
+        if let Some(cp) = &self.critical_path {
+            let _ = writeln!(
+                out,
+                "  critical path: {} iteration(s), compute {:.1}%, collective {:.1}%, \
+                 straggler {:.1}%",
+                cp.iterations,
+                cp.compute_frac() * 100.0,
+                cp.collective_frac() * 100.0,
+                cp.straggler_frac() * 100.0,
+            );
+            match (cp.slowest_rank, cp.hottest_partition) {
+                (Some(r), Some(p)) => {
+                    let _ = writeln!(out, "    slowest rank {r}, hottest partition {p}");
+                }
+                (Some(r), None) => {
+                    let _ = writeln!(out, "    slowest rank {r}");
+                }
+                (None, Some(p)) => {
+                    let _ = writeln!(out, "    hottest partition {p}");
+                }
+                (None, None) => {}
+            }
         }
         out
     }
@@ -329,11 +370,28 @@ mod tests {
                     dispatched: 8,
                 },
             ],
+            version: Some("0.1.0".into()),
+            kernel: Some("simd".into()),
+            site_repeats: Some("on".into()),
+            uptime_secs: Some(12.5),
         };
         let line = hb.to_json_line();
         assert!(!line.contains('\n'), "must be a single line: {line}");
         assert_eq!(ServeHeartbeat::from_json_line(&line).unwrap(), hb);
         assert!(ServeHeartbeat::from_json_line("not json").is_err());
+
+        // Lines written before the capability fields existed still parse.
+        let legacy = line
+            .replace(",\"version\":\"0.1.0\"", "")
+            .replace(",\"kernel\":\"simd\"", "")
+            .replace(",\"site_repeats\":\"on\"", "")
+            .replace(",\"uptime_secs\":12.5", "");
+        assert_ne!(legacy, line);
+        let back = ServeHeartbeat::from_json_line(&legacy).unwrap();
+        assert_eq!(back.version, None);
+        assert_eq!(back.kernel, None);
+        assert_eq!(back.site_repeats, None);
+        assert_eq!(back.uptime_secs, None);
 
         let tagged = JobHeartbeat {
             job: 7,
@@ -365,6 +423,17 @@ mod tests {
             kernel: Some("simd".into()),
             site_repeats: Some("on".into()),
             repeat_ratio: Some(2.125),
+            critical_path: Some(CriticalPathSummary {
+                iterations: 4,
+                wall_ns: 1_000,
+                compute_ns: 600,
+                collective_ns: 100,
+                straggler_ns: 50,
+                other_ns: 250,
+                slowest_rank: Some(1),
+                hottest_partition: Some(3),
+                hottest_partition_ns: 400,
+            }),
         };
         let text = clean.render();
         assert!(text.contains("kernel: simd"), "{text}");
@@ -374,6 +443,14 @@ mod tests {
         assert!(text.contains("cadence 64"), "{text}");
         assert!(text.contains("measured 1.080"), "{text}");
         assert!(text.contains("heartbeats: 5"), "{text}");
+        assert!(
+            text.contains("critical path: 4 iteration(s), compute 60.0%"),
+            "{text}"
+        );
+        assert!(
+            text.contains("slowest rank 1, hottest partition 3"),
+            "{text}"
+        );
 
         let tripped = HealthReport {
             sentinel_cadence: 8,

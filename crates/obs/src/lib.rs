@@ -20,6 +20,13 @@
 //!   counts — plus [`Snapshot`]s of [`CommStats`] with a `diff` API.
 //! - exporters: Chrome `trace_event` JSON (openable in Perfetto /
 //!   `chrome://tracing`) and a plain JSON summary.
+//! - [`metrics`]: a process-wide registry of counters, gauges and
+//!   log-linear histograms rendered in Prometheus text exposition format —
+//!   the *live* counterpart of the offline trace, scraped via the daemon's
+//!   `GET /metrics` or dumped by `examl --metrics-out`.
+//! - [`RunTrace::critical_path`]: per-iteration wall-time attribution into
+//!   compute vs collective-wait vs straggler-induced idle, naming the
+//!   slowest rank and hottest partition per window.
 //!
 //! The communication bookkeeping types ([`CommCategory`], [`OpKind`],
 //! [`CommStats`]) live here — at the bottom of the crate stack — and are
@@ -30,14 +37,18 @@ mod events;
 mod export;
 mod fingerprint;
 mod health;
+pub mod metrics;
 mod recorder;
 mod stats;
 
-pub use aggregate::{KernelProfile, RegionStats, RunMetrics, RunTrace};
+pub use aggregate::{
+    CriticalPath, CriticalPathSummary, IterationWindow, KernelProfile, RegionStats, RunMetrics,
+    RunTrace,
+};
 pub use events::{EventKind, RegionKind, TraceEvent};
 pub use export::{
-    chrome_trace, summary_table, write_chrome_trace, CHECKPOINT_MARK, KERNEL_BACKEND_MARK,
-    SITE_REPEATS_MARK,
+    chrome_trace, summary_table, write_chrome_trace, CHECKPOINT_MARK, ITERATION_MARK,
+    KERNEL_BACKEND_MARK, SITE_REPEATS_MARK,
 };
 pub use fingerprint::{
     check_agreement, fnv1a, Component, Fnv1a, ReplicaDivergence, StateFingerprint, FNV_OFFSET,

@@ -1,0 +1,171 @@
+//! Property-based checks on the Prometheus text renderer in
+//! [`exa_obs::metrics`]: label values with arbitrary hostile characters
+//! must round-trip through escaping without breaking the line protocol,
+//! histogram buckets must stay cumulative with `+Inf` equal to `_count`,
+//! and `_sum`/`_count` must agree with the raw observations.
+
+use exa_obs::metrics::Registry;
+use proptest::prelude::*;
+
+/// Mirror of the renderer's label escaping, used to locate the expected
+/// sample line and to round-trip the value back out.
+fn escape(v: &str) -> String {
+    let mut out = String::new();
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(v: &str) -> String {
+    let mut out = String::new();
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => panic!("dangling escape before {other:?}"),
+        }
+    }
+    out
+}
+
+/// A character pool deliberately heavy on exposition-format metacharacters.
+fn label_char() -> impl Strategy<Value = char> {
+    prop::sample::select(vec![
+        'a', 'b', 'Z', '0', '_', '-', '.', ' ', '{', '}', ',', '=', '"', '\\', '\n', 'é',
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hostile label values never break the one-sample-per-line protocol:
+    /// the escaped value appears on a single line, and unescaping it
+    /// recovers the original string exactly.
+    #[test]
+    fn label_values_escape_and_round_trip(
+        chars in prop::collection::vec(label_char(), 0..24),
+    ) {
+        let value: String = chars.into_iter().collect();
+        let reg = Registry::new();
+        reg.counter("exa_prop_escape_total", "escape property", &[("tenant", &value)])
+            .inc();
+        let text = reg.render();
+
+        // Exactly one sample line for the family, no matter how many
+        // newlines the raw value contained.
+        let sample_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("exa_prop_escape_total{"))
+            .collect();
+        prop_assert_eq!(sample_lines.len(), 1, "render:\n{}", text);
+        let line = sample_lines[0];
+
+        let expected = format!("exa_prop_escape_total{{tenant=\"{}\"}} 1", escape(&value));
+        prop_assert_eq!(line, expected.as_str());
+
+        // Round-trip: pull the escaped payload back out of the line and
+        // unescape it.
+        let start = line.find("tenant=\"").unwrap() + "tenant=\"".len();
+        let end = line.rfind("\"}").unwrap();
+        prop_assert_eq!(unescape(&line[start..end]), value);
+    }
+
+    /// Bucket lines are cumulative and non-decreasing, `le` values strictly
+    /// increase, `+Inf` equals `_count`, and `_count` equals the number of
+    /// observations.
+    #[test]
+    fn histogram_buckets_are_cumulative(
+        obs in prop::collection::vec(0.0f64..1.0e9, 1..200),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("exa_prop_lat_ms", "latency property", &[]);
+        for &v in &obs {
+            h.observe(v);
+        }
+        let text = reg.render();
+
+        let mut les: Vec<u64> = Vec::new();
+        let mut cums: Vec<u64> = Vec::new();
+        let mut inf_count = None;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("exa_prop_lat_ms_bucket{le=\"") else {
+                continue;
+            };
+            let (le, count) = rest.split_once("\"} ").unwrap();
+            let count: u64 = count.parse().unwrap();
+            if le == "+Inf" {
+                inf_count = Some(count);
+            } else {
+                les.push(le.parse().unwrap());
+                cums.push(count);
+            }
+        }
+        prop_assert!(les.windows(2).all(|w| w[0] < w[1]), "le not increasing: {:?}", les);
+        prop_assert!(
+            cums.windows(2).all(|w| w[0] <= w[1]),
+            "buckets not cumulative: {:?}",
+            cums
+        );
+        if let Some(&last) = cums.last() {
+            prop_assert_eq!(last, obs.len() as u64);
+        }
+        prop_assert_eq!(inf_count, Some(obs.len() as u64));
+
+        // Every observation v lands in the first bucket with le >= ceil(v).
+        for &v in &obs {
+            let ceil = v.ceil() as u64;
+            prop_assert!(
+                les.iter().any(|&le| le >= ceil),
+                "no bucket covers {} (les {:?})",
+                v,
+                les
+            );
+        }
+    }
+
+    /// `_sum` and `_count` agree with the raw observations.
+    #[test]
+    fn histogram_sum_and_count_are_consistent(
+        obs in prop::collection::vec(0.0f64..1.0e6, 1..100),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("exa_prop_sum_ms", "sum property", &[]);
+        for &v in &obs {
+            h.observe(v);
+        }
+        let text = reg.render();
+
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("exa_prop_sum_ms_count "))
+            .expect("missing _count line");
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        prop_assert_eq!(count, obs.len() as u64);
+
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("exa_prop_sum_ms_sum "))
+            .expect("missing _sum line");
+        let rendered_sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        let expected: f64 = obs.iter().sum();
+        let tol = expected.abs() * 1e-9 + 1e-9;
+        prop_assert!(
+            (rendered_sum - expected).abs() <= tol,
+            "sum {} != expected {}",
+            rendered_sum,
+            expected
+        );
+    }
+}

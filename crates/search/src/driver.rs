@@ -219,7 +219,7 @@ pub fn run_search_from(
     let mut converged = false;
 
     while iterations < cfg.max_iterations {
-        exa_obs::mark(|| format!("iteration:{iterations}"));
+        exa_obs::mark(|| format!("{}{iterations}", exa_obs::ITERATION_MARK));
         hooks.at_boundary(
             eval,
             &BoundaryInfo {
@@ -248,6 +248,22 @@ pub fn run_search_from(
         };
         iterations += 1;
         spr_moves += accepted;
+        if exa_obs::metrics::enabled() {
+            let reg = exa_obs::metrics::global();
+            reg.counter(
+                "exa_search_iterations_total",
+                "SPR search iterations completed, summed over ranks running the loop \
+                 (all ranks under the de-centralized scheme, the master under fork-join).",
+                &[],
+            )
+            .inc();
+            reg.counter(
+                "exa_spr_moves_total",
+                "Accepted SPR moves, summed over ranks running the search loop.",
+                &[],
+            )
+            .add(accepted as u64);
+        }
         let improvement = new_lnl - lnl;
         lnl = new_lnl.max(lnl);
         if improvement < cfg.epsilon {

@@ -70,6 +70,8 @@ options:\n\
   --bootstrap N          run N bootstrap replicates and annotate support\n\
   --verify-replicas N    compare replica state fingerprints every N collectives\n\
   --health-out FILE      append one heartbeat JSON line per iteration to FILE\n\
+  --metrics-out FILE     write a Prometheus text-format metrics snapshot to\n\
+                         FILE at exit (enables the metrics registry)\n\
   --inject-divergence RANK:COLLECTIVE:alpha|blen\n\
                          flip one state bit on RANK after COLLECTIVE collectives\n\
                          (sentinel fault-injection testing)\n\
@@ -241,6 +243,9 @@ fn main() -> ExitCode {
     if let Some(path) = &args.health_out {
         run = run.health_out(path);
     }
+    if args.metrics_out.is_some() {
+        exa_obs::metrics::global().set_enabled(true);
+    }
     if args.bootstrap > 0 {
         run = run.bootstrap(args.bootstrap, args.seed.wrapping_add(0xB00));
         if let Some(path) = &args.trace_out {
@@ -349,10 +354,19 @@ fn main() -> ExitCode {
     }
     if !args.quiet {
         // End-of-run health report: kernel backend, sentinel verdict,
-        // measured-vs-predicted load imbalance, heartbeat count. The
-        // heartbeat *file* is written regardless of --quiet; only this
-        // console rendering is suppressed.
+        // measured-vs-predicted load imbalance, heartbeat count, critical
+        // path. The heartbeat *file* is written regardless of --quiet; only
+        // this console rendering is suppressed.
         eprint!("{}", out.health.render());
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, exa_obs::metrics::global().render()) {
+            eprintln!("error writing metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("wrote metrics to {}", path.display());
+        }
     }
     if args.ascii {
         let names: Vec<String> = compressed.taxa.clone();

@@ -4,7 +4,7 @@
 //! examl serve daemon --spool DIR [--listen 127.0.0.1:0] [--workers N] ...
 //! examl serve submit --to ADDR --alignment FILE [--tenant T] [--priority P] ...
 //! examl serve status|cancel|wait --to ADDR ID
-//! examl serve list|health|shutdown --to ADDR
+//! examl serve list|health|metrics|shutdown --to ADDR
 //! ```
 //!
 //! The daemon prints `listening on <addr>` once the socket is bound (with
@@ -49,6 +49,7 @@ verbs:\n\
   wait ID    block until terminal [--timeout-secs S (default 600)]\n\
   list       print all jobs as JSON\n\
   health     print daemon gauges [--stream N [--interval-ms M]]\n\
+  metrics    print the daemon's Prometheus text-format snapshot\n\
   shutdown   checkpoint running jobs and stop the daemon";
 
 fn fail(msg: &str) -> ExitCode {
@@ -76,6 +77,7 @@ pub fn main(args: Vec<String>) -> ExitCode {
             c.list().map(|jobs| jobs.iter().for_each(print_status_ref))
         }),
         "health" => health_main(rest),
+        "metrics" => client_verb(rest, |c| c.metrics().map(|text| print!("{text}"))),
         "shutdown" => client_verb(rest, |c| {
             c.shutdown().map(|()| println!("shutdown requested"))
         }),

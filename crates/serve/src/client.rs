@@ -105,6 +105,17 @@ impl Client {
         ServeHeartbeat::from_value(field(entries, "health")).map_err(|e| e.0)
     }
 
+    /// Prometheus text-format snapshot of the daemon's metrics registry
+    /// (same text `GET /metrics` serves).
+    pub fn metrics(&self) -> Result<String, String> {
+        let resp = self.rpc(&Self::op("metrics", vec![]))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        field(entries, "text")
+            .as_str("text")
+            .map(str::to_string)
+            .map_err(|e| e.0)
+    }
+
     /// Read `count` heartbeats spaced `interval_ms` apart from the
     /// streaming endpoint.
     pub fn stream_health(

@@ -34,6 +34,7 @@ use crate::scheduler::{FairShare, TenantConfig};
 use crate::{JobId, JobSpec, JobState, JobStatus};
 use exa_bio::partition::PartitionScheme;
 use exa_bio::patterns::CompressedAlignment;
+use exa_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use exa_obs::{ServeHeartbeat, TenantGauge};
 use exa_search::PreemptSignal;
 use examl_core::{checkpoint, RunError};
@@ -98,6 +99,128 @@ struct JobEntry {
     first_dispatch: Option<Instant>,
 }
 
+/// The daemon's instrument handles, all registered in one daemon-private
+/// [`Registry`]. These are the *authoritative* tallies: `heartbeat()` reads
+/// the same atomics `GET /metrics` renders, so `/stream-health` and
+/// `/metrics` can never disagree. The registry is per-daemon (not the
+/// process-global one) so several in-process daemons — common in tests —
+/// don't bleed counters into each other; run-layer instrumentation still
+/// lands in [`exa_obs::metrics::global`] and both are concatenated at
+/// scrape time.
+struct DaemonMetrics {
+    registry: Arc<Registry>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    preemptions: Arc<Counter>,
+    resumes: Arc<Counter>,
+    /// Queue wait, submit → first dispatch. The heartbeat's mean is this
+    /// histogram's `sum / count`.
+    queue_wait_ms: Arc<Histogram>,
+    max_wait_ms: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    running: Arc<Gauge>,
+    workers_idle: Arc<Gauge>,
+    uptime_secs: Arc<Gauge>,
+    journal_fsync_ms: Arc<Histogram>,
+}
+
+impl DaemonMetrics {
+    fn new() -> DaemonMetrics {
+        let registry = Arc::new(Registry::new());
+        registry.set_enabled(true);
+        let r = &registry;
+        DaemonMetrics {
+            completed: r.counter(
+                "exa_jobs_completed_total",
+                "Jobs finished successfully since daemon start (journal replay included).",
+                &[],
+            ),
+            failed: r.counter(
+                "exa_jobs_failed_total",
+                "Jobs that ended in an error since daemon start.",
+                &[],
+            ),
+            cancelled: r.counter(
+                "exa_jobs_cancelled_total",
+                "Jobs cancelled since daemon start.",
+                &[],
+            ),
+            preemptions: r.counter(
+                "exa_preemptions_total",
+                "Checkpoint-preemptions performed (a job may contribute several).",
+                &[],
+            ),
+            resumes: r.counter(
+                "exa_resumes_total",
+                "Runs started from a checkpoint left by a previous attempt.",
+                &[],
+            ),
+            queue_wait_ms: r.histogram(
+                "exa_queue_wait_ms",
+                "Queue wait per job, submit to first dispatch, in milliseconds.",
+                &[],
+            ),
+            max_wait_ms: r.gauge(
+                "exa_queue_wait_max_ms",
+                "Worst queue wait so far, submit to first dispatch, in milliseconds.",
+                &[],
+            ),
+            queue_depth: r.gauge(
+                "exa_queue_depth",
+                "Jobs waiting in the scheduler (not running, not terminal).",
+                &[],
+            ),
+            running: r.gauge(
+                "exa_jobs_running",
+                "Jobs currently executing on a worker.",
+                &[],
+            ),
+            workers_idle: r.gauge(
+                "exa_workers_idle",
+                "Workers parked waiting for dispatchable jobs.",
+                &[],
+            ),
+            uptime_secs: r.gauge(
+                "exa_daemon_uptime_seconds",
+                "Seconds since this daemon process started.",
+                &[],
+            ),
+            journal_fsync_ms: r.histogram(
+                "exa_journal_fsync_ms",
+                "Journal append latency (write + flush + fdatasync), in milliseconds.",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    fn submitted(&self, tenant: &str) -> Arc<Counter> {
+        self.registry.counter(
+            "exa_jobs_submitted_total",
+            "Jobs admitted, by tenant.",
+            &[("tenant", tenant)],
+        )
+    }
+
+    fn run_duration_ms(&self, outcome: &str) -> Arc<Histogram> {
+        self.registry.histogram(
+            "exa_run_duration_ms",
+            "Wall-clock milliseconds per dispatch, by outcome \
+             (done/preempted/error).",
+            &[("outcome", outcome)],
+        )
+    }
+
+    fn http_request_ms(&self, verb: &str) -> Arc<Histogram> {
+        self.registry.histogram(
+            "exa_http_request_ms",
+            "Request handling latency on the dual-protocol listener, by verb.",
+            &[("verb", verb)],
+        )
+    }
+}
+
 struct Core {
     cfg: DaemonConfig,
     jobs: BTreeMap<JobId, JobEntry>,
@@ -106,14 +229,11 @@ struct Core {
     next_id: JobId,
     shutdown: bool,
     workers_idle: u64,
-    completed: u64,
-    failed: u64,
-    cancelled: u64,
-    preemptions: u64,
-    resumes: u64,
-    wait_sum_ms: f64,
-    wait_count: u64,
-    max_wait_ms: f64,
+    metrics: DaemonMetrics,
+    started_at: Instant,
+    /// Locally-resolved capability labels, advertised in the heartbeat.
+    kernel_label: &'static str,
+    site_repeats_label: &'static str,
     health_seq: u64,
 }
 
@@ -141,7 +261,13 @@ impl Daemon {
     /// when the previous process died are re-queued and will resume from
     /// their newest intact checkpoint generation.
     pub fn start(cfg: DaemonConfig) -> std::io::Result<Daemon> {
-        let (journal, events) = Journal::open(&cfg.spool)?;
+        let (mut journal, events) = Journal::open(&cfg.spool)?;
+        let metrics = DaemonMetrics::new();
+        journal.set_fsync_histogram(Arc::clone(&metrics.journal_fsync_ms));
+        // Run-layer instrumentation (collectives, kernels, checkpoint
+        // writes) lands in the process-global registry; turn it on so the
+        // jobs this daemon executes show up in `GET /metrics`.
+        exa_obs::metrics::global().set_enabled(true);
         let mut sched = FairShare::new(cfg.quantum, cfg.default_tenant);
         for (name, tenant_cfg) in &cfg.tenants {
             sched.set_tenant(name, *tenant_cfg);
@@ -154,14 +280,14 @@ impl Daemon {
             next_id: 1,
             shutdown: false,
             workers_idle: 0,
-            completed: 0,
-            failed: 0,
-            cancelled: 0,
-            preemptions: 0,
-            resumes: 0,
-            wait_sum_ms: 0.0,
-            wait_count: 0,
-            max_wait_ms: 0.0,
+            metrics,
+            started_at: Instant::now(),
+            kernel_label: exa_phylo::engine::KernelChoice::from_env()
+                .resolve_local()
+                .label(),
+            site_repeats_label: exa_phylo::engine::RepeatsChoice::from_env()
+                .resolve_local()
+                .label(),
             health_seq: 0,
         };
         core.replay(events);
@@ -197,6 +323,7 @@ impl Daemon {
             id,
             spec: Box::new(spec.clone()),
         })?;
+        core.metrics.submitted(&spec.tenant).inc();
         core.sched
             .enqueue(id, &spec.tenant, spec.priority, spec.cost);
         let priority = spec.priority;
@@ -247,7 +374,7 @@ impl Daemon {
                 core.sched.cancel(id);
                 let entry = core.jobs.get_mut(&id).unwrap();
                 entry.state = JobState::Cancelled;
-                core.cancelled += 1;
+                core.metrics.cancelled.inc();
                 Ok(true)
             }
             JobState::Running => {
@@ -267,6 +394,47 @@ impl Daemon {
         let mut core = lock(&self.inner);
         core.health_seq += 1;
         core.heartbeat()
+    }
+
+    /// Prometheus text-format snapshot: the daemon's own registry (queue,
+    /// pool and journal instruments, with live gauges refreshed under the
+    /// lock) concatenated with the process-global registry (run-layer
+    /// collective/kernel/checkpoint instruments).
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        {
+            let core = lock(&self.inner);
+            let running = core
+                .jobs
+                .values()
+                .filter(|e| e.state == JobState::Running)
+                .count();
+            core.metrics.queue_depth.set(core.sched.depth() as f64);
+            core.metrics.running.set(running as f64);
+            core.metrics.workers_idle.set(core.workers_idle as f64);
+            core.metrics
+                .uptime_secs
+                .set(core.started_at.elapsed().as_secs_f64());
+            core.metrics.registry.render_into(&mut out);
+        }
+        exa_obs::metrics::global().render_into(&mut out);
+        out
+    }
+
+    /// Latency histogram for one listener verb (`submit`, `status`, …),
+    /// registered in the daemon's registry on first use.
+    pub fn http_request_histogram(&self, verb: &str) -> Arc<Histogram> {
+        lock(&self.inner).metrics.http_request_ms(verb)
+    }
+
+    /// Path of a per-job spool artifact (`trace.json`, `health.jsonl`),
+    /// or `None` for an unknown job id. The file itself may not exist yet —
+    /// callers map that to 404.
+    pub fn job_artifact(&self, id: JobId, file: &str) -> Option<PathBuf> {
+        let core = lock(&self.inner);
+        core.jobs
+            .contains_key(&id)
+            .then(|| core.job_dir(id).join(file))
     }
 
     /// Whether shutdown has been requested.
@@ -351,13 +519,13 @@ impl Core {
                         e.state = JobState::Queued;
                         e.resume_next = true;
                         e.preemptions += 1;
-                        self.preemptions += 1;
+                        self.metrics.preemptions.inc();
                     }
                 }
                 JournalEvent::Cancelled { id } => {
                     if let Some(e) = self.jobs.get_mut(&id) {
                         e.state = JobState::Cancelled;
-                        self.cancelled += 1;
+                        self.metrics.cancelled.inc();
                     }
                 }
                 JournalEvent::Completed {
@@ -367,13 +535,13 @@ impl Core {
                 } => {
                     if let Some(e) = self.jobs.get_mut(&id) {
                         e.state = JobState::Completed { lnl, iterations };
-                        self.completed += 1;
+                        self.metrics.completed.inc();
                     }
                 }
                 JournalEvent::Failed { id, error } => {
                     if let Some(e) = self.jobs.get_mut(&id) {
                         e.state = JobState::Failed { error };
-                        self.failed += 1;
+                        self.metrics.failed.inc();
                     }
                 }
             }
@@ -445,23 +613,32 @@ impl Core {
                 }
             })
             .collect();
+        // Terminal/wait tallies come straight from the registry's atomics —
+        // the same ones `GET /metrics` renders — so the two surfaces cannot
+        // drift apart.
+        let m = &self.metrics;
+        let wait_count = m.queue_wait_ms.count();
         ServeHeartbeat {
             seq: self.health_seq,
             queue_depth: self.sched.depth() as u64,
             running,
             workers_idle: self.workers_idle,
-            completed: self.completed,
-            failed: self.failed,
-            cancelled: self.cancelled,
-            preemptions: self.preemptions,
-            resumes: self.resumes,
-            max_wait_ms: self.max_wait_ms,
-            mean_wait_ms: if self.wait_count == 0 {
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            cancelled: m.cancelled.get(),
+            preemptions: m.preemptions.get(),
+            resumes: m.resumes.get(),
+            max_wait_ms: m.max_wait_ms.get(),
+            mean_wait_ms: if wait_count == 0 {
                 0.0
             } else {
-                self.wait_sum_ms / self.wait_count as f64
+                m.queue_wait_ms.sum() / wait_count as f64
             },
             tenants,
+            version: Some(env!("CARGO_PKG_VERSION").to_string()),
+            kernel: Some(self.kernel_label.to_string()),
+            site_repeats: Some(self.site_repeats_label.to_string()),
+            uptime_secs: Some(self.started_at.elapsed().as_secs_f64()),
         }
     }
 
@@ -536,12 +713,11 @@ fn try_dispatch(core: &mut Core) -> Option<Dispatch> {
     if e.first_dispatch.is_none() {
         e.first_dispatch = Some(now);
         let wait_ms = now.duration_since(e.submitted_at).as_secs_f64() * 1e3;
-        core.wait_sum_ms += wait_ms;
-        core.wait_count += 1;
-        core.max_wait_ms = core.max_wait_ms.max(wait_ms);
+        core.metrics.queue_wait_ms.observe(wait_ms);
+        core.metrics.max_wait_ms.set_max(wait_ms);
     }
     if resume {
-        core.resumes += 1;
+        core.metrics.resumes.inc();
     }
     Some(Dispatch {
         id,
@@ -573,8 +749,16 @@ fn worker_loop(inner: &Inner) {
             core.workers_idle -= 1;
             d
         };
+        let run_t0 = Instant::now();
         let result = run_job(&dispatch, &cfg);
+        let run_ms = run_t0.elapsed().as_secs_f64() * 1e3;
         let mut core = lock(inner);
+        let outcome_label = match &result {
+            JobOutcome::Done { .. } => "done",
+            JobOutcome::Preempted => "preempted",
+            JobOutcome::Error(_) => "error",
+        };
+        core.metrics.run_duration_ms(outcome_label).observe(run_ms);
         let id = dispatch.id;
         match result {
             JobOutcome::Done { lnl, iterations } => {
@@ -586,10 +770,10 @@ fn worker_loop(inner: &Inner) {
                 let e = core.jobs.get_mut(&id).unwrap();
                 e.state = JobState::Completed { lnl, iterations };
                 e.preempt = None;
-                core.completed += 1;
+                core.metrics.completed.inc();
             }
             JobOutcome::Preempted => {
-                core.preemptions += 1;
+                core.metrics.preemptions.inc();
                 let e = core.jobs.get_mut(&id).unwrap();
                 e.preemptions += 1;
                 e.preempt = None;
@@ -597,7 +781,7 @@ fn worker_loop(inner: &Inner) {
                     let _ = core.journal.append(&JournalEvent::Cancelled { id });
                     let e = core.jobs.get_mut(&id).unwrap();
                     e.state = JobState::Cancelled;
-                    core.cancelled += 1;
+                    core.metrics.cancelled.inc();
                 } else {
                     // Either a higher-priority job displaced us, or the
                     // daemon is shutting down. Both re-queue for resume.
@@ -618,7 +802,7 @@ fn worker_loop(inner: &Inner) {
                 let e = core.jobs.get_mut(&id).unwrap();
                 e.state = JobState::Failed { error };
                 e.preempt = None;
-                core.failed += 1;
+                core.metrics.failed.inc();
             }
         }
         // A finished/requeued job may unblock a tenant quota or leave work
@@ -676,13 +860,20 @@ fn run_job(d: &Dispatch, cfg: &DaemonConfig) -> JobOutcome {
     run.health_out = Some(d.job_dir.join("health.jsonl"));
     run.resume_from = d.resume.then(|| ckpt_dir.clone());
     run.inject_kill = None;
-    run.collect_trace = false;
+    // Collect the per-rank trace so `GET /trace/<id>` can serve a Chrome
+    // trace and the health report gains its critical-path block.
+    run.collect_trace = true;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.run(&compressed)));
     match outcome {
-        Ok(Ok(out)) => JobOutcome::Done {
-            lnl: out.result.lnl,
-            iterations: out.result.iterations as u64,
-        },
+        Ok(Ok(out)) => {
+            if let Some(trace) = &out.trace {
+                let _ = exa_obs::write_chrome_trace(&d.job_dir.join("trace.json"), trace);
+            }
+            JobOutcome::Done {
+                lnl: out.result.lnl,
+                iterations: out.result.iterations as u64,
+            }
+        }
         Ok(Err(RunError::Preempted { .. })) => JobOutcome::Preempted,
         Ok(Err(e)) => JobOutcome::Error(e.to_string()),
         Err(panic) => {

@@ -14,12 +14,21 @@
 //! | `GET /list`               | `list`           |
 //! | `GET /health`             | `health`         |
 //! | `GET /stream-health`      | `stream-health`  |
+//! | `GET /metrics`            | `metrics`        |
+//! | `GET /trace/<id>`         | —                |
+//! | `GET /job-health/<id>`    | —                |
 //! | `POST /shutdown`          | `shutdown`       |
 //!
 //! `stream-health` emits one [`ServeHeartbeat`] JSON line per interval
 //! (`?count=N&interval_ms=M`) until the count is reached, the client goes
-//! away, or the daemon shuts down. Everything else responds with a single
-//! JSON object `{"ok":true,...}` or `{"ok":false,"error":...}`.
+//! away, or the daemon shuts down. `GET /metrics` returns the Prometheus
+//! text exposition of the daemon + process registries (the JSON-lines
+//! `metrics` op wraps the same text in `{"ok":true,"text":...}`).
+//! `GET /trace/<id>` serves the job's Chrome trace (written on
+//! completion); `GET /job-health/<id>` serves its heartbeat ndjson.
+//! Everything else responds with a single JSON object `{"ok":true,...}` or
+//! `{"ok":false,"error":...}`. Per-verb handling latency is recorded in
+//! the daemon's `exa_http_request_ms` histogram.
 //!
 //! The parser is deliberately tiny: request line + `Content-Length`, no
 //! chunked encoding, no keep-alive. Each connection is one thread; the
@@ -92,6 +101,13 @@ fn handle_op(daemon: &Daemon, op: &str, req: &Value) -> (Value, bool) {
         }
         "health" => (
             ok_with(vec![("health".to_string(), daemon.health().to_value())]),
+            false,
+        ),
+        "metrics" => (
+            ok_with(vec![(
+                "text".to_string(),
+                Value::Str(daemon.metrics_text()),
+            )]),
             false,
         ),
         "shutdown" => (ok_with(vec![]), true),
@@ -168,11 +184,13 @@ fn handle_jsonl(daemon: &Daemon, stream: TcpStream, first: u8) {
             let _ = writeln!(writer, "{}", to_line(&ok_with(vec![])));
             continue;
         }
+        let t0 = std::time::Instant::now();
         let (resp, shutdown) = handle_op(daemon, &op, &req);
         if writeln!(writer, "{}", to_line(&resp)).is_err() {
             return;
         }
         let _ = writer.flush();
+        observe_request(daemon, &op, t0);
         if shutdown {
             daemon.shutdown();
             return;
@@ -185,12 +203,58 @@ fn to_line(v: &Value) -> String {
 }
 
 fn http_response(out: &mut dyn Write, status: &str, body: &str) {
+    http_response_typed(out, status, "application/json", body);
+}
+
+fn http_response_typed(out: &mut dyn Write, status: &str, content_type: &str, body: &str) {
     let _ = write!(
         out,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = out.flush();
+}
+
+/// Serve a per-job spool file (`trace.json`, `health.jsonl`) or a JSON 404
+/// when the job or the file doesn't exist (yet).
+fn serve_artifact(daemon: &Daemon, out: &mut dyn Write, id: JobId, file: &str, content_type: &str) {
+    let body = daemon
+        .job_artifact(id, file)
+        .and_then(|p| std::fs::read_to_string(p).ok());
+    match body {
+        Some(body) => http_response_typed(out, "200 OK", content_type, &body),
+        None => http_response(
+            out,
+            "404 Not Found",
+            &to_line(&err_with(format!("no {file} for job {id}"))),
+        ),
+    }
+}
+
+/// Record one request's handling latency under its verb label. Arbitrary
+/// wire strings collapse to `unknown` so a client can't mint unbounded
+/// label values.
+fn observe_request(daemon: &Daemon, verb: &str, t0: std::time::Instant) {
+    const KNOWN: &[&str] = &[
+        "submit",
+        "status",
+        "cancel",
+        "list",
+        "health",
+        "stream-health",
+        "metrics",
+        "trace",
+        "job-health",
+        "shutdown",
+    ];
+    let verb = if KNOWN.contains(&verb) {
+        verb
+    } else {
+        "unknown"
+    };
+    daemon
+        .http_request_histogram(verb)
+        .observe(t0.elapsed().as_secs_f64() * 1e3);
 }
 
 /// Parse `?count=N&interval_ms=M` from a path's query string.
@@ -257,6 +321,7 @@ fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
         return;
     }
     let route = path.split('?').next().unwrap_or("");
+    let t0 = std::time::Instant::now();
     let (op, req): (String, Value) = match (method.as_str(), route) {
         ("POST", "/submit") => {
             let spec: Value = match serde_json::from_slice(&body) {
@@ -277,6 +342,12 @@ fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
         }
         ("GET", "/list") => ("list".into(), Value::Map(vec![])),
         ("GET", "/health") => ("health".into(), Value::Map(vec![])),
+        ("GET", "/metrics") => {
+            let text = daemon.metrics_text();
+            http_response_typed(&mut writer, "200 OK", "text/plain; version=0.0.4", &text);
+            observe_request(daemon, "metrics", t0);
+            return;
+        }
         ("POST", "/shutdown") => ("shutdown".into(), Value::Map(vec![])),
         ("GET", "/stream-health") => {
             let (count, interval) = query_params(&path);
@@ -292,6 +363,22 @@ fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
                 p.strip_prefix(prefix).and_then(|s| s.parse().ok())
             };
             if m == "GET" {
+                if let Some(id) = id_route("/trace/") {
+                    serve_artifact(daemon, &mut writer, id, "trace.json", "application/json");
+                    observe_request(daemon, "trace", t0);
+                    return;
+                }
+                if let Some(id) = id_route("/job-health/") {
+                    serve_artifact(
+                        daemon,
+                        &mut writer,
+                        id,
+                        "health.jsonl",
+                        "application/x-ndjson",
+                    );
+                    observe_request(daemon, "job-health", t0);
+                    return;
+                }
                 if let Some(id) = id_route("/status/") {
                     (
                         "status".into(),
@@ -339,6 +426,7 @@ fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
         if ok { "200 OK" } else { "400 Bad Request" },
         &to_line(&resp),
     );
+    observe_request(daemon, &op, t0);
     if shutdown {
         daemon.shutdown();
     }

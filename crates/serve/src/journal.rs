@@ -64,6 +64,10 @@ impl JournalEvent {
 pub struct Journal {
     path: PathBuf,
     file: File,
+    /// When set, every append's write+flush+fdatasync latency is observed
+    /// here (milliseconds). The daemon wires its
+    /// `exa_journal_fsync_ms` instrument in after opening.
+    fsync_ms: Option<std::sync::Arc<exa_obs::metrics::Histogram>>,
 }
 
 impl Journal {
@@ -103,7 +107,19 @@ impl Journal {
             Err(e) => return Err(e),
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok((Journal { path, file }, events))
+        Ok((
+            Journal {
+                path,
+                file,
+                fsync_ms: None,
+            },
+            events,
+        ))
+    }
+
+    /// Observe every future append's durability latency in `hist`.
+    pub fn set_fsync_histogram(&mut self, hist: std::sync::Arc<exa_obs::metrics::Histogram>) {
+        self.fsync_ms = Some(hist);
     }
 
     /// Durably append one event: write the line, flush, fsync. The caller
@@ -111,10 +127,15 @@ impl Journal {
     pub fn append(&mut self, ev: &JournalEvent) -> std::io::Result<()> {
         let line = serde_json::to_string(ev)
             .map_err(|e| std::io::Error::other(format!("journal encode: {e}")))?;
+        let t0 = std::time::Instant::now();
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.flush()?;
-        self.file.sync_data()
+        let res = self.file.sync_data();
+        if let Some(h) = &self.fsync_ms {
+            h.observe(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        res
     }
 
     /// Atomically replace the journal with `events` (dropping history for

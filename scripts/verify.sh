@@ -28,9 +28,19 @@ cargo run -q --release -p exa-simgen --bin simgen -- "$tmp/smoke.phy" 8 2 60 1
 cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 2 --kernel auto \
   --site-repeats on --verify-replicas 8 --health-out "$tmp/health.jsonl" \
+  --metrics-out "$tmp/metrics.prom" \
   --out-tree "$tmp/smoke.nwk" --quiet
 test -s "$tmp/smoke.nwk"
 test -s "$tmp/health.jsonl"
+# --metrics-out must dump the global registry in Prometheus text format
+# with the run-layer series populated.
+test -s "$tmp/metrics.prom"
+grep -q '^exa_runs_completed_total{scheme="decentralized"} [1-9]' "$tmp/metrics.prom" \
+  || { echo "metrics dump missing completed-run counter"; cat "$tmp/metrics.prom"; exit 1; }
+grep -q '^exa_collectives_total [1-9]' "$tmp/metrics.prom" \
+  || { echo "metrics dump missing collective counter"; cat "$tmp/metrics.prom"; exit 1; }
+grep -q '^# TYPE exa_collective_wait_ns_total counter' "$tmp/metrics.prom" \
+  || { echo "metrics dump missing TYPE metadata"; exit 1; }
 # Every heartbeat line must parse as JSON, report a verified-ok run, carry
 # the auto-negotiated kernel backend, and (with --site-repeats on) a
 # repeat-compression ratio of at least 1.
@@ -125,8 +135,29 @@ printf '%s' "$health" | jq -e '.queue_depth == 0' >/dev/null \
   || { echo "queue must drain: $health"; exit 1; }
 printf '%s' "$health" | jq -e '.completed == 5 and .resumes >= 1' >/dev/null \
   || { echo "expected 5 completed jobs incl. one resume: $health"; exit 1; }
+# The Prometheus scrape and the heartbeat read the same registry atomics,
+# so their counters can never disagree.
+metrics="$(curl -sf "http://$addr/metrics")"
+completed_prom="$(printf '%s\n' "$metrics" | sed -n 's/^exa_jobs_completed_total //p')"
+preempt_prom="$(printf '%s\n' "$metrics" | sed -n 's/^exa_preemptions_total //p')"
+[ "$completed_prom" = "$(printf '%s' "$health" | jq -r .completed)" ] \
+  || { echo "/metrics completed ($completed_prom) disagrees with heartbeat: $health"; exit 1; }
+[ "$preempt_prom" = "$(printf '%s' "$health" | jq -r .preemptions)" ] \
+  || { echo "/metrics preemptions ($preempt_prom) disagrees with heartbeat: $health"; exit 1; }
+printf '%s\n' "$metrics" | grep -q '^# TYPE exa_queue_wait_ms histogram' \
+  || { echo "/metrics missing queue-wait histogram"; exit 1; }
+# Counters are monotone across scrapes.
+completed_again="$(curl -sf "http://$addr/metrics" | sed -n 's/^exa_jobs_completed_total //p')"
+[ "$completed_again" -ge "$completed_prom" ] \
+  || { echo "completed counter went backwards: $completed_prom -> $completed_again"; exit 1; }
+# Per-job observability artifacts over HTTP: the merged Chrome trace and
+# the health report written next to the job's spool directory.
+curl -sf "http://$addr/trace/$high_id" | jq -e '.traceEvents | length > 0' >/dev/null \
+  || { echo "/trace/$high_id missing or empty"; exit 1; }
+curl -sf "http://$addr/job-health/$high_id" | head -n 1 | jq -e '.iteration >= 0' >/dev/null \
+  || { echo "/job-health/$high_id missing heartbeats"; exit 1; }
 examl_serve shutdown --to "$addr" >/dev/null
 wait "$daemon_pid" || { echo "daemon exited non-zero"; exit 1; }
-echo "serve: 5 jobs, $(printf '%s' "$health" | jq -r .preemptions) preemption(s), queue drained, clean shutdown"
+echo "serve: 5 jobs, $(printf '%s' "$health" | jq -r .preemptions) preemption(s), /metrics consistent, queue drained, clean shutdown"
 
 echo "verify: OK"

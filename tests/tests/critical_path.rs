@@ -1,0 +1,101 @@
+//! End-to-end critical-path attribution: run both schemes with tracing
+//! enabled and check that the per-iteration attribution in the health
+//! report accounts for the measured iteration wall time — the acceptance
+//! bar is that compute + collective + straggler + other sums to within 1%
+//! of the windows' wall clock (the model is constructed to make the sum
+//! exact, so the test asserts equality and separately re-derives the wall
+//! from the raw trace).
+
+use exa_obs::{EventKind, RunTrace, ITERATION_MARK};
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_core::{RunConfig, Scheme};
+
+fn traced_run(scheme: Scheme) -> examl_core::RunOutcome {
+    let w = workloads::partitioned(8, 3, 120, 21);
+    let mut cfg = RunConfig::new(3).scheme(scheme).collect_trace(true);
+    cfg.search = SearchConfig {
+        max_iterations: 3,
+        ..SearchConfig::fast()
+    };
+    cfg.seed = 77;
+    cfg.run(&w.compressed).unwrap()
+}
+
+/// Wall time covered by the iteration windows, re-derived from the raw
+/// trace: earliest `iteration:` mark to the last event of any rank.
+fn windows_wall_ns(trace: &RunTrace) -> u64 {
+    let mut first_mark = u64::MAX;
+    let mut end = 0u64;
+    for events in &trace.per_rank {
+        for e in events {
+            end = end.max(e.ts_ns);
+            if let EventKind::Mark { label } = &e.kind {
+                if label.starts_with(ITERATION_MARK) {
+                    first_mark = first_mark.min(e.ts_ns);
+                }
+            }
+        }
+    }
+    assert!(first_mark < u64::MAX, "trace carries no iteration marks");
+    end - first_mark
+}
+
+fn check(scheme: Scheme, n_ranks: u32) {
+    let out = traced_run(scheme);
+    let trace = out.trace.as_ref().expect("collect_trace(true) set");
+
+    let cp = out
+        .health
+        .critical_path
+        .as_ref()
+        .expect("health report must carry critical-path attribution");
+    assert!(cp.iterations >= 1, "{scheme:?}: no iteration windows");
+    assert!(cp.wall_ns > 0, "{scheme:?}: zero wall");
+
+    // The attribution components partition the wall exactly.
+    let sum = cp.compute_ns + cp.collective_ns + cp.straggler_ns + cp.other_ns;
+    assert_eq!(
+        sum, cp.wall_ns,
+        "{scheme:?}: components must sum to the windows' wall"
+    );
+
+    // And the windows' wall agrees with the raw trace to within 1%.
+    let measured = windows_wall_ns(trace);
+    let diff = measured.abs_diff(cp.wall_ns);
+    assert!(
+        diff as f64 <= 0.01 * measured as f64,
+        "{scheme:?}: attribution wall {} vs measured {} (diff {})",
+        cp.wall_ns,
+        measured,
+        diff
+    );
+
+    // A traced run does real kernel work, so some compute must be
+    // attributed and the slowest rank must be a real rank.
+    assert!(cp.compute_ns > 0, "{scheme:?}: no compute attributed");
+    if let Some(r) = cp.slowest_rank {
+        assert!(r < n_ranks, "{scheme:?}: slowest rank {r} out of range");
+    }
+    if cp.hottest_partition.is_some() {
+        assert!(cp.hottest_partition_ns > 0);
+    }
+
+    // Fractions are well-formed shares of the wall.
+    for f in [cp.compute_frac(), cp.collective_frac(), cp.straggler_frac()] {
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "{scheme:?}: fraction {f} out of range"
+        );
+    }
+}
+
+#[test]
+fn decentralized_attribution_accounts_for_iteration_wall() {
+    check(Scheme::Decentralized, 3);
+}
+
+#[test]
+fn forkjoin_attribution_accounts_for_iteration_wall() {
+    check(Scheme::ForkJoin, 3);
+}
