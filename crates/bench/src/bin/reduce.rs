@@ -1,0 +1,192 @@
+//! `--reduce fast` vs `--reduce reproducible` whole-inference overhead —
+//! the cost of rank-count-invariant collectives. The reproducible path
+//! routes every site-likelihood, derivative and rate-optimization sum
+//! through binned superaccumulators (exchange the bins, render once), so
+//! the overhead is per-site accumulation work plus a wider collective
+//! payload. The acceptance bar is <5% on the end-to-end search.
+//!
+//! ```text
+//! cargo run -p examl-bench --release --bin reduce -- [taxa=64] [sites=2000] [ranks=4] [reps=5]
+//! ```
+
+use exa_comm::{BinnedSum, ReduceChoice};
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_bench::{write_json, write_markdown};
+use examl_core::RunConfig;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct MicroRow {
+    addends: usize,
+    naive_ns_per_elem: f64,
+    binned_ns_per_elem: f64,
+    slowdown: f64,
+}
+
+#[derive(Serialize)]
+struct ReduceReport {
+    taxa: usize,
+    sites: usize,
+    ranks: usize,
+    reps: usize,
+    iterations: usize,
+    fast_wall_s: f64,
+    reproducible_wall_s: f64,
+    /// End-to-end overhead of the reproducible mode, percent.
+    overhead_pct: f64,
+    fast_lnl: f64,
+    reproducible_lnl: f64,
+    /// |fast - reproducible| in units of the last place of the fast lnL.
+    lnl_ulp_distance: u64,
+    micro: Vec<MicroRow>,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN ^ bits
+        } else {
+            bits
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let taxa: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let sites: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let ranks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let reps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let iterations = 3;
+
+    eprintln!("generating the Γ DNA workload ({taxa} taxa x {sites} bp)...");
+    let w = workloads::large_unpartitioned(taxa, sites, 5);
+    let scheme = exa_bio::partition::PartitionScheme::unpartitioned(sites);
+    let comp = exa_bio::patterns::CompressedAlignment::build(&w.alignment, &scheme);
+
+    let config = |reduce: ReduceChoice| {
+        RunConfig::new(ranks)
+            .reduce(reduce)
+            .seed(23)
+            .search(SearchConfig {
+                max_iterations: iterations,
+                epsilon: 1e-9,
+                ..SearchConfig::fast()
+            })
+    };
+    let run = |reduce: ReduceChoice| {
+        let t0 = Instant::now();
+        let out = config(reduce).run(&comp).expect("bench run failed");
+        (t0.elapsed().as_secs_f64(), out.result.lnl)
+    };
+
+    // Warmup both paths, then interleave the timed repetitions so machine
+    // drift hits both modes equally.
+    let (_, fast_lnl) = run(ReduceChoice::Fast);
+    let (_, repro_lnl) = run(ReduceChoice::Reproducible);
+    let (mut fast_s, mut repro_s) = (Vec::new(), Vec::new());
+    for rep in 0..reps {
+        eprintln!("rep {}/{reps}...", rep + 1);
+        fast_s.push(run(ReduceChoice::Fast).0);
+        repro_s.push(run(ReduceChoice::Reproducible).0);
+    }
+    let fast_wall_s = median(fast_s);
+    let reproducible_wall_s = median(repro_s);
+    let overhead_pct = (reproducible_wall_s / fast_wall_s - 1.0) * 100.0;
+
+    // Micro view: per-element cost of the binned accumulator vs a naive
+    // running sum — the per-site work the whole-run overhead comes from.
+    let mut micro = Vec::new();
+    for addends in [1usize << 10, 1 << 14, 1 << 18] {
+        let xs: Vec<f64> = (0..addends)
+            .map(|i| -((i % 977) as f64).mul_add(1e-4, 2.0))
+            .collect();
+        let naive = median(
+            (0..9)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let mut acc = 0.0f64;
+                    for &x in &xs {
+                        acc += x;
+                    }
+                    std::hint::black_box(acc);
+                    t0.elapsed().as_nanos() as f64 / addends as f64
+                })
+                .collect(),
+        );
+        let binned = median(
+            (0..9)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let mut acc = BinnedSum::new();
+                    acc.add_slice(&xs);
+                    std::hint::black_box(acc.render());
+                    t0.elapsed().as_nanos() as f64 / addends as f64
+                })
+                .collect(),
+        );
+        micro.push(MicroRow {
+            addends,
+            naive_ns_per_elem: naive,
+            binned_ns_per_elem: binned,
+            slowdown: binned / naive,
+        });
+    }
+
+    let report = ReduceReport {
+        taxa,
+        sites,
+        ranks,
+        reps,
+        iterations,
+        fast_wall_s,
+        reproducible_wall_s,
+        overhead_pct,
+        fast_lnl,
+        reproducible_lnl: repro_lnl,
+        lnl_ulp_distance: ulp_distance(fast_lnl, repro_lnl),
+        micro,
+    };
+
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# Reproducible reductions: end-to-end overhead ({taxa} taxa x {sites} bp Γ DNA, {ranks} ranks, {iterations} iterations, median of {reps})\n"
+    );
+    let _ = writeln!(md, "| mode | wall | final lnL |");
+    let _ = writeln!(md, "|---|---|---|");
+    let _ = writeln!(md, "| fast | {fast_wall_s:.3} s | {fast_lnl:.6} |");
+    let _ = writeln!(
+        md,
+        "| reproducible | {reproducible_wall_s:.3} s | {:.6} |",
+        repro_lnl
+    );
+    let _ = writeln!(
+        md,
+        "\n**Overhead: {overhead_pct:+.2}%** (bar: <5%). Final lnL agreement: {} ULP.\n",
+        report.lnl_ulp_distance
+    );
+    let _ = writeln!(md, "| addends | naive sum | binned sum | slowdown |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for r in &report.micro {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} ns/elem | {:.2} ns/elem | {:.2}x |",
+            r.addends, r.naive_ns_per_elem, r.binned_ns_per_elem, r.slowdown
+        );
+    }
+    print!("{md}");
+
+    write_json("reduce", &report);
+    write_markdown("reduce", &md);
+}

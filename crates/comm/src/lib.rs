@@ -27,6 +27,9 @@
 //! 48-core-node cluster (DESIGN.md §2 documents this substitution).
 
 pub mod cluster;
+pub mod reduce;
+
+pub use reduce::{BinnedSum, ReduceChoice, ReduceKind};
 
 /// Communication accounting types. These moved to `exa-obs` (the bottom of
 /// the crate stack) so the trace aggregation can share them; re-exported
@@ -63,6 +66,10 @@ impl std::error::Error for CommError {}
 #[derive(Debug, Clone, PartialEq)]
 enum Payload {
     F64(Vec<f64>),
+    /// Reproducible-mode reduction contribution: one superaccumulator per
+    /// output element. Merged exactly; the combined result is rendered to
+    /// [`Payload::F64`] once so every reader sees the identical bits.
+    Bins(Vec<BinnedSum>),
     Bytes(Vec<u8>),
     /// One byte blob per rank (gather result / scatter input).
     PerRank(Vec<Vec<u8>>),
@@ -288,7 +295,7 @@ impl Rank {
         self.tracer.as_ref()
     }
 
-    fn collective(
+    fn run_collective(
         &self,
         op: OpSig,
         category: CommCategory,
@@ -410,19 +417,22 @@ impl Rank {
         Ok(out)
     }
 
+    /// Start a [`Collective`] under `category`. New operation variants
+    /// (binned exchange, mode overrides, non-zero roots) hang off the
+    /// builder instead of multiplying `Rank` method signatures.
+    pub fn collective(&self, category: CommCategory) -> Collective<'_> {
+        Collective {
+            rank: self,
+            category,
+            root: 0,
+            mode: ReduceKind::Fast,
+        }
+    }
+
     /// Deterministic sum-allreduce over `data` (in place). All active ranks
     /// receive the bit-identical result.
     pub fn allreduce_sum(&self, data: &mut [f64], category: CommCategory) -> Result<(), CommError> {
-        let op = OpSig {
-            kind: OpKind::Allreduce,
-            root: 0,
-        };
-        let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
-        let Payload::F64(v) = out else {
-            unreachable!("allreduce returns f64")
-        };
-        data.copy_from_slice(&v);
-        Ok(())
+        self.collective(category).allreduce_sum(data)
     }
 
     /// Sum-reduce toward `root`; non-root buffers are left untouched.
@@ -432,18 +442,7 @@ impl Rank {
         data: &mut [f64],
         category: CommCategory,
     ) -> Result<(), CommError> {
-        let op = OpSig {
-            kind: OpKind::Reduce,
-            root,
-        };
-        let out = self.collective(op, category, Payload::F64(data.to_vec()))?;
-        if self.id == root {
-            let Payload::F64(v) = out else {
-                unreachable!("reduce returns f64")
-            };
-            data.copy_from_slice(&v);
-        }
-        Ok(())
+        self.collective(category).root(root).reduce_sum(data)
     }
 
     /// Broadcast a byte blob from `root`. On non-root ranks the buffer is
@@ -463,7 +462,7 @@ impl Rank {
         } else {
             Payload::Unit
         };
-        let out = self.collective(op, category, payload)?;
+        let out = self.run_collective(op, category, payload)?;
         let Payload::Bytes(v) = out else {
             unreachable!("broadcast returns bytes")
         };
@@ -487,7 +486,7 @@ impl Rank {
         } else {
             Payload::Unit
         };
-        let out = self.collective(op, category, payload)?;
+        let out = self.run_collective(op, category, payload)?;
         let Payload::F64(v) = out else {
             unreachable!("broadcast_f64 returns f64")
         };
@@ -507,7 +506,7 @@ impl Rank {
             kind: OpKind::Gather,
             root,
         };
-        let out = self.collective(op, category, Payload::Bytes(data))?;
+        let out = self.run_collective(op, category, Payload::Bytes(data))?;
         let Payload::PerRank(blobs) = out else {
             unreachable!("gather returns per-rank blobs")
         };
@@ -527,7 +526,7 @@ impl Rank {
             kind: OpKind::Allgather,
             root: 0,
         };
-        let out = self.collective(op, category, Payload::Bytes(data))?;
+        let out = self.run_collective(op, category, Payload::Bytes(data))?;
         let Payload::PerRank(blobs) = out else {
             unreachable!("allgather returns per-rank blobs")
         };
@@ -557,7 +556,7 @@ impl Rank {
         } else {
             Payload::Unit
         };
-        let out = self.collective(op, category, payload)?;
+        let out = self.run_collective(op, category, payload)?;
         let Payload::PerRank(blobs) = out else {
             unreachable!("scatter returns per-rank blobs")
         };
@@ -570,7 +569,7 @@ impl Rank {
             kind: OpKind::Barrier,
             root: 0,
         };
-        self.collective(op, category, Payload::Unit)?;
+        self.run_collective(op, category, Payload::Unit)?;
         Ok(())
     }
 
@@ -645,10 +644,178 @@ impl Rank {
     }
 }
 
+/// Builder for one collective operation: category, root, and reduce-mode
+/// override are set up front; the terminal method names the op. Obtained
+/// via [`Rank::collective`]; the classic [`Rank::allreduce_sum`] /
+/// [`Rank::reduce_sum`] methods are thin wrappers over this.
+#[must_use = "a Collective does nothing until a terminal method runs it"]
+pub struct Collective<'a> {
+    rank: &'a Rank,
+    category: CommCategory,
+    root: usize,
+    mode: ReduceKind,
+}
+
+impl Collective<'_> {
+    /// Set the root rank (reductions toward a root; default 0).
+    pub fn root(mut self, root: usize) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Override the reduction scheme for this one operation. Under
+    /// [`ReduceKind::Reproducible`] each f64 element is deposited into its
+    /// own superaccumulator before the exchange, so the combination is
+    /// exact regardless of which ranks contribute what.
+    pub fn reduce(mut self, mode: ReduceKind) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    fn sum_payload(&self, data: &[f64]) -> Payload {
+        match self.mode {
+            ReduceKind::Fast => Payload::F64(data.to_vec()),
+            ReduceKind::Reproducible => Payload::Bins(
+                data.iter()
+                    .map(|&x| {
+                        let mut b = BinnedSum::new();
+                        b.add(x);
+                        b
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Sum-allreduce `data` in place; every active rank receives the
+    /// bit-identical result.
+    pub fn allreduce_sum(self, data: &mut [f64]) -> Result<(), CommError> {
+        let op = OpSig {
+            kind: OpKind::Allreduce,
+            root: 0,
+        };
+        let payload = self.sum_payload(data);
+        let out = self.rank.run_collective(op, self.category, payload)?;
+        let Payload::F64(v) = out else {
+            unreachable!("allreduce returns f64")
+        };
+        data.copy_from_slice(&v);
+        Ok(())
+    }
+
+    /// Sum-reduce toward the configured root; non-root buffers are left
+    /// untouched.
+    pub fn reduce_sum(self, data: &mut [f64]) -> Result<(), CommError> {
+        let op = OpSig {
+            kind: OpKind::Reduce,
+            root: self.root,
+        };
+        let payload = self.sum_payload(data);
+        let out = self.rank.run_collective(op, self.category, payload)?;
+        if self.rank.id == self.root {
+            let Payload::F64(v) = out else {
+                unreachable!("reduce returns f64")
+            };
+            data.copy_from_slice(&v);
+        }
+        Ok(())
+    }
+
+    /// Reproducible-mode allreduce over locally accumulated bins: the
+    /// communicator merges the superaccumulators exactly and renders the
+    /// result to f64 once, so the bits every rank receives depend only on
+    /// the global addend multiset — not on the rank count or the split.
+    pub fn allreduce_binned(self, bins: Vec<BinnedSum>) -> Result<Vec<f64>, CommError> {
+        let op = OpSig {
+            kind: OpKind::Allreduce,
+            root: 0,
+        };
+        let out = self
+            .rank
+            .run_collective(op, self.category, Payload::Bins(bins))?;
+        let Payload::F64(v) = out else {
+            unreachable!("allreduce returns f64")
+        };
+        Ok(v)
+    }
+
+    /// Reproducible-mode reduce toward the configured root. Only the root
+    /// receives the rendered sums; other ranks get an empty vector.
+    pub fn reduce_binned(self, bins: Vec<BinnedSum>) -> Result<Vec<f64>, CommError> {
+        let op = OpSig {
+            kind: OpKind::Reduce,
+            root: self.root,
+        };
+        let out = self
+            .rank
+            .run_collective(op, self.category, Payload::Bins(bins))?;
+        if self.rank.id != self.root {
+            return Ok(Vec::new());
+        }
+        let Payload::F64(v) = out else {
+            unreachable!("reduce returns f64")
+        };
+        Ok(v)
+    }
+
+    /// Synchronization barrier under this builder's category (resize and
+    /// recovery points).
+    pub fn barrier(self) -> Result<(), CommError> {
+        let op = OpSig {
+            kind: OpKind::Barrier,
+            root: 0,
+        };
+        self.rank.run_collective(op, self.category, Payload::Unit)?;
+        Ok(())
+    }
+}
+
 /// Deterministic combination of the deposited payloads.
 fn combine(st: &State, op: OpSig) -> Payload {
     match op.kind {
         OpKind::Allreduce | OpKind::Reduce => {
+            // Reproducible contributions force the binned path: bins merge
+            // exactly (order- and grouping-invariant) and stray fast-mode
+            // f64 contributions — possible only in a mixed-mode world the
+            // sentinel is about to abort — are deposited into the bins so
+            // the collective still completes deterministically. The result
+            // is rendered to f64 exactly once.
+            let any_bins = st
+                .contributions
+                .iter()
+                .enumerate()
+                .any(|(r, c)| st.active[r] && matches!(c, Some(Payload::Bins(_))));
+            if any_bins {
+                let mut acc: Option<Vec<BinnedSum>> = None;
+                for (r, c) in st.contributions.iter().enumerate() {
+                    if !st.active[r] {
+                        continue;
+                    }
+                    match c {
+                        Some(Payload::Bins(bins)) => {
+                            let a = acc.get_or_insert_with(|| vec![BinnedSum::new(); bins.len()]);
+                            assert_eq!(
+                                a.len(),
+                                bins.len(),
+                                "reduction length mismatch at rank {r}"
+                            );
+                            for (x, b) in a.iter_mut().zip(bins) {
+                                x.merge(b);
+                            }
+                        }
+                        Some(Payload::F64(v)) => {
+                            let a = acc.get_or_insert_with(|| vec![BinnedSum::new(); v.len()]);
+                            assert_eq!(a.len(), v.len(), "reduction length mismatch at rank {r}");
+                            for (x, &y) in a.iter_mut().zip(v) {
+                                x.add(y);
+                            }
+                        }
+                        _ => panic!("rank {r} contributed a non-reduction payload"),
+                    }
+                }
+                let acc = acc.expect("no contributions");
+                return Payload::F64(acc.iter().map(BinnedSum::render).collect());
+            }
             let mut acc: Option<Vec<f64>> = None;
             for (r, c) in st.contributions.iter().enumerate() {
                 if !st.active[r] {
@@ -713,6 +880,11 @@ fn combine(st: &State, op: OpSig) -> Payload {
 fn wire_bytes(result: &Payload) -> u64 {
     match result {
         Payload::F64(v) => 8 * v.len() as u64,
+        // Reduction results are always rendered to F64 before accounting;
+        // bins only appear as contributions. Counted at their logical f64
+        // width so both reduce modes account identical traffic (the
+        // paper's hardware-independent convention).
+        Payload::Bins(v) => 8 * v.len() as u64,
         Payload::Bytes(b) => b.len() as u64,
         Payload::PerRank(blobs) => blobs.iter().map(|b| b.len() as u64).sum(),
         Payload::Unit => 0,
@@ -1108,6 +1280,95 @@ mod tests {
             assert!(exa_obs::with_tracer(|_| ()).is_none());
             rank.barrier(CommCategory::Control).unwrap();
         });
+    }
+
+    #[test]
+    fn binned_allreduce_is_rank_count_invariant() {
+        // The same addend multiset split across 1, 2, 4, and 8 ranks must
+        // render the identical bits — the property the fast path lacks.
+        let terms: Vec<f64> = (0..64)
+            .map(|i| 0.1 * ((i as f64) + 1.0).powi(3) * if i % 3 == 0 { -1.0 } else { 1e-9 })
+            .collect();
+        let mut renders = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let results = World::run(n, |rank| {
+                let mut b = BinnedSum::new();
+                // Strided split: every width groups the terms differently.
+                for (i, &t) in terms.iter().enumerate() {
+                    if i % n == rank.id() {
+                        b.add(t);
+                    }
+                }
+                rank.collective(CommCategory::SiteLikelihoods)
+                    .allreduce_binned(vec![b])
+                    .unwrap()[0]
+                    .to_bits()
+            });
+            for w in results.windows(2) {
+                assert_eq!(w[0], w[1]);
+            }
+            renders.push(results[0]);
+        }
+        for w in renders.windows(2) {
+            assert_eq!(w[0], w[1], "render differs across rank counts");
+        }
+    }
+
+    #[test]
+    fn mixed_mode_reduction_completes_deterministically() {
+        // One rank still in fast mode (a mis-negotiated world the sentinel
+        // will abort) must not deadlock or poison the collective: its f64
+        // contribution is deposited into the bins.
+        let results = World::run(3, |rank| {
+            if rank.id() == 1 {
+                let mut d = vec![2.5];
+                rank.allreduce_sum(&mut d, CommCategory::SiteLikelihoods)
+                    .unwrap();
+                d[0]
+            } else {
+                let mut b = BinnedSum::new();
+                b.add(1.0);
+                rank.collective(CommCategory::SiteLikelihoods)
+                    .allreduce_binned(vec![b])
+                    .unwrap()[0]
+            }
+        });
+        for r in results {
+            assert_eq!(r, 4.5);
+        }
+    }
+
+    #[test]
+    fn builder_reduce_binned_targets_root() {
+        let results = World::run(3, |rank| {
+            let mut b = BinnedSum::new();
+            b.add(rank.id() as f64 + 1.0);
+            rank.collective(CommCategory::BranchLength)
+                .root(2)
+                .reduce_binned(vec![b])
+                .unwrap()
+        });
+        assert!(results[0].is_empty() && results[1].is_empty());
+        assert_eq!(results[2], vec![6.0]);
+    }
+
+    #[test]
+    fn builder_mode_override_matches_fast_for_exact_sums() {
+        let results = World::run(4, |rank| {
+            let mut fast = vec![rank.id() as f64, 1.0];
+            rank.allreduce_sum(&mut fast, CommCategory::SiteLikelihoods)
+                .unwrap();
+            let mut repro = vec![rank.id() as f64, 1.0];
+            rank.collective(CommCategory::SiteLikelihoods)
+                .reduce(ReduceKind::Reproducible)
+                .allreduce_sum(&mut repro)
+                .unwrap();
+            (fast, repro)
+        });
+        for (fast, repro) in results {
+            assert_eq!(fast, vec![6.0, 4.0]);
+            assert_eq!(repro, vec![6.0, 4.0]);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::checkpoint::{self, BootstrapProgress, Checkpoint, CheckpointHeader, C
 use crate::run::RunError;
 use crate::{decentralized_impl, InferenceConfig, RunOutput};
 use exa_bio::patterns::{CompressedAlignment, CompressedPartition};
-use exa_comm::CommStats;
+use exa_comm::{CommStats, ReduceChoice, ReduceKind};
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::tree::bipartitions::bipartitions;
 use exa_search::evaluator::SearchSnapshot;
@@ -159,6 +159,15 @@ fn local_site_repeats(choice: RepeatsChoice) -> SiteRepeats {
     }
 }
 
+/// [`local_kernel`]'s analogue for the collective reduction mode.
+fn local_reduce(choice: ReduceChoice) -> ReduceKind {
+    match choice {
+        ReduceChoice::Fast => ReduceKind::Fast,
+        ReduceChoice::Reproducible => ReduceKind::Reproducible,
+        ReduceChoice::Auto => ReduceKind::from_capability_level(choice.advertised_level()),
+    }
+}
+
 /// The bootstrap driver behind [`crate::RunConfig::run`] and the deprecated
 /// `run_bootstrap*` shims. When `trace_out` is set, the best-tree run's
 /// Chrome trace goes to that path and each replicate's to
@@ -217,6 +226,7 @@ pub(crate) fn bootstrap_impl(
                 sentinel_syncs: 0,
                 kernel: local_kernel(cfg.base.kernel),
                 site_repeats: local_site_repeats(cfg.base.site_repeats),
+                reduce: local_reduce(cfg.base.reduce),
                 checkpoints: 0,
             };
             let counts: HashMap<Vec<usize>, usize> = progress
@@ -300,6 +310,7 @@ pub(crate) fn bootstrap_impl(
                 iteration: best.result.iterations,
                 payload_len: 0,
                 payload_fingerprint: 0,
+                reduce_mode: Some(best.reduce.label().into()),
             };
             let ckpt = Checkpoint::build(
                 header,

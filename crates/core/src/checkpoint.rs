@@ -89,6 +89,12 @@ pub struct CheckpointHeader {
     pub payload_len: u64,
     /// FNV-1a 64 of the payload bytes.
     pub payload_fingerprint: u64,
+    /// Negotiated reduction-mode label (`"fast"`/`"reproducible"`). `None`
+    /// on checkpoints written before reduce-mode selection existed (treated
+    /// as `"fast"` on resume). Gates `rank_count` elasticity: a fast-mode
+    /// lnL trajectory is a function of the rank count, so resuming it on a
+    /// different count is a silent fork, not a continuation.
+    pub reduce_mode: Option<String>,
 }
 
 /// Bootstrap progress folded into checkpoints written between replicates,
@@ -446,9 +452,10 @@ pub fn load_latest(dir: &Path) -> Result<Checkpoint, CheckpointError> {
 
 /// The strict identity of a run, checked against a checkpoint header
 /// before resuming. Fields absent here (`kernel`, `site_repeats`,
-/// `rank_count`, `scheme`) are *elastic*: the replicated state
-/// redistributes across any world shape, and kernel backends are bitwise
-/// identical by contract.
+/// `scheme`) are *elastic*: the replicated state redistributes across any
+/// world shape, and kernel backends are bitwise identical by contract.
+/// `rank_count` is *conditionally* elastic — only when both the checkpoint
+/// and the resuming run reduce reproducibly (see [`validate_resume`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResumeContext {
     pub rate_model: String,
@@ -456,10 +463,21 @@ pub struct ResumeContext {
     pub seed: u64,
     pub n_taxa: usize,
     pub n_partitions: usize,
+    /// The resuming run's rank count.
+    pub rank_count: usize,
+    /// The resuming run's locally-resolved reduce-mode label.
+    pub reduce: String,
 }
 
 /// Validate that `header` may seed a run described by `ctx`; on failure,
 /// the error names the first offending field.
+///
+/// `rank_count` may differ from the checkpoint's only when both sides
+/// reduce with `"reproducible"`: under `"fast"` the collective sums — and
+/// therefore the whole lnL trajectory — are a function of the rank count,
+/// so a cross-count resume would silently fork the trajectory the
+/// checkpoint attests. The error names the offending mode so the fix
+/// (`--reduce reproducible`, or matching rank counts) is obvious.
 pub fn validate_resume(
     header: &CheckpointHeader,
     ctx: &ResumeContext,
@@ -492,6 +510,23 @@ pub fn validate_resume(
             });
         }
     }
+    if header.rank_count != ctx.rank_count {
+        let ckpt_mode = header.reduce_mode.as_deref().unwrap_or("fast");
+        let reproducible = ckpt_mode == "reproducible" && ctx.reduce == "reproducible";
+        if !reproducible {
+            return Err(CheckpointError::Mismatch {
+                field: "rank_count",
+                expected: format!(
+                    "{} (elastic only under reduce mode \"reproducible\"; run has \"{}\")",
+                    ctx.rank_count, ctx.reduce
+                ),
+                found: format!(
+                    "{} (checkpoint reduce mode \"{ckpt_mode}\")",
+                    header.rank_count
+                ),
+            });
+        }
+    }
     Ok(())
 }
 
@@ -515,6 +550,7 @@ mod tests {
             iteration: 0,
             payload_len: 0,
             payload_fingerprint: 0,
+            reduce_mode: Some("fast".into()),
         }
     }
 
@@ -708,6 +744,8 @@ mod tests {
             seed: 42,
             n_taxa: 6,
             n_partitions: 2,
+            rank_count: 3,
+            reduce: "fast".into(),
         };
         validate_resume(&c.header, &good).unwrap();
         let mut bad = good.clone();
@@ -730,5 +768,53 @@ mod tests {
             CheckpointError::Mismatch { field, .. } => assert_eq!(field, "rate_model"),
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn rank_count_elasticity_requires_reproducible_reduce() {
+        let c = sample(); // header: rank_count 3, reduce_mode "fast"
+        let ctx = |rank_count: usize, reduce: &str| ResumeContext {
+            rate_model: "Gamma".into(),
+            branch_mode: "Joint".into(),
+            seed: 42,
+            n_taxa: 6,
+            n_partitions: 2,
+            rank_count,
+            reduce: reduce.into(),
+        };
+
+        // Same count: always fine, any mode.
+        validate_resume(&c.header, &ctx(3, "fast")).unwrap();
+        validate_resume(&c.header, &ctx(3, "reproducible")).unwrap();
+
+        // Different count under fast: rejected, naming the mode.
+        match validate_resume(&c.header, &ctx(5, "fast")).unwrap_err() {
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => {
+                assert_eq!(field, "rank_count");
+                assert!(expected.contains("reproducible"), "{expected}");
+                assert!(found.contains("fast"), "{found}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // A reproducible run still cannot stretch a fast checkpoint (its
+        // trajectory is already rank-count-bound).
+        assert!(validate_resume(&c.header, &ctx(5, "reproducible")).is_err());
+
+        // Both sides reproducible: rank count is elastic.
+        let mut h = c.header.clone();
+        h.reduce_mode = Some("reproducible".into());
+        validate_resume(&h, &ctx(5, "reproducible")).unwrap();
+        // ... but not for a fast-mode resuming run.
+        assert!(validate_resume(&h, &ctx(5, "fast")).is_err());
+
+        // Legacy header (no reduce_mode) is treated as fast.
+        let mut legacy = c.header.clone();
+        legacy.reduce_mode = None;
+        assert!(validate_resume(&legacy, &ctx(5, "reproducible")).is_err());
+        validate_resume(&legacy, &ctx(3, "fast")).unwrap();
     }
 }

@@ -10,6 +10,7 @@
 //! ```
 
 use crate::sentinel::{DivergenceFault, FaultComponent};
+use exa_comm::{ReduceChoice, ReduceKind};
 use exa_phylo::engine::{KernelChoice, RepeatsChoice};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::KillSpec;
@@ -27,6 +28,8 @@ pub const FLAGS: &[&str] = &[
     "--model",
     "--kernel",
     "--site-repeats",
+    "--reduce",
+    "--resize-at",
     "-Q",
     "-M",
     "--seed",
@@ -47,6 +50,7 @@ pub const FLAGS: &[&str] = &[
     "--health-out",
     "--metrics-out",
     "--inject-divergence",
+    "--reduce-override",
     "--ascii",
     "--stats",
     "--quiet",
@@ -65,6 +69,13 @@ pub struct CliConfig {
     pub model: RateModelKind,
     pub kernel: KernelChoice,
     pub site_repeats: RepeatsChoice,
+    /// Collective reduction mode: `fast` (order-sensitive f64 tree),
+    /// `reproducible` (rank-count-invariant binned superaccumulator) or
+    /// `auto` (negotiate; resolves to reproducible when all ranks can).
+    pub reduce: ReduceChoice,
+    /// Planned mid-run width changes, `ITER:WIDTH` pairs in iteration
+    /// order. Requires `--reduce reproducible` (or `auto`).
+    pub resize_at: Vec<(usize, usize)>,
     pub mps: bool,
     pub per_partition_branches: bool,
     pub seed: u64,
@@ -93,6 +104,10 @@ pub struct CliConfig {
     /// metrics registry to this file at exit (also enables the registry).
     pub metrics_out: Option<PathBuf>,
     pub inject_divergence: Option<DivergenceFault>,
+    /// Fault injection: per-rank reduce modes overriding the negotiated
+    /// one, `MODE[,MODE...]` cycled over the ranks — a scripted mixed
+    /// world the sentinel must catch at its first fingerprint sync.
+    pub reduce_override: Option<Vec<ReduceKind>>,
 }
 
 impl Default for CliConfig {
@@ -107,6 +122,8 @@ impl Default for CliConfig {
             model: RateModelKind::Gamma,
             kernel: KernelChoice::from_env(),
             site_repeats: RepeatsChoice::from_env(),
+            reduce: ReduceChoice::from_env(),
+            resize_at: Vec::new(),
             mps: false,
             per_partition_branches: false,
             seed: 42,
@@ -130,6 +147,7 @@ impl Default for CliConfig {
             health_out: None,
             metrics_out: None,
             inject_divergence: None,
+            reduce_override: None,
         }
     }
 }
@@ -274,6 +292,22 @@ impl CliConfig {
                         expected: "on, off or auto",
                     })?;
                 }
+                "--reduce" => {
+                    let v = value("--reduce")?;
+                    cfg.reduce = ReduceChoice::parse(&v).ok_or(CliError::BadValue {
+                        flag: "--reduce",
+                        value: v,
+                        expected: "fast, reproducible or auto",
+                    })?;
+                }
+                "--resize-at" => {
+                    let v = value("--resize-at")?;
+                    cfg.resize_at = parse_resize_plan(&v).ok_or(CliError::BadValue {
+                        flag: "--resize-at",
+                        value: v,
+                        expected: "ITER:WIDTH[,ITER:WIDTH...]",
+                    })?;
+                }
                 "-Q" => cfg.mps = true,
                 "-M" => cfg.per_partition_branches = true,
                 "--seed" => cfg.seed = num("--seed", value("--seed")?, "an integer")?,
@@ -353,6 +387,15 @@ impl CliConfig {
                             expected: "RANK:COLLECTIVE:alpha|blen",
                         })?);
                 }
+                "--reduce-override" => {
+                    let v = value("--reduce-override")?;
+                    cfg.reduce_override =
+                        Some(parse_reduce_override(&v).ok_or(CliError::BadValue {
+                            flag: "--reduce-override",
+                            value: v,
+                            expected: "fast|reproducible[,fast|reproducible...]",
+                        })?);
+                }
                 "--ascii" => cfg.ascii = true,
                 "--stats" => cfg.stats_only = true,
                 "--quiet" => cfg.quiet = true,
@@ -400,6 +443,43 @@ pub fn parse_kill_spec(spec: &str) -> Option<KillSpec> {
     })
 }
 
+/// Parse `ITER:WIDTH[,ITER:WIDTH...]` into a resize plan. Pairs must be in
+/// strictly increasing iteration order and widths must be at least 1; the
+/// world-size upper bound is checked later, once the run knows its world.
+pub fn parse_resize_plan(spec: &str) -> Option<Vec<(usize, usize)>> {
+    let mut plan = Vec::new();
+    for pair in spec.split(',') {
+        let (iter, width) = pair.split_once(':')?;
+        let iter: usize = iter.parse().ok()?;
+        let width: usize = width.parse().ok()?;
+        if width == 0 {
+            return None;
+        }
+        if let Some(&(last, _)) = plan.last() {
+            if iter <= last {
+                return None;
+            }
+        }
+        plan.push((iter, width));
+    }
+    if plan.is_empty() {
+        return None;
+    }
+    Some(plan)
+}
+
+/// Parse `MODE[,MODE...]` (`fast` / `reproducible`) into a per-rank
+/// reduce-mode override table.
+pub fn parse_reduce_override(spec: &str) -> Option<Vec<ReduceKind>> {
+    spec.split(',')
+        .map(|m| match m {
+            "fast" => Some(ReduceKind::Fast),
+            "reproducible" => Some(ReduceKind::Reproducible),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
 pub fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
     let mut parts = spec.splitn(3, ':');
@@ -431,6 +511,7 @@ mod tests {
         assert_eq!(c.radius, 5);
         assert!((c.epsilon - 0.1).abs() < 1e-12);
         assert_eq!(c.verify_replicas, 0);
+        assert!(c.resize_at.is_empty());
         assert!(!c.quiet && !c.ascii && !c.stats_only);
     }
 
@@ -449,6 +530,10 @@ mod tests {
             "simd",
             "--site-repeats",
             "off",
+            "--reduce",
+            "reproducible",
+            "--resize-at",
+            "2:1,5:4",
             "-Q",
             "-M",
             "--seed",
@@ -465,6 +550,8 @@ mod tests {
             "16",
             "--inject-divergence",
             "1:10:alpha",
+            "--reduce-override",
+            "reproducible,fast",
             "--metrics-out",
             "metrics.prom",
             "--quiet",
@@ -475,6 +562,8 @@ mod tests {
         assert_eq!(c.model, RateModelKind::Psr);
         assert_eq!(c.kernel, KernelChoice::Simd);
         assert_eq!(c.site_repeats, RepeatsChoice::Off);
+        assert_eq!(c.reduce, ReduceChoice::Reproducible);
+        assert_eq!(c.resize_at, vec![(2, 1), (5, 4)]);
         assert!(c.mps && c.per_partition_branches && c.quiet);
         assert_eq!(c.seed, 7);
         assert_eq!(c.verify_replicas, 16);
@@ -482,6 +571,10 @@ mod tests {
         assert_eq!(fault.rank, 1);
         assert_eq!(fault.after_collectives, 10);
         assert_eq!(fault.component, FaultComponent::Alpha);
+        assert_eq!(
+            c.reduce_override,
+            Some(vec![ReduceKind::Reproducible, ReduceKind::Fast])
+        );
         assert_eq!(
             c.metrics_out.as_deref(),
             Some(std::path::Path::new("metrics.prom"))
@@ -626,6 +719,38 @@ mod tests {
         assert!(err.to_string().contains("on, off or auto"), "{err}");
         let err = parse(&["--model", "JC"]).unwrap_err();
         assert!(err.to_string().contains("GAMMA or PSR"), "{err}");
+        let err = parse(&["--reduce", "exact"]).unwrap_err();
+        assert!(
+            err.to_string().contains("fast, reproducible or auto"),
+            "{err}"
+        );
+        for bad in ["", "exact", "fast,", "fast,auto"] {
+            let err = parse(&["--reduce-override", bad]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::BadValue {
+                        flag: "--reduce-override",
+                        ..
+                    }
+                ),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
+        // Out-of-order, zero-width and malformed plans are all rejected.
+        for bad in ["", "3", "3:", "3:0", "5:2,3:4", "3:2,3:1", "x:2"] {
+            let err = parse(&["--resize-at", bad]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::BadValue {
+                        flag: "--resize-at",
+                        ..
+                    }
+                ),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
         assert_eq!(parse(&["--help"]).unwrap_err(), CliError::Help);
     }
 

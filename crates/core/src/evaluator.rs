@@ -4,7 +4,7 @@
 //! (§III-B), plus a 2-double reduction for PSR rate normalization.
 
 use crate::sentinel::{DivergenceFault, FaultComponent, Sentinel};
-use exa_comm::{CommCategory, CommError, Rank};
+use exa_comm::{BinnedSum, CommCategory, CommError, Rank, ReduceKind};
 use exa_obs::{ReplicaDivergence, StateFingerprint};
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
@@ -29,6 +29,11 @@ pub struct DecentralizedEvaluator {
     last_lnl: Vec<f64>,
     /// Replica-divergence sentinel (disabled unless configured).
     sentinel: Sentinel,
+    /// Negotiated collective reduction scheme. Under `Reproducible` every
+    /// evaluator collective ships binned superaccumulators instead of
+    /// pre-summed f64s, so the reduced bits are invariant under the rank
+    /// count and the data split (the elastic-resize prerequisite).
+    reduce: ReduceKind,
 }
 
 impl DecentralizedEvaluator {
@@ -64,7 +69,19 @@ impl DecentralizedEvaluator {
             gtr_rates,
             last_lnl: vec![0.0; n_partitions],
             sentinel: Sentinel::disabled(),
+            reduce: ReduceKind::Fast,
         }
+    }
+
+    /// Install the negotiated reduction scheme (default [`ReduceKind::Fast`],
+    /// the classic rank-ordered sum).
+    pub fn set_reduce(&mut self, reduce: ReduceKind) {
+        self.reduce = reduce;
+    }
+
+    /// The reduction scheme in force.
+    pub fn reduce(&self) -> ReduceKind {
+        self.reduce
     }
 
     /// Enable the replica-divergence sentinel: exchange and compare state
@@ -213,35 +230,67 @@ impl Evaluator for DecentralizedEvaluator {
         // Local descriptor — never broadcast (the whole point of the
         // de-centralized scheme) — and ONE allreduce of a single double:
         // the overall log-likelihood is all the replicas need to stay in
-        // lock-step (§III-B).
+        // lock-step (§III-B). Reproducible mode ships one superaccumulator
+        // holding the per-site addends instead of the pre-summed double.
         let d = self.tree.traversal_descriptor(edge);
         self.engine.execute(&d);
-        let per_local = self.engine.evaluate(&d);
-        let mut buf = vec![per_local.iter().sum::<f64>()];
-        let r = self
-            .rank
-            .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
-        self.comm_ok(r);
+        let total = match self.reduce {
+            ReduceKind::Fast => {
+                let per_local = self.engine.evaluate(&d);
+                let mut buf = vec![per_local.iter().sum::<f64>()];
+                let r = self
+                    .rank
+                    .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+                self.comm_ok(r);
+                buf[0]
+            }
+            ReduceKind::Reproducible => {
+                let mut bin = BinnedSum::new();
+                self.engine
+                    .evaluate_with_terms(&d, &mut |_, terms| bin.add_slice(terms));
+                let r = self
+                    .rank
+                    .collective(CommCategory::SiteLikelihoods)
+                    .allreduce_binned(vec![bin]);
+                self.comm_ok(r)[0]
+            }
+        };
         self.after_collective();
-        buf[0]
+        total
     }
 
     fn evaluate_partitioned(&mut self, edge: EdgeId) -> f64 {
         // Model optimization needs the per-partition vector: allreduce of
-        // p doubles.
+        // p doubles (p superaccumulators under reproducible mode).
         let d = self.tree.traversal_descriptor(edge);
         self.engine.execute(&d);
-        let per_local = self.engine.evaluate(&d);
-        let mut buf = vec![0.0; self.n_partitions];
-        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
-            buf[global] += per_local[local];
-        }
-        let r = self
-            .rank
-            .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
-        self.comm_ok(r);
+        self.last_lnl = match self.reduce {
+            ReduceKind::Fast => {
+                let per_local = self.engine.evaluate(&d);
+                let mut buf = vec![0.0; self.n_partitions];
+                for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+                    buf[global] += per_local[local];
+                }
+                let r = self
+                    .rank
+                    .allreduce_sum(&mut buf, CommCategory::SiteLikelihoods);
+                self.comm_ok(r);
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let globals = self.engine.global_indices();
+                let mut bins = vec![BinnedSum::new(); self.n_partitions];
+                self.engine.evaluate_with_terms(&d, &mut |local, terms| {
+                    bins[globals[local]].add_slice(terms)
+                });
+                let r = self
+                    .rank
+                    .collective(CommCategory::SiteLikelihoods)
+                    .allreduce_binned(bins);
+                self.comm_ok(r)
+            }
+        };
         self.after_collective();
-        self.last_lnl = buf;
         // Fixed-order local sum of identical inputs → identical totals.
         self.last_lnl.iter().sum()
     }
@@ -257,6 +306,30 @@ impl Evaluator for DecentralizedEvaluator {
     }
 
     fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        if self.reduce == ReduceKind::Reproducible {
+            // The layout mirrors the fast path ([d1 | d2], joint = 1 slot
+            // each, -M = p slots each), but every slot is a superaccumulator
+            // fed with the raw per-site addends.
+            let p = match self.branch_mode {
+                BranchMode::Joint => 1,
+                BranchMode::PerPartition => self.n_partitions,
+            };
+            let globals = self.engine.global_indices();
+            let mut bins = vec![BinnedSum::new(); 2 * p];
+            self.engine
+                .derivatives_with_terms(lengths, &mut |local, t1, t2| {
+                    let slot = if p == 1 { 0 } else { globals[local] };
+                    bins[slot].add_slice(t1);
+                    bins[p + slot].add_slice(t2);
+                });
+            let r = self
+                .rank
+                .collective(CommCategory::BranchLength)
+                .allreduce_binned(bins);
+            let buf = self.comm_ok(r);
+            self.after_collective();
+            return (buf[..p].to_vec(), buf[p..].to_vec());
+        }
         let (d1, d2) = self.engine.derivatives(lengths);
         match self.branch_mode {
             BranchMode::Joint => {
@@ -326,10 +399,28 @@ impl Evaluator for DecentralizedEvaluator {
         // Per-site rates are optimized on local data only; the global
         // normalization needs a single 2-double reduction (the paper's
         // "additional MPI calls to handle the CAT model").
-        let (num, den) = self.engine.optimize_site_rates(&d);
-        let mut buf = vec![num, den];
-        let r = self.rank.allreduce_sum(&mut buf, CommCategory::ModelParams);
-        self.comm_ok(r);
+        let buf = match self.reduce {
+            ReduceKind::Fast => {
+                let (num, den) = self.engine.optimize_site_rates(&d);
+                let mut buf = vec![num, den];
+                let r = self.rank.allreduce_sum(&mut buf, CommCategory::ModelParams);
+                self.comm_ok(r);
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let mut bins = vec![BinnedSum::new(); 2];
+                self.engine
+                    .optimize_site_rates_with_terms(&d, &mut |_, tn, td| {
+                        bins[0].add_slice(tn);
+                        bins[1].add_slice(td);
+                    });
+                let r = self
+                    .rank
+                    .collective(CommCategory::ModelParams)
+                    .allreduce_binned(bins);
+                self.comm_ok(r)
+            }
+        };
         self.after_collective();
         if buf[0] > 0.0 {
             self.engine.finalize_site_rates(buf[1] / buf[0]);
@@ -358,6 +449,10 @@ impl Evaluator for DecentralizedEvaluator {
     }
 
     fn backend_fingerprint(&self) -> u64 {
-        exa_search::kernel_fingerprint(self.engine.kernel_kind(), self.engine.site_repeats())
+        exa_search::kernel_fingerprint(
+            self.engine.kernel_kind(),
+            self.engine.site_repeats(),
+            self.reduce.label(),
+        )
     }
 }

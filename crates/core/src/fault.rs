@@ -96,6 +96,8 @@ pub struct DecentralizedHooks {
     snapshot_lnl: f64,
     /// Recoveries performed (observability for tests).
     pub recoveries: usize,
+    /// Planned elastic resizes executed (observability for tests).
+    pub resizes: usize,
     /// Checkpoint generations committed so far. Every rank counts them
     /// (the cadence is deterministic) even though only the writer rank
     /// performs the write — this is what aligns `--inject-kill` across the
@@ -144,6 +146,7 @@ impl DecentralizedHooks {
             snapshot_iteration: 0,
             snapshot_lnl: f64::NEG_INFINITY,
             recoveries: 0,
+            resizes: 0,
             checkpoints_written: 0,
             last_checkpoint_iter: None,
             last_checkpoint_ms: None,
@@ -263,7 +266,10 @@ impl DecentralizedHooks {
             scheme: "decentralized".into(),
             kernel: de.engine().kernel_kind().label().into(),
             site_repeats: de.engine().site_repeats().label().into(),
-            rank_count: self.rank.active_count(),
+            // The configured width, not the momentary surviving width: the
+            // snapshot is replicated state from the full-width trajectory,
+            // and the resume gate compares trajectory identities.
+            rank_count: self.cfg.n_ranks,
             rate_model: format!("{:?}", self.cfg.rate_model),
             branch_mode: format!("{:?}", self.cfg.branch_mode),
             seed: self.cfg.seed,
@@ -272,6 +278,7 @@ impl DecentralizedHooks {
             iteration: 0,
             payload_len: 0,
             payload_fingerprint: 0,
+            reduce_mode: Some(de.reduce().label().into()),
         };
         let ckpt = Checkpoint::build(
             header,
@@ -285,6 +292,45 @@ impl DecentralizedHooks {
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.last_checkpoint_ms = Some(elapsed_ms);
         crate::run::observe_checkpoint_write("decentralized", elapsed_ms);
+    }
+
+    /// Execute the elastic-resize plan at this boundary, if an entry fires:
+    /// recompute the data distribution at the new width (padded with empty
+    /// assignments up to the fixed comm world) and rebuild the local engine
+    /// from the shared alignment — the same redistribution mechanics as §V
+    /// failure recovery, but planned, collective-free (every rank derives
+    /// the identical step from the shared config) and without losing any
+    /// work. PSR per-site rates are data-local and reset, exactly like
+    /// recovery; the next model-optimization round re-fits them.
+    fn maybe_resize(&mut self, eval: &mut dyn Evaluator, info: &BoundaryInfo) {
+        let Some(&(_, width)) = self
+            .cfg
+            .resize_plan
+            .iter()
+            .find(|&&(iter, _)| iter == info.iteration)
+        else {
+            return;
+        };
+        let world = self.rank.world_size();
+        let assignments = crate::padded_assignments(&self.aln, width, world, self.cfg.strategy);
+        self.assignment = assignments[self.rank.id()].clone();
+        let de = eval
+            .as_any_mut()
+            .downcast_mut::<DecentralizedEvaluator>()
+            .expect("de-centralized hooks require the de-centralized evaluator");
+        let engine = exa_sched::build_engine(
+            &self.aln,
+            &self.assignment,
+            &self.freqs,
+            self.cfg.rate_model,
+            de.engine().kernel_kind(),
+            de.engine().site_repeats(),
+            Some(&self.shared),
+        );
+        de.replace_engine(engine);
+        self.resizes += 1;
+        // Stamped on every rank — trace event sequences stay comparable.
+        exa_obs::mark(|| format!("resize:{}:{width}", info.iteration));
     }
 
     /// Fire the injected kill once the configured number of checkpoints
@@ -377,6 +423,7 @@ impl DecentralizedHooks {
             clv_saved: Some(work.clv_saved),
             last_checkpoint_iter: self.last_checkpoint_iter,
             checkpoint_write_ms: self.last_checkpoint_ms,
+            reduce: Some(de.reduce().label().to_string()),
         };
         let line = rec.to_json_line();
         let written = if health.created {
@@ -423,6 +470,10 @@ impl SearchHooks for DecentralizedHooks {
         if self.cfg.fault_plan.fires(self.rank.id(), info.iteration) {
             die_now(&self.rank);
         }
+
+        // Planned elastic resize, after the boundary's checkpoint and
+        // heartbeat captured the pre-resize assignment.
+        self.maybe_resize(eval, info);
     }
 
     fn on_failure(&mut self, eval: &mut dyn Evaluator, _failure: &CommFailurePanic) -> bool {

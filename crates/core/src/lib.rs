@@ -21,6 +21,7 @@
 //! [`fault`].
 
 pub mod bootstrap;
+pub mod capability;
 pub mod checkpoint;
 pub mod cli;
 pub mod evaluator;
@@ -28,13 +29,14 @@ pub mod fault;
 pub mod run;
 pub mod sentinel;
 
+pub use capability::{Capability, CapabilityRequests, Caps, Negotiated};
 pub use cli::{CliConfig, CliError};
 pub use evaluator::DecentralizedEvaluator;
 pub use run::{BootstrapOptions, BootstrapSummary, RunConfig, RunError, RunOutcome, Scheme};
 pub use sentinel::{DivergenceFault, FaultComponent};
 
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::{CommCategory, CommStats, Rank, World};
+use exa_comm::{CommCategory, CommStats, Rank, ReduceChoice, ReduceKind, World};
 use exa_obs::Recorder;
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
@@ -115,6 +117,25 @@ pub struct InferenceConfig {
     pub site_repeats: RepeatsChoice,
     /// Test hook: force a repeats setting per rank, bypassing negotiation.
     pub site_repeats_override: Option<Vec<SiteRepeats>>,
+    /// Collective reduction scheme (`--reduce`). `Fast` is the classic
+    /// rank-ordered f64 sum (bit-identical within one world, but the bits
+    /// depend on the rank count); `Reproducible` sums through binned
+    /// superaccumulators so the bits are invariant under the rank count and
+    /// the data split — the prerequisite for mid-run elastic resize. `Auto`
+    /// negotiates the minimum capability across the world.
+    pub reduce: ReduceChoice,
+    /// Test hook: force a reduce mode per rank, bypassing negotiation.
+    /// Mixing modes changes the bits of every collective sum and trips the
+    /// replica-divergence sentinel at the first fingerprint sync.
+    pub reduce_override: Option<Vec<ReduceKind>>,
+    /// Mid-run elastic-resize plan: at the boundary of iteration `i`,
+    /// redistribute the alignment over `w` ranks (`--resize-at I:W,...`).
+    /// The comm world is sized to the largest width up front; ranks beyond
+    /// the current width hold no data but keep replicating the search.
+    /// Requires a reproducible reduce mode — under `Fast` the lnL bits
+    /// would shift with the width and the replicas would diverge from their
+    /// own checkpointed trajectory.
+    pub resize_plan: Vec<(usize, usize)>,
 }
 
 impl InferenceConfig {
@@ -143,72 +164,64 @@ impl InferenceConfig {
             kernel_override: None,
             site_repeats: RepeatsChoice::from_env(),
             site_repeats_override: None,
+            reduce: ReduceChoice::Fast,
+            reduce_override: None,
+            resize_plan: Vec::new(),
         }
+    }
+
+    /// This rank's entries into the one-time packed capability exchange
+    /// (see [`capability::negotiate`]).
+    pub fn capability_requests(&self, rank_id: usize) -> CapabilityRequests {
+        CapabilityRequests {
+            kernel: capability::kernel_request(
+                rank_id,
+                self.kernel,
+                self.kernel_override.as_deref(),
+            ),
+            site_repeats: capability::repeats_request(
+                rank_id,
+                self.site_repeats,
+                self.site_repeats_override.as_deref(),
+            ),
+            reduce: capability::reduce_request(
+                rank_id,
+                self.reduce,
+                self.reduce_override.as_deref(),
+            ),
+        }
+    }
+
+    /// The communicator width a run needs: the configured rank count, plus
+    /// head-room up to the widest target in the resize plan (a world cannot
+    /// grow past the ranks it launched with).
+    pub fn world_size(&self) -> usize {
+        self.resize_plan
+            .iter()
+            .map(|&(_, w)| w)
+            .chain(std::iter::once(self.n_ranks))
+            .max()
+            .expect("chain is non-empty")
     }
 }
 
-/// Resolve the kernel backend a rank will compute with. `Auto` performs the
-/// one-time capability negotiation: each rank contributes its local
-/// capability level on an allgather and every rank adopts the minimum, so
-/// heterogeneous worlds settle on a backend all of them support. A failed
-/// (empty) slot is ignored — the survivors still agree because they all saw
-/// the same gather.
-pub(crate) fn negotiate_kernel(
-    rank: &Rank,
-    choice: KernelChoice,
-    override_table: Option<&[KernelKind]>,
-) -> KernelKind {
-    if let Some(table) = override_table {
-        return table[rank.id() % table.len().max(1)];
-    }
-    match choice {
-        KernelChoice::Scalar => KernelKind::Scalar,
-        KernelChoice::Simd => KernelKind::Simd,
-        KernelChoice::Auto => {
-            let mine = choice.capability_level();
-            let gathered = rank
-                .allgather_bytes(vec![mine], CommCategory::Control)
-                .expect("kernel capability negotiation cannot proceed after a rank failure");
-            let min = gathered
-                .iter()
-                .filter_map(|b| b.first().copied())
-                .min()
-                .unwrap_or(mine);
-            KernelKind::from_capability_level(min)
-        }
-    }
-}
-
-/// Resolve the subtree-repeat compression setting a rank will compute with,
-/// by the same protocol as [`negotiate_kernel`]: forced settings resolve
-/// locally, `Auto` runs a one-byte capability allgather and every rank
-/// adopts the minimum. Repeats change no likelihood bits, but the setting
-/// must still be uniform so redistributed slices behave identically on every
-/// survivor and the fingerprinted compute configuration matches.
-pub(crate) fn negotiate_site_repeats(
-    rank: &Rank,
-    choice: RepeatsChoice,
-    override_table: Option<&[SiteRepeats]>,
-) -> SiteRepeats {
-    if let Some(table) = override_table {
-        return table[rank.id() % table.len().max(1)];
-    }
-    match choice {
-        RepeatsChoice::On => SiteRepeats::On,
-        RepeatsChoice::Off => SiteRepeats::Off,
-        RepeatsChoice::Auto => {
-            let mine = choice.capability_level();
-            let gathered = rank
-                .allgather_bytes(vec![mine], CommCategory::Control)
-                .expect("site-repeats negotiation cannot proceed after a rank failure");
-            let min = gathered
-                .iter()
-                .filter_map(|b| b.first().copied())
-                .min()
-                .unwrap_or(mine);
-            SiteRepeats::from_capability_level(min)
-        }
-    }
+/// Compute the deterministic data distribution over `width` ranks, padded
+/// with empty assignments up to `world` ranks (elastic head-room: ranks at
+/// or beyond the current data width replicate the search on zero local
+/// patterns until a resize grows into them).
+pub(crate) fn padded_assignments(
+    aln: &CompressedAlignment,
+    width: usize,
+    world: usize,
+    strategy: exa_sched::Strategy,
+) -> Vec<exa_sched::RankAssignment> {
+    assert!(
+        width >= 1 && width <= world,
+        "resize width {width} outside 1..={world}"
+    );
+    let mut assignments = exa_sched::distribute(aln, width, strategy);
+    assignments.resize_with(world, Default::default);
+    assignments
 }
 
 /// Result of a de-centralized run.
@@ -235,6 +248,9 @@ pub struct RunOutput {
     /// The subtree-repeat compression setting the ranks computed with
     /// (negotiated under `RepeatsChoice::Auto`, forced otherwise).
     pub site_repeats: SiteRepeats,
+    /// The collective reduction scheme the ranks computed with (negotiated
+    /// under `ReduceChoice::Auto`, forced otherwise).
+    pub reduce: ReduceKind,
     /// Checkpoint generations committed during the run (0 when
     /// checkpointing is off).
     pub checkpoints: u64,
@@ -268,6 +284,7 @@ enum RankReport {
         sentinel_syncs: u64,
         kernel: KernelKind,
         site_repeats: SiteRepeats,
+        reduce: ReduceKind,
         checkpoints: u64,
     },
     Died {
@@ -347,7 +364,12 @@ pub(crate) fn decentralized_impl(
     // world: ranks holding a full partition alias these instead of cloning.
     let shared = Arc::new(exa_sched::SharedSlices::build(&aln));
 
-    let reports: Vec<RankReport> = World::run_traced(cfg.n_ranks, recorder, |rank| {
+    // The comm world is sized for the widest point of the resize plan up
+    // front: collectives need a fixed membership, so growth happens into
+    // pre-allocated head-room ranks that idle (zero local data) until the
+    // plan reaches them.
+    let world = cfg.world_size();
+    let reports: Vec<RankReport> = World::run_traced(world, recorder, |rank| {
         rank_main(
             rank,
             Arc::clone(&aln),
@@ -366,6 +388,7 @@ pub(crate) fn decentralized_impl(
     let mut syncs = 0u64;
     let mut run_kernel = KernelKind::Scalar;
     let mut run_repeats = SiteRepeats::Off;
+    let mut run_reduce = ReduceKind::Fast;
     let mut ckpts = 0u64;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     let mut killed: Option<(u64, usize)> = None;
@@ -381,6 +404,7 @@ pub(crate) fn decentralized_impl(
                 sentinel_syncs,
                 kernel,
                 site_repeats,
+                reduce,
                 checkpoints,
             } => {
                 work = work.merge(&w);
@@ -392,6 +416,7 @@ pub(crate) fn decentralized_impl(
                     chosen = Some((result, state, stats));
                     run_kernel = kernel;
                     run_repeats = site_repeats;
+                    run_reduce = reduce;
                 }
             }
             RankReport::Died { work: w, mem_bytes } => {
@@ -452,9 +477,7 @@ pub(crate) fn decentralized_impl(
     );
     let (result, state, stats) = chosen.expect("at least one rank must survive");
     let names: Vec<String> = aln.taxa.clone();
-    let survivors = (0..cfg.n_ranks)
-        .filter(|r| !cfg.fault_plan.kills(*r))
-        .collect();
+    let survivors = (0..world).filter(|r| !cfg.fault_plan.kills(*r)).collect();
     Ok(RunOutput {
         tree_newick: state.tree.to_newick(&names),
         result,
@@ -466,6 +489,7 @@ pub(crate) fn decentralized_impl(
         sentinel_syncs: syncs,
         kernel: run_kernel,
         site_repeats: run_repeats,
+        reduce: run_reduce,
         checkpoints: ckpts,
     })
 }
@@ -479,21 +503,23 @@ fn rank_main(
     resume: Option<Arc<checkpoint::CheckpointPayload>>,
 ) -> RankReport {
     // 1. Deterministic data distribution — every rank computes the same
-    //    assignment table locally (no coordination needed).
-    let assignments = exa_sched::distribute(&aln, rank.world_size(), cfg.strategy);
-    // Agree on a kernel backend and repeats setting before building any
-    // engine: `Auto` runs the one-time capability allgathers. Every rank
-    // stamps the winners into its trace — identically, preserving cross-rank
-    // event-sequence parity — so post-hoc analysis knows what the run
-    // computed with.
-    let kernel = negotiate_kernel(&rank, cfg.kernel, cfg.kernel_override.as_deref());
+    //    assignment table locally (no coordination needed). Data starts
+    //    spread over the configured rank count; ranks beyond it are resize
+    //    head-room and hold an empty assignment until the plan grows into
+    //    them.
+    let assignments = padded_assignments(&aln, cfg.n_ranks, rank.world_size(), cfg.strategy);
+    // Agree on the compute capabilities (kernel backend, site repeats,
+    // reduce mode) before building any engine: one packed allgather, `Auto`
+    // slots adopt the world minimum. Every rank stamps the winners into its
+    // trace — identically, preserving cross-rank event-sequence parity — so
+    // post-hoc analysis knows what the run computed with.
+    let caps = capability::negotiate(&rank, &cfg.capability_requests(rank.id()));
+    let kernel = caps.kernel.value;
+    let site_repeats = caps.site_repeats.value;
+    let reduce = caps.reduce.value;
     exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, kernel.label()));
-    let site_repeats = negotiate_site_repeats(
-        &rank,
-        cfg.site_repeats,
-        cfg.site_repeats_override.as_deref(),
-    );
     exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, site_repeats.label()));
+    exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, reduce.label()));
     let mut engine = exa_sched::build_engine(
         &aln,
         &assignments[rank.id()],
@@ -542,6 +568,7 @@ fn rank_main(
         aln.n_partitions(),
         cfg.branch_mode,
     );
+    eval.set_reduce(reduce);
     eval.set_sentinel(cfg.verify_replicas, cfg.divergence_fault);
 
     // 3. Checkpoint resume, phase 2: restore the replicated state (every
@@ -584,6 +611,7 @@ fn rank_main(
                 sentinel_syncs: eval.sentinel_syncs(),
                 kernel: eval.engine().kernel_kind(),
                 site_repeats: eval.engine().site_repeats(),
+                reduce: eval.reduce(),
                 checkpoints: hooks.checkpoints_written(),
             }
         }

@@ -31,7 +31,7 @@ use crate::fault::FaultPlan;
 use crate::sentinel::DivergenceFault;
 use crate::{decentralized_impl, InferenceConfig, RunAbort, RunOutput};
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::CommStats;
+use exa_comm::{CommStats, ReduceChoice, ReduceKind};
 use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
@@ -198,6 +198,9 @@ pub struct RunOutcome {
     pub kernel: KernelKind,
     /// The subtree-repeat compression setting the ranks computed with.
     pub site_repeats: SiteRepeats,
+    /// The collective reduction mode the ranks computed with (negotiated
+    /// under `ReduceChoice::Auto`, forced otherwise).
+    pub reduce: ReduceKind,
     /// Merged trace, present when [`RunConfig::collect_trace`] was set
     /// (absent for bootstrap runs, which write per-replicate trace files
     /// instead).
@@ -260,6 +263,21 @@ pub struct RunConfig {
     /// Test hook: force a repeats setting per rank, bypassing negotiation
     /// (de-centralized only).
     pub site_repeats_override: Option<Vec<SiteRepeats>>,
+    /// Collective reduction mode; `Auto` negotiates across the ranks
+    /// (de-centralized) or resolves locally (fork-join). `Reproducible`
+    /// makes every summed collective rank-count-invariant and bitwise
+    /// deterministic via binned superaccumulators.
+    pub reduce: ReduceChoice,
+    /// Test hook: force a reduction mode per rank, bypassing negotiation.
+    /// Mixing modes violates the uniform-reduction requirement and trips
+    /// the sentinel (de-centralized only).
+    pub reduce_override: Option<Vec<ReduceKind>>,
+    /// Mid-run elastic resize plan: at each `(iteration, width)` boundary
+    /// the active rank pool shrinks or grows to `width` ranks by
+    /// deterministic local data redistribution. Requires the de-centralized
+    /// scheme and a non-`Fast` reduction mode (only rank-count-invariant
+    /// sums keep the lnL trajectory bitwise stable across widths).
+    pub resize_plan: Vec<(usize, usize)>,
     /// Collect an `exa-obs` trace and return it in the outcome.
     pub collect_trace: bool,
     /// Run a bootstrap analysis around the best-tree search.
@@ -295,6 +313,9 @@ impl RunConfig {
             kernel_override: None,
             site_repeats: base.site_repeats,
             site_repeats_override: None,
+            reduce: base.reduce,
+            reduce_override: None,
+            resize_plan: Vec::new(),
             collect_trace: false,
             bootstrap: None,
         }
@@ -431,6 +452,27 @@ impl RunConfig {
         self
     }
 
+    /// Select the collective reduction mode.
+    pub fn reduce(mut self, choice: ReduceChoice) -> Self {
+        self.reduce = choice;
+        self
+    }
+
+    /// Test hook: force a reduction mode per rank (`table[rank % len]`).
+    pub fn reduce_override(mut self, table: Vec<ReduceKind>) -> Self {
+        self.reduce_override = Some(table);
+        self
+    }
+
+    /// Schedule a mid-run elastic resize: at iteration boundary `iteration`
+    /// the active rank pool becomes `width` ranks (grow or shrink). May be
+    /// called repeatedly to chain resizes. Requires the de-centralized
+    /// scheme and a non-`Fast` [`RunConfig::reduce`] mode.
+    pub fn resize_at(mut self, iteration: usize, width: usize) -> Self {
+        self.resize_plan.push((iteration, width));
+        self
+    }
+
     /// Collect an `exa-obs` trace and return it in the outcome.
     pub fn collect_trace(mut self, on: bool) -> Self {
         self.collect_trace = on;
@@ -483,6 +525,20 @@ impl RunConfig {
             kernel_override: self.kernel_override.clone(),
             site_repeats: self.site_repeats,
             site_repeats_override: self.site_repeats_override.clone(),
+            reduce: self.reduce,
+            reduce_override: self.reduce_override.clone(),
+            resize_plan: self.resize_plan.clone(),
+        }
+    }
+
+    /// The reduce mode this configuration resolves to without a world: an
+    /// explicit choice is itself; `Auto` resolves to the highest level this
+    /// build supports (reproducible). In-process negotiation over uniform
+    /// advertisements yields the same answer.
+    fn resolved_reduce(&self) -> ReduceKind {
+        match self.reduce {
+            ReduceChoice::Fast => ReduceKind::Fast,
+            ReduceChoice::Reproducible | ReduceChoice::Auto => ReduceKind::Reproducible,
         }
     }
 
@@ -492,6 +548,25 @@ impl RunConfig {
             self.inject_kill.is_none() || self.checkpoint_out.is_some(),
             "--inject-kill requires --checkpoint-out (kills are counted in checkpoints)"
         );
+        if !self.resize_plan.is_empty() {
+            assert!(
+                self.scheme == Scheme::Decentralized,
+                "--resize-at requires the de-centralized scheme"
+            );
+            assert!(
+                !matches!(self.reduce, ReduceChoice::Fast),
+                "--resize-at requires --reduce reproducible (or auto): only \
+                 rank-count-invariant reductions keep the lnL trajectory \
+                 bitwise stable across a width change"
+            );
+            let world = self.inference_config().world_size();
+            for &(iter, width) in &self.resize_plan {
+                assert!(
+                    width >= 1 && width <= world,
+                    "resize to width {width} at iteration {iter} outside 1..={world}"
+                );
+            }
+        }
         match self.scheme {
             Scheme::Decentralized => self.run_decentralized(aln),
             Scheme::ForkJoin => self.run_forkjoin(aln),
@@ -500,8 +575,9 @@ impl RunConfig {
 
     /// Load and validate the resume checkpoint, if one was requested. The
     /// strict header fields must match this run ([`checkpoint::validate_resume`]);
-    /// the elastic ones (kernel, site-repeats, rank count, scheme) may
-    /// differ — the replicated state redistributes.
+    /// the elastic ones (kernel, site-repeats, scheme) may differ — the
+    /// replicated state redistributes. The rank count is elastic only when
+    /// both the checkpoint and this run use the reproducible reduce mode.
     fn load_resume(&self, aln: &CompressedAlignment) -> Result<Option<Checkpoint>, RunError> {
         let Some(dir) = &self.resume_from else {
             return Ok(None);
@@ -513,6 +589,8 @@ impl RunConfig {
             seed: self.seed,
             n_taxa: aln.n_taxa(),
             n_partitions: aln.n_partitions(),
+            rank_count: self.n_ranks,
+            reduce: self.resolved_reduce().label().into(),
         };
         checkpoint::validate_resume(&ckpt.header, &ctx)?;
         Ok(Some(ckpt))
@@ -540,12 +618,15 @@ impl RunConfig {
                 None,
                 out.best.kernel,
                 out.best.site_repeats,
+                out.best.reduce,
                 &out.best.work,
             );
             return Ok(assemble(out.best, None, health, Some(summary)));
         }
         let resume = resume.map(|c| c.payload);
-        let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
+        // The recorder needs one buffer per comm-world rank, which under a
+        // resize plan is the widest planned width, not the starting one.
+        let recorder = self.collect_trace.then(|| Recorder::new(cfg.world_size()));
         let out = decentralized_impl(aln, &cfg, recorder.as_ref(), resume.as_ref())?;
         let trace = recorder.map(Recorder::finish);
         record_run_metrics("decentralized", out.kernel, trace.as_ref());
@@ -555,6 +636,7 @@ impl RunConfig {
             trace.as_ref(),
             out.kernel,
             out.site_repeats,
+            out.reduce,
             &out.work,
         );
         Ok(assemble(out, trace, health, None))
@@ -595,6 +677,16 @@ impl RunConfig {
             }
             _ => self.site_repeats.resolve_local(),
         };
+        let reduce = match self.reduce_override.as_deref() {
+            Some([first, rest @ ..]) => {
+                assert!(
+                    rest.iter().all(|r| r == first),
+                    "fork-join has no replica sentinel; refusing a mixed reduce override"
+                );
+                *first
+            }
+            _ => self.resolved_reduce(),
+        };
         let fj = exa_forkjoin::ForkJoinConfig {
             n_ranks: self.n_ranks,
             rate_model: self.rate_model,
@@ -605,6 +697,7 @@ impl RunConfig {
             starting_tree: self.starting_tree.clone(),
             kernel,
             site_repeats,
+            reduce,
         };
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         // Checkpoint sink: the fork-join crate hands the master's snapshot
@@ -625,6 +718,7 @@ impl RunConfig {
             iteration: 0,
             payload_len: 0,
             payload_fingerprint: 0,
+            reduce_mode: Some(reduce.label().into()),
         };
         let keep = self.checkpoint_keep;
         let sink = move |snap: &SearchSnapshot| -> std::io::Result<()> {
@@ -679,7 +773,15 @@ impl RunConfig {
         };
         let trace = recorder.map(Recorder::finish);
         record_run_metrics("forkjoin", kernel, trace.as_ref());
-        let health = self.health_report(aln, 0, trace.as_ref(), kernel, site_repeats, &out.work);
+        let health = self.health_report(
+            aln,
+            0,
+            trace.as_ref(),
+            kernel,
+            site_repeats,
+            reduce,
+            &out.work,
+        );
         Ok(RunOutcome {
             result: out.result,
             state: out.state,
@@ -691,6 +793,7 @@ impl RunConfig {
             sentinel_syncs: 0,
             kernel,
             site_repeats,
+            reduce,
             trace,
             health,
             bootstrap: None,
@@ -699,6 +802,7 @@ impl RunConfig {
 
     /// End-of-run health summary: sentinel verdict, measured (trace) vs
     /// predicted (scheduler) load imbalance, heartbeat count, kernel.
+    #[allow(clippy::too_many_arguments)]
     fn health_report(
         &self,
         aln: &CompressedAlignment,
@@ -706,6 +810,7 @@ impl RunConfig {
         trace: Option<&RunTrace>,
         kernel: KernelKind,
         site_repeats: SiteRepeats,
+        reduce: ReduceKind,
         work: &WorkCounters,
     ) -> HealthReport {
         let measured = trace.and_then(|t| {
@@ -730,6 +835,7 @@ impl RunConfig {
             kernel: Some(kernel.label().to_string()),
             site_repeats: Some(site_repeats.label().to_string()),
             repeat_ratio: Some(work.repeat_ratio()),
+            reduce: Some(reduce.label().to_string()),
             critical_path: trace
                 .and_then(RunTrace::critical_path)
                 .map(|cp| cp.summary()),
@@ -795,6 +901,7 @@ fn assemble(
         sentinel_syncs: out.sentinel_syncs,
         kernel: out.kernel,
         site_repeats: out.site_repeats,
+        reduce: out.reduce,
         trace,
         health,
         bootstrap,

@@ -25,7 +25,7 @@ pub mod worker;
 pub use master::ForkJoinEvaluator;
 
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::{CommStats, World};
+use exa_comm::{CommStats, ReduceKind, World};
 use exa_obs::Recorder;
 use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
 use exa_phylo::model::rates::RateModelKind;
@@ -60,6 +60,11 @@ pub struct ForkJoinConfig {
     /// ranks for the same reason the kernel is (callers resolve `auto`
     /// locally; see `RepeatsChoice::resolve_local`).
     pub site_repeats: SiteRepeats,
+    /// Resolved collective reduction mode, uniform across the ranks (the
+    /// command stream carries the master's resolution, so workers never
+    /// negotiate). `Reproducible` makes every summed reduction
+    /// rank-count-invariant.
+    pub reduce: ReduceKind,
 }
 
 impl ForkJoinConfig {
@@ -75,6 +80,7 @@ impl ForkJoinConfig {
             starting_tree: StartingTree::Random,
             kernel: KernelChoice::from_env().resolve_local(),
             site_repeats: RepeatsChoice::from_env().resolve_local(),
+            reduce: ReduceKind::Fast,
         }
     }
 }
@@ -297,6 +303,7 @@ pub fn execute_controlled(
         );
         exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, cfg.kernel.label()));
         exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, cfg.site_repeats.label()));
+        exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, cfg.reduce.label()));
         if rank.id() == 0 {
             // Account the initial data distribution (modeled; see the
             // de-centralized driver for the rationale).
@@ -325,6 +332,7 @@ pub fn execute_controlled(
                 engine,
                 aln.n_partitions(),
                 cfg.branch_mode,
+                cfg.reduce,
             );
             // Resume: install the checkpointed PSR rates on every rank
             // (broadcast), then the replicated master state.
@@ -376,6 +384,7 @@ pub fn execute_controlled(
                 engine,
                 cfg.branch_mode,
                 aln.n_partitions(),
+                cfg.reduce,
                 &assignments[rank.id()],
                 &aln,
             );

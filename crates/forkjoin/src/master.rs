@@ -4,9 +4,9 @@
 //! its communication costs.
 
 use crate::protocol::{decode_site_rate_capture, encode, WorkerCmd};
-use crate::worker::derivative_buffer;
+use crate::worker::{derivative_bins, derivative_buffer, evaluate_bins, site_rate_bins};
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::{CommCategory, Rank};
+use exa_comm::{CommCategory, Rank, ReduceKind};
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
@@ -20,6 +20,7 @@ pub struct ForkJoinEvaluator {
     engine: Engine,
     n_partitions: usize,
     branch_mode: BranchMode,
+    reduce: ReduceKind,
     alphas: Vec<f64>,
     gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
     last_lnl: Vec<f64>,
@@ -34,6 +35,7 @@ impl ForkJoinEvaluator {
         engine: Engine,
         n_partitions: usize,
         branch_mode: BranchMode,
+        reduce: ReduceKind,
     ) -> ForkJoinEvaluator {
         assert_eq!(rank.id(), 0, "the fork-join master must be rank 0");
         let expected = match branch_mode {
@@ -55,6 +57,7 @@ impl ForkJoinEvaluator {
             engine,
             n_partitions,
             branch_mode,
+            reduce,
             alphas,
             gtr_rates: vec![[1.0; NUM_FREE_RATES]; n_partitions],
             last_lnl: vec![0.0; n_partitions],
@@ -164,12 +167,23 @@ impl Evaluator for ForkJoinEvaluator {
             CommCategory::TraversalDescriptor,
         );
         self.engine.execute(&d);
-        let per_local = self.engine.evaluate(&d);
-        let mut total = vec![per_local.iter().sum::<f64>()];
-        self.rank
-            .reduce_sum(0, &mut total, CommCategory::SiteLikelihoods)
-            .expect("reduce failed");
-        total[0]
+        match self.reduce {
+            ReduceKind::Fast => {
+                let per_local = self.engine.evaluate(&d);
+                let mut total = vec![per_local.iter().sum::<f64>()];
+                self.rank
+                    .reduce_sum(0, &mut total, CommCategory::SiteLikelihoods)
+                    .expect("reduce failed");
+                total[0]
+            }
+            ReduceKind::Reproducible => {
+                let bins = evaluate_bins(&mut self.engine, &d, 1);
+                self.rank
+                    .collective(CommCategory::SiteLikelihoods)
+                    .reduce_binned(bins)
+                    .expect("reduce failed")[0]
+            }
+        }
     }
 
     fn evaluate_partitioned(&mut self, edge: EdgeId) -> f64 {
@@ -179,15 +193,26 @@ impl Evaluator for ForkJoinEvaluator {
             CommCategory::TraversalDescriptor,
         );
         self.engine.execute(&d);
-        let per_local = self.engine.evaluate(&d);
-        let mut lnls = vec![0.0; self.n_partitions];
-        for (local, global) in self.engine.global_indices().into_iter().enumerate() {
-            lnls[global] += per_local[local];
-        }
-        self.rank
-            .reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
-            .expect("reduce failed");
-        self.last_lnl = lnls;
+        self.last_lnl = match self.reduce {
+            ReduceKind::Fast => {
+                let per_local = self.engine.evaluate(&d);
+                let mut lnls = vec![0.0; self.n_partitions];
+                for (local, global) in self.engine.global_indices().into_iter().enumerate() {
+                    lnls[global] += per_local[local];
+                }
+                self.rank
+                    .reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
+                    .expect("reduce failed");
+                lnls
+            }
+            ReduceKind::Reproducible => {
+                let bins = evaluate_bins(&mut self.engine, &d, self.n_partitions);
+                self.rank
+                    .collective(CommCategory::SiteLikelihoods)
+                    .reduce_binned(bins)
+                    .expect("reduce failed")
+            }
+        };
         self.last_lnl.iter().sum()
     }
 
@@ -211,13 +236,30 @@ impl Evaluator for ForkJoinEvaluator {
             &WorkerCmd::Derivatives(lengths.to_vec()),
             CommCategory::BranchLength,
         );
-        let (d1, d2) = self.engine.derivatives(lengths);
         // …derivative sums back.
-        let mut buf =
-            derivative_buffer(&self.engine, self.branch_mode, self.n_partitions, &d1, &d2);
-        self.rank
-            .reduce_sum(0, &mut buf, CommCategory::BranchLength)
-            .expect("reduce failed");
+        let buf = match self.reduce {
+            ReduceKind::Fast => {
+                let (d1, d2) = self.engine.derivatives(lengths);
+                let mut buf =
+                    derivative_buffer(&self.engine, self.branch_mode, self.n_partitions, &d1, &d2);
+                self.rank
+                    .reduce_sum(0, &mut buf, CommCategory::BranchLength)
+                    .expect("reduce failed");
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let bins = derivative_bins(
+                    &mut self.engine,
+                    self.branch_mode,
+                    self.n_partitions,
+                    lengths,
+                );
+                self.rank
+                    .collective(CommCategory::BranchLength)
+                    .reduce_binned(bins)
+                    .expect("reduce failed")
+            }
+        };
         match self.branch_mode {
             BranchMode::Joint => (vec![buf[0]], vec![buf[1]]),
             BranchMode::PerPartition => {
@@ -278,11 +320,23 @@ impl Evaluator for ForkJoinEvaluator {
             CommCategory::TraversalDescriptor,
         );
         self.engine.execute(&d);
-        let (num, den) = self.engine.optimize_site_rates(&d);
-        let mut buf = vec![num, den];
-        self.rank
-            .reduce_sum(0, &mut buf, CommCategory::ModelParams)
-            .expect("reduce failed");
+        let buf = match self.reduce {
+            ReduceKind::Fast => {
+                let (num, den) = self.engine.optimize_site_rates(&d);
+                let mut buf = vec![num, den];
+                self.rank
+                    .reduce_sum(0, &mut buf, CommCategory::ModelParams)
+                    .expect("reduce failed");
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let bins = site_rate_bins(&mut self.engine, &d);
+                self.rank
+                    .collective(CommCategory::ModelParams)
+                    .reduce_binned(bins)
+                    .expect("reduce failed")
+            }
+        };
         let scale = if buf[0] > 0.0 { buf[1] / buf[0] } else { 1.0 };
         // PSR rate values themselves stay data-local on each worker; only
         // the scale is broadcast.
@@ -331,6 +385,10 @@ impl Evaluator for ForkJoinEvaluator {
     }
 
     fn backend_fingerprint(&self) -> u64 {
-        exa_search::kernel_fingerprint(self.engine.kernel_kind(), self.engine.site_repeats())
+        exa_search::kernel_fingerprint(
+            self.engine.kernel_kind(),
+            self.engine.site_repeats(),
+            self.reduce.label(),
+        )
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::protocol::{decode, encode_site_rate_capture, WorkerCmd};
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::{CommCategory, Rank};
+use exa_comm::{BinnedSum, CommCategory, Rank, ReduceKind};
 use exa_phylo::engine::{Engine, WorkCounters};
+use exa_phylo::tree::traversal::TraversalDescriptor;
 use exa_search::BranchMode;
 
 /// Cached handle for the worker-pool command counter: one relaxed atomic
@@ -34,6 +35,7 @@ pub fn worker_loop(
     mut engine: Engine,
     branch_mode: BranchMode,
     n_partitions: usize,
+    reduce: ReduceKind,
     assignment: &exa_sched::RankAssignment,
     aln: &CompressedAlignment,
 ) -> (WorkCounters, u64) {
@@ -48,31 +50,59 @@ pub fn worker_loop(
         match cmd {
             WorkerCmd::Evaluate(d) => {
                 engine.execute(&d);
-                let per_local = engine.evaluate(&d);
-                let mut total = vec![per_local.iter().sum::<f64>()];
-                rank.reduce_sum(0, &mut total, CommCategory::SiteLikelihoods)
-                    .expect("reduce failed");
+                match reduce {
+                    ReduceKind::Fast => {
+                        let per_local = engine.evaluate(&d);
+                        let mut total = vec![per_local.iter().sum::<f64>()];
+                        rank.reduce_sum(0, &mut total, CommCategory::SiteLikelihoods)
+                            .expect("reduce failed");
+                    }
+                    ReduceKind::Reproducible => {
+                        let bins = evaluate_bins(&mut engine, &d, 1);
+                        rank.collective(CommCategory::SiteLikelihoods)
+                            .reduce_binned(bins)
+                            .expect("reduce failed");
+                    }
+                }
             }
             WorkerCmd::EvaluatePartitioned(d) => {
                 engine.execute(&d);
-                let per_local = engine.evaluate(&d);
-                let mut lnls = vec![0.0; n_partitions];
-                for (local, global) in engine.global_indices().into_iter().enumerate() {
-                    lnls[global] += per_local[local];
+                match reduce {
+                    ReduceKind::Fast => {
+                        let per_local = engine.evaluate(&d);
+                        let mut lnls = vec![0.0; n_partitions];
+                        for (local, global) in engine.global_indices().into_iter().enumerate() {
+                            lnls[global] += per_local[local];
+                        }
+                        rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
+                            .expect("reduce failed");
+                    }
+                    ReduceKind::Reproducible => {
+                        let bins = evaluate_bins(&mut engine, &d, n_partitions);
+                        rank.collective(CommCategory::SiteLikelihoods)
+                            .reduce_binned(bins)
+                            .expect("reduce failed");
+                    }
                 }
-                rank.reduce_sum(0, &mut lnls, CommCategory::SiteLikelihoods)
-                    .expect("reduce failed");
             }
             WorkerCmd::PrepareDerivatives(d) => {
                 engine.execute(&d);
                 engine.prepare_derivatives(&d);
             }
-            WorkerCmd::Derivatives(lengths) => {
-                let (d1, d2) = engine.derivatives(&lengths);
-                let mut buf = derivative_buffer(&engine, branch_mode, n_partitions, &d1, &d2);
-                rank.reduce_sum(0, &mut buf, CommCategory::BranchLength)
-                    .expect("reduce failed");
-            }
+            WorkerCmd::Derivatives(lengths) => match reduce {
+                ReduceKind::Fast => {
+                    let (d1, d2) = engine.derivatives(&lengths);
+                    let mut buf = derivative_buffer(&engine, branch_mode, n_partitions, &d1, &d2);
+                    rank.reduce_sum(0, &mut buf, CommCategory::BranchLength)
+                        .expect("reduce failed");
+                }
+                ReduceKind::Reproducible => {
+                    let bins = derivative_bins(&mut engine, branch_mode, n_partitions, &lengths);
+                    rank.collective(CommCategory::BranchLength)
+                        .reduce_binned(bins)
+                        .expect("reduce failed");
+                }
+            },
             WorkerCmd::SetAlphas(alphas) => {
                 for (local, global) in engine.global_indices().into_iter().enumerate() {
                     engine.set_alpha(local, alphas[global]);
@@ -85,10 +115,20 @@ pub fn worker_loop(
             }
             WorkerCmd::OptimizeSiteRates(d) => {
                 engine.execute(&d);
-                let (num, den) = engine.optimize_site_rates(&d);
-                let mut buf = vec![num, den];
-                rank.reduce_sum(0, &mut buf, CommCategory::ModelParams)
-                    .expect("reduce failed");
+                match reduce {
+                    ReduceKind::Fast => {
+                        let (num, den) = engine.optimize_site_rates(&d);
+                        let mut buf = vec![num, den];
+                        rank.reduce_sum(0, &mut buf, CommCategory::ModelParams)
+                            .expect("reduce failed");
+                    }
+                    ReduceKind::Reproducible => {
+                        let bins = site_rate_bins(&mut engine, &d);
+                        rank.collective(CommCategory::ModelParams)
+                            .reduce_binned(bins)
+                            .expect("reduce failed");
+                    }
+                }
             }
             WorkerCmd::SetPsrScale(scale) => {
                 engine.finalize_site_rates(scale);
@@ -108,6 +148,57 @@ pub fn worker_loop(
     let work = engine.work();
     let mem = engine.clv_bytes();
     (work, mem)
+}
+
+/// Assemble the superaccumulators for a likelihood evaluation: one bin
+/// total (`n_slots = 1`) or one per global partition. Shared with the
+/// master so every rank contributes the same layout. The caller must have
+/// run `engine.execute(&d)` first.
+pub(crate) fn evaluate_bins(
+    engine: &mut Engine,
+    d: &TraversalDescriptor,
+    n_slots: usize,
+) -> Vec<BinnedSum> {
+    let globals = engine.global_indices();
+    let mut bins = vec![BinnedSum::new(); n_slots];
+    engine.evaluate_with_terms(d, &mut |local, terms| {
+        let slot = if n_slots == 1 { 0 } else { globals[local] };
+        bins[slot].add_slice(terms);
+    });
+    bins
+}
+
+/// [`derivative_buffer`]'s superaccumulator analogue: the `[d1 | d2]`
+/// layout with every slot fed the raw per-site addends.
+pub(crate) fn derivative_bins(
+    engine: &mut Engine,
+    branch_mode: BranchMode,
+    n_partitions: usize,
+    lengths: &[f64],
+) -> Vec<BinnedSum> {
+    let p = match branch_mode {
+        BranchMode::Joint => 1,
+        BranchMode::PerPartition => n_partitions,
+    };
+    let globals = engine.global_indices();
+    let mut bins = vec![BinnedSum::new(); 2 * p];
+    engine.derivatives_with_terms(lengths, &mut |local, t1, t2| {
+        let slot = if p == 1 { 0 } else { globals[local] };
+        bins[slot].add_slice(t1);
+        bins[p + slot].add_slice(t2);
+    });
+    bins
+}
+
+/// The PSR normalization pair `[numerator, denominator]` as
+/// superaccumulators. The caller must have run `engine.execute(&d)` first.
+pub(crate) fn site_rate_bins(engine: &mut Engine, d: &TraversalDescriptor) -> Vec<BinnedSum> {
+    let mut bins = vec![BinnedSum::new(); 2];
+    engine.optimize_site_rates_with_terms(d, &mut |_, tn, td| {
+        bins[0].add_slice(tn);
+        bins[1].add_slice(td);
+    });
+    bins
 }
 
 /// Assemble the derivative reduction buffer (shared with the master so the

@@ -31,6 +31,11 @@ pub const KERNEL_BACKEND_MARK: &str = "kernel_backend:";
 /// same way [`KERNEL_BACKEND_MARK`] is.
 pub const SITE_REPEATS_MARK: &str = "site_repeats:";
 
+/// Reserved mark-label prefix that stamps the negotiated reduction mode
+/// (`"fast"`/`"reproducible"`) into a trace; hoisted into
+/// `otherData.reduce_mode` the same way [`KERNEL_BACKEND_MARK`] is.
+pub const REDUCE_MODE_MARK: &str = "reduce_mode:";
+
 /// Reserved mark-label prefix stamped (on every rank) each time a
 /// checkpoint generation is committed; the suffix is the search iteration
 /// the checkpoint captured. Emitting it on all ranks keeps per-rank event
@@ -53,6 +58,7 @@ pub const ITERATION_MARK: &str = "iteration:";
 pub fn chrome_trace(trace: &RunTrace) -> Value {
     let mut kernel_backend: Option<String> = None;
     let mut site_repeats: Option<String> = None;
+    let mut reduce_mode: Option<String> = None;
     let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
     for rank in 0..trace.n_ranks() {
         // Thread-name metadata so the timeline rows read "rank 0", …
@@ -107,6 +113,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     if let Some(setting) = label.strip_prefix(SITE_REPEATS_MARK) {
                         site_repeats.get_or_insert_with(|| setting.to_string());
                     }
+                    if let Some(mode) = label.strip_prefix(REDUCE_MODE_MARK) {
+                        reduce_mode.get_or_insert_with(|| mode.to_string());
+                    }
                     fields.push(entry("ph", str_v("i")));
                     fields.push(entry("s", str_v("t")));
                     fields.push(entry("name", str_v(label.clone())));
@@ -141,6 +150,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
     }
     if let Some(setting) = site_repeats {
         other.push(entry("site_repeats", str_v(setting)));
+    }
+    if let Some(mode) = reduce_mode {
+        other.push(entry("reduce_mode", str_v(mode)));
     }
     if !other.is_empty() {
         top.push(entry("otherData", Value::Map(other)));

@@ -55,6 +55,9 @@ pub struct HeartbeatRecord {
     /// (gather + encode + fsync + rename). `None` on legacy records or
     /// before the first checkpoint.
     pub checkpoint_write_ms: Option<f64>,
+    /// Label of the negotiated reduction mode (`"fast"`/`"reproducible"`).
+    /// `None` on legacy records.
+    pub reduce: Option<String>,
 }
 
 impl HeartbeatRecord {
@@ -112,6 +115,10 @@ pub struct ServeHeartbeat {
     /// Seconds since this daemon process started. `None` on legacy
     /// records.
     pub uptime_secs: Option<f64>,
+    /// Locally-resolved reduction-mode capability (`"fast"`/
+    /// `"reproducible"` — what a single-node job would resolve `auto` to).
+    /// `None` on legacy records.
+    pub reduce: Option<String>,
 }
 
 /// Per-tenant slice of a [`ServeHeartbeat`].
@@ -206,6 +213,9 @@ pub struct HealthReport {
     /// straggler-induced idle), from [`crate::RunTrace::critical_path`].
     /// `None` when tracing was off or the trace had no iteration marks.
     pub critical_path: Option<CriticalPathSummary>,
+    /// Reduction mode the run negotiated (`"fast"`/`"reproducible"`;
+    /// `None` when the producing layer predates reduce-mode selection).
+    pub reduce: Option<String>,
 }
 
 impl HealthReport {
@@ -215,6 +225,9 @@ impl HealthReport {
         let _ = writeln!(out, "run health");
         if let Some(kernel) = &self.kernel {
             let _ = writeln!(out, "  kernel: {kernel}");
+        }
+        if let Some(reduce) = &self.reduce {
+            let _ = writeln!(out, "  reduce: {reduce}");
         }
         match (&self.site_repeats, self.repeat_ratio) {
             (Some(setting), Some(ratio)) => {
@@ -314,6 +327,7 @@ mod tests {
             clv_saved: Some(1200),
             last_checkpoint_iter: Some(2),
             checkpoint_write_ms: Some(0.75),
+            reduce: Some("fast".into()),
         }
     }
 
@@ -332,7 +346,8 @@ mod tests {
             .replace(",\"repeat_ratio\":2.5", "")
             .replace(",\"clv_saved\":1200", "")
             .replace(",\"last_checkpoint_iter\":2", "")
-            .replace(",\"checkpoint_write_ms\":0.75", "");
+            .replace(",\"checkpoint_write_ms\":0.75", "")
+            .replace(",\"reduce\":\"fast\"", "");
         assert_ne!(legacy, line);
         let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
         assert_eq!(back.kernel, None);
@@ -340,6 +355,7 @@ mod tests {
         assert_eq!(back.clv_saved, None);
         assert_eq!(back.last_checkpoint_iter, None);
         assert_eq!(back.checkpoint_write_ms, None);
+        assert_eq!(back.reduce, None);
     }
 
     #[test]
@@ -374,6 +390,7 @@ mod tests {
             kernel: Some("simd".into()),
             site_repeats: Some("on".into()),
             uptime_secs: Some(12.5),
+            reduce: Some("fast".into()),
         };
         let line = hb.to_json_line();
         assert!(!line.contains('\n'), "must be a single line: {line}");
@@ -385,13 +402,15 @@ mod tests {
             .replace(",\"version\":\"0.1.0\"", "")
             .replace(",\"kernel\":\"simd\"", "")
             .replace(",\"site_repeats\":\"on\"", "")
-            .replace(",\"uptime_secs\":12.5", "");
+            .replace(",\"uptime_secs\":12.5", "")
+            .replace(",\"reduce\":\"fast\"", "");
         assert_ne!(legacy, line);
         let back = ServeHeartbeat::from_json_line(&legacy).unwrap();
         assert_eq!(back.version, None);
         assert_eq!(back.kernel, None);
         assert_eq!(back.site_repeats, None);
         assert_eq!(back.uptime_secs, None);
+        assert_eq!(back.reduce, None);
 
         let tagged = JobHeartbeat {
             job: 7,
@@ -434,9 +453,11 @@ mod tests {
                 hottest_partition: Some(3),
                 hottest_partition_ns: 400,
             }),
+            reduce: Some("reproducible".into()),
         };
         let text = clean.render();
         assert!(text.contains("kernel: simd"), "{text}");
+        assert!(text.contains("reduce: reproducible"), "{text}");
         assert!(text.contains("site repeats: on"), "{text}");
         assert!(text.contains("compression ratio 2.125"), "{text}");
         assert!(text.contains("replicas bit-identical"), "{text}");

@@ -192,19 +192,31 @@ pub(crate) trait KernelBackend: Send + Sync {
     ) -> u64;
 
     /// Log-likelihood of one partition at the descriptor's virtual root.
+    /// When `terms` is given it is cleared and filled with the per-pattern
+    /// weighted log-likelihood addends — exactly the values the returned
+    /// `lnl` accumulates, in pattern order — for reproducible (binned)
+    /// cross-rank reduction.
     fn evaluate_root(
         &self,
         part: &mut PartitionState,
         n_taxa: usize,
         d: &TraversalDescriptor,
+        terms: Option<&mut Vec<f64>>,
     ) -> (f64, u64);
 
     /// Build the derivative sumtable for the descriptor's root edge.
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor);
 
     /// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from
-    /// the prepared sumtable.
-    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64);
+    /// the prepared sumtable. When `terms` is given, both vectors are
+    /// cleared and filled with the per-pattern first/second-derivative
+    /// addends (same contract as [`KernelBackend::evaluate_root`]).
+    fn derivatives_from_sumtable(
+        &self,
+        part: &mut PartitionState,
+        t: f64,
+        terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+    ) -> (f64, f64, u64);
 }
 
 static SCALAR_BACKEND: scalar::ScalarBackend = scalar::ScalarBackend;

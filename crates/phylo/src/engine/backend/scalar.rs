@@ -39,16 +39,22 @@ impl KernelBackend for ScalarBackend {
         part: &mut PartitionState,
         n_taxa: usize,
         d: &TraversalDescriptor,
+        terms: Option<&mut Vec<f64>>,
     ) -> (f64, u64) {
-        evaluate_root(part, n_taxa, d)
+        evaluate_root(part, n_taxa, d, terms)
     }
 
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
         make_sumtable(part, n_taxa, d)
     }
 
-    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
-        derivatives_from_sumtable(part, t)
+    fn derivatives_from_sumtable(
+        &self,
+        part: &mut PartitionState,
+        t: f64,
+        terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+    ) -> (f64, f64, u64) {
+        derivatives_from_sumtable(part, t, terms)
     }
 }
 
@@ -201,7 +207,15 @@ fn newview_entry(part: &mut PartitionState, n_taxa: usize, entry: &TraversalEntr
 }
 
 /// Log-likelihood of one partition at the descriptor's virtual root.
-fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) -> (f64, u64) {
+fn evaluate_root(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+    mut terms: Option<&mut Vec<f64>>,
+) -> (f64, u64) {
+    if let Some(sink) = terms.as_deref_mut() {
+        sink.clear();
+    }
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let gi = part.data.global_index;
@@ -235,7 +249,11 @@ fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescript
             }
             let count = a.scale_of(i) + b.scale_of(i);
             let site = site.max(f64::MIN_POSITIVE);
-            lnl += part.data.weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            let term = part.data.weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            if let Some(sink) = terms.as_deref_mut() {
+                sink.push(term);
+            }
+            lnl += term;
         }
     }
     part.scratch = scratch;
@@ -282,7 +300,15 @@ fn make_sumtable(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescript
 
 /// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from the
 /// prepared sumtable. Scaling constants cancel in the `L'/L` ratios.
-fn derivatives_from_sumtable(part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
+fn derivatives_from_sumtable(
+    part: &mut PartitionState,
+    t: f64,
+    mut terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+) -> (f64, f64, u64) {
+    if let Some((s1, s2)) = terms.as_mut() {
+        s1.clear();
+        s2.clear();
+    }
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let cat_weight = category_weight(&part.rates);
@@ -317,8 +343,14 @@ fn derivatives_from_sumtable(part: &mut PartitionState, t: f64) -> (f64, f64, u6
         let ratio1 = l1 / l;
         let ratio2 = l2 / l;
         let wgt = part.data.weights[i];
-        d1_sum += wgt * ratio1;
-        d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+        let t1 = wgt * ratio1;
+        let t2 = wgt * (ratio2 - ratio1 * ratio1);
+        if let Some((s1, s2)) = terms.as_mut() {
+            s1.push(t1);
+            s2.push(t2);
+        }
+        d1_sum += t1;
+        d2_sum += t2;
     }
     part.scratch = scratch;
     (d1_sum, d2_sum, (n_patterns * cats) as u64)

@@ -50,16 +50,22 @@ impl KernelBackend for SimdBackend {
         part: &mut PartitionState,
         n_taxa: usize,
         d: &TraversalDescriptor,
+        terms: Option<&mut Vec<f64>>,
     ) -> (f64, u64) {
-        evaluate_root(part, n_taxa, d)
+        evaluate_root(part, n_taxa, d, terms)
     }
 
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
         make_sumtable(part, n_taxa, d)
     }
 
-    fn derivatives_from_sumtable(&self, part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
-        derivatives_from_sumtable(part, t)
+    fn derivatives_from_sumtable(
+        &self,
+        part: &mut PartitionState,
+        t: f64,
+        terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+    ) -> (f64, f64, u64) {
+        derivatives_from_sumtable(part, t, terms)
     }
 }
 
@@ -224,8 +230,13 @@ fn newview_entry_impl(
     (computed * cats) as u64
 }
 
-fn evaluate_root(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) -> (f64, u64) {
-    evaluate_root_impl(part, n_taxa, d, avx2_usable())
+fn evaluate_root(
+    part: &mut PartitionState,
+    n_taxa: usize,
+    d: &TraversalDescriptor,
+    terms: Option<&mut Vec<f64>>,
+) -> (f64, u64) {
+    evaluate_root_impl(part, n_taxa, d, avx2_usable(), terms)
 }
 
 fn evaluate_root_impl(
@@ -233,6 +244,7 @@ fn evaluate_root_impl(
     n_taxa: usize,
     d: &TraversalDescriptor,
     use_avx2: bool,
+    terms: Option<&mut Vec<f64>>,
 ) -> (f64, u64) {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
@@ -263,6 +275,7 @@ fn evaluate_root_impl(
                         n_patterns,
                         cats,
                         cat_weight,
+                        terms,
                     )
                 }
             } else {
@@ -276,6 +289,7 @@ fn evaluate_root_impl(
                     n_patterns,
                     cats,
                     cat_weight,
+                    terms,
                 )
             };
         }
@@ -292,6 +306,7 @@ fn evaluate_root_impl(
                 n_patterns,
                 cats,
                 cat_weight,
+                terms,
             );
         }
     }
@@ -345,14 +360,19 @@ fn make_sumtable_impl(
     part.sumtable = sumtable;
 }
 
-fn derivatives_from_sumtable(part: &mut PartitionState, t: f64) -> (f64, f64, u64) {
-    derivatives_from_sumtable_impl(part, t, avx2_usable())
+fn derivatives_from_sumtable(
+    part: &mut PartitionState,
+    t: f64,
+    terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
+) -> (f64, f64, u64) {
+    derivatives_from_sumtable_impl(part, t, avx2_usable(), terms)
 }
 
 fn derivatives_from_sumtable_impl(
     part: &mut PartitionState,
     t: f64,
     use_avx2: bool,
+    terms: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
 ) -> (f64, f64, u64) {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
@@ -373,6 +393,7 @@ fn derivatives_from_sumtable_impl(
                 n_patterns,
                 cats,
                 cat_weight,
+                terms,
             )
         }
     } else {
@@ -385,6 +406,7 @@ fn derivatives_from_sumtable_impl(
             n_patterns,
             cats,
             cat_weight,
+            terms,
         )
     };
     #[cfg(not(target_arch = "x86_64"))]
@@ -399,6 +421,7 @@ fn derivatives_from_sumtable_impl(
         n_patterns,
         cats,
         cat_weight,
+        terms,
     );
 
     part.scratch = scratch;
@@ -526,7 +549,11 @@ mod avx2 {
         n_patterns: usize,
         cats: usize,
         cat_weight: f64,
+        mut term_sink: Option<&mut Vec<f64>>,
     ) -> f64 {
+        if let Some(sink) = term_sink.as_deref_mut() {
+            sink.clear();
+        }
         let fv = unsafe { _mm256_loadu_pd(freqs.as_ptr()) };
         let mut lnl = 0.0f64;
         for i in 0..n_patterns {
@@ -542,7 +569,11 @@ mod avx2 {
             }
             let count = a.scale_of(i) + b.scale_of(i);
             let site = site.max(f64::MIN_POSITIVE);
-            lnl += weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            let term = weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            if let Some(sink) = term_sink.as_deref_mut() {
+                sink.push(term);
+            }
+            lnl += term;
         }
         lnl
     }
@@ -603,7 +634,12 @@ mod avx2 {
         n_patterns: usize,
         cats: usize,
         cat_weight: f64,
+        mut term_sink: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
     ) -> (f64, f64) {
+        if let Some((s1, s2)) = term_sink.as_mut() {
+            s1.clear();
+            s2.clear();
+        }
         let mut d1_sum = 0.0f64;
         let mut d2_sum = 0.0f64;
         for i in 0..n_patterns {
@@ -643,8 +679,14 @@ mod avx2 {
             let ratio1 = l1 / l;
             let ratio2 = l2 / l;
             let wgt = weights[i];
-            d1_sum += wgt * ratio1;
-            d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+            let t1 = wgt * ratio1;
+            let t2 = wgt * (ratio2 - ratio1 * ratio1);
+            if let Some((s1, s2)) = term_sink.as_mut() {
+                s1.push(t1);
+                s2.push(t2);
+            }
+            d1_sum += t1;
+            d2_sum += t2;
         }
         (d1_sum, d2_sum)
     }
@@ -759,7 +801,11 @@ mod portable {
         n_patterns: usize,
         cats: usize,
         cat_weight: f64,
+        mut term_sink: Option<&mut Vec<f64>>,
     ) -> f64 {
+        if let Some(sink) = term_sink.as_deref_mut() {
+            sink.clear();
+        }
         let mut lnl = 0.0f64;
         for i in 0..n_patterns {
             let mut site = 0.0f64;
@@ -773,7 +819,11 @@ mod portable {
             }
             let count = a.scale_of(i) + b.scale_of(i);
             let site = site.max(f64::MIN_POSITIVE);
-            lnl += weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            let term = weights[i] * (site.ln() + count as f64 * LN_MIN_LIKELIHOOD);
+            if let Some(sink) = term_sink.as_deref_mut() {
+                sink.push(term);
+            }
+            lnl += term;
         }
         lnl
     }
@@ -817,7 +867,12 @@ mod portable {
         n_patterns: usize,
         cats: usize,
         cat_weight: f64,
+        mut term_sink: Option<(&mut Vec<f64>, &mut Vec<f64>)>,
     ) -> (f64, f64) {
+        if let Some((s1, s2)) = term_sink.as_mut() {
+            s1.clear();
+            s2.clear();
+        }
         let mut d1_sum = 0.0f64;
         let mut d2_sum = 0.0f64;
         for i in 0..n_patterns {
@@ -844,8 +899,14 @@ mod portable {
             let ratio1 = l1 / l;
             let ratio2 = l2 / l;
             let wgt = weights[i];
-            d1_sum += wgt * ratio1;
-            d2_sum += wgt * (ratio2 - ratio1 * ratio1);
+            let t1 = wgt * ratio1;
+            let t2 = wgt * (ratio2 - ratio1 * ratio1);
+            if let Some((s1, s2)) = term_sink.as_mut() {
+                s1.push(t1);
+                s2.push(t2);
+            }
+            d1_sum += t1;
+            d2_sum += t2;
         }
         (d1_sum, d2_sum)
     }
@@ -911,20 +972,52 @@ mod tests {
         assert_eq!(eng_scalar.parts[0].clv, eng_port.parts[0].clv);
         assert_eq!(eng_scalar.parts[0].scale, eng_port.parts[0].scale);
 
-        let (lnl_s, w_s) = scalar.evaluate_root(&mut eng_scalar.parts[0], n_taxa, &d);
-        let (lnl_p, w_p) = evaluate_root_impl(&mut eng_port.parts[0], n_taxa, &d, false);
+        let mut terms_s = Vec::new();
+        let mut terms_p = Vec::new();
+        let (lnl_s, w_s) =
+            scalar.evaluate_root(&mut eng_scalar.parts[0], n_taxa, &d, Some(&mut terms_s));
+        let (lnl_p, w_p) = evaluate_root_impl(
+            &mut eng_port.parts[0],
+            n_taxa,
+            &d,
+            false,
+            Some(&mut terms_p),
+        );
         assert_eq!(lnl_s.to_bits(), lnl_p.to_bits(), "{lnl_s} vs {lnl_p}");
         assert_eq!(w_s, w_p);
+        assert_eq!(terms_s.len(), 41);
+        assert_eq!(terms_s, terms_p, "per-pattern lnl terms differ");
+        let replayed: f64 = terms_s.iter().sum();
+        assert_eq!(
+            replayed.to_bits(),
+            lnl_s.to_bits(),
+            "terms do not replay lnl"
+        );
 
         scalar.make_sumtable(&mut eng_scalar.parts[0], n_taxa, &d);
         make_sumtable_impl(&mut eng_port.parts[0], n_taxa, &d, false);
         assert_eq!(eng_scalar.parts[0].sumtable, eng_port.parts[0].sumtable);
 
         for t in [1e-6, 0.07, 0.9] {
-            let (a1, a2, _) = scalar.derivatives_from_sumtable(&mut eng_scalar.parts[0], t);
-            let (b1, b2, _) = derivatives_from_sumtable_impl(&mut eng_port.parts[0], t, false);
+            let (mut s1, mut s2) = (Vec::new(), Vec::new());
+            let (mut p1, mut p2) = (Vec::new(), Vec::new());
+            let (a1, a2, _) = scalar.derivatives_from_sumtable(
+                &mut eng_scalar.parts[0],
+                t,
+                Some((&mut s1, &mut s2)),
+            );
+            let (b1, b2, _) = derivatives_from_sumtable_impl(
+                &mut eng_port.parts[0],
+                t,
+                false,
+                Some((&mut p1, &mut p2)),
+            );
             assert_eq!(a1.to_bits(), b1.to_bits(), "d1 at {t}");
             assert_eq!(a2.to_bits(), b2.to_bits(), "d2 at {t}");
+            assert_eq!(s1, p1, "d1 terms at {t}");
+            assert_eq!(s2, p2, "d2 terms at {t}");
+            assert_eq!(s1.iter().sum::<f64>().to_bits(), a1.to_bits());
+            assert_eq!(s2.iter().sum::<f64>().to_bits(), a2.to_bits());
         }
 
         if avx2_usable() {
@@ -934,15 +1027,31 @@ mod tests {
             }
             assert_eq!(eng_scalar.parts[0].clv, eng_avx.parts[0].clv);
             assert_eq!(eng_scalar.parts[0].scale, eng_avx.parts[0].scale);
-            let (lnl_a, _) = evaluate_root_impl(&mut eng_avx.parts[0], n_taxa, &d, true);
+            let mut terms_a = Vec::new();
+            let (lnl_a, _) =
+                evaluate_root_impl(&mut eng_avx.parts[0], n_taxa, &d, true, Some(&mut terms_a));
             assert_eq!(lnl_s.to_bits(), lnl_a.to_bits(), "{lnl_s} vs {lnl_a}");
+            assert_eq!(terms_s, terms_a, "avx2 per-pattern lnl terms differ");
             make_sumtable_impl(&mut eng_avx.parts[0], n_taxa, &d, true);
             assert_eq!(eng_scalar.parts[0].sumtable, eng_avx.parts[0].sumtable);
             for t in [1e-6, 0.07, 0.9] {
-                let (a1, a2, _) = scalar.derivatives_from_sumtable(&mut eng_scalar.parts[0], t);
-                let (b1, b2, _) = derivatives_from_sumtable_impl(&mut eng_avx.parts[0], t, true);
+                let (mut s1, mut s2) = (Vec::new(), Vec::new());
+                let (mut v1, mut v2) = (Vec::new(), Vec::new());
+                let (a1, a2, _) = scalar.derivatives_from_sumtable(
+                    &mut eng_scalar.parts[0],
+                    t,
+                    Some((&mut s1, &mut s2)),
+                );
+                let (b1, b2, _) = derivatives_from_sumtable_impl(
+                    &mut eng_avx.parts[0],
+                    t,
+                    true,
+                    Some((&mut v1, &mut v2)),
+                );
                 assert_eq!(a1.to_bits(), b1.to_bits(), "avx2 d1 at {t}");
                 assert_eq!(a2.to_bits(), b2.to_bits(), "avx2 d2 at {t}");
+                assert_eq!(s1, v1, "avx2 d1 terms at {t}");
+                assert_eq!(s2, v2, "avx2 d2 terms at {t}");
             }
         }
     }

@@ -37,6 +37,12 @@ use exa_bio::patterns::CompressedPartition;
 use exa_bio::stats::empirical_frequencies;
 use std::sync::Arc;
 
+/// Callback handed a local partition index and two parallel per-pattern
+/// addend slices (first/second derivative terms, or PSR numerator and
+/// denominator terms) by the `*_with_terms` kernel variants, so callers can
+/// feed reproducible binned reductions.
+pub type PairTermsSink<'a> = dyn FnMut(usize, &[f64], &[f64]) + 'a;
+
 /// CLV underflow threshold: entries below 2⁻²⁵⁶ trigger rescaling by 2²⁵⁶
 /// (RAxML's constants).
 pub const MIN_LIKELIHOOD: f64 = 8.636_168_555_094_445e-78; // 2^-256
@@ -498,7 +504,7 @@ impl Engine {
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
-            let (lnl, w) = backend.evaluate_root(part, n_taxa, d);
+            let (lnl, w) = backend.evaluate_root(part, n_taxa, d, None);
             out.push(lnl);
             work += w;
             if let Some(t0) = t0 {
@@ -508,6 +514,34 @@ impl Engine {
                     t0.elapsed().as_nanos() as u64,
                 );
             }
+        }
+        self.work.eval_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
+        out
+    }
+
+    /// [`Engine::evaluate`] variant that also hands the caller the
+    /// per-pattern weighted log-likelihood addends of each local partition
+    /// (`sink(local_index, terms)`), for reproducible binned reduction.
+    /// The per-partition lnl stays the plain left-to-right sum, so `Fast`
+    /// results are unchanged.
+    pub fn evaluate_with_terms(
+        &mut self,
+        d: &TraversalDescriptor,
+        sink: &mut dyn FnMut(usize, &[f64]),
+    ) -> Vec<f64> {
+        let _span = exa_obs::region(exa_obs::RegionKind::Evaluate);
+        let started = std::time::Instant::now();
+        let n_taxa = self.n_taxa;
+        let backend = self.backend;
+        let mut out = Vec::with_capacity(self.parts.len());
+        let mut work = 0u64;
+        let mut terms = Vec::new();
+        for (local, part) in self.parts.iter_mut().enumerate() {
+            let (lnl, w) = backend.evaluate_root(part, n_taxa, d, Some(&mut terms));
+            sink(local, &terms);
+            out.push(lnl);
+            work += w;
         }
         self.work.eval_patterns += work;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
@@ -539,7 +573,7 @@ impl Engine {
         for part in self.parts.iter_mut() {
             let t0 = per_part.then(std::time::Instant::now);
             let t = Engine::branch_length(lengths, part.data.global_index);
-            let (a, b, w) = backend.derivatives_from_sumtable(part, t);
+            let (a, b, w) = backend.derivatives_from_sumtable(part, t, None);
             d1.push(a);
             d2.push(b);
             work += w;
@@ -550,6 +584,36 @@ impl Engine {
                     t0.elapsed().as_nanos() as u64,
                 );
             }
+        }
+        self.work.deriv_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
+        (d1, d2)
+    }
+
+    /// [`Engine::derivatives`] variant that also hands the caller the
+    /// per-pattern first/second-derivative addends of each local partition
+    /// (`sink(local_index, d1_terms, d2_terms)`), for reproducible binned
+    /// reduction.
+    pub fn derivatives_with_terms(
+        &mut self,
+        lengths: &[f64],
+        sink: &mut PairTermsSink<'_>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
+        let started = std::time::Instant::now();
+        let backend = self.backend;
+        let mut d1 = Vec::with_capacity(self.parts.len());
+        let mut d2 = Vec::with_capacity(self.parts.len());
+        let mut work = 0u64;
+        let mut t1 = Vec::new();
+        let mut t2 = Vec::new();
+        for (local, part) in self.parts.iter_mut().enumerate() {
+            let t = Engine::branch_length(lengths, part.data.global_index);
+            let (a, b, w) = backend.derivatives_from_sumtable(part, t, Some((&mut t1, &mut t2)));
+            sink(local, &t1, &t2);
+            d1.push(a);
+            d2.push(b);
+            work += w;
         }
         self.work.deriv_patterns += work;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
@@ -567,6 +631,44 @@ impl Engine {
         let mut work = 0u64;
         for part in self.parts.iter_mut() {
             let (n, dn, w) = site_rates::optimize_partition(part, n_taxa, d);
+            num += n;
+            den += dn;
+            work += w;
+        }
+        self.work.site_rate_patterns += work;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
+        (num, den)
+    }
+
+    /// [`Engine::optimize_site_rates`] variant that also hands the caller
+    /// the per-pattern normalization addends (`sink(local_index, num_terms,
+    /// den_terms)` with `numᵢ = wᵢ·rᵢ`, `denᵢ = wᵢ`) for reproducible binned
+    /// reduction. Γ partitions contribute no terms. The terms are
+    /// reconstructed from the optimized rates left in `psr_scratch`, so the
+    /// kernel path is identical to the plain variant.
+    pub fn optimize_site_rates_with_terms(
+        &mut self,
+        d: &TraversalDescriptor,
+        sink: &mut PairTermsSink<'_>,
+    ) -> (f64, f64) {
+        let started = std::time::Instant::now();
+        let n_taxa = self.n_taxa;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut work = 0u64;
+        let mut num_terms = Vec::new();
+        let mut den_terms = Vec::new();
+        for (local, part) in self.parts.iter_mut().enumerate() {
+            let (n, dn, w) = site_rates::optimize_partition(part, n_taxa, d);
+            num_terms.clear();
+            den_terms.clear();
+            if matches!(part.rates, RateHeterogeneity::Psr { .. }) {
+                for (i, &wgt) in part.data.weights.iter().enumerate() {
+                    num_terms.push(wgt * part.psr_scratch[i]);
+                    den_terms.push(wgt);
+                }
+            }
+            sink(local, &num_terms, &den_terms);
             num += n;
             den += dn;
             work += w;

@@ -194,13 +194,26 @@ pub trait Evaluator {
 }
 
 /// The canonical [`Evaluator::backend_fingerprint`] digest for an engine's
-/// compute configuration: FNV-1a over the kernel label and the site-repeats
-/// setting. All engine-backed evaluators use this so that identical backends
-/// hash identically across schemes — and a rank that silently resolved a
-/// different repeats setting (which would change nothing numerically but
-/// everything operationally) trips the sentinel like a kernel mismatch does.
-pub fn kernel_fingerprint(kind: exa_phylo::KernelKind, repeats: exa_phylo::SiteRepeats) -> u64 {
-    exa_obs::fnv1a(format!("{}+repeats:{}", kind.label(), repeats.label()).as_bytes())
+/// compute configuration: FNV-1a over the kernel label, the site-repeats
+/// setting and the reduction-mode label. All engine-backed evaluators use
+/// this so that identical backends hash identically across schemes — and a
+/// rank that silently resolved a different repeats setting or reduction
+/// mode (the latter would change the bits of every collective sum) trips
+/// the sentinel like a kernel mismatch does, at the first fingerprint sync.
+pub fn kernel_fingerprint(
+    kind: exa_phylo::KernelKind,
+    repeats: exa_phylo::SiteRepeats,
+    reduce: &str,
+) -> u64 {
+    exa_obs::fnv1a(
+        format!(
+            "{}+repeats:{}+reduce:{}",
+            kind.label(),
+            repeats.label(),
+            reduce
+        )
+        .as_bytes(),
+    )
 }
 
 /// Helper shared by all back-ends: push global (α, GTR) parameters into an
@@ -412,7 +425,11 @@ impl Evaluator for SequentialEvaluator {
     }
 
     fn backend_fingerprint(&self) -> u64 {
-        kernel_fingerprint(self.engine.kernel_kind(), self.engine.site_repeats())
+        kernel_fingerprint(
+            self.engine.kernel_kind(),
+            self.engine.site_repeats(),
+            "fast",
+        )
     }
 }
 

@@ -28,7 +28,7 @@ mod serve_cli;
 
 use exa_bio::partition::{parse_partition_file, PartitionScheme};
 use exa_bio::patterns::CompressedAlignment;
-use exa_comm::CommCategory;
+use exa_comm::{CommCategory, ReduceChoice};
 use exa_search::{BranchMode, PreemptSignal, SearchConfig, StartingTree};
 use examl_core::{CliConfig, CliError, RunConfig};
 use std::process::ExitCode;
@@ -44,6 +44,14 @@ options:\n\
   --site-repeats S       subtree-repeat CLV compression: on | off | auto\n\
                          (default auto: ranks negotiate a uniform setting,\n\
                          resolving to on; also via EXAML_SITE_REPEATS)\n\
+  --reduce R             collective reduction mode: fast | reproducible |\n\
+                         auto (reproducible sums are bitwise invariant to\n\
+                         rank count and summation order; default fast,\n\
+                         also via EXAML_REDUCE)\n\
+  --resize-at ITER:WIDTH[,ITER:WIDTH...]\n\
+                         shrink/grow the active rank pool to WIDTH at the\n\
+                         start of iteration ITER (de-centralized scheme;\n\
+                         requires --reduce reproducible or auto)\n\
   -Q                     monolithic per-partition data distribution (MPS)\n\
   -M                     per-partition branch lengths\n\
   --seed N               starting-tree seed (default 42)\n\
@@ -75,6 +83,11 @@ options:\n\
   --inject-divergence RANK:COLLECTIVE:alpha|blen\n\
                          flip one state bit on RANK after COLLECTIVE collectives\n\
                          (sentinel fault-injection testing)\n\
+  --reduce-override MODE[,MODE...]\n\
+                         force per-rank reduce modes (cycled over ranks),\n\
+                         overriding the negotiated one — a scripted\n\
+                         mixed-mode world the sentinel catches at its first\n\
+                         fingerprint sync (fault-injection testing)\n\
   --ascii                also print an ASCII cladogram\n\
   --stats                print alignment statistics and memory estimates, then exit\n\
   --quiet                suppress progress output\n\
@@ -218,7 +231,19 @@ fn main() -> ExitCode {
         .starting_tree(starting_tree)
         .kernel(args.kernel)
         .site_repeats(args.site_repeats)
+        .reduce(args.reduce)
         .verify_replicas(args.verify_replicas);
+    if !args.resize_at.is_empty() && matches!(args.reduce, ReduceChoice::Fast) {
+        eprintln!(
+            "--resize-at requires --reduce reproducible (or auto): only \
+             rank-count-invariant reductions keep the lnL trajectory bitwise \
+             stable across a width change"
+        );
+        return ExitCode::from(2);
+    }
+    for (iteration, width) in args.resize_at.iter().copied() {
+        run = run.resize_at(iteration, width);
+    }
     if let Some(path) = &args.checkpoint_out {
         run = run
             .checkpoint(path, args.resolved_checkpoint_every())
@@ -239,6 +264,9 @@ fn main() -> ExitCode {
     }
     if let Some(fault) = args.inject_divergence {
         run = run.divergence_fault(fault);
+    }
+    if let Some(table) = args.reduce_override.clone() {
+        run = run.reduce_override(table);
     }
     if let Some(path) = &args.health_out {
         run = run.health_out(path);

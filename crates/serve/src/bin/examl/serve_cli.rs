@@ -4,6 +4,7 @@
 //! examl serve daemon --spool DIR [--listen 127.0.0.1:0] [--workers N] ...
 //! examl serve submit --to ADDR --alignment FILE [--tenant T] [--priority P] ...
 //! examl serve status|cancel|wait --to ADDR ID
+//! examl serve resize --to ADDR N
 //! examl serve list|health|metrics|shutdown --to ADDR
 //! ```
 //!
@@ -47,6 +48,8 @@ verbs:\n\
                             forwarded into the job's RunConfig\n\
   status ID  print one job as JSON        cancel ID   cancel a job\n\
   wait ID    block until terminal [--timeout-secs S (default 600)]\n\
+  resize N   retarget the worker pool to N threads (grow spawns now;\n\
+             shrink lets excess workers drain after their current job)\n\
   list       print all jobs as JSON\n\
   health     print daemon gauges [--stream N [--interval-ms M]]\n\
   metrics    print the daemon's Prometheus text-format snapshot\n\
@@ -77,6 +80,10 @@ pub fn main(args: Vec<String>) -> ExitCode {
             c.list().map(|jobs| jobs.iter().for_each(print_status_ref))
         }),
         "health" => health_main(rest),
+        "resize" => id_verb(rest, |c, n| {
+            c.resize(n)
+                .map(|(previous, new)| println!("workers: {previous} -> {new}"))
+        }),
         "metrics" => client_verb(rest, |c| c.metrics().map(|text| print!("{text}"))),
         "shutdown" => client_verb(rest, |c| {
             c.shutdown().map(|()| println!("shutdown requested"))

@@ -156,6 +156,22 @@ impl Client {
         Ok(out)
     }
 
+    /// Resize the daemon's worker pool; returns `(previous, new)` targets.
+    pub fn resize(&self, workers: u64) -> Result<(u64, u64), String> {
+        let resp = self.rpc(&Self::op(
+            "resize",
+            vec![("workers".to_string(), Value::UInt(workers))],
+        ))?;
+        let entries = resp.as_map("response").map_err(|e| e.0)?;
+        let previous = field(entries, "previous")
+            .as_u64("previous")
+            .map_err(|e| e.0)?;
+        let new = field(entries, "workers")
+            .as_u64("workers")
+            .map_err(|e| e.0)?;
+        Ok((previous, new))
+    }
+
     /// Ask the daemon to checkpoint running jobs and stop.
     pub fn shutdown(&self) -> Result<(), String> {
         self.rpc(&Self::op("shutdown", vec![])).map(|_| ())

@@ -123,6 +123,8 @@ struct DaemonMetrics {
     workers_idle: Arc<Gauge>,
     uptime_secs: Arc<Gauge>,
     journal_fsync_ms: Arc<Histogram>,
+    pool_resizes: Arc<Counter>,
+    pool_workers: Arc<Gauge>,
 }
 
 impl DaemonMetrics {
@@ -191,6 +193,16 @@ impl DaemonMetrics {
                 "Journal append latency (write + flush + fdatasync), in milliseconds.",
                 &[],
             ),
+            pool_resizes: r.counter(
+                "exa_pool_resizes_total",
+                "Worker-pool resizes performed via the resize verb.",
+                &[],
+            ),
+            pool_workers: r.gauge(
+                "exa_pool_workers",
+                "Current worker-pool target size (threads executing runs).",
+                &[],
+            ),
             registry,
         }
     }
@@ -229,11 +241,17 @@ struct Core {
     next_id: JobId,
     shutdown: bool,
     workers_idle: u64,
+    /// Elastic pool: live worker threads vs. the target set by `resize`.
+    /// Excess workers exit when they next return to the pool; deficits are
+    /// covered by spawning on the resize call itself.
+    pool_size: usize,
+    pool_target: usize,
     metrics: DaemonMetrics,
     started_at: Instant,
     /// Locally-resolved capability labels, advertised in the heartbeat.
     kernel_label: &'static str,
     site_repeats_label: &'static str,
+    reduce_label: &'static str,
     health_seq: u64,
 }
 
@@ -280,6 +298,8 @@ impl Daemon {
             next_id: 1,
             shutdown: false,
             workers_idle: 0,
+            pool_size: 0,
+            pool_target: 0,
             metrics,
             started_at: Instant::now(),
             kernel_label: exa_phylo::engine::KernelChoice::from_env()
@@ -288,10 +308,14 @@ impl Daemon {
             site_repeats_label: exa_phylo::engine::RepeatsChoice::from_env()
                 .resolve_local()
                 .label(),
+            reduce_label: exa_comm::ReduceChoice::from_env().resolve_local().label(),
             health_seq: 0,
         };
         core.replay(events);
         let workers = core.cfg.workers.max(1);
+        core.pool_size = workers;
+        core.pool_target = workers;
+        core.metrics.pool_workers.set(workers as f64);
         let inner = Arc::new(Inner {
             state: Mutex::new(core),
             cv: Condvar::new(),
@@ -387,6 +411,38 @@ impl Daemon {
             }
             _ => Ok(false),
         }
+    }
+
+    /// Resize the worker pool to `workers` threads (clamped to ≥ 1).
+    /// Growing spawns the missing workers immediately; shrinking lets the
+    /// excess workers finish their current job and exit when they next
+    /// return to the pool — running jobs are never interrupted. Returns
+    /// `(previous_target, new_target)`.
+    pub fn resize(&self, workers: usize) -> std::io::Result<(usize, usize)> {
+        let workers = workers.max(1);
+        let (previous, to_spawn) = {
+            let mut core = lock(&self.inner);
+            if core.shutdown {
+                return Err(std::io::Error::other("daemon is shutting down"));
+            }
+            let previous = core.pool_target;
+            core.pool_target = workers;
+            core.metrics.pool_resizes.inc();
+            core.metrics.pool_workers.set(workers as f64);
+            let to_spawn = workers.saturating_sub(core.pool_size);
+            core.pool_size += to_spawn;
+            (previous, to_spawn)
+        };
+        let mut handles = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..to_spawn {
+            let inner = Arc::clone(&self.inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+        drop(handles);
+        // Wake parked workers so a shrink is observed without waiting for
+        // the next submit.
+        self.inner.cv.notify_all();
+        Ok((previous, workers))
     }
 
     /// Current daemon gauges as one [`ServeHeartbeat`].
@@ -639,6 +695,7 @@ impl Core {
             kernel: Some(self.kernel_label.to_string()),
             site_repeats: Some(self.site_repeats_label.to_string()),
             uptime_secs: Some(self.started_at.elapsed().as_secs_f64()),
+            reduce: Some(self.reduce_label.to_string()),
         }
     }
 
@@ -737,8 +794,9 @@ fn worker_loop(inner: &Inner) {
             let mut core = lock(inner);
             core.workers_idle += 1;
             let d = loop {
-                if core.shutdown {
+                if core.shutdown || core.pool_size > core.pool_target {
                     core.workers_idle -= 1;
+                    core.pool_size -= 1;
                     return;
                 }
                 if let Some(d) = try_dispatch(&mut core) {

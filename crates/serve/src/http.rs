@@ -17,6 +17,7 @@
 //! | `GET /metrics`            | `metrics`        |
 //! | `GET /trace/<id>`         | —                |
 //! | `GET /job-health/<id>`    | —                |
+//! | `POST /resize/<workers>`  | `resize`         |
 //! | `POST /shutdown`          | `shutdown`       |
 //!
 //! `stream-health` emits one [`ServeHeartbeat`] JSON line per interval
@@ -110,6 +111,19 @@ fn handle_op(daemon: &Daemon, op: &str, req: &Value) -> (Value, bool) {
             )]),
             false,
         ),
+        "resize" => match field(entries, "workers").as_u64("workers") {
+            Ok(n) => match daemon.resize(n as usize) {
+                Ok((previous, workers)) => (
+                    ok_with(vec![
+                        ("workers".to_string(), Value::UInt(workers as u64)),
+                        ("previous".to_string(), Value::UInt(previous as u64)),
+                    ]),
+                    false,
+                ),
+                Err(e) => (err_with(e.to_string()), false),
+            },
+            Err(e) => (err_with(e.0), false),
+        },
         "shutdown" => (ok_with(vec![]), true),
         other => (err_with(format!("unknown op {other:?}")), false),
     }
@@ -245,6 +259,7 @@ fn observe_request(daemon: &Daemon, verb: &str, t0: std::time::Instant) {
         "metrics",
         "trace",
         "job-health",
+        "resize",
         "shutdown",
     ];
     let verb = if KNOWN.contains(&verb) {
@@ -397,6 +412,11 @@ fn handle_http(daemon: &Daemon, stream: TcpStream, first: u8) {
                     (
                         "cancel".into(),
                         Value::Map(vec![("id".to_string(), Value::UInt(id))]),
+                    )
+                } else if let Some(n) = id_route("/resize/") {
+                    (
+                        "resize".into(),
+                        Value::Map(vec![("workers".to_string(), Value::UInt(n))]),
                     )
                 } else {
                     http_response(

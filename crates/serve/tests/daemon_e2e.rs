@@ -217,3 +217,48 @@ fn shutdown_journal_replay_resumes_to_bitwise_identical_lnl() {
     assert!(daemon.health().resumes >= 1);
     daemon.shutdown();
 }
+
+#[test]
+fn resize_grows_and_shrinks_the_worker_pool() {
+    let fx = Fixture::new("resize");
+    let spec = fx.spec("batch", 0, 3);
+    let reference = fx.reference_lnl(&spec, "resize");
+
+    let mut cfg = DaemonConfig::new(fx.spool());
+    cfg.workers = 1;
+    let daemon = Daemon::start(cfg).unwrap();
+
+    // Grow 1 -> 3: the two extra threads spawn immediately and park idle.
+    assert_eq!(daemon.resize(3).unwrap(), (1, 3));
+    let start = Instant::now();
+    while daemon.health().workers_idle < 3 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "grown workers never parked; last idle {}",
+            daemon.health().workers_idle
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(daemon.metrics_text().contains("exa_pool_workers 3"));
+
+    // Shrink 3 -> 1: idle workers wake on the resize notification and
+    // drain without touching any job.
+    assert_eq!(daemon.resize(1).unwrap(), (3, 1));
+    let start = Instant::now();
+    while daemon.health().workers_idle > 1 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "excess workers never drained; last idle {}",
+            daemon.health().workers_idle
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(daemon.metrics_text().contains("exa_pool_workers 1"));
+    assert!(daemon.metrics_text().contains("exa_pool_resizes_total 2"));
+
+    // The surviving worker still runs jobs to the bitwise-exact answer.
+    let id = daemon.submit(spec).unwrap();
+    let state = wait_for(&daemon, id, JobState::is_terminal, "terminal");
+    assert_eq!(completed_lnl(&state).to_bits(), reference.to_bits());
+    daemon.shutdown();
+}

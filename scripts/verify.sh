@@ -59,6 +59,48 @@ done <"$tmp/health.jsonl"
 ratio="$(tail -n 1 "$tmp/health.jsonl" | jq -r .repeat_ratio)"
 echo "health: $(wc -l <"$tmp/health.jsonl") heartbeat record(s), all ok (kernel: $kernel, repeat ratio: $ratio)"
 
+echo "==> reproducible reductions (rank-count-invariant lnL + elastic resize)"
+# Same seed, same data, 1 / 2 / 4 ranks under --reduce reproducible: the
+# per-iteration lnL trajectories must be bitwise equal (compared as the
+# heartbeat JSON text — serde's shortest-round-trip float formatting is
+# injective, so equal text == equal bits). A mid-run 2 -> 4 -> 1 elastic
+# resize must leave the trajectory untouched too.
+traj() { # FILE -> "iteration lnl reduce" per line
+  sed -n 's/.*"iteration":\([0-9]*\).*"lnl":\([^,}]*\).*"reduce":"\([a-z]*\)".*/\1 \2 \3/p' "$1"
+}
+for r in 1 2 4; do
+  cargo run -q --release -p exa-serve --bin examl -- \
+    --phylip "$tmp/smoke.phy" --ranks "$r" --iterations 3 --seed 7 \
+    --reduce reproducible --health-out "$tmp/reduce_$r.jsonl" --quiet >/dev/null
+  traj "$tmp/reduce_$r.jsonl" >"$tmp/reduce_traj_$r.txt"
+done
+grep -q ' reproducible$' "$tmp/reduce_traj_1.txt" \
+  || { echo "heartbeats missing the reproducible reduce label"; cat "$tmp/reduce_traj_1.txt"; exit 1; }
+cmp -s "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_2.txt" \
+  || { echo "lnL trajectory differs between 1 and 2 ranks"; diff "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_2.txt"; exit 1; }
+cmp -s "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_4.txt" \
+  || { echo "lnL trajectory differs between 1 and 4 ranks"; diff "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_4.txt"; exit 1; }
+cargo run -q --release -p exa-serve --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 --seed 7 \
+  --reduce reproducible --resize-at 1:4,2:1 \
+  --health-out "$tmp/reduce_rz.jsonl" --quiet >/dev/null
+traj "$tmp/reduce_rz.jsonl" >"$tmp/reduce_traj_rz.txt"
+cmp -s "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_rz.txt" \
+  || { echo "mid-run 2->4->1 resize shifted the lnL trajectory"; diff "$tmp/reduce_traj_1.txt" "$tmp/reduce_traj_rz.txt"; exit 1; }
+# A scripted mixed-mode world (rank 1/3 forced to fast) must trip the
+# replica sentinel at its very first fingerprint sync, never complete.
+set +e
+cargo run -q --release -p exa-serve --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 4 --iterations 2 --seed 7 \
+  --reduce reproducible --reduce-override reproducible,fast \
+  --verify-replicas 1 --quiet >/dev/null 2>"$tmp/mixed.err"
+mixed_status=$?
+set -e
+[ "$mixed_status" -eq 1 ] || { echo "mixed reduce world must exit 1, got $mixed_status"; cat "$tmp/mixed.err"; exit 1; }
+grep -q 'replica divergence at collective #1' "$tmp/mixed.err" \
+  || { echo "sentinel did not trip at the first sync:"; cat "$tmp/mixed.err"; exit 1; }
+echo "reduce: trajectories bitwise-equal at 1/2/4 ranks and across a 2->4->1 resize; mixed world tripped at sync #1"
+
 echo "==> examl checkpoint smoke (atomic generations + heartbeat fields)"
 cargo run -q --release -p exa-serve --bin examl -- \
   --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 \

@@ -68,6 +68,7 @@ prop_compose! {
                 iteration: 0,
                 payload_len: 0,
                 payload_fingerprint: 0,
+                reduce_mode: Some("fast".into()),
             },
             CheckpointPayload {
                 snapshot,

@@ -2,6 +2,7 @@
 //! directories, header validation, elastic resume, and the crash-mid-write
 //! regression (a torn tmp file must never shadow an intact generation).
 
+use exa_comm::ReduceChoice;
 use exa_search::SearchConfig;
 use exa_simgen::workloads;
 use examl_core::checkpoint::{self, CheckpointError};
@@ -101,11 +102,15 @@ fn resume_continues_to_a_result_at_least_as_good() {
 fn resume_with_different_rank_count() {
     // The checkpoint stores only replicated state, so the rank count is
     // free to change across restarts (a real operational need on
-    // clusters); the header records the old count but it is elastic.
+    // clusters) — but only when both runs use reproducible reductions,
+    // where the lnL trajectory is rank-count-invariant by construction. A
+    // fast-mode trajectory is a function of the rank count, so resuming it
+    // on a different count is refused as a silent fork.
     let w = workload();
     let dir = tmp_dir("ranks");
 
     RunConfig::new(3)
+        .reduce(ReduceChoice::Reproducible)
         .search(SearchConfig {
             max_iterations: 1,
             ..SearchConfig::fast()
@@ -115,7 +120,23 @@ fn resume_with_different_rank_count() {
         .unwrap();
     assert_eq!(checkpoint::load_latest(&dir).unwrap().header.rank_count, 3);
 
+    let err = RunConfig::new(2)
+        .search(SearchConfig {
+            max_iterations: 2,
+            ..SearchConfig::fast()
+        })
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap_err();
+    match err {
+        RunError::Checkpoint(CheckpointError::Mismatch { field, .. }) => {
+            assert_eq!(field, "rank_count");
+        }
+        other => panic!("fast-mode elastic resume must be refused: {other:?}"),
+    }
+
     let out = RunConfig::new(2)
+        .reduce(ReduceChoice::Reproducible)
         .search(SearchConfig {
             max_iterations: 2,
             ..SearchConfig::fast()

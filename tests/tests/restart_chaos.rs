@@ -14,6 +14,7 @@
 //! not an approximation. The sweep covers kill points, both parallelization
 //! schemes, both kernel backends and site-repeats on/off.
 
+use exa_comm::ReduceChoice;
 use exa_phylo::engine::{KernelChoice, RepeatsChoice};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::{KillSpec, SearchConfig};
@@ -234,13 +235,17 @@ fn checkpoint_resumes_across_schemes() {
 
 #[test]
 fn resume_is_elastic_across_kernel_and_rank_count() {
-    // Kernel backend, site-repeats and rank count are elastic header
-    // fields: resuming under a different combination redistributes and
-    // completes (bitwise identity is only promised for like-for-like
-    // restarts — a different backend may round differently).
+    // Kernel backend and site-repeats are unconditionally elastic header
+    // fields; the rank count is elastic only when both the checkpoint and
+    // the resuming run use reproducible reductions (a fast-mode lnL
+    // trajectory is a function of the rank count, so a fast elastic resume
+    // would be a silent fork). Resuming under a different combination
+    // redistributes and completes (bitwise identity is only promised for
+    // like-for-like restarts — a different backend may round differently).
     let w = workloads::partitioned(8, 2, 100, 41);
     let dir = tmp_dir("elastic");
     let err = base_cfg(Scheme::Decentralized, KernelChoice::Simd, RepeatsChoice::On)
+        .reduce(ReduceChoice::Reproducible)
         .checkpoint(&dir, 1)
         .inject_kill(KillSpec {
             after_checkpoints: 2,
@@ -254,6 +259,7 @@ fn resume_is_elastic_across_kernel_and_rank_count() {
         .scheme(Scheme::Decentralized)
         .kernel(KernelChoice::Scalar)
         .site_repeats(RepeatsChoice::Off)
+        .reduce(ReduceChoice::Reproducible)
         .seed(23)
         .search(SearchConfig {
             max_iterations: 4,
