@@ -39,6 +39,26 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Run once to warm the allocator and page cache, then three more times and
+/// keep the median wall time. Everything else in a `MeasuredRun` (lnL, comm
+/// stats, work counters) is deterministic across repeats, so the last
+/// measurement is kept with only its wall time replaced.
+fn median_of_three(mut run: impl FnMut() -> MeasuredRun) -> MeasuredRun {
+    let _ = run();
+    let runs = [run(), run(), run()];
+    let mut walls = [
+        runs[0].wall_seconds,
+        runs[1].wall_seconds,
+        runs[2].wall_seconds,
+    ];
+    walls.sort_by(f64::total_cmp);
+    let [_, _, last] = runs;
+    MeasuredRun {
+        wall_seconds: walls[1],
+        ..last
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = match arg_value(&args, "--mode").as_deref() {
@@ -63,8 +83,15 @@ fn main() {
         optimize_model: true,
         model_tol: 1e-2,
     };
-    // The paper runs on 4 nodes (192 cores).
+    // The paper runs on 4 nodes (192 cores). ExaML carries the §V hybrid
+    // execution this codebase implements (`--threads`: one rank per node,
+    // a worker pool inside), so its collectives span nodes; RAxML-Light's
+    // fork-join stays a flat per-core rank world.
     let spec = ClusterSpec::magny_cours(4);
+    let hybrid = ClusterSpec {
+        hybrid_collectives: true,
+        ..spec
+    };
 
     let mut points: Vec<Figure4Point> = Vec::new();
     for &p in &sizes {
@@ -83,25 +110,28 @@ fn main() {
                 RateModelKind::Psr => "PSR",
                 RateModelKind::Gamma => "GAMMA",
             };
-            // --- ExaML (de-centralized) ---
+            // --- ExaML (de-centralized, batched kernels) ---
             eprintln!("  ExaML, {model_label} ...");
-            let mut cfg = examl_core::RunConfig::new(ranks);
-            cfg.rate_model = kind;
-            cfg.branch_mode = mode;
-            cfg.strategy = strategy;
-            cfg.search = search.clone();
-            cfg.seed = 5;
-            let t0 = std::time::Instant::now();
-            let out = cfg.run(&w.compressed).unwrap();
-            let measured = MeasuredRun::new(
-                out.result.lnl,
-                out.result.iterations,
-                &out.comm_stats,
-                &out.work,
-                out.mem_bytes,
-                t0.elapsed().as_secs_f64(),
-            );
-            let modeled = modeled_time(&spec, &measured.profile_scaled(1.0, 1.0));
+            let measured = median_of_three(|| {
+                let mut cfg = examl_core::RunConfig::new(ranks);
+                cfg.rate_model = kind;
+                cfg.branch_mode = mode;
+                cfg.strategy = strategy;
+                cfg.search = search.clone();
+                cfg.seed = 5;
+                cfg.batch = true;
+                let t0 = std::time::Instant::now();
+                let out = cfg.run(&w.compressed).unwrap();
+                MeasuredRun::new(
+                    out.result.lnl,
+                    out.result.iterations,
+                    &out.comm_stats,
+                    &out.work,
+                    out.mem_bytes,
+                    t0.elapsed().as_secs_f64(),
+                )
+            });
+            let modeled = modeled_time(&hybrid, &measured.profile_scaled(1.0, 1.0));
             points.push(Figure4Point {
                 partitions: p,
                 model: model_label.into(),
@@ -111,24 +141,27 @@ fn main() {
                 modeled_seconds: modeled.total_s,
             });
 
-            // --- RAxML-Light (fork-join) ---
+            // --- RAxML-Light (fork-join, per-partition dispatch) ---
             eprintln!("  RAxML-Light, {model_label} ...");
-            let mut cfg = ForkJoinConfig::new(ranks);
-            cfg.rate_model = kind;
-            cfg.branch_mode = mode;
-            cfg.strategy = strategy;
-            cfg.search = search.clone();
-            cfg.seed = 5;
-            let t0 = std::time::Instant::now();
-            let out = execute(&w.compressed, &cfg, None);
-            let measured = MeasuredRun::new(
-                out.result.lnl,
-                out.result.iterations,
-                &out.comm_stats,
-                &out.work,
-                out.mem_bytes,
-                t0.elapsed().as_secs_f64(),
-            );
+            let measured = median_of_three(|| {
+                let mut cfg = ForkJoinConfig::new(ranks);
+                cfg.rate_model = kind;
+                cfg.branch_mode = mode;
+                cfg.strategy = strategy;
+                cfg.search = search.clone();
+                cfg.seed = 5;
+                cfg.batch = false;
+                let t0 = std::time::Instant::now();
+                let out = execute(&w.compressed, &cfg, None);
+                MeasuredRun::new(
+                    out.result.lnl,
+                    out.result.iterations,
+                    &out.comm_stats,
+                    &out.work,
+                    out.mem_bytes,
+                    t0.elapsed().as_secs_f64(),
+                )
+            });
             let modeled = modeled_time(&spec, &measured.profile_scaled(1.0, 1.0));
             points.push(Figure4Point {
                 partitions: p,
@@ -156,7 +189,10 @@ fn main() {
     ));
     md.push_str(
         "Modeled times are for the paper's 4-node x 48-core cluster, from measured \
-         work/communication profiles. Wall times are the in-process measurement.\n\n",
+         work/communication/dispatch profiles. ExaML runs with packed partition \
+         batches and hybrid (one-rank-per-node) collectives; RAxML-Light dispatches \
+         each partition separately in a flat rank world. Wall times are the \
+         in-process measurement (median of 3 after one warm-up run).\n\n",
     );
     md.push_str(
         "| partitions | model | MPS | ExaML modeled (s) | RAxML-Light modeled (s) | speedup | ExaML wall (s) | RAxML-Light wall (s) | identical lnL |\n",

@@ -49,6 +49,7 @@ pub struct MeasuredRun {
     pub bytes: u64,
     pub work: u64,
     pub mem_bytes: u64,
+    pub dispatches: u64,
     pub wall_seconds: f64,
     pub per_category: Vec<(String, u64, u64)>, // (label, regions, bytes)
 }
@@ -77,6 +78,7 @@ impl MeasuredRun {
             bytes: stats.total_bytes(),
             work: work.total(),
             mem_bytes,
+            dispatches: work.dispatches,
             wall_seconds,
             per_category,
         }
@@ -95,6 +97,9 @@ impl MeasuredRun {
             regions: self.regions,
             bytes: self.bytes,
             mem_bytes: (self.mem_bytes as f64 * scale * mem_overhead) as u64,
+            // Dispatch counts follow the partition/batch structure, not the
+            // per-partition pattern count — scaling patterns leaves them put.
+            dispatches: self.dispatches,
         }
     }
 }

@@ -227,6 +227,7 @@ pub(crate) fn bootstrap_impl(
                 kernel: local_kernel(cfg.base.kernel),
                 site_repeats: local_site_repeats(cfg.base.site_repeats),
                 reduce: local_reduce(cfg.base.reduce),
+                threads: cfg.base.threads.resolve_local().get(),
                 checkpoints: 0,
             };
             let counts: HashMap<Vec<usize>, usize> = progress

@@ -1,8 +1,9 @@
 //! Unified capability negotiation.
 //!
-//! Three per-rank compute settings must be uniform across a world before
+//! Four per-rank compute settings must be uniform across a world before
 //! any engine is built: the likelihood-kernel backend, the subtree-repeat
-//! compression setting, and the collective reduction mode. Each is a small
+//! compression setting, the collective reduction mode, and the intra-rank
+//! thread count. Each is a small
 //! totally-ordered capability (a higher level is a superset of a lower
 //! one), so heterogeneous worlds agree by everyone adopting the minimum
 //! advertised level — the same protocol MPI codes use for feature
@@ -18,7 +19,9 @@
 //! divergence sentinel both rely on.
 
 use exa_comm::{CommCategory, Rank, ReduceChoice, ReduceKind};
-use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats};
+use exa_phylo::engine::{
+    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice,
+};
 
 /// A negotiable compute capability: a value with a stable label and a
 /// monotone level, reconstructible from a negotiated minimum level.
@@ -67,6 +70,18 @@ impl Capability for ReduceKind {
     }
 }
 
+impl Capability for ThreadCount {
+    fn label(self) -> &'static str {
+        ThreadCount::label(self)
+    }
+    fn level(self) -> u8 {
+        self.capability_level()
+    }
+    fn from_level(level: u8) -> Self {
+        ThreadCount::from_capability_level(level)
+    }
+}
+
 /// How one rank enters the exchange for one capability slot.
 #[derive(Debug, Clone, Copy)]
 pub enum Request<T: Capability> {
@@ -108,12 +123,13 @@ pub struct Negotiated<T> {
     pub negotiated: bool,
 }
 
-/// All three capability requests of one rank, in wire-slot order.
+/// All four capability requests of one rank, in wire-slot order.
 #[derive(Debug, Clone, Copy)]
 pub struct CapabilityRequests {
     pub kernel: Request<KernelKind>,
     pub site_repeats: Request<SiteRepeats>,
     pub reduce: Request<ReduceKind>,
+    pub threads: Request<ThreadCount>,
 }
 
 /// The negotiated compute configuration of one rank.
@@ -122,6 +138,7 @@ pub struct Caps {
     pub kernel: Negotiated<KernelKind>,
     pub site_repeats: Negotiated<SiteRepeats>,
     pub reduce: Negotiated<ReduceKind>,
+    pub threads: Negotiated<ThreadCount>,
 }
 
 /// Build the kernel-slot request from a choice plus an optional per-rank
@@ -180,7 +197,26 @@ pub fn reduce_request(
     }
 }
 
-/// Run the one-time packed capability exchange: a single 3-byte `Control`
+/// Build the threads-slot request, same protocol as [`kernel_request`].
+/// An explicit count forces; `auto` negotiates (and advertises 1 — threading
+/// is strictly opt-in, so an auto world always resolves to serial).
+pub fn threads_request(
+    rank_id: usize,
+    choice: ThreadsChoice,
+    override_table: Option<&[ThreadCount]>,
+) -> Request<ThreadCount> {
+    if let Some(table) = override_table {
+        return Request::Forced(table[rank_id % table.len().max(1)]);
+    }
+    match choice {
+        ThreadsChoice::Count(n) => Request::Forced(n),
+        ThreadsChoice::Auto => Request::Negotiate {
+            advertise: choice.capability_level(),
+        },
+    }
+}
+
+/// Run the one-time packed capability exchange: a single 4-byte `Control`
 /// allgather, min per slot over every rank that contributed (a failed rank
 /// leaves an empty slot, which the survivors skip — they still agree
 /// because they all saw the same gather).
@@ -189,6 +225,7 @@ pub fn negotiate(rank: &Rank, req: &CapabilityRequests) -> Caps {
         req.kernel.advertised(),
         req.site_repeats.advertised(),
         req.reduce.advertised(),
+        req.threads.advertised(),
     ];
     let n_slots = packet.len();
     let gathered = rank
@@ -206,6 +243,7 @@ pub fn negotiate(rank: &Rank, req: &CapabilityRequests) -> Caps {
         kernel: req.kernel.resolve(min_of(0)),
         site_repeats: req.site_repeats.resolve(min_of(1)),
         reduce: req.reduce.resolve(min_of(2)),
+        threads: req.threads.resolve(min_of(3)),
     }
 }
 
@@ -218,6 +256,7 @@ pub fn resolve_local(req: &CapabilityRequests) -> Caps {
         kernel: req.kernel.resolve(req.kernel.advertised()),
         site_repeats: req.site_repeats.resolve(req.site_repeats.advertised()),
         reduce: req.reduce.resolve(req.reduce.advertised()),
+        threads: req.threads.resolve(req.threads.advertised()),
     }
 }
 
@@ -231,6 +270,7 @@ mod tests {
             kernel: kernel_request(rank_id, KernelChoice::Auto, None),
             site_repeats: repeats_request(rank_id, RepeatsChoice::Auto, None),
             reduce: reduce_request(rank_id, ReduceChoice::Auto, None),
+            threads: threads_request(rank_id, ThreadsChoice::Auto, None),
         }
     }
 
@@ -246,6 +286,8 @@ mod tests {
             assert_eq!(c.site_repeats.value, local.site_repeats.value);
             assert_eq!(c.reduce.value, ReduceKind::Reproducible);
             assert!(c.reduce.negotiated);
+            assert_eq!(c.threads.value.get(), 1, "auto threads resolve serial");
+            assert!(c.threads.negotiated);
         }
     }
 
@@ -265,6 +307,7 @@ mod tests {
                 },
                 site_repeats: repeats_request(rank.id(), RepeatsChoice::On, None),
                 reduce: reduce_request(rank.id(), ReduceChoice::Fast, None),
+                threads: threads_request(rank.id(), ThreadsChoice::Auto, None),
             };
             negotiate(&rank, &req)
         });
@@ -295,6 +338,7 @@ mod tests {
                     ReduceChoice::Fast,
                     Some(&[ReduceKind::Fast, ReduceKind::Reproducible]),
                 ),
+                threads: threads_request(rank.id(), ThreadsChoice::Auto, None),
             };
             negotiate(&rank, &req)
         });
@@ -302,5 +346,26 @@ mod tests {
         assert_eq!(caps[1].kernel.value, KernelKind::Scalar);
         assert_eq!(caps[0].reduce.value, ReduceKind::Fast);
         assert_eq!(caps[1].reduce.value, ReduceKind::Reproducible);
+    }
+
+    #[test]
+    fn negotiated_thread_counts_adopt_the_world_minimum() {
+        let caps: Vec<Caps> = World::run(3, |rank| {
+            let req = CapabilityRequests {
+                kernel: kernel_request(rank.id(), KernelChoice::Scalar, None),
+                site_repeats: repeats_request(rank.id(), RepeatsChoice::Off, None),
+                reduce: reduce_request(rank.id(), ReduceChoice::Fast, None),
+                // Heterogeneous advertisements: 8, 2, 4 — negotiated slots
+                // must all land on 2, the only width every rank can run.
+                threads: Request::Negotiate {
+                    advertise: ThreadCount::new([8, 2, 4][rank.id()]).capability_level(),
+                },
+            };
+            negotiate(&rank, &req)
+        });
+        for (id, c) in caps.iter().enumerate() {
+            assert_eq!(c.threads.value.get(), 2, "rank {id}");
+            assert!(c.threads.negotiated);
+        }
     }
 }

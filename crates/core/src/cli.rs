@@ -11,7 +11,7 @@
 
 use crate::sentinel::{DivergenceFault, FaultComponent};
 use exa_comm::{ReduceChoice, ReduceKind};
-use exa_phylo::engine::{KernelChoice, RepeatsChoice};
+use exa_phylo::engine::{KernelChoice, RepeatsChoice, ThreadCount, ThreadsChoice};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::KillSpec;
 use std::path::PathBuf;
@@ -29,6 +29,8 @@ pub const FLAGS: &[&str] = &[
     "--kernel",
     "--site-repeats",
     "--reduce",
+    "--threads",
+    "--batch",
     "--resize-at",
     "-Q",
     "-M",
@@ -51,6 +53,7 @@ pub const FLAGS: &[&str] = &[
     "--metrics-out",
     "--inject-divergence",
     "--reduce-override",
+    "--threads-override",
     "--ascii",
     "--stats",
     "--quiet",
@@ -73,6 +76,13 @@ pub struct CliConfig {
     /// `reproducible` (rank-count-invariant binned superaccumulator) or
     /// `auto` (negotiate; resolves to reproducible when all ranks can).
     pub reduce: ReduceChoice,
+    /// Intra-rank worker threads: a count, or `auto` (negotiate the world
+    /// minimum; resolves to 1 in the in-process world, where the ranks
+    /// already multiplex one machine).
+    pub threads: ThreadsChoice,
+    /// Pack small partitions into cache-sized kernel batches (`on`, the
+    /// default) or run one dispatch per partition (`off`).
+    pub batch: bool,
     /// Planned mid-run width changes, `ITER:WIDTH` pairs in iteration
     /// order. Requires `--reduce reproducible` (or `auto`).
     pub resize_at: Vec<(usize, usize)>,
@@ -108,6 +118,11 @@ pub struct CliConfig {
     /// one, `MODE[,MODE...]` cycled over the ranks — a scripted mixed
     /// world the sentinel must catch at its first fingerprint sync.
     pub reduce_override: Option<Vec<ReduceKind>>,
+    /// Fault injection: per-rank thread counts overriding the negotiated
+    /// one, `N[,N...]` cycled over the ranks. Threading is bitwise
+    /// invisible, but a mixed table still trips the sentinel via the
+    /// backend fingerprint — the uniform-capability invariant holds.
+    pub threads_override: Option<Vec<ThreadCount>>,
 }
 
 impl Default for CliConfig {
@@ -123,6 +138,8 @@ impl Default for CliConfig {
             kernel: KernelChoice::from_env(),
             site_repeats: RepeatsChoice::from_env(),
             reduce: ReduceChoice::from_env(),
+            threads: ThreadsChoice::from_env(),
+            batch: true,
             resize_at: Vec::new(),
             mps: false,
             per_partition_branches: false,
@@ -148,6 +165,7 @@ impl Default for CliConfig {
             metrics_out: None,
             inject_divergence: None,
             reduce_override: None,
+            threads_override: None,
         }
     }
 }
@@ -300,6 +318,28 @@ impl CliConfig {
                         expected: "fast, reproducible or auto",
                     })?;
                 }
+                "--threads" => {
+                    let v = value("--threads")?;
+                    cfg.threads = ThreadsChoice::parse(&v).ok_or(CliError::BadValue {
+                        flag: "--threads",
+                        value: v,
+                        expected: "a count or auto",
+                    })?;
+                }
+                "--batch" => {
+                    let v = value("--batch")?;
+                    cfg.batch = match v.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        _ => {
+                            return Err(CliError::BadValue {
+                                flag: "--batch",
+                                value: v,
+                                expected: "on or off",
+                            })
+                        }
+                    };
+                }
                 "--resize-at" => {
                     let v = value("--resize-at")?;
                     cfg.resize_at = parse_resize_plan(&v).ok_or(CliError::BadValue {
@@ -396,6 +436,15 @@ impl CliConfig {
                             expected: "fast|reproducible[,fast|reproducible...]",
                         })?);
                 }
+                "--threads-override" => {
+                    let v = value("--threads-override")?;
+                    cfg.threads_override =
+                        Some(parse_threads_override(&v).ok_or(CliError::BadValue {
+                            flag: "--threads-override",
+                            value: v,
+                            expected: "N[,N...]",
+                        })?);
+                }
                 "--ascii" => cfg.ascii = true,
                 "--stats" => cfg.stats_only = true,
                 "--quiet" => cfg.quiet = true,
@@ -480,6 +529,11 @@ pub fn parse_reduce_override(spec: &str) -> Option<Vec<ReduceKind>> {
         .collect()
 }
 
+/// Parse `N[,N...]` into a per-rank thread-count override table.
+pub fn parse_threads_override(spec: &str) -> Option<Vec<ThreadCount>> {
+    spec.split(',').map(ThreadCount::parse).collect()
+}
+
 /// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
 pub fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
     let mut parts = spec.splitn(3, ':');
@@ -532,6 +586,12 @@ mod tests {
             "off",
             "--reduce",
             "reproducible",
+            "--threads",
+            "2",
+            "--batch",
+            "off",
+            "--threads-override",
+            "2,4",
             "--resize-at",
             "2:1,5:4",
             "-Q",
@@ -563,6 +623,12 @@ mod tests {
         assert_eq!(c.kernel, KernelChoice::Simd);
         assert_eq!(c.site_repeats, RepeatsChoice::Off);
         assert_eq!(c.reduce, ReduceChoice::Reproducible);
+        assert_eq!(c.threads, ThreadsChoice::Count(ThreadCount::new(2)));
+        assert!(!c.batch);
+        assert_eq!(
+            c.threads_override,
+            Some(vec![ThreadCount::new(2), ThreadCount::new(4)])
+        );
         assert_eq!(c.resize_at, vec![(2, 1), (5, 4)]);
         assert!(c.mps && c.per_partition_branches && c.quiet);
         assert_eq!(c.seed, 7);
@@ -724,6 +790,23 @@ mod tests {
             err.to_string().contains("fast, reproducible or auto"),
             "{err}"
         );
+        let err = parse(&["--threads", "lots"]).unwrap_err();
+        assert!(err.to_string().contains("a count or auto"), "{err}");
+        let err = parse(&["--batch", "maybe"]).unwrap_err();
+        assert!(err.to_string().contains("on or off"), "{err}");
+        for bad in ["", "0", "2,", "2,x"] {
+            let err = parse(&["--threads-override", bad]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::BadValue {
+                        flag: "--threads-override",
+                        ..
+                    }
+                ),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
         for bad in ["", "exact", "fast,", "fast,auto"] {
             let err = parse(&["--reduce-override", bad]).unwrap_err();
             assert!(

@@ -453,6 +453,7 @@ impl Evaluator for DecentralizedEvaluator {
             self.engine.kernel_kind(),
             self.engine.site_repeats(),
             self.reduce.label(),
+            self.engine.threads(),
         )
     }
 }

@@ -322,9 +322,13 @@ impl DecentralizedHooks {
             &self.aln,
             &self.assignment,
             &self.freqs,
-            self.cfg.rate_model,
-            de.engine().kernel_kind(),
-            de.engine().site_repeats(),
+            &exa_sched::EngineSpec {
+                rate_model: self.cfg.rate_model,
+                kernel: de.engine().kernel_kind(),
+                site_repeats: de.engine().site_repeats(),
+                threads: de.engine().threads(),
+                batch: self.cfg.batch,
+            },
             Some(&self.shared),
         );
         de.replace_engine(engine);
@@ -424,6 +428,7 @@ impl DecentralizedHooks {
             last_checkpoint_iter: self.last_checkpoint_iter,
             checkpoint_write_ms: self.last_checkpoint_ms,
             reduce: Some(de.reduce().label().to_string()),
+            threads: Some(de.engine().threads() as u64),
         };
         let line = rec.to_json_line();
         let written = if health.created {
@@ -501,15 +506,17 @@ impl SearchHooks for DecentralizedHooks {
             .as_any_mut()
             .downcast_mut::<DecentralizedEvaluator>()
             .expect("de-centralized hooks require the de-centralized evaluator");
-        let kernel = de.engine().kernel_kind();
-        let site_repeats = de.engine().site_repeats();
         let engine = exa_sched::build_engine(
             &self.aln,
             &assignments[my_index],
             &self.freqs,
-            self.cfg.rate_model,
-            kernel,
-            site_repeats,
+            &exa_sched::EngineSpec {
+                rate_model: self.cfg.rate_model,
+                kernel: de.engine().kernel_kind(),
+                site_repeats: de.engine().site_repeats(),
+                threads: de.engine().threads(),
+                batch: self.cfg.batch,
+            },
             Some(&self.shared),
         );
         de.replace_engine(engine);

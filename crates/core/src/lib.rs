@@ -38,7 +38,9 @@ pub use sentinel::{DivergenceFault, FaultComponent};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, CommStats, Rank, ReduceChoice, ReduceKind, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
+use exa_phylo::engine::{
+    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice, WorkCounters,
+};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
 use exa_search::{
@@ -128,6 +130,20 @@ pub struct InferenceConfig {
     /// Mixing modes changes the bits of every collective sum and trips the
     /// replica-divergence sentinel at the first fingerprint sync.
     pub reduce_override: Option<Vec<ReduceKind>>,
+    /// Intra-rank worker threads per rank (`--threads`). Like the other
+    /// capabilities, `Auto` is negotiated to the world minimum so every
+    /// rank runs the same pool width; the resolved count is folded into the
+    /// sentinel fingerprint. Threading is bitwise invisible (results land
+    /// in indexed slots, reductions stay serial), so this only changes who
+    /// executes a partition's kernels, never the lnL bits.
+    pub threads: ThreadsChoice,
+    /// Test hook: force a thread count per rank, bypassing negotiation.
+    pub threads_override: Option<Vec<ThreadCount>>,
+    /// Pack small partitions into cache-sized kernel batches (`--batch`,
+    /// default on). Packing is deterministic from the slice assignment and
+    /// bitwise invisible; turning it off reverts to one singleton batch per
+    /// partition.
+    pub batch: bool,
     /// Mid-run elastic-resize plan: at the boundary of iteration `i`,
     /// redistribute the alignment over `w` ranks (`--resize-at I:W,...`).
     /// The comm world is sized to the largest width up front; ranks beyond
@@ -166,6 +182,9 @@ impl InferenceConfig {
             site_repeats_override: None,
             reduce: ReduceChoice::Fast,
             reduce_override: None,
+            threads: ThreadsChoice::from_env(),
+            threads_override: None,
+            batch: true,
             resize_plan: Vec::new(),
         }
     }
@@ -188,6 +207,11 @@ impl InferenceConfig {
                 rank_id,
                 self.reduce,
                 self.reduce_override.as_deref(),
+            ),
+            threads: capability::threads_request(
+                rank_id,
+                self.threads,
+                self.threads_override.as_deref(),
             ),
         }
     }
@@ -251,6 +275,9 @@ pub struct RunOutput {
     /// The collective reduction scheme the ranks computed with (negotiated
     /// under `ReduceChoice::Auto`, forced otherwise).
     pub reduce: ReduceKind,
+    /// Intra-rank worker threads each rank computed with (negotiated under
+    /// `ThreadsChoice::Auto`, forced otherwise).
+    pub threads: usize,
     /// Checkpoint generations committed during the run (0 when
     /// checkpointing is off).
     pub checkpoints: u64,
@@ -285,6 +312,7 @@ enum RankReport {
         kernel: KernelKind,
         site_repeats: SiteRepeats,
         reduce: ReduceKind,
+        threads: usize,
         checkpoints: u64,
     },
     Died {
@@ -389,6 +417,7 @@ pub(crate) fn decentralized_impl(
     let mut run_kernel = KernelKind::Scalar;
     let mut run_repeats = SiteRepeats::Off;
     let mut run_reduce = ReduceKind::Fast;
+    let mut run_threads = 1usize;
     let mut ckpts = 0u64;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     let mut killed: Option<(u64, usize)> = None;
@@ -405,6 +434,7 @@ pub(crate) fn decentralized_impl(
                 kernel,
                 site_repeats,
                 reduce,
+                threads,
                 checkpoints,
             } => {
                 work = work.merge(&w);
@@ -417,6 +447,7 @@ pub(crate) fn decentralized_impl(
                     run_kernel = kernel;
                     run_repeats = site_repeats;
                     run_reduce = reduce;
+                    run_threads = threads;
                 }
             }
             RankReport::Died { work: w, mem_bytes } => {
@@ -490,8 +521,36 @@ pub(crate) fn decentralized_impl(
         kernel: run_kernel,
         site_repeats: run_repeats,
         reduce: run_reduce,
+        threads: run_threads,
         checkpoints: ckpts,
     })
+}
+
+/// Per-rank batch shape for the live registry. Batch counts legitimately
+/// differ across ranks (each packs its own slice assignment), so they go to
+/// `/metrics` — labelled by rank — rather than into trace marks, which must
+/// stay uniform across the world for event-sequence parity.
+fn record_batch_metrics(engine: &exa_phylo::Engine) {
+    if !exa_obs::metrics::enabled() {
+        return;
+    }
+    let batches = engine.batch_count() as u64;
+    if batches == 0 {
+        return;
+    }
+    let reg = exa_obs::metrics::global();
+    reg.counter(
+        "exa_batches_total",
+        "Packed kernel batches built on this rank",
+        &[],
+    )
+    .add(batches);
+    reg.gauge(
+        "exa_batch_fill_ratio",
+        "Partitions per packed batch (mean fill)",
+        &[],
+    )
+    .set(engine.n_partitions() as f64 / batches as f64);
 }
 
 fn rank_main(
@@ -517,18 +576,32 @@ fn rank_main(
     let kernel = caps.kernel.value;
     let site_repeats = caps.site_repeats.value;
     let reduce = caps.reduce.value;
+    let threads = caps.threads.value;
     exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, kernel.label()));
     exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, site_repeats.label()));
     exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, reduce.label()));
+    exa_obs::mark(|| format!("{}{}", exa_obs::THREADS_MARK, threads.label()));
+    exa_obs::mark(|| {
+        format!(
+            "{}{}",
+            exa_obs::BATCH_MARK,
+            if cfg.batch { "on" } else { "off" }
+        )
+    });
     let mut engine = exa_sched::build_engine(
         &aln,
         &assignments[rank.id()],
         &freqs,
-        cfg.rate_model,
-        kernel,
-        site_repeats,
+        &exa_sched::EngineSpec {
+            rate_model: cfg.rate_model,
+            kernel,
+            site_repeats,
+            threads: threads.get(),
+            batch: cfg.batch,
+        },
         Some(&shared),
     );
+    record_batch_metrics(&engine);
     // Checkpoint resume, phase 1: per-pattern PSR rates go straight into
     // the fresh engine (this rank's slice of the gathered global table —
     // elastic across any rank count, since the table is complete).
@@ -612,6 +685,7 @@ fn rank_main(
                 kernel: eval.engine().kernel_kind(),
                 site_repeats: eval.engine().site_repeats(),
                 reduce: eval.reduce(),
+                threads: eval.engine().threads(),
                 checkpoints: hooks.checkpoints_written(),
             }
         }

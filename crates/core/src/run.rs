@@ -33,7 +33,9 @@ use crate::{decentralized_impl, InferenceConfig, RunAbort, RunOutput};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, ReduceChoice, ReduceKind};
 use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
-use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
+use exa_phylo::engine::{
+    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice, WorkCounters,
+};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{GlobalState, SearchSnapshot};
 use exa_search::{BranchMode, KillSpec, PreemptSignal, SearchConfig, SearchResult, StartingTree};
@@ -201,6 +203,9 @@ pub struct RunOutcome {
     /// The collective reduction mode the ranks computed with (negotiated
     /// under `ReduceChoice::Auto`, forced otherwise).
     pub reduce: ReduceKind,
+    /// Intra-rank worker threads each rank computed with (negotiated under
+    /// `ThreadsChoice::Auto`, forced otherwise).
+    pub threads: usize,
     /// Merged trace, present when [`RunConfig::collect_trace`] was set
     /// (absent for bootstrap runs, which write per-replicate trace files
     /// instead).
@@ -272,6 +277,14 @@ pub struct RunConfig {
     /// Mixing modes violates the uniform-reduction requirement and trips
     /// the sentinel (de-centralized only).
     pub reduce_override: Option<Vec<ReduceKind>>,
+    /// Intra-rank worker threads per rank; `Auto` negotiates the world
+    /// minimum (de-centralized) or resolves locally (fork-join). Bitwise
+    /// invisible: the lnL trajectory is identical at any count.
+    pub threads: ThreadsChoice,
+    /// Test hook: force a thread count per rank, bypassing negotiation.
+    pub threads_override: Option<Vec<ThreadCount>>,
+    /// Pack small partitions into cache-sized kernel batches (default on).
+    pub batch: bool,
     /// Mid-run elastic resize plan: at each `(iteration, width)` boundary
     /// the active rank pool shrinks or grows to `width` ranks by
     /// deterministic local data redistribution. Requires the de-centralized
@@ -315,6 +328,9 @@ impl RunConfig {
             site_repeats_override: None,
             reduce: base.reduce,
             reduce_override: None,
+            threads: base.threads,
+            threads_override: None,
+            batch: base.batch,
             resize_plan: Vec::new(),
             collect_trace: false,
             bootstrap: None,
@@ -464,6 +480,24 @@ impl RunConfig {
         self
     }
 
+    /// Select the intra-rank worker thread count.
+    pub fn threads(mut self, choice: ThreadsChoice) -> Self {
+        self.threads = choice;
+        self
+    }
+
+    /// Test hook: force a thread count per rank (`table[rank % len]`).
+    pub fn threads_override(mut self, table: Vec<ThreadCount>) -> Self {
+        self.threads_override = Some(table);
+        self
+    }
+
+    /// Enable or disable partition packing into kernel batches.
+    pub fn batch(mut self, on: bool) -> Self {
+        self.batch = on;
+        self
+    }
+
     /// Schedule a mid-run elastic resize: at iteration boundary `iteration`
     /// the active rank pool becomes `width` ranks (grow or shrink). May be
     /// called repeatedly to chain resizes. Requires the de-centralized
@@ -527,6 +561,9 @@ impl RunConfig {
             site_repeats_override: self.site_repeats_override.clone(),
             reduce: self.reduce,
             reduce_override: self.reduce_override.clone(),
+            threads: self.threads,
+            threads_override: self.threads_override.clone(),
+            batch: self.batch,
             resize_plan: self.resize_plan.clone(),
         }
     }
@@ -619,6 +656,7 @@ impl RunConfig {
                 out.best.kernel,
                 out.best.site_repeats,
                 out.best.reduce,
+                out.best.threads,
                 &out.best.work,
             );
             return Ok(assemble(out.best, None, health, Some(summary)));
@@ -637,6 +675,7 @@ impl RunConfig {
             out.kernel,
             out.site_repeats,
             out.reduce,
+            out.threads,
             &out.work,
         );
         Ok(assemble(out, trace, health, None))
@@ -687,6 +726,16 @@ impl RunConfig {
             }
             _ => self.resolved_reduce(),
         };
+        let threads = match self.threads_override.as_deref() {
+            Some([first, rest @ ..]) => {
+                assert!(
+                    rest.iter().all(|t| t == first),
+                    "fork-join has no replica sentinel; refusing a mixed threads override"
+                );
+                first.get()
+            }
+            _ => self.threads.resolve_local().get(),
+        };
         let fj = exa_forkjoin::ForkJoinConfig {
             n_ranks: self.n_ranks,
             rate_model: self.rate_model,
@@ -698,6 +747,8 @@ impl RunConfig {
             kernel,
             site_repeats,
             reduce,
+            threads,
+            batch: self.batch,
         };
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         // Checkpoint sink: the fork-join crate hands the master's snapshot
@@ -780,6 +831,7 @@ impl RunConfig {
             kernel,
             site_repeats,
             reduce,
+            threads,
             &out.work,
         );
         Ok(RunOutcome {
@@ -794,6 +846,7 @@ impl RunConfig {
             kernel,
             site_repeats,
             reduce,
+            threads,
             trace,
             health,
             bootstrap: None,
@@ -811,6 +864,7 @@ impl RunConfig {
         kernel: KernelKind,
         site_repeats: SiteRepeats,
         reduce: ReduceKind,
+        threads: usize,
         work: &WorkCounters,
     ) -> HealthReport {
         let measured = trace.and_then(|t| {
@@ -836,6 +890,7 @@ impl RunConfig {
             site_repeats: Some(site_repeats.label().to_string()),
             repeat_ratio: Some(work.repeat_ratio()),
             reduce: Some(reduce.label().to_string()),
+            threads: Some(threads as u64),
             critical_path: trace
                 .and_then(RunTrace::critical_path)
                 .map(|cp| cp.summary()),
@@ -902,6 +957,7 @@ fn assemble(
         kernel: out.kernel,
         site_repeats: out.site_repeats,
         reduce: out.reduce,
+        threads: out.threads,
         trace,
         health,
         bootstrap,

@@ -19,9 +19,11 @@ fn sequential(w: &workloads::Workload, seed: u64) -> SequentialEvaluator {
         &w.compressed,
         &assignment[0],
         &freqs,
-        RateModelKind::Gamma,
-        KernelChoice::from_env().resolve_local(),
-        SiteRepeats::On,
+        &exa_sched::EngineSpec::new(
+            RateModelKind::Gamma,
+            KernelChoice::from_env().resolve_local(),
+            SiteRepeats::On,
+        ),
         None,
     );
     let tree = Tree::random(w.compressed.n_taxa(), 1, seed);
@@ -48,9 +50,11 @@ fn distributed_evaluate_matches_sequential_bitwise_per_rank() {
                 &w2.compressed,
                 &assignments[rank.id()],
                 &freqs,
-                RateModelKind::Gamma,
-                KernelChoice::from_env().resolve_local(),
-                SiteRepeats::On,
+                &exa_sched::EngineSpec::new(
+                    RateModelKind::Gamma,
+                    KernelChoice::from_env().resolve_local(),
+                    SiteRepeats::On,
+                ),
                 None,
             );
             let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
@@ -97,9 +101,11 @@ fn distributed_derivatives_match_sequential() {
             &w2.compressed,
             &assignments[rank.id()],
             &freqs,
-            RateModelKind::Gamma,
-            KernelChoice::from_env().resolve_local(),
-            SiteRepeats::On,
+            &exa_sched::EngineSpec::new(
+                RateModelKind::Gamma,
+                KernelChoice::from_env().resolve_local(),
+                SiteRepeats::On,
+            ),
             None,
         );
         let tree = Tree::random(w2.compressed.n_taxa(), 1, seed);
@@ -136,9 +142,11 @@ fn evaluate_uses_one_double_partitioned_uses_p() {
             &w.compressed,
             &assignments[rank.id()],
             &freqs,
-            RateModelKind::Gamma,
-            KernelChoice::from_env().resolve_local(),
-            SiteRepeats::On,
+            &exa_sched::EngineSpec::new(
+                RateModelKind::Gamma,
+                KernelChoice::from_env().resolve_local(),
+                SiteRepeats::On,
+            ),
             None,
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);
@@ -175,9 +183,11 @@ fn snapshot_restore_in_rank_world() {
             &w.compressed,
             &assignments[rank.id()],
             &freqs,
-            RateModelKind::Gamma,
-            KernelChoice::from_env().resolve_local(),
-            SiteRepeats::On,
+            &exa_sched::EngineSpec::new(
+                RateModelKind::Gamma,
+                KernelChoice::from_env().resolve_local(),
+                SiteRepeats::On,
+            ),
             None,
         );
         let tree = Tree::random(w.compressed.n_taxa(), 1, 3);

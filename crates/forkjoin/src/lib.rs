@@ -27,7 +27,9 @@ pub use master::ForkJoinEvaluator;
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, ReduceKind, World};
 use exa_obs::Recorder;
-use exa_phylo::engine::{KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, WorkCounters};
+use exa_phylo::engine::{
+    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadsChoice, WorkCounters,
+};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
 use exa_search::{
@@ -65,6 +67,12 @@ pub struct ForkJoinConfig {
     /// negotiate). `Reproducible` makes every summed reduction
     /// rank-count-invariant.
     pub reduce: ReduceKind,
+    /// Resolved intra-rank worker-pool width, uniform across the ranks
+    /// (resolved locally like the kernel; bitwise result-neutral).
+    pub threads: usize,
+    /// Pack small partitions into cache-sized kernel batches (bitwise
+    /// result-neutral; purely a dispatch-overhead optimization).
+    pub batch: bool,
 }
 
 impl ForkJoinConfig {
@@ -81,6 +89,8 @@ impl ForkJoinConfig {
             kernel: KernelChoice::from_env().resolve_local(),
             site_repeats: RepeatsChoice::from_env().resolve_local(),
             reduce: ReduceKind::Fast,
+            threads: ThreadsChoice::from_env().resolve_local().get(),
+            batch: true,
         }
     }
 }
@@ -271,6 +281,30 @@ pub fn execute(
     }
 }
 
+/// Record the batch-packing outcome of one rank's engine in the metrics
+/// registry (`/metrics`). Per-rank batch counts differ under MPS, so these
+/// go to metrics rather than trace marks (which must stay rank-uniform).
+fn examl_obs_batch_metrics(engine: &exa_phylo::Engine) {
+    if !exa_obs::metrics::enabled() {
+        return;
+    }
+    let m = exa_obs::metrics::global();
+    m.counter(
+        "exa_batches_total",
+        "Kernel batches created by partition packing",
+        &[],
+    )
+    .add(engine.batch_count() as u64);
+    if engine.batch_count() > 0 {
+        m.gauge(
+            "exa_batch_fill_ratio",
+            "Mean partitions per kernel batch",
+            &[],
+        )
+        .set(engine.n_partitions() as f64 / engine.batch_count() as f64);
+    }
+}
+
 /// [`execute`] with checkpoint/restart controls: boundary-cadence (and
 /// wall-clock-cadence) checkpoints fed to `ctrl.sink`, resume from a
 /// snapshot, deterministic master kills for the restart chaos harness, and
@@ -296,14 +330,27 @@ pub fn execute_controlled(
             &aln,
             &assignments[rank.id()],
             &freqs,
-            cfg.rate_model,
-            cfg.kernel,
-            cfg.site_repeats,
+            &exa_sched::EngineSpec {
+                rate_model: cfg.rate_model,
+                kernel: cfg.kernel,
+                site_repeats: cfg.site_repeats,
+                threads: cfg.threads,
+                batch: cfg.batch,
+            },
             Some(&shared),
         );
+        examl_obs_batch_metrics(&engine);
         exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, cfg.kernel.label()));
         exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, cfg.site_repeats.label()));
         exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, cfg.reduce.label()));
+        exa_obs::mark(|| format!("{}{}", exa_obs::THREADS_MARK, engine.threads()));
+        exa_obs::mark(|| {
+            format!(
+                "{}{}",
+                exa_obs::BATCH_MARK,
+                if cfg.batch { "on" } else { "off" }
+            )
+        });
         if rank.id() == 0 {
             // Account the initial data distribution (modeled; see the
             // de-centralized driver for the rationale).

@@ -389,6 +389,7 @@ impl Evaluator for ForkJoinEvaluator {
             self.engine.kernel_kind(),
             self.engine.site_repeats(),
             self.reduce.label(),
+            self.engine.threads(),
         )
     }
 }

@@ -36,6 +36,17 @@ pub const SITE_REPEATS_MARK: &str = "site_repeats:";
 /// `otherData.reduce_mode` the same way [`KERNEL_BACKEND_MARK`] is.
 pub const REDUCE_MODE_MARK: &str = "reduce_mode:";
 
+/// Reserved mark-label prefix that stamps the negotiated intra-rank thread
+/// count into a trace; hoisted into `otherData.threads` the same way
+/// [`KERNEL_BACKEND_MARK`] is. Per-rank *batch counts* are deliberately not
+/// marked (they differ across ranks under MPS and would break trace
+/// rank-parity) — those go to the metrics registry instead.
+pub const THREADS_MARK: &str = "threads:";
+
+/// Reserved mark-label prefix that stamps the batching setting
+/// (`"on"`/`"off"`) into a trace; hoisted into `otherData.batch`.
+pub const BATCH_MARK: &str = "batch:";
+
 /// Reserved mark-label prefix stamped (on every rank) each time a
 /// checkpoint generation is committed; the suffix is the search iteration
 /// the checkpoint captured. Emitting it on all ranks keeps per-rank event
@@ -59,6 +70,8 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
     let mut kernel_backend: Option<String> = None;
     let mut site_repeats: Option<String> = None;
     let mut reduce_mode: Option<String> = None;
+    let mut threads: Option<String> = None;
+    let mut batch: Option<String> = None;
     let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
     for rank in 0..trace.n_ranks() {
         // Thread-name metadata so the timeline rows read "rank 0", …
@@ -116,6 +129,12 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     if let Some(mode) = label.strip_prefix(REDUCE_MODE_MARK) {
                         reduce_mode.get_or_insert_with(|| mode.to_string());
                     }
+                    if let Some(n) = label.strip_prefix(THREADS_MARK) {
+                        threads.get_or_insert_with(|| n.to_string());
+                    }
+                    if let Some(b) = label.strip_prefix(BATCH_MARK) {
+                        batch.get_or_insert_with(|| b.to_string());
+                    }
                     fields.push(entry("ph", str_v("i")));
                     fields.push(entry("s", str_v("t")));
                     fields.push(entry("name", str_v(label.clone())));
@@ -153,6 +172,12 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
     }
     if let Some(mode) = reduce_mode {
         other.push(entry("reduce_mode", str_v(mode)));
+    }
+    if let Some(n) = threads {
+        other.push(entry("threads", str_v(n)));
+    }
+    if let Some(b) = batch {
+        other.push(entry("batch", str_v(b)));
     }
     if !other.is_empty() {
         top.push(entry("otherData", Value::Map(other)));
@@ -347,6 +372,34 @@ mod tests {
         let map = v.as_map("trace").unwrap();
         let other = serde::field(map, "otherData").as_map("otherData").unwrap();
         assert_eq!(serde::field(other, "kernel_backend"), &str_v("simd"));
+    }
+
+    #[test]
+    fn threads_and_batch_marks_are_hoisted_into_other_data() {
+        let mut trace = sample_trace();
+        trace.per_rank[0].insert(
+            0,
+            TraceEvent {
+                ts_ns: 0,
+                kind: EventKind::Mark {
+                    label: format!("{THREADS_MARK}4"),
+                },
+            },
+        );
+        trace.per_rank[0].insert(
+            1,
+            TraceEvent {
+                ts_ns: 0,
+                kind: EventKind::Mark {
+                    label: format!("{BATCH_MARK}on"),
+                },
+            },
+        );
+        let v = chrome_trace(&trace);
+        let map = v.as_map("trace").unwrap();
+        let other = serde::field(map, "otherData").as_map("otherData").unwrap();
+        assert_eq!(serde::field(other, "threads"), &str_v("4"));
+        assert_eq!(serde::field(other, "batch"), &str_v("on"));
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct HeartbeatRecord {
     /// Label of the negotiated reduction mode (`"fast"`/`"reproducible"`).
     /// `None` on legacy records.
     pub reduce: Option<String>,
+    /// Intra-rank worker threads the run negotiated. `None` on legacy
+    /// records.
+    pub threads: Option<u64>,
 }
 
 impl HeartbeatRecord {
@@ -216,6 +219,9 @@ pub struct HealthReport {
     /// Reduction mode the run negotiated (`"fast"`/`"reproducible"`;
     /// `None` when the producing layer predates reduce-mode selection).
     pub reduce: Option<String>,
+    /// Intra-rank worker threads per rank the run negotiated (`None` when
+    /// the producing layer predates the worker pool).
+    pub threads: Option<u64>,
 }
 
 impl HealthReport {
@@ -228,6 +234,9 @@ impl HealthReport {
         }
         if let Some(reduce) = &self.reduce {
             let _ = writeln!(out, "  reduce: {reduce}");
+        }
+        if let Some(threads) = self.threads {
+            let _ = writeln!(out, "  threads: {threads}");
         }
         match (&self.site_repeats, self.repeat_ratio) {
             (Some(setting), Some(ratio)) => {
@@ -328,6 +337,7 @@ mod tests {
             last_checkpoint_iter: Some(2),
             checkpoint_write_ms: Some(0.75),
             reduce: Some("fast".into()),
+            threads: Some(2),
         }
     }
 
@@ -347,7 +357,8 @@ mod tests {
             .replace(",\"clv_saved\":1200", "")
             .replace(",\"last_checkpoint_iter\":2", "")
             .replace(",\"checkpoint_write_ms\":0.75", "")
-            .replace(",\"reduce\":\"fast\"", "");
+            .replace(",\"reduce\":\"fast\"", "")
+            .replace(",\"threads\":2", "");
         assert_ne!(legacy, line);
         let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
         assert_eq!(back.kernel, None);
@@ -356,6 +367,7 @@ mod tests {
         assert_eq!(back.last_checkpoint_iter, None);
         assert_eq!(back.checkpoint_write_ms, None);
         assert_eq!(back.reduce, None);
+        assert_eq!(back.threads, None);
     }
 
     #[test]
@@ -454,10 +466,12 @@ mod tests {
                 hottest_partition_ns: 400,
             }),
             reduce: Some("reproducible".into()),
+            threads: Some(2),
         };
         let text = clean.render();
         assert!(text.contains("kernel: simd"), "{text}");
         assert!(text.contains("reduce: reproducible"), "{text}");
+        assert!(text.contains("threads: 2"), "{text}");
         assert!(text.contains("site repeats: on"), "{text}");
         assert!(text.contains("compression ratio 2.125"), "{text}");
         assert!(text.contains("replicas bit-identical"), "{text}");

@@ -20,13 +20,16 @@
 //! arithmetic.
 
 pub mod backend;
+mod pool;
 pub mod repeats;
 mod site_rates;
 
 pub use backend::{simd_available, KernelChoice, KernelKind};
+pub use pool::{ThreadCount, ThreadsChoice};
 pub use repeats::{RepeatsChoice, SiteRepeats};
 
 use backend::{KernelBackend, KernelScratch};
+use pool::{TaskSlots, WorkerPool};
 use repeats::{NodeRepeats, RepeatScratch};
 
 use crate::model::gtr::GtrModel;
@@ -140,6 +143,12 @@ pub struct WorkCounters {
     /// Measured, not modeled — the heartbeat monitor's per-rank load
     /// signal. Excluded from [`WorkCounters::total`] (different unit).
     pub kernel_ns: u64,
+    /// Batched kernel dispatches issued: one per batch per backend entry
+    /// point (and per traversal entry for `newview`). This is the count the
+    /// analytic cluster model multiplies by its per-dispatch overhead —
+    /// partition packing wins exactly by shrinking it. Excluded from
+    /// [`WorkCounters::total`] (different unit).
+    pub dispatches: u64,
 }
 
 impl WorkCounters {
@@ -152,6 +161,7 @@ impl WorkCounters {
             deriv_patterns: self.deriv_patterns + other.deriv_patterns,
             site_rate_patterns: self.site_rate_patterns + other.site_rate_patterns,
             kernel_ns: self.kernel_ns + other.kernel_ns,
+            dispatches: self.dispatches + other.dispatches,
         }
     }
 
@@ -197,6 +207,11 @@ pub(crate) struct PartitionState {
     pub repeat_epoch: u64,
     /// Shared repeat-builder scratch (dedup table, identity list).
     pub repeat_scratch: RepeatScratch,
+    /// Reusable buffers for the `*_with_terms` kernel variants: filled
+    /// inside the (possibly parallel) batch region, consumed serially by
+    /// the caller's sink in local-partition order.
+    pub terms_a: Vec<f64>,
+    pub terms_b: Vec<f64>,
 }
 
 impl PartitionState {
@@ -229,6 +244,8 @@ impl PartitionState {
             },
             repeat_epoch: 0,
             repeat_scratch: RepeatScratch::default(),
+            terms_a: Vec::new(),
+            terms_b: Vec::new(),
         }
     }
 
@@ -253,6 +270,19 @@ pub struct Engine {
     /// backend — see [`repeats`] docs).
     site_repeats: SiteRepeats,
     pub(crate) parts: Vec<PartitionState>,
+    /// Consecutive local-partition ranges, each executed as **one** kernel
+    /// dispatch sharing one scratch set. Always an exact cover of
+    /// `0..parts.len()`; defaults to singleton batches (= the historical
+    /// one-dispatch-per-partition behavior).
+    batches: Vec<std::ops::Range<usize>>,
+    /// One kernel scratch per batch (P-matrices, tip lookups, transposes),
+    /// swapped into each member partition for the duration of its backend
+    /// call so the buffers are built once per batch and reused across the
+    /// partitions in it.
+    batch_scratch: Vec<KernelScratch>,
+    /// Intra-rank worker pool executing batches task-parallel. One thread =
+    /// fully inline serial execution.
+    pool: WorkerPool,
     work: WorkCounters,
 }
 
@@ -313,18 +343,62 @@ impl Engine {
     ) -> Engine {
         assert!(n_taxa >= 3, "need at least 3 taxa");
         let n_inner = n_taxa - 2;
-        let parts = slices
+        let parts: Vec<PartitionState> = slices
             .into_iter()
             .map(|s| PartitionState::new(s, n_inner, kind, alpha0, site_repeats))
             .collect();
+        let n = parts.len();
         Engine {
             n_taxa,
             kind,
             backend: backend::backend_for(kernel),
             site_repeats,
             parts,
+            batches: (0..n).map(|i| i..i + 1).collect(),
+            batch_scratch: (0..n).map(|_| KernelScratch::default()).collect(),
+            pool: WorkerPool::new(1),
             work: WorkCounters::default(),
         }
+    }
+
+    /// Replace the batch layout. `batches` must be an exact consecutive
+    /// cover of the local partitions (every partition in exactly one batch,
+    /// local order preserved) — packing may only group, never permute, so
+    /// result slots and serial reductions keep their historical order.
+    pub fn set_batches(&mut self, batches: Vec<std::ops::Range<usize>>) {
+        let mut next = 0usize;
+        for r in &batches {
+            assert!(
+                r.start == next && r.end > r.start,
+                "batches must consecutively cover local partitions: got {:?} at offset {next}",
+                r
+            );
+            next = r.end;
+        }
+        assert_eq!(next, self.parts.len(), "batches must cover every partition");
+        self.batch_scratch = (0..batches.len())
+            .map(|_| KernelScratch::default())
+            .collect();
+        self.batches = batches;
+    }
+
+    /// Resize the intra-rank worker pool to `threads` executors. Bitwise
+    /// result-neutral: the thread schedule never reaches the arithmetic
+    /// (see [`pool`] docs).
+    pub fn set_threads(&mut self, threads: usize) {
+        if self.pool.threads() != threads {
+            self.pool = WorkerPool::new(threads);
+        }
+    }
+
+    /// Intra-rank thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of kernel batches the local partitions are packed into.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
     }
 
     /// The kernel backend this engine runs on.
@@ -460,34 +534,110 @@ impl Engine {
         }
     }
 
+    /// The batched kernel runner every engine entry point goes through.
+    ///
+    /// Runs `f(local, part)` for every local partition, batch by batch:
+    /// each batch is one pool task, its member partitions executed in local
+    /// order with the batch's shared scratch swapped in. Results land in
+    /// per-partition indexed slots and are returned in local order, so the
+    /// output is independent of the thread schedule; callers perform any
+    /// cross-partition floating-point accumulation serially over the
+    /// returned vector. When `trace` is set and tracing is active, per-
+    /// partition kernel timings are buffered in the parallel region and
+    /// emitted serially here (the tracer is single-claimant per rank).
+    fn for_each_part<T, F>(&mut self, trace: Option<exa_obs::RegionKind>, f: F) -> Vec<T>
+    where
+        T: Default + Send,
+        F: Fn(usize, &mut PartitionState) -> T + Sync,
+    {
+        let n = self.parts.len();
+        let per_part = trace.is_some() && exa_obs::tracing_active();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        out.resize_with(n, T::default);
+        let mut tns: Vec<u64> = vec![0; if per_part { n } else { 0 }];
+        {
+            struct BatchView<'a, T> {
+                start: usize,
+                parts: &'a mut [PartitionState],
+                out: &'a mut [T],
+                tns: &'a mut [u64],
+                scratch: &'a mut KernelScratch,
+            }
+            let mut views: Vec<BatchView<'_, T>> = Vec::with_capacity(self.batches.len());
+            let mut parts_rem = self.parts.as_mut_slice();
+            let mut out_rem = out.as_mut_slice();
+            let mut tns_rem = tns.as_mut_slice();
+            let mut scratch_rem = self.batch_scratch.as_mut_slice();
+            for r in &self.batches {
+                let len = r.end - r.start;
+                let (p, rest) = parts_rem.split_at_mut(len);
+                parts_rem = rest;
+                let (o, rest) = out_rem.split_at_mut(len);
+                out_rem = rest;
+                let t: &mut [u64] = if per_part {
+                    let (t, rest) = tns_rem.split_at_mut(len);
+                    tns_rem = rest;
+                    t
+                } else {
+                    &mut []
+                };
+                let (s, rest) = scratch_rem.split_at_mut(1);
+                scratch_rem = rest;
+                views.push(BatchView {
+                    start: r.start,
+                    parts: p,
+                    out: o,
+                    tns: t,
+                    scratch: &mut s[0],
+                });
+            }
+            let slots = TaskSlots::new(views);
+            let f = &f;
+            self.pool.run(self.batches.len(), &|b| {
+                // SAFETY: the pool claims each batch index exactly once.
+                let v = unsafe { slots.slot(b) };
+                for (off, part) in v.parts.iter_mut().enumerate() {
+                    let t0 = (!v.tns.is_empty()).then(std::time::Instant::now);
+                    std::mem::swap(&mut part.scratch, v.scratch);
+                    v.out[off] = f(v.start + off, part);
+                    std::mem::swap(&mut part.scratch, v.scratch);
+                    if let Some(t0) = t0 {
+                        v.tns[off] = t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            });
+        }
+        if let (true, Some(kind)) = (per_part, trace) {
+            for (local, ns) in tns.iter().enumerate() {
+                exa_obs::kernel(kind, self.parts[local].data.global_index as u32, *ns);
+            }
+        }
+        out
+    }
+
     /// Execute a traversal descriptor: recompute the listed CLVs for every
     /// local partition.
     pub fn execute(&mut self, d: &TraversalDescriptor) {
         let _span = exa_obs::region(exa_obs::RegionKind::Newview);
         let started = std::time::Instant::now();
-        let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
         let backend = self.backend;
-        let mut work = 0u64;
-        let mut saved = 0u64;
-        for part in self.parts.iter_mut() {
-            let t0 = per_part.then(std::time::Instant::now);
+        let results = self.for_each_part(Some(exa_obs::RegionKind::Newview), |_, part| {
             let full = (part.data.n_patterns() * part.rates.clv_categories()) as u64;
+            let mut work = 0u64;
+            let mut saved = 0u64;
             for entry in &d.entries {
                 let w = backend.newview_entry(part, n_taxa, entry);
                 work += w;
                 saved += full - w;
             }
-            if let Some(t0) = t0 {
-                exa_obs::kernel(
-                    exa_obs::RegionKind::Newview,
-                    part.data.global_index as u32,
-                    t0.elapsed().as_nanos() as u64,
-                );
-            }
+            (work, saved)
+        });
+        for (work, saved) in results {
+            self.work.clv_updates += work;
+            self.work.clv_saved += saved;
         }
-        self.work.clv_updates += work;
-        self.work.clv_saved += saved;
+        self.work.dispatches += self.batches.len() as u64 * d.entries.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
     }
 
@@ -497,25 +647,17 @@ impl Engine {
     pub fn evaluate(&mut self, d: &TraversalDescriptor) -> Vec<f64> {
         let _span = exa_obs::region(exa_obs::RegionKind::Evaluate);
         let started = std::time::Instant::now();
-        let per_part = exa_obs::tracing_active();
         let n_taxa = self.n_taxa;
         let backend = self.backend;
-        let mut out = Vec::with_capacity(self.parts.len());
-        let mut work = 0u64;
-        for part in self.parts.iter_mut() {
-            let t0 = per_part.then(std::time::Instant::now);
-            let (lnl, w) = backend.evaluate_root(part, n_taxa, d, None);
+        let results = self.for_each_part(Some(exa_obs::RegionKind::Evaluate), |_, part| {
+            backend.evaluate_root(part, n_taxa, d, None)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (lnl, w) in results {
             out.push(lnl);
-            work += w;
-            if let Some(t0) = t0 {
-                exa_obs::kernel(
-                    exa_obs::RegionKind::Evaluate,
-                    part.data.global_index as u32,
-                    t0.elapsed().as_nanos() as u64,
-                );
-            }
+            self.work.eval_patterns += w;
         }
-        self.work.eval_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         out
     }
@@ -534,16 +676,21 @@ impl Engine {
         let started = std::time::Instant::now();
         let n_taxa = self.n_taxa;
         let backend = self.backend;
-        let mut out = Vec::with_capacity(self.parts.len());
-        let mut work = 0u64;
-        let mut terms = Vec::new();
-        for (local, part) in self.parts.iter_mut().enumerate() {
+        let results = self.for_each_part(None, |_, part| {
+            let mut terms = std::mem::take(&mut part.terms_a);
             let (lnl, w) = backend.evaluate_root(part, n_taxa, d, Some(&mut terms));
-            sink(local, &terms);
+            part.terms_a = terms;
+            (lnl, w)
+        });
+        // Sinks stay `FnMut` and run serially in local-partition order, from
+        // the per-partition term buffers filled above.
+        let mut out = Vec::with_capacity(results.len());
+        for (local, (lnl, w)) in results.into_iter().enumerate() {
+            sink(local, &self.parts[local].terms_a);
             out.push(lnl);
-            work += w;
+            self.work.eval_patterns += w;
         }
-        self.work.eval_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         out
     }
@@ -553,9 +700,10 @@ impl Engine {
     pub fn prepare_derivatives(&mut self, d: &TraversalDescriptor) {
         let n_taxa = self.n_taxa;
         let backend = self.backend;
-        for part in self.parts.iter_mut() {
+        self.for_each_part(None, |_, part| {
             backend.make_sumtable(part, n_taxa, d);
-        }
+        });
+        self.work.dispatches += self.batches.len() as u64;
     }
 
     /// First and second log-likelihood derivatives w.r.t. the root-edge
@@ -565,27 +713,19 @@ impl Engine {
     pub fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
         let started = std::time::Instant::now();
-        let per_part = exa_obs::tracing_active();
         let backend = self.backend;
-        let mut d1 = Vec::with_capacity(self.parts.len());
-        let mut d2 = Vec::with_capacity(self.parts.len());
-        let mut work = 0u64;
-        for part in self.parts.iter_mut() {
-            let t0 = per_part.then(std::time::Instant::now);
+        let results = self.for_each_part(Some(exa_obs::RegionKind::CoreDerivative), |_, part| {
             let t = Engine::branch_length(lengths, part.data.global_index);
-            let (a, b, w) = backend.derivatives_from_sumtable(part, t, None);
+            backend.derivatives_from_sumtable(part, t, None)
+        });
+        let mut d1 = Vec::with_capacity(results.len());
+        let mut d2 = Vec::with_capacity(results.len());
+        for (a, b, w) in results {
             d1.push(a);
             d2.push(b);
-            work += w;
-            if let Some(t0) = t0 {
-                exa_obs::kernel(
-                    exa_obs::RegionKind::CoreDerivative,
-                    part.data.global_index as u32,
-                    t0.elapsed().as_nanos() as u64,
-                );
-            }
+            self.work.deriv_patterns += w;
         }
-        self.work.deriv_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (d1, d2)
     }
@@ -602,20 +742,25 @@ impl Engine {
         let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
         let started = std::time::Instant::now();
         let backend = self.backend;
-        let mut d1 = Vec::with_capacity(self.parts.len());
-        let mut d2 = Vec::with_capacity(self.parts.len());
-        let mut work = 0u64;
-        let mut t1 = Vec::new();
-        let mut t2 = Vec::new();
-        for (local, part) in self.parts.iter_mut().enumerate() {
+        let results = self.for_each_part(None, |_, part| {
             let t = Engine::branch_length(lengths, part.data.global_index);
-            let (a, b, w) = backend.derivatives_from_sumtable(part, t, Some((&mut t1, &mut t2)));
-            sink(local, &t1, &t2);
+            let mut t1 = std::mem::take(&mut part.terms_a);
+            let mut t2 = std::mem::take(&mut part.terms_b);
+            let out = backend.derivatives_from_sumtable(part, t, Some((&mut t1, &mut t2)));
+            part.terms_a = t1;
+            part.terms_b = t2;
+            out
+        });
+        let mut d1 = Vec::with_capacity(results.len());
+        let mut d2 = Vec::with_capacity(results.len());
+        for (local, (a, b, w)) in results.into_iter().enumerate() {
+            let part = &self.parts[local];
+            sink(local, &part.terms_a, &part.terms_b);
             d1.push(a);
             d2.push(b);
-            work += w;
+            self.work.deriv_patterns += w;
         }
-        self.work.deriv_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (d1, d2)
     }
@@ -626,16 +771,19 @@ impl Engine {
     pub fn optimize_site_rates(&mut self, d: &TraversalDescriptor) -> (f64, f64) {
         let started = std::time::Instant::now();
         let n_taxa = self.n_taxa;
+        let results = self.for_each_part(None, |_, part| {
+            site_rates::optimize_partition(part, n_taxa, d)
+        });
+        // The num/den accumulation order is observable in the f64 bits:
+        // sum serially in local-partition order, exactly as before.
         let mut num = 0.0;
         let mut den = 0.0;
-        let mut work = 0u64;
-        for part in self.parts.iter_mut() {
-            let (n, dn, w) = site_rates::optimize_partition(part, n_taxa, d);
+        for (n, dn, w) in results {
             num += n;
             den += dn;
-            work += w;
+            self.work.site_rate_patterns += w;
         }
-        self.work.site_rate_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (num, den)
     }
@@ -653,13 +801,18 @@ impl Engine {
     ) -> (f64, f64) {
         let started = std::time::Instant::now();
         let n_taxa = self.n_taxa;
+        let results = self.for_each_part(None, |_, part| {
+            site_rates::optimize_partition(part, n_taxa, d)
+        });
+        // Terms are reconstructed serially from the optimized rates left in
+        // `psr_scratch`, so the kernel path is identical to the plain
+        // variant and the sink sees local-partition order.
         let mut num = 0.0;
         let mut den = 0.0;
-        let mut work = 0u64;
         let mut num_terms = Vec::new();
         let mut den_terms = Vec::new();
-        for (local, part) in self.parts.iter_mut().enumerate() {
-            let (n, dn, w) = site_rates::optimize_partition(part, n_taxa, d);
+        for (local, (n, dn, w)) in results.into_iter().enumerate() {
+            let part = &self.parts[local];
             num_terms.clear();
             den_terms.clear();
             if matches!(part.rates, RateHeterogeneity::Psr { .. }) {
@@ -671,9 +824,9 @@ impl Engine {
             sink(local, &num_terms, &den_terms);
             num += n;
             den += dn;
-            work += w;
+            self.work.site_rate_patterns += w;
         }
-        self.work.site_rate_patterns += work;
+        self.work.dispatches += self.batches.len() as u64;
         self.work.kernel_ns += started.elapsed().as_nanos() as u64;
         (num, den)
     }

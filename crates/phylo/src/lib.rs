@@ -28,7 +28,7 @@ pub mod tree;
 
 pub use engine::{
     simd_available, Engine, KernelChoice, KernelKind, PartitionSlice, RepeatsChoice, SiteRepeats,
-    WorkCounters,
+    ThreadCount, ThreadsChoice, WorkCounters,
 };
 pub use model::{GtrModel, RateHeterogeneity, RateModelKind};
 pub use tree::{EdgeId, NodeId, Tree};

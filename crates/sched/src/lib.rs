@@ -237,18 +237,93 @@ impl SharedSlices {
     }
 }
 
-/// Build a rank's likelihood engine from its distribution assignment, on
-/// the given kernel backend and site-repeats setting. This is the one place
-/// a data distribution becomes an [`Engine`](exa_phylo::Engine), shared by
-/// every execution scheme. When `shared` is given, full-partition shares
-/// reuse its `Arc`-backed buffers instead of cloning them.
+/// Everything [`build_engine`] needs beyond the data distribution itself:
+/// the rate model plus the negotiated backend knobs (kernel, site repeats,
+/// intra-rank threads, batching).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSpec {
+    pub rate_model: exa_phylo::RateModelKind,
+    pub kernel: exa_phylo::KernelKind,
+    pub site_repeats: exa_phylo::SiteRepeats,
+    /// Intra-rank worker-pool width (1 = serial, the historical behavior).
+    pub threads: usize,
+    /// Pack small partitions into cache-sized kernel batches. Off = one
+    /// dispatch per partition.
+    pub batch: bool,
+}
+
+impl EngineSpec {
+    /// A spec with the historical defaults: serial execution, batching on.
+    pub fn new(
+        rate_model: exa_phylo::RateModelKind,
+        kernel: exa_phylo::KernelKind,
+        site_repeats: exa_phylo::SiteRepeats,
+    ) -> EngineSpec {
+        EngineSpec {
+            rate_model,
+            kernel,
+            site_repeats,
+            threads: 1,
+            batch: true,
+        }
+    }
+
+    /// CLV rate categories per pattern under this spec's rate model (the
+    /// unit `pack_batches` footprints are measured in).
+    pub fn clv_categories(&self) -> usize {
+        match self.rate_model {
+            exa_phylo::RateModelKind::Gamma => exa_phylo::model::rates::GAMMA_CATEGORIES,
+            exa_phylo::RateModelKind::Psr => 1,
+        }
+    }
+}
+
+/// CLV footprint budget per kernel batch: the working set of one batch
+/// (CLV columns + P-matrix scratch for each member) should stay L2-resident,
+/// so a batch's partitions reuse hot scratch instead of evicting each other.
+pub const BATCH_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Pack consecutive local partitions into cache-sized batches: greedy fill
+/// against `budget_bytes` of per-pattern CLV footprint
+/// (`patterns × categories × 4 states × 8 bytes`). The result is an exact
+/// consecutive cover of `0..slice_patterns.len()` — packing only groups,
+/// never reorders or splits, so it is a pure function of the slice
+/// assignment and every rank can derive it independently. Oversized
+/// partitions get a singleton batch.
+pub fn pack_batches(
+    slice_patterns: &[usize],
+    clv_categories: usize,
+    budget_bytes: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut fill = 0usize;
+    for (i, &patterns) in slice_patterns.iter().enumerate() {
+        let footprint = patterns * clv_categories * 4 * 8;
+        if i > start && fill + footprint > budget_bytes {
+            out.push(start..i);
+            start = i;
+            fill = 0;
+        }
+        fill += footprint;
+    }
+    if start < slice_patterns.len() {
+        out.push(start..slice_patterns.len());
+    }
+    out
+}
+
+/// Build a rank's likelihood engine from its distribution assignment and an
+/// [`EngineSpec`]. This is the one place a data distribution becomes an
+/// [`Engine`](exa_phylo::Engine), shared by every execution scheme — and
+/// therefore the one place the partition-packing pass runs. When `shared`
+/// is given, full-partition shares reuse its `Arc`-backed buffers instead
+/// of cloning them.
 pub fn build_engine(
     aln: &CompressedAlignment,
     assignment: &RankAssignment,
     freqs: &[[f64; 4]],
-    rate_model: exa_phylo::RateModelKind,
-    kernel: exa_phylo::KernelKind,
-    site_repeats: exa_phylo::SiteRepeats,
+    spec: &EngineSpec,
     shared: Option<&SharedSlices>,
 ) -> exa_phylo::Engine {
     let slices: Vec<exa_phylo::PartitionSlice> = assignment
@@ -268,7 +343,24 @@ pub fn build_engine(
             }
         })
         .collect();
-    exa_phylo::Engine::with_config(aln.n_taxa(), slices, rate_model, 1.0, kernel, site_repeats)
+    let patterns: Vec<usize> = slices.iter().map(|s| s.n_patterns()).collect();
+    let mut engine = exa_phylo::Engine::with_config(
+        aln.n_taxa(),
+        slices,
+        spec.rate_model,
+        1.0,
+        spec.kernel,
+        spec.site_repeats,
+    );
+    engine.set_threads(spec.threads);
+    if spec.batch {
+        engine.set_batches(pack_batches(
+            &patterns,
+            spec.clv_categories(),
+            BATCH_BUDGET_BYTES,
+        ));
+    }
+    engine
 }
 
 /// The global pattern indices of one share, in the local-engine pattern
@@ -586,9 +678,11 @@ mod tests {
                     &aln,
                     asg,
                     &freqs,
-                    exa_phylo::RateModelKind::Gamma,
-                    exa_phylo::KernelKind::Scalar,
-                    exa_phylo::SiteRepeats::Off,
+                    &EngineSpec::new(
+                        exa_phylo::RateModelKind::Gamma,
+                        exa_phylo::KernelKind::Scalar,
+                        exa_phylo::SiteRepeats::Off,
+                    ),
                     Some(&shared),
                 )
             })
@@ -624,9 +718,11 @@ mod tests {
             aln,
             assignment,
             &freqs,
-            exa_phylo::RateModelKind::Psr,
-            exa_phylo::KernelKind::Scalar,
-            exa_phylo::SiteRepeats::Off,
+            &EngineSpec::new(
+                exa_phylo::RateModelKind::Psr,
+                exa_phylo::KernelKind::Scalar,
+                exa_phylo::SiteRepeats::Off,
+            ),
             None,
         )
     }
@@ -683,11 +779,98 @@ mod tests {
             &aln,
             &a[0],
             &freqs,
-            exa_phylo::RateModelKind::Gamma,
-            exa_phylo::KernelKind::Scalar,
-            exa_phylo::SiteRepeats::Off,
+            &EngineSpec::new(
+                exa_phylo::RateModelKind::Gamma,
+                exa_phylo::KernelKind::Scalar,
+                exa_phylo::SiteRepeats::Off,
+            ),
             None,
         );
         assert!(capture_site_rates(&e, &a[0], &aln).is_empty());
+    }
+
+    #[test]
+    fn pack_batches_groups_small_and_isolates_large() {
+        // 250-pattern Γ partitions footprint 32 KiB each → 8 per 256 KiB.
+        let small = vec![250usize; 20];
+        let b = pack_batches(&small, 4, BATCH_BUDGET_BYTES);
+        assert_eq!(b, vec![0..8, 8..16, 16..20]);
+        // An oversized partition gets its own batch without stalling packing.
+        let mixed = [100usize, 50_000, 100, 100];
+        let b = pack_batches(&mixed, 4, BATCH_BUDGET_BYTES);
+        assert_eq!(b, vec![0..1, 1..2, 2..4]);
+        assert!(pack_batches(&[], 4, BATCH_BUDGET_BYTES).is_empty());
+    }
+
+    #[test]
+    fn build_engine_packs_batches_deterministically_from_the_assignment() {
+        let aln = test_alignment(&[40, 40, 40, 40]);
+        let a = distribute(&aln, 1, Strategy::MonolithicLpt);
+        let freqs = vec![[0.25; 4]; aln.partitions.len()];
+        let spec = EngineSpec::new(
+            exa_phylo::RateModelKind::Gamma,
+            exa_phylo::KernelKind::Scalar,
+            exa_phylo::SiteRepeats::Off,
+        );
+        let e1 = build_engine(&aln, &a[0], &freqs, &spec, None);
+        let e2 = build_engine(&aln, &a[0], &freqs, &spec, None);
+        assert_eq!(e1.batch_count(), e2.batch_count());
+        // 40 patterns × 4 cats × 32 B = 5120 B → all four fit one batch.
+        assert_eq!(e1.batch_count(), 1);
+        let unbatched = build_engine(
+            &aln,
+            &a[0],
+            &freqs,
+            &EngineSpec {
+                batch: false,
+                ..spec
+            },
+            None,
+        );
+        assert_eq!(unbatched.batch_count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod pack_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Packing is a permutation-free exact cover: every partition index
+        /// appears in exactly one batch, batches are consecutive and in
+        /// order, and the per-partition pattern slices are untouched (the
+        /// input is never reordered). Also deterministic across calls.
+        #[test]
+        fn packing_is_a_permutation_free_exact_cover(
+            patterns in prop::collection::vec(0usize..4000, 0..80),
+            cats in prop::sample::select(vec![1usize, 4]),
+            budget in 1usize..(1 << 20),
+        ) {
+            let batches = pack_batches(&patterns, cats, budget);
+            // Exact consecutive cover in input order.
+            let mut next = 0usize;
+            for r in &batches {
+                prop_assert_eq!(r.start, next);
+                prop_assert!(r.end > r.start);
+                next = r.end;
+            }
+            prop_assert_eq!(next, patterns.len());
+            // Deterministic.
+            prop_assert_eq!(batches.clone(), pack_batches(&patterns, cats, budget));
+            // Budget respected except for unavoidable singletons.
+            for r in &batches {
+                let fill: usize = patterns[r.start..r.end]
+                    .iter()
+                    .map(|&p| p * cats * 4 * 8)
+                    .sum();
+                prop_assert!(
+                    fill <= budget || r.end - r.start == 1,
+                    "over-budget multi-partition batch {:?}", r
+                );
+            }
+        }
     }
 }

@@ -195,22 +195,27 @@ pub trait Evaluator {
 
 /// The canonical [`Evaluator::backend_fingerprint`] digest for an engine's
 /// compute configuration: FNV-1a over the kernel label, the site-repeats
-/// setting and the reduction-mode label. All engine-backed evaluators use
-/// this so that identical backends hash identically across schemes — and a
-/// rank that silently resolved a different repeats setting or reduction
-/// mode (the latter would change the bits of every collective sum) trips
-/// the sentinel like a kernel mismatch does, at the first fingerprint sync.
+/// setting, the reduction-mode label and the intra-rank thread count. All
+/// engine-backed evaluators use this so that identical backends hash
+/// identically across schemes — and a rank that silently resolved a
+/// different repeats setting, reduction mode (which would change the bits
+/// of every collective sum) or thread count (result-neutral, but a
+/// heterogeneous world breaks the hybrid execution model's uniformity
+/// contract) trips the sentinel like a kernel mismatch does, at the first
+/// fingerprint sync.
 pub fn kernel_fingerprint(
     kind: exa_phylo::KernelKind,
     repeats: exa_phylo::SiteRepeats,
     reduce: &str,
+    threads: usize,
 ) -> u64 {
     exa_obs::fnv1a(
         format!(
-            "{}+repeats:{}+reduce:{}",
+            "{}+repeats:{}+reduce:{}+threads:{}",
             kind.label(),
             repeats.label(),
-            reduce
+            reduce,
+            threads
         )
         .as_bytes(),
     )
@@ -429,6 +434,7 @@ impl Evaluator for SequentialEvaluator {
             self.engine.kernel_kind(),
             self.engine.site_repeats(),
             "fast",
+            self.engine.threads(),
         )
     }
 }

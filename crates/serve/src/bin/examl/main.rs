@@ -48,6 +48,14 @@ options:\n\
                          auto (reproducible sums are bitwise invariant to\n\
                          rank count and summation order; default fast,\n\
                          also via EXAML_REDUCE)\n\
+  --threads N|auto       intra-rank worker threads per rank executing\n\
+                         kernel batches task-parallel (bitwise invisible:\n\
+                         the lnL trajectory is identical at any count;\n\
+                         default auto, negotiated to the world minimum,\n\
+                         also via EXAML_THREADS)\n\
+  --batch on|off         pack small partitions into cache-sized kernel\n\
+                         batches (default on; off = one dispatch per\n\
+                         partition)\n\
   --resize-at ITER:WIDTH[,ITER:WIDTH...]\n\
                          shrink/grow the active rank pool to WIDTH at the\n\
                          start of iteration ITER (de-centralized scheme;\n\
@@ -88,6 +96,10 @@ options:\n\
                          overriding the negotiated one — a scripted\n\
                          mixed-mode world the sentinel catches at its first\n\
                          fingerprint sync (fault-injection testing)\n\
+  --threads-override N[,N...]\n\
+                         force per-rank thread counts (cycled over ranks),\n\
+                         bypassing negotiation; a mixed table trips the\n\
+                         sentinel via the backend fingerprint\n\
   --ascii                also print an ASCII cladogram\n\
   --stats                print alignment statistics and memory estimates, then exit\n\
   --quiet                suppress progress output\n\
@@ -232,6 +244,8 @@ fn main() -> ExitCode {
         .kernel(args.kernel)
         .site_repeats(args.site_repeats)
         .reduce(args.reduce)
+        .threads(args.threads)
+        .batch(args.batch)
         .verify_replicas(args.verify_replicas);
     if !args.resize_at.is_empty() && matches!(args.reduce, ReduceChoice::Fast) {
         eprintln!(
@@ -267,6 +281,9 @@ fn main() -> ExitCode {
     }
     if let Some(table) = args.reduce_override.clone() {
         run = run.reduce_override(table);
+    }
+    if let Some(table) = args.threads_override.clone() {
+        run = run.threads_override(table);
     }
     if let Some(path) = &args.health_out {
         run = run.health_out(path);

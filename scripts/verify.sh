@@ -39,6 +39,10 @@ grep -q '^exa_runs_completed_total{scheme="decentralized"} [1-9]' "$tmp/metrics.
   || { echo "metrics dump missing completed-run counter"; cat "$tmp/metrics.prom"; exit 1; }
 grep -q '^exa_collectives_total [1-9]' "$tmp/metrics.prom" \
   || { echo "metrics dump missing collective counter"; cat "$tmp/metrics.prom"; exit 1; }
+grep -q '^exa_batches_total [1-9]' "$tmp/metrics.prom" \
+  || { echo "metrics dump missing packed-batch counter"; cat "$tmp/metrics.prom"; exit 1; }
+grep -q '^exa_batch_fill_ratio ' "$tmp/metrics.prom" \
+  || { echo "metrics dump missing batch fill ratio"; cat "$tmp/metrics.prom"; exit 1; }
 grep -q '^# TYPE exa_collective_wait_ns_total counter' "$tmp/metrics.prom" \
   || { echo "metrics dump missing TYPE metadata"; exit 1; }
 # Every heartbeat line must parse as JSON, report a verified-ok run, carry
@@ -100,6 +104,32 @@ set -e
 grep -q 'replica divergence at collective #1' "$tmp/mixed.err" \
   || { echo "sentinel did not trip at the first sync:"; cat "$tmp/mixed.err"; exit 1; }
 echo "reduce: trajectories bitwise-equal at 1/2/4 ranks and across a 2->4->1 resize; mixed world tripped at sync #1"
+
+echo "==> intra-rank worker pool (--threads negotiation, bitwise identity, batch guard)"
+# The worker pool and the packing pass are dispatch-structure changes only:
+# a 2-thread run and an unbatched run must both reproduce the serial
+# trajectory bit for bit, and the negotiated width must surface in the
+# health stream.
+for t in 1 2; do
+  cargo run -q --release -p exa-serve --bin examl -- \
+    --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 --seed 7 \
+    --threads "$t" --health-out "$tmp/threads_$t.jsonl" --quiet >/dev/null
+  traj "$tmp/threads_$t.jsonl" >"$tmp/threads_traj_$t.txt"
+  tail -n 1 "$tmp/threads_$t.jsonl" | jq -e ".threads == $t" >/dev/null \
+    || { echo "health does not report the negotiated thread count ($t)"; tail -n 1 "$tmp/threads_$t.jsonl"; exit 1; }
+done
+cmp -s "$tmp/threads_traj_1.txt" "$tmp/threads_traj_2.txt" \
+  || { echo "lnL trajectory differs between --threads 1 and 2"; diff "$tmp/threads_traj_1.txt" "$tmp/threads_traj_2.txt"; exit 1; }
+cargo run -q --release -p exa-serve --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 --seed 7 \
+  --threads 2 --batch off --health-out "$tmp/threads_nb.jsonl" --quiet >/dev/null
+traj "$tmp/threads_nb.jsonl" >"$tmp/threads_traj_nb.txt"
+cmp -s "$tmp/threads_traj_1.txt" "$tmp/threads_traj_nb.txt" \
+  || { echo "--batch off shifted the lnL trajectory"; diff "$tmp/threads_traj_1.txt" "$tmp/threads_traj_nb.txt"; exit 1; }
+# Fused 1000-partition throughput must clear 1.5x the unbatched baseline
+# on the modeled cluster (exits non-zero below the bar).
+cargo run -q --release -p examl-bench --bin batch -- --guard >/dev/null
+echo "threads: trajectories bitwise-equal at --threads 1/2 and --batch on/off; fused guard cleared"
 
 echo "==> examl checkpoint smoke (atomic generations + heartbeat fields)"
 cargo run -q --release -p exa-serve --bin examl -- \
