@@ -1,0 +1,180 @@
+//! **Gradient-BLO guard** — one-pass analytic full-tree branch gradients vs
+//! the classic per-edge seed loop, on a 64-taxon run (125 edges).
+//!
+//! ```text
+//! cargo run -p examl-bench --release --bin gradient -- \
+//!     [--taxa 64] [--partitions 4] [--chunk 150] [--ranks 4] [--guard]
+//! ```
+//!
+//! Both runs execute for real (in-process ranks, reproducible reductions)
+//! and must produce bitwise identical lnL — `--gradient` changes how each
+//! smoothing round's all-edge derivative vector is *reduced* (one fat
+//! collective vs one per edge), never its bits. The comparison counts the
+//! collectives spent inside branch-length smoothing via the metrics
+//! registry (`exa_blo_collectives_total` / `exa_gradient_sweeps_total`):
+//! because the two trajectories are bitwise identical, both runs execute
+//! the same Newton rounds, so the per-round (= per-pass) collective ratio
+//! equals the run-total ratio. With `--guard`, exits non-zero if the drop
+//! is below 10x.
+
+use exa_comm::ReduceChoice;
+use exa_phylo::engine::GradientChoice;
+use exa_phylo::model::rates::RateModelKind;
+use exa_search::evaluator::BranchMode;
+use exa_search::SearchConfig;
+use exa_simgen::workloads;
+use examl_bench::{write_json, write_markdown, MeasuredRun};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GradientReport {
+    taxa: usize,
+    edges: usize,
+    gradient_on: MeasuredRun,
+    gradient_off: MeasuredRun,
+    newton_rounds: u64,
+    blo_collectives_on: u64,
+    blo_collectives_off: u64,
+    collectives_per_round_on: f64,
+    collectives_per_round_off: f64,
+    collective_drop: f64,
+    lnl_bitwise_identical: bool,
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Run once and return the measurement plus the BLO collectives this run
+/// added to the (monotonic, process-global) registry counter.
+fn run_once(
+    w: &workloads::Workload,
+    ranks: usize,
+    search: &SearchConfig,
+    gradient: GradientChoice,
+) -> (MeasuredRun, u64, u64) {
+    let reg = exa_obs::metrics::global();
+    let blo = reg.counter("exa_blo_collectives_total", "", &[]);
+    let sweeps = reg.counter("exa_gradient_sweeps_total", "", &[]);
+    let (blo0, sweeps0) = (blo.get(), sweeps.get());
+    let mut cfg = examl_core::RunConfig::new(ranks);
+    cfg.rate_model = RateModelKind::Gamma;
+    cfg.branch_mode = BranchMode::Joint;
+    cfg.search = search.clone();
+    cfg.seed = 5;
+    cfg.reduce = ReduceChoice::Reproducible;
+    cfg.gradient = gradient;
+    let t0 = std::time::Instant::now();
+    let out = cfg.run(&w.compressed).unwrap();
+    let run = MeasuredRun::new(
+        out.result.lnl,
+        out.result.iterations,
+        &out.comm_stats,
+        &out.work,
+        out.mem_bytes,
+        t0.elapsed().as_secs_f64(),
+    );
+    (run, blo.get() - blo0, sweeps.get() - sweeps0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let taxa: usize = arg_value(&args, "--taxa")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let partitions: usize = arg_value(&args, "--partitions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let chunk: usize = arg_value(&args, "--chunk")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let ranks: usize = arg_value(&args, "--ranks")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let guard = args.iter().any(|a| a == "--guard");
+
+    exa_obs::metrics::global().set_enabled(true);
+    let search = SearchConfig {
+        max_iterations: 3,
+        epsilon: 0.05,
+        spr_radius: 3,
+        smoothing_passes: 1,
+        optimize_model: true,
+        model_tol: 1e-2,
+    };
+    eprintln!("generating {taxa}-taxon workload ({partitions} x {chunk} bp)...");
+    let w = workloads::partitioned(taxa, partitions, chunk, 7);
+    let edges = 2 * taxa - 3;
+
+    eprintln!("  --gradient off (per-edge seed collectives) ...");
+    let (off, blo_off, sweeps_off) = run_once(&w, ranks, &search, GradientChoice::Off);
+    eprintln!("  --gradient on (one-pass full-tree sweep) ...");
+    let (on, blo_on, sweeps_on) = run_once(&w, ranks, &search, GradientChoice::On);
+
+    let identical = on.lnl.to_bits() == off.lnl.to_bits();
+    assert!(
+        identical,
+        "gradient mode changed the likelihood: {} vs {}",
+        on.lnl, off.lnl
+    );
+    assert_eq!(
+        sweeps_off, 0,
+        "the per-edge route must not tick the sweep counter"
+    );
+    assert!(sweeps_on > 0, "the sweep route must tick the sweep counter");
+
+    // Bitwise-identical trajectories execute identical Newton rounds, so
+    // the sweep counter of the `on` run names the shared denominator.
+    let rounds = sweeps_on;
+    let per_round_on = blo_on as f64 / rounds as f64;
+    let per_round_off = blo_off as f64 / rounds as f64;
+    let drop = per_round_off / per_round_on;
+
+    let mut md = String::new();
+    md.push_str("# Gradient-BLO guard: one-pass sweep vs per-edge seeds\n\n");
+    md.push_str(&format!(
+        "{taxa} taxa ({edges} edges), {partitions} partitions, GAMMA, joint \
+         branch lengths, {ranks} ranks, reproducible reductions. Collectives \
+         counted inside branch-length smoothing only; both trajectories are \
+         bitwise identical, so their Newton rounds coincide and the \
+         per-round ratio equals the run-total ratio.\n\n",
+    ));
+    md.push_str("| variant | BLO collectives | per round | rounds | lnL |\n");
+    md.push_str("|---|---|---|---|---|\n");
+    md.push_str(&format!(
+        "| gradient on | {blo_on} | {per_round_on:.1} | {rounds} | {:.6} |\n",
+        on.lnl
+    ));
+    md.push_str(&format!(
+        "| gradient off | {blo_off} | {per_round_off:.1} | {rounds} | {:.6} |\n",
+        off.lnl
+    ));
+    md.push_str(&format!(
+        "\nCollective drop per smoothing round: **{drop:.1}x** (guard \
+         threshold 10x). Likelihoods are bitwise identical.\n",
+    ));
+    println!("{md}");
+
+    let report = GradientReport {
+        taxa,
+        edges,
+        gradient_on: on,
+        gradient_off: off,
+        newton_rounds: rounds,
+        blo_collectives_on: blo_on,
+        blo_collectives_off: blo_off,
+        collectives_per_round_on: per_round_on,
+        collectives_per_round_off: per_round_off,
+        collective_drop: drop,
+        lnl_bitwise_identical: identical,
+    };
+    write_markdown("gradient", &md);
+    write_json("gradient", &report);
+
+    if guard && drop < 10.0 {
+        eprintln!("GUARD FAILED: per-round collective drop {drop:.1}x < 10x");
+        std::process::exit(1);
+    }
+}

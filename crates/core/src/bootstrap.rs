@@ -228,6 +228,7 @@ pub(crate) fn bootstrap_impl(
                 site_repeats: local_site_repeats(cfg.base.site_repeats),
                 reduce: local_reduce(cfg.base.reduce),
                 threads: cfg.base.threads.resolve_local().get(),
+                gradient: cfg.base.gradient.resolve_local(),
                 checkpoints: 0,
             };
             let counts: HashMap<Vec<usize>, usize> = progress
@@ -312,6 +313,7 @@ pub(crate) fn bootstrap_impl(
                 payload_len: 0,
                 payload_fingerprint: 0,
                 reduce_mode: Some(best.reduce.label().into()),
+                gradient: Some(best.gradient.label().into()),
             };
             let ckpt = Checkpoint::build(
                 header,

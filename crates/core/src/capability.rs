@@ -1,9 +1,9 @@
 //! Unified capability negotiation.
 //!
-//! Four per-rank compute settings must be uniform across a world before
+//! Five per-rank compute settings must be uniform across a world before
 //! any engine is built: the likelihood-kernel backend, the subtree-repeat
-//! compression setting, the collective reduction mode, and the intra-rank
-//! thread count. Each is a small
+//! compression setting, the collective reduction mode, the intra-rank
+//! thread count, and the gradient-driven BLO mode. Each is a small
 //! totally-ordered capability (a higher level is a superset of a lower
 //! one), so heterogeneous worlds agree by everyone adopting the minimum
 //! advertised level — the same protocol MPI codes use for feature
@@ -20,7 +20,8 @@
 
 use exa_comm::{CommCategory, Rank, ReduceChoice, ReduceKind};
 use exa_phylo::engine::{
-    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice,
+    GradientChoice, GradientMode, KernelChoice, KernelKind, RepeatsChoice, SiteRepeats,
+    ThreadCount, ThreadsChoice,
 };
 
 /// A negotiable compute capability: a value with a stable label and a
@@ -82,6 +83,18 @@ impl Capability for ThreadCount {
     }
 }
 
+impl Capability for GradientMode {
+    fn label(self) -> &'static str {
+        GradientMode::label(&self)
+    }
+    fn level(self) -> u8 {
+        self.capability_level()
+    }
+    fn from_level(level: u8) -> Self {
+        GradientMode::from_capability_level(level)
+    }
+}
+
 /// How one rank enters the exchange for one capability slot.
 #[derive(Debug, Clone, Copy)]
 pub enum Request<T: Capability> {
@@ -123,13 +136,14 @@ pub struct Negotiated<T> {
     pub negotiated: bool,
 }
 
-/// All four capability requests of one rank, in wire-slot order.
+/// All five capability requests of one rank, in wire-slot order.
 #[derive(Debug, Clone, Copy)]
 pub struct CapabilityRequests {
     pub kernel: Request<KernelKind>,
     pub site_repeats: Request<SiteRepeats>,
     pub reduce: Request<ReduceKind>,
     pub threads: Request<ThreadCount>,
+    pub gradient: Request<GradientMode>,
 }
 
 /// The negotiated compute configuration of one rank.
@@ -139,6 +153,7 @@ pub struct Caps {
     pub site_repeats: Negotiated<SiteRepeats>,
     pub reduce: Negotiated<ReduceKind>,
     pub threads: Negotiated<ThreadCount>,
+    pub gradient: Negotiated<GradientMode>,
 }
 
 /// Build the kernel-slot request from a choice plus an optional per-rank
@@ -216,7 +231,27 @@ pub fn threads_request(
     }
 }
 
-/// Run the one-time packed capability exchange: a single 4-byte `Control`
+/// Build the gradient-slot request, same protocol as [`kernel_request`].
+/// `on`/`off` force; `auto` negotiates (advertising `on` — the sweep is pure
+/// software, so a world of auto ranks resolves to the gradient pass).
+pub fn gradient_request(
+    rank_id: usize,
+    choice: GradientChoice,
+    override_table: Option<&[GradientMode]>,
+) -> Request<GradientMode> {
+    if let Some(table) = override_table {
+        return Request::Forced(table[rank_id % table.len().max(1)]);
+    }
+    match choice {
+        GradientChoice::On => Request::Forced(GradientMode::On),
+        GradientChoice::Off => Request::Forced(GradientMode::Off),
+        GradientChoice::Auto => Request::Negotiate {
+            advertise: choice.capability_level(),
+        },
+    }
+}
+
+/// Run the one-time packed capability exchange: a single 5-byte `Control`
 /// allgather, min per slot over every rank that contributed (a failed rank
 /// leaves an empty slot, which the survivors skip — they still agree
 /// because they all saw the same gather).
@@ -226,6 +261,7 @@ pub fn negotiate(rank: &Rank, req: &CapabilityRequests) -> Caps {
         req.site_repeats.advertised(),
         req.reduce.advertised(),
         req.threads.advertised(),
+        req.gradient.advertised(),
     ];
     let n_slots = packet.len();
     let gathered = rank
@@ -244,6 +280,7 @@ pub fn negotiate(rank: &Rank, req: &CapabilityRequests) -> Caps {
         site_repeats: req.site_repeats.resolve(min_of(1)),
         reduce: req.reduce.resolve(min_of(2)),
         threads: req.threads.resolve(min_of(3)),
+        gradient: req.gradient.resolve(min_of(4)),
     }
 }
 
@@ -257,6 +294,7 @@ pub fn resolve_local(req: &CapabilityRequests) -> Caps {
         site_repeats: req.site_repeats.resolve(req.site_repeats.advertised()),
         reduce: req.reduce.resolve(req.reduce.advertised()),
         threads: req.threads.resolve(req.threads.advertised()),
+        gradient: req.gradient.resolve(req.gradient.advertised()),
     }
 }
 
@@ -271,6 +309,7 @@ mod tests {
             site_repeats: repeats_request(rank_id, RepeatsChoice::Auto, None),
             reduce: reduce_request(rank_id, ReduceChoice::Auto, None),
             threads: threads_request(rank_id, ThreadsChoice::Auto, None),
+            gradient: gradient_request(rank_id, GradientChoice::Auto, None),
         }
     }
 
@@ -288,6 +327,8 @@ mod tests {
             assert!(c.reduce.negotiated);
             assert_eq!(c.threads.value.get(), 1, "auto threads resolve serial");
             assert!(c.threads.negotiated);
+            assert_eq!(c.gradient.value, GradientMode::On, "auto gradient is on");
+            assert!(c.gradient.negotiated);
         }
     }
 
@@ -308,6 +349,7 @@ mod tests {
                 site_repeats: repeats_request(rank.id(), RepeatsChoice::On, None),
                 reduce: reduce_request(rank.id(), ReduceChoice::Fast, None),
                 threads: threads_request(rank.id(), ThreadsChoice::Auto, None),
+                gradient: gradient_request(rank.id(), GradientChoice::Auto, None),
             };
             negotiate(&rank, &req)
         });
@@ -339,6 +381,11 @@ mod tests {
                     Some(&[ReduceKind::Fast, ReduceKind::Reproducible]),
                 ),
                 threads: threads_request(rank.id(), ThreadsChoice::Auto, None),
+                gradient: gradient_request(
+                    rank.id(),
+                    GradientChoice::Auto,
+                    Some(&[GradientMode::On, GradientMode::Off]),
+                ),
             };
             negotiate(&rank, &req)
         });
@@ -346,6 +393,9 @@ mod tests {
         assert_eq!(caps[1].kernel.value, KernelKind::Scalar);
         assert_eq!(caps[0].reduce.value, ReduceKind::Fast);
         assert_eq!(caps[1].reduce.value, ReduceKind::Reproducible);
+        // Forced (override-table) gradient slots likewise keep their value.
+        assert_eq!(caps[0].gradient.value, GradientMode::On);
+        assert_eq!(caps[1].gradient.value, GradientMode::Off);
     }
 
     #[test]
@@ -360,6 +410,7 @@ mod tests {
                 threads: Request::Negotiate {
                     advertise: ThreadCount::new([8, 2, 4][rank.id()]).capability_level(),
                 },
+                gradient: gradient_request(rank.id(), GradientChoice::Off, None),
             };
             negotiate(&rank, &req)
         });

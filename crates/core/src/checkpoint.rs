@@ -95,6 +95,11 @@ pub struct CheckpointHeader {
     /// lnL trajectory is a function of the rank count, so resuming it on a
     /// different count is a silent fork, not a continuation.
     pub reduce_mode: Option<String>,
+    /// Gradient-BLO mode label (`"on"`/`"off"`) at write time. `None` on
+    /// checkpoints written before gradient BLO existed. Elastic: gradient
+    /// seeding is bitwise result-neutral, so a run may resume under a
+    /// different mode and continue the same trajectory.
+    pub gradient: Option<String>,
 }
 
 /// Bootstrap progress folded into checkpoints written between replicates,
@@ -551,6 +556,7 @@ mod tests {
             payload_len: 0,
             payload_fingerprint: 0,
             reduce_mode: Some("fast".into()),
+            gradient: Some("on".into()),
         }
     }
 

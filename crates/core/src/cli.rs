@@ -11,7 +11,9 @@
 
 use crate::sentinel::{DivergenceFault, FaultComponent};
 use exa_comm::{ReduceChoice, ReduceKind};
-use exa_phylo::engine::{KernelChoice, RepeatsChoice, ThreadCount, ThreadsChoice};
+use exa_phylo::engine::{
+    GradientChoice, GradientMode, KernelChoice, RepeatsChoice, ThreadCount, ThreadsChoice,
+};
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::KillSpec;
 use std::path::PathBuf;
@@ -30,6 +32,7 @@ pub const FLAGS: &[&str] = &[
     "--site-repeats",
     "--reduce",
     "--threads",
+    "--gradient",
     "--batch",
     "--resize-at",
     "-Q",
@@ -54,6 +57,7 @@ pub const FLAGS: &[&str] = &[
     "--inject-divergence",
     "--reduce-override",
     "--threads-override",
+    "--gradient-override",
     "--ascii",
     "--stats",
     "--quiet",
@@ -80,6 +84,12 @@ pub struct CliConfig {
     /// minimum; resolves to 1 in the in-process world, where the ranks
     /// already multiplex one machine).
     pub threads: ThreadsChoice,
+    /// Gradient-driven branch-length optimization: `on` computes every
+    /// edge's analytic first/second lnL derivative in one full-tree sweep
+    /// (one collective per smoothing pass), `off` seeds each edge with its
+    /// own reduction, `auto` negotiates (resolves to `on` when all ranks
+    /// can). Bitwise result-neutral either way.
+    pub gradient: GradientChoice,
     /// Pack small partitions into cache-sized kernel batches (`on`, the
     /// default) or run one dispatch per partition (`off`).
     pub batch: bool,
@@ -123,6 +133,11 @@ pub struct CliConfig {
     /// invisible, but a mixed table still trips the sentinel via the
     /// backend fingerprint — the uniform-capability invariant holds.
     pub threads_override: Option<Vec<ThreadCount>>,
+    /// Fault injection: per-rank gradient modes overriding the negotiated
+    /// one, `on|off[,on|off...]` cycled over the ranks. A mixed table
+    /// desynchronizes the collective sequence — the sentinel must catch it
+    /// at its first fingerprint sync.
+    pub gradient_override: Option<Vec<GradientMode>>,
 }
 
 impl Default for CliConfig {
@@ -139,6 +154,7 @@ impl Default for CliConfig {
             site_repeats: RepeatsChoice::from_env(),
             reduce: ReduceChoice::from_env(),
             threads: ThreadsChoice::from_env(),
+            gradient: GradientChoice::from_env(),
             batch: true,
             resize_at: Vec::new(),
             mps: false,
@@ -166,6 +182,7 @@ impl Default for CliConfig {
             inject_divergence: None,
             reduce_override: None,
             threads_override: None,
+            gradient_override: None,
         }
     }
 }
@@ -326,6 +343,14 @@ impl CliConfig {
                         expected: "a count or auto",
                     })?;
                 }
+                "--gradient" => {
+                    let v = value("--gradient")?;
+                    cfg.gradient = GradientChoice::parse(&v).ok_or(CliError::BadValue {
+                        flag: "--gradient",
+                        value: v,
+                        expected: "on, off or auto",
+                    })?;
+                }
                 "--batch" => {
                     let v = value("--batch")?;
                     cfg.batch = match v.as_str() {
@@ -445,6 +470,15 @@ impl CliConfig {
                             expected: "N[,N...]",
                         })?);
                 }
+                "--gradient-override" => {
+                    let v = value("--gradient-override")?;
+                    cfg.gradient_override =
+                        Some(parse_gradient_override(&v).ok_or(CliError::BadValue {
+                            flag: "--gradient-override",
+                            value: v,
+                            expected: "on|off[,on|off...]",
+                        })?);
+                }
                 "--ascii" => cfg.ascii = true,
                 "--stats" => cfg.stats_only = true,
                 "--quiet" => cfg.quiet = true,
@@ -534,6 +568,17 @@ pub fn parse_threads_override(spec: &str) -> Option<Vec<ThreadCount>> {
     spec.split(',').map(ThreadCount::parse).collect()
 }
 
+/// Parse `on|off[,on|off...]` into a per-rank gradient-mode override table.
+pub fn parse_gradient_override(spec: &str) -> Option<Vec<GradientMode>> {
+    spec.split(',')
+        .map(|m| match m {
+            "on" => Some(GradientMode::On),
+            "off" => Some(GradientMode::Off),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Parse `RANK:COLLECTIVE:alpha|blen` into a [`DivergenceFault`].
 pub fn parse_divergence_fault(spec: &str) -> Option<DivergenceFault> {
     let mut parts = spec.splitn(3, ':');
@@ -588,10 +633,14 @@ mod tests {
             "reproducible",
             "--threads",
             "2",
+            "--gradient",
+            "on",
             "--batch",
             "off",
             "--threads-override",
             "2,4",
+            "--gradient-override",
+            "on,off",
             "--resize-at",
             "2:1,5:4",
             "-Q",
@@ -624,6 +673,11 @@ mod tests {
         assert_eq!(c.site_repeats, RepeatsChoice::Off);
         assert_eq!(c.reduce, ReduceChoice::Reproducible);
         assert_eq!(c.threads, ThreadsChoice::Count(ThreadCount::new(2)));
+        assert_eq!(c.gradient, GradientChoice::On);
+        assert_eq!(
+            c.gradient_override,
+            Some(vec![GradientMode::On, GradientMode::Off])
+        );
         assert!(!c.batch);
         assert_eq!(
             c.threads_override,
@@ -794,6 +848,21 @@ mod tests {
         assert!(err.to_string().contains("a count or auto"), "{err}");
         let err = parse(&["--batch", "maybe"]).unwrap_err();
         assert!(err.to_string().contains("on or off"), "{err}");
+        let err = parse(&["--gradient", "maybe"]).unwrap_err();
+        assert!(err.to_string().contains("on, off or auto"), "{err}");
+        for bad in ["", "auto", "on,", "on,maybe"] {
+            let err = parse(&["--gradient-override", bad]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::BadValue {
+                        flag: "--gradient-override",
+                        ..
+                    }
+                ),
+                "{bad:?} should be rejected, got {err:?}"
+            );
+        }
         for bad in ["", "0", "2,", "2,x"] {
             let err = parse(&["--threads-override", bad]).unwrap_err();
             assert!(

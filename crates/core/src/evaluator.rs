@@ -6,12 +6,13 @@
 use crate::sentinel::{DivergenceFault, FaultComponent, Sentinel};
 use exa_comm::{BinnedSum, CommCategory, CommError, Rank, ReduceKind};
 use exa_obs::{ReplicaDivergence, StateFingerprint};
-use exa_phylo::engine::Engine;
+use exa_phylo::engine::{Engine, GradientMode};
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::{EdgeId, Tree};
 use exa_search::evaluator::{
-    apply_global_params, BranchMode, CommFailurePanic, Evaluator, GlobalState,
+    apply_global_params, per_edge_full_gradient, BranchMode, CommFailurePanic, Evaluator,
+    FullGradient, GlobalState,
 };
 
 /// Evaluator back-end for one de-centralized rank.
@@ -34,6 +35,11 @@ pub struct DecentralizedEvaluator {
     /// pre-summed f64s, so the reduced bits are invariant under the rank
     /// count and the data split (the elastic-resize prerequisite).
     reduce: ReduceKind,
+    /// Negotiated full-tree gradient mode. Under `On` the smoothing pass's
+    /// seed derivatives come from one analytic sweep + one fat allreduce
+    /// instead of `n_edges` per-edge collectives (bitwise-identical values
+    /// either way).
+    gradient: GradientMode,
 }
 
 impl DecentralizedEvaluator {
@@ -70,6 +76,7 @@ impl DecentralizedEvaluator {
             last_lnl: vec![0.0; n_partitions],
             sentinel: Sentinel::disabled(),
             reduce: ReduceKind::Fast,
+            gradient: GradientMode::Off,
         }
     }
 
@@ -82,6 +89,17 @@ impl DecentralizedEvaluator {
     /// The reduction scheme in force.
     pub fn reduce(&self) -> ReduceKind {
         self.reduce
+    }
+
+    /// Install the negotiated full-tree gradient mode (default
+    /// [`GradientMode::Off`], the per-edge derivative route).
+    pub fn set_gradient(&mut self, gradient: GradientMode) {
+        self.gradient = gradient;
+    }
+
+    /// The gradient mode in force.
+    pub fn gradient(&self) -> GradientMode {
+        self.gradient
     }
 
     /// Enable the replica-divergence sentinel: exchange and compare state
@@ -144,6 +162,29 @@ impl DecentralizedEvaluator {
         if !sync {
             return;
         }
+        self.sync_fingerprints();
+    }
+
+    /// One fingerprint sync at evaluator setup, before the search's first
+    /// collective. Most capability mismatches are benign until their first
+    /// *differing* collective, but a mixed gradient-mode world runs
+    /// different collective **sequences** — one fat reduction vs one per
+    /// edge — and the very first smoothing collective of the run would
+    /// desynchronize the world (a length-mismatch panic deep in the comm
+    /// layer, or a deadlock) before any post-collective sync could fire.
+    /// Syncing once up front turns that crash into the sentinel's ordinary
+    /// minority-report diagnostic at sync #1. No-op while disabled.
+    pub fn initial_sentinel_sync(&mut self) {
+        if self.sentinel.cadence == 0 {
+            return;
+        }
+        self.sync_fingerprints();
+    }
+
+    /// The sync body: allgather state fingerprints, compare live replicas,
+    /// panic with a [`ReplicaDivergence`] on every rank when a minority
+    /// disagrees.
+    fn sync_fingerprints(&mut self) {
         self.sentinel.syncs += 1;
         let fp = self.state_fingerprint();
         let r = self
@@ -360,6 +401,83 @@ impl Evaluator for DecentralizedEvaluator {
         }
     }
 
+    fn full_gradient(&mut self) -> FullGradient {
+        if self.gradient == GradientMode::Off {
+            return per_edge_full_gradient(self);
+        }
+        // One analytic sweep over the whole tree, then ONE fat allreduce of
+        // `2·p·n_edges` values replacing the `n_edges` per-edge collectives.
+        // Each fat slot receives exactly the per-rank contributions (fast)
+        // or per-site addends (reproducible) its per-edge counterpart would,
+        // so the reduced bits are identical to the per-edge route's.
+        let d = self.tree.traversal_descriptor(0);
+        self.engine.execute(&d);
+        let plan = self.tree.gradient_plan(0);
+        let p = match self.branch_mode {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => self.n_partitions,
+        };
+        let n_edges = plan.n_edges;
+        let buf = match self.reduce {
+            ReduceKind::Fast => {
+                let sweep = self.engine.edge_gradient(&plan);
+                let mut buf = vec![0.0; 2 * p * n_edges];
+                match self.branch_mode {
+                    BranchMode::Joint => {
+                        // Same local-partition summation order as
+                        // `derivatives`.
+                        for e in 0..n_edges {
+                            buf[e] = sweep.iter().map(|part| part[e].0).sum();
+                            buf[n_edges + e] = sweep.iter().map(|part| part[e].1).sum();
+                        }
+                    }
+                    BranchMode::PerPartition => {
+                        for (local, global) in self.engine.global_indices().into_iter().enumerate()
+                        {
+                            for (e, &(g1, g2)) in sweep[local].iter().enumerate() {
+                                buf[e * p + global] += g1;
+                                buf[(n_edges + e) * p + global] += g2;
+                            }
+                        }
+                    }
+                }
+                let r = self
+                    .rank
+                    .allreduce_sum(&mut buf, CommCategory::BranchLength);
+                self.comm_ok(r);
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let globals = self.engine.global_indices();
+                let mut bins = vec![BinnedSum::new(); 2 * p * n_edges];
+                self.engine
+                    .edge_gradient_with_terms(&plan, &mut |local, edge, t1, t2| {
+                        let slot = if p == 1 { 0 } else { globals[local] };
+                        bins[edge * p + slot].add_slice(t1);
+                        bins[(n_edges + edge) * p + slot].add_slice(t2);
+                    });
+                let r = self
+                    .rank
+                    .collective(CommCategory::BranchLength)
+                    .allreduce_binned(bins);
+                self.comm_ok(r)
+            }
+        };
+        self.after_collective();
+        let d1 = (0..n_edges)
+            .map(|e| buf[e * p..(e + 1) * p].to_vec())
+            .collect();
+        let d2 = (0..n_edges)
+            .map(|e| buf[(n_edges + e) * p..][..p].to_vec())
+            .collect();
+        FullGradient {
+            d1,
+            d2,
+            collectives: 1,
+            swept: true,
+        }
+    }
+
     fn alphas(&self) -> Vec<f64> {
         self.alphas.clone()
     }
@@ -454,6 +572,7 @@ impl Evaluator for DecentralizedEvaluator {
             self.engine.site_repeats(),
             self.reduce.label(),
             self.engine.threads(),
+            self.gradient,
         )
     }
 }

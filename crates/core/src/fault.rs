@@ -279,6 +279,7 @@ impl DecentralizedHooks {
             payload_len: 0,
             payload_fingerprint: 0,
             reduce_mode: Some(de.reduce().label().into()),
+            gradient: Some(de.gradient().label().into()),
         };
         let ckpt = Checkpoint::build(
             header,
@@ -429,6 +430,7 @@ impl DecentralizedHooks {
             checkpoint_write_ms: self.last_checkpoint_ms,
             reduce: Some(de.reduce().label().to_string()),
             threads: Some(de.engine().threads() as u64),
+            gradient: Some(de.gradient().label().to_string()),
         };
         let line = rec.to_json_line();
         let written = if health.created {

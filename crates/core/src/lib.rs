@@ -39,7 +39,8 @@ use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, CommStats, Rank, ReduceChoice, ReduceKind, World};
 use exa_obs::Recorder;
 use exa_phylo::engine::{
-    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice, WorkCounters,
+    GradientChoice, GradientMode, KernelChoice, KernelKind, RepeatsChoice, SiteRepeats,
+    ThreadCount, ThreadsChoice, WorkCounters,
 };
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::GlobalState;
@@ -139,6 +140,17 @@ pub struct InferenceConfig {
     pub threads: ThreadsChoice,
     /// Test hook: force a thread count per rank, bypassing negotiation.
     pub threads_override: Option<Vec<ThreadCount>>,
+    /// Gradient-driven branch-length optimization (`--gradient`). `On`
+    /// computes every edge's seed derivatives in one analytic full-tree
+    /// sweep ending in a single fat collective; `Off` keeps the per-edge
+    /// derivative collectives. Both produce bitwise-identical trajectories
+    /// — only the collective call sequence differs — so `Auto` negotiates
+    /// the minimum capability across the world to keep it uniform.
+    pub gradient: GradientChoice,
+    /// Test hook: force a gradient mode per rank, bypassing negotiation.
+    /// Mixing modes desynchronizes the collective call sequence and trips
+    /// the replica-divergence sentinel at the first fingerprint sync.
+    pub gradient_override: Option<Vec<GradientMode>>,
     /// Pack small partitions into cache-sized kernel batches (`--batch`,
     /// default on). Packing is deterministic from the slice assignment and
     /// bitwise invisible; turning it off reverts to one singleton batch per
@@ -184,6 +196,8 @@ impl InferenceConfig {
             reduce_override: None,
             threads: ThreadsChoice::from_env(),
             threads_override: None,
+            gradient: GradientChoice::from_env(),
+            gradient_override: None,
             batch: true,
             resize_plan: Vec::new(),
         }
@@ -212,6 +226,11 @@ impl InferenceConfig {
                 rank_id,
                 self.threads,
                 self.threads_override.as_deref(),
+            ),
+            gradient: capability::gradient_request(
+                rank_id,
+                self.gradient,
+                self.gradient_override.as_deref(),
             ),
         }
     }
@@ -278,6 +297,9 @@ pub struct RunOutput {
     /// Intra-rank worker threads each rank computed with (negotiated under
     /// `ThreadsChoice::Auto`, forced otherwise).
     pub threads: usize,
+    /// The gradient-BLO mode the ranks computed with (negotiated under
+    /// `GradientChoice::Auto`, forced otherwise).
+    pub gradient: GradientMode,
     /// Checkpoint generations committed during the run (0 when
     /// checkpointing is off).
     pub checkpoints: u64,
@@ -313,6 +335,7 @@ enum RankReport {
         site_repeats: SiteRepeats,
         reduce: ReduceKind,
         threads: usize,
+        gradient: GradientMode,
         checkpoints: u64,
     },
     Died {
@@ -418,6 +441,7 @@ pub(crate) fn decentralized_impl(
     let mut run_repeats = SiteRepeats::Off;
     let mut run_reduce = ReduceKind::Fast;
     let mut run_threads = 1usize;
+    let mut run_gradient = GradientMode::Off;
     let mut ckpts = 0u64;
     let mut divergence: Option<Box<exa_obs::ReplicaDivergence>> = None;
     let mut killed: Option<(u64, usize)> = None;
@@ -435,6 +459,7 @@ pub(crate) fn decentralized_impl(
                 site_repeats,
                 reduce,
                 threads,
+                gradient,
                 checkpoints,
             } => {
                 work = work.merge(&w);
@@ -448,6 +473,7 @@ pub(crate) fn decentralized_impl(
                     run_repeats = site_repeats;
                     run_reduce = reduce;
                     run_threads = threads;
+                    run_gradient = gradient;
                 }
             }
             RankReport::Died { work: w, mem_bytes } => {
@@ -522,6 +548,7 @@ pub(crate) fn decentralized_impl(
         site_repeats: run_repeats,
         reduce: run_reduce,
         threads: run_threads,
+        gradient: run_gradient,
         checkpoints: ckpts,
     })
 }
@@ -577,10 +604,12 @@ fn rank_main(
     let site_repeats = caps.site_repeats.value;
     let reduce = caps.reduce.value;
     let threads = caps.threads.value;
+    let gradient = caps.gradient.value;
     exa_obs::mark(|| format!("{}{}", exa_obs::KERNEL_BACKEND_MARK, kernel.label()));
     exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, site_repeats.label()));
     exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, reduce.label()));
     exa_obs::mark(|| format!("{}{}", exa_obs::THREADS_MARK, threads.label()));
+    exa_obs::mark(|| format!("{}{}", exa_obs::GRADIENT_MARK, gradient.label()));
     exa_obs::mark(|| {
         format!(
             "{}{}",
@@ -642,6 +671,7 @@ fn rank_main(
         cfg.branch_mode,
     );
     eval.set_reduce(reduce);
+    eval.set_gradient(gradient);
     eval.set_sentinel(cfg.verify_replicas, cfg.divergence_fault);
 
     // 3. Checkpoint resume, phase 2: restore the replicated state (every
@@ -669,6 +699,11 @@ fn rank_main(
     );
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Sync #1 fires before the search's first collective: a mixed
+        // gradient-mode world runs different collective *sequences*, so it
+        // must be refused here, not discovered as a length mismatch (or a
+        // deadlock) inside the first smoothing reduction.
+        eval.initial_sentinel_sync();
         run_search_from(&mut eval, &cfg.search, &mut hooks, resume_point.as_ref())
     }));
 
@@ -686,6 +721,7 @@ fn rank_main(
                 site_repeats: eval.engine().site_repeats(),
                 reduce: eval.reduce(),
                 threads: eval.engine().threads(),
+                gradient: eval.gradient(),
                 checkpoints: hooks.checkpoints_written(),
             }
         }

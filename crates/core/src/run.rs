@@ -34,7 +34,8 @@ use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, ReduceChoice, ReduceKind};
 use exa_obs::{HealthReport, Recorder, ReplicaDivergence, RunTrace};
 use exa_phylo::engine::{
-    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice, WorkCounters,
+    GradientChoice, GradientMode, KernelChoice, KernelKind, RepeatsChoice, SiteRepeats,
+    ThreadCount, ThreadsChoice, WorkCounters,
 };
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{GlobalState, SearchSnapshot};
@@ -206,6 +207,9 @@ pub struct RunOutcome {
     /// Intra-rank worker threads each rank computed with (negotiated under
     /// `ThreadsChoice::Auto`, forced otherwise).
     pub threads: usize,
+    /// The gradient-BLO mode the ranks computed with (negotiated under
+    /// `GradientChoice::Auto`, forced otherwise).
+    pub gradient: GradientMode,
     /// Merged trace, present when [`RunConfig::collect_trace`] was set
     /// (absent for bootstrap runs, which write per-replicate trace files
     /// instead).
@@ -283,6 +287,15 @@ pub struct RunConfig {
     pub threads: ThreadsChoice,
     /// Test hook: force a thread count per rank, bypassing negotiation.
     pub threads_override: Option<Vec<ThreadCount>>,
+    /// Gradient-driven branch-length optimization: compute every edge's
+    /// analytic `dlnL/dt` in one full-tree sweep with a single collective
+    /// per smoothing pass instead of per-edge seed reductions. Bitwise
+    /// result-neutral; `Auto` negotiates the world minimum.
+    pub gradient: GradientChoice,
+    /// Test hook: force a gradient mode per rank, bypassing negotiation.
+    /// Mixing modes desynchronizes the collective sequence and trips the
+    /// sentinel (de-centralized only).
+    pub gradient_override: Option<Vec<GradientMode>>,
     /// Pack small partitions into cache-sized kernel batches (default on).
     pub batch: bool,
     /// Mid-run elastic resize plan: at each `(iteration, width)` boundary
@@ -330,6 +343,8 @@ impl RunConfig {
             reduce_override: None,
             threads: base.threads,
             threads_override: None,
+            gradient: base.gradient,
+            gradient_override: None,
             batch: base.batch,
             resize_plan: Vec::new(),
             collect_trace: false,
@@ -492,6 +507,18 @@ impl RunConfig {
         self
     }
 
+    /// Select the gradient-BLO mode.
+    pub fn gradient(mut self, choice: GradientChoice) -> Self {
+        self.gradient = choice;
+        self
+    }
+
+    /// Test hook: force a gradient mode per rank (`table[rank % len]`).
+    pub fn gradient_override(mut self, table: Vec<GradientMode>) -> Self {
+        self.gradient_override = Some(table);
+        self
+    }
+
     /// Enable or disable partition packing into kernel batches.
     pub fn batch(mut self, on: bool) -> Self {
         self.batch = on;
@@ -563,6 +590,8 @@ impl RunConfig {
             reduce_override: self.reduce_override.clone(),
             threads: self.threads,
             threads_override: self.threads_override.clone(),
+            gradient: self.gradient,
+            gradient_override: self.gradient_override.clone(),
             batch: self.batch,
             resize_plan: self.resize_plan.clone(),
         }
@@ -577,6 +606,14 @@ impl RunConfig {
             ReduceChoice::Fast => ReduceKind::Fast,
             ReduceChoice::Reproducible | ReduceChoice::Auto => ReduceKind::Reproducible,
         }
+    }
+
+    /// The gradient mode this configuration resolves to without a world:
+    /// an explicit choice is itself; `Auto` resolves to `On` (every build
+    /// computes analytic gradients). In-process negotiation over uniform
+    /// advertisements yields the same answer.
+    fn resolved_gradient(&self) -> GradientMode {
+        self.gradient.resolve_local()
     }
 
     /// Execute the configured run.
@@ -657,6 +694,7 @@ impl RunConfig {
                 out.best.site_repeats,
                 out.best.reduce,
                 out.best.threads,
+                out.best.gradient,
                 &out.best.work,
             );
             return Ok(assemble(out.best, None, health, Some(summary)));
@@ -676,6 +714,7 @@ impl RunConfig {
             out.site_repeats,
             out.reduce,
             out.threads,
+            out.gradient,
             &out.work,
         );
         Ok(assemble(out, trace, health, None))
@@ -736,6 +775,16 @@ impl RunConfig {
             }
             _ => self.threads.resolve_local().get(),
         };
+        let gradient = match self.gradient_override.as_deref() {
+            Some([first, rest @ ..]) => {
+                assert!(
+                    rest.iter().all(|g| g == first),
+                    "fork-join has no replica sentinel; refusing a mixed gradient override"
+                );
+                *first
+            }
+            _ => self.resolved_gradient(),
+        };
         let fj = exa_forkjoin::ForkJoinConfig {
             n_ranks: self.n_ranks,
             rate_model: self.rate_model,
@@ -749,6 +798,7 @@ impl RunConfig {
             reduce,
             threads,
             batch: self.batch,
+            gradient,
         };
         let recorder = self.collect_trace.then(|| Recorder::new(self.n_ranks));
         // Checkpoint sink: the fork-join crate hands the master's snapshot
@@ -770,6 +820,7 @@ impl RunConfig {
             payload_len: 0,
             payload_fingerprint: 0,
             reduce_mode: Some(reduce.label().into()),
+            gradient: Some(gradient.label().into()),
         };
         let keep = self.checkpoint_keep;
         let sink = move |snap: &SearchSnapshot| -> std::io::Result<()> {
@@ -832,6 +883,7 @@ impl RunConfig {
             site_repeats,
             reduce,
             threads,
+            gradient,
             &out.work,
         );
         Ok(RunOutcome {
@@ -847,6 +899,7 @@ impl RunConfig {
             site_repeats,
             reduce,
             threads,
+            gradient,
             trace,
             health,
             bootstrap: None,
@@ -865,6 +918,7 @@ impl RunConfig {
         site_repeats: SiteRepeats,
         reduce: ReduceKind,
         threads: usize,
+        gradient: GradientMode,
         work: &WorkCounters,
     ) -> HealthReport {
         let measured = trace.and_then(|t| {
@@ -891,6 +945,7 @@ impl RunConfig {
             repeat_ratio: Some(work.repeat_ratio()),
             reduce: Some(reduce.label().to_string()),
             threads: Some(threads as u64),
+            gradient: Some(gradient.label().to_string()),
             critical_path: trace
                 .and_then(RunTrace::critical_path)
                 .map(|cp| cp.summary()),
@@ -958,6 +1013,7 @@ fn assemble(
         site_repeats: out.site_repeats,
         reduce: out.reduce,
         threads: out.threads,
+        gradient: out.gradient,
         trace,
         health,
         bootstrap,

@@ -28,7 +28,8 @@ use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommStats, ReduceKind, World};
 use exa_obs::Recorder;
 use exa_phylo::engine::{
-    KernelChoice, KernelKind, RepeatsChoice, SiteRepeats, ThreadsChoice, WorkCounters,
+    GradientChoice, GradientMode, KernelChoice, KernelKind, RepeatsChoice, SiteRepeats,
+    ThreadsChoice, WorkCounters,
 };
 use exa_phylo::model::rates::RateModelKind;
 use exa_search::evaluator::{CommFailurePanic, Evaluator, GlobalState, SearchSnapshot};
@@ -73,6 +74,11 @@ pub struct ForkJoinConfig {
     /// Pack small partitions into cache-sized kernel batches (bitwise
     /// result-neutral; purely a dispatch-overhead optimization).
     pub batch: bool,
+    /// Resolved gradient-BLO mode, uniform across the ranks (the master's
+    /// command stream drives the workers, so no negotiation). `On` replaces
+    /// the per-edge seed collectives of each smoothing pass with one
+    /// full-tree sweep + one fat reduction; bitwise result-neutral.
+    pub gradient: GradientMode,
 }
 
 impl ForkJoinConfig {
@@ -91,6 +97,7 @@ impl ForkJoinConfig {
             reduce: ReduceKind::Fast,
             threads: ThreadsChoice::from_env().resolve_local().get(),
             batch: true,
+            gradient: GradientChoice::from_env().resolve_local(),
         }
     }
 }
@@ -344,6 +351,7 @@ pub fn execute_controlled(
         exa_obs::mark(|| format!("{}{}", exa_obs::SITE_REPEATS_MARK, cfg.site_repeats.label()));
         exa_obs::mark(|| format!("{}{}", exa_obs::REDUCE_MODE_MARK, cfg.reduce.label()));
         exa_obs::mark(|| format!("{}{}", exa_obs::THREADS_MARK, engine.threads()));
+        exa_obs::mark(|| format!("{}{}", exa_obs::GRADIENT_MARK, cfg.gradient.label()));
         exa_obs::mark(|| {
             format!(
                 "{}{}",
@@ -380,7 +388,8 @@ pub fn execute_controlled(
                 aln.n_partitions(),
                 cfg.branch_mode,
                 cfg.reduce,
-            );
+            )
+            .with_gradient(cfg.gradient);
             // Resume: install the checkpointed PSR rates on every rank
             // (broadcast), then the replicated master state.
             let resume_point = ctrl.as_ref().and_then(|c| c.resume.as_ref()).map(|snap| {

@@ -4,14 +4,20 @@
 //! its communication costs.
 
 use crate::protocol::{decode_site_rate_capture, encode, WorkerCmd};
-use crate::worker::{derivative_bins, derivative_buffer, evaluate_bins, site_rate_bins};
+use crate::worker::{
+    derivative_bins, derivative_buffer, evaluate_bins, gradient_bins, gradient_buffer,
+    site_rate_bins,
+};
 use exa_bio::patterns::CompressedAlignment;
 use exa_comm::{CommCategory, Rank, ReduceKind};
 use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::{EdgeId, Tree};
-use exa_search::evaluator::{apply_global_params, BranchMode, Evaluator, GlobalState};
+use exa_phylo::GradientMode;
+use exa_search::evaluator::{
+    apply_global_params, per_edge_full_gradient, BranchMode, Evaluator, FullGradient, GlobalState,
+};
 
 /// Evaluator back-end for the fork-join master (rank 0).
 pub struct ForkJoinEvaluator {
@@ -21,6 +27,7 @@ pub struct ForkJoinEvaluator {
     n_partitions: usize,
     branch_mode: BranchMode,
     reduce: ReduceKind,
+    gradient: GradientMode,
     alphas: Vec<f64>,
     gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
     last_lnl: Vec<f64>,
@@ -58,11 +65,20 @@ impl ForkJoinEvaluator {
             n_partitions,
             branch_mode,
             reduce,
+            gradient: GradientMode::Off,
             alphas,
             gtr_rates: vec![[1.0; NUM_FREE_RATES]; n_partitions],
             last_lnl: vec![0.0; n_partitions],
             shut_down: false,
         }
+    }
+
+    /// Select the full-tree gradient mode (builder style). Fork-join needs
+    /// no negotiation — workers are command-driven and simply see
+    /// [`WorkerCmd::Gradient`] broadcasts when the master runs with `On`.
+    pub fn with_gradient(mut self, gradient: GradientMode) -> Self {
+        self.gradient = gradient;
+        self
     }
 
     /// The master's local engine.
@@ -269,6 +285,64 @@ impl Evaluator for ForkJoinEvaluator {
         }
     }
 
+    fn full_gradient(&mut self) -> FullGradient {
+        if self.gradient == GradientMode::Off {
+            return per_edge_full_gradient(self);
+        }
+        // One broadcast carries the orientation descriptor and the sweep
+        // plan; one fat reduction brings back every edge's pair.
+        let d = self.tree.traversal_descriptor(0);
+        let plan = self.tree.gradient_plan(0);
+        self.command(
+            &WorkerCmd::Gradient {
+                descriptor: d.clone(),
+                plan: plan.clone(),
+            },
+            CommCategory::TraversalDescriptor,
+        );
+        self.engine.execute(&d);
+        let p = match self.branch_mode {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => self.n_partitions,
+        };
+        let buf = match self.reduce {
+            ReduceKind::Fast => {
+                let sweep = self.engine.edge_gradient(&plan);
+                let mut buf = gradient_buffer(
+                    &self.engine,
+                    self.branch_mode,
+                    self.n_partitions,
+                    &sweep,
+                    plan.n_edges,
+                );
+                self.rank
+                    .reduce_sum(0, &mut buf, CommCategory::BranchLength)
+                    .expect("reduce failed");
+                buf
+            }
+            ReduceKind::Reproducible => {
+                let bins =
+                    gradient_bins(&mut self.engine, self.branch_mode, self.n_partitions, &plan);
+                self.rank
+                    .collective(CommCategory::BranchLength)
+                    .reduce_binned(bins)
+                    .expect("reduce failed")
+            }
+        };
+        let mut d1 = Vec::with_capacity(plan.n_edges);
+        let mut d2 = Vec::with_capacity(plan.n_edges);
+        for e in 0..plan.n_edges {
+            d1.push(buf[e * p..(e + 1) * p].to_vec());
+            d2.push(buf[(plan.n_edges + e) * p..][..p].to_vec());
+        }
+        FullGradient {
+            d1,
+            d2,
+            collectives: 1,
+            swept: true,
+        }
+    }
+
     fn alphas(&self) -> Vec<f64> {
         self.alphas.clone()
     }
@@ -390,6 +464,7 @@ impl Evaluator for ForkJoinEvaluator {
             self.engine.site_repeats(),
             self.reduce.label(),
             self.engine.threads(),
+            self.gradient,
         )
     }
 }

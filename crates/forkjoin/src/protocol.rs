@@ -5,7 +5,9 @@
 //! tag and small fixed headers are included — they are what a real
 //! implementation would send too.
 
-use exa_phylo::tree::traversal::{TraversalDescriptor, TraversalEntry};
+use exa_phylo::tree::traversal::{
+    GradSource, GradStep, GradientPlan, TraversalDescriptor, TraversalEntry,
+};
 
 /// Commands the master broadcasts to the workers.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,15 @@ pub enum WorkerCmd {
     /// (`table[partition][pattern]` = rate bits); each worker applies its
     /// own slice.
     SetSiteRates(Vec<Vec<u64>>),
+    /// Execute the descriptor (orienting every inward CLV toward the plan's
+    /// root edge), then run the one-pass full-tree gradient sweep over the
+    /// plan and join the single fat `[d1 | d2]` reduction. One broadcast +
+    /// one collective replace a whole smoothing pass's per-edge
+    /// prepare/derivative command pairs.
+    Gradient {
+        descriptor: TraversalDescriptor,
+        plan: GradientPlan,
+    },
 }
 
 const TAG_EVALUATE: u8 = 1;
@@ -52,6 +63,11 @@ const TAG_SHUTDOWN: u8 = 8;
 const TAG_EVALUATE_PARTITIONED: u8 = 9;
 const TAG_GATHER_SITE_RATES: u8 = 10;
 const TAG_SET_SITE_RATES: u8 = 11;
+const TAG_GRADIENT: u8 = 12;
+
+/// Wire encoding of [`GradSource::from_outside`]'s `None` (node ids are
+/// bounded by `2n - 2`, so the sentinel can never collide).
+const NO_OUTSIDE: u32 = u32::MAX;
 
 struct W(Vec<u8>);
 
@@ -92,6 +108,28 @@ impl W {
         self.u32(d.root_a as u32);
         self.u32(d.root_b as u32);
         self.f64s(&d.root_lengths);
+    }
+    fn grad_source(&mut self, s: &GradSource) {
+        self.u32(s.node as u32);
+        self.u32(s.from_outside.map_or(NO_OUTSIDE, |e| e as u32));
+        self.f64s(&s.lengths);
+    }
+    fn plan(&mut self, p: &GradientPlan) {
+        self.u32(p.root_edge as u32);
+        self.u32(p.root_a as u32);
+        self.u32(p.root_b as u32);
+        self.f64s(&p.root_lengths);
+        self.u32(p.n_edges as u32);
+        self.u32(p.steps.len() as u32);
+        for s in &p.steps {
+            self.u32(s.edge as u32);
+            self.u32(s.parent as u32);
+            self.u32(s.child as u32);
+            self.u8(s.swap_sides as u8);
+            self.f64s(&s.lengths);
+            self.grad_source(&s.left);
+            self.grad_source(&s.right);
+        }
     }
 }
 
@@ -171,6 +209,54 @@ impl<'a> R<'a> {
             root_lengths,
         })
     }
+    fn grad_source(&mut self) -> Result<GradSource, DecodeError> {
+        let node = self.u32()? as usize;
+        let outside = self.u32()?;
+        let lengths = self.f64s()?;
+        Ok(GradSource {
+            node,
+            lengths,
+            from_outside: (outside != NO_OUTSIDE).then_some(outside as usize),
+        })
+    }
+    fn plan(&mut self) -> Result<GradientPlan, DecodeError> {
+        let root_edge = self.u32()? as usize;
+        let root_a = self.u32()? as usize;
+        let root_b = self.u32()? as usize;
+        let root_lengths = self.f64s()?;
+        let n_edges = self.u32()? as usize;
+        let n_steps = self.u32()? as usize;
+        if n_steps > self.b.len() {
+            return Err(DecodeError(format!("implausible step count {n_steps}")));
+        }
+        let mut steps = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            let edge = self.u32()? as usize;
+            let parent = self.u32()? as usize;
+            let child = self.u32()? as usize;
+            let swap_sides = self.u8()? != 0;
+            let lengths = self.f64s()?;
+            let left = self.grad_source()?;
+            let right = self.grad_source()?;
+            steps.push(GradStep {
+                edge,
+                parent,
+                child,
+                lengths,
+                swap_sides,
+                left,
+                right,
+            });
+        }
+        Ok(GradientPlan {
+            root_edge,
+            root_a,
+            root_b,
+            root_lengths,
+            n_edges,
+            steps,
+        })
+    }
 }
 
 /// Encode a command for broadcast.
@@ -209,6 +295,11 @@ pub fn encode(cmd: &WorkerCmd) -> Vec<u8> {
         WorkerCmd::SetPsrScale(s) => {
             w.u8(TAG_SET_PSR_SCALE);
             w.f64(*s);
+        }
+        WorkerCmd::Gradient { descriptor, plan } => {
+            w.u8(TAG_GRADIENT);
+            w.descriptor(descriptor);
+            w.plan(plan);
         }
         WorkerCmd::Shutdown => w.u8(TAG_SHUTDOWN),
         WorkerCmd::GatherSiteRates => w.u8(TAG_GATHER_SITE_RATES),
@@ -301,6 +392,10 @@ pub fn decode(bytes: &[u8]) -> Result<WorkerCmd, DecodeError> {
             let table = (0..n).map(|_| r.u64s()).collect::<Result<Vec<_>, _>>()?;
             WorkerCmd::SetSiteRates(table)
         }
+        TAG_GRADIENT => WorkerCmd::Gradient {
+            descriptor: r.descriptor()?,
+            plan: r.plan()?,
+        },
         t => return Err(DecodeError(format!("unknown command tag {t}"))),
     };
     if r.pos != bytes.len() {
@@ -342,6 +437,14 @@ mod tests {
                 vec![1.0f64.to_bits(), 2.5f64.to_bits()],
                 vec![0.25f64.to_bits()],
             ]),
+            WorkerCmd::Gradient {
+                descriptor: sample_descriptor(1),
+                plan: Tree::random(8, 1, 3).gradient_plan(2),
+            },
+            WorkerCmd::Gradient {
+                descriptor: sample_descriptor(4),
+                plan: Tree::random(8, 4, 3).gradient_plan(2),
+            },
         ];
         for cmd in cmds {
             let bytes = encode(&cmd);

@@ -142,6 +142,29 @@ pub fn worker_loop(
             WorkerCmd::SetSiteRates(table) => {
                 exa_sched::apply_site_rates(&mut engine, assignment, aln, &table);
             }
+            WorkerCmd::Gradient { descriptor, plan } => {
+                engine.execute(&descriptor);
+                match reduce {
+                    ReduceKind::Fast => {
+                        let sweep = engine.edge_gradient(&plan);
+                        let mut buf = gradient_buffer(
+                            &engine,
+                            branch_mode,
+                            n_partitions,
+                            &sweep,
+                            plan.n_edges,
+                        );
+                        rank.reduce_sum(0, &mut buf, CommCategory::BranchLength)
+                            .expect("reduce failed");
+                    }
+                    ReduceKind::Reproducible => {
+                        let bins = gradient_bins(&mut engine, branch_mode, n_partitions, &plan);
+                        rank.collective(CommCategory::BranchLength)
+                            .reduce_binned(bins)
+                            .expect("reduce failed");
+                    }
+                }
+            }
             WorkerCmd::Shutdown => break,
         }
     }
@@ -197,6 +220,69 @@ pub(crate) fn site_rate_bins(engine: &mut Engine, d: &TraversalDescriptor) -> Ve
     engine.optimize_site_rates_with_terms(d, &mut |_, tn, td| {
         bins[0].add_slice(tn);
         bins[1].add_slice(td);
+    });
+    bins
+}
+
+/// Assemble the full-tree gradient reduction buffer from a local
+/// [`Engine::edge_gradient`] sweep: `[d1 of every edge | d2 of every edge]`
+/// with [`derivative_buffer`]'s per-edge slot convention, so each edge's
+/// reduced pair carries exactly the bits the per-edge route would have
+/// produced. Shared with the master so the wire layout matches exactly.
+pub(crate) fn gradient_buffer(
+    engine: &Engine,
+    branch_mode: BranchMode,
+    n_partitions: usize,
+    sweep: &[Vec<(f64, f64)>],
+    n_edges: usize,
+) -> Vec<f64> {
+    let p = match branch_mode {
+        BranchMode::Joint => 1,
+        BranchMode::PerPartition => n_partitions,
+    };
+    let mut buf = vec![0.0; 2 * p * n_edges];
+    match branch_mode {
+        BranchMode::Joint => {
+            // Same local-partition summation order as `derivative_buffer`.
+            for e in 0..n_edges {
+                buf[e] = sweep.iter().map(|part| part[e].0).sum();
+                buf[n_edges + e] = sweep.iter().map(|part| part[e].1).sum();
+            }
+        }
+        BranchMode::PerPartition => {
+            for (local, global) in engine.global_indices().into_iter().enumerate() {
+                for (e, &(d1, d2)) in sweep[local].iter().enumerate() {
+                    buf[e * p + global] += d1;
+                    buf[(n_edges + e) * p + global] += d2;
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// [`gradient_buffer`]'s superaccumulator analogue: `2 · p · n_edges` bins
+/// fed the raw per-site addends of every edge. Each slot receives exactly
+/// the addend multiset the per-edge [`derivative_bins`] slot would, so the
+/// rendered reduction is bitwise identical to `n_edges` separate binned
+/// collectives.
+pub(crate) fn gradient_bins(
+    engine: &mut Engine,
+    branch_mode: BranchMode,
+    n_partitions: usize,
+    plan: &exa_phylo::tree::traversal::GradientPlan,
+) -> Vec<BinnedSum> {
+    let p = match branch_mode {
+        BranchMode::Joint => 1,
+        BranchMode::PerPartition => n_partitions,
+    };
+    let globals = engine.global_indices();
+    let n_edges = plan.n_edges;
+    let mut bins = vec![BinnedSum::new(); 2 * p * n_edges];
+    engine.edge_gradient_with_terms(plan, &mut |local, edge, t1, t2| {
+        let slot = if p == 1 { 0 } else { globals[local] };
+        bins[edge * p + slot].add_slice(t1);
+        bins[(n_edges + edge) * p + slot].add_slice(t2);
     });
     bins
 }

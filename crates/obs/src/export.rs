@@ -47,6 +47,11 @@ pub const THREADS_MARK: &str = "threads:";
 /// (`"on"`/`"off"`) into a trace; hoisted into `otherData.batch`.
 pub const BATCH_MARK: &str = "batch:";
 
+/// Reserved mark-label prefix that stamps the negotiated gradient-BLO mode
+/// (`"on"`/`"off"`) into a trace; hoisted into `otherData.gradient` the
+/// same way [`KERNEL_BACKEND_MARK`] is.
+pub const GRADIENT_MARK: &str = "gradient:";
+
 /// Reserved mark-label prefix stamped (on every rank) each time a
 /// checkpoint generation is committed; the suffix is the search iteration
 /// the checkpoint captured. Emitting it on all ranks keeps per-rank event
@@ -72,6 +77,7 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
     let mut reduce_mode: Option<String> = None;
     let mut threads: Option<String> = None;
     let mut batch: Option<String> = None;
+    let mut gradient: Option<String> = None;
     let mut events: Vec<Value> = Vec::with_capacity(trace.total_events() + trace.n_ranks());
     for rank in 0..trace.n_ranks() {
         // Thread-name metadata so the timeline rows read "rank 0", …
@@ -135,6 +141,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
                     if let Some(b) = label.strip_prefix(BATCH_MARK) {
                         batch.get_or_insert_with(|| b.to_string());
                     }
+                    if let Some(g) = label.strip_prefix(GRADIENT_MARK) {
+                        gradient.get_or_insert_with(|| g.to_string());
+                    }
                     fields.push(entry("ph", str_v("i")));
                     fields.push(entry("s", str_v("t")));
                     fields.push(entry("name", str_v(label.clone())));
@@ -178,6 +187,9 @@ pub fn chrome_trace(trace: &RunTrace) -> Value {
     }
     if let Some(b) = batch {
         other.push(entry("batch", str_v(b)));
+    }
+    if let Some(g) = gradient {
+        other.push(entry("gradient", str_v(g)));
     }
     if !other.is_empty() {
         top.push(entry("otherData", Value::Map(other)));
@@ -395,11 +407,21 @@ mod tests {
                 },
             },
         );
+        trace.per_rank[0].insert(
+            2,
+            TraceEvent {
+                ts_ns: 0,
+                kind: EventKind::Mark {
+                    label: format!("{GRADIENT_MARK}on"),
+                },
+            },
+        );
         let v = chrome_trace(&trace);
         let map = v.as_map("trace").unwrap();
         let other = serde::field(map, "otherData").as_map("otherData").unwrap();
         assert_eq!(serde::field(other, "threads"), &str_v("4"));
         assert_eq!(serde::field(other, "batch"), &str_v("on"));
+        assert_eq!(serde::field(other, "gradient"), &str_v("on"));
     }
 
     #[test]

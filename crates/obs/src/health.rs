@@ -61,6 +61,9 @@ pub struct HeartbeatRecord {
     /// Intra-rank worker threads the run negotiated. `None` on legacy
     /// records.
     pub threads: Option<u64>,
+    /// Label of the negotiated gradient-BLO mode (`"on"`/`"off"`). `None`
+    /// on legacy records.
+    pub gradient: Option<String>,
 }
 
 impl HeartbeatRecord {
@@ -122,6 +125,9 @@ pub struct ServeHeartbeat {
     /// `"reproducible"` — what a single-node job would resolve `auto` to).
     /// `None` on legacy records.
     pub reduce: Option<String>,
+    /// Locally-resolved gradient-BLO capability (`"on"`/`"off"`). `None`
+    /// on legacy records.
+    pub gradient: Option<String>,
 }
 
 /// Per-tenant slice of a [`ServeHeartbeat`].
@@ -222,6 +228,9 @@ pub struct HealthReport {
     /// Intra-rank worker threads per rank the run negotiated (`None` when
     /// the producing layer predates the worker pool).
     pub threads: Option<u64>,
+    /// Gradient-BLO mode the run negotiated (`"on"`/`"off"`; `None` when
+    /// the producing layer predates the gradient sweep).
+    pub gradient: Option<String>,
 }
 
 impl HealthReport {
@@ -237,6 +246,9 @@ impl HealthReport {
         }
         if let Some(threads) = self.threads {
             let _ = writeln!(out, "  threads: {threads}");
+        }
+        if let Some(gradient) = &self.gradient {
+            let _ = writeln!(out, "  gradient: {gradient}");
         }
         match (&self.site_repeats, self.repeat_ratio) {
             (Some(setting), Some(ratio)) => {
@@ -338,6 +350,7 @@ mod tests {
             checkpoint_write_ms: Some(0.75),
             reduce: Some("fast".into()),
             threads: Some(2),
+            gradient: Some("on".into()),
         }
     }
 
@@ -358,7 +371,8 @@ mod tests {
             .replace(",\"last_checkpoint_iter\":2", "")
             .replace(",\"checkpoint_write_ms\":0.75", "")
             .replace(",\"reduce\":\"fast\"", "")
-            .replace(",\"threads\":2", "");
+            .replace(",\"threads\":2", "")
+            .replace(",\"gradient\":\"on\"", "");
         assert_ne!(legacy, line);
         let back = HeartbeatRecord::from_json_line(&legacy).unwrap();
         assert_eq!(back.kernel, None);
@@ -368,6 +382,7 @@ mod tests {
         assert_eq!(back.checkpoint_write_ms, None);
         assert_eq!(back.reduce, None);
         assert_eq!(back.threads, None);
+        assert_eq!(back.gradient, None);
     }
 
     #[test]
@@ -403,6 +418,7 @@ mod tests {
             site_repeats: Some("on".into()),
             uptime_secs: Some(12.5),
             reduce: Some("fast".into()),
+            gradient: Some("on".into()),
         };
         let line = hb.to_json_line();
         assert!(!line.contains('\n'), "must be a single line: {line}");
@@ -415,7 +431,8 @@ mod tests {
             .replace(",\"kernel\":\"simd\"", "")
             .replace(",\"site_repeats\":\"on\"", "")
             .replace(",\"uptime_secs\":12.5", "")
-            .replace(",\"reduce\":\"fast\"", "");
+            .replace(",\"reduce\":\"fast\"", "")
+            .replace(",\"gradient\":\"on\"", "");
         assert_ne!(legacy, line);
         let back = ServeHeartbeat::from_json_line(&legacy).unwrap();
         assert_eq!(back.version, None);
@@ -423,6 +440,7 @@ mod tests {
         assert_eq!(back.site_repeats, None);
         assert_eq!(back.uptime_secs, None);
         assert_eq!(back.reduce, None);
+        assert_eq!(back.gradient, None);
 
         let tagged = JobHeartbeat {
             job: 7,
@@ -467,11 +485,13 @@ mod tests {
             }),
             reduce: Some("reproducible".into()),
             threads: Some(2),
+            gradient: Some("on".into()),
         };
         let text = clean.render();
         assert!(text.contains("kernel: simd"), "{text}");
         assert!(text.contains("reduce: reproducible"), "{text}");
         assert!(text.contains("threads: 2"), "{text}");
+        assert!(text.contains("gradient: on"), "{text}");
         assert!(text.contains("site repeats: on"), "{text}");
         assert!(text.contains("compression ratio 2.125"), "{text}");
         assert!(text.contains("replicas bit-identical"), "{text}");

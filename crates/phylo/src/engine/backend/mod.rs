@@ -207,6 +207,35 @@ pub(crate) trait KernelBackend: Send + Sync {
     /// Build the derivative sumtable for the descriptor's root edge.
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor);
 
+    /// Build the derivative sumtable from two explicit root sides — the
+    /// generalized core of [`KernelBackend::make_sumtable`] (which passes
+    /// the descriptor's inward root sides). The gradient sweep passes an
+    /// "outside" CLV on one side to take any edge's derivative without
+    /// re-rooting. Same arithmetic, same bits.
+    fn sumtable_sides(
+        &self,
+        part: &PartitionState,
+        a: &RootSide<'_>,
+        b: &RootSide<'_>,
+        sumtable: &mut Vec<f64>,
+    );
+
+    /// Materialize one "outside" CLV (a [`GradStep`](crate::tree::traversal::GradStep)
+    /// of a gradient sweep): combine the job's two sources through the
+    /// P-matrices of their branches into `out_clv`/`out_scale`, uncompressed
+    /// over all patterns. This is `newview` with explicit sources and an
+    /// explicit destination — bitwise identical to what a per-edge traversal
+    /// would have computed for the same direction. Returns the work done in
+    /// pattern-categories.
+    fn gradient_outside(
+        &self,
+        part: &PartitionState,
+        scratch: &mut KernelScratch,
+        job: &OutsideJob<'_>,
+        out_clv: &mut [f64],
+        out_scale: &mut [u32],
+    ) -> u64;
+
     /// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from
     /// the prepared sumtable. When `terms` is given, both vectors are
     /// cleared and filled with the per-pattern first/second-derivative
@@ -256,6 +285,10 @@ pub(crate) struct KernelScratch {
     pub deriv_ex: Vec<[f64; NUM_STATES]>,
     /// Per-distinct-rate `λ_e r` factors for the derivative kernel.
     pub deriv_lr: Vec<[f64; NUM_STATES]>,
+    /// Identity pattern list `0..n_patterns` for the gradient sweep's
+    /// uncompressed outside-CLV computations (lets the SIMD backend reuse
+    /// its `newview` pattern loops verbatim).
+    pub grad_ident: Vec<u32>,
 }
 
 /// Fill `out` with the P-matrices of every distinct rate multiplier,
@@ -343,6 +376,18 @@ const fn build_tip_state() -> [[f64; NUM_STATES]; 16] {
         code += 1;
     }
     table
+}
+
+/// One outside-CLV computation of a gradient sweep: two sources (tip codes,
+/// inward CLVs, or previously materialized outside CLVs — all expressible as
+/// [`RootSide`]s) and the branch lengths connecting them to the node being
+/// materialized. `left`/`right` keep the deterministic smaller-node-id-first
+/// order of `collect_entries`.
+pub(crate) struct OutsideJob<'a> {
+    pub t_left: f64,
+    pub t_right: f64,
+    pub left: RootSide<'a>,
+    pub right: RootSide<'a>,
 }
 
 /// Per-pattern state vector access at the virtual root: tip codes or CLV.

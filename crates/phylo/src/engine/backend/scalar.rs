@@ -11,7 +11,8 @@
 
 use super::{
     build_tip_lookup_into, cat_index, category_weight, entry_lengths, fill_deriv_factors,
-    p_matrices_into, root_side, KernelBackend, KernelKind, TipTable,
+    p_matrices_into, root_side, KernelBackend, KernelKind, KernelScratch, OutsideJob, RootSide,
+    TipTable,
 };
 use crate::engine::{PartitionState, LN_MIN_LIKELIHOOD, MIN_LIKELIHOOD, TWO_TO_256};
 use crate::model::pmatrix::ProbMatrix;
@@ -46,6 +47,27 @@ impl KernelBackend for ScalarBackend {
 
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
         make_sumtable(part, n_taxa, d)
+    }
+
+    fn sumtable_sides(
+        &self,
+        part: &PartitionState,
+        a: &RootSide<'_>,
+        b: &RootSide<'_>,
+        sumtable: &mut Vec<f64>,
+    ) {
+        sumtable_sides(part, a, b, sumtable)
+    }
+
+    fn gradient_outside(
+        &self,
+        part: &PartitionState,
+        scratch: &mut KernelScratch,
+        job: &OutsideJob<'_>,
+        out_clv: &mut [f64],
+        out_scale: &mut [u32],
+    ) -> u64 {
+        gradient_outside(part, scratch, job, out_clv, out_scale)
     }
 
     fn derivatives_from_sumtable(
@@ -265,37 +287,104 @@ fn evaluate_root(
 /// The branch length itself enters only in [`derivatives_from_sumtable`],
 /// so Newton–Raphson iterations reuse one sumtable (RAxML's scheme).
 fn make_sumtable(part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
+    let mut sumtable = std::mem::take(&mut part.sumtable);
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        sumtable_sides(part, &a, &b, &mut sumtable);
+    }
+    part.sumtable = sumtable;
+}
+
+/// The sumtable core over two explicit sides (shared by [`make_sumtable`]
+/// and the gradient sweep, so both paths are one kernel).
+fn sumtable_sides(part: &PartitionState, a: &RootSide<'_>, b: &RootSide<'_>, out: &mut Vec<f64>) {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let freqs = *part.model.freqs();
     let v = *part.model.v();
     let vi = *part.model.v_inv();
 
-    let mut sumtable = std::mem::take(&mut part.sumtable);
-    sumtable.resize(n_patterns * cats * NUM_STATES, 0.0);
-    {
-        let a = root_side(part, n_taxa, d.root_a);
-        let b = root_side(part, n_taxa, d.root_b);
-        let mut xa = [0.0; NUM_STATES];
-        let mut xb = [0.0; NUM_STATES];
-        for i in 0..n_patterns {
-            for c in 0..cats {
-                a.state(i, c, cats, &mut xa);
-                b.state(i, c, cats, &mut xb);
-                let base = (i * cats + c) * NUM_STATES;
-                for e in 0..NUM_STATES {
-                    let mut ae = 0.0;
-                    let mut be = 0.0;
-                    for s in 0..NUM_STATES {
-                        ae += freqs[s] * xa[s] * v[s][e];
-                        be += vi[e][s] * xb[s];
-                    }
-                    sumtable[base + e] = ae * be;
+    out.resize(n_patterns * cats * NUM_STATES, 0.0);
+    let mut xa = [0.0; NUM_STATES];
+    let mut xb = [0.0; NUM_STATES];
+    for i in 0..n_patterns {
+        for c in 0..cats {
+            a.state(i, c, cats, &mut xa);
+            b.state(i, c, cats, &mut xb);
+            let base = (i * cats + c) * NUM_STATES;
+            for e in 0..NUM_STATES {
+                let mut ae = 0.0;
+                let mut be = 0.0;
+                for s in 0..NUM_STATES {
+                    ae += freqs[s] * xa[s] * v[s][e];
+                    be += vi[e][s] * xb[s];
                 }
+                out[base + e] = ae * be;
             }
         }
     }
-    part.sumtable = sumtable;
+}
+
+/// Materialize one outside CLV: `newview`'s inner loop with explicit sources
+/// and destination, uncompressed over all patterns. The arithmetic —
+/// contribution row-dots, `lv·rv` products, the rescale test and factor —
+/// is [`newview_entry`]'s exactly, so the result is bitwise identical to
+/// what a per-edge traversal would have computed for the same direction.
+fn gradient_outside(
+    part: &PartitionState,
+    scratch: &mut KernelScratch,
+    job: &OutsideJob<'_>,
+    out_clv: &mut [f64],
+    out_scale: &mut [u32],
+) -> u64 {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    p_matrices_into(part, job.t_left, &mut scratch.ps_a);
+    p_matrices_into(part, job.t_right, &mut scratch.ps_b);
+    if matches!(job.left, RootSide::Tip(_)) {
+        build_tip_lookup_into(&scratch.ps_a, &mut scratch.lookup_a);
+    }
+    if matches!(job.right, RootSide::Tip(_)) {
+        build_tip_lookup_into(&scratch.ps_b, &mut scratch.lookup_b);
+    }
+    let left = grad_child(&job.left, &scratch.ps_a, &scratch.lookup_a);
+    let right = grad_child(&job.right, &scratch.ps_b, &scratch.lookup_b);
+
+    let mut lv = [0.0; NUM_STATES];
+    let mut rv = [0.0; NUM_STATES];
+    for i in 0..n_patterns {
+        let mut maxv = 0.0f64;
+        let base_i = i * cats * NUM_STATES;
+        for c in 0..cats {
+            let k = cat_index(&part.rates, i, c);
+            left.contribution(i, c, cats, k, &mut lv);
+            right.contribution(i, c, cats, k, &mut rv);
+            let out = &mut out_clv[base_i + c * NUM_STATES..base_i + (c + 1) * NUM_STATES];
+            for s in 0..NUM_STATES {
+                let v = lv[s] * rv[s];
+                out[s] = v;
+                maxv = maxv.max(v.abs());
+            }
+        }
+        let mut count = left.scale_of(i) + right.scale_of(i);
+        if maxv < MIN_LIKELIHOOD {
+            for v in out_clv[base_i..base_i + cats * NUM_STATES].iter_mut() {
+                *v *= TWO_TO_256;
+            }
+            count += 1;
+        }
+        out_scale[i] = count;
+    }
+    (n_patterns * cats) as u64
+}
+
+/// View a gradient-sweep source as a `newview` child.
+fn grad_child<'a>(side: &RootSide<'a>, ps: &'a [ProbMatrix], lookup: &'a [TipTable]) -> Child<'a> {
+    match side {
+        RootSide::Tip(codes) => Child::Tip { codes, lookup },
+        RootSide::Inner { clv, scale } => Child::Inner { clv, scale, ps },
+    }
 }
 
 /// `(dlnL/dt, d²lnL/dt²)` of one partition at branch length `t`, from the

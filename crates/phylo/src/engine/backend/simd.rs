@@ -22,7 +22,8 @@
 
 use super::{
     build_tip_lookup_into, category_weight, entry_lengths, fill_deriv_factors, p_matrices_into,
-    root_side, transpose_into, KernelBackend, KernelKind, TipTable,
+    root_side, transpose_into, KernelBackend, KernelKind, KernelScratch, OutsideJob, RootSide,
+    TipTable,
 };
 use crate::engine::{Engine, PartitionState};
 use crate::model::pmatrix::ProbMatrix;
@@ -57,6 +58,27 @@ impl KernelBackend for SimdBackend {
 
     fn make_sumtable(&self, part: &mut PartitionState, n_taxa: usize, d: &TraversalDescriptor) {
         make_sumtable(part, n_taxa, d)
+    }
+
+    fn sumtable_sides(
+        &self,
+        part: &PartitionState,
+        a: &RootSide<'_>,
+        b: &RootSide<'_>,
+        sumtable: &mut Vec<f64>,
+    ) {
+        sumtable_sides_impl(part, a, b, sumtable, avx2_usable())
+    }
+
+    fn gradient_outside(
+        &self,
+        part: &PartitionState,
+        scratch: &mut KernelScratch,
+        job: &OutsideJob<'_>,
+        out_clv: &mut [f64],
+        out_scale: &mut [u32],
+    ) -> u64 {
+        gradient_outside_impl(part, scratch, job, out_clv, out_scale, avx2_usable())
     }
 
     fn derivatives_from_sumtable(
@@ -324,6 +346,24 @@ fn make_sumtable_impl(
     d: &TraversalDescriptor,
     use_avx2: bool,
 ) {
+    let mut sumtable = std::mem::take(&mut part.sumtable);
+    {
+        let a = root_side(part, n_taxa, d.root_a);
+        let b = root_side(part, n_taxa, d.root_b);
+        sumtable_sides_impl(part, &a, &b, &mut sumtable, use_avx2);
+    }
+    part.sumtable = sumtable;
+}
+
+/// The sumtable core over two explicit sides (shared by [`make_sumtable`]
+/// and the gradient sweep, so both paths are one kernel).
+fn sumtable_sides_impl(
+    part: &PartitionState,
+    a: &RootSide<'_>,
+    b: &RootSide<'_>,
+    out: &mut Vec<f64>,
+    use_avx2: bool,
+) {
     let n_patterns = part.data.n_patterns();
     let cats = part.rates.clv_categories();
     let freqs = *part.model.freqs();
@@ -338,26 +378,104 @@ fn make_sumtable_impl(
         }
     }
 
-    let mut sumtable = std::mem::take(&mut part.sumtable);
-    sumtable.resize(n_patterns * cats * NUM_STATES, 0.0);
-    {
-        let a = root_side(part, n_taxa, d.root_a);
-        let b = root_side(part, n_taxa, d.root_b);
-        #[cfg(target_arch = "x86_64")]
-        if use_avx2 {
-            unsafe {
-                avx2::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
-            }
-        } else {
-            portable::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
+    out.resize(n_patterns * cats * NUM_STATES, 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        unsafe {
+            avx2::sumtable_patterns(a, b, &freqs, &v, &vit, n_patterns, cats, out);
         }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            let _ = use_avx2;
-            portable::sumtable_patterns(&a, &b, &freqs, &v, &vit, n_patterns, cats, &mut sumtable);
-        }
+    } else {
+        portable::sumtable_patterns(a, b, &freqs, &v, &vit, n_patterns, cats, out);
     }
-    part.sumtable = sumtable;
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = use_avx2;
+        portable::sumtable_patterns(a, b, &freqs, &v, &vit, n_patterns, cats, out);
+    }
+}
+
+/// Materialize one outside CLV. The pattern loops are the *same*
+/// `newview_patterns` functions `newview_entry` dispatches to — run over an
+/// identity pattern list with explicit sources and destination — so the
+/// result is bitwise identical to a per-edge traversal's CLV for the same
+/// direction, on both the AVX2 and the portable path.
+fn gradient_outside_impl(
+    part: &PartitionState,
+    scratch: &mut KernelScratch,
+    job: &OutsideJob<'_>,
+    out_clv: &mut [f64],
+    out_scale: &mut [u32],
+    use_avx2: bool,
+) -> u64 {
+    let n_patterns = part.data.n_patterns();
+    let cats = part.rates.clv_categories();
+    p_matrices_into(part, job.t_left, &mut scratch.ps_a);
+    p_matrices_into(part, job.t_right, &mut scratch.ps_b);
+    transpose_into(&scratch.ps_a, &mut scratch.cols_a);
+    transpose_into(&scratch.ps_b, &mut scratch.cols_b);
+    if matches!(job.left, RootSide::Tip(_)) {
+        build_tip_lookup_into(&scratch.ps_a, &mut scratch.lookup_a);
+    }
+    if matches!(job.right, RootSide::Tip(_)) {
+        build_tip_lookup_into(&scratch.ps_b, &mut scratch.lookup_b);
+    }
+    crate::engine::repeats::fill_identity(&mut scratch.grad_ident, n_patterns);
+
+    let left = simd_grad_child(&job.left, &scratch.cols_a, &scratch.lookup_a);
+    let right = simd_grad_child(&job.right, &scratch.cols_b, &scratch.lookup_b);
+    let patterns: &[u32] = &scratch.grad_ident;
+
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        unsafe {
+            avx2::newview_patterns(
+                &part.rates,
+                &left,
+                &right,
+                patterns,
+                cats,
+                out_clv,
+                out_scale,
+            );
+        }
+    } else {
+        portable::newview_patterns(
+            &part.rates,
+            &left,
+            &right,
+            patterns,
+            cats,
+            out_clv,
+            out_scale,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = use_avx2;
+        portable::newview_patterns(
+            &part.rates,
+            &left,
+            &right,
+            patterns,
+            cats,
+            out_clv,
+            out_scale,
+        );
+    }
+    (n_patterns * cats) as u64
+}
+
+/// View a gradient-sweep source as a `newview` child (column-major P for the
+/// SIMD matrix–vector products).
+fn simd_grad_child<'a>(
+    side: &RootSide<'a>,
+    cols: &'a [ProbMatrix],
+    lookup: &'a [TipTable],
+) -> SimdChild<'a> {
+    match side {
+        RootSide::Tip(codes) => SimdChild::Tip { codes, lookup },
+        RootSide::Inner { clv, scale } => SimdChild::Inner { clv, scale, cols },
+    }
 }
 
 fn derivatives_from_sumtable(
@@ -1053,6 +1171,89 @@ mod tests {
                 assert_eq!(s1, v1, "avx2 d1 terms at {t}");
                 assert_eq!(s2, v2, "avx2 d2 terms at {t}");
             }
+        }
+    }
+
+    /// The gradient-sweep entry points must hold the same dual-path bitwise
+    /// contract as the classic kernels: the outside-CLV builder runs the
+    /// shared `newview_patterns` core over an identity pattern list, so
+    /// scalar, portable, and AVX2 paths must agree bit for bit on the CLV,
+    /// the scale counts, and the work accounting.
+    #[test]
+    fn gradient_outside_paths_match_scalar_bitwise() {
+        let n_taxa = 7;
+        let s = slice(n_taxa, 41, 77);
+        let mk = || {
+            Engine::with_kernel(
+                n_taxa,
+                vec![s.clone()],
+                RateModelKind::Gamma,
+                0.6,
+                KernelKind::Scalar,
+            )
+        };
+        let mut tree = Tree::random(n_taxa, 1, 5);
+        let d = tree.full_traversal_descriptor(0);
+        let plan = tree.gradient_plan(0);
+        // A first-generation step: both sides resolve to inward CLVs, so
+        // the job can be built without running the whole sweep.
+        let step = plan
+            .steps
+            .iter()
+            .find(|st| st.left.from_outside.is_none() && st.right.from_outside.is_none())
+            .expect("plan must start at a root endpoint");
+
+        let scalar = backend_for(KernelKind::Scalar);
+        let run = |path: Option<bool>| -> (Vec<f64>, Vec<u32>, u64) {
+            let mut eng = mk();
+            for entry in &d.entries {
+                scalar.newview_entry(&mut eng.parts[0], n_taxa, entry);
+            }
+            let part = &mut eng.parts[0];
+            let gi = part.data.global_index;
+            let mut out_clv = vec![0.0; part.clv_len()];
+            let mut out_scale = vec![0u32; part.data.n_patterns()];
+            let mut scratch = std::mem::take(&mut part.scratch);
+            let w;
+            {
+                let job = OutsideJob {
+                    t_left: Engine::branch_length(&step.left.lengths, gi),
+                    t_right: Engine::branch_length(&step.right.lengths, gi),
+                    left: root_side(part, n_taxa, step.left.node),
+                    right: root_side(part, n_taxa, step.right.node),
+                };
+                w = match path {
+                    None => scalar.gradient_outside(
+                        part,
+                        &mut scratch,
+                        &job,
+                        &mut out_clv,
+                        &mut out_scale,
+                    ),
+                    Some(avx2) => gradient_outside_impl(
+                        part,
+                        &mut scratch,
+                        &job,
+                        &mut out_clv,
+                        &mut out_scale,
+                        avx2,
+                    ),
+                };
+            }
+            part.scratch = scratch;
+            (out_clv, out_scale, w)
+        };
+
+        let (clv_s, scale_s, w_s) = run(None);
+        let (clv_p, scale_p, w_p) = run(Some(false));
+        assert_eq!(clv_s, clv_p, "portable outside CLV differs");
+        assert_eq!(scale_s, scale_p, "portable outside scale differs");
+        assert_eq!(w_s, w_p);
+        if avx2_usable() {
+            let (clv_a, scale_a, w_a) = run(Some(true));
+            assert_eq!(clv_s, clv_a, "avx2 outside CLV differs");
+            assert_eq!(scale_s, scale_a, "avx2 outside scale differs");
+            assert_eq!(w_s, w_a);
         }
     }
 

@@ -1,0 +1,166 @@
+//! Full-tree analytic branch-gradient configuration.
+//!
+//! The gradient sweep (see [`Engine::edge_gradient`](super::Engine::edge_gradient))
+//! computes `dlnL/dt` (and curvature) for **every** edge in one post-order +
+//! pre-order pass, so a branch-length-optimization pass needs a single fat
+//! collective instead of one small derivative allreduce per edge (Ji et al.,
+//! "Gradients do grow on trees"). Whether BLO is driven from the sweep or
+//! from the historical per-edge Newton loop is a run-wide setting: both
+//! produce bitwise-identical branch lengths and likelihoods, but the
+//! *collective call sequence* differs, so mixed worlds would deadlock. The
+//! setting is therefore negotiated exactly like the kernel backend and
+//! site-repeat compression (one-byte capability allgather, minimum wins) and
+//! folded into the replica sentinel's backend fingerprint, which catches a
+//! forced mixed world at the first sync.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether branch-length optimization is driven by the one-pass full-tree
+/// gradient sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GradientMode {
+    On,
+    Off,
+}
+
+impl GradientMode {
+    /// Stable lowercase label (CLI values, trace/health stamps).
+    pub fn label(&self) -> &'static str {
+        match self {
+            GradientMode::On => "on",
+            GradientMode::Off => "off",
+        }
+    }
+
+    /// Capability level for the one-byte auto-negotiation allgather
+    /// (minimum wins: any rank advertising `off` disables the sweep
+    /// everywhere).
+    pub fn capability_level(&self) -> u8 {
+        match self {
+            GradientMode::Off => 0,
+            GradientMode::On => 1,
+        }
+    }
+
+    /// Inverse of [`GradientMode::capability_level`], saturating up for
+    /// unknown (future) levels.
+    pub fn from_capability_level(level: u8) -> GradientMode {
+        if level >= 1 {
+            GradientMode::On
+        } else {
+            GradientMode::Off
+        }
+    }
+}
+
+impl std::fmt::Display for GradientMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A gradient-BLO policy, as requested on the command line or via the
+/// `EXAML_GRADIENT` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GradientChoice {
+    /// Force the gradient-driven BLO pass.
+    On,
+    /// Force the historical per-edge Newton loop.
+    Off,
+    /// Enable unless some rank opts out (requires negotiation in multi-rank
+    /// runs; locally resolves to on — the sweep is pure software).
+    Auto,
+}
+
+impl GradientChoice {
+    /// Parse a CLI/env value (`on`, `off`, `auto`).
+    pub fn parse(s: &str) -> Option<GradientChoice> {
+        match s {
+            "on" => Some(GradientChoice::On),
+            "off" => Some(GradientChoice::Off),
+            "auto" => Some(GradientChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GradientChoice::On => "on",
+            GradientChoice::Off => "off",
+            GradientChoice::Auto => "auto",
+        }
+    }
+
+    /// The process-wide default: `EXAML_GRADIENT` if set to a valid value,
+    /// otherwise `auto`. Invalid values fall back to `auto` rather than
+    /// aborting — the engine is used far from any CLI error path.
+    pub fn from_env() -> GradientChoice {
+        match std::env::var("EXAML_GRADIENT") {
+            Ok(v) => GradientChoice::parse(&v).unwrap_or(GradientChoice::Auto),
+            Err(_) => GradientChoice::Auto,
+        }
+    }
+
+    /// Resolve this policy locally. Multi-rank drivers must instead exchange
+    /// [`GradientChoice::capability_level`]s and agree on the minimum.
+    pub fn resolve_local(self) -> GradientMode {
+        match self {
+            GradientChoice::On => GradientMode::On,
+            GradientChoice::Off => GradientMode::Off,
+            GradientChoice::Auto => GradientMode::On,
+        }
+    }
+
+    /// The capability level this rank advertises in the auto-negotiation
+    /// allgather.
+    pub fn capability_level(self) -> u8 {
+        self.resolve_local().capability_level()
+    }
+}
+
+impl std::fmt::Display for GradientChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for choice in [
+            GradientChoice::On,
+            GradientChoice::Off,
+            GradientChoice::Auto,
+        ] {
+            assert_eq!(GradientChoice::parse(choice.label()), Some(choice));
+        }
+        assert_eq!(GradientChoice::parse("newton"), None);
+    }
+
+    #[test]
+    fn capability_levels_are_ordered_and_invertible() {
+        assert!(GradientMode::Off.capability_level() < GradientMode::On.capability_level());
+        for mode in [GradientMode::On, GradientMode::Off] {
+            assert_eq!(
+                GradientMode::from_capability_level(mode.capability_level()),
+                mode
+            );
+        }
+        // Unknown future levels saturate to the best we know.
+        assert_eq!(GradientMode::from_capability_level(200), GradientMode::On);
+    }
+
+    #[test]
+    fn auto_resolves_on() {
+        assert_eq!(GradientChoice::Auto.resolve_local(), GradientMode::On);
+        assert_eq!(
+            GradientChoice::Auto.capability_level(),
+            GradientMode::On.capability_level()
+        );
+        assert_eq!(GradientChoice::Off.resolve_local(), GradientMode::Off);
+    }
+}

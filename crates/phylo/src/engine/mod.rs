@@ -20,21 +20,23 @@
 //! arithmetic.
 
 pub mod backend;
+pub mod gradient;
 mod pool;
 pub mod repeats;
 mod site_rates;
 
 pub use backend::{simd_available, KernelChoice, KernelKind};
+pub use gradient::{GradientChoice, GradientMode};
 pub use pool::{ThreadCount, ThreadsChoice};
 pub use repeats::{RepeatsChoice, SiteRepeats};
 
-use backend::{KernelBackend, KernelScratch};
+use backend::{root_side, KernelBackend, KernelScratch, OutsideJob, RootSide};
 use pool::{TaskSlots, WorkerPool};
 use repeats::{NodeRepeats, RepeatScratch};
 
 use crate::model::gtr::GtrModel;
 use crate::model::rates::{RateHeterogeneity, RateModelKind};
-use crate::tree::traversal::TraversalDescriptor;
+use crate::tree::traversal::{GradSource, GradientPlan, TraversalDescriptor};
 use exa_bio::dna::NUM_STATES;
 use exa_bio::patterns::CompressedPartition;
 use exa_bio::stats::empirical_frequencies;
@@ -45,6 +47,10 @@ use std::sync::Arc;
 /// denominator terms) by the `*_with_terms` kernel variants, so callers can
 /// feed reproducible binned reductions.
 pub type PairTermsSink<'a> = dyn FnMut(usize, &[f64], &[f64]) + 'a;
+
+/// Per-pattern derivative-addend sink for the full-tree gradient sweep:
+/// `(local_partition, edge, d1_terms, d2_terms)`.
+pub type EdgeTermsSink<'a> = dyn FnMut(usize, usize, &[f64], &[f64]) + 'a;
 
 /// CLV underflow threshold: entries below 2⁻²⁵⁶ trigger rescaling by 2²⁵⁶
 /// (RAxML's constants).
@@ -212,6 +218,16 @@ pub(crate) struct PartitionState {
     /// the caller's sink in local-partition order.
     pub terms_a: Vec<f64>,
     pub terms_b: Vec<f64>,
+    /// Gradient-sweep scratch: per-edge "outside" CLVs and their scaling
+    /// counts (`grad_clv[edge]`), sized lazily on the first sweep and
+    /// reused across sweeps.
+    pub grad_clv: Vec<Vec<f64>>,
+    pub grad_scale: Vec<Vec<u32>>,
+    /// Per-edge first/second-derivative term buffers filled by
+    /// [`Engine::edge_gradient_with_terms`] inside the parallel batch
+    /// region, consumed serially by the caller's sink.
+    pub grad_t1: Vec<Vec<f64>>,
+    pub grad_t2: Vec<Vec<f64>>,
 }
 
 impl PartitionState {
@@ -246,6 +262,10 @@ impl PartitionState {
             repeat_scratch: RepeatScratch::default(),
             terms_a: Vec::new(),
             terms_b: Vec::new(),
+            grad_clv: Vec::new(),
+            grad_scale: Vec::new(),
+            grad_t1: Vec::new(),
+            grad_t2: Vec::new(),
         }
     }
 
@@ -765,6 +785,62 @@ impl Engine {
         (d1, d2)
     }
 
+    /// Full-tree branch gradient: `(dlnL/dt, d²lnL/dt²)` for **every** edge
+    /// of the plan, per local partition (`result[local][edge]`), in one
+    /// pre-order sweep over materialized outside CLVs — a single kernel
+    /// dispatch per batch instead of one `prepare`+`derivatives` pair per
+    /// edge. Each edge's pair is produced by the *same*
+    /// `derivatives_from_sumtable` kernel the per-edge path runs, from a
+    /// sumtable whose sides are the canonical CLVs of the edge's two
+    /// directions, so every entry is bitwise identical to what
+    /// [`Engine::prepare_derivatives`] + [`Engine::derivatives`] would
+    /// return at that edge. Inward CLVs must be valid and oriented toward
+    /// the plan's root edge (execute the root's traversal descriptor first).
+    pub fn edge_gradient(&mut self, plan: &GradientPlan) -> Vec<Vec<(f64, f64)>> {
+        self.edge_gradient_impl(plan, false)
+    }
+
+    /// [`Engine::edge_gradient`] variant that also hands the caller the
+    /// per-pattern first/second-derivative addends of every edge
+    /// (`sink(local_index, edge, d1_terms, d2_terms)`, serially in
+    /// local-partition-major order), for reproducible binned reduction.
+    pub fn edge_gradient_with_terms(
+        &mut self,
+        plan: &GradientPlan,
+        sink: &mut EdgeTermsSink<'_>,
+    ) -> Vec<Vec<(f64, f64)>> {
+        let out = self.edge_gradient_impl(plan, true);
+        for local in 0..self.parts.len() {
+            let part = &self.parts[local];
+            for edge in 0..plan.n_edges {
+                sink(local, edge, &part.grad_t1[edge], &part.grad_t2[edge]);
+            }
+        }
+        out
+    }
+
+    fn edge_gradient_impl(
+        &mut self,
+        plan: &GradientPlan,
+        want_terms: bool,
+    ) -> Vec<Vec<(f64, f64)>> {
+        let _span = exa_obs::region(exa_obs::RegionKind::CoreDerivative);
+        let started = std::time::Instant::now();
+        let n_taxa = self.n_taxa;
+        let backend = self.backend;
+        let results = self.for_each_part(Some(exa_obs::RegionKind::CoreDerivative), |_, part| {
+            sweep_partition(backend, part, n_taxa, plan, want_terms)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (grad, w) in results {
+            out.push(grad);
+            self.work.deriv_patterns += w;
+        }
+        self.work.dispatches += self.batches.len() as u64;
+        self.work.kernel_ns += started.elapsed().as_nanos() as u64;
+        out
+    }
+
     /// Locally optimize per-pattern PSR rates (see the `site_rates` module) —
     /// returns `(Σ w·r, Σ w)` over local patterns so the caller can compute
     /// the global normalization with one small allreduce.
@@ -842,5 +918,153 @@ impl Engine {
                 part.repeat_epoch += 1;
             }
         }
+    }
+}
+
+/// One partition's full-tree gradient sweep: root-edge derivatives straight
+/// from the two inward sides, then each plan step materializes the parent's
+/// outside CLV (uncompressed — bitwise-neutral w.r.t. site repeats, see the
+/// `repeats` module doc) and runs the stock sumtable + derivative kernels at
+/// that edge. Returns the per-edge `(d1, d2)` pairs and the pattern·category
+/// work count.
+fn sweep_partition(
+    backend: &'static dyn KernelBackend,
+    part: &mut PartitionState,
+    n_taxa: usize,
+    plan: &GradientPlan,
+    want_terms: bool,
+) -> (Vec<(f64, f64)>, u64) {
+    let gi = part.data.global_index;
+    let n_patterns = part.data.n_patterns();
+    let clv_len = part.clv_len();
+    let mut grad = vec![(0.0, 0.0); plan.n_edges];
+    let mut work = 0u64;
+    let mut grad_clv = std::mem::take(&mut part.grad_clv);
+    let mut grad_scale = std::mem::take(&mut part.grad_scale);
+    let mut grad_t1 = std::mem::take(&mut part.grad_t1);
+    let mut grad_t2 = std::mem::take(&mut part.grad_t2);
+    grad_clv.resize_with(plan.n_edges, Vec::new);
+    grad_scale.resize_with(plan.n_edges, Vec::new);
+    if want_terms {
+        grad_t1.resize_with(plan.n_edges, Vec::new);
+        grad_t2.resize_with(plan.n_edges, Vec::new);
+    }
+    // Root edge: sumtable straight from the two inward sides — exactly what
+    // `make_sumtable` builds for the per-edge path.
+    {
+        let mut st = std::mem::take(&mut part.sumtable);
+        {
+            let a = root_side(part, n_taxa, plan.root_a);
+            let b = root_side(part, n_taxa, plan.root_b);
+            backend.sumtable_sides(part, &a, &b, &mut st);
+        }
+        part.sumtable = st;
+    }
+    work += grad_deriv_at(
+        backend,
+        part,
+        &mut grad,
+        &mut grad_t1,
+        &mut grad_t2,
+        want_terms,
+        plan.root_edge,
+        &plan.root_lengths,
+        gi,
+    );
+    for step in &plan.steps {
+        let mut out_clv = std::mem::take(&mut grad_clv[step.edge]);
+        let mut out_scale = std::mem::take(&mut grad_scale[step.edge]);
+        out_clv.resize(clv_len, 0.0);
+        out_scale.resize(n_patterns, 0);
+        let mut scratch = std::mem::take(&mut part.scratch);
+        {
+            let left = grad_source_side(part, n_taxa, &grad_clv, &grad_scale, &step.left);
+            let right = grad_source_side(part, n_taxa, &grad_clv, &grad_scale, &step.right);
+            let job = OutsideJob {
+                t_left: Engine::branch_length(&step.left.lengths, gi),
+                t_right: Engine::branch_length(&step.right.lengths, gi),
+                left,
+                right,
+            };
+            work +=
+                backend.gradient_outside(part, &mut scratch, &job, &mut out_clv, &mut out_scale);
+        }
+        part.scratch = scratch;
+        grad_clv[step.edge] = out_clv;
+        grad_scale[step.edge] = out_scale;
+        {
+            let mut st = std::mem::take(&mut part.sumtable);
+            {
+                let outside = RootSide::Inner {
+                    clv: &grad_clv[step.edge],
+                    scale: &grad_scale[step.edge],
+                };
+                let inward = root_side(part, n_taxa, step.child);
+                // `make_sumtable` roots at (edge.a, edge.b) with xa = edge.a's
+                // side; mirror that orientation so the sumtable is bitwise
+                // identical to the per-edge path's.
+                let (a, b) = if step.swap_sides {
+                    (&inward, &outside)
+                } else {
+                    (&outside, &inward)
+                };
+                backend.sumtable_sides(part, a, b, &mut st);
+            }
+            part.sumtable = st;
+        }
+        work += grad_deriv_at(
+            backend,
+            part,
+            &mut grad,
+            &mut grad_t1,
+            &mut grad_t2,
+            want_terms,
+            step.edge,
+            &step.lengths,
+            gi,
+        );
+    }
+    part.grad_clv = grad_clv;
+    part.grad_scale = grad_scale;
+    part.grad_t1 = grad_t1;
+    part.grad_t2 = grad_t2;
+    (grad, work)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grad_deriv_at(
+    backend: &dyn KernelBackend,
+    part: &mut PartitionState,
+    grad: &mut [(f64, f64)],
+    t1: &mut [Vec<f64>],
+    t2: &mut [Vec<f64>],
+    want_terms: bool,
+    edge: usize,
+    lengths: &[f64],
+    gi: usize,
+) -> u64 {
+    let t = Engine::branch_length(lengths, gi);
+    let (d1, d2, w) = if want_terms {
+        backend.derivatives_from_sumtable(part, t, Some((&mut t1[edge], &mut t2[edge])))
+    } else {
+        backend.derivatives_from_sumtable(part, t, None)
+    };
+    grad[edge] = (d1, d2);
+    w
+}
+
+fn grad_source_side<'a>(
+    part: &'a PartitionState,
+    n_taxa: usize,
+    grad_clv: &'a [Vec<f64>],
+    grad_scale: &'a [Vec<u32>],
+    src: &GradSource,
+) -> RootSide<'a> {
+    match src.from_outside {
+        Some(e) => RootSide::Inner {
+            clv: &grad_clv[e],
+            scale: &grad_scale[e],
+        },
+        None => root_side(part, n_taxa, src.node),
     }
 }

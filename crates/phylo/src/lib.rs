@@ -27,8 +27,8 @@ pub mod numerics;
 pub mod tree;
 
 pub use engine::{
-    simd_available, Engine, KernelChoice, KernelKind, PartitionSlice, RepeatsChoice, SiteRepeats,
-    ThreadCount, ThreadsChoice, WorkCounters,
+    simd_available, Engine, GradientChoice, GradientMode, KernelChoice, KernelKind, PartitionSlice,
+    RepeatsChoice, SiteRepeats, ThreadCount, ThreadsChoice, WorkCounters,
 };
 pub use model::{GtrModel, RateHeterogeneity, RateModelKind};
 pub use tree::{EdgeId, NodeId, Tree};

@@ -66,6 +66,80 @@ impl TraversalDescriptor {
     }
 }
 
+/// One side feeding an "outside" CLV computation in a gradient sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradSource {
+    /// The neighbor node this side descends through.
+    pub node: NodeId,
+    /// Branch lengths parent–node (1 entry = joint, else per partition).
+    pub lengths: Vec<f64>,
+    /// `Some(e)`: read the outside CLV the sweep previously materialized for
+    /// edge `e` (the parent's own up-edge; always an earlier step). `None`:
+    /// read the node's inward side — tip codes or its root-oriented cached
+    /// CLV.
+    pub from_outside: Option<EdgeId>,
+}
+
+/// One pre-order step of a gradient sweep: materialize the CLV of `parent`
+/// looking toward `child` (everything on the far side of `edge`), combined
+/// from the two non-`child` neighbors of `parent`, then take the branch
+/// derivative of `edge` from that outside CLV and `child`'s inward side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradStep {
+    /// The edge (`parent`–`child`) this step handles.
+    pub edge: EdgeId,
+    pub parent: NodeId,
+    pub child: NodeId,
+    /// Branch lengths of `edge` — the point the derivative is taken at.
+    pub lengths: Vec<f64>,
+    /// True when `edge.a == child`. The per-edge derivative path roots the
+    /// sumtable at `(edge.a, edge.b)` and side order is observable in the
+    /// bits, so the sweep must put the child's inward CLV on the `a` side
+    /// whenever the stored edge record does.
+    pub swap_sides: bool,
+    /// Left source — smaller node id first, the same deterministic child
+    /// order `collect_entries` uses, so the outside CLV is bitwise identical
+    /// to the CLV a per-edge traversal would have computed.
+    pub left: GradSource,
+    pub right: GradSource,
+}
+
+/// A full-tree gradient sweep plan rooted at the virtual-root edge the
+/// inward CLVs are currently oriented toward. Like a
+/// [`TraversalDescriptor`], the plan is pure node ids and branch lengths, so
+/// tree-less fork-join workers can execute it from the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientPlan {
+    /// The virtual-root edge (derivative taken directly from the two inward
+    /// sides, exactly like the per-edge path's sumtable at that edge).
+    pub root_edge: EdgeId,
+    pub root_a: NodeId,
+    pub root_b: NodeId,
+    pub root_lengths: Vec<f64>,
+    /// Total number of edges in the tree (= gradient vector length).
+    pub n_edges: usize,
+    /// Every non-root edge exactly once, parents before children.
+    pub steps: Vec<GradStep>,
+}
+
+impl GradientPlan {
+    /// Theoretical wire size in bytes when the plan is broadcast under
+    /// fork-join (same byte-counting convention as
+    /// [`TraversalDescriptor::wire_bytes`]).
+    pub fn wire_bytes(&self) -> u64 {
+        let steps: u64 = self
+            .steps
+            .iter()
+            .map(|s| {
+                // edge + parent + child + 2×(node + from_outside) ids, plus
+                // the three length vectors.
+                7 * 4 + 8 * (s.lengths.len() + s.left.lengths.len() + s.right.lengths.len()) as u64
+            })
+            .sum();
+        steps + 3 * 4 + 8 * self.root_lengths.len() as u64 + 4
+    }
+}
+
 impl Tree {
     /// Compute the descriptor that makes the likelihood evaluable at edge
     /// `root`. Marks the affected CLVs as valid (the engine is expected to
@@ -125,6 +199,79 @@ impl Tree {
     pub fn full_traversal_descriptor(&mut self, root: EdgeId) -> TraversalDescriptor {
         self.invalidate_all();
         self.traversal_descriptor(root)
+    }
+
+    /// Build the pre-order sweep plan for a full-tree branch gradient rooted
+    /// at edge `root`. Pure read: the caller must already have executed
+    /// [`Tree::traversal_descriptor`] at the same edge so every inward CLV
+    /// is valid and oriented toward `root`.
+    pub fn gradient_plan(&self, root: EdgeId) -> GradientPlan {
+        let (root_a, root_b) = {
+            let e = self.edge(root);
+            (e.a, e.b)
+        };
+        let mut steps = Vec::with_capacity(self.n_edges().saturating_sub(1));
+        // (parent, up neighbor, parent's up-edge — None at a root endpoint,
+        // where the up side is the other endpoint's inward CLV).
+        let mut stack: Vec<(NodeId, NodeId, Option<EdgeId>)> = Vec::new();
+        if !self.is_tip(root_b) {
+            stack.push((root_b, root_a, None));
+        }
+        if !self.is_tip(root_a) {
+            stack.push((root_a, root_b, None));
+        }
+        while let Some((parent, up, up_edge)) = stack.pop() {
+            let mut children: Vec<(NodeId, EdgeId)> = self
+                .neighbors(parent)
+                .iter()
+                .filter(|&&(n, _)| n != up)
+                .copied()
+                .collect();
+            debug_assert_eq!(children.len(), 2, "inner node must have 2 children");
+            children.sort_by_key(|&(n, _)| n);
+            let up_lengths = match up_edge {
+                Some(e) => self.edge(e).lengths.clone(),
+                None => self.edge(root).lengths.clone(),
+            };
+            for (idx, &(child, edge)) in children.iter().enumerate() {
+                let (sib, sib_edge) = children[1 - idx];
+                let up_src = GradSource {
+                    node: up,
+                    lengths: up_lengths.clone(),
+                    from_outside: up_edge,
+                };
+                let sib_src = GradSource {
+                    node: sib,
+                    lengths: self.edge(sib_edge).lengths.clone(),
+                    from_outside: None,
+                };
+                let (left, right) = if up < sib {
+                    (up_src, sib_src)
+                } else {
+                    (sib_src, up_src)
+                };
+                steps.push(GradStep {
+                    edge,
+                    parent,
+                    child,
+                    lengths: self.edge(edge).lengths.clone(),
+                    swap_sides: self.edge(edge).a == child,
+                    left,
+                    right,
+                });
+                if !self.is_tip(child) {
+                    stack.push((child, parent, Some(edge)));
+                }
+            }
+        }
+        GradientPlan {
+            root_edge: root,
+            root_a,
+            root_b,
+            root_lengths: self.edge(root).lengths.clone(),
+            n_edges: self.n_edges(),
+            steps,
+        }
     }
 }
 
@@ -232,5 +379,83 @@ mod tests {
         let da = a.full_traversal_descriptor(2);
         let db = b.full_traversal_descriptor(2);
         assert_eq!(da, db);
+    }
+
+    #[test]
+    fn gradient_plan_covers_every_nonroot_edge_once() {
+        for seed in [1u64, 5, 9] {
+            let t = Tree::random(14, 1, seed);
+            for root in [0usize, 3, t.n_edges() - 1] {
+                let plan = t.gradient_plan(root);
+                assert_eq!(plan.n_edges, t.n_edges());
+                assert_eq!(plan.steps.len(), t.n_edges() - 1);
+                let mut seen = std::collections::HashSet::new();
+                for s in &plan.steps {
+                    assert_ne!(s.edge, root, "root edge must not appear as a step");
+                    assert!(seen.insert(s.edge), "edge {} appears twice", s.edge);
+                    let e = t.edge(s.edge);
+                    assert!(
+                        (e.a == s.parent && e.b == s.child) || (e.a == s.child && e.b == s.parent)
+                    );
+                    assert_eq!(s.swap_sides, e.a == s.child);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_plan_dependencies_resolve_in_order() {
+        let t = Tree::random(20, 1, 7);
+        let plan = t.gradient_plan(4);
+        let mut done = std::collections::HashSet::new();
+        for s in &plan.steps {
+            for src in [&s.left, &s.right] {
+                if let Some(dep) = src.from_outside {
+                    assert!(
+                        done.contains(&dep),
+                        "step for edge {} reads outside CLV of edge {dep} before it exists",
+                        s.edge
+                    );
+                } else {
+                    // Inward sides come straight from the root-oriented CLV
+                    // set (or a tip) — never from the root edge itself.
+                    assert!(src.node < t.n_nodes());
+                }
+            }
+            done.insert(s.edge);
+        }
+    }
+
+    #[test]
+    fn gradient_plan_sides_sorted_like_collect_entries() {
+        let t = Tree::random(16, 1, 11);
+        let plan = t.gradient_plan(0);
+        for s in &plan.steps {
+            assert!(
+                s.left.node < s.right.node,
+                "sources must keep the smaller-node-id-first child order"
+            );
+            // The two sources plus the child are exactly the parent's
+            // neighborhood.
+            let mut nbrs: Vec<_> = t.neighbors(s.parent).iter().map(|&(n, _)| n).collect();
+            nbrs.sort_unstable();
+            let mut got = vec![s.left.node, s.right.node, s.child];
+            got.sort_unstable();
+            assert_eq!(nbrs, got);
+        }
+    }
+
+    #[test]
+    fn gradient_plan_per_partition_lengths_ride_along() {
+        let t = Tree::random(8, 3, 2);
+        let plan = t.gradient_plan(1);
+        assert_eq!(plan.root_lengths.len(), 3);
+        for s in &plan.steps {
+            assert_eq!(s.lengths.len(), 3);
+            assert_eq!(s.lengths, t.edge(s.edge).lengths);
+            assert_eq!(s.left.lengths.len(), 3);
+            assert_eq!(s.right.lengths.len(), 3);
+        }
+        assert!(plan.wire_bytes() > 0);
     }
 }

@@ -1,0 +1,289 @@
+//! The full-tree gradient sweep must be bitwise identical to the per-edge
+//! derivative path, and analytically correct.
+//!
+//! [`Engine::edge_gradient`] materializes "outside" CLVs in one pre-order
+//! pass and feeds every edge's sumtable through the same
+//! `derivatives_from_sumtable` kernel the per-edge Newton path runs. Because
+//! inward CLVs are pure functions of tree + model (traversal order never
+//! changes the arithmetic — children are always sorted smaller-node-id
+//! first) and the outside CLV of an edge is exactly the CLV a per-edge
+//! traversal would compute for the far side, every `(d1, d2)` pair must
+//! match the per-edge `prepare_derivatives` + `derivatives` result **bit for
+//! bit** — on both kernel backends, under Γ and PSR rate models, with
+//! subtree-repeat compression on and off, including the deep-tree regime
+//! where CLV rescaling fires. On top of the identity, central finite
+//! differences pin the analytic first and second derivatives to the actual
+//! log-likelihood surface.
+
+use exa_bio::alignment::Alignment;
+use exa_bio::partition::PartitionScheme;
+use exa_bio::patterns::CompressedAlignment;
+use exa_phylo::engine::{Engine, KernelKind, PartitionSlice};
+use exa_phylo::model::rates::RateModelKind;
+use exa_phylo::tree::Tree;
+use exa_phylo::SiteRepeats;
+use proptest::prelude::*;
+
+/// Deterministic repeat-rich alignment (near-duplicate columns survive
+/// pattern compression but repeat under most inner nodes), same construction
+/// the repeat-identity suite uses so both compression settings are
+/// meaningfully exercised.
+fn repeat_rich_alignment(n_taxa: usize, len: usize, n_distinct: usize, seed: u64) -> Alignment {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let cols: Vec<Vec<char>> = (0..n_distinct)
+        .map(|_| {
+            (0..n_taxa)
+                .map(|_| match next() % 14 {
+                    0..=2 => 'A',
+                    3..=5 => 'C',
+                    6..=8 => 'G',
+                    9..=11 => 'T',
+                    12 => 'N',
+                    _ => 'R',
+                })
+                .collect()
+        })
+        .collect();
+    let pick: Vec<usize> = (0..len).map(|_| (next() as usize) % n_distinct).collect();
+    let mut grid: Vec<Vec<char>> = (0..n_taxa)
+        .map(|t| pick.iter().map(|&p| cols[p][t]).collect())
+        .collect();
+    #[allow(clippy::needless_range_loop)] // `s` indexes a row picked per site
+    for s in 0..len {
+        let t = (next() as usize) % n_taxa;
+        grid[t][s] = match next() % 4 {
+            0 => 'A',
+            1 => 'C',
+            2 => 'G',
+            _ => 'T',
+        };
+    }
+    let names: Vec<String> = (0..n_taxa).map(|i| format!("t{i}")).collect();
+    let rows: Vec<String> = grid.into_iter().map(|r| r.into_iter().collect()).collect();
+    let named: Vec<(&str, &str)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(rows.iter().map(String::as_str))
+        .collect();
+    Alignment::from_ascii(&named).unwrap()
+}
+
+fn build_engine(
+    aln: &Alignment,
+    kind: RateModelKind,
+    kernel: KernelKind,
+    repeats: SiteRepeats,
+) -> Engine {
+    let comp = CompressedAlignment::build(aln, &PartitionScheme::unpartitioned(aln.n_sites()));
+    let slice = PartitionSlice::from_compressed(0, &comp.partitions[0]);
+    Engine::with_config(aln.n_taxa(), vec![slice], kind, 0.7, kernel, repeats)
+}
+
+/// The identity battery: one sweep at edge 0, then the per-edge path at
+/// every edge of the tree, asserting bitwise-equal `(d1, d2)` pairs. Also
+/// checks the `with_terms` variant returns identical pairs and that its
+/// per-pattern addends re-sum (serially, in pattern order) to the scalar —
+/// the contract the reproducible binned reduction relies on.
+#[allow(clippy::too_many_arguments)]
+fn assert_sweep_matches_per_edge(
+    kernel: KernelKind,
+    kind: RateModelKind,
+    repeats: SiteRepeats,
+    n_taxa: usize,
+    len: usize,
+    n_distinct: usize,
+    seed: u64,
+    scale: f64,
+) {
+    let aln = repeat_rich_alignment(n_taxa, len, n_distinct, seed);
+    let mut engine = build_engine(&aln, kind, kernel, repeats);
+    let mut tree = Tree::random(n_taxa, 1, seed);
+    for e in 0..tree.n_edges() {
+        let l = tree.edge(e).length(0);
+        tree.set_length(e, 0, l * scale);
+    }
+
+    let d = tree.full_traversal_descriptor(0);
+    engine.execute(&d);
+    let plan = tree.gradient_plan(0);
+    assert_eq!(plan.n_edges, tree.n_edges());
+    let sweep = engine.edge_gradient(&plan);
+
+    // The terms-producing variant must not perturb the pairs, and its
+    // addends must re-sum to them exactly.
+    let mut terms: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); plan.n_edges];
+    let sweep_t = engine.edge_gradient_with_terms(&plan, &mut |local, edge, t1, t2| {
+        assert_eq!(local, 0);
+        terms[edge] = (t1.to_vec(), t2.to_vec());
+    });
+    for e in 0..plan.n_edges {
+        assert_eq!(sweep[0][e].0.to_bits(), sweep_t[0][e].0.to_bits());
+        assert_eq!(sweep[0][e].1.to_bits(), sweep_t[0][e].1.to_bits());
+        let (re1, re2) = (
+            terms[e].0.iter().fold(0.0f64, |a, t| a + t),
+            terms[e].1.iter().fold(0.0f64, |a, t| a + t),
+        );
+        assert_eq!(
+            re1.to_bits(),
+            sweep[0][e].0.to_bits(),
+            "t1 re-sum, edge {e}"
+        );
+        assert_eq!(
+            re2.to_bits(),
+            sweep[0][e].1.to_bits(),
+            "t2 re-sum, edge {e}"
+        );
+    }
+
+    for (e, &(s1, s2)) in sweep[0].iter().enumerate() {
+        let de = tree.traversal_descriptor(e);
+        engine.execute(&de);
+        engine.prepare_derivatives(&de);
+        let lengths = tree.edge(e).lengths.clone();
+        let (d1, d2) = engine.derivatives(&lengths);
+        assert_eq!(
+            s1.to_bits(),
+            d1[0].to_bits(),
+            "d1 at edge {e}: sweep {} vs per-edge {} ({kernel:?} {kind:?} {repeats:?} seed {seed})",
+            s1,
+            d1[0],
+        );
+        assert_eq!(
+            s2.to_bits(),
+            d2[0].to_bits(),
+            "d2 at edge {e}: sweep {} vs per-edge {} ({kernel:?} {kind:?} {repeats:?} seed {seed})",
+            s2,
+            d2[0],
+        );
+    }
+}
+
+#[test]
+fn sweep_matches_per_edge_bitwise_gamma() {
+    for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+        for repeats in [SiteRepeats::On, SiteRepeats::Off] {
+            assert_sweep_matches_per_edge(
+                kernel,
+                RateModelKind::Gamma,
+                repeats,
+                12,
+                80,
+                6,
+                42,
+                1.0,
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_per_edge_bitwise_psr() {
+    for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+        for repeats in [SiteRepeats::On, SiteRepeats::Off] {
+            assert_sweep_matches_per_edge(kernel, RateModelKind::Psr, repeats, 9, 72, 5, 17, 1.0);
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_per_edge_in_the_rescaling_regime() {
+    // 40 taxa with 3× branch lengths forces CLV rescaling on interior nodes;
+    // the outside CLVs must carry the same scale counts the per-edge
+    // traversals would, or the (scaling-cancelled) derivative ratios drift.
+    for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+        assert_sweep_matches_per_edge(
+            kernel,
+            RateModelKind::Gamma,
+            SiteRepeats::On,
+            40,
+            60,
+            6,
+            99,
+            3.0,
+        );
+    }
+}
+
+/// Central finite differences of the actual log-likelihood pin the analytic
+/// derivatives to the surface they claim to describe: the identity tests
+/// above prove sweep ≡ per-edge, this proves both are *correct*.
+#[test]
+fn sweep_derivatives_match_finite_differences() {
+    for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+        let aln = repeat_rich_alignment(10, 120, 7, 7);
+        let mut engine = build_engine(&aln, RateModelKind::Gamma, kernel, SiteRepeats::Off);
+        let mut tree = Tree::random(10, 1, 7);
+
+        let lnl_at = |tree: &mut Tree, engine: &mut Engine, edge: usize, t: f64| -> f64 {
+            tree.set_length(edge, 0, t);
+            let d = tree.full_traversal_descriptor(0);
+            engine.execute(&d);
+            engine.evaluate(&d).iter().sum::<f64>()
+        };
+
+        let d = tree.full_traversal_descriptor(0);
+        engine.execute(&d);
+        let plan = tree.gradient_plan(0);
+        let sweep = engine.edge_gradient(&plan);
+
+        // A tip edge, an internal edge, and the rooting edge itself.
+        let probe: Vec<usize> = vec![0, tree.n_edges() / 2, tree.n_edges() - 1];
+        for e in probe {
+            let t = tree.edge(e).length(0);
+            let (d1, d2) = sweep[0][e];
+
+            let h1 = 1e-5 * (1.0 + t);
+            let up = lnl_at(&mut tree, &mut engine, e, t + h1);
+            let dn = lnl_at(&mut tree, &mut engine, e, t - h1);
+            let fd1 = (up - dn) / (2.0 * h1);
+            assert!(
+                (d1 - fd1).abs() <= 1e-3 * (1.0 + d1.abs()),
+                "edge {e}: analytic d1 {d1} vs central difference {fd1} ({kernel:?})"
+            );
+
+            let h2 = 1e-4 * (1.0 + t);
+            let up = lnl_at(&mut tree, &mut engine, e, t + h2);
+            let mid = lnl_at(&mut tree, &mut engine, e, t);
+            let dn = lnl_at(&mut tree, &mut engine, e, t - h2);
+            let fd2 = (up - 2.0 * mid + dn) / (h2 * h2);
+            assert!(
+                (d2 - fd2).abs() <= 1e-2 * (1.0 + d2.abs()),
+                "edge {e}: analytic d2 {d2} vs central difference {fd2} ({kernel:?})"
+            );
+
+            // Restore the probed length so later probes see the original
+            // tree (and the sweep's pairs stay the right reference).
+            lnl_at(&mut tree, &mut engine, e, t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: on random repeat-rich alignments, random trees
+    /// and random branch scalings, the one-pass sweep is bitwise identical
+    /// to the per-edge derivative path on BOTH backends and BOTH compression
+    /// settings.
+    #[test]
+    fn sweep_identity_on_random_trees(
+        n_taxa in 5usize..10,
+        n_distinct in 1usize..8,
+        seed in any::<u64>(),
+        scale in 0.2f64..4.0,
+    ) {
+        for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+            for repeats in [SiteRepeats::On, SiteRepeats::Off] {
+                assert_sweep_matches_per_edge(
+                    kernel, RateModelKind::Gamma, repeats, n_taxa, 72, n_distinct, seed, scale,
+                );
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@ use exa_phylo::engine::Engine;
 use exa_phylo::model::gtr::NUM_FREE_RATES;
 use exa_phylo::model::rates::RateModelKind;
 use exa_phylo::tree::{EdgeId, Tree};
+use exa_phylo::GradientMode;
 use serde::{Deserialize, Serialize};
 
 /// Joint (`2n-3` branch lengths shared by all partitions) versus
@@ -112,6 +113,18 @@ pub trait Evaluator {
     /// one per global partition under per-partition mode. Returns globally
     /// reduced derivative vectors of the same arity.
     fn derivatives(&mut self, lengths: &[f64]) -> (Vec<f64>, Vec<f64>);
+    /// Globally reduced `(d1, d2)` for **every** edge at the current branch
+    /// lengths. The default walks the per-edge path (a `prepare_derivatives`
+    /// and `derivatives` call at each edge — one collective per edge);
+    /// evaluators running with `--gradient on` override it with the
+    /// one-pass [`Engine::edge_gradient`] sweep and a **single** fat
+    /// collective. Both routes are bitwise identical entry for entry
+    /// (proven by the gradient-identity battery), so which one ran is
+    /// observable only in [`FullGradient::collectives`] /
+    /// [`FullGradient::swept`].
+    fn full_gradient(&mut self) -> FullGradient {
+        per_edge_full_gradient(self)
+    }
 
     /// Current per-partition Γ shapes (empty under PSR).
     fn alphas(&self) -> Vec<f64>;
@@ -193,29 +206,76 @@ pub trait Evaluator {
     }
 }
 
+/// The all-edge derivative vector a branch-smoothing pass starts from,
+/// produced by [`Evaluator::full_gradient`]. Entries follow edge ids;
+/// each entry has the same arity as [`Evaluator::derivatives`] (1 under
+/// joint mode, one per global partition under `-M`).
+#[derive(Debug, Clone)]
+pub struct FullGradient {
+    /// First derivatives, `d1[edge][slot]`.
+    pub d1: Vec<Vec<f64>>,
+    /// Second derivatives, `d2[edge][slot]`.
+    pub d2: Vec<Vec<f64>>,
+    /// Collectives spent producing the vector (1 for the sweep, `n_edges`
+    /// for the per-edge route) — what the bench guard's ratio is built on.
+    pub collectives: u64,
+    /// True when the one-pass gradient sweep produced it.
+    pub swept: bool,
+}
+
+/// The per-edge reference route for [`Evaluator::full_gradient`]: prepare +
+/// differentiate every edge at the current lengths, one collective each.
+/// Kept callable on its own so tests can pit it against a sweep-capable
+/// override directly.
+pub fn per_edge_full_gradient<E: Evaluator + ?Sized>(eval: &mut E) -> FullGradient {
+    let n_edges = eval.tree().n_edges();
+    let mut d1 = Vec::with_capacity(n_edges);
+    let mut d2 = Vec::with_capacity(n_edges);
+    for e in 0..n_edges {
+        eval.prepare_derivatives(e);
+        let arity = match eval.branch_mode() {
+            BranchMode::Joint => 1,
+            BranchMode::PerPartition => eval.n_partitions(),
+        };
+        let t: Vec<f64> = (0..arity).map(|p| eval.tree().edge(e).length(p)).collect();
+        let (e1, e2) = eval.derivatives(&t);
+        d1.push(e1);
+        d2.push(e2);
+    }
+    FullGradient {
+        d1,
+        d2,
+        collectives: n_edges as u64,
+        swept: false,
+    }
+}
+
 /// The canonical [`Evaluator::backend_fingerprint`] digest for an engine's
 /// compute configuration: FNV-1a over the kernel label, the site-repeats
-/// setting, the reduction-mode label and the intra-rank thread count. All
-/// engine-backed evaluators use this so that identical backends hash
-/// identically across schemes — and a rank that silently resolved a
-/// different repeats setting, reduction mode (which would change the bits
-/// of every collective sum) or thread count (result-neutral, but a
-/// heterogeneous world breaks the hybrid execution model's uniformity
-/// contract) trips the sentinel like a kernel mismatch does, at the first
+/// setting, the reduction-mode label, the intra-rank thread count and the
+/// gradient mode. All engine-backed evaluators use this so that identical
+/// backends hash identically across schemes — and a rank that silently
+/// resolved a different repeats setting, reduction mode (which would change
+/// the bits of every collective sum), thread count or gradient mode
+/// (result-neutral, but a heterogeneous world breaks the hybrid execution
+/// model's uniformity contract and skews the collective counts ranks must
+/// agree on) trips the sentinel like a kernel mismatch does, at the first
 /// fingerprint sync.
 pub fn kernel_fingerprint(
     kind: exa_phylo::KernelKind,
     repeats: exa_phylo::SiteRepeats,
     reduce: &str,
     threads: usize,
+    gradient: GradientMode,
 ) -> u64 {
     exa_obs::fnv1a(
         format!(
-            "{}+repeats:{}+reduce:{}+threads:{}",
+            "{}+repeats:{}+reduce:{}+threads:{}+gradient:{}",
             kind.label(),
             repeats.label(),
             reduce,
-            threads
+            threads,
+            gradient.label()
         )
         .as_bytes(),
     )
@@ -249,6 +309,7 @@ pub struct SequentialEvaluator {
     engine: Engine,
     n_partitions: usize,
     branch_mode: BranchMode,
+    gradient: GradientMode,
     alphas: Vec<f64>,
     gtr_rates: Vec<[f64; NUM_FREE_RATES]>,
     last_lnl: Vec<f64>,
@@ -284,10 +345,26 @@ impl SequentialEvaluator {
             engine,
             n_partitions,
             branch_mode,
+            gradient: GradientMode::Off,
             alphas,
             gtr_rates,
             last_lnl: vec![0.0; n_partitions],
         }
+    }
+
+    /// Select the full-tree gradient mode (builder style). There is no
+    /// communication to save sequentially, but `On` still collapses a
+    /// smoothing pass's `2(2n-3)` kernel dispatches into one sweep, and it
+    /// keeps the single-rank path exercising the same code the distributed
+    /// schemes negotiate.
+    pub fn with_gradient(mut self, gradient: GradientMode) -> Self {
+        self.gradient = gradient;
+        self
+    }
+
+    /// The gradient mode this evaluator runs with.
+    pub fn gradient(&self) -> GradientMode {
+        self.gradient
     }
 
     /// Access the inner engine (tests, statistics).
@@ -368,6 +445,43 @@ impl Evaluator for SequentialEvaluator {
         }
     }
 
+    fn full_gradient(&mut self) -> FullGradient {
+        if self.gradient == GradientMode::Off {
+            return per_edge_full_gradient(self);
+        }
+        let d = self.tree.traversal_descriptor(0);
+        self.engine.execute(&d);
+        let plan = self.tree.gradient_plan(0);
+        let sweep = self.engine.edge_gradient(&plan);
+        let globals = self.engine.global_indices();
+        let mut d1 = vec![Vec::new(); plan.n_edges];
+        let mut d2 = vec![Vec::new(); plan.n_edges];
+        for (e, (g1, g2)) in d1.iter_mut().zip(d2.iter_mut()).enumerate() {
+            match self.branch_mode {
+                // Same local-index summation order as `derivatives`, so the
+                // fold is bitwise identical to the per-edge route's.
+                BranchMode::Joint => {
+                    *g1 = vec![sweep.iter().map(|p| p[e].0).sum()];
+                    *g2 = vec![sweep.iter().map(|p| p[e].1).sum()];
+                }
+                BranchMode::PerPartition => {
+                    *g1 = vec![0.0; self.n_partitions];
+                    *g2 = vec![0.0; self.n_partitions];
+                    for (local, &global) in globals.iter().enumerate() {
+                        g1[global] = sweep[local][e].0;
+                        g2[global] = sweep[local][e].1;
+                    }
+                }
+            }
+        }
+        FullGradient {
+            d1,
+            d2,
+            collectives: 0,
+            swept: true,
+        }
+    }
+
     fn alphas(&self) -> Vec<f64> {
         self.alphas.clone()
     }
@@ -435,6 +549,7 @@ impl Evaluator for SequentialEvaluator {
             self.engine.site_repeats(),
             "fast",
             self.engine.threads(),
+            self.gradient,
         )
     }
 }

@@ -53,6 +53,12 @@ options:\n\
                          the lnL trajectory is identical at any count;\n\
                          default auto, negotiated to the world minimum,\n\
                          also via EXAML_THREADS)\n\
+  --gradient G           gradient-driven branch-length optimization:\n\
+                         on | off | auto (on computes all edge derivatives\n\
+                         in one full-tree sweep with a single collective\n\
+                         per smoothing pass; bitwise result-neutral;\n\
+                         default auto, negotiated to the world minimum,\n\
+                         also via EXAML_GRADIENT)\n\
   --batch on|off         pack small partitions into cache-sized kernel\n\
                          batches (default on; off = one dispatch per\n\
                          partition)\n\
@@ -100,6 +106,11 @@ options:\n\
                          force per-rank thread counts (cycled over ranks),\n\
                          bypassing negotiation; a mixed table trips the\n\
                          sentinel via the backend fingerprint\n\
+  --gradient-override on|off[,on|off...]\n\
+                         force per-rank gradient modes (cycled over ranks),\n\
+                         bypassing negotiation — a mixed world\n\
+                         desynchronizes the collective sequence and the\n\
+                         sentinel catches it at its first fingerprint sync\n\
   --ascii                also print an ASCII cladogram\n\
   --stats                print alignment statistics and memory estimates, then exit\n\
   --quiet                suppress progress output\n\
@@ -245,6 +256,7 @@ fn main() -> ExitCode {
         .site_repeats(args.site_repeats)
         .reduce(args.reduce)
         .threads(args.threads)
+        .gradient(args.gradient)
         .batch(args.batch)
         .verify_replicas(args.verify_replicas);
     if !args.resize_at.is_empty() && matches!(args.reduce, ReduceChoice::Fast) {
@@ -284,6 +296,9 @@ fn main() -> ExitCode {
     }
     if let Some(table) = args.threads_override.clone() {
         run = run.threads_override(table);
+    }
+    if let Some(table) = args.gradient_override.clone() {
+        run = run.gradient_override(table);
     }
     if let Some(path) = &args.health_out {
         run = run.health_out(path);

@@ -252,6 +252,7 @@ struct Core {
     kernel_label: &'static str,
     site_repeats_label: &'static str,
     reduce_label: &'static str,
+    gradient_label: &'static str,
     health_seq: u64,
 }
 
@@ -309,6 +310,9 @@ impl Daemon {
                 .resolve_local()
                 .label(),
             reduce_label: exa_comm::ReduceChoice::from_env().resolve_local().label(),
+            gradient_label: exa_phylo::engine::GradientChoice::from_env()
+                .resolve_local()
+                .label(),
             health_seq: 0,
         };
         core.replay(events);
@@ -696,6 +700,7 @@ impl Core {
             site_repeats: Some(self.site_repeats_label.to_string()),
             uptime_secs: Some(self.started_at.elapsed().as_secs_f64()),
             reduce: Some(self.reduce_label.to_string()),
+            gradient: Some(self.gradient_label.to_string()),
         }
     }
 

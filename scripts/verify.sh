@@ -101,7 +101,7 @@ cargo run -q --release -p exa-serve --bin examl -- \
 mixed_status=$?
 set -e
 [ "$mixed_status" -eq 1 ] || { echo "mixed reduce world must exit 1, got $mixed_status"; cat "$tmp/mixed.err"; exit 1; }
-grep -q 'replica divergence at collective #1' "$tmp/mixed.err" \
+grep -q 'replica divergence at collective #0 (fingerprint sync #1)' "$tmp/mixed.err" \
   || { echo "sentinel did not trip at the first sync:"; cat "$tmp/mixed.err"; exit 1; }
 echo "reduce: trajectories bitwise-equal at 1/2/4 ranks and across a 2->4->1 resize; mixed world tripped at sync #1"
 
@@ -130,6 +130,41 @@ cmp -s "$tmp/threads_traj_1.txt" "$tmp/threads_traj_nb.txt" \
 # on the modeled cluster (exits non-zero below the bar).
 cargo run -q --release -p examl-bench --bin batch -- --guard >/dev/null
 echo "threads: trajectories bitwise-equal at --threads 1/2 and --batch on/off; fused guard cleared"
+
+echo "==> gradient BLO (--gradient negotiation, bitwise identity, collective guard)"
+# Gradient-driven smoothing changes only the reduction *shape* of each
+# Newton round (one fat full-tree collective vs one per edge), never its
+# addends: --gradient on and off must replay the same lnL trajectory bit
+# for bit, and the negotiated mode must surface in the health stream.
+for g in on off; do
+  cargo run -q --release -p exa-serve --bin examl -- \
+    --phylip "$tmp/smoke.phy" --ranks 2 --iterations 3 --seed 7 \
+    --reduce reproducible --gradient "$g" \
+    --health-out "$tmp/grad_$g.jsonl" --quiet >/dev/null
+  traj "$tmp/grad_$g.jsonl" >"$tmp/grad_traj_$g.txt"
+  tail -n 1 "$tmp/grad_$g.jsonl" | jq -e ".gradient == \"$g\"" >/dev/null \
+    || { echo "health does not report the negotiated gradient mode ($g)"; tail -n 1 "$tmp/grad_$g.jsonl"; exit 1; }
+done
+cmp -s "$tmp/grad_traj_on.txt" "$tmp/grad_traj_off.txt" \
+  || { echo "lnL trajectory differs between --gradient on and off"; diff "$tmp/grad_traj_on.txt" "$tmp/grad_traj_off.txt"; exit 1; }
+# A mixed gradient world runs different collective *sequences*, so the
+# sentinel must refuse it at the pre-search sync, before the first
+# smoothing collective can desynchronize the world.
+set +e
+cargo run -q --release -p exa-serve --bin examl -- \
+  --phylip "$tmp/smoke.phy" --ranks 4 --iterations 2 --seed 7 \
+  --gradient auto --gradient-override on,off \
+  --verify-replicas 1 --quiet >/dev/null 2>"$tmp/grad_mixed.err"
+grad_status=$?
+set -e
+[ "$grad_status" -eq 1 ] || { echo "mixed gradient world must exit 1, got $grad_status"; cat "$tmp/grad_mixed.err"; exit 1; }
+grep -q 'replica divergence at collective #0 (fingerprint sync #1)' "$tmp/grad_mixed.err" \
+  || { echo "sentinel did not trip at the pre-search sync:"; cat "$tmp/grad_mixed.err"; exit 1; }
+# One fat collective per Newton round instead of one per edge: the
+# 64-taxon bench must measure >= 10x fewer BLO collectives per round with
+# bitwise-identical lnL (exits non-zero below the bar).
+cargo run -q --release -p examl-bench --bin gradient -- --guard >/dev/null
+echo "gradient: trajectories bitwise-equal on/off; mixed world refused at sync #1; collective guard cleared"
 
 echo "==> examl checkpoint smoke (atomic generations + heartbeat fields)"
 cargo run -q --release -p exa-serve --bin examl -- \

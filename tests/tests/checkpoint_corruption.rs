@@ -69,6 +69,7 @@ prop_compose! {
                 payload_len: 0,
                 payload_fingerprint: 0,
                 reduce_mode: Some("fast".into()),
+                gradient: Some("on".into()),
             },
             CheckpointPayload {
                 snapshot,

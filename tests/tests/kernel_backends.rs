@@ -41,11 +41,12 @@ fn mixed_backend_world_is_flagged_as_replica_divergence() {
     };
     assert_eq!(err.minority_ranks, vec![1], "{err}");
     // Both backends produce bitwise-identical numerics, so the backend
-    // identity is the ONLY component that diverges — caught at the very
-    // first fingerprint sync, before any numeric drift could exist.
+    // identity is the ONLY component that diverges — caught at the
+    // pre-search sentinel sync (collective #0), before any numeric drift
+    // or collective-sequence desync could exist.
     assert_eq!(err.components, vec![Component::KernelBackend], "{err}");
     assert_eq!(err.sync_index, 1, "{err}");
-    assert_eq!(err.collective_index, 4, "{err}");
+    assert_eq!(err.collective_index, 0, "{err}");
 }
 
 #[test]

@@ -272,3 +272,59 @@ fn resume_is_elastic_across_kernel_and_rank_count() {
     std::fs::remove_dir_all(&dir).ok();
     assert!(resumed.result.lnl.is_finite());
 }
+
+#[test]
+fn checkpoint_resumes_across_gradient_modes() {
+    // Gradient BLO is bitwise result-neutral — the full-tree sweep
+    // computes the same Newton seeds the per-edge collectives would — so
+    // the header's gradient field is elastic: a checkpoint committed under
+    // `--gradient on` resumes under `--gradient off` (and vice versa) and
+    // must replay the uninterrupted reference bit for bit.
+    use exa_phylo::GradientChoice;
+    let w = workloads::partitioned(8, 2, 100, 41);
+    let reference = base_cfg(
+        Scheme::Decentralized,
+        KernelChoice::Scalar,
+        RepeatsChoice::On,
+    )
+    .gradient(GradientChoice::On)
+    .run(&w.compressed)
+    .unwrap();
+
+    for (from, to) in [
+        (GradientChoice::On, GradientChoice::Off),
+        (GradientChoice::Off, GradientChoice::On),
+    ] {
+        let dir = tmp_dir(&format!("xgradient_{from:?}_{to:?}").to_lowercase());
+        let err = base_cfg(
+            Scheme::Decentralized,
+            KernelChoice::Scalar,
+            RepeatsChoice::On,
+        )
+        .gradient(from)
+        .checkpoint(&dir, 1)
+        .inject_kill(KillSpec {
+            after_checkpoints: 2,
+            rank: None,
+        })
+        .run(&w.compressed)
+        .expect_err("kill must fire");
+        assert!(matches!(err, RunError::Killed { .. }));
+
+        let resumed = base_cfg(
+            Scheme::Decentralized,
+            KernelChoice::Scalar,
+            RepeatsChoice::On,
+        )
+        .gradient(to)
+        .resume(&dir)
+        .run(&w.compressed)
+        .unwrap_or_else(|e| panic!("{from:?}->{to:?} resume failed: {e}"));
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&reference),
+            "{from:?}->{to:?} cross-gradient resume must replay bitwise"
+        );
+    }
+}

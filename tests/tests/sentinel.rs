@@ -56,7 +56,9 @@ fn injected_alpha_flip_is_detected_at_next_sync() {
     assert_eq!(err.minority_ranks, vec![1], "{err}");
     assert_eq!(err.components, vec![Component::ModelParams], "{err}");
     assert_eq!(err.collective_index, 8, "{err}");
-    assert_eq!(err.sync_index, 1, "{err}");
+    // Sync #1 is the pre-search sentinel sync at collective #0; the
+    // cadence sync that catches the flip is #2.
+    assert_eq!(err.sync_index, 2, "{err}");
 }
 
 #[test]
@@ -71,7 +73,7 @@ fn injected_branch_length_flip_is_detected_with_component() {
     let err = divergence(c.run(&w.compressed));
     assert_eq!(err.minority_ranks, vec![2], "{err}");
     assert_eq!(err.components, vec![Component::BranchLengths], "{err}");
-    assert_eq!(err.sync_index, 3, "{err}");
+    assert_eq!(err.sync_index, 4, "{err}");
 }
 
 #[test]

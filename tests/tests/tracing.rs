@@ -145,8 +145,15 @@ fn kernel_and_search_regions_have_sane_counts() {
         newview > 0 && evaluate > 0 && deriv > 0,
         "{newview} {evaluate} {deriv}"
     );
-    // Every Newton iteration wraps exactly one derivative kernel call.
-    assert_eq!(deriv, nr);
+    // Every SPR-scoring Newton iteration wraps exactly one derivative
+    // kernel call; the Jacobi smoothing rounds (gradient-driven since
+    // `--gradient`) evaluate their all-edge derivatives outside any NR
+    // wrapper, so derivative regions strictly exceed NR iterations.
+    assert!(nr > 0, "nr iterations: {nr}");
+    assert!(
+        deriv > nr,
+        "derivative regions {deriv} vs NR iterations {nr}"
+    );
     // Two ranks ran ≤ 2 search iterations each: one SPR round and one
     // model-optimization round per iteration, plus the initial conditioning
     // model round.
